@@ -1,0 +1,28 @@
+//! # analytical — the paper's closed-form message-load model (§6)
+//!
+//! The PigPaxos paper models per-node load as the number of messages a
+//! node handles per consensus round:
+//!
+//! - Leader (Eq. 1): `Ml = 2r + 2` — one round trip with each of `r`
+//!   relay groups plus the client request/reply pair.
+//! - Follower (Eq. 2–3): `Mf = 2(N − r − 1)/(N − 1) + 2` — with
+//!   probability `r/(N−1)` a follower serves as relay and handles a
+//!   round trip with each of its `(N − r − 1)/r` group peers, amortized
+//!   by relay rotation, plus its own round trip.
+//!
+//! Direct Multi-Paxos is the degenerate case `r = N − 1`:
+//! `Ml = 2(N−1) + 2`, `Mf = 2`.
+//!
+//! These formulas regenerate Tables 1 and 2, the §6.3 asymptote
+//! (`lim N→∞ Mf = 4` at `r = 1`, so the leader can never shed its
+//! bottleneck entirely), and the §6.4 WAN traffic accounting.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod tables;
+pub mod wan;
+
+pub use model::{follower_load, leader_load, leader_overhead, paxos_follower_load, paxos_leader_load};
+pub use tables::{table1, table2, LoadRow};
+pub use wan::{paxos_wan_msgs_per_op, pigpaxos_wan_msgs_per_op};

@@ -1,0 +1,107 @@
+//! Regeneration of the paper's Tables 1 and 2.
+
+use crate::model::{follower_load, leader_load, leader_overhead, paxos_leader_load};
+
+/// One row of a message-load table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRow {
+    /// Number of relay groups, or `None` for the direct-Paxos row.
+    pub relay_groups: Option<usize>,
+    /// Messages at the leader per round (`Ml`).
+    pub leader_msgs: f64,
+    /// Messages at an average follower per round (`Mf`).
+    pub follower_msgs: f64,
+    /// Leader overhead vs. followers, as a fraction.
+    pub leader_overhead: f64,
+}
+
+impl LoadRow {
+    /// Human-readable label for the row.
+    pub fn label(&self) -> String {
+        match self.relay_groups {
+            Some(r) => r.to_string(),
+            None => "Paxos".to_string(),
+        }
+    }
+}
+
+fn table(n: usize, rs: &[usize]) -> Vec<LoadRow> {
+    let mut rows: Vec<LoadRow> = rs
+        .iter()
+        .map(|&r| LoadRow {
+            relay_groups: Some(r),
+            leader_msgs: leader_load(r),
+            follower_msgs: follower_load(n, r),
+            leader_overhead: leader_overhead(n, r),
+        })
+        .collect();
+    rows.push(LoadRow {
+        relay_groups: None,
+        leader_msgs: paxos_leader_load(n),
+        follower_msgs: 2.0,
+        leader_overhead: paxos_leader_load(n) / 2.0 - 1.0,
+    });
+    rows
+}
+
+/// Paper Table 1: message load in a 25-node cluster, `r ∈ {2..6}` plus
+/// the direct-Paxos row (`r = 24`).
+pub fn table1() -> Vec<LoadRow> {
+    table(25, &[2, 3, 4, 5, 6])
+}
+
+/// Paper Table 2: message load in a 9-node cluster, `r ∈ {2, 3, 4}`
+/// plus the direct-Paxos row (`r = 8`).
+pub fn table2() -> Vec<LoadRow> {
+    table(9, &[2, 3, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        // (r, Ml, Mf, overhead%) from the paper's Table 1.
+        let expect = [
+            (2, 6.0, 3.83, 56.0),
+            (3, 8.0, 3.75, 113.0),
+            (4, 10.0, 3.67, 172.0),
+            (5, 12.0, 3.58, 234.0),
+            (6, 14.0, 3.50, 300.0),
+        ];
+        for (row, (r, ml, mf, ov)) in t.iter().zip(expect) {
+            assert_eq!(row.relay_groups, Some(r));
+            assert_eq!(row.leader_msgs, ml);
+            assert!((row.follower_msgs - mf).abs() < 0.01, "Mf for r={r}");
+            assert!(
+                (row.leader_overhead * 100.0 - ov).abs() < 2.0,
+                "overhead for r={r}: {} vs {ov}",
+                row.leader_overhead * 100.0
+            );
+        }
+        let paxos = &t[5];
+        assert_eq!(paxos.relay_groups, None);
+        assert_eq!(paxos.leader_msgs, 50.0);
+        assert_eq!(paxos.follower_msgs, 2.0);
+        assert!((paxos.leader_overhead - 24.0).abs() < 1e-9, "paper: 2400%");
+        assert_eq!(paxos.label(), "Paxos");
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = table2();
+        assert_eq!(t.len(), 4);
+        let expect = [(2, 6.0, 3.5, 71.0), (3, 8.0, 3.25, 146.0), (4, 10.0, 3.0, 233.0)];
+        for (row, (r, ml, mf, ov)) in t.iter().zip(expect) {
+            assert_eq!(row.relay_groups, Some(r));
+            assert_eq!(row.leader_msgs, ml);
+            assert!((row.follower_msgs - mf).abs() < 0.01);
+            assert!((row.leader_overhead * 100.0 - ov).abs() < 2.0);
+        }
+        assert_eq!(t[3].leader_msgs, 18.0);
+        assert!((t[3].leader_overhead - 8.0).abs() < 1e-9, "paper: 800%");
+    }
+}

@@ -1,0 +1,49 @@
+//! WAN traffic accounting (paper §6.4).
+//!
+//! With one relay group per region and the leader in one of the regions,
+//! PigPaxos sends exactly one message into each remote region per write;
+//! direct Paxos sends one message to every remote follower. The paper's
+//! example — 3 regions × 3 nodes — yields 2 vs. 6 cross-WAN messages per
+//! operation, a 3× saving in paid cross-region traffic.
+
+/// Cross-region messages per write for PigPaxos with region-aligned
+/// relay groups (leader-side sends; responses double both protocols
+/// equally).
+pub fn pigpaxos_wan_msgs_per_op(regions: usize) -> usize {
+    assert!(regions >= 1);
+    regions - 1
+}
+
+/// Cross-region messages per write for direct Paxos: one per remote
+/// follower.
+pub fn paxos_wan_msgs_per_op(regions: usize, nodes_per_region: usize) -> usize {
+    assert!(regions >= 1 && nodes_per_region >= 1);
+    (regions - 1) * nodes_per_region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_three_regions_three_nodes() {
+        assert_eq!(pigpaxos_wan_msgs_per_op(3), 2);
+        assert_eq!(paxos_wan_msgs_per_op(3, 3), 6);
+    }
+
+    #[test]
+    fn savings_grow_with_region_size() {
+        let regions = 3;
+        for npr in [1, 3, 10] {
+            let ratio =
+                paxos_wan_msgs_per_op(regions, npr) as f64 / pigpaxos_wan_msgs_per_op(regions) as f64;
+            assert!((ratio - npr as f64).abs() < 1e-9, "saving factor equals region size");
+        }
+    }
+
+    #[test]
+    fn single_region_no_wan_traffic() {
+        assert_eq!(pigpaxos_wan_msgs_per_op(1), 0);
+        assert_eq!(paxos_wan_msgs_per_op(1, 5), 0);
+    }
+}

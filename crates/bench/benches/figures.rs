@@ -1,0 +1,83 @@
+//! Kernel benchmarks for the hot data structures behind the figures:
+//! the replicated log, the relay aggregation table (via relay-group
+//! selection), EPaxos dependency-graph planning, and workload sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use epaxos::{plan_execution, InstStatus, InstanceId, InstanceView};
+use paxi::{Ballot, Command, Log, Operation, RequestId, Value, Workload};
+use pigpaxos::{GroupSpec, RelayGroups};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::NodeId;
+use std::collections::HashMap;
+
+fn cmd(seq: u64) -> Command {
+    Command {
+        id: RequestId { client: NodeId(99), seq },
+        op: Operation::Put(seq % 1000, Value::zeros(8)),
+    }
+}
+
+fn bench_log(c: &mut Criterion) {
+    c.bench_function("log_accept_commit_execute_1000", |b| {
+        let ballot = Ballot::new(1, NodeId(0));
+        b.iter(|| {
+            let mut log = Log::new();
+            for s in 0..1000u64 {
+                log.accept(s, ballot, cmd(s));
+                log.commit(s, ballot, cmd(s));
+                let (slot, _) = log.next_executable().expect("ready");
+                log.mark_executed(slot);
+            }
+            black_box(log.committed_count())
+        })
+    });
+}
+
+fn bench_relay_groups(c: &mut Criterion) {
+    let followers: Vec<NodeId> = (1..25).map(NodeId).collect();
+    let groups = RelayGroups::build(&followers, &GroupSpec::Chunks(3));
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("relay_pick_25n_r3", |b| {
+        b.iter(|| black_box(groups.pick_relays(&mut rng)))
+    });
+}
+
+struct ChainView {
+    nodes: HashMap<InstanceId, (InstStatus, u64, Vec<InstanceId>)>,
+}
+
+impl InstanceView for ChainView {
+    fn status(&self, id: InstanceId) -> InstStatus {
+        self.nodes.get(&id).map(|n| n.0).unwrap_or(InstStatus::Unknown)
+    }
+    fn deps(&self, id: InstanceId) -> &[InstanceId] {
+        self.nodes.get(&id).map(|n| n.2.as_slice()).unwrap_or(&[])
+    }
+    fn seq(&self, id: InstanceId) -> u64 {
+        self.nodes.get(&id).map(|n| n.1).unwrap_or(0)
+    }
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let inst = |s: u64| InstanceId { replica: NodeId(0), slot: s };
+    let mut nodes = HashMap::new();
+    for i in 0..1000u64 {
+        let deps = if i == 0 { vec![] } else { vec![inst(i - 1)] };
+        nodes.insert(inst(i), (InstStatus::Committed, i, deps));
+    }
+    let view = ChainView { nodes };
+    let roots: Vec<InstanceId> = (0..1000u64).map(inst).collect();
+    c.bench_function("epaxos_plan_1000_chain", |b| {
+        b.iter(|| black_box(plan_execution(&roots, &view).order.len()))
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let w = Workload::paper_default();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("workload_next_op", |b| b.iter(|| black_box(w.next_op(&mut rng))));
+}
+
+criterion_group!(benches, bench_log, bench_relay_groups, bench_graph, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end protocol benchmarks: simulated clusters driven for a
+//! fixed window; criterion measures the wall-clock cost of regenerating
+//! a slice of the paper's experiments.
+//!
+//! These complement the figure binaries: figures report *simulated*
+//! performance; these benches guard the *simulator's* own performance
+//! so figure regeneration stays fast.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::{run, RunSpec};
+use paxi::TargetPolicy;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use simnet::{NodeId, SimDuration};
+
+fn quick_spec(n: usize, clients: usize) -> RunSpec {
+    RunSpec {
+        warmup: SimDuration::from_millis(100),
+        measure: SimDuration::from_millis(300),
+        ..RunSpec::lan(n, clients)
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols");
+    g.sample_size(10);
+
+    g.bench_function("paxos_25n_400ms_sim", |b| {
+        b.iter_batched(
+            || quick_spec(25, 20),
+            |spec| {
+                let r =
+                    run(&spec, paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+                assert!(r.violations.is_empty());
+                r.samples
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("pigpaxos_25n_r3_400ms_sim", |b| {
+        b.iter_batched(
+            || quick_spec(25, 20),
+            |spec| {
+                let r = run(&spec, pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+                assert!(r.violations.is_empty());
+                r.samples
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("epaxos_5n_400ms_sim", |b| {
+        b.iter_batched(
+            || quick_spec(5, 20),
+            |spec| {
+                let r = run(
+                    &spec,
+                    epaxos_builder(EpaxosConfig::default()),
+                    TargetPolicy::Random((0..5u32).map(NodeId).collect()),
+                );
+                assert!(r.violations.is_empty());
+                r.samples
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: single-level vs. two-level relay trees (§6.3).
+//!
+//! The paper argues multi-level trees are unwarranted because the leader
+//! remains the bottleneck (`Ml = 2r + 2` is unchanged by extra layers,
+//! while followers were never the constraint). Expected: at N = 25 the
+//! 2-level tree buys nothing (or slightly hurts via the extra hop); the
+//! possibility it helps is reserved for very large clusters, checked
+//! here at N = 101.
+
+use paxi::harness::max_throughput;
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+
+fn main() {
+    if csv_mode() {
+        println!("nodes,levels,max_throughput");
+    } else {
+        println!("Ablation: relay tree depth (2 relay groups)");
+        println!("{:>7} {:>8} {:>16}", "nodes", "levels", "max tput(req/s)");
+    }
+    for &n in &[25usize, 101] {
+        for levels in [1usize, 2] {
+            let mut cfg = PigConfig::lan(2);
+            cfg.levels = levels;
+            let spec = lan_spec(n);
+            let t = max_throughput(&spec, MAX_TPUT_CLIENTS, pig_builder(cfg), leader_target());
+            if csv_mode() {
+                println!("{n},{levels},{t:.0}");
+            } else {
+                println!("{n:>7} {levels:>8} {t:>16.0}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Calibration summary: the headline numbers every other figure builds
+//! on, side by side with the paper's reported values.
+//!
+//! Run this first after touching `simnet::CpuCostModel` or any protocol
+//! cost constant.
+
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::max_throughput;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target, random_target, MAX_TPUT_CLIENTS};
+
+fn main() {
+    let spec25 = lan_spec(25);
+    let spec5 = lan_spec(5);
+
+    let paxos25 = max_throughput(
+        &spec25,
+        MAX_TPUT_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
+    let pig25 = max_throughput(
+        &spec25,
+        MAX_TPUT_CLIENTS,
+        pig_builder(PigConfig::lan(3)),
+        leader_target(),
+    );
+    let epaxos25 = max_throughput(
+        &spec25,
+        MAX_TPUT_CLIENTS,
+        epaxos_builder(EpaxosConfig::default()),
+        random_target(25),
+    );
+    let paxos5 = max_throughput(
+        &spec5,
+        MAX_TPUT_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
+    let pig5 = max_throughput(
+        &spec5,
+        MAX_TPUT_CLIENTS,
+        pig_builder(PigConfig::lan(2)),
+        leader_target(),
+    );
+
+    if csv_mode() {
+        println!("config,measured,paper");
+        println!("paxos_25n,{paxos25:.0},2000");
+        println!("pigpaxos_25n_r3,{pig25:.0},7000");
+        println!("epaxos_25n,{epaxos25:.0},1000");
+        println!("paxos_5n,{paxos5:.0},6500");
+        println!("pigpaxos_5n_r2,{pig5:.0},9500");
+    } else {
+        println!("Calibration summary (max throughput, req/s)");
+        println!("{:<22} {:>10} {:>12}", "config", "measured", "paper(≈)");
+        println!("{:<22} {paxos25:>10.0} {:>12}", "Paxos 25n", 2000);
+        println!("{:<22} {pig25:>10.0} {:>12}", "PigPaxos 25n r=3", 7000);
+        println!("{:<22} {epaxos25:>10.0} {:>12}", "EPaxos 25n", 1000);
+        println!("{:<22} {paxos5:>10.0} {:>12}", "Paxos 5n", 6500);
+        println!("{:<22} {pig5:>10.0} {:>12}", "PigPaxos 5n r=2", 9500);
+        println!(
+            "\nPigPaxos/Paxos at 25 nodes: {:.1}x (paper: >3x)",
+            pig25 / paxos25
+        );
+    }
+}

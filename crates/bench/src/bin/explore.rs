@@ -1,0 +1,162 @@
+//! Free-form experiment runner: pick a protocol and cluster shape from
+//! the command line and get the standard metric row — handy for
+//! questions the fixed figures do not answer.
+//!
+//! ```sh
+//! cargo run --release -p pigpaxos-bench --bin explore -- \
+//!     --protocol pigpaxos --nodes 25 --groups 3 --clients 40 \
+//!     --read-ratio 0.5 --payload 8 --keys 1000 [--wan]
+//! ```
+
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::{run, RunSpec};
+use paxi::{TargetPolicy, Workload};
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, GroupSpec, PigConfig};
+use simnet::{NodeId, SimDuration};
+
+struct Args {
+    protocol: String,
+    nodes: usize,
+    groups: usize,
+    clients: usize,
+    read_ratio: f64,
+    payload: usize,
+    keys: u64,
+    wan: bool,
+    pqr: bool,
+    seed: u64,
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        protocol: "pigpaxos".into(),
+        nodes: 25,
+        groups: 3,
+        clients: 40,
+        read_ratio: 0.5,
+        payload: 8,
+        keys: 1000,
+        wan: false,
+        pqr: false,
+        seed: paxi::DEFAULT_SEED,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |a: &mut usize| {
+            *a += 1;
+            argv.get(*a).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*a - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--protocol" => args.protocol = take(&mut i),
+            "--nodes" => args.nodes = take(&mut i).parse().expect("--nodes"),
+            "--groups" => args.groups = take(&mut i).parse().expect("--groups"),
+            "--clients" => args.clients = take(&mut i).parse().expect("--clients"),
+            "--read-ratio" => args.read_ratio = take(&mut i).parse().expect("--read-ratio"),
+            "--payload" => args.payload = take(&mut i).parse().expect("--payload"),
+            "--keys" => args.keys = take(&mut i).parse().expect("--keys"),
+            "--seed" => args.seed = take(&mut i).parse().expect("--seed"),
+            "--wan" => args.wan = true,
+            "--pqr" => args.pqr = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: explore [--protocol paxos|pigpaxos|epaxos] [--nodes N] \
+                     [--groups R] [--clients C] [--read-ratio F] [--payload B] \
+                     [--keys K] [--seed S] [--wan] [--pqr]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let a = parse();
+    let mut spec = if a.wan { RunSpec::wan(a.nodes, a.clients) } else { RunSpec::lan(a.nodes, a.clients) };
+    spec.seed = a.seed;
+    spec.warmup = SimDuration::from_secs(1);
+    spec.measure = SimDuration::from_secs(3);
+    spec.workload = Workload {
+        num_keys: a.keys,
+        read_ratio: a.read_ratio,
+        payload_size: a.payload,
+        ..Workload::paper_default()
+    };
+
+    let leader = TargetPolicy::Fixed(NodeId(0));
+    let result = match a.protocol.as_str() {
+        "paxos" => {
+            let cfg = if a.wan { PaxosConfig::wan() } else { PaxosConfig::lan() };
+            run(&spec, paxos_builder(cfg), leader)
+        }
+        "pigpaxos" => {
+            let mut cfg = if a.wan {
+                // One group per region, leader excluded from its own.
+                let groups: Vec<Vec<NodeId>> = (0..spec.topology.num_regions())
+                    .map(|region| {
+                        spec.topology
+                            .nodes_in_region(region)
+                            .into_iter()
+                            .filter(|&node| node != NodeId(0))
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|g: &Vec<NodeId>| !g.is_empty())
+                    .collect();
+                PigConfig::wan(GroupSpec::Explicit(groups))
+            } else {
+                PigConfig::lan(a.groups)
+            };
+            cfg.pqr_reads = a.pqr;
+            let target = if a.pqr {
+                TargetPolicy::Random((0..a.nodes as u32).map(NodeId).collect())
+            } else {
+                leader
+            };
+            run(&spec, pig_builder(cfg), target)
+        }
+        "epaxos" => run(
+            &spec,
+            epaxos_builder(EpaxosConfig::default()),
+            TargetPolicy::Random((0..a.nodes as u32).map(NodeId).collect()),
+        ),
+        other => {
+            eprintln!("unknown protocol {other}; use paxos | pigpaxos | epaxos");
+            std::process::exit(2);
+        }
+    };
+
+    assert!(result.violations.is_empty(), "safety violated: {:?}", result.violations);
+    println!(
+        "{} n={} groups={} clients={} reads={:.0}% payload={}B keys={}{}{}",
+        a.protocol,
+        a.nodes,
+        a.groups,
+        a.clients,
+        a.read_ratio * 100.0,
+        a.payload,
+        a.keys,
+        if a.wan { " wan" } else { "" },
+        if a.pqr { " pqr" } else { "" },
+    );
+    println!(
+        "  throughput {:>9.0} req/s   mean {:>7.2} ms   p50 {:>7.2} ms   p99 {:>7.2} ms",
+        result.throughput, result.mean_latency_ms, result.p50_latency_ms, result.p99_latency_ms
+    );
+    println!(
+        "  leader {:>6.1} msgs/op   follower {:>5.2} msgs/op   decided {}   cross-region {:.2}/op",
+        result.leader_msgs_per_op,
+        result.follower_msgs_per_op,
+        result.decided,
+        result.cross_region_msgs_per_op
+    );
+}

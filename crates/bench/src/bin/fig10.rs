@@ -1,0 +1,44 @@
+//! Figure 10: latency vs. throughput on a 5-node cluster — EPaxos,
+//! Paxos, and PigPaxos with 2 relay groups.
+//!
+//! Paper result: PigPaxos wins even at 5 nodes (it talks to 2 relays —
+//! exactly a majority's worth of followers — while Paxos still sends 4
+//! messages per round); EPaxos again suffers from conflicts.
+
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::load_sweep;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{
+    lan_spec, leader_target, print_csv_header, print_curve, random_target, CURVE_CLIENTS,
+};
+
+fn main() {
+    let n = 5;
+    let spec = lan_spec(n);
+    print_csv_header();
+
+    let epaxos_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        epaxos_builder(EpaxosConfig::default()),
+        random_target(n),
+    );
+    print_curve("EPaxos 5 nodes", &epaxos_pts);
+
+    let paxos_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
+    print_curve("Paxos 5 nodes", &paxos_pts);
+
+    let pig_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        pig_builder(PigConfig::lan(2)),
+        leader_target(),
+    );
+    print_curve("PigPaxos 5 nodes (2 groups)", &pig_pts);
+}

@@ -1,0 +1,34 @@
+//! Figure 11: latency vs. throughput on a 9-node cluster — Paxos vs.
+//! PigPaxos with 2 and 3 relay groups.
+//!
+//! Paper result: both PigPaxos configurations out-scale Paxos
+//! (by ≈57% at 2 groups) and Paxos's low-load latency advantage
+//! shrinks compared to the 5-node cluster.
+
+use paxi::harness::load_sweep;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{lan_spec, leader_target, print_csv_header, print_curve, CURVE_CLIENTS};
+
+fn main() {
+    let spec = lan_spec(9);
+    print_csv_header();
+
+    let paxos_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
+    print_curve("Paxos 9 nodes", &paxos_pts);
+
+    for groups in [2, 3] {
+        let pts = load_sweep(
+            &spec,
+            CURVE_CLIENTS,
+            pig_builder(PigConfig::lan(groups)),
+            leader_target(),
+        );
+        print_curve(&format!("PigPaxos 9 nodes ({groups} groups)"), &pts);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 12: maximum throughput vs. payload size (8–1280 bytes) on a
+//! 25-node cluster under a write-only workload — Paxos vs. PigPaxos
+//! with 3 relay groups. Prints absolute (12a) and normalized (12b)
+//! series.
+//!
+//! Paper result: both protocols degrade similarly in relative terms
+//! (neither dips below 0.9 of its own peak across this payload range),
+//! while PigPaxos's absolute advantage persists at every size.
+
+use paxi::harness::{max_throughput, RunSpec};
+use paxi::Workload;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+
+const PAYLOADS: &[usize] = &[8, 80, 160, 320, 640, 1024, 1280];
+
+fn sweep(spec_base: &RunSpec, pig: bool) -> Vec<(usize, f64)> {
+    PAYLOADS
+        .iter()
+        .map(|&payload| {
+            let spec = RunSpec {
+                workload: Workload::write_only(payload),
+                ..spec_base.clone()
+            };
+            let t = if pig {
+                max_throughput(
+                    &spec,
+                    MAX_TPUT_CLIENTS,
+                    pig_builder(PigConfig::lan(3)),
+                    leader_target(),
+                )
+            } else {
+                max_throughput(
+                    &spec,
+                    MAX_TPUT_CLIENTS,
+                    paxos_builder(PaxosConfig::lan()),
+                    leader_target(),
+                )
+            };
+            (payload, t)
+        })
+        .collect()
+}
+
+fn print_series(name: &str, series: &[(usize, f64)]) {
+    let peak = series.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+    if csv_mode() {
+        for &(p, t) in series {
+            println!("{name},{p},{t:.0},{:.4}", t / peak);
+        }
+        return;
+    }
+    println!("\n── {name} ──");
+    println!("{:>10} {:>14} {:>12}", "payload(B)", "max tput(req/s)", "normalized");
+    for &(p, t) in series {
+        println!("{p:>10} {t:>14.0} {:>12.3}", t / peak);
+    }
+}
+
+fn main() {
+    let spec = lan_spec(25);
+    if csv_mode() {
+        println!("series,payload_bytes,max_throughput,normalized");
+    } else {
+        println!("Figure 12: max throughput vs payload size (25 nodes, write-only)");
+    }
+    let paxos = sweep(&spec, false);
+    print_series("Paxos", &paxos);
+    let pig = sweep(&spec, true);
+    print_series("PigPaxos (3 groups)", &pig);
+}

@@ -1,0 +1,32 @@
+//! Figure 7: maximum throughput vs. number of relay groups on a 25-node
+//! PigPaxos cluster with a single relay layer.
+//!
+//! Paper result: best throughput at r = 2 (~10k req/s), decreasing
+//! monotonically toward r = 6 — the √N heuristic (r = 5) performs badly
+//! because leader load is `2r + 2`.
+
+use paxi::harness::max_throughput;
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{lan_spec, leader_target, print_scalar, MAX_TPUT_CLIENTS};
+
+fn main() {
+    let spec = lan_spec(25);
+    if pigpaxos_bench::csv_mode() {
+        println!("relay_groups,max_throughput");
+    } else {
+        println!("Figure 7: 25-node PigPaxos, max throughput vs relay groups");
+    }
+    for r in 2..=6 {
+        let t = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            pig_builder(PigConfig::lan(r)),
+            leader_target(),
+        );
+        if pigpaxos_bench::csv_mode() {
+            println!("{r},{t:.0}");
+        } else {
+            print_scalar(&format!("PigPaxos r={r} max throughput"), t, "req/s");
+        }
+    }
+}

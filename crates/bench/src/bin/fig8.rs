@@ -1,0 +1,44 @@
+//! Figure 8: latency vs. throughput on a 25-node cluster — EPaxos,
+//! Paxos, and PigPaxos with 3 relay groups.
+//!
+//! Paper result: EPaxos saturates ≈1000 req/s (conflict resolution),
+//! Paxos ≈2000 req/s (leader bottleneck), PigPaxos scales to ≈7000
+//! req/s while paying ~30% extra latency at low load.
+
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::load_sweep;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{
+    lan_spec, leader_target, print_csv_header, print_curve, random_target, CURVE_CLIENTS,
+};
+
+fn main() {
+    let n = 25;
+    let spec = lan_spec(n);
+    print_csv_header();
+
+    let epaxos_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        epaxos_builder(EpaxosConfig::default()),
+        random_target(n),
+    );
+    print_curve("EPaxos", &epaxos_pts);
+
+    let paxos_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
+    print_curve("Paxos", &paxos_pts);
+
+    let pig_pts = load_sweep(
+        &spec,
+        CURVE_CLIENTS,
+        pig_builder(PigConfig::lan(3)),
+        leader_target(),
+    );
+    print_curve("PigPaxos (3 groups)", &pig_pts);
+}

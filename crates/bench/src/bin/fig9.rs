@@ -1,0 +1,49 @@
+//! Figure 9: latency vs. throughput on a 15-node WAN cluster spread
+//! over Virginia, California, and Oregon; each region is one PigPaxos
+//! relay group; the leader (and clients) sit in Virginia.
+//!
+//! Paper result: latency is dominated by cross-region RTT so Paxos and
+//! PigPaxos are indistinguishable at low load; PigPaxos sustains low
+//! latency to much higher throughput.
+
+use paxi::harness::load_sweep;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, GroupSpec, PigConfig};
+use pigpaxos_bench::{leader_target, print_csv_header, print_curve, wan_spec, WAN_CURVE_CLIENTS};
+use simnet::NodeId;
+
+fn main() {
+    let n = 15;
+    let spec = wan_spec(n);
+    print_csv_header();
+
+    let paxos_pts = load_sweep(
+        &spec,
+        WAN_CURVE_CLIENTS,
+        paxos_builder(PaxosConfig::wan()),
+        leader_target(),
+    );
+    print_curve("Paxos (WAN)", &paxos_pts);
+
+    // One relay group per region. The leader (node 0) lives in Virginia,
+    // so its group is the remaining Virginia nodes.
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for region in 0..spec.topology.num_regions() {
+        let members: Vec<NodeId> = spec
+            .topology
+            .nodes_in_region(region)
+            .into_iter()
+            .filter(|&node| node != NodeId(0))
+            .collect();
+        if !members.is_empty() {
+            groups.push(members);
+        }
+    }
+    let pig_pts = load_sweep(
+        &spec,
+        WAN_CURVE_CLIENTS,
+        pig_builder(PigConfig::wan(GroupSpec::Explicit(groups))),
+        leader_target(),
+    );
+    print_curve("PigPaxos (region groups)", &pig_pts);
+}

@@ -1,0 +1,49 @@
+//! §6.1 validation: the analytical message-load model (Eqs. 1–3) vs.
+//! message counts measured by the simulator.
+//!
+//! For each relay-group count, runs a moderately loaded 25-node PigPaxos
+//! cluster and compares the leader's and followers' measured messages
+//! per committed operation against `Ml = 2r + 2` and
+//! `Mf = 2(N−r−1)/(N−1) + 2`, plus the direct-Paxos row.
+
+use analytical::{follower_load, leader_load, paxos_follower_load, paxos_leader_load};
+use paxi::harness::{run, RunSpec};
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target};
+
+fn main() {
+    let n = 25;
+    // Moderate load: batching-free region where per-op accounting is
+    // clean (heartbeats add a small constant background).
+    let spec = RunSpec { n_clients: 10, ..lan_spec(n) };
+
+    if csv_mode() {
+        println!("config,measured_leader,model_leader,measured_follower,model_follower");
+    } else {
+        println!("Model check: measured vs analytical msgs/op (25 nodes)");
+        println!(
+            "{:>10} {:>14} {:>10} {:>16} {:>10}",
+            "config", "leader(meas)", "Ml(model)", "follower(meas)", "Mf(model)"
+        );
+    }
+
+    for r in 2..=6 {
+        let res = run(&spec, pig_builder(PigConfig::lan(r)), leader_target());
+        report(&format!("pig r={r}"), res.leader_msgs_per_op, leader_load(r),
+               res.follower_msgs_per_op, follower_load(n, r));
+    }
+    let res = run(&spec, paxos_builder(PaxosConfig::lan()), leader_target());
+    report("paxos", res.leader_msgs_per_op, paxos_leader_load(n),
+           res.follower_msgs_per_op, paxos_follower_load());
+}
+
+fn report(config: &str, ml_meas: f64, ml_model: f64, mf_meas: f64, mf_model: f64) {
+    if csv_mode() {
+        println!("{config},{ml_meas:.2},{ml_model:.2},{mf_meas:.2},{mf_model:.2}");
+    } else {
+        println!(
+            "{config:>10} {ml_meas:>14.2} {ml_model:>10.2} {mf_meas:>16.2} {mf_model:>10.2}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Extension experiment (§4.3): Paxos Quorum Reads over relay trees.
+//!
+//! Compares a 25-node PigPaxos cluster serving reads through the leader
+//! (the base protocol — reads serialized in the log) against the same
+//! cluster with follower proxies answering reads via quorum probes.
+//! The read-heavier the workload, the more PQR shifts throughput away
+//! from the leader.
+
+use paxi::harness::{max_throughput, RunSpec};
+use paxi::{TargetPolicy, Workload};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+use simnet::NodeId;
+
+fn main() {
+    let n = 25;
+    if csv_mode() {
+        println!("read_ratio,leader_reads,pqr_reads");
+    } else {
+        println!("PQR extension: max throughput (25 nodes, 3 relay groups)");
+        println!("{:>11} {:>16} {:>14}", "read ratio", "leader reads", "PQR reads");
+    }
+    for read_pct in [50u32, 75, 90, 99] {
+        let spec = RunSpec {
+            workload: Workload {
+                read_ratio: read_pct as f64 / 100.0,
+                ..Workload::paper_default()
+            },
+            ..lan_spec(n)
+        };
+        let base = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            pig_builder(PigConfig::lan(3)),
+            leader_target(),
+        );
+        let mut cfg = PigConfig::lan(3);
+        cfg.pqr_reads = true;
+        let pqr = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            pig_builder(cfg),
+            TargetPolicy::Random((0..n as u32).map(NodeId).collect()),
+        );
+        if csv_mode() {
+            println!("{read_pct},{base:.0},{pqr:.0}");
+        } else {
+            println!("{read_pct:>10}% {base:>16.0} {pqr:>14.0}");
+        }
+    }
+}

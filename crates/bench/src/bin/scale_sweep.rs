@@ -1,0 +1,51 @@
+//! Scaling sweep (the paper's future-work direction, §7): max
+//! throughput of Paxos vs. PigPaxos as the cluster grows from 5 to 101
+//! nodes within a single conflict domain.
+//!
+//! Expected: Paxos decays roughly as `1/N` (leader handles `2N` msgs
+//! per op); PigPaxos stays nearly flat because the leader talks to a
+//! constant number of relays — until follower-side group work slowly
+//! grows with group size.
+
+use paxi::harness::max_throughput;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+
+fn main() {
+    if csv_mode() {
+        println!("nodes,paxos,pigpaxos_r2,pigpaxos_r3");
+    } else {
+        println!("Scaling sweep: max throughput vs cluster size");
+        println!(
+            "{:>7} {:>14} {:>16} {:>16}",
+            "nodes", "Paxos(req/s)", "PigPaxos r=2", "PigPaxos r=3"
+        );
+    }
+    for &n in &[5usize, 9, 15, 25, 49, 75, 101] {
+        let spec = lan_spec(n);
+        let paxos = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            paxos_builder(PaxosConfig::lan()),
+            leader_target(),
+        );
+        let pig2 = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            pig_builder(PigConfig::lan(2)),
+            leader_target(),
+        );
+        let pig3 = max_throughput(
+            &spec,
+            MAX_TPUT_CLIENTS,
+            pig_builder(PigConfig::lan(3)),
+            leader_target(),
+        );
+        if csv_mode() {
+            println!("{n},{paxos:.0},{pig2:.0},{pig3:.0}");
+        } else {
+            println!("{n:>7} {paxos:>14.0} {pig2:>16.0} {pig3:>16.0}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Tables 1 and 2: analytical message load at the leader and followers
+//! for different relay-group counts (25-node and 9-node clusters).
+
+use analytical::{table1, table2, LoadRow};
+use pigpaxos_bench::csv_mode;
+
+fn print_table(title: &str, rows: &[LoadRow]) {
+    if csv_mode() {
+        for r in rows {
+            println!(
+                "{title},{},{},{:.2},{:.0}",
+                r.label(),
+                r.leader_msgs,
+                r.follower_msgs,
+                r.leader_overhead * 100.0
+            );
+        }
+        return;
+    }
+    println!("\n── {title} ──");
+    println!(
+        "{:>14} {:>18} {:>22} {:>16}",
+        "# relay groups", "msgs at leader", "msgs at follower", "leader overhead"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>18.0} {:>22.2} {:>15.0}%",
+            r.label(),
+            r.leader_msgs,
+            r.follower_msgs,
+            r.leader_overhead * 100.0
+        );
+    }
+}
+
+fn main() {
+    if csv_mode() {
+        println!("table,relay_groups,leader_msgs,follower_msgs,leader_overhead_pct");
+    }
+    print_table("Table 1: message load, 25-node cluster", &table1());
+    print_table("Table 2: message load, 9-node cluster", &table2());
+}

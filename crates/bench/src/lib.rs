@@ -1,0 +1,136 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//! - `--quick` (or env `PIG_QUICK=1`): much shorter simulated windows,
+//!   for CI smoke runs; numbers are noisier.
+//! - `--csv`: machine-readable output instead of the aligned table.
+
+use paxi::harness::{LoadPoint, RunSpec};
+use paxi::TargetPolicy;
+use simnet::{NodeId, SimDuration};
+
+/// Client-count ladder used by the latency/throughput figures.
+pub const CURVE_CLIENTS: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160];
+
+/// Client-count ladder used by max-throughput searches.
+pub const MAX_TPUT_CLIENTS: &[usize] = &[20, 40, 80, 160];
+
+/// Client ladder for WAN curves: at ~65 ms RTT a closed-loop client
+/// offers only ~15 req/s, so saturating the cluster needs far more
+/// clients than on a LAN.
+pub const WAN_CURVE_CLIENTS: &[usize] = &[20, 80, 160, 320, 640, 1280];
+
+/// True when the binary should run in quick (smoke) mode.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("PIG_QUICK").is_some()
+}
+
+/// True when CSV output was requested.
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Standard LAN spec for a figure run (shorter under `--quick`).
+pub fn lan_spec(n_replicas: usize) -> RunSpec {
+    let mut spec = RunSpec::lan(n_replicas, 0);
+    if quick_mode() {
+        spec.warmup = SimDuration::from_millis(300);
+        spec.measure = SimDuration::from_millis(700);
+    } else {
+        spec.warmup = SimDuration::from_secs(1);
+        spec.measure = SimDuration::from_secs(3);
+    }
+    spec
+}
+
+/// Standard WAN spec (Virginia/California/Oregon).
+pub fn wan_spec(n_replicas: usize) -> RunSpec {
+    let mut spec = RunSpec::wan(n_replicas, 0);
+    if quick_mode() {
+        spec.warmup = SimDuration::from_millis(500);
+        spec.measure = SimDuration::from_secs(1);
+    } else {
+        spec.warmup = SimDuration::from_secs(2);
+        spec.measure = SimDuration::from_secs(6);
+    }
+    spec
+}
+
+/// Fixed-leader target for Paxos/PigPaxos clients.
+pub fn leader_target() -> TargetPolicy {
+    TargetPolicy::Fixed(NodeId(0))
+}
+
+/// Random-replica target for EPaxos clients.
+pub fn random_target(n: usize) -> TargetPolicy {
+    TargetPolicy::Random((0..n).map(NodeId::from).collect())
+}
+
+/// Print one latency/throughput curve in the format the paper's figures
+/// plot (one row per offered-load point).
+pub fn print_curve(name: &str, points: &[LoadPoint]) {
+    if csv_mode() {
+        for p in points {
+            println!(
+                "{name},{},{:.1},{:.3},{:.3},{:.3}",
+                p.clients,
+                p.result.throughput,
+                p.result.mean_latency_ms,
+                p.result.p50_latency_ms,
+                p.result.p99_latency_ms
+            );
+        }
+        return;
+    }
+    println!("\n── {name} ──");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "clients", "tput(req/s)", "mean(ms)", "p50(ms)", "p99(ms)"
+    );
+    for p in points {
+        println!(
+            "{:>8} {:>12.0} {:>12.2} {:>12.2} {:>12.2}",
+            p.clients,
+            p.result.throughput,
+            p.result.mean_latency_ms,
+            p.result.p50_latency_ms,
+            p.result.p99_latency_ms
+        );
+    }
+}
+
+/// CSV header matching [`print_curve`]'s CSV rows.
+pub fn print_csv_header() {
+    if csv_mode() {
+        println!("series,clients,throughput,mean_ms,p50_ms,p99_ms");
+    }
+}
+
+/// Print a `key = value` style scalar result row.
+pub fn print_scalar(name: &str, value: f64, unit: &str) {
+    if csv_mode() {
+        println!("{name},{value}");
+    } else {
+        println!("{name:<42} {value:>10.1} {unit}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_consistent() {
+        let s = lan_spec(25);
+        assert_eq!(s.n_replicas, 25);
+        assert_eq!(s.topology.num_nodes(), 25);
+        let w = wan_spec(15);
+        assert_eq!(w.topology.num_regions(), 3);
+    }
+
+    #[test]
+    fn targets() {
+        assert!(matches!(leader_target(), TargetPolicy::Fixed(NodeId(0))));
+        assert!(matches!(random_target(5), TargetPolicy::Random(v) if v.len() == 5));
+    }
+}

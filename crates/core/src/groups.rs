@@ -1,0 +1,273 @@
+//! Relay-group construction and per-round relay selection.
+//!
+//! PigPaxos statically partitions the followers into relay groups (§3.2).
+//! Each round the leader picks one *random* member of each group as that
+//! round's relay — the rotation that prevents relays from becoming
+//! hotspots (§3.2, §6.1). Groups may be built by contiguous chunking, by
+//! an explicit assignment (e.g. one group per WAN region, §6.4), and may
+//! be reshuffled on the fly (§4.1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::NodeId;
+
+/// How to partition followers into relay groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupSpec {
+    /// Split the followers into `r` contiguous, near-equal chunks.
+    Chunks(usize),
+    /// Explicit groups (node ids must be followers; groups must be
+    /// disjoint and cover all followers).
+    Explicit(Vec<Vec<NodeId>>),
+}
+
+/// The materialized relay groups for one leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayGroups {
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl RelayGroups {
+    /// Build groups over `followers` (the cluster minus the leader).
+    ///
+    /// Panics on invalid specs: zero groups, more groups than followers,
+    /// or explicit groups that do not exactly partition the followers.
+    pub fn build(followers: &[NodeId], spec: &GroupSpec) -> Self {
+        match spec {
+            GroupSpec::Chunks(r) => {
+                assert!(*r >= 1, "need at least one relay group");
+                assert!(
+                    *r <= followers.len(),
+                    "more groups ({r}) than followers ({})",
+                    followers.len()
+                );
+                let r = *r;
+                let n = followers.len();
+                let base = n / r;
+                let extra = n % r;
+                let mut groups = Vec::with_capacity(r);
+                let mut idx = 0;
+                for g in 0..r {
+                    let size = base + usize::from(g < extra);
+                    groups.push(followers[idx..idx + size].to_vec());
+                    idx += size;
+                }
+                RelayGroups { groups }
+            }
+            GroupSpec::Explicit(groups) => {
+                let mut seen: Vec<NodeId> = groups.iter().flatten().copied().collect();
+                seen.sort();
+                let mut expect = followers.to_vec();
+                expect.sort();
+                assert_eq!(
+                    seen, expect,
+                    "explicit groups must exactly partition the followers"
+                );
+                assert!(groups.iter().all(|g| !g.is_empty()), "empty relay group");
+                RelayGroups { groups: groups.clone() }
+            }
+        }
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.groups
+    }
+
+    /// Number of relay groups `r`.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Pick this round's relays: one random member per group. Returns
+    /// `(relay, rest-of-group)` pairs.
+    pub fn pick_relays(&self, rng: &mut StdRng) -> Vec<(NodeId, Vec<NodeId>)> {
+        self.groups
+            .iter()
+            .map(|g| {
+                let i = rng.gen_range(0..g.len());
+                let relay = g[i];
+                let peers =
+                    g.iter().copied().filter(|&n| n != relay).collect::<Vec<_>>();
+                (relay, peers)
+            })
+            .collect()
+    }
+
+    /// Deterministic relay choice: always the first member of each
+    /// group. Exists only for the rotation ablation — real PigPaxos
+    /// rotates via [`RelayGroups::pick_relays`].
+    pub fn pick_fixed_relays(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        self.groups
+            .iter()
+            .map(|g| {
+                let relay = g[0];
+                (relay, g[1..].to_vec())
+            })
+            .collect()
+    }
+
+    /// Dynamic relay groups (§4.1): reshuffle the membership while
+    /// keeping the group count and sizes.
+    pub fn reshuffle(&mut self, rng: &mut StdRng) {
+        let sizes: Vec<usize> = self.groups.iter().map(|g| g.len()).collect();
+        let mut all: Vec<NodeId> = self.groups.iter().flatten().copied().collect();
+        all.shuffle(rng);
+        let mut idx = 0;
+        for (g, size) in self.groups.iter_mut().zip(sizes) {
+            g.clear();
+            g.extend_from_slice(&all[idx..idx + size]);
+            idx += size;
+        }
+    }
+
+    /// Total follower count covered by the groups.
+    pub fn num_followers(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn followers(n: u32) -> Vec<NodeId> {
+        (1..=n).map(NodeId).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn chunks_partition_evenly() {
+        let g = RelayGroups::build(&followers(24), &GroupSpec::Chunks(3));
+        assert_eq!(g.num_groups(), 3);
+        assert!(g.groups().iter().all(|grp| grp.len() == 8));
+        assert_eq!(g.num_followers(), 24);
+    }
+
+    #[test]
+    fn chunks_handle_remainders() {
+        let g = RelayGroups::build(&followers(10), &GroupSpec::Chunks(3));
+        let sizes: Vec<usize> = g.groups().iter().map(|x| x.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn chunks_cover_all_followers_disjointly() {
+        let f = followers(13);
+        let g = RelayGroups::build(&f, &GroupSpec::Chunks(4));
+        let mut all: Vec<NodeId> = g.groups().iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups")]
+    fn too_many_groups_panics() {
+        RelayGroups::build(&followers(2), &GroupSpec::Chunks(3));
+    }
+
+    #[test]
+    fn explicit_groups_validated() {
+        let f = followers(4);
+        let ok = GroupSpec::Explicit(vec![
+            vec![NodeId(1), NodeId(3)],
+            vec![NodeId(2), NodeId(4)],
+        ]);
+        let g = RelayGroups::build(&f, &ok);
+        assert_eq!(g.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly partition")]
+    fn explicit_groups_must_cover() {
+        let f = followers(4);
+        RelayGroups::build(&f, &GroupSpec::Explicit(vec![vec![NodeId(1)]]));
+    }
+
+    #[test]
+    fn pick_relays_returns_one_per_group() {
+        let g = RelayGroups::build(&followers(24), &GroupSpec::Chunks(3));
+        let mut r = rng();
+        let picks = g.pick_relays(&mut r);
+        assert_eq!(picks.len(), 3);
+        for (relay, peers) in &picks {
+            assert_eq!(peers.len(), 7);
+            assert!(!peers.contains(relay));
+        }
+    }
+
+    #[test]
+    fn relays_rotate_across_rounds() {
+        let g = RelayGroups::build(&followers(24), &GroupSpec::Chunks(2));
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for (relay, _) in g.pick_relays(&mut r) {
+                seen.insert(relay);
+            }
+        }
+        // With 100 rounds over groups of 12, nearly every follower should
+        // have served as a relay at least once.
+        assert!(seen.len() >= 20, "rotation too narrow: {} distinct relays", seen.len());
+    }
+
+    #[test]
+    fn relay_selection_roughly_uniform() {
+        let g = RelayGroups::build(&followers(12), &GroupSpec::Chunks(1));
+        let mut r = rng();
+        let mut counts = std::collections::HashMap::new();
+        let rounds = 6000;
+        for _ in 0..rounds {
+            let (relay, _) = g.pick_relays(&mut r)[0];
+            *counts.entry(relay).or_insert(0u32) += 1;
+        }
+        for (&node, &c) in &counts {
+            let expected = rounds as f64 / 12.0;
+            assert!(
+                (c as f64) > expected * 0.7 && (c as f64) < expected * 1.3,
+                "{node} picked {c} times, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_relays_are_deterministic_first_members() {
+        let g = RelayGroups::build(&followers(9), &GroupSpec::Chunks(3));
+        let a = g.pick_fixed_relays();
+        let b = g.pick_fixed_relays();
+        assert_eq!(a, b, "fixed picks never vary");
+        for (i, (relay, peers)) in a.iter().enumerate() {
+            assert_eq!(*relay, g.groups()[i][0]);
+            assert_eq!(peers.len(), g.groups()[i].len() - 1);
+            assert!(!peers.contains(relay));
+        }
+    }
+
+    #[test]
+    fn reshuffle_keeps_sizes_and_members() {
+        let f = followers(10);
+        let mut g = RelayGroups::build(&f, &GroupSpec::Chunks(3));
+        let before = g.clone();
+        let mut r = rng();
+        // Reshuffle until membership actually changes (guaranteed quickly).
+        let mut changed = false;
+        for _ in 0..10 {
+            g.reshuffle(&mut r);
+            if g != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "reshuffle should change membership");
+        let sizes: Vec<usize> = g.groups().iter().map(|x| x.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut all: Vec<NodeId> = g.groups().iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, f);
+    }
+}

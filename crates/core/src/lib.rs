@@ -1,0 +1,61 @@
+//! # pigpaxos — relay/aggregate communication for single-leader consensus
+//!
+//! Rust reproduction of *PigPaxos: Devouring the Communication
+//! Bottlenecks in Distributed Consensus* (Charapko, Ailijiang, Demirbas;
+//! SIGMOD 2021).
+//!
+//! PigPaxos is Multi-Paxos with the leader↔follower communication
+//! replaced by a dynamically rotating relay tree:
+//!
+//! 1. Followers are statically partitioned into **relay groups**
+//!    ([`RelayGroups`], built from a [`GroupSpec`]).
+//! 2. Each round the leader sends its phase message to **one random
+//!    node per group**, which relays it to the rest of the group.
+//! 3. Relays **aggregate** their group's responses into a single
+//!    combined message back to the leader ([`relay::RelayTable`]).
+//!
+//! Decision-making is untouched — this crate reuses the `paxos` crate's
+//! [`paxos::Leader`] and [`paxos::Acceptor`] state machines verbatim, so
+//! Paxos's safety argument carries over, as the paper argues in §3.3.
+//!
+//! Optimizations from the paper also implemented here:
+//! - relay timeouts and leader re-dissemination through fresh relays
+//!   (§3.4 fault tolerance),
+//! - partial response collection thresholds (§4.2),
+//! - dynamic relay-group reshuffling (§4.1),
+//! - multi-level relay trees (§6.3),
+//! - region-aligned groups for WAN deployments (§6.4) via
+//!   [`GroupSpec::Explicit`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paxi::harness::{run, RunSpec};
+//! use paxi::TargetPolicy;
+//! use pigpaxos::{pig_builder, PigConfig};
+//! use simnet::{NodeId, SimDuration};
+//!
+//! let spec = RunSpec {
+//!     warmup: SimDuration::from_millis(200),
+//!     measure: SimDuration::from_millis(300),
+//!     ..RunSpec::lan(9, 4) // 9 replicas, 4 closed-loop clients
+//! };
+//! let result = run(&spec, pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+//! assert!(result.violations.is_empty());
+//! assert!(result.throughput > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod groups;
+pub mod messages;
+pub mod pqr;
+pub mod relay;
+pub mod replica;
+
+pub use config::PigConfig;
+pub use groups::{GroupSpec, RelayGroups};
+pub use messages::{PigMsg, RelayPlan};
+pub use pqr::{PendingReads, ReadOutcome};
+pub use replica::{build_plan, pig_builder, PigReplica};

@@ -1,0 +1,138 @@
+//! PigPaxos wire messages: Paxos messages wrapped in relay envelopes.
+//!
+//! `Direct(inner)` carries an unmodified Paxos message point-to-point
+//! (relay → follower, follower → relay, relay → leader aggregate).
+//! `ToRelay { plan, inner }` instructs a relay node: process `inner`
+//! yourself, disseminate it along `plan`, aggregate the responses, and
+//! send the combined votes to `reply_to`. Because `P1b`/`P2b` already
+//! carry vote vectors, "aggregation" is just concatenation and the
+//! leader code is byte-for-byte the Multi-Paxos leader.
+
+use paxi::{ProtoMessage, HEADER_BYTES};
+use paxos::PaxosMsg;
+use simnet::NodeId;
+
+/// A (possibly multi-level) dissemination plan for one relay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayPlan {
+    /// Followers this relay contacts directly.
+    pub peers: Vec<NodeId>,
+    /// Sub-relays, each with its own plan (multi-level trees, §6.3).
+    pub sub: Vec<(NodeId, RelayPlan)>,
+}
+
+impl RelayPlan {
+    /// A single-level plan: contact these peers directly.
+    pub fn flat(peers: Vec<NodeId>) -> Self {
+        RelayPlan { peers, sub: Vec::new() }
+    }
+
+    /// Number of nodes this plan expects responses from (direct peers +
+    /// sub-relays; sub-relays answer for their entire subtree).
+    pub fn expected_responders(&self) -> usize {
+        self.peers.len() + self.sub.len()
+    }
+
+    /// Total followers covered by the plan (all levels).
+    pub fn total_nodes(&self) -> usize {
+        self.peers.len()
+            + self.sub.iter().map(|(_, p)| 1 + p.total_nodes()).sum::<usize>()
+    }
+
+    /// Serialized size contribution.
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.peers.len() * 4
+            + self.sub.iter().map(|(_, p)| 4 + p.wire_bytes()).sum::<usize>()
+    }
+}
+
+/// PigPaxos protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PigMsg {
+    /// Leader → relay (or relay → sub-relay): disseminate and aggregate.
+    ToRelay {
+        /// Where the aggregate goes (the leader, or the parent relay).
+        reply_to: NodeId,
+        /// Who to contact and who aggregates below us.
+        plan: RelayPlan,
+        /// The wrapped Paxos message.
+        inner: PaxosMsg,
+        /// Minimum responses (including the relay's own vote) before the
+        /// first aggregate may be sent (§4.2 partial response collection).
+        /// `0` means "wait for everyone or the timeout".
+        threshold: usize,
+    },
+    /// Point-to-point Paxos message (unchanged semantics).
+    Direct(PaxosMsg),
+}
+
+impl ProtoMessage for PigMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            PigMsg::ToRelay { plan, inner, .. } => {
+                HEADER_BYTES + 8 + plan.wire_bytes() + inner.wire_size()
+            }
+            PigMsg::Direct(inner) => inner.wire_size(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            PigMsg::ToRelay { .. } => "to_relay",
+            PigMsg::Direct(inner) => inner.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::Ballot;
+
+    fn p1a() -> PaxosMsg {
+        PaxosMsg::P1a { ballot: Ballot::new(1, NodeId(0)) }
+    }
+
+    #[test]
+    fn flat_plan_counts() {
+        let p = RelayPlan::flat(vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(p.expected_responders(), 3);
+        assert_eq!(p.total_nodes(), 3);
+    }
+
+    #[test]
+    fn nested_plan_counts() {
+        // relay -> {2,3 direct} + sub-relay 4 -> {5,6}
+        let p = RelayPlan {
+            peers: vec![NodeId(2), NodeId(3)],
+            sub: vec![(NodeId(4), RelayPlan::flat(vec![NodeId(5), NodeId(6)]))],
+        };
+        assert_eq!(p.expected_responders(), 3, "2 direct + 1 sub-relay");
+        assert_eq!(p.total_nodes(), 5, "all followers under the plan");
+    }
+
+    #[test]
+    fn wire_size_grows_with_plan() {
+        let small = PigMsg::ToRelay {
+            reply_to: NodeId(0),
+            plan: RelayPlan::flat(vec![NodeId(2)]),
+            inner: p1a(),
+            threshold: 0,
+        };
+        let big = PigMsg::ToRelay {
+            reply_to: NodeId(0),
+            plan: RelayPlan::flat((2..12).map(NodeId).collect()),
+            inner: p1a(),
+            threshold: 0,
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), 9 * 4);
+    }
+
+    #[test]
+    fn direct_is_transparent() {
+        let d = PigMsg::Direct(p1a());
+        assert_eq!(d.wire_size(), p1a().wire_size());
+        assert_eq!(d.label(), "p1a");
+    }
+}

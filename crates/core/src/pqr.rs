@@ -1,0 +1,259 @@
+//! Paxos Quorum Reads through relay groups (paper §4.3).
+//!
+//! A quorum read avoids the leader entirely: the proxy (any replica the
+//! client contacted) probes a majority of replicas for their latest
+//! executed write to the key. If any probed replica holds an
+//! accepted-but-uncommitted write to the key, the read must *rinse* —
+//! retry until the in-flight write resolves — otherwise returning the
+//! highest-slot value is linearizable: every committed write is executed
+//! by at least... visible to at least one member of any majority, and
+//! the pending-write check rules out in-flight writes that could commit
+//! "in the past" of the read.
+//!
+//! The paper's §4.3 observation is that the probe fan-out/fan-in has the
+//! same shape as phase-2, so it can ride the same relay trees: the
+//! proxy disseminates `QrRead` through one random relay per group and
+//! receives aggregated `QrVote`s back. This module tracks the proxy-side
+//! state; the relay plumbing reuses [`crate::relay::RelayTable`].
+
+use paxi::{Key, RequestId, Value};
+use paxos::QrVoteEntry;
+use simnet::{NodeId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of feeding votes to a pending read.
+#[derive(Debug, PartialEq)]
+pub enum ReadOutcome {
+    /// Still waiting for a majority of probe answers.
+    Pending,
+    /// Majority reached and no pending writes: this value is the
+    /// linearizable read result.
+    Done(Option<Value>),
+    /// Majority reached but some replica has an in-flight write to the
+    /// key: retry the probe after a short delay.
+    Rinse,
+}
+
+#[derive(Debug)]
+struct PendingRead {
+    client: NodeId,
+    request: RequestId,
+    key: Key,
+    need: usize,
+    voters: HashSet<NodeId>,
+    best: Option<QrVoteEntry>,
+    pending_write_seen: bool,
+    attempts: u32,
+    started: SimTime,
+}
+
+/// Proxy-side bookkeeping for in-flight quorum reads.
+#[derive(Debug, Default)]
+pub struct PendingReads {
+    next_id: u64,
+    reads: HashMap<u64, PendingRead>,
+}
+
+impl PendingReads {
+    /// Empty table.
+    pub fn new() -> Self {
+        PendingReads::default()
+    }
+
+    /// Number of reads in flight.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// True when no read is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Open a read for `client` (answering `request`) on `key`, needing
+    /// `need` distinct probe answers (a majority of replicas). Returns
+    /// the read id to embed in the `QrRead`.
+    pub fn start(
+        &mut self,
+        client: NodeId,
+        request: RequestId,
+        key: Key,
+        need: usize,
+        now: SimTime,
+    ) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.reads.insert(
+            id,
+            PendingRead {
+                client,
+                request,
+                key,
+                need,
+                voters: HashSet::new(),
+                best: None,
+                pending_write_seen: false,
+                attempts: 1,
+                started: now,
+            },
+        );
+        id
+    }
+
+    /// Feed probe answers (own answer or a relay aggregate).
+    pub fn add_votes(&mut self, id: u64, votes: Vec<QrVoteEntry>) -> ReadOutcome {
+        let Some(read) = self.reads.get_mut(&id) else {
+            return ReadOutcome::Pending; // completed or unknown: ignore
+        };
+        for v in votes {
+            if !read.voters.insert(v.node) {
+                continue; // duplicate (e.g. partial + completion flush)
+            }
+            if v.pending_write {
+                read.pending_write_seen = true;
+            }
+            match &read.best {
+                Some(b) if b.value_slot >= v.value_slot => {}
+                _ => read.best = Some(v),
+            }
+        }
+        if read.voters.len() < read.need {
+            return ReadOutcome::Pending;
+        }
+        if read.pending_write_seen {
+            ReadOutcome::Rinse
+        } else {
+            let value = read.best.as_ref().and_then(|b| b.value.clone());
+            self.reads.remove(&id);
+            ReadOutcome::Done(value)
+        }
+    }
+
+    /// Restart a rinsing read: clears collected votes, bumps the attempt
+    /// counter, and returns `(client, key, attempts)` so the replica can
+    /// re-disseminate (or give up and redirect to the leader).
+    pub fn restart(&mut self, id: u64) -> Option<(NodeId, Key, u32)> {
+        let read = self.reads.get_mut(&id)?;
+        read.voters.clear();
+        read.best = None;
+        read.pending_write_seen = false;
+        read.attempts += 1;
+        Some((read.client, read.key, read.attempts))
+    }
+
+    /// Abandon a read (too many rinses); returns the waiting client and
+    /// its request id.
+    pub fn abort(&mut self, id: u64) -> Option<(NodeId, RequestId)> {
+        self.reads.remove(&id).map(|r| (r.client, r.request))
+    }
+
+    /// The client waiting on a read and the request being answered.
+    pub fn client_of(&self, id: u64) -> Option<(NodeId, RequestId)> {
+        self.reads.get(&id).map(|r| (r.client, r.request))
+    }
+
+    /// Age of a read (diagnostics).
+    pub fn age(&self, id: u64, now: SimTime) -> Option<simnet::SimDuration> {
+        self.reads.get(&id).map(|r| now.saturating_sub(r.started))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid() -> RequestId {
+        RequestId { client: NodeId(100), seq: 1 }
+    }
+
+    fn entry(node: u32, slot: u64, pending: bool) -> QrVoteEntry {
+        QrVoteEntry {
+            node: NodeId(node),
+            value_slot: slot,
+            value: if slot == 0 { None } else { Some(Value::zeros(slot as usize)) },
+            pending_write: pending,
+        }
+    }
+
+    #[test]
+    fn completes_with_majority_and_highest_slot_wins() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 3, SimTime::ZERO);
+        assert_eq!(p.add_votes(id, vec![entry(1, 5, false)]), ReadOutcome::Pending);
+        assert_eq!(p.add_votes(id, vec![entry(2, 9, false)]), ReadOutcome::Pending);
+        match p.add_votes(id, vec![entry(3, 2, false)]) {
+            ReadOutcome::Done(Some(v)) => assert_eq!(v.len(), 9, "slot-9 value wins"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn aggregated_votes_count_at_once() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 3, SimTime::ZERO);
+        let agg = vec![entry(1, 1, false), entry(2, 3, false), entry(3, 2, false)];
+        match p.add_votes(id, agg) {
+            ReadOutcome::Done(Some(v)) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_written_key_reads_none() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 2, SimTime::ZERO);
+        p.add_votes(id, vec![entry(1, 0, false)]);
+        assert_eq!(
+            p.add_votes(id, vec![entry(2, 0, false)]),
+            ReadOutcome::Done(None)
+        );
+    }
+
+    #[test]
+    fn pending_write_forces_rinse() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 2, SimTime::ZERO);
+        p.add_votes(id, vec![entry(1, 5, true)]);
+        assert_eq!(p.add_votes(id, vec![entry(2, 5, false)]), ReadOutcome::Rinse);
+        // Restart clears state and bumps attempts.
+        let (client, key, attempts) = p.restart(id).expect("still tracked");
+        assert_eq!(client, NodeId(100));
+        assert_eq!(key, 7);
+        assert_eq!(attempts, 2);
+        // Second round without pending writes completes.
+        p.add_votes(id, vec![entry(1, 6, false)]);
+        match p.add_votes(id, vec![entry(2, 5, false)]) {
+            ReadOutcome::Done(Some(v)) => assert_eq!(v.len(), 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_voters_do_not_double_count() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 2, SimTime::ZERO);
+        p.add_votes(id, vec![entry(1, 5, false)]);
+        assert_eq!(
+            p.add_votes(id, vec![entry(1, 5, false)]),
+            ReadOutcome::Pending,
+            "same node twice is one vote"
+        );
+    }
+
+    #[test]
+    fn abort_returns_client() {
+        let mut p = PendingReads::new();
+        let id = p.start(NodeId(100), rid(), 7, 2, SimTime::ZERO);
+        assert_eq!(p.client_of(id), Some((NodeId(100), rid())));
+        assert_eq!(p.abort(id), Some((NodeId(100), rid())));
+        assert!(p.is_empty());
+        assert_eq!(p.abort(id), None);
+    }
+
+    #[test]
+    fn votes_for_unknown_read_ignored() {
+        let mut p = PendingReads::new();
+        assert_eq!(p.add_votes(99, vec![entry(1, 1, false)]), ReadOutcome::Pending);
+    }
+}

@@ -1,0 +1,812 @@
+//! The PigPaxos replica.
+//!
+//! Decision logic (ballots, quorums, commits) is byte-for-byte the
+//! Multi-Paxos [`Leader`]/[`Acceptor`] pair from the `paxos` crate; this
+//! module replaces only the *communication flow* (paper §3.2):
+//!
+//! - The leader fans each phase message out to one random relay per
+//!   group instead of to all `N−1` followers.
+//! - Relays forward to their group, aggregate the group's votes, and
+//!   send one combined response to the leader.
+//! - Relays time out on unresponsive peers (§3.4); the leader's normal
+//!   retry re-disseminates through a *fresh* random relay set, which is
+//!   how PigPaxos survives relay crashes (§3.4, Fig. 5b).
+
+use crate::config::PigConfig;
+use crate::groups::RelayGroups;
+use crate::messages::{PigMsg, RelayPlan};
+use crate::pqr::{PendingReads, ReadOutcome};
+use crate::relay::{AggKey, Flush, RelayTable, VoteSet};
+use paxi::{
+    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
+    ReplicaCtx,
+};
+use paxos::{Acceptor, CommitAdvance, Leader, PaxosMsg, Phase1Outcome};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
+use std::collections::{HashMap, HashSet};
+
+const T_ELECTION: u64 = 1;
+const T_HEARTBEAT: u64 = 2;
+const T_RETRY_SCAN: u64 = 3;
+const T_RELAY_SCAN: u64 = 4;
+const T_RESHUFFLE: u64 = 5;
+const T_LEARN: u64 = 6;
+const T_PQR_RINSE: u64 = 7;
+
+/// Timer kinds live in the low byte; the payload (e.g. a read id) in
+/// the rest.
+const TIMER_TAG_MASK: u64 = 0xff;
+
+/// Largest number of slots requested in one batched `LearnReq`.
+const LEARN_BATCH_MAX: usize = 4096;
+
+/// A PigPaxos replica (leader-capable, relay-capable).
+pub struct PigReplica {
+    me: NodeId,
+    cluster: ClusterConfig,
+    cfg: PigConfig,
+    acceptor: Acceptor,
+    leader: Leader,
+    groups: RelayGroups,
+    relays: RelayTable,
+    known_leader: Option<NodeId>,
+    last_leader_contact: SimTime,
+    waiting: HashMap<u64, NodeId>,
+    election_timeout: SimDuration,
+    repair_up_to: u64,
+    repair_armed: bool,
+    reads: PendingReads,
+}
+
+impl PigReplica {
+    /// Create the replica for `me`.
+    pub fn new(me: NodeId, cluster: ClusterConfig, cfg: PigConfig) -> Self {
+        let n = cluster.n();
+        let followers = cluster.peers(me);
+        // Explicit group specs describe the *configured leader's* view of
+        // the followers. Every other node adapts the spec by taking the
+        // leader's place in its own group — so if this node ever campaigns,
+        // its groups keep the intended (e.g. per-region) structure.
+        let spec = match &cfg.groups {
+            crate::groups::GroupSpec::Explicit(gs) if me != cluster.leader => {
+                crate::groups::GroupSpec::Explicit(
+                    gs.iter()
+                        .map(|g| {
+                            g.iter()
+                                .map(|&node| if node == me { cluster.leader } else { node })
+                                .collect()
+                        })
+                        .collect(),
+                )
+            }
+            other => other.clone(),
+        };
+        let groups = RelayGroups::build(&followers, &spec);
+        PigReplica {
+            me,
+            acceptor: Acceptor::new(me, cluster.safety.clone()),
+            leader: Leader::new(me, n),
+            groups,
+            relays: RelayTable::new(),
+            known_leader: Some(cluster.leader),
+            last_leader_contact: SimTime::ZERO,
+            waiting: HashMap::new(),
+            election_timeout: SimDuration::ZERO,
+            repair_up_to: 0,
+            repair_armed: false,
+            reads: PendingReads::new(),
+            cluster,
+            cfg,
+        }
+    }
+
+    /// The relay groups this node would use as leader.
+    pub fn groups(&self) -> &RelayGroups {
+        &self.groups
+    }
+
+    /// True if this replica currently acts as the active leader.
+    pub fn is_leader(&self) -> bool {
+        self.leader.is_active()
+    }
+
+    /// Number of aggregations currently pending at this node's relay
+    /// table (diagnostics).
+    pub fn pending_aggregations(&self) -> usize {
+        self.relays.len()
+    }
+
+    // ---- dissemination (leader side) ------------------------------------
+
+    /// Fan `inner` out through one random relay per group.
+    fn disseminate(&mut self, inner: PaxosMsg, ctx: &mut Ctx<PigMsg>) {
+        let threshold = self.cfg.partial_threshold.unwrap_or(0);
+        let levels = self.cfg.levels;
+        let picks = if self.cfg.rotate_relays {
+            self.groups.pick_relays(ctx.rng())
+        } else {
+            self.groups.pick_fixed_relays()
+        };
+        for (relay, peers) in picks {
+            let plan = build_plan(peers, levels, ctx.rng());
+            ctx.send_proto(
+                relay,
+                PigMsg::ToRelay { reply_to: self.me, plan, inner: inner.clone(), threshold },
+            );
+        }
+    }
+
+    fn begin_campaign(&mut self, ctx: &mut Ctx<PigMsg>) {
+        let ballot = self.leader.start_campaign(self.acceptor.promised());
+        let own = self.acceptor.on_p1a(ballot);
+        let watermark = self.acceptor.commit_watermark();
+        let outcome = self.leader.on_p1b_votes(vec![own], watermark);
+        self.handle_phase1_outcome(outcome, ctx);
+        self.disseminate(PaxosMsg::P1a { ballot }, ctx);
+    }
+
+    fn handle_phase1_outcome(&mut self, outcome: Phase1Outcome, ctx: &mut Ctx<PigMsg>) {
+        match outcome {
+            Phase1Outcome::Pending => {}
+            Phase1Outcome::Won { reproposals } => {
+                self.known_leader = Some(self.me);
+                for (slot, cmd) in reproposals {
+                    self.leader.register(slot, cmd.clone(), None, ctx.now());
+                    self.send_accepts(slot, cmd, ctx);
+                }
+                while let Some((client, cmd)) = self.leader.pending.pop_front() {
+                    self.propose_command(client, cmd, ctx);
+                }
+            }
+            Phase1Outcome::Preempted { higher } => {
+                self.abdicate(higher.node(), ctx);
+            }
+        }
+    }
+
+    fn abdicate(&mut self, to: NodeId, ctx: &mut Ctx<PigMsg>) {
+        self.leader.demote();
+        self.known_leader = Some(to);
+        while let Some((client, cmd)) = self.leader.pending.pop_front() {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+    }
+
+    fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PigMsg>) {
+        let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
+        self.waiting.insert(slot, client);
+        self.send_accepts(slot, cmd, ctx);
+    }
+
+    fn send_accepts(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PigMsg>) {
+        let ballot = self.leader.ballot();
+        let commit_up_to = self.acceptor.commit_watermark();
+        let (own, adv) = self.acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
+        self.finish_advance(adv, ctx);
+        if let Ok(Some((slot, cmd, _))) = self.leader.on_p2b_votes(slot, vec![own]) {
+            self.commit_and_execute(slot, cmd, ctx);
+        }
+        self.disseminate(PaxosMsg::P2a { ballot, slot, command: cmd, commit_up_to }, ctx);
+    }
+
+    fn commit_and_execute(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PigMsg>) {
+        self.acceptor.commit(slot, self.leader.ballot(), cmd);
+        let executed = self.acceptor.execute_ready();
+        self.reply_executed(executed, ctx);
+    }
+
+    fn reply_executed(
+        &mut self,
+        executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
+        ctx: &mut Ctx<PigMsg>,
+    ) {
+        if !executed.is_empty() {
+            ctx.charge(self.cfg.paxos.exec_cost * executed.len() as u64);
+        }
+        for (slot, id, value) in executed {
+            if let Some(client) = self.waiting.remove(&slot) {
+                ctx.reply(client, ClientReply::ok(id, value));
+            }
+        }
+    }
+
+    fn finish_advance(&mut self, adv: CommitAdvance, ctx: &mut Ctx<PigMsg>) {
+        if let Some(up_to) = adv.learn_needed {
+            self.repair_up_to = self.repair_up_to.max(up_to);
+            if !self.repair_armed {
+                self.repair_armed = true;
+                ctx.set_timer(self.cfg.paxos.learn_delay, T_LEARN);
+            }
+        }
+        self.reply_executed(adv.executed, ctx);
+    }
+
+    /// Fire the batched gap repair: ask the leader for exactly the slots
+    /// still missing. Relay-based dissemination loses a slot for a whole
+    /// group whenever the chosen relay is crashed, so unlike direct
+    /// Paxos this path is exercised in every faulty run — batching keeps
+    /// it off the leader's hot path (paper Fig. 13's ≈3% dip).
+    fn send_learn_request(&mut self, ctx: &mut Ctx<PigMsg>) {
+        self.repair_armed = false;
+        let Some(leader) = self.known_leader else { return };
+        if leader == self.me {
+            return;
+        }
+        let missing = self.acceptor.missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
+        if !missing.is_empty() {
+            ctx.send_proto(leader, PigMsg::Direct(PaxosMsg::LearnReq { slots: missing }));
+        }
+    }
+
+    fn note_leader_contact(&mut self, leader: NodeId, now: SimTime) {
+        self.known_leader = Some(leader);
+        self.last_leader_contact = now;
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut Ctx<PigMsg>) {
+        let min = self.cfg.paxos.election_timeout_min.as_nanos();
+        let max = self.cfg.paxos.election_timeout_max.as_nanos();
+        let span = SimDuration::from_nanos(ctx.rng().gen_range(min..=max));
+        self.election_timeout = span;
+        ctx.set_timer(span, T_ELECTION);
+    }
+
+    // ---- quorum reads (§4.3) ---------------------------------------------
+
+    fn start_quorum_read(
+        &mut self,
+        client: NodeId,
+        request: paxi::RequestId,
+        key: paxi::Key,
+        ctx: &mut Ctx<PigMsg>,
+    ) {
+        let need = self.cluster.majority();
+        let id = self.reads.start(client, request, key, need, ctx.now());
+        self.probe_quorum_read(id, key, ctx);
+    }
+
+    /// Send (or re-send) the read probe: own answer first, then the
+    /// relay-tree fan-out.
+    fn probe_quorum_read(&mut self, id: u64, key: paxi::Key, ctx: &mut Ctx<PigMsg>) {
+        let own = self.acceptor.read_state(key);
+        let still_collecting = self.feed_read_votes(id, vec![own], ctx);
+        if still_collecting {
+            self.disseminate(PaxosMsg::QrRead { reader: self.me, id, key }, ctx);
+        }
+    }
+
+    /// Feed probe answers into a pending read and act on the outcome.
+    /// Returns true while the read still awaits more votes.
+    fn feed_read_votes(
+        &mut self,
+        id: u64,
+        votes: Vec<paxos::QrVoteEntry>,
+        ctx: &mut Ctx<PigMsg>,
+    ) -> bool {
+        let Some((client, request)) = self.reads.client_of(id) else {
+            return false; // already completed
+        };
+        match self.reads.add_votes(id, votes) {
+            ReadOutcome::Pending => true,
+            ReadOutcome::Done(value) => {
+                ctx.reply(client, ClientReply::ok(request, value));
+                false
+            }
+            ReadOutcome::Rinse => {
+                ctx.set_timer(self.cfg.pqr_rinse_delay, T_PQR_RINSE | (id << 8));
+                false
+            }
+        }
+    }
+
+    // ---- relay side ------------------------------------------------------
+
+    fn handle_to_relay(
+        &mut self,
+        reply_to: NodeId,
+        plan: RelayPlan,
+        inner: PaxosMsg,
+        threshold: usize,
+        ctx: &mut Ctx<PigMsg>,
+    ) {
+        // 1. Forward down the tree.
+        for &p in &plan.peers {
+            ctx.send_proto(p, PigMsg::Direct(inner.clone()));
+        }
+        for (sub, subplan) in &plan.sub {
+            ctx.send_proto(
+                *sub,
+                PigMsg::ToRelay {
+                    reply_to: self.me,
+                    plan: subplan.clone(),
+                    inner: inner.clone(),
+                    // Sub-relays answer for whole subtrees; thresholds are
+                    // enforced at the top-level relay only.
+                    threshold: 0,
+                },
+            );
+        }
+        let expect: HashSet<NodeId> = plan
+            .peers
+            .iter()
+            .copied()
+            .chain(plan.sub.iter().map(|(s, _)| *s))
+            .collect();
+        let deadline = ctx.now() + self.cfg.relay_timeout;
+
+        // 2. Process locally and open the aggregation.
+        match inner {
+            PaxosMsg::P1a { ballot } => {
+                let own = self.acceptor.on_p1a(ballot);
+                if own.ok {
+                    self.note_leader_contact(ballot.node(), ctx.now());
+                    if (self.leader.is_active() || self.leader.is_campaigning())
+                        && ballot > self.leader.ballot()
+                    {
+                        self.abdicate(ballot.node(), ctx);
+                    }
+                }
+                let flush = self.relays.open(
+                    AggKey::P1(ballot),
+                    reply_to,
+                    expect,
+                    VoteSet::P1(vec![own]),
+                    threshold,
+                    deadline,
+                );
+                if let Some(f) = flush {
+                    self.send_flush(f, ctx);
+                }
+            }
+            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+                let (own, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
+                if own.ok {
+                    self.note_leader_contact(ballot.node(), ctx.now());
+                    if self.leader.is_active() && ballot > self.leader.ballot() {
+                        self.abdicate(ballot.node(), ctx);
+                    }
+                }
+                self.finish_advance(adv, ctx);
+                let flush = self.relays.open(
+                    AggKey::P2(ballot, slot),
+                    reply_to,
+                    expect,
+                    VoteSet::P2(vec![own]),
+                    threshold,
+                    deadline,
+                );
+                if let Some(f) = flush {
+                    self.send_flush(f, ctx);
+                }
+            }
+            PaxosMsg::QrRead { reader, id, key } => {
+                let own = self.acceptor.read_state(key);
+                let flush = self.relays.open(
+                    AggKey::Qr(reader, id),
+                    reply_to,
+                    expect,
+                    VoteSet::Qr(vec![own]),
+                    threshold,
+                    deadline,
+                );
+                if let Some(f) = flush {
+                    self.send_flush(f, ctx);
+                }
+            }
+            // Fan-out-only messages: no aggregation.
+            other => self.handle_direct_inner(reply_to, other, ctx),
+        }
+    }
+
+    fn send_flush(&mut self, f: Flush, ctx: &mut Ctx<PigMsg>) {
+        let Flush { reply_to, key, votes } = f;
+        ctx.send_proto(reply_to, PigMsg::Direct(votes.into_message(key)));
+    }
+
+    // ---- point-to-point Paxos semantics -----------------------------------
+
+    fn handle_direct_inner(&mut self, from: NodeId, inner: PaxosMsg, ctx: &mut Ctx<PigMsg>) {
+        match inner {
+            PaxosMsg::P1a { ballot } => {
+                let vote = self.acceptor.on_p1a(ballot);
+                if vote.ok {
+                    self.note_leader_contact(ballot.node(), ctx.now());
+                    if (self.leader.is_active() || self.leader.is_campaigning())
+                        && ballot > self.leader.ballot()
+                    {
+                        self.abdicate(ballot.node(), ctx);
+                    }
+                }
+                ctx.send_proto(
+                    from,
+                    PigMsg::Direct(PaxosMsg::P1b { ballot: vote.ballot, votes: vec![vote] }),
+                );
+            }
+            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+                let (vote, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
+                if vote.ok {
+                    self.note_leader_contact(ballot.node(), ctx.now());
+                    if self.leader.is_active() && ballot > self.leader.ballot() {
+                        self.abdicate(ballot.node(), ctx);
+                    }
+                }
+                self.finish_advance(adv, ctx);
+                ctx.send_proto(
+                    from,
+                    PigMsg::Direct(PaxosMsg::P2b { ballot: vote.ballot, slot, votes: vec![vote] }),
+                );
+            }
+            PaxosMsg::P1b { ballot, votes } => {
+                // A relay aggregation in progress takes precedence; the
+                // leader path handles everything else.
+                if let Some(f) = self.relays.add(AggKey::P1(ballot), from, VoteSet::P1(votes.clone()))
+                {
+                    self.send_flush(f, ctx);
+                } else if self.leader.is_campaigning() && ballot == self.leader.ballot() {
+                    let watermark = self.acceptor.commit_watermark();
+                    let outcome = self.leader.on_p1b_votes(votes, watermark);
+                    self.handle_phase1_outcome(outcome, ctx);
+                }
+            }
+            PaxosMsg::P2b { ballot, slot, votes } => {
+                if let Some(f) =
+                    self.relays.add(AggKey::P2(ballot, slot), from, VoteSet::P2(votes.clone()))
+                {
+                    self.send_flush(f, ctx);
+                } else if self.leader.is_active() && ballot == self.leader.ballot() {
+                    match self.leader.on_p2b_votes(slot, votes) {
+                        Ok(Some((slot, cmd, _))) => self.commit_and_execute(slot, cmd, ctx),
+                        Ok(None) => {}
+                        Err(higher) => self.abdicate(higher.node(), ctx),
+                    }
+                }
+            }
+            PaxosMsg::Heartbeat { ballot, commit_up_to } => {
+                if ballot >= self.acceptor.promised() {
+                    self.note_leader_contact(ballot.node(), ctx.now());
+                    let adv = self.acceptor.advance_commits(commit_up_to, ballot);
+                    self.finish_advance(adv, ctx);
+                }
+            }
+            PaxosMsg::LearnReq { slots } => {
+                let entries = self.acceptor.committed_slots(&slots);
+                if !entries.is_empty() {
+                    ctx.send_proto(
+                        from,
+                        PigMsg::Direct(PaxosMsg::LearnRep {
+                            ballot: self.acceptor.promised(),
+                            entries,
+                        }),
+                    );
+                }
+            }
+            PaxosMsg::LearnRep { ballot, entries } => {
+                for (slot, cmd) in entries {
+                    self.acceptor.commit(slot, ballot, cmd);
+                }
+                let executed = self.acceptor.execute_ready();
+                self.reply_executed(executed, ctx);
+            }
+            PaxosMsg::QrRead { reader, id, key } => {
+                let entry = self.acceptor.read_state(key);
+                ctx.send_proto(
+                    from,
+                    PigMsg::Direct(PaxosMsg::QrVote { reader, id, votes: vec![entry] }),
+                );
+            }
+            PaxosMsg::QrVote { reader, id, votes } => {
+                if reader == self.me {
+                    // We are the proxy: count toward the pending read.
+                    self.feed_read_votes(id, votes, ctx);
+                } else if let Some(f) =
+                    self.relays.add(AggKey::Qr(reader, id), from, VoteSet::Qr(votes))
+                {
+                    // We are a relay: aggregate toward the proxy.
+                    self.send_flush(f, ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Build the dissemination plan for one group's peers.
+///
+/// `levels == 1` contacts every peer directly (the paper's default).
+/// `levels >= 2` splits the peers into ~√k subgroups, each with its own
+/// randomly chosen sub-relay (§6.3 multi-level trees). Groups too small
+/// to split fall back to a flat plan.
+pub fn build_plan(peers: Vec<NodeId>, levels: usize, rng: &mut StdRng) -> RelayPlan {
+    if levels <= 1 || peers.len() < 4 {
+        return RelayPlan::flat(peers);
+    }
+    let k = (peers.len() as f64).sqrt().ceil() as usize;
+    let per = peers.len().div_ceil(k);
+    let mut sub = Vec::with_capacity(k);
+    for chunk in peers.chunks(per) {
+        let i = rng.gen_range(0..chunk.len());
+        let sub_relay = chunk[i];
+        let rest: Vec<NodeId> = chunk.iter().copied().filter(|&n| n != sub_relay).collect();
+        sub.push((sub_relay, build_plan(rest, levels - 1, rng)));
+    }
+    RelayPlan { peers: Vec::new(), sub }
+}
+
+impl Replica<PigMsg> for PigReplica {
+    fn on_start(&mut self, ctx: &mut Ctx<PigMsg>) {
+        self.last_leader_contact = ctx.now();
+        if self.me == self.cluster.leader {
+            self.begin_campaign(ctx);
+            ctx.set_timer(self.cfg.paxos.heartbeat_interval, T_HEARTBEAT);
+        } else {
+            self.arm_election_timer(ctx);
+        }
+        ctx.set_timer(self.cfg.paxos.p2_retry_timeout / 2, T_RETRY_SCAN);
+        ctx.set_timer(self.cfg.relay_scan_interval, T_RELAY_SCAN);
+        if let Some(interval) = self.cfg.reshuffle_interval {
+            ctx.set_timer(interval, T_RESHUFFLE);
+        }
+    }
+
+    fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<PigMsg>) {
+        let cmd = req.command;
+        if self.leader.is_active() {
+            if self.leader.has_outstanding_request(cmd.id) {
+                return;
+            }
+            self.propose_command(client, cmd, ctx);
+        } else if self.cfg.pqr_reads && cmd.op.is_read() {
+            // §4.3: serve reads from any replica via a quorum read over
+            // the relay tree, keeping them entirely off the leader.
+            if let Some(key) = cmd.op.key() {
+                self.start_quorum_read(client, cmd.id, key, ctx);
+            } else {
+                ctx.reply(client, ClientReply::ok(cmd.id, None));
+            }
+        } else if self.leader.is_campaigning() || self.me == self.cluster.leader {
+            self.leader.pending.push_back((client, cmd));
+        } else {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+    }
+
+    fn on_proto(&mut self, from: NodeId, msg: PigMsg, ctx: &mut Ctx<PigMsg>) {
+        match msg {
+            PigMsg::ToRelay { reply_to, plan, inner, threshold } => {
+                self.handle_to_relay(reply_to, plan, inner, threshold, ctx);
+            }
+            PigMsg::Direct(inner) => self.handle_direct_inner(from, inner, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<PigMsg>) {
+        match kind & TIMER_TAG_MASK {
+            T_ELECTION => {
+                let idle = ctx.now().saturating_sub(self.last_leader_contact);
+                if !self.leader.is_active()
+                    && !self.leader.is_campaigning()
+                    && idle >= self.election_timeout
+                {
+                    self.begin_campaign(ctx);
+                    ctx.set_timer(self.cfg.paxos.heartbeat_interval, T_HEARTBEAT);
+                }
+                self.arm_election_timer(ctx);
+            }
+            T_HEARTBEAT => {
+                if self.leader.is_active() {
+                    let commit_up_to = self.acceptor.commit_watermark();
+                    self.disseminate(
+                        PaxosMsg::Heartbeat { ballot: self.leader.ballot(), commit_up_to },
+                        ctx,
+                    );
+                    ctx.set_timer(self.cfg.paxos.heartbeat_interval, T_HEARTBEAT);
+                } else if self.leader.is_campaigning() {
+                    ctx.set_timer(self.cfg.paxos.heartbeat_interval, T_HEARTBEAT);
+                }
+            }
+            T_RETRY_SCAN => {
+                if self.leader.is_active() {
+                    let stale =
+                        self.leader.stale_proposals(ctx.now(), self.cfg.paxos.p2_retry_timeout);
+                    let ballot = self.leader.ballot();
+                    let commit_up_to = self.acceptor.commit_watermark();
+                    for (slot, command) in stale {
+                        // Fresh random relays each retry (paper §3.4).
+                        self.disseminate(
+                            PaxosMsg::P2a { ballot, slot, command, commit_up_to },
+                            ctx,
+                        );
+                    }
+                }
+                ctx.set_timer(self.cfg.paxos.p2_retry_timeout / 2, T_RETRY_SCAN);
+            }
+            T_RELAY_SCAN => {
+                for f in self.relays.expire(ctx.now()) {
+                    self.send_flush(f, ctx);
+                }
+                ctx.set_timer(self.cfg.relay_scan_interval, T_RELAY_SCAN);
+            }
+            T_RESHUFFLE => {
+                self.groups.reshuffle(ctx.rng());
+                if let Some(interval) = self.cfg.reshuffle_interval {
+                    ctx.set_timer(interval, T_RESHUFFLE);
+                }
+            }
+            T_LEARN => self.send_learn_request(ctx),
+            T_PQR_RINSE => {
+                let id = kind >> 8;
+                match self.reads.restart(id) {
+                    Some((_client, key, attempts)) if attempts <= self.cfg.pqr_max_attempts => {
+                        self.probe_quorum_read(id, key, ctx);
+                    }
+                    Some(_) => {
+                        // Too many rinses: hand the client to the leader,
+                        // which serializes the read through the log.
+                        if let Some((client, request)) = self.reads.abort(id) {
+                            ctx.reply(client, ClientReply::redirect(request, self.known_leader));
+                        }
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builder usable with [`paxi::harness`]: one PigPaxos replica per node.
+pub fn pig_builder(
+    cfg: PigConfig,
+) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PigMsg>>> {
+    move |node, cluster| {
+        Box::new(ReplicaActor(PigReplica::new(node, cluster.clone(), cfg.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::harness::{run, run_spec, RunSpec};
+    use paxi::TargetPolicy;
+    use simnet::Control;
+
+    fn spec(n: usize, clients: usize) -> RunSpec {
+        RunSpec {
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(700),
+            ..RunSpec::lan(n, clients)
+        }
+    }
+
+    #[test]
+    fn five_nodes_two_groups_commit() {
+        let r = run(&spec(5, 4), pig_builder(PigConfig::lan(2)), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0, "throughput {}", r.throughput);
+        assert!(r.decided > 50);
+    }
+
+    #[test]
+    fn twentyfive_nodes_three_groups_commit() {
+        let r = run(&spec(25, 8), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0);
+        // Paper Table 1: leader handles Ml = 2r + 2 = 8 messages per op.
+        assert!(
+            (r.leader_msgs_per_op - 8.0).abs() < 2.0,
+            "expected ≈8 leader msgs/op with r=3, got {}",
+            r.leader_msgs_per_op
+        );
+    }
+
+    #[test]
+    fn leader_load_grows_with_group_count() {
+        let r2 = run(&spec(25, 8), pig_builder(PigConfig::lan(2)), TargetPolicy::Fixed(NodeId(0)));
+        let r6 = run(&spec(25, 8), pig_builder(PigConfig::lan(6)), TargetPolicy::Fixed(NodeId(0)));
+        assert!(
+            r6.leader_msgs_per_op > r2.leader_msgs_per_op + 5.0,
+            "r=6 leader ({}) must be busier than r=2 leader ({})",
+            r6.leader_msgs_per_op,
+            r2.leader_msgs_per_op
+        );
+    }
+
+    #[test]
+    fn follower_crash_in_group_tolerated() {
+        let r = run_spec(
+            &spec(25, 8),
+            pig_builder(PigConfig::lan(3)),
+            TargetPolicy::Fixed(NodeId(0)),
+            |sim, _| {
+                sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(5)));
+            },
+        );
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0, "one crashed follower must not halt progress");
+    }
+
+    #[test]
+    fn multi_level_plan_covers_everyone() {
+        let mut rng = rand::SeedableRng::seed_from_u64(3);
+        let peers: Vec<NodeId> = (1..=12).map(NodeId).collect();
+        let plan = build_plan(peers.clone(), 2, &mut rng);
+        assert!(plan.peers.is_empty(), "2-level plan delegates everything");
+        assert!(!plan.sub.is_empty());
+        // All peers reachable: sub-relays + their plans cover the set.
+        let mut covered: Vec<NodeId> = Vec::new();
+        for (s, p) in &plan.sub {
+            covered.push(*s);
+            covered.extend(&p.peers);
+            assert!(p.sub.is_empty(), "depth capped at 2");
+        }
+        covered.sort();
+        assert_eq!(covered, peers);
+    }
+
+    #[test]
+    fn multi_level_cluster_commits() {
+        let mut cfg = PigConfig::lan(2);
+        cfg.levels = 2;
+        let r = run(&spec(25, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0, "2-level trees must still commit");
+    }
+
+    #[test]
+    fn partial_threshold_cluster_commits() {
+        let mut cfg = PigConfig::lan(3);
+        // 25 nodes, 3 groups of 8: relays may respond after 5 votes each
+        // (3×5 = 15 > majority 13, satisfying §4.2's constraint).
+        cfg.partial_threshold = Some(5);
+        let r = run(&spec(25, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn reshuffle_cluster_commits() {
+        let mut cfg = PigConfig::lan(3);
+        cfg.reshuffle_interval = Some(SimDuration::from_millis(100));
+        let r = run(&spec(9, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection() {
+        let mut s = spec(5, 2);
+        s.measure = SimDuration::from_secs(3);
+        let r = run_spec(
+            &s,
+            pig_builder(PigConfig::lan(2)),
+            TargetPolicy::Random((0..5).map(NodeId).collect()),
+            |sim, _| {
+                sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(0)));
+            },
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 30.0, "new leader must emerge, got {}", r.throughput);
+    }
+
+    #[test]
+    fn relay_timeout_delivers_partial_votes() {
+        // Crash one node; the relay of its group must still answer within
+        // the 50ms relay timeout, so commits continue at full speed.
+        let r = run_spec(
+            &spec(9, 4),
+            pig_builder(PigConfig::lan(2)),
+            TargetPolicy::Fixed(NodeId(0)),
+            |sim, _| {
+                sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(8)));
+            },
+        );
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0);
+        assert!(
+            r.mean_latency_ms < 20.0,
+            "commits must not wait for the crashed node: {}ms",
+            r.mean_latency_ms
+        );
+    }
+}

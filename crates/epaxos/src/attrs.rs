@@ -1,0 +1,140 @@
+//! Interference tracking and attribute computation.
+//!
+//! EPaxos orders only *interfering* commands (same key, at least one
+//! write). Each replica maintains, per key, the most recent instance
+//! that touched it; a new command's dependencies are the latest
+//! interfering instances, and its sequence number exceeds theirs.
+
+use crate::messages::{Attrs, InstanceId};
+use paxi::{Key, Operation};
+use std::collections::HashMap;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyInfo {
+    last_any: Option<(InstanceId, u64)>,   // last read or write + its seq
+    last_write: Option<(InstanceId, u64)>, // last write + its seq
+}
+
+/// Per-replica interference index.
+#[derive(Debug, Default)]
+pub struct InterferenceIndex {
+    by_key: HashMap<Key, KeyInfo>,
+}
+
+impl InterferenceIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        InterferenceIndex::default()
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no key has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Compute attributes for a new command given local knowledge:
+    /// a write depends on the last instance touching the key (read or
+    /// write); a read depends only on the last write.
+    pub fn attrs_for(&self, op: &Operation) -> Attrs {
+        let Some(key) = op.key() else {
+            return Attrs::default(); // noops interfere with nothing
+        };
+        let info = match self.by_key.get(&key) {
+            Some(i) => *i,
+            None => return Attrs::default(),
+        };
+        let dep = if op.is_read() { info.last_write } else { info.last_any };
+        match dep {
+            Some((inst, seq)) => Attrs { seq: seq + 1, deps: vec![inst] },
+            None => Attrs::default(),
+        }
+    }
+
+    /// Record that `inst` (with final-or-tentative seq) touches the key
+    /// of `op`.
+    pub fn record(&mut self, inst: InstanceId, seq: u64, op: &Operation) {
+        let Some(key) = op.key() else { return };
+        let info = self.by_key.entry(key).or_default();
+        let newer = |cur: Option<(InstanceId, u64)>| match cur {
+            Some((_, s)) if s >= seq => cur,
+            _ => Some((inst, seq)),
+        };
+        info.last_any = newer(info.last_any);
+        if !op.is_read() {
+            info.last_write = newer(info.last_write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::Value;
+    use simnet::NodeId;
+
+    fn inst(r: u32, s: u64) -> InstanceId {
+        InstanceId { replica: NodeId(r), slot: s }
+    }
+
+    fn put(k: Key) -> Operation {
+        Operation::Put(k, Value::zeros(1))
+    }
+
+    #[test]
+    fn first_command_has_no_deps() {
+        let idx = InterferenceIndex::new();
+        let a = idx.attrs_for(&put(1));
+        assert_eq!(a, Attrs::default());
+    }
+
+    #[test]
+    fn write_depends_on_last_any() {
+        let mut idx = InterferenceIndex::new();
+        idx.record(inst(0, 0), 1, &Operation::Get(1));
+        let a = idx.attrs_for(&put(1));
+        assert_eq!(a.deps, vec![inst(0, 0)], "write depends on prior read");
+        assert_eq!(a.seq, 2);
+    }
+
+    #[test]
+    fn read_depends_only_on_last_write() {
+        let mut idx = InterferenceIndex::new();
+        idx.record(inst(0, 0), 1, &put(1));
+        idx.record(inst(0, 1), 2, &Operation::Get(1));
+        let a = idx.attrs_for(&Operation::Get(1));
+        assert_eq!(a.deps, vec![inst(0, 0)], "read-read does not interfere");
+        assert_eq!(a.seq, 2);
+    }
+
+    #[test]
+    fn different_keys_independent() {
+        let mut idx = InterferenceIndex::new();
+        idx.record(inst(0, 0), 1, &put(1));
+        let a = idx.attrs_for(&put(2));
+        assert!(a.deps.is_empty());
+    }
+
+    #[test]
+    fn record_keeps_highest_seq() {
+        let mut idx = InterferenceIndex::new();
+        idx.record(inst(0, 5), 10, &put(1));
+        idx.record(inst(1, 0), 3, &put(1)); // lower seq: ignored
+        let a = idx.attrs_for(&put(1));
+        assert_eq!(a.deps, vec![inst(0, 5)]);
+        assert_eq!(a.seq, 11);
+    }
+
+    #[test]
+    fn noop_has_no_interference() {
+        let mut idx = InterferenceIndex::new();
+        idx.record(inst(0, 0), 1, &put(1));
+        assert_eq!(idx.attrs_for(&Operation::Noop), Attrs::default());
+        idx.record(inst(0, 1), 2, &Operation::Noop); // no-op record
+        assert_eq!(idx.len(), 1);
+    }
+}

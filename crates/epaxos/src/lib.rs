@@ -1,0 +1,24 @@
+//! # epaxos — Egalitarian Paxos baseline
+//!
+//! The leaderless consensus protocol (Moraru et al., SOSP'13) the
+//! PigPaxos paper compares against in Figs. 8 and 10. Any replica leads
+//! the commands it receives; interfering commands gain dependencies and
+//! are linearized at execution time via strongly-connected-component
+//! analysis of the dependency graph.
+//!
+//! See [`replica::EpaxosReplica`] for the protocol walkthrough and the
+//! scope note on recovery.
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod config;
+pub mod graph;
+pub mod messages;
+pub mod replica;
+
+pub use attrs::InterferenceIndex;
+pub use config::EpaxosConfig;
+pub use graph::{plan_execution, ExecutionPlan, InstStatus, InstanceView};
+pub use messages::{Attrs, EpaxosMsg, InstanceId};
+pub use replica::{epaxos_builder, EpaxosReplica};

@@ -1,0 +1,203 @@
+//! EPaxos wire messages.
+//!
+//! Every command lives in an *instance* owned by the replica that
+//! received it from a client. Instances carry attributes `(seq, deps)`
+//! used to order interfering commands at execution time. Messages are
+//! larger than Multi-Paxos messages because attributes travel with every
+//! phase — one of the overheads the paper's comparison surfaces.
+
+use paxi::{Ballot, Command, ProtoMessage, HEADER_BYTES};
+use simnet::NodeId;
+use std::fmt;
+
+/// Identifies one EPaxos instance: `(owning replica, slot)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId {
+    /// The replica that leads this instance.
+    pub replica: NodeId,
+    /// Slot within that replica's instance space.
+    pub slot: u64,
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.replica, self.slot)
+    }
+}
+
+/// Attributes assigned to a command: a sequence number and the set of
+/// interfering instances it must be ordered against.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Attrs {
+    /// Lamport-style sequence number (max over deps + 1).
+    pub seq: u64,
+    /// Interfering instances this command depends on.
+    pub deps: Vec<InstanceId>,
+}
+
+impl Attrs {
+    /// Merge another attribute set into this one (union deps, max seq).
+    /// Returns true if anything changed.
+    pub fn merge(&mut self, other: &Attrs) -> bool {
+        let mut changed = false;
+        if other.seq > self.seq {
+            self.seq = other.seq;
+            changed = true;
+        }
+        for d in &other.deps {
+            if !self.deps.contains(d) {
+                self.deps.push(*d);
+                changed = true;
+            }
+        }
+        if changed {
+            self.deps.sort();
+        }
+        changed
+    }
+
+    /// Serialized size contribution.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.deps.len() * 12
+    }
+}
+
+/// EPaxos protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpaxosMsg {
+    /// Command leader → replicas: propose a command with initial attrs.
+    PreAccept {
+        /// The instance.
+        inst: InstanceId,
+        /// Instance ballot (0 for the initial owner round).
+        ballot: Ballot,
+        /// The command.
+        command: Command,
+        /// Leader-computed attributes.
+        attrs: Attrs,
+    },
+    /// Replica → command leader: possibly-updated attributes.
+    PreAcceptOk {
+        /// The instance.
+        inst: InstanceId,
+        /// The replying node.
+        node: NodeId,
+        /// Attributes after merging the replica's local interference.
+        attrs: Attrs,
+        /// Whether the replica changed the attributes.
+        changed: bool,
+    },
+    /// Slow path: fix the final attributes with a majority.
+    Accept {
+        /// The instance.
+        inst: InstanceId,
+        /// Instance ballot.
+        ballot: Ballot,
+        /// The command.
+        command: Command,
+        /// Final attributes.
+        attrs: Attrs,
+    },
+    /// Slow-path acknowledgement.
+    AcceptOk {
+        /// The instance.
+        inst: InstanceId,
+        /// The replying node.
+        node: NodeId,
+    },
+    /// Commit notification broadcast to everyone.
+    Commit {
+        /// The instance.
+        inst: InstanceId,
+        /// The command.
+        command: Command,
+        /// Final attributes.
+        attrs: Attrs,
+    },
+}
+
+impl ProtoMessage for EpaxosMsg {
+    fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                EpaxosMsg::PreAccept { command, attrs, .. } => {
+                    12 + 8 + command.payload_bytes() + attrs.wire_bytes()
+                }
+                EpaxosMsg::PreAcceptOk { attrs, .. } => 12 + 4 + 1 + attrs.wire_bytes(),
+                EpaxosMsg::Accept { command, attrs, .. } => {
+                    12 + 8 + command.payload_bytes() + attrs.wire_bytes()
+                }
+                EpaxosMsg::AcceptOk { .. } => 12 + 4,
+                EpaxosMsg::Commit { command, attrs, .. } => {
+                    12 + command.payload_bytes() + attrs.wire_bytes()
+                }
+            }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            EpaxosMsg::PreAccept { .. } => "preaccept",
+            EpaxosMsg::PreAcceptOk { .. } => "preaccept_ok",
+            EpaxosMsg::Accept { .. } => "accept",
+            EpaxosMsg::AcceptOk { .. } => "accept_ok",
+            EpaxosMsg::Commit { .. } => "commit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::{Operation, RequestId, Value};
+
+    fn inst(r: u32, s: u64) -> InstanceId {
+        InstanceId { replica: NodeId(r), slot: s }
+    }
+
+    #[test]
+    fn attrs_merge_unions_deps_and_maxes_seq() {
+        let mut a = Attrs { seq: 3, deps: vec![inst(0, 1)] };
+        let b = Attrs { seq: 5, deps: vec![inst(0, 1), inst(1, 2)] };
+        assert!(a.merge(&b));
+        assert_eq!(a.seq, 5);
+        assert_eq!(a.deps, vec![inst(0, 1), inst(1, 2)]);
+        // Merging again changes nothing.
+        assert!(!a.merge(&b));
+    }
+
+    #[test]
+    fn attrs_merge_keeps_higher_seq() {
+        let mut a = Attrs { seq: 9, deps: vec![] };
+        let b = Attrs { seq: 2, deps: vec![] };
+        assert!(!a.merge(&b));
+        assert_eq!(a.seq, 9);
+    }
+
+    #[test]
+    fn message_sizes_grow_with_deps() {
+        let cmd = Command {
+            id: RequestId { client: NodeId(9), seq: 1 },
+            op: Operation::Put(1, Value::zeros(8)),
+        };
+        let small = EpaxosMsg::PreAccept {
+            inst: inst(0, 0),
+            ballot: Ballot::ZERO,
+            command: cmd.clone(),
+            attrs: Attrs::default(),
+        };
+        let big = EpaxosMsg::PreAccept {
+            inst: inst(0, 0),
+            ballot: Ballot::ZERO,
+            command: cmd,
+            attrs: Attrs { seq: 1, deps: (0..10).map(|i| inst(1, i)).collect() },
+        };
+        assert_eq!(big.wire_size() - small.wire_size(), 120);
+    }
+
+    #[test]
+    fn instance_ordering() {
+        assert!(inst(0, 5) < inst(1, 0));
+        assert!(inst(1, 0) < inst(1, 1));
+        assert_eq!(format!("{}", inst(2, 7)), "n2.7");
+    }
+}

@@ -1,0 +1,390 @@
+//! The EPaxos replica.
+//!
+//! Every replica is an opportunistic command leader (paper §2.3): the
+//! replica a client contacts runs PreAccept against a fast quorum; if
+//! all members agree on the command's attributes it commits in one round
+//! (fast path), otherwise it fixes the attributes with a majority Accept
+//! round (slow path) and then commits. Committed instances execute via
+//! dependency-graph linearization ([`crate::graph`]).
+//!
+//! Scope note: explicit-prepare recovery (taking over another replica's
+//! instance after its crash) is not implemented — the paper's EPaxos
+//! experiments are failure-free, and recovery does not affect any
+//! measured figure. Safety of the implemented paths is still
+//! machine-checked by [`paxi::SafetyMonitor`].
+
+use crate::attrs::InterferenceIndex;
+use crate::config::EpaxosConfig;
+use crate::graph::{plan_execution, InstStatus, InstanceView};
+use crate::messages::{Attrs, EpaxosMsg, InstanceId};
+use paxi::{
+    fast_quorum, majority, Ballot, ClientReply, ClientRequest, ClusterConfig, Command, Ctx,
+    Envelope, KvStore, Replica, ReplicaActor, ReplicaCtx,
+};
+use simnet::{Actor, NodeId, TimerId};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    PreAccepted,
+    Accepted,
+    Committed,
+    Executed,
+}
+
+#[derive(Debug)]
+struct Instance {
+    command: Command,
+    attrs: Attrs,
+    phase: Phase,
+    // Owner-side tallies.
+    preaccept_oks: usize,
+    any_changed: bool,
+    accept_oks: usize,
+    client: Option<NodeId>,
+}
+
+struct TableView<'a>(&'a HashMap<InstanceId, Instance>);
+
+impl InstanceView for TableView<'_> {
+    fn status(&self, id: InstanceId) -> InstStatus {
+        match self.0.get(&id).map(|i| i.phase) {
+            None => InstStatus::Unknown,
+            Some(Phase::PreAccepted) | Some(Phase::Accepted) => InstStatus::Tentative,
+            Some(Phase::Committed) => InstStatus::Committed,
+            Some(Phase::Executed) => InstStatus::Executed,
+        }
+    }
+    fn deps(&self, id: InstanceId) -> &[InstanceId] {
+        self.0.get(&id).map(|i| i.attrs.deps.as_slice()).unwrap_or(&[])
+    }
+    fn seq(&self, id: InstanceId) -> u64 {
+        self.0.get(&id).map(|i| i.attrs.seq).unwrap_or(0)
+    }
+}
+
+/// An EPaxos replica.
+pub struct EpaxosReplica {
+    me: NodeId,
+    cluster: ClusterConfig,
+    cfg: EpaxosConfig,
+    instances: HashMap<InstanceId, Instance>,
+    next_slot: u64,
+    interference: InterferenceIndex,
+    kv: KvStore,
+    /// Committed-but-unexecuted instances (the execution frontier).
+    unexecuted: BTreeSet<InstanceId>,
+}
+
+impl EpaxosReplica {
+    /// Create the replica for `me`.
+    pub fn new(me: NodeId, cluster: ClusterConfig, cfg: EpaxosConfig) -> Self {
+        EpaxosReplica {
+            me,
+            cluster,
+            cfg,
+            instances: HashMap::new(),
+            next_slot: 0,
+            interference: InterferenceIndex::new(),
+            kv: KvStore::new(),
+            unexecuted: BTreeSet::new(),
+        }
+    }
+
+    /// The local state machine (tests/diagnostics).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Number of committed-but-unexecuted instances (the window whose
+    /// growth degrades EPaxos under load).
+    pub fn unexecuted_len(&self) -> usize {
+        self.unexecuted.len()
+    }
+
+    fn broadcast(&self, msg: EpaxosMsg, ctx: &mut Ctx<EpaxosMsg>) {
+        for peer in self.cluster.peers(self.me) {
+            ctx.send_proto(peer, msg.clone());
+        }
+    }
+
+    fn commit_instance(&mut self, inst: InstanceId, ctx: &mut Ctx<EpaxosMsg>) {
+        let i = self.instances.get_mut(&inst).expect("committing unknown instance");
+        debug_assert!(i.phase != Phase::Executed);
+        if i.phase == Phase::Committed {
+            return;
+        }
+        i.phase = Phase::Committed;
+        self.cluster.safety.record(inst.replica.0, inst.slot, i.command.id);
+        self.unexecuted.insert(inst);
+        let msg =
+            EpaxosMsg::Commit { inst, command: i.command.clone(), attrs: i.attrs.clone() };
+        self.broadcast(msg, ctx);
+        self.try_execute(ctx);
+    }
+
+    /// Learn a commit decided elsewhere.
+    fn learn_commit(
+        &mut self,
+        inst: InstanceId,
+        command: Command,
+        attrs: Attrs,
+        ctx: &mut Ctx<EpaxosMsg>,
+    ) {
+        let entry = self.instances.entry(inst).or_insert_with(|| Instance {
+            command: command.clone(),
+            attrs: attrs.clone(),
+            phase: Phase::PreAccepted,
+            preaccept_oks: 0,
+            any_changed: false,
+            accept_oks: 0,
+            client: None,
+        });
+        if entry.phase == Phase::Committed || entry.phase == Phase::Executed {
+            return;
+        }
+        entry.command = command;
+        entry.attrs = attrs;
+        entry.phase = Phase::Committed;
+        let (seq, op) = (entry.attrs.seq, entry.command.op.clone());
+        self.interference.record(inst, seq, &op);
+        self.cluster.safety.record(inst.replica.0, inst.slot, entry.command.id);
+        self.unexecuted.insert(inst);
+        self.try_execute(ctx);
+    }
+
+    fn try_execute(&mut self, ctx: &mut Ctx<EpaxosMsg>) {
+        if self.unexecuted.is_empty() {
+            return;
+        }
+        let roots: Vec<InstanceId> = self.unexecuted.iter().copied().collect();
+        let plan = plan_execution(&roots, &TableView(&self.instances));
+        if plan.visited > 0 {
+            ctx.charge(self.cfg.graph_visit_cost * plan.visited as u64);
+        }
+        for inst in plan.order {
+            let i = self.instances.get_mut(&inst).expect("planned unknown instance");
+            debug_assert_eq!(i.phase, Phase::Committed);
+            let value = self.kv.apply(&i.command.op);
+            ctx.charge(self.cfg.exec_cost);
+            i.phase = Phase::Executed;
+            self.unexecuted.remove(&inst);
+            if inst.replica == self.me {
+                if let Some(client) = i.client.take() {
+                    ctx.reply(client, ClientReply::ok(i.command.id, value));
+                }
+            }
+        }
+    }
+}
+
+impl Replica<EpaxosMsg> for EpaxosReplica {
+    fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<EpaxosMsg>) {
+        let command = req.command;
+        let inst = InstanceId { replica: self.me, slot: self.next_slot };
+        self.next_slot += 1;
+        ctx.charge(self.cfg.attr_cost);
+        let attrs = self.interference.attrs_for(&command.op);
+        self.interference.record(inst, attrs.seq, &command.op);
+        self.instances.insert(
+            inst,
+            Instance {
+                command: command.clone(),
+                attrs: attrs.clone(),
+                phase: Phase::PreAccepted,
+                preaccept_oks: 1, // self
+                any_changed: false,
+                accept_oks: 0,
+                client: Some(client),
+            },
+        );
+        if self.cluster.n() == 1 {
+            self.commit_instance(inst, ctx);
+            return;
+        }
+        self.broadcast(
+            EpaxosMsg::PreAccept { inst, ballot: Ballot::ZERO, command, attrs },
+            ctx,
+        );
+    }
+
+    fn on_proto(&mut self, _from: NodeId, msg: EpaxosMsg, ctx: &mut Ctx<EpaxosMsg>) {
+        match msg {
+            EpaxosMsg::PreAccept { inst, ballot: _, command, attrs } => {
+                ctx.charge(self.cfg.attr_cost);
+                let mut merged = attrs;
+                let local = self.interference.attrs_for(&command.op);
+                let changed = merged.merge(&local);
+                self.interference.record(inst, merged.seq, &command.op);
+                self.instances.insert(
+                    inst,
+                    Instance {
+                        command,
+                        attrs: merged.clone(),
+                        phase: Phase::PreAccepted,
+                        preaccept_oks: 0,
+                        any_changed: false,
+                        accept_oks: 0,
+                        client: None,
+                    },
+                );
+                ctx.send_proto(
+                    inst.replica,
+                    EpaxosMsg::PreAcceptOk { inst, node: self.me, attrs: merged, changed },
+                );
+            }
+            EpaxosMsg::PreAcceptOk { inst, node: _, attrs, changed } => {
+                let n = self.cluster.n();
+                let Some(i) = self.instances.get_mut(&inst) else { return };
+                if i.phase != Phase::PreAccepted || inst.replica != self.me {
+                    return; // stale (already moved on)
+                }
+                i.preaccept_oks += 1;
+                if changed {
+                    i.any_changed = true;
+                    i.attrs.merge(&attrs);
+                }
+                if i.preaccept_oks >= fast_quorum(n) {
+                    if i.any_changed {
+                        // Slow path: fix attributes with a majority.
+                        i.phase = Phase::Accepted;
+                        i.accept_oks = 1; // self
+                        let msg = EpaxosMsg::Accept {
+                            inst,
+                            ballot: Ballot::ZERO,
+                            command: i.command.clone(),
+                            attrs: i.attrs.clone(),
+                        };
+                        self.broadcast(msg, ctx);
+                    } else {
+                        // Fast path: commit in one round trip.
+                        self.commit_instance(inst, ctx);
+                    }
+                }
+            }
+            EpaxosMsg::Accept { inst, ballot: _, command, attrs } => {
+                ctx.charge(self.cfg.attr_cost);
+                self.interference.record(inst, attrs.seq, &command.op);
+                let entry = self.instances.entry(inst).or_insert_with(|| Instance {
+                    command: command.clone(),
+                    attrs: attrs.clone(),
+                    phase: Phase::Accepted,
+                    preaccept_oks: 0,
+                    any_changed: false,
+                    accept_oks: 0,
+                    client: None,
+                });
+                if entry.phase != Phase::Committed && entry.phase != Phase::Executed {
+                    entry.command = command;
+                    entry.attrs = attrs;
+                    entry.phase = Phase::Accepted;
+                }
+                ctx.send_proto(inst.replica, EpaxosMsg::AcceptOk { inst, node: self.me });
+            }
+            EpaxosMsg::AcceptOk { inst, node: _ } => {
+                let n = self.cluster.n();
+                let Some(i) = self.instances.get_mut(&inst) else { return };
+                if i.phase != Phase::Accepted || inst.replica != self.me {
+                    return;
+                }
+                i.accept_oks += 1;
+                if i.accept_oks >= majority(n) {
+                    self.commit_instance(inst, ctx);
+                }
+            }
+            EpaxosMsg::Commit { inst, command, attrs } => {
+                self.learn_commit(inst, command, attrs, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Ctx<EpaxosMsg>) {}
+}
+
+/// Builder usable with [`paxi::harness`]: one EPaxos replica per node.
+/// Clients should use `TargetPolicy::Random` over all replicas, matching
+/// the paper's EPaxos client setup.
+pub fn epaxos_builder(
+    cfg: EpaxosConfig,
+) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<EpaxosMsg>>> {
+    move |node, cluster| {
+        Box::new(ReplicaActor(EpaxosReplica::new(node, cluster.clone(), cfg.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::harness::{run, RunSpec};
+    use paxi::{TargetPolicy, Workload};
+    use simnet::SimDuration;
+
+    fn spec(n: usize, clients: usize) -> RunSpec {
+        RunSpec {
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(700),
+            ..RunSpec::lan(n, clients)
+        }
+    }
+
+    fn random_targets(n: usize) -> TargetPolicy {
+        TargetPolicy::Random((0..n).map(NodeId::from).collect())
+    }
+
+    #[test]
+    fn five_node_cluster_commits() {
+        let r = run(&spec(5, 4), epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0, "throughput {}", r.throughput);
+        assert!(r.decided > 50);
+    }
+
+    #[test]
+    fn twentyfive_node_cluster_commits() {
+        let r = run(&spec(25, 8), epaxos_builder(EpaxosConfig::default()), random_targets(25));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 50.0);
+    }
+
+    #[test]
+    fn load_is_spread_across_replicas() {
+        let r = run(&spec(5, 8), epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        // No dedicated leader: every replica should carry comparable
+        // message load (unlike Paxos where the leader dominates).
+        let max = r.node_msgs[..5].iter().max().copied().unwrap() as f64;
+        let min = r.node_msgs[..5].iter().min().copied().unwrap() as f64;
+        assert!(min > 0.0);
+        assert!(max / min < 2.0, "balanced load expected, got {:?}", &r.node_msgs[..5]);
+    }
+
+    #[test]
+    fn conflicting_workload_still_safe() {
+        // Tiny key space: every command interferes, exercising the slow
+        // path and SCC execution heavily.
+        let mut s = spec(5, 8);
+        s.workload = Workload { num_keys: 2, ..Workload::paper_default() };
+        let r = run(&s, epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 10.0);
+    }
+
+    #[test]
+    fn single_node_degenerate_cluster() {
+        let r = run(&spec(1, 2), epaxos_builder(EpaxosConfig::default()), random_targets(1));
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn reads_see_prior_writes() {
+        // Direct unit-style check of execution semantics through the
+        // public replica API is covered by graph tests; here we assert
+        // end-to-end sanity: plenty of reads completed and nothing
+        // violated agreement.
+        let mut s = spec(3, 4);
+        s.workload = Workload { read_ratio: 0.9, ..Workload::paper_default() };
+        let r = run(&s, epaxos_builder(EpaxosConfig::default()), random_targets(3));
+        assert!(r.violations.is_empty());
+        assert!(r.samples > 100);
+    }
+}

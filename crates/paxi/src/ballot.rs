@@ -1,0 +1,97 @@
+//! Ballot numbers.
+//!
+//! A ballot is a totally ordered pair `(round, node)`: comparing rounds
+//! first and breaking ties by node id. Packing both into one `u64` keeps
+//! ballots `Copy` and makes comparisons a single integer compare, the same
+//! trick the Paxi framework uses.
+
+use simnet::NodeId;
+use std::fmt;
+
+/// A Paxos ballot number: `(round, proposer-node)` packed into a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot(u64);
+
+impl Ballot {
+    /// The zero ballot, smaller than any real ballot.
+    pub const ZERO: Ballot = Ballot(0);
+
+    /// Create a ballot from a round number and the proposing node.
+    pub fn new(round: u32, node: NodeId) -> Self {
+        Ballot(((round as u64) << 32) | node.0 as u64)
+    }
+
+    /// The round component.
+    pub fn round(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The proposing node component.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 as u32)
+    }
+
+    /// The next-higher ballot owned by `node`: bumps the round past this
+    /// ballot's round regardless of owner.
+    pub fn next(self, node: NodeId) -> Ballot {
+        Ballot::new(self.round() + 1, node)
+    }
+
+    /// True for any ballot other than [`Ballot::ZERO`].
+    pub fn is_set(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round(), self.node().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trip() {
+        let b = Ballot::new(7, NodeId(3));
+        assert_eq!(b.round(), 7);
+        assert_eq!(b.node(), NodeId(3));
+    }
+
+    #[test]
+    fn ordering_round_dominates() {
+        let low = Ballot::new(1, NodeId(100));
+        let high = Ballot::new(2, NodeId(0));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ordering_ties_broken_by_node() {
+        let a = Ballot::new(1, NodeId(1));
+        let b = Ballot::new(1, NodeId(2));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn next_strictly_increases() {
+        let b = Ballot::new(5, NodeId(9));
+        let n = b.next(NodeId(2));
+        assert!(n > b);
+        assert_eq!(n.round(), 6);
+        assert_eq!(n.node(), NodeId(2));
+    }
+
+    #[test]
+    fn zero_is_smallest_and_unset() {
+        assert!(!Ballot::ZERO.is_set());
+        assert!(Ballot::new(0, NodeId(1)) > Ballot::ZERO);
+        assert!(Ballot::new(1, NodeId(0)).is_set());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Ballot::new(3, NodeId(2))), "b3.2");
+    }
+}

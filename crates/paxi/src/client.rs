@@ -1,0 +1,335 @@
+//! Closed-loop benchmark clients.
+//!
+//! Mirrors the Paxi benchmark client: each client keeps exactly one
+//! request outstanding; completing a request immediately issues the next.
+//! Offered load is therefore controlled by the number of clients, and the
+//! latency/throughput curves of the paper are produced by sweeping the
+//! client count.
+
+use crate::command::{ClientRequest, Command, RequestId};
+use crate::envelope::{Envelope, ProtoMessage};
+use crate::workload::Workload;
+use parking_lot::Mutex;
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Which replica a client sends each request to.
+#[derive(Debug, Clone)]
+pub enum TargetPolicy {
+    /// Always the same node (Paxos/PigPaxos clients talk to the leader).
+    Fixed(NodeId),
+    /// A uniformly random replica per request (EPaxos clients).
+    Random(Vec<NodeId>),
+}
+
+impl TargetPolicy {
+    fn pick(&self, rng: &mut rand::rngs::StdRng) -> NodeId {
+        match self {
+            TargetPolicy::Fixed(n) => *n,
+            TargetPolicy::Random(nodes) => {
+                use rand::Rng;
+                nodes[rng.gen_range(0..nodes.len())]
+            }
+        }
+    }
+}
+
+/// One completed operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// When the request was first issued.
+    pub issued: SimTime,
+    /// When the reply arrived.
+    pub completed: SimTime,
+    /// Whether the operation was a read.
+    pub is_read: bool,
+}
+
+impl Sample {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_sub(self.issued)
+    }
+}
+
+/// Shared sink for samples from all clients in a run. Thread-safe so it
+/// works under both the simulator and the real-thread runtime.
+#[derive(Debug, Clone, Default)]
+pub struct ClientRecorder(Arc<Mutex<Vec<Sample>>>);
+
+impl ClientRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        ClientRecorder::default()
+    }
+
+    /// Append a sample.
+    pub fn record(&self, s: Sample) {
+        self.0.lock().push(s);
+    }
+
+    /// Copy out all samples.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.0.lock().clone()
+    }
+
+    /// Number of samples so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
+
+struct Outstanding {
+    seq: u64,
+    issued: SimTime,
+    command: Command,
+    is_read: bool,
+}
+
+/// A closed-loop client actor, generic over the protocol message type
+/// (clients never construct protocol messages).
+pub struct ClosedLoopClient<P> {
+    target: TargetPolicy,
+    workload: Workload,
+    recorder: ClientRecorder,
+    retry_timeout: SimDuration,
+    seq: u64,
+    outstanding: Option<Outstanding>,
+    retries: u64,
+    _proto: PhantomData<P>,
+}
+
+impl<P> ClosedLoopClient<P> {
+    /// Create a client that records into `recorder`.
+    pub fn new(
+        target: TargetPolicy,
+        workload: Workload,
+        recorder: ClientRecorder,
+        retry_timeout: SimDuration,
+    ) -> Self {
+        ClosedLoopClient {
+            target,
+            workload,
+            recorder,
+            retry_timeout,
+            seq: 0,
+            outstanding: None,
+            retries: 0,
+            _proto: PhantomData,
+        }
+    }
+
+    /// How many times this client re-sent a request after a timeout.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+impl<P: ProtoMessage> ClosedLoopClient<P> {
+    fn issue_next(&mut self, ctx: &mut Context<Envelope<P>>) {
+        self.seq += 1;
+        let op = self.workload.next_op(ctx.rng());
+        let is_read = op.is_read();
+        let id = RequestId { client: ctx.node(), seq: self.seq };
+        let command = Command { id, op };
+        self.outstanding =
+            Some(Outstanding { seq: self.seq, issued: ctx.now(), command: command.clone(), is_read });
+        let to = self.target.pick(ctx.rng());
+        ctx.send(to, Envelope::Request(ClientRequest { command }));
+        ctx.set_timer(self.retry_timeout, self.seq);
+    }
+
+    fn resend(&mut self, ctx: &mut Context<Envelope<P>>) {
+        if let Some(out) = &self.outstanding {
+            let command = out.command.clone();
+            let seq = out.seq;
+            self.retries += 1;
+            let to = self.target.pick(ctx.rng());
+            ctx.send(to, Envelope::Request(ClientRequest { command }));
+            ctx.set_timer(self.retry_timeout, seq);
+        }
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for ClosedLoopClient<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        self.issue_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
+        let reply = match msg {
+            Envelope::Reply(r) => r,
+            // Clients ignore anything that is not a reply.
+            _ => return,
+        };
+        let Some(out) = &self.outstanding else { return };
+        if reply.id.seq != out.seq {
+            return; // stale reply (e.g. after a retry raced the original)
+        }
+        if !reply.ok {
+            // Redirected: re-send to the hinted node (or re-pick).
+            if let Some(leader) = reply.redirect {
+                let command = out.command.clone();
+                let seq = out.seq;
+                ctx.send(leader, Envelope::Request(ClientRequest { command }));
+                ctx.set_timer(self.retry_timeout, seq);
+            } else {
+                self.resend(ctx);
+            }
+            return;
+        }
+        self.recorder.record(Sample {
+            issued: out.issued,
+            completed: ctx.now(),
+            is_read: out.is_read,
+        });
+        self.outstanding = None;
+        self.issue_next(ctx);
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
+        // Retry only if the timed-out request is still the outstanding one.
+        if matches!(&self.outstanding, Some(out) if out.seq == kind) {
+            self.resend(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ClientReply;
+    use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
+    use simnet::{CpuCostModel, Simulation, Topology};
+
+    #[derive(Debug, Clone)]
+    struct NoProto;
+    impl ProtoMessage for NoProto {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    /// Acks everything instantly.
+    struct InstantServer;
+    impl Replica<NoProto> for InstantServer {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            ctx.reply(client, ClientReply::ok(req.command.id, None));
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    /// Silently drops the first `drop_n` requests (to exercise retries).
+    struct FlakyServer {
+        drop_n: u64,
+        seen: u64,
+    }
+    impl Replica<NoProto> for FlakyServer {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            self.seen += 1;
+            if self.seen > self.drop_n {
+                ctx.reply(client, ClientReply::ok(req.command.id, None));
+            }
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    /// Always redirects to another node.
+    struct RedirectServer {
+        to: NodeId,
+    }
+    impl Replica<NoProto> for RedirectServer {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            ctx.reply(client, ClientReply::redirect(req.command.id, Some(self.to)));
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    fn client(target: TargetPolicy, rec: &ClientRecorder) -> Box<ClosedLoopClient<NoProto>> {
+        Box::new(ClosedLoopClient::new(
+            target,
+            Workload::paper_default(),
+            rec.clone(),
+            SimDuration::from_millis(100),
+        ))
+    }
+
+    #[test]
+    fn closed_loop_issues_back_to_back() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(2), CpuCostModel::free(), 3);
+        sim.add_actor(Box::new(ReplicaActor(InstantServer)));
+        let rec = ClientRecorder::new();
+        sim.add_actor(client(TargetPolicy::Fixed(NodeId(0)), &rec));
+        sim.run_until(SimTime::from_millis(100));
+        // RTT ≈ 0.4ms -> ≈250 completions in 100ms.
+        let n = rec.len();
+        assert!((150..400).contains(&n), "expected ~250 completions, got {n}");
+        // Latencies are positive and ~RTT.
+        for s in rec.samples() {
+            assert!(s.latency() > SimDuration::ZERO);
+            assert!(s.latency() < SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn retry_after_timeout() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(2), CpuCostModel::free(), 3);
+        sim.add_actor(Box::new(ReplicaActor(FlakyServer { drop_n: 2, seen: 0 })));
+        let rec = ClientRecorder::new();
+        sim.add_actor(client(TargetPolicy::Fixed(NodeId(0)), &rec));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!rec.is_empty(), "client must eventually get through");
+        let first = rec.samples()[0];
+        assert!(
+            first.latency() >= SimDuration::from_millis(200),
+            "first completion needed 2 retries at 100ms timeout, latency {}",
+            first.latency()
+        );
+    }
+
+    #[test]
+    fn redirect_is_followed() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(3), CpuCostModel::free(), 3);
+        sim.add_actor(Box::new(ReplicaActor(RedirectServer { to: NodeId(1) })));
+        sim.add_actor(Box::new(ReplicaActor(InstantServer)));
+        let rec = ClientRecorder::new();
+        sim.add_actor(client(TargetPolicy::Fixed(NodeId(0)), &rec));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(!rec.is_empty(), "redirected requests must still complete");
+    }
+
+    #[test]
+    fn random_target_spreads_load() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(3), CpuCostModel::free(), 3);
+        sim.add_actor(Box::new(ReplicaActor(InstantServer)));
+        sim.add_actor(Box::new(ReplicaActor(InstantServer)));
+        let rec = ClientRecorder::new();
+        sim.add_actor(client(TargetPolicy::Random(vec![NodeId(0), NodeId(1)]), &rec));
+        sim.run_until(SimTime::from_millis(200));
+        let a = sim.stats().nodes[0].msgs_received;
+        let b = sim.stats().nodes[1].msgs_received;
+        assert!(a > 0 && b > 0, "both replicas should see traffic: {a} vs {b}");
+    }
+
+    #[test]
+    fn sample_latency_math() {
+        let s = Sample {
+            issued: SimTime::from_millis(10),
+            completed: SimTime::from_millis(12),
+            is_read: false,
+        };
+        assert_eq!(s.latency(), SimDuration::from_millis(2));
+    }
+
+    use simnet::SimTime;
+}

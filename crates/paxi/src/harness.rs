@@ -1,0 +1,403 @@
+//! The measurement harness: builds a cluster + clients on the simulator,
+//! runs warmup and a measurement window, and reports the metrics the
+//! paper's figures plot (throughput, latency percentiles, per-node
+//! message loads, WAN traffic, and optional per-second timelines).
+
+use crate::client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
+use crate::cluster::ClusterConfig;
+use crate::envelope::{Envelope, ProtoMessage};
+use crate::metrics::{mean, percentile};
+use crate::workload::Workload;
+use simnet::{
+    Actor, CpuCostModel, NodeId, RegionId, SimDuration, SimTime, Simulation, Topology,
+};
+
+/// Everything needed to run one experiment point.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Number of consensus replicas (nodes 0..n).
+    pub n_replicas: usize,
+    /// Number of closed-loop clients (offered load control).
+    pub n_clients: usize,
+    /// Topology covering the replicas (clients are appended).
+    pub topology: Topology,
+    /// Region clients attach to (0 for LAN; the leader's region for WAN,
+    /// matching the paper's setup with clients near the leader).
+    pub client_region: RegionId,
+    /// CPU cost model for every node.
+    pub cost: CpuCostModel,
+    /// Master seed; every source of randomness in the run derives from it.
+    pub seed: u64,
+    /// Workload specification.
+    pub workload: Workload,
+    /// Ramp-up time excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// Client retry timeout.
+    pub retry_timeout: SimDuration,
+    /// If set, also produce a per-bucket throughput timeline (Fig. 13).
+    pub timeline_bucket: Option<SimDuration>,
+}
+
+impl RunSpec {
+    /// A LAN cluster with the paper-default workload.
+    pub fn lan(n_replicas: usize, n_clients: usize) -> Self {
+        RunSpec {
+            n_replicas,
+            n_clients,
+            topology: Topology::lan(n_replicas),
+            client_region: 0,
+            cost: CpuCostModel::calibrated(),
+            seed: DEFAULT_SEED,
+            workload: Workload::paper_default(),
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(4),
+            retry_timeout: SimDuration::from_millis(500),
+            timeline_bucket: None,
+        }
+    }
+
+    /// The paper's Fig. 9 WAN: replicas over Virginia/California/Oregon,
+    /// clients co-located with the leader in Virginia.
+    pub fn wan(n_replicas: usize, n_clients: usize) -> Self {
+        RunSpec {
+            topology: Topology::wan_virginia_california_oregon(n_replicas),
+            client_region: 0,
+            retry_timeout: SimDuration::from_secs(2),
+            ..RunSpec::lan(n_replicas, n_clients)
+        }
+    }
+}
+
+/// Default master seed used by [`RunSpec`] constructors.
+pub const DEFAULT_SEED: u64 = 0x9199_7a05;
+
+/// Metrics from one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed operations per second in the measurement window.
+    pub throughput: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Number of samples in the window.
+    pub samples: usize,
+    /// Distinct slots decided across the run.
+    pub decided: u64,
+    /// Safety violations detected (must be empty).
+    pub violations: Vec<String>,
+    /// Per-node messages handled (sent + received) in the window,
+    /// indexed by node id; replicas first, then clients.
+    pub node_msgs: Vec<u64>,
+    /// Messages handled by the leader per completed operation — the
+    /// empirical `Ml` of the paper's §6.
+    pub leader_msgs_per_op: f64,
+    /// Mean messages handled per non-leader replica per operation — the
+    /// empirical `Mf`.
+    pub follower_msgs_per_op: f64,
+    /// Cross-region messages per operation (paper §6.4).
+    pub cross_region_msgs_per_op: f64,
+    /// Per-bucket throughput timeline `(bucket_end_secs, ops_per_sec)`,
+    /// present when [`RunSpec::timeline_bucket`] was set.
+    pub timeline: Vec<(f64, f64)>,
+    /// Client retries observed (an indicator of failures during the run).
+    pub client_retries: u64,
+}
+
+/// Run one experiment.
+///
+/// * `build` constructs each replica actor given its node id and the
+///   shared [`ClusterConfig`].
+/// * `target` tells clients which replica(s) to contact.
+/// * `hook` runs after actors are registered and before the simulation
+///   starts — use it to schedule fault injection.
+pub fn run_spec<P, B, H>(spec: &RunSpec, build: B, target: TargetPolicy, hook: H) -> RunResult
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+    H: FnOnce(&mut Simulation<Envelope<P>>, &ClusterConfig),
+{
+    let mut topology = spec.topology.clone();
+    assert_eq!(
+        topology.num_nodes(),
+        spec.n_replicas,
+        "spec topology must cover exactly the replicas"
+    );
+    topology.add_nodes(spec.n_clients, spec.client_region);
+
+    let mut sim: Simulation<Envelope<P>> = Simulation::new(topology, spec.cost.clone(), spec.seed);
+    let cluster = ClusterConfig::new(spec.n_replicas);
+
+    for i in 0..spec.n_replicas {
+        sim.add_actor(build(NodeId::from(i), &cluster));
+    }
+
+    let recorder = ClientRecorder::new();
+    for _ in 0..spec.n_clients {
+        sim.add_actor(Box::new(ClosedLoopClient::<P>::new(
+            target.clone(),
+            spec.workload.clone(),
+            recorder.clone(),
+            spec.retry_timeout,
+        )));
+    }
+
+    hook(&mut sim, &cluster);
+
+    // Warmup.
+    sim.run_for(spec.warmup);
+    let warmup_end = sim.now();
+    let stats_before = sim.stats().clone();
+
+    // Measurement window.
+    sim.run_for(spec.measure);
+    let window_end = sim.now();
+    let stats_after = sim.stats().clone();
+
+    let all_samples = recorder.samples();
+    let window: Vec<&Sample> = all_samples
+        .iter()
+        .filter(|s| s.completed > warmup_end && s.completed <= window_end)
+        .collect();
+
+    let secs = spec.measure.as_secs_f64();
+    let throughput = window.len() as f64 / secs;
+    let lat_ms: Vec<f64> = window.iter().map(|s| s.latency().as_millis_f64()).collect();
+
+    let node_msgs: Vec<u64> = stats_after
+        .nodes
+        .iter()
+        .zip(stats_before.nodes.iter())
+        .map(|(a, b)| a.msgs_total() - b.msgs_total())
+        .collect();
+
+    let ops = window.len().max(1) as f64;
+    let leader = cluster.leader.index();
+    let leader_msgs_per_op = node_msgs.get(leader).copied().unwrap_or(0) as f64 / ops;
+    let followers: Vec<f64> = (0..spec.n_replicas)
+        .filter(|&i| i != leader)
+        .map(|i| node_msgs[i] as f64 / ops)
+        .collect();
+    let follower_msgs_per_op = mean(&followers);
+    let cross_region_msgs_per_op =
+        (stats_after.cross_region_msgs - stats_before.cross_region_msgs) as f64 / ops;
+
+    let timeline = match spec.timeline_bucket {
+        None => Vec::new(),
+        Some(bucket) => bucket_timeline(&all_samples, bucket, window_end),
+    };
+
+    RunResult {
+        throughput,
+        mean_latency_ms: mean(&lat_ms),
+        p50_latency_ms: percentile(&lat_ms, 50.0),
+        p99_latency_ms: percentile(&lat_ms, 99.0),
+        samples: window.len(),
+        decided: cluster.safety.decided_count(),
+        violations: cluster.safety.violations(),
+        node_msgs,
+        leader_msgs_per_op,
+        follower_msgs_per_op,
+        cross_region_msgs_per_op,
+        timeline,
+        client_retries: 0,
+    }
+}
+
+/// Convenience wrapper without a fault-injection hook.
+pub fn run<P, B>(spec: &RunSpec, build: B, target: TargetPolicy) -> RunResult
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+{
+    run_spec(spec, build, target, |_, _| {})
+}
+
+fn bucket_timeline(samples: &[Sample], bucket: SimDuration, end: SimTime) -> Vec<(f64, f64)> {
+    let nb = (end.as_nanos() / bucket.as_nanos().max(1)) as usize;
+    let mut counts = vec![0u64; nb + 1];
+    for s in samples {
+        let idx = (s.completed.as_nanos() / bucket.as_nanos()) as usize;
+        if idx < counts.len() {
+            counts[idx] += 1;
+        }
+    }
+    let bsecs = bucket.as_secs_f64();
+    counts
+        .iter()
+        .enumerate()
+        .take(nb)
+        .map(|(i, &c)| ((i as f64 + 1.0) * bsecs, c as f64 / bsecs))
+        .collect()
+}
+
+/// One point of a latency/throughput sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Number of closed-loop clients for this point.
+    pub clients: usize,
+    /// The full run metrics.
+    pub result: RunResult,
+}
+
+/// Sweep offered load (client counts) and return one point per count —
+/// the raw material of the paper's latency/throughput figures (8–11).
+pub fn load_sweep<P, B>(
+    base: &RunSpec,
+    client_counts: &[usize],
+    build: B,
+    target: TargetPolicy,
+) -> Vec<LoadPoint>
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+{
+    client_counts
+        .iter()
+        .map(|&clients| {
+            let spec = RunSpec {
+                n_clients: clients,
+                seed: base.seed.wrapping_add(clients as u64),
+                ..base.clone()
+            };
+            let result = run_spec(&spec, &build, target.clone(), |_, _| {});
+            LoadPoint { clients, result }
+        })
+        .collect()
+}
+
+/// The default client-count ladder for max-throughput searches.
+pub const DEFAULT_CLIENT_SWEEP: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160, 320];
+
+/// Maximum throughput over a load sweep (the paper's "max throughput"
+/// metric used in Figs. 7, 12, 13).
+pub fn max_throughput<P, B>(
+    base: &RunSpec,
+    client_counts: &[usize],
+    build: B,
+    target: TargetPolicy,
+) -> f64
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+{
+    load_sweep(base, client_counts, build, target)
+        .iter()
+        .map(|p| p.result.throughput)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{ClientReply, ClientRequest};
+    use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
+
+    #[derive(Debug, Clone)]
+    struct NoProto;
+    impl ProtoMessage for NoProto {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    /// A fake "consensus" replica that acks immediately (1 node).
+    struct Instant {
+        slot: u64,
+        cluster: ClusterConfig,
+    }
+    impl Replica<NoProto> for Instant {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            self.cluster.safety.record(0, self.slot, req.command.id);
+            self.slot += 1;
+            ctx.reply(client, ClientReply::ok(req.command.id, None));
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    fn build_instant(_: NodeId, cluster: &ClusterConfig) -> Box<dyn Actor<Envelope<NoProto>>> {
+        Box::new(ReplicaActor(Instant { slot: 0, cluster: cluster.clone() }))
+    }
+
+    fn small_spec(clients: usize) -> RunSpec {
+        RunSpec {
+            warmup: SimDuration::from_millis(200),
+            measure: SimDuration::from_millis(800),
+            ..RunSpec::lan(1, clients)
+        }
+    }
+
+    #[test]
+    fn run_produces_throughput_and_latency() {
+        let spec = small_spec(4);
+        let r = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.throughput > 100.0, "throughput {}", r.throughput);
+        assert!(r.mean_latency_ms > 0.0);
+        assert!(r.p99_latency_ms >= r.p50_latency_ms);
+        assert!(r.violations.is_empty());
+        assert!(r.decided > 0);
+    }
+
+    #[test]
+    fn more_clients_more_throughput_until_saturation() {
+        let lo = run(&small_spec(1), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let hi = run(&small_spec(8), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        assert!(
+            hi.throughput > lo.throughput * 2.0,
+            "8 clients ({}) should beat 1 client ({}) substantially",
+            hi.throughput,
+            lo.throughput
+        );
+    }
+
+    #[test]
+    fn load_sweep_returns_all_points() {
+        let pts = load_sweep(
+            &small_spec(0),
+            &[1, 2, 4],
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].clients, 1);
+        assert!(pts[2].result.throughput > pts[0].result.throughput);
+    }
+
+    #[test]
+    fn max_throughput_is_max() {
+        let m = max_throughput(
+            &small_spec(0),
+            &[1, 4],
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        let one = run(&small_spec(1), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        assert!(m >= one.throughput);
+    }
+
+    #[test]
+    fn timeline_buckets_cover_run() {
+        let spec = RunSpec {
+            timeline_bucket: Some(SimDuration::from_millis(250)),
+            ..small_spec(4)
+        };
+        let r = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        assert!(!r.timeline.is_empty());
+        // Total run is 1s -> 4 buckets.
+        assert_eq!(r.timeline.len(), 4);
+        // Steady load: later buckets should show similar throughput.
+        let t: Vec<f64> = r.timeline.iter().map(|&(_, v)| v).collect();
+        assert!(t[3] > 0.0);
+    }
+
+    #[test]
+    fn leader_msgs_per_op_counted() {
+        let r = run(&small_spec(2), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        // The instant server handles exactly 1 recv + 1 send per op.
+        assert!((r.leader_msgs_per_op - 2.0).abs() < 0.2, "got {}", r.leader_msgs_per_op);
+    }
+}

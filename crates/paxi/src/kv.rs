@@ -1,0 +1,113 @@
+//! The replicated in-memory key-value state machine.
+//!
+//! Same role as Paxi's `Database`: protocols decide an order of commands,
+//! then apply them here. Deterministic: the same command sequence yields
+//! the same state on every replica.
+
+use crate::command::{Key, Operation, Value};
+use std::collections::HashMap;
+
+/// An in-memory key-value store.
+#[derive(Debug, Default, Clone)]
+pub struct KvStore {
+    data: HashMap<Key, Value>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Apply one operation; returns the read value for `Get`.
+    pub fn apply(&mut self, op: &Operation) -> Option<Value> {
+        self.applied += 1;
+        match op {
+            Operation::Get(k) => self.data.get(k).cloned(),
+            Operation::Put(k, v) => {
+                self.data.insert(*k, v.clone());
+                None
+            }
+            Operation::Noop => None,
+        }
+    }
+
+    /// Read without counting as an applied command (used by leader-local
+    /// and quorum read optimizations).
+    pub fn peek(&self, k: Key) -> Option<&Value> {
+        self.data.get(&k)
+    }
+
+    /// Number of operations applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of distinct keys present.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no key has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(&Operation::Get(1)), None);
+        kv.apply(&Operation::Put(1, Value::zeros(4)));
+        assert_eq!(kv.apply(&Operation::Get(1)), Some(Value::zeros(4)));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn overwrite() {
+        let mut kv = KvStore::new();
+        kv.apply(&Operation::Put(1, Value::from(&b"a"[..])));
+        kv.apply(&Operation::Put(1, Value::from(&b"bb"[..])));
+        assert_eq!(kv.peek(1).unwrap().len(), 2);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn noop_counts_as_applied_but_changes_nothing() {
+        let mut kv = KvStore::new();
+        kv.apply(&Operation::Noop);
+        assert_eq!(kv.applied(), 1);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut kv = KvStore::new();
+        kv.apply(&Operation::Put(7, Value::zeros(1)));
+        let before = kv.applied();
+        assert!(kv.peek(7).is_some());
+        assert_eq!(kv.applied(), before);
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_state() {
+        let ops = [
+            Operation::Put(1, Value::zeros(3)),
+            Operation::Put(2, Value::zeros(5)),
+            Operation::Get(1),
+            Operation::Put(1, Value::zeros(7)),
+        ];
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        let ra: Vec<_> = ops.iter().map(|o| a.apply(o)).collect();
+        let rb: Vec<_> = ops.iter().map(|o| b.apply(o)).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.peek(1), b.peek(1));
+        assert_eq!(a.peek(2), b.peek(2));
+    }
+}

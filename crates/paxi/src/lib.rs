@@ -1,0 +1,53 @@
+//! # paxi — a level playground for consensus protocols
+//!
+//! Rust counterpart of the Paxi framework the PigPaxos paper builds on:
+//! everything a replication protocol needs *except* the protocol itself.
+//!
+//! - [`Ballot`], [`Log`], [`KvStore`]: consensus bookkeeping and the
+//!   replicated state machine.
+//! - [`quorum`]: majority, flexible (Howard et al.), and EPaxos fast
+//!   quorums, plus vote tracking.
+//! - [`Envelope`] / [`Replica`] / [`ReplicaActor`]: the wire format and
+//!   the adapter that runs a protocol replica on the `simnet` simulator.
+//! - [`Workload`] / [`ClosedLoopClient`]: the benchmark workload
+//!   generator and closed-loop clients.
+//! - [`SafetyMonitor`]: machine-checks agreement on every run.
+//! - [`harness`]: experiment driver producing the metrics the paper's
+//!   evaluation plots.
+//!
+//! Protocol crates (`paxos`, `pigpaxos`, `epaxos`) implement
+//! [`Replica`] on top of these pieces, exactly as the paper's protocols
+//! were implemented inside Paxi.
+
+#![warn(missing_docs)]
+
+pub mod ballot;
+pub mod client;
+pub mod cluster;
+pub mod command;
+pub mod envelope;
+pub mod harness;
+pub mod kv;
+pub mod log;
+pub mod metrics;
+pub mod quorum;
+pub mod replica;
+pub mod safety;
+pub mod workload;
+
+pub use ballot::Ballot;
+pub use client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
+pub use cluster::ClusterConfig;
+pub use command::{
+    ClientReply, ClientRequest, Command, Key, Operation, RequestId, Value, HEADER_BYTES,
+};
+pub use envelope::{Envelope, ProtoMessage};
+pub use harness::{
+    load_sweep, max_throughput, run, run_spec, LoadPoint, RunResult, RunSpec, DEFAULT_SEED,
+};
+pub use kv::KvStore;
+pub use log::{Log, LogEntry};
+pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};
+pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
+pub use safety::SafetyMonitor;
+pub use workload::{KeyDistribution, Workload};

@@ -1,0 +1,267 @@
+//! The replicated command log.
+//!
+//! A slot-indexed log with the usual Multi-Paxos life cycle per slot:
+//! *accepted* (under some ballot) → *committed* → *executed*. Execution
+//! is strictly in slot order with no gaps, which is what gives
+//! linearizability of commands.
+
+use crate::ballot::Ballot;
+use crate::command::Command;
+use std::collections::BTreeMap;
+
+/// One slot's state.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Ballot under which the current value was accepted.
+    pub ballot: Ballot,
+    /// The accepted command.
+    pub command: Command,
+    /// Set once the slot's value is decided.
+    pub committed: bool,
+    /// Set once the command has been applied to the state machine.
+    pub executed: bool,
+}
+
+/// A sparse, slot-indexed replicated log.
+#[derive(Debug, Default, Clone)]
+pub struct Log {
+    entries: BTreeMap<u64, LogEntry>,
+    /// Next slot the leader will propose into.
+    next_slot: u64,
+    /// Lowest slot that has not been executed yet.
+    execute_cursor: u64,
+}
+
+impl Log {
+    /// Empty log; slots start at 0.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Allocate the next free slot for a proposal.
+    pub fn allocate_slot(&mut self) -> u64 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        s
+    }
+
+    /// Record an accepted `(ballot, command)` in `slot`, overwriting any
+    /// value accepted under a lower ballot. Returns `false` (and leaves
+    /// the entry alone) if the slot already holds a value under a higher
+    /// ballot or is already committed with a different value source.
+    pub fn accept(&mut self, slot: u64, ballot: Ballot, command: Command) -> bool {
+        if slot >= self.next_slot {
+            self.next_slot = slot + 1;
+        }
+        match self.entries.get_mut(&slot) {
+            Some(e) if e.committed => true, // decided: accept is a no-op
+            Some(e) if e.ballot > ballot => false,
+            Some(e) => {
+                e.ballot = ballot;
+                e.command = command;
+                true
+            }
+            None => {
+                self.entries
+                    .insert(slot, LogEntry { ballot, command, committed: false, executed: false });
+                true
+            }
+        }
+    }
+
+    /// Mark a slot committed with the given command (idempotent). If the
+    /// slot held a different uncommitted value, the committed value wins.
+    pub fn commit(&mut self, slot: u64, ballot: Ballot, command: Command) {
+        if slot >= self.next_slot {
+            self.next_slot = slot + 1;
+        }
+        let e = self.entries.entry(slot).or_insert_with(|| LogEntry {
+            ballot,
+            command: command.clone(),
+            committed: false,
+            executed: false,
+        });
+        if !e.committed {
+            e.ballot = ballot;
+            e.command = command;
+            e.committed = true;
+        }
+    }
+
+    /// The next command ready to execute: the lowest committed, unexecuted
+    /// slot with no uncommitted gap below it.
+    pub fn next_executable(&self) -> Option<(u64, &Command)> {
+        let e = self.entries.get(&self.execute_cursor)?;
+        if e.committed && !e.executed {
+            Some((self.execute_cursor, &e.command))
+        } else {
+            None
+        }
+    }
+
+    /// Mark the execute-cursor slot done and advance the cursor.
+    /// Panics if called out of order.
+    pub fn mark_executed(&mut self, slot: u64) {
+        assert_eq!(slot, self.execute_cursor, "out-of-order execution");
+        let e = self.entries.get_mut(&slot).expect("executing a missing slot");
+        assert!(e.committed, "executing an uncommitted slot");
+        e.executed = true;
+        self.execute_cursor += 1;
+    }
+
+    /// Entry at `slot`, if any.
+    pub fn get(&self, slot: u64) -> Option<&LogEntry> {
+        self.entries.get(&slot)
+    }
+
+    /// Next slot a proposal would go into.
+    pub fn next_slot(&self) -> u64 {
+        self.next_slot
+    }
+
+    /// Lowest unexecuted slot.
+    pub fn execute_cursor(&self) -> u64 {
+        self.execute_cursor
+    }
+
+    /// Number of committed slots.
+    pub fn committed_count(&self) -> u64 {
+        self.entries.values().filter(|e| e.committed).count() as u64
+    }
+
+    /// All accepted-but-uncommitted `(slot, ballot, command)` above
+    /// `from_slot` — what a new leader must re-propose during recovery
+    /// (phase-1b payload).
+    pub fn uncommitted_from(&self, from_slot: u64) -> Vec<(u64, Ballot, Command)> {
+        self.entries
+            .range(from_slot..)
+            .filter(|(_, e)| !e.committed)
+            .map(|(&s, e)| (s, e.ballot, e.command.clone()))
+            .collect()
+    }
+
+    /// Slots in `[from, to)` that have no entry (holes a recovering leader
+    /// fills with no-ops).
+    pub fn holes(&self, from: u64, to: u64) -> Vec<u64> {
+        (from..to).filter(|s| !self.entries.contains_key(s)).collect()
+    }
+
+    /// True if any accepted-but-uncommitted entry at or above `from`
+    /// writes `key` — the "pending write" check of Paxos Quorum Reads.
+    pub fn has_uncommitted_write(&self, key: crate::command::Key, from: u64) -> bool {
+        self.entries.range(from..).any(|(_, e)| {
+            !e.committed && !e.command.op.is_read() && e.command.op.key() == Some(key)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Operation, RequestId};
+    use simnet::NodeId;
+
+    fn cmd(seq: u64) -> Command {
+        Command { id: RequestId { client: NodeId(100), seq }, op: Operation::Get(seq) }
+    }
+
+    fn b(r: u32) -> Ballot {
+        Ballot::new(r, NodeId(0))
+    }
+
+    #[test]
+    fn allocate_monotonic() {
+        let mut log = Log::new();
+        assert_eq!(log.allocate_slot(), 0);
+        assert_eq!(log.allocate_slot(), 1);
+        assert_eq!(log.next_slot(), 2);
+    }
+
+    #[test]
+    fn accept_higher_ballot_overwrites() {
+        let mut log = Log::new();
+        assert!(log.accept(0, b(1), cmd(1)));
+        assert!(log.accept(0, b(2), cmd(2)));
+        assert_eq!(log.get(0).unwrap().command, cmd(2));
+    }
+
+    #[test]
+    fn accept_lower_ballot_rejected() {
+        let mut log = Log::new();
+        assert!(log.accept(0, b(2), cmd(2)));
+        assert!(!log.accept(0, b(1), cmd(1)));
+        assert_eq!(log.get(0).unwrap().command, cmd(2));
+    }
+
+    #[test]
+    fn accept_extends_next_slot() {
+        let mut log = Log::new();
+        log.accept(5, b(1), cmd(1));
+        assert_eq!(log.next_slot(), 6);
+    }
+
+    #[test]
+    fn commit_then_execute_in_order() {
+        let mut log = Log::new();
+        log.accept(0, b(1), cmd(1));
+        log.accept(1, b(1), cmd(2));
+        log.commit(1, b(1), cmd(2));
+        assert!(log.next_executable().is_none(), "slot 0 not committed yet");
+        log.commit(0, b(1), cmd(1));
+        let (s, c) = log.next_executable().unwrap();
+        assert_eq!((s, c.clone()), (0, cmd(1)));
+        log.mark_executed(0);
+        let (s, c) = log.next_executable().unwrap();
+        assert_eq!((s, c.clone()), (1, cmd(2)));
+        log.mark_executed(1);
+        assert!(log.next_executable().is_none());
+        assert_eq!(log.execute_cursor(), 2);
+    }
+
+    #[test]
+    fn commit_is_idempotent_and_sticky() {
+        let mut log = Log::new();
+        log.commit(0, b(1), cmd(1));
+        log.commit(0, b(9), cmd(2)); // later commit with different value ignored
+        assert_eq!(log.get(0).unwrap().command, cmd(1));
+        assert!(log.get(0).unwrap().committed);
+    }
+
+    #[test]
+    fn commit_overrides_uncommitted_accept() {
+        let mut log = Log::new();
+        log.accept(0, b(5), cmd(5));
+        log.commit(0, b(1), cmd(1)); // decided value wins regardless of ballot
+        assert_eq!(log.get(0).unwrap().command, cmd(1));
+    }
+
+    #[test]
+    fn accept_on_committed_slot_is_noop() {
+        let mut log = Log::new();
+        log.commit(0, b(1), cmd(1));
+        assert!(log.accept(0, b(9), cmd(9)));
+        assert_eq!(log.get(0).unwrap().command, cmd(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_execution_panics() {
+        let mut log = Log::new();
+        log.commit(0, b(1), cmd(1));
+        log.commit(1, b(1), cmd(2));
+        log.mark_executed(1);
+    }
+
+    #[test]
+    fn uncommitted_and_holes_for_recovery() {
+        let mut log = Log::new();
+        log.accept(0, b(1), cmd(1));
+        log.commit(0, b(1), cmd(1));
+        log.accept(2, b(1), cmd(3)); // slot 1 is a hole
+        let unc = log.uncommitted_from(0);
+        assert_eq!(unc.len(), 1);
+        assert_eq!(unc[0].0, 2);
+        assert_eq!(log.holes(0, 3), vec![1]);
+        assert_eq!(log.committed_count(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Runtime safety checking.
+//!
+//! Paxos's safety property — no two nodes decide different commands for
+//! the same slot — is machine-checked on every run: each replica reports
+//! every commit it learns to a shared [`SafetyMonitor`], which records the
+//! first decision per `(space, slot)` and flags any later disagreement.
+//! Protocols with per-replica instance spaces (EPaxos) use `space` to
+//! separate them; Multi-Paxos and PigPaxos use space 0.
+
+use crate::command::RequestId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    decided: HashMap<(u32, u64), RequestId>,
+    violations: Vec<String>,
+    commits: u64,
+}
+
+/// Shared handle to the run's safety checker. Cloning shares state.
+/// Thread-safe so the same monitor works under the simulator and the
+/// real-thread runtime.
+#[derive(Debug, Clone, Default)]
+pub struct SafetyMonitor(Arc<Mutex<Inner>>);
+
+impl SafetyMonitor {
+    /// Fresh monitor.
+    pub fn new() -> Self {
+        SafetyMonitor::default()
+    }
+
+    /// Report that a node learned `(space, slot) = id`. Counts one commit
+    /// observation and records a violation on disagreement.
+    pub fn record(&self, space: u32, slot: u64, id: RequestId) {
+        let mut inner = self.0.lock();
+        inner.commits += 1;
+        match inner.decided.get(&(space, slot)) {
+            None => {
+                inner.decided.insert((space, slot), id);
+            }
+            Some(prev) if *prev == id => {}
+            Some(prev) => {
+                let msg = format!(
+                    "safety violation: space {space} slot {slot} decided as {prev} and {id}"
+                );
+                inner.violations.push(msg);
+            }
+        }
+    }
+
+    /// Distinct decided slots.
+    pub fn decided_count(&self) -> u64 {
+        self.0.lock().decided.len() as u64
+    }
+
+    /// Total commit observations (each replica's learn counts once).
+    pub fn commit_observations(&self) -> u64 {
+        self.0.lock().commits
+    }
+
+    /// All recorded violations.
+    pub fn violations(&self) -> Vec<String> {
+        self.0.lock().violations.clone()
+    }
+
+    /// Panic if any violation was recorded (used by tests and the
+    /// harness).
+    pub fn assert_safe(&self) {
+        let v = self.violations();
+        assert!(v.is_empty(), "consensus safety violated: {v:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn id(seq: u64) -> RequestId {
+        RequestId { client: NodeId(9), seq }
+    }
+
+    #[test]
+    fn agreement_is_fine() {
+        let m = SafetyMonitor::new();
+        m.record(0, 0, id(1));
+        m.record(0, 0, id(1));
+        m.record(0, 1, id(2));
+        assert!(m.violations().is_empty());
+        assert_eq!(m.decided_count(), 2);
+        assert_eq!(m.commit_observations(), 3);
+        m.assert_safe();
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let m = SafetyMonitor::new();
+        m.record(0, 0, id(1));
+        m.record(0, 0, id(2));
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].contains("slot 0"));
+    }
+
+    #[test]
+    fn spaces_are_independent() {
+        let m = SafetyMonitor::new();
+        m.record(0, 0, id(1));
+        m.record(1, 0, id(2)); // same slot, different space: fine
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "safety violated")]
+    fn assert_safe_panics_on_violation() {
+        let m = SafetyMonitor::new();
+        m.record(0, 0, id(1));
+        m.record(0, 0, id(2));
+        m.assert_safe();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = SafetyMonitor::new();
+        let m2 = m.clone();
+        m.record(0, 0, id(1));
+        m2.record(0, 0, id(2));
+        assert_eq!(m.violations().len(), 1);
+    }
+}

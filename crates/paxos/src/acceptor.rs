@@ -1,0 +1,345 @@
+//! The acceptor role: ballot promises, log acceptance, commit tracking,
+//! and state-machine execution.
+//!
+//! Both Multi-Paxos and PigPaxos replicas embed an [`Acceptor`]; PigPaxos
+//! changes only how acceptor responses travel, never what they contain.
+
+use crate::messages::{P1bVote, P2bVote, QrVoteEntry};
+use paxi::{Ballot, Command, Key, KvStore, Log, RequestId, SafetyMonitor, Value};
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// Follower-side consensus state.
+#[derive(Debug)]
+pub struct Acceptor {
+    node: NodeId,
+    promised: Ballot,
+    log: Log,
+    kv: KvStore,
+    safety: SafetyMonitor,
+    /// Slot of the last executed write per key (for quorum reads).
+    last_write_slot: HashMap<Key, u64>,
+}
+
+/// Result of advancing the commit watermark.
+#[derive(Debug, Default, PartialEq)]
+pub struct CommitAdvance {
+    /// Executed commands: `(slot, request id, read result)`.
+    pub executed: Vec<(u64, RequestId, Option<Value>)>,
+    /// A gap prevents further commits: the replica should schedule a
+    /// (batched, rate-limited) `LearnReq` covering slots up to this
+    /// watermark.
+    pub learn_needed: Option<u64>,
+}
+
+impl Acceptor {
+    /// New acceptor for `node`, reporting commits to `safety`.
+    pub fn new(node: NodeId, safety: SafetyMonitor) -> Self {
+        Acceptor {
+            node,
+            promised: Ballot::ZERO,
+            log: Log::new(),
+            kv: KvStore::new(),
+            safety,
+            last_write_slot: HashMap::new(),
+        }
+    }
+
+    /// Highest promised ballot.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// The underlying log (read access for tests and leaders).
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// The replicated state machine.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Handle a phase-1a leadership proposal.
+    pub fn on_p1a(&mut self, ballot: Ballot) -> P1bVote {
+        if ballot > self.promised {
+            self.promised = ballot;
+            P1bVote {
+                node: self.node,
+                ballot,
+                ok: true,
+                accepted: self.log.uncommitted_from(0),
+            }
+        } else {
+            P1bVote { node: self.node, ballot: self.promised, ok: false, accepted: Vec::new() }
+        }
+    }
+
+    /// Handle a phase-2a accept request. On success also advances commits
+    /// using the piggybacked watermark; the caller must process the
+    /// returned [`CommitAdvance`].
+    pub fn on_p2a(
+        &mut self,
+        ballot: Ballot,
+        slot: u64,
+        command: Command,
+        commit_up_to: u64,
+    ) -> (P2bVote, CommitAdvance) {
+        if ballot >= self.promised {
+            self.promised = ballot;
+            self.log.accept(slot, ballot, command);
+            let adv = self.advance_commits(commit_up_to, ballot);
+            (P2bVote { node: self.node, ballot, slot, ok: true }, adv)
+        } else {
+            (
+                P2bVote { node: self.node, ballot: self.promised, slot, ok: false },
+                CommitAdvance::default(),
+            )
+        }
+    }
+
+    /// Process the commit watermark from a leader message: every slot
+    /// `< commit_up_to` is decided. Entries accepted under
+    /// `leader_ballot` are committed as-is; a hole or an entry from an
+    /// older ballot needs repair (`learn_needed`).
+    pub fn advance_commits(&mut self, commit_up_to: u64, leader_ballot: Ballot) -> CommitAdvance {
+        let mut adv = CommitAdvance::default();
+        for s in self.log.execute_cursor()..commit_up_to {
+            let committable = match self.log.get(s) {
+                Some(e) if e.committed => None, // already done
+                Some(e) if e.ballot == leader_ballot => Some(e.command.clone()),
+                _ => {
+                    adv.learn_needed = Some(commit_up_to);
+                    break;
+                }
+            };
+            if let Some(cmd) = committable {
+                self.commit(s, leader_ballot, cmd);
+            }
+        }
+        adv.executed = self.execute_ready();
+        adv
+    }
+
+    /// Commit a decided `(slot, command)` (from vote counting at the
+    /// leader, or from a `LearnRep`).
+    pub fn commit(&mut self, slot: u64, ballot: Ballot, command: Command) {
+        let already = self.log.get(slot).map(|e| e.committed).unwrap_or(false);
+        if !already {
+            self.safety.record(0, slot, command.id);
+            self.log.commit(slot, ballot, command);
+        }
+    }
+
+    /// Apply every gap-free committed command to the state machine.
+    pub fn execute_ready(&mut self) -> Vec<(u64, RequestId, Option<Value>)> {
+        let mut out = Vec::new();
+        while let Some((slot, cmd)) = self.log.next_executable() {
+            let id = cmd.id;
+            let op = cmd.op.clone();
+            let result = self.kv.apply(&op);
+            if !op.is_read() {
+                if let Some(key) = op.key() {
+                    self.last_write_slot.insert(key, slot);
+                }
+            }
+            self.log.mark_executed(slot);
+            out.push((slot, id, result));
+        }
+        out
+    }
+
+    /// This replica's answer to a quorum read (PQR): the last executed
+    /// write to `key` plus whether any uncommitted write to it is in
+    /// flight here.
+    pub fn read_state(&self, key: Key) -> QrVoteEntry {
+        QrVoteEntry {
+            node: self.node,
+            value_slot: self.last_write_slot.get(&key).copied().unwrap_or(0),
+            value: self.kv.peek(key).cloned(),
+            pending_write: self.log.has_uncommitted_write(key, self.log.execute_cursor()),
+        }
+    }
+
+    /// Lowest slot not yet committed locally (this acceptor's commit
+    /// watermark; at the leader it is the cluster watermark).
+    pub fn commit_watermark(&self) -> u64 {
+        // Slots below the execute cursor are committed & executed; scan
+        // forward from there for the first uncommitted slot.
+        let mut s = self.log.execute_cursor();
+        while self.log.get(s).map(|e| e.committed).unwrap_or(false) {
+            s += 1;
+        }
+        s
+    }
+
+    /// Decided entries in `[from, to)` for serving a `LearnReq`.
+    pub fn committed_range(&self, from: u64, to: u64) -> Vec<(u64, Command)> {
+        (from..to)
+            .filter_map(|s| {
+                self.log.get(s).filter(|e| e.committed).map(|e| (s, e.command.clone()))
+            })
+            .collect()
+    }
+
+    /// Decided entries for an explicit slot list (serving a batched
+    /// `LearnReq`).
+    pub fn committed_slots(&self, slots: &[u64]) -> Vec<(u64, Command)> {
+        slots
+            .iter()
+            .filter_map(|&s| {
+                self.log.get(s).filter(|e| e.committed).map(|e| (s, e.command.clone()))
+            })
+            .collect()
+    }
+
+    /// Slots in `[execute_cursor, up_to)` this acceptor has not
+    /// committed — the precise repair set for a `LearnReq`. Capped at
+    /// `max` entries to bound message sizes.
+    pub fn missing_slots(&self, up_to: u64, max: usize) -> Vec<u64> {
+        (self.log.execute_cursor()..up_to)
+            .filter(|&s| !self.log.get(s).map(|e| e.committed).unwrap_or(false))
+            .take(max)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::Operation;
+
+    fn acc() -> Acceptor {
+        Acceptor::new(NodeId(1), SafetyMonitor::new())
+    }
+
+    fn cmd(seq: u64) -> Command {
+        Command {
+            id: RequestId { client: NodeId(9), seq },
+            op: Operation::Put(seq, Value::zeros(8)),
+        }
+    }
+
+    fn b(r: u32) -> Ballot {
+        Ballot::new(r, NodeId(0))
+    }
+
+    #[test]
+    fn p1a_promise_and_reject() {
+        let mut a = acc();
+        let v = a.on_p1a(b(1));
+        assert!(v.ok);
+        assert_eq!(v.ballot, b(1));
+        // Same ballot again: reject (strictly-greater required).
+        let v2 = a.on_p1a(b(1));
+        assert!(!v2.ok);
+        let v3 = a.on_p1a(b(2));
+        assert!(v3.ok);
+    }
+
+    #[test]
+    fn p1b_reports_uncommitted_accepted_entries() {
+        let mut a = acc();
+        a.on_p2a(b(1), 0, cmd(1), 0);
+        a.on_p2a(b(1), 1, cmd(2), 0);
+        // Commit slot 0 only.
+        a.commit(0, b(1), cmd(1));
+        let v = a.on_p1a(b(2));
+        assert!(v.ok);
+        assert_eq!(v.accepted.len(), 1, "only slot 1 is uncommitted");
+        assert_eq!(v.accepted[0].0, 1);
+    }
+
+    #[test]
+    fn p2a_accept_and_reject_by_ballot() {
+        let mut a = acc();
+        a.on_p1a(b(5));
+        let (v, _) = a.on_p2a(b(5), 0, cmd(1), 0);
+        assert!(v.ok, "equal ballot accepted");
+        let (v, _) = a.on_p2a(b(3), 1, cmd(2), 0);
+        assert!(!v.ok, "lower ballot rejected");
+        assert_eq!(v.ballot, b(5), "nack reports promised ballot");
+    }
+
+    #[test]
+    fn watermark_commits_and_executes() {
+        let mut a = acc();
+        let (_, adv) = a.on_p2a(b(1), 0, cmd(1), 0);
+        assert!(adv.executed.is_empty());
+        // Second p2a carries watermark 1 -> slot 0 commits and executes.
+        let (_, adv) = a.on_p2a(b(1), 1, cmd(2), 1);
+        assert_eq!(adv.executed.len(), 1);
+        assert_eq!(adv.executed[0].0, 0);
+        assert!(adv.learn_needed.is_none());
+        assert_eq!(a.kv().applied(), 1);
+        assert_eq!(a.commit_watermark(), 1);
+    }
+
+    #[test]
+    fn gap_triggers_learn() {
+        let mut a = acc();
+        // Accept slot 2 only; watermark says 3 -> slots 0,1 missing.
+        let (_, adv) = a.on_p2a(b(1), 2, cmd(3), 3);
+        assert_eq!(adv.learn_needed, Some(3));
+        assert!(adv.executed.is_empty());
+    }
+
+    #[test]
+    fn old_ballot_entry_triggers_learn() {
+        let mut a = acc();
+        a.on_p2a(b(1), 0, cmd(1), 0);
+        // New leader at b2; its watermark covers slot 0 but our entry is b1.
+        let (_, adv) = a.on_p2a(b(2), 1, cmd(2), 1);
+        assert_eq!(adv.learn_needed, Some(1));
+    }
+
+    #[test]
+    fn learn_rep_fills_gap_and_unblocks_execution() {
+        let mut a = acc();
+        a.on_p2a(b(1), 2, cmd(3), 0);
+        a.commit(2, b(1), cmd(3));
+        assert_eq!(a.execute_ready().len(), 0, "blocked by holes");
+        a.commit(0, b(1), cmd(1));
+        a.commit(1, b(1), cmd(2));
+        let ex = a.execute_ready();
+        assert_eq!(ex.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(a.commit_watermark(), 3);
+    }
+
+    #[test]
+    fn commit_is_idempotent_for_safety_reporting() {
+        let safety = SafetyMonitor::new();
+        let mut a = Acceptor::new(NodeId(1), safety.clone());
+        a.commit(0, b(1), cmd(1));
+        a.commit(0, b(1), cmd(1));
+        assert_eq!(safety.commit_observations(), 1, "double commit reported once");
+    }
+
+    #[test]
+    fn committed_range_serves_learn_requests() {
+        let mut a = acc();
+        a.commit(0, b(1), cmd(1));
+        a.commit(2, b(1), cmd(3));
+        let r = a.committed_range(0, 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[1].0, 2);
+    }
+
+    #[test]
+    fn get_executes_against_prior_puts() {
+        let mut a = acc();
+        let put = Command {
+            id: RequestId { client: NodeId(9), seq: 1 },
+            op: Operation::Put(42, Value::zeros(3)),
+        };
+        let get = Command {
+            id: RequestId { client: NodeId(9), seq: 2 },
+            op: Operation::Get(42),
+        };
+        a.commit(0, b(1), put);
+        a.commit(1, b(1), get);
+        let ex = a.execute_ready();
+        assert_eq!(ex[1].2.as_ref().map(|v| v.len()), Some(3));
+    }
+}

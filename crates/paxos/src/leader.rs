@@ -1,0 +1,447 @@
+//! The leader role: phase-1 campaigns, slot allocation, vote counting,
+//! and commit decisions.
+//!
+//! [`Leader`] is a pure state machine — it never sends messages itself.
+//! The replica (direct Multi-Paxos) or the PigPaxos overlay decides how
+//! its outputs travel. This separation is what lets PigPaxos reuse the
+//! decision logic unchanged, as the paper's implementation did.
+
+use crate::messages::{P1bVote, P2bVote};
+use paxi::{majority, Ballot, Command, RequestId, VoteTracker};
+use simnet::{NodeId, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Outcome of feeding phase-1b votes to a campaigning leader.
+#[derive(Debug, PartialEq)]
+pub enum Phase1Outcome {
+    /// Not enough promises yet.
+    Pending,
+    /// Campaign won. `reproposals` are the slots the new leader must
+    /// re-propose under its ballot (adopted values + no-op hole fillers)
+    /// before serving new commands.
+    Won {
+        /// `(slot, command)` pairs to propose immediately.
+        reproposals: Vec<(u64, Command)>,
+    },
+    /// A higher ballot exists; the campaign is abandoned.
+    Preempted {
+        /// The ballot that preempted us.
+        higher: Ballot,
+    },
+}
+
+/// A proposal in flight.
+#[derive(Debug)]
+pub struct Outstanding {
+    /// The proposed command.
+    pub command: Command,
+    /// Vote tally for this slot.
+    pub tracker: VoteTracker,
+    /// When the proposal was (last) sent, for retry.
+    pub sent_at: SimTime,
+    /// The client waiting for this slot, if any.
+    pub client: Option<NodeId>,
+}
+
+/// Leader-role state.
+#[derive(Debug)]
+pub struct Leader {
+    me: NodeId,
+    n: usize,
+    /// Phase-1 quorum size (majority unless flexible quorums are used).
+    q1: usize,
+    /// Phase-2 quorum size.
+    q2: usize,
+    ballot: Ballot,
+    active: bool,
+    campaigning: bool,
+    p1_tracker: VoteTracker,
+    p1_merged: HashMap<u64, (Ballot, Command)>,
+    next_slot: u64,
+    outstanding: BTreeMap<u64, Outstanding>,
+    /// Requests queued while inactive (e.g. during phase-1).
+    pub pending: VecDeque<(NodeId, Command)>,
+}
+
+impl Leader {
+    /// New (inactive) leader role for node `me` in a cluster of `n`,
+    /// using classic majority quorums.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        Leader::with_quorums(me, n, majority(n), majority(n))
+    }
+
+    /// Leader with flexible quorums (Howard et al.; paper §2.2):
+    /// phase-1 quorums of `q1`, phase-2 quorums of `q2`. Panics unless
+    /// `q1 + q2 > n` (quorums must intersect).
+    pub fn with_quorums(me: NodeId, n: usize, q1: usize, q2: usize) -> Self {
+        assert!(q1 + q2 > n, "flexible quorums must intersect: q1 + q2 > n");
+        assert!(q1 >= 1 && q1 <= n && q2 >= 1 && q2 <= n);
+        Leader {
+            me,
+            n,
+            q1,
+            q2,
+            ballot: Ballot::ZERO,
+            active: false,
+            campaigning: false,
+            p1_tracker: VoteTracker::new(q1, Ballot::ZERO),
+            p1_merged: HashMap::new(),
+            next_slot: 0,
+            outstanding: BTreeMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The phase-2 quorum size in use.
+    pub fn q2(&self) -> usize {
+        self.q2
+    }
+
+    /// The cluster size this leader was configured for.
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    /// Current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// True once phase-1 has completed and new commands may be proposed.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// True while a phase-1 campaign is in flight.
+    pub fn is_campaigning(&self) -> bool {
+        self.campaigning
+    }
+
+    /// Proposals not yet committed.
+    pub fn outstanding(&self) -> &BTreeMap<u64, Outstanding> {
+        &self.outstanding
+    }
+
+    /// Start (or restart) a phase-1 campaign with a ballot above
+    /// `at_least`. Returns the new ballot to put in the P1a.
+    pub fn start_campaign(&mut self, at_least: Ballot) -> Ballot {
+        self.ballot = at_least.max(self.ballot).next(self.me);
+        self.active = false;
+        self.campaigning = true;
+        self.p1_tracker = VoteTracker::new(self.q1, self.ballot);
+        self.p1_merged.clear();
+        self.ballot
+    }
+
+    /// Feed phase-1b votes (own vote included by the caller).
+    pub fn on_p1b_votes(&mut self, votes: Vec<P1bVote>, watermark: u64) -> Phase1Outcome {
+        if !self.campaigning {
+            return Phase1Outcome::Pending;
+        }
+        for v in votes {
+            if !v.ok {
+                if v.ballot > self.ballot {
+                    self.campaigning = false;
+                    return Phase1Outcome::Preempted { higher: v.ballot };
+                }
+                self.p1_tracker.nack(v.node);
+                continue;
+            }
+            for (slot, b, cmd) in v.accepted {
+                match self.p1_merged.get(&slot) {
+                    Some((prev, _)) if *prev >= b => {}
+                    _ => {
+                        self.p1_merged.insert(slot, (b, cmd));
+                    }
+                }
+            }
+            if self.p1_tracker.ack(v.node, self.ballot) {
+                return self.finish_campaign(watermark);
+            }
+        }
+        Phase1Outcome::Pending
+    }
+
+    fn finish_campaign(&mut self, watermark: u64) -> Phase1Outcome {
+        self.campaigning = false;
+        self.active = true;
+        let max_seen = self.p1_merged.keys().copied().max();
+        let horizon = max_seen.map(|m| m + 1).unwrap_or(watermark);
+        self.next_slot = self.next_slot.max(horizon).max(watermark);
+        let mut reproposals = Vec::new();
+        for slot in watermark..horizon {
+            let cmd = self
+                .p1_merged
+                .remove(&slot)
+                .map(|(_, c)| c)
+                .unwrap_or_else(Command::noop);
+            reproposals.push((slot, cmd));
+        }
+        self.p1_merged.clear();
+        Phase1Outcome::Won { reproposals }
+    }
+
+    /// Allocate a slot and register the proposal. The caller constructs
+    /// and disseminates the P2a and feeds the leader's own acceptor vote
+    /// back via [`Leader::on_p2b_votes`].
+    pub fn propose(
+        &mut self,
+        client: Option<NodeId>,
+        command: Command,
+        now: SimTime,
+    ) -> u64 {
+        assert!(self.active, "propose on inactive leader");
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.register(slot, command, client, now);
+        slot
+    }
+
+    /// Register a proposal at a fixed slot (used for re-proposals after
+    /// phase-1 and for retries after preemption recovery).
+    pub fn register(&mut self, slot: u64, command: Command, client: Option<NodeId>, now: SimTime) {
+        self.next_slot = self.next_slot.max(slot + 1);
+        self.outstanding.insert(
+            slot,
+            Outstanding {
+                command,
+                tracker: VoteTracker::new(self.q2, self.ballot),
+                sent_at: now,
+                client,
+            },
+        );
+    }
+
+    /// Feed phase-2b votes. Returns slots that just reached quorum:
+    /// `(slot, command, waiting client)`. A preempting higher ballot is
+    /// reported via `Err(higher)`.
+    #[allow(clippy::type_complexity)]
+    pub fn on_p2b_votes(
+        &mut self,
+        slot: u64,
+        votes: Vec<P2bVote>,
+    ) -> Result<Option<(u64, Command, Option<NodeId>)>, Ballot> {
+        let Some(out) = self.outstanding.get_mut(&slot) else {
+            return Ok(None); // already committed or unknown
+        };
+        for v in votes {
+            if !v.ok {
+                if v.ballot > self.ballot {
+                    return Err(v.ballot);
+                }
+                out.tracker.nack(v.node);
+                continue;
+            }
+            if out.tracker.ack(v.node, self.ballot) {
+                let out = self.outstanding.remove(&slot).expect("present");
+                return Ok(Some((slot, out.command, out.client)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Demote after preemption: drop in-flight proposals back into the
+    /// pending queue (they will be re-proposed if we win again, or the
+    /// new leader will adopt them via phase-1).
+    pub fn demote(&mut self) {
+        self.active = false;
+        self.campaigning = false;
+        let slots: Vec<u64> = self.outstanding.keys().copied().collect();
+        for s in slots {
+            let out = self.outstanding.remove(&s).expect("present");
+            if let Some(client) = out.client {
+                self.pending.push_back((client, out.command));
+            }
+        }
+    }
+
+    /// Proposals older than `timeout` as of `now`, for retry. Marks them
+    /// as re-sent.
+    pub fn stale_proposals(
+        &mut self,
+        now: SimTime,
+        timeout: simnet::SimDuration,
+    ) -> Vec<(u64, Command)> {
+        let mut stale = Vec::new();
+        for (&slot, out) in self.outstanding.iter_mut() {
+            if now.saturating_sub(out.sent_at) >= timeout {
+                out.sent_at = now;
+                stale.push((slot, out.command.clone()));
+            }
+        }
+        stale
+    }
+
+    /// Ids of commands currently outstanding (for duplicate suppression).
+    pub fn has_outstanding_request(&self, id: RequestId) -> bool {
+        self.outstanding.values().any(|o| o.command.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::{Operation, Value};
+
+    fn cmd(seq: u64) -> Command {
+        Command {
+            id: RequestId { client: NodeId(9), seq },
+            op: Operation::Put(seq, Value::zeros(8)),
+        }
+    }
+
+    fn p1b_ok(node: u32, ballot: Ballot) -> P1bVote {
+        P1bVote { node: NodeId(node), ballot, ok: true, accepted: vec![] }
+    }
+
+    fn p2b_ok(node: u32, ballot: Ballot, slot: u64) -> P2bVote {
+        P2bVote { node: NodeId(node), ballot, slot, ok: true }
+    }
+
+    #[test]
+    fn campaign_wins_with_majority() {
+        let mut l = Leader::new(NodeId(0), 5);
+        let b = l.start_campaign(Ballot::ZERO);
+        assert!(l.is_campaigning());
+        assert_eq!(l.on_p1b_votes(vec![p1b_ok(0, b)], 0), Phase1Outcome::Pending);
+        assert_eq!(l.on_p1b_votes(vec![p1b_ok(1, b)], 0), Phase1Outcome::Pending);
+        match l.on_p1b_votes(vec![p1b_ok(2, b)], 0) {
+            Phase1Outcome::Won { reproposals } => assert!(reproposals.is_empty()),
+            other => panic!("expected win, got {other:?}"),
+        }
+        assert!(l.is_active());
+    }
+
+    #[test]
+    fn campaign_adopts_highest_ballot_values_and_fills_holes() {
+        let mut l = Leader::new(NodeId(0), 3);
+        let b = l.start_campaign(Ballot::ZERO);
+        let old_b1 = Ballot::new(1, NodeId(1));
+        let old_b2 = Ballot::new(2, NodeId(2));
+        let v1 = P1bVote {
+            node: NodeId(1),
+            ballot: b,
+            ok: true,
+            accepted: vec![(1, old_b1, cmd(11)), (3, old_b1, cmd(13))],
+        };
+        let v2 = P1bVote {
+            node: NodeId(2),
+            ballot: b,
+            ok: true,
+            accepted: vec![(1, old_b2, cmd(21))],
+        };
+        match l.on_p1b_votes(vec![v1, v2], 0) {
+            Phase1Outcome::Won { reproposals } => {
+                // Slots 0..4: 0 noop, 1 adopted (higher ballot wins), 2 noop, 3 adopted.
+                assert_eq!(reproposals.len(), 4);
+                assert!(reproposals[0].1.is_noop());
+                assert_eq!(reproposals[1].1, cmd(21), "b2 > b1 so node 2's value wins");
+                assert!(reproposals[2].1.is_noop());
+                assert_eq!(reproposals[3].1, cmd(13));
+            }
+            other => panic!("expected win, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaign_preempted_by_higher_ballot() {
+        let mut l = Leader::new(NodeId(0), 3);
+        let b = l.start_campaign(Ballot::ZERO);
+        let higher = Ballot::new(99, NodeId(2));
+        let nack = P1bVote { node: NodeId(2), ballot: higher, ok: false, accepted: vec![] };
+        assert_eq!(l.on_p1b_votes(vec![nack], 0), Phase1Outcome::Preempted { higher });
+        assert!(!l.is_active());
+        // Next campaign outbids the preemptor.
+        let b2 = l.start_campaign(higher);
+        assert!(b2 > higher);
+        assert!(b2 > b);
+    }
+
+    fn active_leader(n: usize) -> Leader {
+        let mut l = Leader::new(NodeId(0), n);
+        let b = l.start_campaign(Ballot::ZERO);
+        let votes: Vec<P1bVote> = (0..majority(n) as u32).map(|i| p1b_ok(i, b)).collect();
+        match l.on_p1b_votes(votes, 0) {
+            Phase1Outcome::Won { .. } => {}
+            other => panic!("setup failed: {other:?}"),
+        }
+        l
+    }
+
+    #[test]
+    fn propose_allocates_sequential_slots() {
+        let mut l = active_leader(3);
+        let s0 = l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+        let s1 = l.propose(Some(NodeId(10)), cmd(2), SimTime::ZERO);
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(l.outstanding().len(), 2);
+    }
+
+    #[test]
+    fn p2b_quorum_commits() {
+        let mut l = active_leader(5);
+        let b = l.ballot();
+        let slot = l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+        assert_eq!(l.on_p2b_votes(slot, vec![p2b_ok(0, b, slot)]), Ok(None));
+        assert_eq!(l.on_p2b_votes(slot, vec![p2b_ok(1, b, slot)]), Ok(None));
+        let r = l.on_p2b_votes(slot, vec![p2b_ok(2, b, slot)]).unwrap().unwrap();
+        assert_eq!(r.0, slot);
+        assert_eq!(r.1, cmd(1));
+        assert_eq!(r.2, Some(NodeId(10)));
+        assert!(l.outstanding().is_empty());
+        // Late votes for a committed slot are harmless.
+        assert_eq!(l.on_p2b_votes(slot, vec![p2b_ok(3, b, slot)]), Ok(None));
+    }
+
+    #[test]
+    fn aggregated_votes_commit_in_one_call() {
+        let mut l = active_leader(5);
+        let b = l.ballot();
+        let slot = l.propose(None, cmd(1), SimTime::ZERO);
+        // A PigPaxos relay aggregate carrying 3 votes at once.
+        let votes = vec![p2b_ok(0, b, slot), p2b_ok(1, b, slot), p2b_ok(2, b, slot)];
+        let r = l.on_p2b_votes(slot, votes).unwrap();
+        assert!(r.is_some(), "aggregate satisfying quorum commits immediately");
+    }
+
+    #[test]
+    fn p2b_preemption_reported() {
+        let mut l = active_leader(3);
+        let slot = l.propose(None, cmd(1), SimTime::ZERO);
+        let higher = Ballot::new(50, NodeId(1));
+        let nack = P2bVote { node: NodeId(1), ballot: higher, slot, ok: false };
+        assert_eq!(l.on_p2b_votes(slot, vec![nack]), Err(higher));
+    }
+
+    #[test]
+    fn demote_requeues_client_commands() {
+        let mut l = active_leader(3);
+        l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+        l.propose(None, cmd(2), SimTime::ZERO); // no client (e.g. noop)
+        l.demote();
+        assert!(!l.is_active());
+        assert_eq!(l.pending.len(), 1, "only client-attached commands requeue");
+        assert!(l.outstanding().is_empty());
+    }
+
+    #[test]
+    fn stale_proposals_for_retry() {
+        let mut l = active_leader(3);
+        let t0 = SimTime::ZERO;
+        l.propose(None, cmd(1), t0);
+        let later = SimTime::from_millis(100);
+        let stale = l.stale_proposals(later, simnet::SimDuration::from_millis(50));
+        assert_eq!(stale.len(), 1);
+        // Marked as re-sent: immediately asking again returns nothing.
+        let stale2 = l.stale_proposals(later, simnet::SimDuration::from_millis(50));
+        assert!(stale2.is_empty());
+    }
+
+    #[test]
+    fn duplicate_request_detection() {
+        let mut l = active_leader(3);
+        l.propose(Some(NodeId(10)), cmd(7), SimTime::ZERO);
+        assert!(l.has_outstanding_request(RequestId { client: NodeId(9), seq: 7 }));
+        assert!(!l.has_outstanding_request(RequestId { client: NodeId(9), seq: 8 }));
+    }
+}

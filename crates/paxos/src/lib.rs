@@ -1,0 +1,26 @@
+//! # paxos — Multi-Paxos baseline
+//!
+//! The single-leader Multi-Paxos the PigPaxos paper compares against
+//! (paper §2.1): a stable leader runs phase-1 once, proposes each command
+//! with a phase-2a fanned out directly to all followers, and piggybacks
+//! phase-3 commits on subsequent phase-2a/heartbeat messages via a commit
+//! watermark.
+//!
+//! The [`Acceptor`] and [`Leader`] role state machines are shared with
+//! the `pigpaxos` crate, which replaces only the communication pattern —
+//! mirroring the paper's claim that PigPaxos "required almost no changes
+//! to the core Paxos code".
+
+#![warn(missing_docs)]
+
+pub mod acceptor;
+pub mod config;
+pub mod leader;
+pub mod messages;
+pub mod replica;
+
+pub use acceptor::{Acceptor, CommitAdvance};
+pub use config::PaxosConfig;
+pub use leader::{Leader, Outstanding, Phase1Outcome};
+pub use messages::{P1bVote, P2bVote, PaxosMsg, QrVoteEntry};
+pub use replica::{paxos_builder, PaxosReplica};

@@ -1,0 +1,264 @@
+//! Multi-Paxos wire messages.
+//!
+//! Phase-1b and phase-2b responses carry a *vector* of votes. A follower
+//! replying directly sends a singleton; a PigPaxos relay sends the
+//! concatenation of its group's votes. The leader's quorum counting is
+//! identical either way — this is the mechanical realization of the
+//! paper's observation that the relay/aggregate overlay changes only the
+//! communication implementation, not the protocol.
+
+use paxi::{Ballot, Command, Key, ProtoMessage, Value, HEADER_BYTES};
+use simnet::NodeId;
+
+/// One follower's phase-1b promise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P1bVote {
+    /// The promising follower.
+    pub node: NodeId,
+    /// The ballot it promises (equals the P1a ballot on success; its
+    /// higher promised ballot on rejection).
+    pub ballot: Ballot,
+    /// Whether the promise was granted.
+    pub ok: bool,
+    /// Every accepted-but-uncommitted `(slot, ballot, command)` the
+    /// follower knows — the new leader must re-propose these.
+    pub accepted: Vec<(u64, Ballot, Command)>,
+}
+
+/// One follower's phase-2b acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2bVote {
+    /// The acknowledging follower.
+    pub node: NodeId,
+    /// Its current promised ballot (for nack diagnosis).
+    pub ballot: Ballot,
+    /// The slot being acknowledged.
+    pub slot: u64,
+    /// Whether the accept was granted.
+    pub ok: bool,
+}
+
+/// One replica's answer to a quorum read (PQR, Charapko et al.
+/// HotStorage'19; adopted for PigPaxos relay trees in the paper's §4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QrVoteEntry {
+    /// The answering replica.
+    pub node: NodeId,
+    /// Slot of the last *executed* write to the key at this replica
+    /// (0 if never written).
+    pub value_slot: u64,
+    /// The executed value (None if the key was never written).
+    pub value: Option<Value>,
+    /// True if this replica has accepted-but-uncommitted writes to the
+    /// key — the reader must rinse (retry) until they resolve.
+    pub pending_write: bool,
+}
+
+impl QrVoteEntry {
+    fn wire_bytes(&self) -> usize {
+        13 + self.value.as_ref().map_or(0, |v| v.len())
+    }
+}
+
+/// Multi-Paxos protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaxosMsg {
+    /// Phase-1a: leadership proposal with a ballot.
+    P1a {
+        /// Candidate's ballot.
+        ballot: Ballot,
+    },
+    /// Phase-1b: promise votes (singleton when direct, aggregated by
+    /// PigPaxos relays).
+    P1b {
+        /// The ballot these votes answer.
+        ballot: Ballot,
+        /// Individual promises.
+        votes: Vec<P1bVote>,
+    },
+    /// Phase-2a: accept request for one slot, carrying the commit
+    /// watermark as the piggybacked phase-3 (every slot below it is
+    /// decided).
+    P2a {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Slot to fill.
+        slot: u64,
+        /// Proposed command.
+        command: Command,
+        /// All slots `< commit_up_to` are committed (phase-3 piggyback).
+        commit_up_to: u64,
+    },
+    /// Phase-2b: accept votes (singleton or aggregated).
+    P2b {
+        /// The ballot these votes answer.
+        ballot: Ballot,
+        /// The slot these votes answer.
+        slot: u64,
+        /// Individual acks.
+        votes: Vec<P2bVote>,
+    },
+    /// Leader liveness + commit-watermark propagation when idle.
+    Heartbeat {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Commit watermark (as in P2a).
+        commit_up_to: u64,
+    },
+    /// Follower asks the leader for committed entries it is missing
+    /// (gap repair after drops or relay failures). Carries the precise
+    /// missing slots so the reply stays minimal; repair is batched and
+    /// rate-limited at the follower to keep it off the hot path.
+    LearnReq {
+        /// The slots the follower is missing.
+        slots: Vec<u64>,
+    },
+    /// Leader's reply with decided entries.
+    LearnRep {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Decided `(slot, command)` pairs.
+        entries: Vec<(u64, Command)>,
+    },
+    /// Quorum-read probe from a reading proxy (§4.3).
+    QrRead {
+        /// The proxy driving the read (aggregates travel back to it).
+        reader: NodeId,
+        /// Proxy-local read id.
+        id: u64,
+        /// The key being read.
+        key: Key,
+    },
+    /// Quorum-read answers (singleton when direct, aggregated by
+    /// PigPaxos relays, like P1b/P2b).
+    QrVote {
+        /// The proxy this answers.
+        reader: NodeId,
+        /// The read id it answers.
+        id: u64,
+        /// Individual replica answers.
+        votes: Vec<QrVoteEntry>,
+    },
+}
+
+impl PaxosMsg {
+    fn votes_bytes_p1(votes: &[P1bVote]) -> usize {
+        votes
+            .iter()
+            .map(|v| {
+                14 + v.accepted.iter().map(|(_, _, c)| 16 + c.payload_bytes()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl ProtoMessage for PaxosMsg {
+    fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                PaxosMsg::P1a { .. } => 8,
+                PaxosMsg::P1b { votes, .. } => 8 + PaxosMsg::votes_bytes_p1(votes),
+                PaxosMsg::P2a { command, .. } => 8 + 8 + 8 + command.payload_bytes(),
+                PaxosMsg::P2b { votes, .. } => 16 + votes.len() * 14,
+                PaxosMsg::Heartbeat { .. } => 16,
+                PaxosMsg::LearnReq { slots } => 8 + slots.len() * 8,
+                PaxosMsg::LearnRep { entries, .. } => {
+                    8 + entries.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+                }
+                PaxosMsg::QrRead { .. } => 20,
+                PaxosMsg::QrVote { votes, .. } => {
+                    12 + votes.iter().map(|v| v.wire_bytes()).sum::<usize>()
+                }
+            }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            PaxosMsg::P1a { .. } => "p1a",
+            PaxosMsg::P1b { .. } => "p1b",
+            PaxosMsg::P2a { .. } => "p2a",
+            PaxosMsg::P2b { .. } => "p2b",
+            PaxosMsg::Heartbeat { .. } => "heartbeat",
+            PaxosMsg::LearnReq { .. } => "learnreq",
+            PaxosMsg::LearnRep { .. } => "learnrep",
+            PaxosMsg::QrRead { .. } => "qr_read",
+            PaxosMsg::QrVote { .. } => "qr_vote",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::{Operation, RequestId, Value};
+
+    fn cmd(bytes: usize) -> Command {
+        Command {
+            id: RequestId { client: NodeId(9), seq: 1 },
+            op: Operation::Put(1, Value::zeros(bytes)),
+        }
+    }
+
+    #[test]
+    fn p2a_size_scales_with_payload() {
+        let small = PaxosMsg::P2a {
+            ballot: Ballot::ZERO,
+            slot: 0,
+            command: cmd(8),
+            commit_up_to: 0,
+        };
+        let large = PaxosMsg::P2a {
+            ballot: Ballot::ZERO,
+            slot: 0,
+            command: cmd(1280),
+            commit_up_to: 0,
+        };
+        assert_eq!(large.wire_size() - small.wire_size(), 1272);
+    }
+
+    #[test]
+    fn aggregated_p2b_bigger_than_single() {
+        let vote = |n| P2bVote { node: NodeId(n), ballot: Ballot::ZERO, slot: 0, ok: true };
+        let single =
+            PaxosMsg::P2b { ballot: Ballot::ZERO, slot: 0, votes: vec![vote(1)] };
+        let agg = PaxosMsg::P2b {
+            ballot: Ballot::ZERO,
+            slot: 0,
+            votes: (0..8).map(vote).collect(),
+        };
+        assert!(agg.wire_size() > single.wire_size());
+        assert_eq!(agg.wire_size() - single.wire_size(), 7 * 14);
+    }
+
+    #[test]
+    fn p1b_size_includes_accepted_entries() {
+        let empty = PaxosMsg::P1b {
+            ballot: Ballot::ZERO,
+            votes: vec![P1bVote {
+                node: NodeId(1),
+                ballot: Ballot::ZERO,
+                ok: true,
+                accepted: vec![],
+            }],
+        };
+        let loaded = PaxosMsg::P1b {
+            ballot: Ballot::ZERO,
+            votes: vec![P1bVote {
+                node: NodeId(1),
+                ballot: Ballot::ZERO,
+                ok: true,
+                accepted: vec![(3, Ballot::ZERO, cmd(100))],
+            }],
+        };
+        assert!(loaded.wire_size() > empty.wire_size() + 100);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PaxosMsg::P1a { ballot: Ballot::ZERO }.label(), "p1a");
+        assert_eq!(
+            PaxosMsg::Heartbeat { ballot: Ballot::ZERO, commit_up_to: 0 }.label(),
+            "heartbeat"
+        );
+    }
+}

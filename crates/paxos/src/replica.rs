@@ -1,0 +1,553 @@
+//! The Multi-Paxos replica: glues the [`Acceptor`] and [`Leader`] roles
+//! to direct leader↔follower communication.
+//!
+//! This is the baseline the paper measures PigPaxos against: the leader
+//! fans out every phase message to all `N−1` followers and receives all
+//! their responses directly, so its message load is `2(N−1)+2` per
+//! operation (paper Table 1, "Paxos" row).
+
+use crate::acceptor::{Acceptor, CommitAdvance};
+use crate::config::PaxosConfig;
+use crate::leader::{Leader, Phase1Outcome};
+use crate::messages::PaxosMsg;
+use paxi::{
+    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
+    ReplicaCtx,
+};
+use rand::Rng;
+use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
+use std::collections::HashMap;
+
+const T_ELECTION: u64 = 1;
+const T_HEARTBEAT: u64 = 2;
+const T_RETRY_SCAN: u64 = 3;
+const T_LEARN: u64 = 6;
+
+/// Largest number of slots requested in one batched `LearnReq`.
+const LEARN_BATCH_MAX: usize = 4096;
+
+/// A Multi-Paxos replica (leader-capable).
+pub struct PaxosReplica {
+    me: NodeId,
+    cluster: ClusterConfig,
+    cfg: PaxosConfig,
+    acceptor: Acceptor,
+    leader: Leader,
+    known_leader: Option<NodeId>,
+    last_leader_contact: SimTime,
+    /// Clients waiting for a slot to execute, by slot.
+    waiting: HashMap<u64, NodeId>,
+    election_timeout: SimDuration,
+    /// Highest watermark we observed with gaps below it; a learn timer
+    /// is armed while repair is pending.
+    repair_up_to: u64,
+    repair_armed: bool,
+}
+
+impl PaxosReplica {
+    /// Create the replica for `me`.
+    pub fn new(me: NodeId, cluster: ClusterConfig, cfg: PaxosConfig) -> Self {
+        let n = cluster.n();
+        let acceptor = Acceptor::new(me, cluster.safety.clone());
+        let leader = match cfg.flexible_quorums {
+            Some((q1, q2)) => Leader::with_quorums(me, n, q1, q2),
+            None => Leader::new(me, n),
+        };
+        PaxosReplica {
+            me,
+            cfg,
+            acceptor,
+            leader,
+            known_leader: Some(cluster.leader),
+            last_leader_contact: SimTime::ZERO,
+            waiting: HashMap::new(),
+            election_timeout: SimDuration::ZERO,
+            repair_up_to: 0,
+            repair_armed: false,
+            cluster,
+        }
+    }
+
+    /// The embedded acceptor (for tests and diagnostics).
+    pub fn acceptor(&self) -> &Acceptor {
+        &self.acceptor
+    }
+
+    /// True if this replica currently acts as the active leader.
+    pub fn is_leader(&self) -> bool {
+        self.leader.is_active()
+    }
+
+    fn fanout(&self, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
+        for peer in self.cluster.peers(self.me) {
+            ctx.send_proto(peer, msg.clone());
+        }
+    }
+
+    fn begin_campaign(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        let ballot = self.leader.start_campaign(self.acceptor.promised());
+        // Self-vote first; in a 1-node cluster this already wins.
+        let own = self.acceptor.on_p1a(ballot);
+        let watermark = self.acceptor.commit_watermark();
+        let outcome = self.leader.on_p1b_votes(vec![own], watermark);
+        self.handle_phase1_outcome(outcome, ctx);
+        self.fanout(PaxosMsg::P1a { ballot }, ctx);
+    }
+
+    fn handle_phase1_outcome(&mut self, outcome: Phase1Outcome, ctx: &mut Ctx<PaxosMsg>) {
+        match outcome {
+            Phase1Outcome::Pending => {}
+            Phase1Outcome::Won { reproposals } => {
+                self.known_leader = Some(self.me);
+                for (slot, cmd) in reproposals {
+                    self.leader.register(slot, cmd.clone(), None, ctx.now());
+                    self.send_accepts(slot, cmd, ctx);
+                }
+                // Serve commands that queued up during the campaign.
+                while let Some((client, cmd)) = self.leader.pending.pop_front() {
+                    self.propose_command(client, cmd, ctx);
+                }
+            }
+            Phase1Outcome::Preempted { higher } => {
+                self.abdicate(higher.node(), ctx);
+            }
+        }
+    }
+
+    fn abdicate(&mut self, to: NodeId, ctx: &mut Ctx<PaxosMsg>) {
+        self.leader.demote();
+        self.known_leader = Some(to);
+        // Tell queued clients where to go instead of letting them stall.
+        while let Some((client, cmd)) = self.leader.pending.pop_front() {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+    }
+
+    fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
+        let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
+        self.waiting.insert(slot, client);
+        self.send_accepts(slot, cmd, ctx);
+    }
+
+    /// Self-vote + fan the P2a out (to all followers, or to `q2 − 1` of
+    /// them under the thrifty optimization).
+    fn send_accepts(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
+        let ballot = self.leader.ballot();
+        let commit_up_to = self.acceptor.commit_watermark();
+        let (own, adv) = self.acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
+        self.finish_advance(adv, ctx);
+        match self.leader.on_p2b_votes(slot, vec![own]) {
+            Ok(Some((slot, cmd, _client))) => self.commit_and_execute(slot, cmd, ctx),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+        let msg = PaxosMsg::P2a { ballot, slot, command: cmd, commit_up_to };
+        if self.cfg.thrifty {
+            // Exactly enough peers for a q2 quorum (own vote included).
+            // Retries fall back to the full fan-out, recovering from a
+            // sluggish member at latency cost (paper §2.2).
+            let peers = self.cluster.peers(self.me);
+            for peer in peers.into_iter().take(self.leader.q2().saturating_sub(1)) {
+                ctx.send_proto(peer, msg.clone());
+            }
+        } else {
+            self.fanout(msg, ctx);
+        }
+    }
+
+    fn commit_and_execute(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
+        self.acceptor.commit(slot, self.leader.ballot(), cmd);
+        let executed = self.acceptor.execute_ready();
+        self.reply_executed(executed, ctx);
+    }
+
+    fn reply_executed(
+        &mut self,
+        executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
+        ctx: &mut Ctx<PaxosMsg>,
+    ) {
+        if !executed.is_empty() {
+            ctx.charge(self.cfg.exec_cost * executed.len() as u64);
+        }
+        for (slot, id, value) in executed {
+            if let Some(client) = self.waiting.remove(&slot) {
+                ctx.reply(client, ClientReply::ok(id, value));
+            }
+        }
+    }
+
+    fn finish_advance(&mut self, adv: CommitAdvance, ctx: &mut Ctx<PaxosMsg>) {
+        if let Some(up_to) = adv.learn_needed {
+            self.repair_up_to = self.repair_up_to.max(up_to);
+            if !self.repair_armed {
+                self.repair_armed = true;
+                ctx.set_timer(self.cfg.learn_delay, T_LEARN);
+            }
+        }
+        self.reply_executed(adv.executed, ctx);
+    }
+
+    /// Fire the batched gap repair: ask the leader for exactly the slots
+    /// still missing (most in-flight gaps will have healed by now).
+    fn send_learn_request(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        self.repair_armed = false;
+        let Some(leader) = self.known_leader else { return };
+        if leader == self.me {
+            return;
+        }
+        let missing = self.acceptor.missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
+        if !missing.is_empty() {
+            ctx.send_proto(leader, PaxosMsg::LearnReq { slots: missing });
+        }
+    }
+
+    fn note_leader_contact(&mut self, from: NodeId, now: SimTime) {
+        self.known_leader = Some(from);
+        self.last_leader_contact = now;
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        let min = self.cfg.election_timeout_min.as_nanos();
+        let max = self.cfg.election_timeout_max.as_nanos();
+        let span = SimDuration::from_nanos(ctx.rng().gen_range(min..=max));
+        self.election_timeout = span;
+        ctx.set_timer(span, T_ELECTION);
+    }
+}
+
+impl Replica<PaxosMsg> for PaxosReplica {
+    fn on_start(&mut self, ctx: &mut Ctx<PaxosMsg>) {
+        self.last_leader_contact = ctx.now();
+        if self.me == self.cluster.leader {
+            self.begin_campaign(ctx);
+            ctx.set_timer(self.cfg.heartbeat_interval, T_HEARTBEAT);
+        } else {
+            self.arm_election_timer(ctx);
+        }
+        ctx.set_timer(self.cfg.p2_retry_timeout / 2, T_RETRY_SCAN);
+    }
+
+    fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<PaxosMsg>) {
+        let cmd = req.command;
+        if self.leader.is_active() {
+            if self.leader.has_outstanding_request(cmd.id) {
+                return; // duplicate of an in-flight client retry
+            }
+            self.propose_command(client, cmd, ctx);
+        } else if self.leader.is_campaigning() || self.me == self.cluster.leader {
+            self.leader.pending.push_back((client, cmd));
+        } else {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+    }
+
+    fn on_proto(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
+        match msg {
+            PaxosMsg::P1a { ballot } => {
+                let vote = self.acceptor.on_p1a(ballot);
+                if vote.ok {
+                    self.note_leader_contact(from, ctx.now());
+                    if (self.leader.is_active() || self.leader.is_campaigning())
+                        && ballot > self.leader.ballot()
+                    {
+                        self.abdicate(from, ctx);
+                    }
+                }
+                ctx.send_proto(from, PaxosMsg::P1b { ballot: vote.ballot, votes: vec![vote] });
+            }
+            PaxosMsg::P1b { ballot, votes } => {
+                if ballot == self.leader.ballot() && self.leader.is_campaigning() {
+                    let watermark = self.acceptor.commit_watermark();
+                    let outcome = self.leader.on_p1b_votes(votes, watermark);
+                    self.handle_phase1_outcome(outcome, ctx);
+                }
+            }
+            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+                let (vote, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
+                if vote.ok {
+                    self.note_leader_contact(from, ctx.now());
+                    if self.leader.is_active() && ballot > self.leader.ballot() {
+                        self.abdicate(from, ctx);
+                    }
+                }
+                self.finish_advance(adv, ctx);
+                ctx.send_proto(
+                    from,
+                    PaxosMsg::P2b { ballot: vote.ballot, slot, votes: vec![vote] },
+                );
+            }
+            PaxosMsg::P2b { ballot, slot, votes } => {
+                if self.leader.is_active() && ballot == self.leader.ballot() {
+                    match self.leader.on_p2b_votes(slot, votes) {
+                        Ok(Some((slot, cmd, _client))) => {
+                            self.commit_and_execute(slot, cmd, ctx)
+                        }
+                        Ok(None) => {}
+                        Err(higher) => self.abdicate(higher.node(), ctx),
+                    }
+                }
+            }
+            PaxosMsg::Heartbeat { ballot, commit_up_to } => {
+                if ballot >= self.acceptor.promised() {
+                    self.note_leader_contact(from, ctx.now());
+                    let adv = self.acceptor.advance_commits(commit_up_to, ballot);
+                    self.finish_advance(adv, ctx);
+                }
+            }
+            PaxosMsg::LearnReq { slots } => {
+                let entries = self.acceptor.committed_slots(&slots);
+                if !entries.is_empty() {
+                    ctx.send_proto(
+                        from,
+                        PaxosMsg::LearnRep { ballot: self.acceptor.promised(), entries },
+                    );
+                }
+            }
+            PaxosMsg::LearnRep { ballot, entries } => {
+                for (slot, cmd) in entries {
+                    self.acceptor.commit(slot, ballot, cmd);
+                }
+                let executed = self.acceptor.execute_ready();
+                self.reply_executed(executed, ctx);
+            }
+            PaxosMsg::QrRead { reader, id, key } => {
+                let entry = self.acceptor.read_state(key);
+                ctx.send_proto(from, PaxosMsg::QrVote { reader, id, votes: vec![entry] });
+            }
+            // Plain Multi-Paxos replicas never proxy quorum reads; a
+            // stray aggregate is dropped (PigPaxos implements the proxy).
+            PaxosMsg::QrVote { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<PaxosMsg>) {
+        match kind {
+            T_ELECTION => {
+                let idle = ctx.now().saturating_sub(self.last_leader_contact);
+                if !self.leader.is_active()
+                    && !self.leader.is_campaigning()
+                    && idle >= self.election_timeout
+                {
+                    self.begin_campaign(ctx);
+                    // Heartbeats start once (if) the campaign wins, via
+                    // this same chain: keep both timers running.
+                    ctx.set_timer(self.cfg.heartbeat_interval, T_HEARTBEAT);
+                }
+                self.arm_election_timer(ctx);
+            }
+            T_HEARTBEAT => {
+                if self.leader.is_active() {
+                    let commit_up_to = self.acceptor.commit_watermark();
+                    self.fanout(
+                        PaxosMsg::Heartbeat { ballot: self.leader.ballot(), commit_up_to },
+                        ctx,
+                    );
+                    ctx.set_timer(self.cfg.heartbeat_interval, T_HEARTBEAT);
+                } else if self.leader.is_campaigning() {
+                    // Keep the chain alive while campaigning.
+                    ctx.set_timer(self.cfg.heartbeat_interval, T_HEARTBEAT);
+                }
+                // Otherwise let the chain die; a future campaign re-arms it.
+            }
+            T_RETRY_SCAN => {
+                if self.leader.is_active() {
+                    let stale = self.leader.stale_proposals(ctx.now(), self.cfg.p2_retry_timeout);
+                    let ballot = self.leader.ballot();
+                    let commit_up_to = self.acceptor.commit_watermark();
+                    for (slot, command) in stale {
+                        self.fanout(
+                            PaxosMsg::P2a { ballot, slot, command, commit_up_to },
+                            ctx,
+                        );
+                    }
+                }
+                ctx.set_timer(self.cfg.p2_retry_timeout / 2, T_RETRY_SCAN);
+            }
+            T_LEARN => self.send_learn_request(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Builder usable with [`paxi::harness`]: constructs one Multi-Paxos
+/// replica actor per node.
+pub fn paxos_builder(
+    cfg: PaxosConfig,
+) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PaxosMsg>>> {
+    move |node, cluster| {
+        Box::new(ReplicaActor(PaxosReplica::new(node, cluster.clone(), cfg.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::harness::{run, run_spec, RunSpec};
+    use paxi::TargetPolicy;
+    use simnet::{Control, SimTime};
+
+    fn spec(n: usize, clients: usize) -> RunSpec {
+        RunSpec {
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(700),
+            ..RunSpec::lan(n, clients)
+        }
+    }
+
+    #[test]
+    fn three_node_cluster_commits() {
+        let r = run(&spec(3, 4), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0, "throughput {}", r.throughput);
+        assert!(r.decided > 100);
+        assert!(r.mean_latency_ms > 0.1, "latency should include RTT");
+    }
+
+    #[test]
+    fn five_node_cluster_commits() {
+        let r = run(&spec(5, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn leader_messages_scale_with_cluster_size() {
+        // Paper Table 1/2: Paxos leader handles 2(N-1)+2 msgs/op.
+        let r5 = run(&spec(5, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        let r9 = run(&spec(9, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        assert!(
+            (r5.leader_msgs_per_op - 10.0).abs() < 2.0,
+            "5 nodes: expected ≈10 msgs/op at leader, got {}",
+            r5.leader_msgs_per_op
+        );
+        assert!(
+            (r9.leader_msgs_per_op - 18.0).abs() < 3.0,
+            "9 nodes: expected ≈18 msgs/op at leader, got {}",
+            r9.leader_msgs_per_op
+        );
+        assert!(r9.leader_msgs_per_op > r5.leader_msgs_per_op);
+    }
+
+    #[test]
+    fn follower_crash_does_not_stop_progress() {
+        let spec = spec(5, 4);
+        let r = run_spec(
+            &spec,
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+            |sim, _cluster| {
+                sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(4)));
+            },
+        );
+        assert!(r.violations.is_empty());
+        assert!(r.throughput > 100.0, "majority alive: progress continues");
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection() {
+        let mut spec = spec(3, 2);
+        spec.warmup = SimDuration::from_millis(200);
+        spec.measure = SimDuration::from_secs(3);
+        let r = run_spec(
+            &spec,
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Random(vec![NodeId(0), NodeId(1), NodeId(2)]),
+            |sim, _cluster| {
+                sim.schedule_control(SimTime::from_millis(700), Control::Crash(NodeId(0)));
+            },
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // After the old leader dies, a new one must emerge and keep
+        // committing (clients retry toward random nodes and follow
+        // redirects).
+        assert!(
+            r.throughput > 50.0,
+            "cluster must recover from leader crash, got {} ops/s",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn reads_and_writes_both_complete() {
+        let r = run(&spec(3, 4), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.samples > 0);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn flexible_quorums_commit_and_stay_safe() {
+        // The paper's §2.2 example: N=10, Q1=8, Q2=3.
+        let mut cfg = PaxosConfig::lan();
+        cfg.flexible_quorums = Some((8, 3));
+        let r = run(&spec(10, 6), paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn flexible_q2_cuts_wan_latency_but_not_leader_load() {
+        // 15-node WAN, 5 replicas per region, leader in Virginia. A Q2
+        // of 5 commits entirely within the leader's region; the majority
+        // configuration must wait for California.
+        let wan = RunSpec {
+            n_clients: 4,
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_secs(2),
+            ..RunSpec::wan(15, 4)
+        };
+        let majority = run(&wan, paxos_builder(PaxosConfig::wan()), TargetPolicy::Fixed(NodeId(0)));
+        let mut cfg = PaxosConfig::wan();
+        cfg.flexible_quorums = Some((11, 5));
+        let flexible = run(&wan, paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        assert!(flexible.violations.is_empty());
+        assert!(
+            flexible.mean_latency_ms < majority.mean_latency_ms / 5.0,
+            "intra-region Q2 must avoid WAN RTT: {:.1}ms vs {:.1}ms",
+            flexible.mean_latency_ms,
+            majority.mean_latency_ms
+        );
+        // The paper's caveat: the leader still fans out to everyone, so
+        // its per-op message load is unchanged.
+        assert!(
+            (flexible.leader_msgs_per_op - majority.leader_msgs_per_op).abs() < 2.0,
+            "leader load unchanged: {:.1} vs {:.1}",
+            flexible.leader_msgs_per_op,
+            majority.leader_msgs_per_op
+        );
+    }
+
+    #[test]
+    fn thrifty_reduces_leader_messages_but_one_crash_hurts() {
+        let mut cfg = PaxosConfig::lan();
+        cfg.thrifty = true;
+        let healthy =
+            run(&spec(9, 4), paxos_builder(cfg.clone()), TargetPolicy::Fixed(NodeId(0)));
+        assert!(healthy.violations.is_empty());
+        // Thrifty: 1 req + (q2-1)=4 sends + 4 acks + 1 reply = 10 per op
+        // instead of 18.
+        assert!(
+            healthy.leader_msgs_per_op < 12.0,
+            "thrifty must cut leader load: {:.1}",
+            healthy.leader_msgs_per_op
+        );
+
+        // Crash one of the thrifty quorum members: every commit now
+        // rides the retry path (paper: "a single faulty or sluggish
+        // node in Q2 stalls the performance").
+        let crashed = run_spec(
+            &spec(9, 4),
+            paxos_builder(cfg),
+            TargetPolicy::Fixed(NodeId(0)),
+            |sim, _| {
+                sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(1)));
+            },
+        );
+        assert!(crashed.violations.is_empty());
+        assert!(
+            crashed.mean_latency_ms > healthy.mean_latency_ms * 5.0,
+            "thrifty + crash must stall: {:.1}ms vs {:.1}ms",
+            crashed.mean_latency_ms,
+            healthy.mean_latency_ms
+        );
+    }
+}

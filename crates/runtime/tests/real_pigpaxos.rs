@@ -1,0 +1,69 @@
+//! The acid test for runtime-agnosticism: a full PigPaxos cluster with
+//! closed-loop clients running on real OS threads — the same replica
+//! and client code the simulator drives.
+
+use paxi::{ClientRecorder, ClosedLoopClient, ClusterConfig, TargetPolicy, Workload};
+use pig_runtime::Runtime;
+use pigpaxos::{PigConfig, PigMsg, PigReplica};
+use simnet::{NodeId, SimDuration};
+use std::time::Duration;
+
+#[test]
+fn pigpaxos_commits_on_real_threads() {
+    let n = 5;
+    let cluster = ClusterConfig::new(n);
+    let mut rt: Runtime<paxi::Envelope<PigMsg>> = Runtime::new(7);
+    for i in 0..n {
+        rt.add_actor(paxi::ReplicaActor(PigReplica::new(
+            NodeId::from(i),
+            cluster.clone(),
+            PigConfig::lan(2),
+        )));
+    }
+    let recorder = ClientRecorder::new();
+    for _ in 0..4 {
+        rt.add_actor(ClosedLoopClient::<PigMsg>::new(
+            TargetPolicy::Fixed(NodeId(0)),
+            Workload::paper_default(),
+            recorder.clone(),
+            SimDuration::from_millis(500),
+        ));
+    }
+
+    rt.run_for(Duration::from_millis(500));
+
+    cluster.safety.assert_safe();
+    let completed = recorder.len();
+    assert!(
+        completed > 50,
+        "expected real commits over threads, got {completed}"
+    );
+    assert!(cluster.safety.decided_count() > 50);
+}
+
+#[test]
+fn paxos_commits_on_real_threads() {
+    use paxos::{PaxosConfig, PaxosReplica};
+    let n = 3;
+    let cluster = ClusterConfig::new(n);
+    let mut rt: Runtime<paxi::Envelope<paxos::PaxosMsg>> = Runtime::new(8);
+    for i in 0..n {
+        rt.add_actor(paxi::ReplicaActor(PaxosReplica::new(
+            NodeId::from(i),
+            cluster.clone(),
+            PaxosConfig::lan(),
+        )));
+    }
+    let recorder = ClientRecorder::new();
+    rt.add_actor(ClosedLoopClient::<paxos::PaxosMsg>::new(
+        TargetPolicy::Fixed(NodeId(0)),
+        Workload::paper_default(),
+        recorder.clone(),
+        SimDuration::from_millis(500),
+    ));
+
+    rt.run_for(Duration::from_millis(400));
+
+    cluster.safety.assert_safe();
+    assert!(recorder.len() > 20, "got {}", recorder.len());
+}

@@ -1,0 +1,206 @@
+//! The actor abstraction: event-driven nodes with explicit effects.
+//!
+//! Protocol code never touches the network or the clock directly. An
+//! [`Actor`] is invoked with a message or timer and emits [`Effect`]s
+//! through a [`Context`]. This keeps protocols deterministic, directly
+//! unit-testable (construct a `Context`, call the handler, inspect the
+//! effects), and independent of the execution environment.
+
+use crate::id::{NodeId, TimerId};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// A message that can travel through the simulated network.
+///
+/// `wire_size` must return the serialized size in bytes: the simulator
+/// charges CPU and classifies WAN traffic by it, which is what makes
+/// payload-size experiments (paper Fig. 12) and aggregation savings
+/// (§6.4) measurable.
+pub trait Message: Clone + std::fmt::Debug + 'static {
+    /// Serialized size of this message in bytes.
+    fn wire_size(&self) -> usize;
+
+    /// Short label for traces and debugging.
+    fn label(&self) -> &'static str {
+        "msg"
+    }
+}
+
+/// An event-driven node. All state lives inside the actor; all outputs go
+/// through the [`Context`].
+pub trait Actor<M: Message> {
+    /// Called once at simulation start (time zero), in node-id order.
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<M>);
+
+    /// Called when a timer set by this actor fires. `kind` is the tag the
+    /// actor passed to [`Context::set_timer`].
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<M>);
+}
+
+/// Side effects an actor can produce during a single invocation.
+#[derive(Debug)]
+pub enum Effect<M> {
+    /// Send `msg` to `to`. Delivery time = handler completion + link latency.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a timer that fires after `delay`.
+    SetTimer {
+        /// Pre-allocated id, already returned to the actor.
+        id: TimerId,
+        /// Delay from "now".
+        delay: SimDuration,
+        /// Actor-chosen dispatch tag.
+        kind: u64,
+    },
+    /// Cancel a previously set timer (no-op if already fired).
+    CancelTimer(TimerId),
+    /// Charge extra CPU time to this node (protocol processing beyond
+    /// message handling: state-machine execution, dependency-graph work).
+    Charge(SimDuration),
+}
+
+/// Handler-scope view of the world given to an actor.
+pub struct Context<'a, M> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut StdRng,
+    effects: &'a mut Vec<Effect<M>>,
+    timer_seq: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Construct a context. Public so tests and alternative runtimes can
+    /// drive actors directly.
+    pub fn new(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut StdRng,
+        effects: &'a mut Vec<Effect<M>>,
+        timer_seq: &'a mut u64,
+    ) -> Self {
+        Context { now, node, rng, effects, timer_seq }
+    }
+
+    /// Current simulated time as observed by this handler.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this actor is running as.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic per-node random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queue a message for sending.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Arm a timer; returns its id for cancellation.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        self.effects.push(Effect::SetTimer { id, delay, kind });
+        id
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired or unknown
+    /// timer is a harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Charge `d` of simulated CPU time to this node, extending its busy
+    /// period. Use for work the cost model cannot see (e.g. applying a
+    /// command to the state machine).
+    pub fn charge(&mut self, d: SimDuration) {
+        self.effects.push(Effect::Charge(d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Debug, Clone)]
+    struct Ping(u32);
+    impl Message for Ping {
+        fn wire_size(&self) -> usize {
+            4
+        }
+        fn label(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    #[test]
+    fn context_collects_effects() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut effects = Vec::new();
+        let mut seq = 0;
+        let mut ctx =
+            Context::new(SimTime::from_millis(5), NodeId(1), &mut rng, &mut effects, &mut seq);
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.node(), NodeId(1));
+        ctx.send(NodeId(2), Ping(7));
+        let t = ctx.set_timer(SimDuration::from_millis(10), 42);
+        ctx.cancel_timer(t);
+        assert_eq!(effects.len(), 3);
+        match &effects[0] {
+            Effect::Send { to, msg } => {
+                assert_eq!(*to, NodeId(2));
+                assert_eq!(msg.0, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &effects[1] {
+            Effect::SetTimer { id, delay, kind } => {
+                assert_eq!(*id, t);
+                assert_eq!(*delay, SimDuration::from_millis(10));
+                assert_eq!(*kind, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &effects[2] {
+            Effect::CancelTimer(id) => assert_eq!(*id, t),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_increasing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut effects: Vec<Effect<Ping>> = Vec::new();
+        let mut seq = 0;
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), &mut rng, &mut effects, &mut seq);
+        let a = ctx.set_timer(SimDuration::from_millis(1), 0);
+        let b = ctx.set_timer(SimDuration::from_millis(1), 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn message_label_default() {
+        #[derive(Debug, Clone)]
+        struct Raw;
+        impl Message for Raw {
+            fn wire_size(&self) -> usize {
+                0
+            }
+        }
+        assert_eq!(Raw.label(), "msg");
+        assert_eq!(Ping(0).label(), "ping");
+    }
+}

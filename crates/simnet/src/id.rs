@@ -1,0 +1,65 @@
+//! Identifiers for simulated entities.
+
+use std::fmt;
+
+/// Identifier of a node (actor) in the simulation.
+///
+/// Node ids are dense small integers assigned in the order actors are added
+/// to the [`crate::Simulation`]; protocol code frequently uses them as
+/// indices into per-node vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// Handle for a pending timer, returned by
+/// [`crate::Context::set_timer`] and usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_conversions() {
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(NodeId::from(7usize), NodeId(7));
+        assert_eq!(NodeId(9).index(), 9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", NodeId(4)), "n4");
+        assert_eq!(format!("{}", TimerId(11)), "t11");
+    }
+}

@@ -1,0 +1,196 @@
+//! One-way network latency models.
+//!
+//! A [`LatencyModel`] describes the one-way delay distribution of a link.
+//! The topology (see [`crate::topology`]) maps node pairs to models; the
+//! simulator samples a delay from the model for every message.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A one-way latency distribution for a link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Fixed delay for every message.
+    Constant(SimDuration),
+    /// Uniformly distributed delay in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+    /// Normally distributed delay with the given mean and standard
+    /// deviation, truncated below at `floor` (network latency can never be
+    /// lower than the propagation delay).
+    Normal {
+        /// Mean delay.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+        /// Hard lower bound applied after sampling.
+        floor: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// A constant-delay model.
+    pub fn constant(d: SimDuration) -> Self {
+        LatencyModel::Constant(d)
+    }
+
+    /// A uniform model over `[min, max]`. Panics if `min > max`.
+    pub fn uniform(min: SimDuration, max: SimDuration) -> Self {
+        assert!(min <= max, "uniform latency requires min <= max");
+        LatencyModel::Uniform { min, max }
+    }
+
+    /// A truncated-normal model with `floor = mean / 2`.
+    pub fn normal(mean: SimDuration, std_dev: SimDuration) -> Self {
+        LatencyModel::Normal { mean, std_dev, floor: mean / 2 }
+    }
+
+    /// Typical LAN one-way delay: ~200 µs mean with mild jitter.
+    ///
+    /// Calibrated so that a request/reply round trip is ≈ 0.4 ms, in line
+    /// with intra-AZ EC2 latencies the paper's testbed would see.
+    pub fn lan() -> Self {
+        LatencyModel::Normal {
+            mean: SimDuration::from_micros(200),
+            std_dev: SimDuration::from_micros(20),
+            floor: SimDuration::from_micros(100),
+        }
+    }
+
+    /// A WAN link with the given one-way mean delay and 5% jitter.
+    pub fn wan(mean: SimDuration) -> Self {
+        LatencyModel::Normal { mean, std_dev: mean / 20, floor: mean / 2 }
+    }
+
+    /// Sample a delay from the model.
+    pub fn sample(&self, rng: &mut StdRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if min == max {
+                    min
+                } else {
+                    SimDuration::from_nanos(rng.gen_range(min.as_nanos()..=max.as_nanos()))
+                }
+            }
+            LatencyModel::Normal { mean, std_dev, floor } => {
+                // Box-Muller transform; avoids a dependency on rand_distr.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let sampled = mean.as_nanos() as f64 + z * std_dev.as_nanos() as f64;
+                let clamped = sampled.max(floor.as_nanos() as f64);
+                SimDuration::from_nanos(clamped as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution (used for reporting, not sampling).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => (min + max) / 2,
+            LatencyModel::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_always_same() {
+        let m = LatencyModel::constant(SimDuration::from_micros(100));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let min = SimDuration::from_micros(100);
+        let max = SimDuration::from_micros(200);
+        let m = LatencyModel::uniform(min, max);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = m.sample(&mut r);
+            assert!(s >= min && s <= max, "sample {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_single_point() {
+        let d = SimDuration::from_micros(50);
+        let m = LatencyModel::uniform(d, d);
+        assert_eq!(m.sample(&mut rng()), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_bounds() {
+        LatencyModel::uniform(SimDuration::from_micros(2), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let m = LatencyModel::Normal {
+            mean: SimDuration::from_micros(100),
+            std_dev: SimDuration::from_micros(500), // huge jitter to force clamping
+            floor: SimDuration::from_micros(90),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(m.sample(&mut r) >= SimDuration::from_micros(90));
+        }
+    }
+
+    #[test]
+    fn normal_mean_roughly_correct() {
+        let m = LatencyModel::normal(SimDuration::from_millis(10), SimDuration::from_micros(100));
+        let mut r = rng();
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut r).as_nanos()).sum();
+        let mean = total as f64 / n as f64;
+        let expect = SimDuration::from_millis(10).as_nanos() as f64;
+        assert!((mean - expect).abs() / expect < 0.01, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::lan();
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..100).map(|_| m.sample(&mut r).as_nanos()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..100).map(|_| m.sample(&mut r).as_nanos()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_accessor() {
+        assert_eq!(
+            LatencyModel::constant(SimDuration::from_micros(7)).mean(),
+            SimDuration::from_micros(7)
+        );
+        assert_eq!(
+            LatencyModel::uniform(SimDuration::from_micros(10), SimDuration::from_micros(20))
+                .mean(),
+            SimDuration::from_micros(15)
+        );
+    }
+}

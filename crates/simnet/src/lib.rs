@@ -1,0 +1,68 @@
+//! # simnet — deterministic discrete-event network simulator
+//!
+//! `simnet` is the execution substrate for the PigPaxos reproduction. It
+//! replaces the paper's AWS EC2 testbed with a deterministic simulator
+//! that models the two resources the paper's analysis is about:
+//!
+//! 1. **Network latency** — per-link one-way delay distributions arranged
+//!    by a [`Topology`] (single-region LAN or multi-region WAN).
+//! 2. **Per-node CPU** — every message charged receive/send CPU time at a
+//!    single-server queue per node (the analogue of Paxi's single-threaded
+//!    event loop), via a [`CpuCostModel`]. Node saturation — the leader
+//!    bottleneck PigPaxos attacks — emerges from this model.
+//!
+//! Protocols are written as [`Actor`]s: pure event-driven state machines
+//! that receive messages/timers and emit effects. The same actor code runs
+//! under the simulator and under any other event loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::*;
+//!
+//! #[derive(Debug, Clone)]
+//! struct Hello;
+//! impl Message for Hello {
+//!     fn wire_size(&self) -> usize { 8 }
+//! }
+//!
+//! struct Greeter { peer: NodeId, got: u32 }
+//! impl Actor<Hello> for Greeter {
+//!     fn on_start(&mut self, ctx: &mut Context<Hello>) {
+//!         ctx.send(self.peer, Hello);
+//!     }
+//!     fn on_message(&mut self, from: NodeId, _m: Hello, ctx: &mut Context<Hello>) {
+//!         self.got += 1;
+//!         if self.got < 3 { ctx.send(from, Hello); }
+//!     }
+//!     fn on_timer(&mut self, _id: TimerId, _k: u64, _ctx: &mut Context<Hello>) {}
+//! }
+//!
+//! let mut sim = Simulation::new(Topology::lan(2), CpuCostModel::free(), 42);
+//! sim.add_actor(Box::new(Greeter { peer: NodeId(1), got: 0 }));
+//! sim.add_actor(Box::new(Greeter { peer: NodeId(0), got: 0 }));
+//! sim.run_until(SimTime::from_secs(1));
+//! assert!(sim.stats().msgs_delivered >= 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod actor;
+mod cost;
+mod id;
+mod latency;
+mod sim;
+mod stats;
+mod time;
+mod topology;
+mod trace;
+
+pub use actor::{Actor, Context, Effect, Message};
+pub use cost::CpuCostModel;
+pub use id::{NodeId, TimerId};
+pub use latency::LatencyModel;
+pub use sim::{Control, Simulation};
+pub use stats::{NetStats, NodeStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{RegionId, Topology};
+pub use trace::{Trace, TraceEntry};

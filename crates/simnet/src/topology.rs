@@ -1,0 +1,215 @@
+//! Cluster topology: which region each node lives in and the latency
+//! between regions.
+//!
+//! The paper evaluates both single-datacenter ("LAN") clusters and a
+//! 3-region WAN deployment (Virginia / California / Oregon, Fig. 9).
+//! [`Topology`] captures both: every node is assigned a region, and a
+//! region-by-region matrix of [`LatencyModel`]s gives one-way delays.
+
+use crate::latency::LatencyModel;
+use crate::time::SimDuration;
+use crate::NodeId;
+
+/// Identifier of a region (index into the latency matrix).
+pub type RegionId = usize;
+
+/// Node placement plus inter-region latency matrix.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `region_of[node] = region index`.
+    region_of: Vec<RegionId>,
+    /// `matrix[from][to]` = one-way latency model between regions.
+    matrix: Vec<Vec<LatencyModel>>,
+    /// Human-readable region names (same length as `matrix`).
+    region_names: Vec<String>,
+}
+
+impl Topology {
+    /// Build a topology from explicit parts.
+    ///
+    /// Panics if any region index is out of bounds or the matrix is not
+    /// square.
+    pub fn new(
+        region_of: Vec<RegionId>,
+        matrix: Vec<Vec<LatencyModel>>,
+        region_names: Vec<String>,
+    ) -> Self {
+        let r = matrix.len();
+        assert!(matrix.iter().all(|row| row.len() == r), "latency matrix must be square");
+        assert_eq!(region_names.len(), r, "one name per region");
+        assert!(
+            region_of.iter().all(|&reg| reg < r),
+            "node region index out of bounds"
+        );
+        Topology { region_of, matrix, region_names }
+    }
+
+    /// A single-region LAN of `n` nodes with the default LAN latency.
+    pub fn lan(n: usize) -> Self {
+        Topology::lan_with(n, LatencyModel::lan())
+    }
+
+    /// A single-region LAN of `n` nodes with a custom intra-region model.
+    pub fn lan_with(n: usize, model: LatencyModel) -> Self {
+        Topology {
+            region_of: vec![0; n],
+            matrix: vec![vec![model]],
+            region_names: vec!["lan".to_string()],
+        }
+    }
+
+    /// The paper's Fig. 9 WAN: nodes spread round-robin over Virginia,
+    /// California, and Oregon with representative one-way delays
+    /// (VA–CA ≈ 31 ms, VA–OR ≈ 36 ms, CA–OR ≈ 10 ms one-way) and LAN
+    /// latency within a region.
+    pub fn wan_virginia_california_oregon(n: usize) -> Self {
+        let lan = LatencyModel::lan();
+        let va_ca = LatencyModel::wan(SimDuration::from_millis(31));
+        let va_or = LatencyModel::wan(SimDuration::from_millis(36));
+        let ca_or = LatencyModel::wan(SimDuration::from_millis(10));
+        let matrix = vec![
+            vec![lan.clone(), va_ca.clone(), va_or.clone()],
+            vec![va_ca, lan.clone(), ca_or.clone()],
+            vec![va_or, ca_or, lan],
+        ];
+        // Group nodes into contiguous blocks per region (matches the
+        // paper's "each region is a relay group" setup): nodes
+        // [0, n/3) -> Virginia, [n/3, 2n/3) -> California, rest -> Oregon.
+        let per = n.div_ceil(3);
+        let region_of = (0..n).map(|i| (i / per).min(2)).collect();
+        Topology::new(
+            region_of,
+            matrix,
+            vec!["virginia".into(), "california".into(), "oregon".into()],
+        )
+    }
+
+    /// Number of nodes placed in this topology.
+    pub fn num_nodes(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Region of a node.
+    pub fn region(&self, node: NodeId) -> RegionId {
+        self.region_of[node.index()]
+    }
+
+    /// Region name.
+    pub fn region_name(&self, region: RegionId) -> &str {
+        &self.region_names[region]
+    }
+
+    /// All node ids in the given region.
+    pub fn nodes_in_region(&self, region: RegionId) -> Vec<NodeId> {
+        self.region_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == region)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+
+    /// The latency model between two nodes.
+    pub fn link(&self, from: NodeId, to: NodeId) -> &LatencyModel {
+        &self.matrix[self.region(from)][self.region(to)]
+    }
+
+    /// Whether a message between these nodes crosses a region boundary
+    /// (used for the paper's §6.4 WAN-traffic accounting).
+    pub fn crosses_region(&self, from: NodeId, to: NodeId) -> bool {
+        self.region(from) != self.region(to)
+    }
+
+    /// Append extra nodes in a given region (used to co-locate simulated
+    /// clients with the cluster without touching replica placement).
+    pub fn add_nodes(&mut self, count: usize, region: RegionId) {
+        assert!(region < self.num_regions(), "region out of bounds");
+        self.region_of.extend(std::iter::repeat_n(region, count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_topology_single_region() {
+        let t = Topology::lan(5);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_regions(), 1);
+        for i in 0..5u32 {
+            assert_eq!(t.region(NodeId(i)), 0);
+        }
+        assert!(!t.crosses_region(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn wan_topology_three_regions() {
+        let t = Topology::wan_virginia_california_oregon(15);
+        assert_eq!(t.num_regions(), 3);
+        assert_eq!(t.nodes_in_region(0).len(), 5);
+        assert_eq!(t.nodes_in_region(1).len(), 5);
+        assert_eq!(t.nodes_in_region(2).len(), 5);
+        assert!(t.crosses_region(NodeId(0), NodeId(5)));
+        assert!(!t.crosses_region(NodeId(0), NodeId(4)));
+        assert_eq!(t.region_name(0), "virginia");
+    }
+
+    #[test]
+    fn wan_topology_uneven_split() {
+        let t = Topology::wan_virginia_california_oregon(7);
+        // per = ceil(7/3) = 3 -> regions sized 3,3,1
+        assert_eq!(t.nodes_in_region(0).len(), 3);
+        assert_eq!(t.nodes_in_region(1).len(), 3);
+        assert_eq!(t.nodes_in_region(2).len(), 1);
+    }
+
+    #[test]
+    fn wan_cross_region_latency_larger() {
+        let t = Topology::wan_virginia_california_oregon(15);
+        let intra = t.link(NodeId(0), NodeId(1)).mean();
+        let cross = t.link(NodeId(0), NodeId(5)).mean();
+        assert!(cross > intra * 10, "cross {cross} should dwarf intra {intra}");
+    }
+
+    #[test]
+    fn latency_matrix_symmetric_for_wan_default() {
+        let t = Topology::wan_virginia_california_oregon(15);
+        for a in 0..3 {
+            for b in 0..3 {
+                let ab = t.matrix[a][b].mean();
+                let ba = t.matrix[b][a].mean();
+                assert_eq!(ab, ba);
+            }
+        }
+    }
+
+    #[test]
+    fn add_nodes_extends_region() {
+        let mut t = Topology::lan(5);
+        t.add_nodes(3, 0);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.region(NodeId(7)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square_matrix() {
+        Topology::new(
+            vec![0],
+            vec![vec![LatencyModel::lan()], vec![LatencyModel::lan()]],
+            vec!["a".into(), "b".into()],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_bad_region_index() {
+        Topology::new(vec![1], vec![vec![LatencyModel::lan()]], vec!["a".into()]);
+    }
+}

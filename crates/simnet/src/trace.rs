@@ -1,0 +1,110 @@
+//! Optional message-level trace capture.
+//!
+//! When enabled, the simulator records one [`TraceEntry`] per delivered
+//! message. Traces power the §6.4 WAN-traffic accounting benchmark and are
+//! invaluable when debugging protocol interleavings; they are off by
+//! default because high-throughput runs generate millions of messages.
+
+use crate::id::NodeId;
+use crate::time::SimTime;
+
+/// A single delivered (or dropped) message.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Delivery (or drop) time.
+    pub at: SimTime,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message label (see [`crate::Message::label`]).
+    pub label: &'static str,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Whether the message crossed a region boundary.
+    pub cross_region: bool,
+    /// Whether the message was dropped by fault injection.
+    pub dropped: bool,
+}
+
+/// An in-memory trace of delivered messages.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Record one entry.
+    pub fn push(&mut self, e: TraceEntry) {
+        self.entries.push(e);
+    }
+
+    /// All entries in delivery order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no messages were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of delivered messages matching a label.
+    pub fn count_label(&self, label: &str) -> usize {
+        self.entries.iter().filter(|e| !e.dropped && e.label == label).count()
+    }
+
+    /// Count of delivered messages that crossed a region boundary.
+    pub fn cross_region_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.dropped && e.cross_region).count()
+    }
+
+    /// Clear all entries while keeping capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &'static str, cross: bool, dropped: bool) -> TraceEntry {
+        TraceEntry {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            label,
+            bytes: 8,
+            cross_region: cross,
+            dropped,
+        }
+    }
+
+    #[test]
+    fn counting() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(entry("p2a", false, false));
+        t.push(entry("p2a", true, false));
+        t.push(entry("p2a", true, true)); // dropped: not counted
+        t.push(entry("p2b", false, false));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.count_label("p2a"), 2);
+        assert_eq!(t.count_label("p2b"), 1);
+        assert_eq!(t.cross_region_count(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut t = Trace::default();
+        t.push(entry("x", false, false));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Capacity planning: given *your* cluster size, sweep the relay-group
+//! count and report the configuration with the best max throughput and
+//! the latency each choice costs — the decision the paper's Fig. 7 and
+//! §6.1 model inform.
+//!
+//! ```sh
+//! cargo run --release --example tune_relay_groups -- 13
+//! ```
+
+use paxi::harness::{load_sweep, RunSpec};
+use paxi::TargetPolicy;
+use pigpaxos::{pig_builder, PigConfig};
+use simnet::{NodeId, SimDuration};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(13);
+    assert!(n >= 3, "need at least 3 replicas");
+
+    let spec = RunSpec {
+        warmup: SimDuration::from_millis(500),
+        measure: SimDuration::from_secs(2),
+        ..RunSpec::lan(n, 0)
+    };
+
+    println!("Relay-group tuning for a {n}-node PigPaxos cluster\n");
+    println!(
+        "{:>8} {:>16} {:>18} {:>12} {:>12}",
+        "groups", "max tput(req/s)", "low-load lat(ms)", "Ml (model)", "Mf (model)"
+    );
+
+    let max_r = (n - 1).min(8);
+    let mut best = (0usize, 0.0f64);
+    for r in 1..=max_r {
+        let pts = load_sweep(
+            &spec,
+            &[1, 40, 160],
+            pig_builder(PigConfig::lan(r)),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        let low_load_latency = pts[0].result.mean_latency_ms;
+        let max_tput =
+            pts.iter().map(|p| p.result.throughput).fold(0.0, f64::max);
+        println!(
+            "{r:>8} {max_tput:>16.0} {low_load_latency:>18.2} {:>12.1} {:>12.2}",
+            analytical::leader_load(r),
+            analytical::follower_load(n, r),
+        );
+        if max_tput > best.1 {
+            best = (r, max_tput);
+        }
+    }
+    println!(
+        "\nrecommendation: {} relay groups ({:.0} req/s max).",
+        best.0, best.1
+    );
+    println!("caveat: r=1 cannot mask even one relay-group fault; prefer r>=2 (paper §6.2).");
+}

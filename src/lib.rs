@@ -1,0 +1,20 @@
+//! Umbrella crate for the PigPaxos reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! code lives in the member crates:
+//!
+//! - [`simnet`] — deterministic discrete-event network simulator
+//! - [`paxi`] — consensus framework substrate (log, ballots, quorums, KV,
+//!   workloads, measurement harness)
+//! - [`paxos`] — Multi-Paxos baseline
+//! - [`pigpaxos`] — the paper's contribution: relay/aggregate communication
+//! - [`epaxos`] — Egalitarian Paxos baseline
+//! - [`analytical`] — closed-form message-load model from the paper's §6
+
+pub use analytical;
+pub use epaxos;
+pub use paxi;
+pub use paxos;
+pub use pigpaxos;
+pub use simnet;

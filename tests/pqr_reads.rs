@@ -1,0 +1,177 @@
+//! End-to-end tests of Paxos Quorum Reads over relay trees (§4.3):
+//! linearizable reads served by follower proxies without touching the
+//! leader.
+
+use paxi::harness::{run, RunSpec};
+use paxi::{
+    ClientRequest, ClusterConfig, Command, Envelope, Operation, RequestId, TargetPolicy, Value,
+    Workload,
+};
+use pigpaxos::{pig_builder, PigConfig, PigMsg};
+use simnet::{
+    Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn pqr_cfg(groups: usize) -> PigConfig {
+    let mut cfg = PigConfig::lan(groups);
+    cfg.pqr_reads = true;
+    cfg
+}
+
+#[test]
+fn pqr_cluster_serves_reads_from_followers() {
+    let spec = RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(900),
+        workload: Workload { read_ratio: 0.9, ..Workload::paper_default() },
+        ..RunSpec::lan(9, 8)
+    };
+    // Clients pick random replicas; 90% of ops are reads answered by
+    // proxies, writes redirect to the leader.
+    let r = run(
+        &spec,
+        pig_builder(pqr_cfg(2)),
+        TargetPolicy::Random((0..9u32).map(NodeId).collect()),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(r.throughput > 500.0, "PQR throughput: {}", r.throughput);
+}
+
+#[test]
+fn pqr_offloads_the_leader_on_read_heavy_workloads() {
+    let base = RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(900),
+        workload: Workload { read_ratio: 0.9, ..Workload::paper_default() },
+        n_clients: 80,
+        ..RunSpec::lan(25, 80)
+    };
+    let leader_reads = run(
+        &base,
+        pig_builder(PigConfig::lan(3)),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
+    let pqr = run(
+        &base,
+        pig_builder(pqr_cfg(3)),
+        TargetPolicy::Random((0..25u32).map(NodeId).collect()),
+    );
+    assert!(pqr.violations.is_empty());
+    assert!(
+        pqr.throughput > leader_reads.throughput * 1.5,
+        "PQR must scale reads past the leader: {} vs {}",
+        pqr.throughput,
+        leader_reads.throughput
+    );
+    assert!(
+        pqr.leader_msgs_per_op < leader_reads.leader_msgs_per_op * 0.6,
+        "leader per-op load must drop: {} vs {}",
+        pqr.leader_msgs_per_op,
+        leader_reads.leader_msgs_per_op
+    );
+}
+
+/// Writes through the leader, then reads the same key through a
+/// follower proxy; every read must observe the latest completed write.
+struct PqrChecker {
+    leader: NodeId,
+    proxy: NodeId,
+    rounds: u64,
+    round: u64,
+    seq: u64,
+    awaiting_get: bool,
+    failures: Rc<RefCell<Vec<String>>>,
+    completed: Rc<RefCell<u64>>,
+}
+
+impl PqrChecker {
+    fn val(round: u64) -> Value {
+        Value::from(round.to_be_bytes().as_slice())
+    }
+    fn issue(&mut self, to: NodeId, op: Operation, ctx: &mut Context<Envelope<PigMsg>>) {
+        self.seq += 1;
+        let id = RequestId { client: ctx.node(), seq: self.seq };
+        ctx.send(to, Envelope::Request(ClientRequest { command: Command { id, op } }));
+    }
+}
+
+impl Actor<Envelope<PigMsg>> for PqrChecker {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<PigMsg>>) {
+        self.round = 1;
+        self.awaiting_get = false;
+        self.issue(self.leader, Operation::Put(3, Self::val(1)), ctx);
+    }
+    fn on_message(
+        &mut self,
+        _f: NodeId,
+        msg: Envelope<PigMsg>,
+        ctx: &mut Context<Envelope<PigMsg>>,
+    ) {
+        let Envelope::Reply(reply) = msg else { return };
+        if reply.id.seq != self.seq {
+            return;
+        }
+        if !reply.ok {
+            // PQR gave up (e.g. rinse limit) and redirected: follow it.
+            let to = reply.redirect.unwrap_or(self.leader);
+            let op = if self.awaiting_get {
+                Operation::Get(3)
+            } else {
+                Operation::Put(3, Self::val(self.round))
+            };
+            self.issue(to, op, ctx);
+            return;
+        }
+        if self.awaiting_get {
+            let expect = Self::val(self.round);
+            if reply.value.as_ref() != Some(&expect) {
+                self.failures.borrow_mut().push(format!(
+                    "round {}: quorum read returned {:?}, expected {:?}",
+                    self.round, reply.value, expect
+                ));
+            }
+            *self.completed.borrow_mut() += 1;
+            if self.round < self.rounds {
+                self.round += 1;
+                self.awaiting_get = false;
+                self.issue(self.leader, Operation::Put(3, Self::val(self.round)), ctx);
+            }
+        } else {
+            self.awaiting_get = true;
+            self.issue(self.proxy, Operation::Get(3), ctx);
+        }
+    }
+    fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<Envelope<PigMsg>>) {}
+}
+
+#[test]
+fn pqr_reads_are_linearizable_with_writer() {
+    let n = 9;
+    let mut topo = Topology::lan(n);
+    topo.add_nodes(1, 0);
+    let mut sim: Simulation<Envelope<PigMsg>> =
+        Simulation::new(topo, CpuCostModel::calibrated(), 5);
+    let cluster = ClusterConfig::new(n);
+    let build = pig_builder(pqr_cfg(2));
+    for i in 0..n {
+        sim.add_actor(build(NodeId::from(i), &cluster));
+    }
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    let completed = Rc::new(RefCell::new(0u64));
+    sim.add_actor(Box::new(PqrChecker {
+        leader: NodeId(0),
+        proxy: NodeId(4), // a follower acting as the read proxy
+        rounds: 40,
+        round: 0,
+        seq: 0,
+        awaiting_get: false,
+        failures: failures.clone(),
+        completed: completed.clone(),
+    }));
+    sim.run_until(SimTime::from_secs(10));
+    cluster.safety.assert_safe();
+    assert!(failures.borrow().is_empty(), "{:?}", failures.borrow());
+    assert_eq!(*completed.borrow(), 40, "all rounds must complete");
+}

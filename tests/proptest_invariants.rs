@@ -1,0 +1,257 @@
+//! Property-based tests over the core data structures' invariants.
+
+use paxi::{Ballot, Command, Log, Operation, RequestId, Value, VoteTracker};
+use pigpaxos::{GroupSpec, RelayGroups};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{NodeId, SimDuration};
+
+fn cmd(seq: u64) -> Command {
+    Command {
+        id: RequestId { client: NodeId(1000), seq },
+        op: Operation::Put(seq % 16, Value::zeros(4)),
+    }
+}
+
+proptest! {
+    /// Ballot packing is lossless and ordering matches (round, node)
+    /// lexicographic order.
+    #[test]
+    fn ballot_pack_round_trip(r1 in 0u32..1_000_000, n1 in 0u32..10_000,
+                              r2 in 0u32..1_000_000, n2 in 0u32..10_000) {
+        let a = Ballot::new(r1, NodeId(n1));
+        let b = Ballot::new(r2, NodeId(n2));
+        prop_assert_eq!(a.round(), r1);
+        prop_assert_eq!(a.node(), NodeId(n1));
+        prop_assert_eq!(a.cmp(&b), (r1, n1).cmp(&(r2, n2)));
+        prop_assert!(a.next(NodeId(n2)) > a);
+    }
+
+    /// A committed slot's command never changes, no matter what later
+    /// accepts or commits arrive.
+    #[test]
+    fn log_committed_values_are_stable(
+        ops in prop::collection::vec((0u64..20, 0u32..5, 0u64..50, prop::bool::ANY), 1..200)
+    ) {
+        let mut log = Log::new();
+        let mut decided: std::collections::HashMap<u64, Command> = Default::default();
+        for (slot, round, cseq, do_commit) in ops {
+            let ballot = Ballot::new(round, NodeId(0));
+            if do_commit {
+                log.commit(slot, ballot, cmd(cseq));
+                decided.entry(slot).or_insert_with(|| {
+                    log.get(slot).expect("present").command.clone()
+                });
+            } else {
+                log.accept(slot, ballot, cmd(cseq));
+            }
+            // Every previously decided slot still holds its value.
+            for (s, c) in &decided {
+                let e = log.get(*s).expect("decided slot present");
+                prop_assert!(e.committed);
+                prop_assert_eq!(&e.command, c);
+            }
+        }
+    }
+
+    /// Execution consumes exactly the contiguous committed prefix, in
+    /// order, regardless of commit order.
+    #[test]
+    fn log_executes_contiguous_prefix(commits in prop::collection::vec(0u64..30, 1..60)) {
+        let mut log = Log::new();
+        let ballot = Ballot::new(1, NodeId(0));
+        let mut committed = std::collections::HashSet::new();
+        for slot in commits {
+            log.commit(slot, ballot, cmd(slot));
+            committed.insert(slot);
+        }
+        let mut executed = Vec::new();
+        while let Some((slot, _)) = log.next_executable() {
+            log.mark_executed(slot);
+            executed.push(slot);
+        }
+        // Expected: 0..k where k is the first missing slot.
+        let mut expect = Vec::new();
+        let mut s = 0;
+        while committed.contains(&s) {
+            expect.push(s);
+            s += 1;
+        }
+        prop_assert_eq!(executed, expect);
+    }
+
+    /// Relay groups always exactly partition the followers, for any
+    /// cluster size and any valid group count; relay picks always
+    /// return one member per group, never the relay among its peers.
+    #[test]
+    fn relay_groups_partition(n_followers in 1usize..200, r in 1usize..20, seed in 0u64..1000) {
+        prop_assume!(r <= n_followers);
+        let followers: Vec<NodeId> = (1..=n_followers as u32).map(NodeId).collect();
+        let groups = RelayGroups::build(&followers, &GroupSpec::Chunks(r));
+        prop_assert_eq!(groups.num_groups(), r);
+        let mut all: Vec<NodeId> = groups.groups().iter().flatten().copied().collect();
+        all.sort();
+        prop_assert_eq!(&all, &followers);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = groups.groups().iter().map(|g| g.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks = groups.pick_relays(&mut rng);
+        prop_assert_eq!(picks.len(), r);
+        for (i, (relay, peers)) in picks.iter().enumerate() {
+            prop_assert!(groups.groups()[i].contains(relay));
+            prop_assert!(!peers.contains(relay));
+            prop_assert_eq!(peers.len(), groups.groups()[i].len() - 1);
+        }
+    }
+
+    /// Reshuffling preserves membership and sizes for any shape.
+    #[test]
+    fn relay_groups_reshuffle_preserves(n_followers in 2usize..100, r in 1usize..10, seed in 0u64..100) {
+        prop_assume!(r <= n_followers);
+        let followers: Vec<NodeId> = (1..=n_followers as u32).map(NodeId).collect();
+        let mut groups = RelayGroups::build(&followers, &GroupSpec::Chunks(r));
+        let sizes_before: Vec<usize> = groups.groups().iter().map(|g| g.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        groups.reshuffle(&mut rng);
+        let sizes_after: Vec<usize> = groups.groups().iter().map(|g| g.len()).collect();
+        prop_assert_eq!(sizes_before, sizes_after);
+        let mut all: Vec<NodeId> = groups.groups().iter().flatten().copied().collect();
+        all.sort();
+        prop_assert_eq!(&all, &followers);
+    }
+
+    /// A vote tracker is satisfied iff it saw >= need distinct acking
+    /// nodes for the right ballot.
+    #[test]
+    fn vote_tracker_counts_distinct_acks(
+        need in 1usize..10,
+        votes in prop::collection::vec((0u32..12, prop::bool::ANY), 0..40)
+    ) {
+        let ballot = Ballot::new(1, NodeId(0));
+        let mut t = VoteTracker::new(need, ballot);
+        let mut distinct = std::collections::HashSet::new();
+        for (node, right_ballot) in votes {
+            let b = if right_ballot { ballot } else { Ballot::new(2, NodeId(0)) };
+            t.ack(NodeId(node), b);
+            if right_ballot {
+                distinct.insert(node);
+            }
+        }
+        prop_assert_eq!(t.satisfied(), distinct.len() >= need);
+        prop_assert_eq!(t.ack_count(), distinct.len());
+    }
+
+    /// Wire sizes grow monotonically with payload size for client
+    /// requests.
+    #[test]
+    fn request_wire_size_monotonic(a in 0usize..4096, b in 0usize..4096) {
+        prop_assume!(a <= b);
+        let req = |len: usize| paxi::ClientRequest {
+            command: Command {
+                id: RequestId { client: NodeId(1), seq: 1 },
+                op: Operation::Put(1, Value::zeros(len)),
+            },
+        };
+        prop_assert!(req(a).wire_size() <= req(b).wire_size());
+        prop_assert_eq!(req(b).wire_size() - req(a).wire_size(), b - a);
+    }
+
+    /// SimDuration arithmetic is consistent (no panics, ordering holds).
+    #[test]
+    fn duration_arithmetic_consistent(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(da < db, a < b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The EPaxos execution planner never executes an instance before a
+    /// committed dependency, executes all-committed graphs completely,
+    /// and never executes anything with an uncommitted transitive dep.
+    #[test]
+    fn epaxos_plan_respects_dependencies(
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..120),
+        tentative in prop::collection::vec(prop::bool::ANY, 30)
+    ) {
+        use epaxos::{plan_execution, InstStatus, InstanceId, InstanceView};
+        use std::collections::HashMap;
+
+        let inst = |i: usize| InstanceId { replica: NodeId(0), slot: i as u64 };
+        let mut deps: HashMap<InstanceId, Vec<InstanceId>> = HashMap::new();
+        for i in 0..30 {
+            deps.entry(inst(i)).or_default();
+        }
+        for (a, b) in &edges {
+            if a != b {
+                deps.entry(inst(*a)).or_default().push(inst(*b));
+            }
+        }
+        struct V {
+            deps: HashMap<InstanceId, Vec<InstanceId>>,
+            tentative: Vec<bool>,
+        }
+        impl InstanceView for V {
+            fn status(&self, id: InstanceId) -> InstStatus {
+                if self.tentative[id.slot as usize] {
+                    InstStatus::Tentative
+                } else {
+                    InstStatus::Committed
+                }
+            }
+            fn deps(&self, id: InstanceId) -> &[InstanceId] {
+                self.deps.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+            }
+            fn seq(&self, id: InstanceId) -> u64 {
+                id.slot
+            }
+        }
+        let view = V { deps: deps.clone(), tentative: tentative.clone() };
+        let roots: Vec<InstanceId> = (0..30).map(inst).collect();
+        let plan = plan_execution(&roots, &view);
+
+        let pos: HashMap<InstanceId, usize> =
+            plan.order.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        for &x in &plan.order {
+            prop_assert!(!tentative[x.slot as usize], "tentative instance executed");
+            for d in view.deps(x) {
+                // Every dep of an executed instance is either executed
+                // earlier, or in the same SCC (mutually reachable).
+                if let Some(&dp) = pos.get(d) {
+                    if dp > pos[&x] {
+                        // Same-SCC case: d must reach x back through deps.
+                        let mut stack = vec![*d];
+                        let mut seen = std::collections::HashSet::new();
+                        let mut reaches = false;
+                        while let Some(y) = stack.pop() {
+                            if y == x { reaches = true; break; }
+                            if seen.insert(y) {
+                                for z in view.deps(y) {
+                                    stack.push(*z);
+                                }
+                            }
+                        }
+                        prop_assert!(reaches, "dep ordered later but not in same SCC");
+                    }
+                } else {
+                    prop_assert!(
+                        false,
+                        "executed instance {x} has unexecuted committed dep {d}"
+                    );
+                }
+            }
+        }
+        // If nothing is tentative, everything must execute.
+        if tentative.iter().all(|&t| !t) {
+            prop_assert_eq!(plan.order.len(), 30);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-protocol integration tests: the paper's headline comparisons,
+//! asserted as invariants rather than eyeballed from figures.
+
+use epaxos::{epaxos_builder, EpaxosConfig};
+use paxi::harness::{max_throughput, run, RunSpec};
+use paxi::TargetPolicy;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use simnet::{NodeId, SimDuration};
+
+fn spec(n: usize, clients: usize) -> RunSpec {
+    RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(900),
+        ..RunSpec::lan(n, clients)
+    }
+}
+
+fn leader() -> TargetPolicy {
+    TargetPolicy::Fixed(NodeId(0))
+}
+
+fn random(n: usize) -> TargetPolicy {
+    TargetPolicy::Random((0..n).map(NodeId::from).collect())
+}
+
+const SWEEP: &[usize] = &[40, 160];
+
+#[test]
+fn pigpaxos_beats_paxos_by_3x_at_25_nodes() {
+    let base = spec(25, 0);
+    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let pig = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(3)), leader());
+    assert!(
+        pig > paxos * 3.0,
+        "paper claims >3x: PigPaxos {pig:.0} vs Paxos {paxos:.0}"
+    );
+}
+
+#[test]
+fn epaxos_saturates_below_paxos_at_25_nodes() {
+    let base = spec(25, 0);
+    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let ep = max_throughput(&base, SWEEP, epaxos_builder(EpaxosConfig::default()), random(25));
+    assert!(
+        ep < paxos,
+        "paper Fig 8 ordering: EPaxos ({ep:.0}) below Paxos ({paxos:.0})"
+    );
+}
+
+#[test]
+fn paxos_has_lower_latency_at_low_load() {
+    // Paper: PigPaxos pays ~30% extra latency at low load (the relay hop).
+    let paxos = run(&spec(25, 1), paxos_builder(PaxosConfig::lan()), leader());
+    let pig = run(&spec(25, 1), pig_builder(PigConfig::lan(3)), leader());
+    assert!(
+        pig.mean_latency_ms > paxos.mean_latency_ms * 1.1,
+        "relay hop must cost latency: pig {:.2}ms vs paxos {:.2}ms",
+        pig.mean_latency_ms,
+        paxos.mean_latency_ms
+    );
+    assert!(
+        pig.mean_latency_ms < paxos.mean_latency_ms * 2.0,
+        "but not more than ~2x at low load: pig {:.2}ms vs paxos {:.2}ms",
+        pig.mean_latency_ms,
+        paxos.mean_latency_ms
+    );
+}
+
+#[test]
+fn fewer_relay_groups_higher_throughput() {
+    // Fig 7's monotone shape, spot-checked at the extremes.
+    let base = spec(25, 0);
+    let r2 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(2)), leader());
+    let r6 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(6)), leader());
+    assert!(r2 > r6 * 1.4, "r=2 ({r2:.0}) must clearly beat r=6 ({r6:.0})");
+}
+
+#[test]
+fn pigpaxos_benefits_extend_to_small_clusters() {
+    // Paper §5.5 / Fig 10-11.
+    let base = spec(5, 0);
+    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let pig = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(2)), leader());
+    assert!(
+        pig > paxos * 1.2,
+        "PigPaxos must win even at 5 nodes: {pig:.0} vs {paxos:.0}"
+    );
+}
+
+#[test]
+fn paxos_throughput_decays_with_cluster_size_pigpaxos_does_not() {
+    let paxos9 = max_throughput(&spec(9, 0), SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let paxos25 = max_throughput(&spec(25, 0), SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let pig9 = max_throughput(&spec(9, 0), SWEEP, pig_builder(PigConfig::lan(2)), leader());
+    let pig25 = max_throughput(&spec(25, 0), SWEEP, pig_builder(PigConfig::lan(2)), leader());
+    assert!(paxos9 > paxos25 * 1.8, "Paxos decays ~1/N: {paxos9:.0} vs {paxos25:.0}");
+    assert!(
+        pig25 > pig9 * 0.85,
+        "PigPaxos stays nearly flat: {pig9:.0} vs {pig25:.0}"
+    );
+}
+
+#[test]
+fn measured_message_loads_match_analytical_model() {
+    // §6.1: the simulator's counters must agree with Eq. 1 and Eq. 3.
+    let s = RunSpec { n_clients: 10, ..spec(25, 10) };
+    for r in [2usize, 4] {
+        let res = run(&s, pig_builder(PigConfig::lan(r)), leader());
+        let ml = analytical::leader_load(r);
+        let mf = analytical::follower_load(25, r);
+        assert!(
+            (res.leader_msgs_per_op - ml).abs() < 0.8,
+            "r={r}: measured Ml {:.2} vs model {ml:.2}",
+            res.leader_msgs_per_op
+        );
+        assert!(
+            (res.follower_msgs_per_op - mf).abs() < 0.5,
+            "r={r}: measured Mf {:.2} vs model {mf:.2}",
+            res.follower_msgs_per_op
+        );
+    }
+}
+
+#[test]
+fn all_protocols_agree_and_commit_under_identical_workload() {
+    let n = 9;
+    let s = spec(n, 6);
+    let paxos = run(&s, paxos_builder(PaxosConfig::lan()), leader());
+    let pig = run(&s, pig_builder(PigConfig::lan(3)), leader());
+    let ep = run(&s, epaxos_builder(EpaxosConfig::default()), random(n));
+    for (name, r) in [("paxos", &paxos), ("pigpaxos", &pig), ("epaxos", &ep)] {
+        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        assert!(r.throughput > 100.0, "{name}: {}", r.throughput);
+        assert!(r.samples > 50, "{name}: {}", r.samples);
+    }
+}
