@@ -23,6 +23,8 @@ pub mod model;
 pub mod tables;
 pub mod wan;
 
-pub use model::{follower_load, leader_load, leader_overhead, paxos_follower_load, paxos_leader_load};
+pub use model::{
+    follower_load, leader_load, leader_overhead, paxos_follower_load, paxos_leader_load,
+};
 pub use tables::{table1, table2, LoadRow};
 pub use wan::{paxos_wan_msgs_per_op, pigpaxos_wan_msgs_per_op};

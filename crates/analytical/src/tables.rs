@@ -94,7 +94,11 @@ mod tests {
     fn table2_matches_paper() {
         let t = table2();
         assert_eq!(t.len(), 4);
-        let expect = [(2, 6.0, 3.5, 71.0), (3, 8.0, 3.25, 146.0), (4, 10.0, 3.0, 233.0)];
+        let expect = [
+            (2, 6.0, 3.5, 71.0),
+            (3, 8.0, 3.25, 146.0),
+            (4, 10.0, 3.0, 233.0),
+        ];
         for (row, (r, ml, mf, ov)) in t.iter().zip(expect) {
             assert_eq!(row.relay_groups, Some(r));
             assert_eq!(row.leader_msgs, ml);

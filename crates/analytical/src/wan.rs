@@ -35,9 +35,12 @@ mod tests {
     fn savings_grow_with_region_size() {
         let regions = 3;
         for npr in [1, 3, 10] {
-            let ratio =
-                paxos_wan_msgs_per_op(regions, npr) as f64 / pigpaxos_wan_msgs_per_op(regions) as f64;
-            assert!((ratio - npr as f64).abs() < 1e-9, "saving factor equals region size");
+            let ratio = paxos_wan_msgs_per_op(regions, npr) as f64
+                / pigpaxos_wan_msgs_per_op(regions) as f64;
+            assert!(
+                (ratio - npr as f64).abs() < 1e-9,
+                "saving factor equals region size"
+            );
         }
     }
 

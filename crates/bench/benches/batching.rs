@@ -1,0 +1,100 @@
+//! Criterion benchmarks for the leader-side batching hot path: the
+//! batcher data structure itself, and end-to-end simulated clusters
+//! with batching off vs. on (wall-clock cost of regenerating the
+//! batch_sweep's extreme points).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use paxi::harness::{run, RunSpec};
+use paxi::{BatchConfig, BatchPush, Batcher, Command, Operation, RequestId, TargetPolicy};
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use simnet::{NodeId, SimDuration};
+
+fn cmd(seq: u64) -> Command {
+    Command {
+        id: RequestId {
+            client: NodeId(99),
+            seq,
+        },
+        op: Operation::Put(seq % 1000, paxi::Value::zeros(16)),
+    }
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    c.bench_function("batcher_push_flush_16", |b| {
+        let mut batcher = Batcher::new(BatchConfig::new(16, SimDuration::from_micros(200)));
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            match batcher.push(NodeId(7), cmd(seq)) {
+                BatchPush::Flush(batch) => black_box(batch.len()),
+                _ => 0,
+            }
+        })
+    });
+}
+
+fn quick_spec(n: usize, clients: usize) -> RunSpec {
+    RunSpec {
+        warmup: SimDuration::from_millis(100),
+        measure: SimDuration::from_millis(300),
+        ..RunSpec::lan(n, clients)
+    }
+}
+
+fn bench_batched_clusters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batching");
+    g.sample_size(10);
+
+    for (id, max_batch) in [
+        ("paxos_5n_unbatched_400ms_sim", 1),
+        ("paxos_5n_batch16_400ms_sim", 16),
+    ] {
+        g.bench_function(id, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = PaxosConfig::lan();
+                    if max_batch > 1 {
+                        cfg.batch = BatchConfig::new(max_batch, SimDuration::from_micros(200));
+                    }
+                    cfg
+                },
+                |cfg| {
+                    let r = run(
+                        &quick_spec(5, 32),
+                        paxos_builder(cfg),
+                        TargetPolicy::Fixed(NodeId(0)),
+                    );
+                    assert!(r.violations.is_empty());
+                    r.samples
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    g.bench_function("pigpaxos_5n_r2_batch16_400ms_sim", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = PigConfig::lan(2);
+                cfg.paxos.batch = BatchConfig::new(16, SimDuration::from_micros(200));
+                cfg
+            },
+            |cfg| {
+                let r = run(
+                    &quick_spec(5, 32),
+                    pig_builder(cfg),
+                    TargetPolicy::Fixed(NodeId(0)),
+                );
+                assert!(r.violations.is_empty());
+                r.samples
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_batcher, bench_batched_clusters);
+criterion_main!(benches);

@@ -13,7 +13,10 @@ use std::collections::HashMap;
 
 fn cmd(seq: u64) -> Command {
     Command {
-        id: RequestId { client: NodeId(99), seq },
+        id: RequestId {
+            client: NodeId(99),
+            seq,
+        },
         op: Operation::Put(seq % 1000, Value::zeros(8)),
     }
 }
@@ -49,7 +52,10 @@ struct ChainView {
 
 impl InstanceView for ChainView {
     fn status(&self, id: InstanceId) -> InstStatus {
-        self.nodes.get(&id).map(|n| n.0).unwrap_or(InstStatus::Unknown)
+        self.nodes
+            .get(&id)
+            .map(|n| n.0)
+            .unwrap_or(InstStatus::Unknown)
     }
     fn deps(&self, id: InstanceId) -> &[InstanceId] {
         self.nodes.get(&id).map(|n| n.2.as_slice()).unwrap_or(&[])
@@ -60,7 +66,10 @@ impl InstanceView for ChainView {
 }
 
 fn bench_graph(c: &mut Criterion) {
-    let inst = |s: u64| InstanceId { replica: NodeId(0), slot: s };
+    let inst = |s: u64| InstanceId {
+        replica: NodeId(0),
+        slot: s,
+    };
     let mut nodes = HashMap::new();
     for i in 0..1000u64 {
         let deps = if i == 0 { vec![] } else { vec![inst(i - 1)] };
@@ -76,8 +85,16 @@ fn bench_graph(c: &mut Criterion) {
 fn bench_workload(c: &mut Criterion) {
     let w = Workload::paper_default();
     let mut rng = StdRng::seed_from_u64(2);
-    c.bench_function("workload_next_op", |b| b.iter(|| black_box(w.next_op(&mut rng))));
+    c.bench_function("workload_next_op", |b| {
+        b.iter(|| black_box(w.next_op(&mut rng)))
+    });
 }
 
-criterion_group!(benches, bench_log, bench_relay_groups, bench_graph, bench_workload);
+criterion_group!(
+    benches,
+    bench_log,
+    bench_relay_groups,
+    bench_graph,
+    bench_workload
+);
 criterion_main!(benches);

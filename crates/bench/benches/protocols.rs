@@ -30,8 +30,11 @@ fn bench_protocols(c: &mut Criterion) {
         b.iter_batched(
             || quick_spec(25, 20),
             |spec| {
-                let r =
-                    run(&spec, paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+                let r = run(
+                    &spec,
+                    paxos_builder(PaxosConfig::lan()),
+                    TargetPolicy::Fixed(NodeId(0)),
+                );
                 assert!(r.violations.is_empty());
                 r.samples
             },
@@ -43,7 +46,11 @@ fn bench_protocols(c: &mut Criterion) {
         b.iter_batched(
             || quick_spec(25, 20),
             |spec| {
-                let r = run(&spec, pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+                let r = run(
+                    &spec,
+                    pig_builder(PigConfig::lan(3)),
+                    TargetPolicy::Fixed(NodeId(0)),
+                );
                 assert!(r.violations.is_empty());
                 r.samples
             },

@@ -48,7 +48,10 @@ fn main() {
     } else {
         println!("Ablation: partial response collection (§4.2)");
         println!("(25 nodes, 3 relay groups, one crashed member in two groups, 10 clients)\n");
-        println!("{:>12} {:>14} {:>10} {:>10}", "mode", "tput(req/s)", "mean(ms)", "p99(ms)");
+        println!(
+            "{:>12} {:>14} {:>10} {:>10}",
+            "mode", "tput(req/s)", "mean(ms)", "p99(ms)"
+        );
         println!(
             "{:>12} {:>14.0} {:>10.2} {:>10.2}",
             "wait-all", waitall.throughput, waitall.mean_latency_ms, waitall.p99_latency_ms

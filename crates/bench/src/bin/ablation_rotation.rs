@@ -38,7 +38,10 @@ fn main() {
         println!("fixed,{tput_fix:.0},{hot_fix:.2}");
     } else {
         println!("Ablation: relay rotation (25 nodes, 2 relay groups)");
-        println!("{:>10} {:>16} {:>30}", "relays", "max tput(req/s)", "busiest follower msgs/op");
+        println!(
+            "{:>10} {:>16} {:>30}",
+            "relays", "max tput(req/s)", "busiest follower msgs/op"
+        );
         println!("{:>10} {tput_rot:>16.0} {hot_rot:>30.2}", "rotating");
         println!("{:>10} {tput_fix:>16.0} {hot_fix:>30.2}", "fixed");
         println!(

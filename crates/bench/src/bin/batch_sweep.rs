@@ -1,0 +1,147 @@
+//! Leader-side command batching sweep: throughput and leader message
+//! amortization vs. `max_batch`, for direct Multi-Paxos and PigPaxos on
+//! a 5-node LAN cluster under heavy offered load.
+//!
+//! The headline column is **leader-sent protocol messages per committed
+//! command** (client replies excluded): with `max_batch = B` one accept
+//! round carries up to `B` commands, so the `N−1` (Paxos) or `r`
+//! (PigPaxos) accept messages amortize across the batch. At `B = 16`
+//! the reduction vs. `B = 1` must exceed 4× — the repo's acceptance
+//! gate for the batching subsystem, checked here and in
+//! `tests/batching.rs`.
+
+use paxi::harness::{run, RunSpec};
+use paxi::BatchConfig;
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use pigpaxos_bench::{csv_mode, leader_target, quick_mode};
+use simnet::SimDuration;
+
+const BATCH_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32];
+const NODES: usize = 5;
+const CLIENTS: usize = 32;
+
+fn spec() -> RunSpec {
+    let mut spec = RunSpec::lan(NODES, CLIENTS);
+    if quick_mode() {
+        spec.warmup = SimDuration::from_millis(300);
+        spec.measure = SimDuration::from_millis(700);
+    } else {
+        spec.warmup = SimDuration::from_secs(1);
+        spec.measure = SimDuration::from_secs(3);
+    }
+    spec.capture_trace = true;
+    spec
+}
+
+fn batch_cfg(max_batch: usize) -> BatchConfig {
+    if max_batch <= 1 {
+        BatchConfig::disabled()
+    } else {
+        BatchConfig::new(max_batch, SimDuration::from_micros(200))
+    }
+}
+
+struct Row {
+    max_batch: usize,
+    throughput: f64,
+    mean_ms: f64,
+    p99_ms: f64,
+    leader_msgs_per_op: f64,
+    leader_proto_sent_per_op: f64,
+}
+
+fn sweep(name: &str, mut run_one: impl FnMut(usize) -> Row) {
+    let rows: Vec<Row> = BATCH_SIZES.iter().map(|&b| run_one(b)).collect();
+    if csv_mode() {
+        for r in &rows {
+            println!(
+                "{name},{},{:.1},{:.3},{:.3},{:.3},{:.3}",
+                r.max_batch,
+                r.throughput,
+                r.mean_ms,
+                r.p99_ms,
+                r.leader_msgs_per_op,
+                r.leader_proto_sent_per_op
+            );
+        }
+    } else {
+        println!("\n── {name}: {NODES} nodes, {CLIENTS} closed-loop clients ──");
+        println!(
+            "{:>6} {:>12} {:>10} {:>10} {:>16} {:>20}",
+            "batch", "tput(req/s)", "mean(ms)", "p99(ms)", "leader msgs/op", "leader proto sent/op"
+        );
+        for r in &rows {
+            println!(
+                "{:>6} {:>12.0} {:>10.2} {:>10.2} {:>16.2} {:>20.3}",
+                r.max_batch,
+                r.throughput,
+                r.mean_ms,
+                r.p99_ms,
+                r.leader_msgs_per_op,
+                r.leader_proto_sent_per_op
+            );
+        }
+    }
+    let base = rows.first().expect("sweep is non-empty");
+    let b16 = rows
+        .iter()
+        .find(|r| r.max_batch == 16)
+        .expect("16 in sweep");
+    let reduction = base.leader_proto_sent_per_op / b16.leader_proto_sent_per_op;
+    if csv_mode() {
+        println!("{name}_b16_proto_sent_reduction,,{reduction:.2},,,,");
+    } else {
+        println!(
+            "    B=16 vs B=1: leader-sent protocol msgs/cmd {:.3} -> {:.3}  ({reduction:.1}x reduction)",
+            base.leader_proto_sent_per_op, b16.leader_proto_sent_per_op
+        );
+    }
+    assert!(
+        reduction >= 4.0,
+        "{name}: batching must cut leader-sent protocol messages per command by >=4x \
+         (got {reduction:.2}x)"
+    );
+}
+
+fn main() {
+    if csv_mode() {
+        println!("series,max_batch,throughput,mean_ms,p99_ms,leader_msgs_per_op,leader_proto_sent_per_op");
+    } else {
+        println!("Leader-side command batching sweep (max_delay = 200us)");
+    }
+
+    sweep("paxos", |b| {
+        let mut cfg = PaxosConfig::lan();
+        cfg.batch = batch_cfg(b);
+        let r = run(&spec(), paxos_builder(cfg), leader_target());
+        assert!(r.violations.is_empty(), "paxos B={b}: {:?}", r.violations);
+        Row {
+            max_batch: b,
+            throughput: r.throughput,
+            mean_ms: r.mean_latency_ms,
+            p99_ms: r.p99_latency_ms,
+            leader_msgs_per_op: r.leader_msgs_per_op,
+            leader_proto_sent_per_op: r.leader_proto_sent_per_op.expect("trace captured"),
+        }
+    });
+
+    sweep("pigpaxos_r2", |b| {
+        let mut cfg = PigConfig::lan(2);
+        cfg.paxos.batch = batch_cfg(b);
+        let r = run(&spec(), pig_builder(cfg), leader_target());
+        assert!(
+            r.violations.is_empty(),
+            "pigpaxos B={b}: {:?}",
+            r.violations
+        );
+        Row {
+            max_batch: b,
+            throughput: r.throughput,
+            mean_ms: r.mean_latency_ms,
+            p99_ms: r.p99_latency_ms,
+            leader_msgs_per_op: r.leader_msgs_per_op,
+            leader_proto_sent_per_op: r.leader_proto_sent_per_op.expect("trace captured"),
+        }
+    });
+}

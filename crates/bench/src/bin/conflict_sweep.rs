@@ -37,7 +37,10 @@ fn main() {
 
     for &keys in &[100u64, 1000, 100_000] {
         let spec = RunSpec {
-            workload: Workload { num_keys: keys, ..Workload::paper_default() },
+            workload: Workload {
+                num_keys: keys,
+                ..Workload::paper_default()
+            },
             ..base.clone()
         };
         let (ep, pig) = run_pair(&spec);

@@ -82,7 +82,11 @@ fn parse() -> Args {
 
 fn main() {
     let a = parse();
-    let mut spec = if a.wan { RunSpec::wan(a.nodes, a.clients) } else { RunSpec::lan(a.nodes, a.clients) };
+    let mut spec = if a.wan {
+        RunSpec::wan(a.nodes, a.clients)
+    } else {
+        RunSpec::lan(a.nodes, a.clients)
+    };
     spec.seed = a.seed;
     spec.warmup = SimDuration::from_secs(1);
     spec.measure = SimDuration::from_secs(3);
@@ -96,7 +100,11 @@ fn main() {
     let leader = TargetPolicy::Fixed(NodeId(0));
     let result = match a.protocol.as_str() {
         "paxos" => {
-            let cfg = if a.wan { PaxosConfig::wan() } else { PaxosConfig::lan() };
+            let cfg = if a.wan {
+                PaxosConfig::wan()
+            } else {
+                PaxosConfig::lan()
+            };
             run(&spec, paxos_builder(cfg), leader)
         }
         "pigpaxos" => {
@@ -135,7 +143,11 @@ fn main() {
         }
     };
 
-    assert!(result.violations.is_empty(), "safety violated: {:?}", result.violations);
+    assert!(
+        result.violations.is_empty(),
+        "safety violated: {:?}",
+        result.violations
+    );
     println!(
         "{} n={} groups={} clients={} reads={:.0}% payload={}B keys={}{}{}",
         a.protocol,

@@ -52,7 +52,10 @@ fn print_series(name: &str, series: &[(usize, f64)]) {
         return;
     }
     println!("\n── {name} ──");
-    println!("{:>10} {:>14} {:>12}", "payload(B)", "max tput(req/s)", "normalized");
+    println!(
+        "{:>10} {:>14} {:>12}",
+        "payload(B)", "max tput(req/s)", "normalized"
+    );
     for &(p, t) in series {
         println!("{p:>10} {t:>14.0} {:>12.3}", t / peak);
     }

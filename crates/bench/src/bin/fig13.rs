@@ -12,8 +12,11 @@ use pigpaxos_bench::{csv_mode, lan_spec, leader_target, quick_mode};
 use simnet::{Control, NodeId, SimDuration, SimTime};
 
 fn main() {
-    let (total_secs, fault_start, fault_end) =
-        if quick_mode() { (15u64, 5u64, 10u64) } else { (60, 20, 40) };
+    let (total_secs, fault_start, fault_end) = if quick_mode() {
+        (15u64, 5u64, 10u64)
+    } else {
+        (60, 20, 40)
+    };
 
     let mut spec = lan_spec(25);
     spec.n_clients = 160; // saturation, as in the paper
@@ -33,7 +36,11 @@ fn main() {
         },
     );
 
-    assert!(result.violations.is_empty(), "safety violated: {:?}", result.violations);
+    assert!(
+        result.violations.is_empty(),
+        "safety violated: {:?}",
+        result.violations
+    );
 
     if csv_mode() {
         println!("time_s,throughput");

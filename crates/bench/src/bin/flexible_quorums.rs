@@ -17,20 +17,31 @@ fn main() {
     // Part 1: N=10 LAN, the paper's Q1=8/Q2=3 example.
     let lan = lan_spec(10);
     let lat = |cfg: PaxosConfig| {
-        let spec = RunSpec { n_clients: 2, ..lan.clone() };
+        let spec = RunSpec {
+            n_clients: 2,
+            ..lan.clone()
+        };
         run(&spec, paxos_builder(cfg), leader_target())
     };
     let m = lat(PaxosConfig::lan());
     let mut fq = PaxosConfig::lan();
     fq.flexible_quorums = Some((8, 3));
     let f = lat(fq.clone());
-    let m_max = max_throughput(&lan, MAX_TPUT_CLIENTS, paxos_builder(PaxosConfig::lan()), leader_target());
+    let m_max = max_throughput(
+        &lan,
+        MAX_TPUT_CLIENTS,
+        paxos_builder(PaxosConfig::lan()),
+        leader_target(),
+    );
     let f_max = max_throughput(&lan, MAX_TPUT_CLIENTS, paxos_builder(fq), leader_target());
 
     // Part 2: 15-node WAN — Q2=5 fits in the leader's region.
     let wan = wan_spec(15);
     let wlat = |cfg: PaxosConfig| {
-        let spec = RunSpec { n_clients: 4, ..wan.clone() };
+        let spec = RunSpec {
+            n_clients: 4,
+            ..wan.clone()
+        };
         run(&spec, paxos_builder(cfg), leader_target())
     };
     let wm = wlat(PaxosConfig::wan());
@@ -41,7 +52,10 @@ fn main() {
     // Part 3: thrifty under a single crash (9-node LAN).
     let mut thr = PaxosConfig::lan();
     thr.thrifty = true;
-    let spec9 = RunSpec { n_clients: 4, ..lan_spec(9) };
+    let spec9 = RunSpec {
+        n_clients: 4,
+        ..lan_spec(9)
+    };
     let t_ok = run(&spec9, paxos_builder(thr.clone()), leader_target());
     let t_crash = run_spec(&spec9, paxos_builder(thr), leader_target(), |sim, _| {
         sim.schedule_control(SimTime::from_millis(200), Control::Crash(NodeId(1)));
@@ -49,17 +63,32 @@ fn main() {
 
     if csv_mode() {
         println!("metric,majority,flexible");
-        println!("lan10_low_load_latency_ms,{:.3},{:.3}", m.mean_latency_ms, f.mean_latency_ms);
+        println!(
+            "lan10_low_load_latency_ms,{:.3},{:.3}",
+            m.mean_latency_ms, f.mean_latency_ms
+        );
         println!("lan10_max_throughput,{m_max:.0},{f_max:.0}");
-        println!("wan15_low_load_latency_ms,{:.3},{:.3}", wm.mean_latency_ms, wf.mean_latency_ms);
-        println!("thrifty9_latency_ms_healthy_vs_crashed,{:.3},{:.3}", t_ok.mean_latency_ms, t_crash.mean_latency_ms);
+        println!(
+            "wan15_low_load_latency_ms,{:.3},{:.3}",
+            wm.mean_latency_ms, wf.mean_latency_ms
+        );
+        println!(
+            "thrifty9_latency_ms_healthy_vs_crashed,{:.3},{:.3}",
+            t_ok.mean_latency_ms, t_crash.mean_latency_ms
+        );
     } else {
         println!("Flexible quorums & thrifty (paper §2.2)\n");
         println!("N=10 LAN, majority (6,6) vs flexible (Q1=8, Q2=3):");
-        println!("  low-load latency   {:>7.2} ms vs {:>7.2} ms", m.mean_latency_ms, f.mean_latency_ms);
+        println!(
+            "  low-load latency   {:>7.2} ms vs {:>7.2} ms",
+            m.mean_latency_ms, f.mean_latency_ms
+        );
         println!("  max throughput     {m_max:>7.0}    vs {f_max:>7.0}    req/s  <- Q2 does NOT fix the leader");
         println!("\nN=15 WAN, majority (8,8) vs flexible (Q1=11, Q2=5, Q2 ⊂ leader region):");
-        println!("  low-load latency   {:>7.2} ms vs {:>7.2} ms", wm.mean_latency_ms, wf.mean_latency_ms);
+        println!(
+            "  low-load latency   {:>7.2} ms vs {:>7.2} ms",
+            wm.mean_latency_ms, wf.mean_latency_ms
+        );
         println!(
             "  leader msgs/op     {:>7.1}    vs {:>7.1}       <- unchanged bottleneck",
             wm.leader_msgs_per_op, wf.leader_msgs_per_op

@@ -16,7 +16,10 @@ fn main() {
     let n = 25;
     // Moderate load: batching-free region where per-op accounting is
     // clean (heartbeats add a small constant background).
-    let spec = RunSpec { n_clients: 10, ..lan_spec(n) };
+    let spec = RunSpec {
+        n_clients: 10,
+        ..lan_spec(n)
+    };
 
     if csv_mode() {
         println!("config,measured_leader,model_leader,measured_follower,model_follower");
@@ -30,20 +33,28 @@ fn main() {
 
     for r in 2..=6 {
         let res = run(&spec, pig_builder(PigConfig::lan(r)), leader_target());
-        report(&format!("pig r={r}"), res.leader_msgs_per_op, leader_load(r),
-               res.follower_msgs_per_op, follower_load(n, r));
+        report(
+            &format!("pig r={r}"),
+            res.leader_msgs_per_op,
+            leader_load(r),
+            res.follower_msgs_per_op,
+            follower_load(n, r),
+        );
     }
     let res = run(&spec, paxos_builder(PaxosConfig::lan()), leader_target());
-    report("paxos", res.leader_msgs_per_op, paxos_leader_load(n),
-           res.follower_msgs_per_op, paxos_follower_load());
+    report(
+        "paxos",
+        res.leader_msgs_per_op,
+        paxos_leader_load(n),
+        res.follower_msgs_per_op,
+        paxos_follower_load(),
+    );
 }
 
 fn report(config: &str, ml_meas: f64, ml_model: f64, mf_meas: f64, mf_model: f64) {
     if csv_mode() {
         println!("{config},{ml_meas:.2},{ml_model:.2},{mf_meas:.2},{mf_model:.2}");
     } else {
-        println!(
-            "{config:>10} {ml_meas:>14.2} {ml_model:>10.2} {mf_meas:>16.2} {mf_model:>10.2}"
-        );
+        println!("{config:>10} {ml_meas:>14.2} {ml_model:>10.2} {mf_meas:>16.2} {mf_model:>10.2}");
     }
 }

@@ -18,7 +18,10 @@ fn main() {
         println!("read_ratio,leader_reads,pqr_reads");
     } else {
         println!("PQR extension: max throughput (25 nodes, 3 relay groups)");
-        println!("{:>11} {:>16} {:>14}", "read ratio", "leader reads", "PQR reads");
+        println!(
+            "{:>11} {:>16} {:>14}",
+            "read ratio", "leader reads", "PQR reads"
+        );
     }
     for read_pct in [50u32, 75, 90, 99] {
         let spec = RunSpec {

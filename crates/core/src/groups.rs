@@ -65,7 +65,9 @@ impl RelayGroups {
                     "explicit groups must exactly partition the followers"
                 );
                 assert!(groups.iter().all(|g| !g.is_empty()), "empty relay group");
-                RelayGroups { groups: groups.clone() }
+                RelayGroups {
+                    groups: groups.clone(),
+                }
             }
         }
     }
@@ -88,8 +90,11 @@ impl RelayGroups {
             .map(|g| {
                 let i = rng.gen_range(0..g.len());
                 let relay = g[i];
-                let peers =
-                    g.iter().copied().filter(|&n| n != relay).collect::<Vec<_>>();
+                let peers = g
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != relay)
+                    .collect::<Vec<_>>();
                 (relay, peers)
             })
             .collect()
@@ -174,10 +179,7 @@ mod tests {
     #[test]
     fn explicit_groups_validated() {
         let f = followers(4);
-        let ok = GroupSpec::Explicit(vec![
-            vec![NodeId(1), NodeId(3)],
-            vec![NodeId(2), NodeId(4)],
-        ]);
+        let ok = GroupSpec::Explicit(vec![vec![NodeId(1), NodeId(3)], vec![NodeId(2), NodeId(4)]]);
         let g = RelayGroups::build(&f, &ok);
         assert_eq!(g.num_groups(), 2);
     }
@@ -213,7 +215,11 @@ mod tests {
         }
         // With 100 rounds over groups of 12, nearly every follower should
         // have served as a relay at least once.
-        assert!(seen.len() >= 20, "rotation too narrow: {} distinct relays", seen.len());
+        assert!(
+            seen.len() >= 20,
+            "rotation too narrow: {} distinct relays",
+            seen.len()
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct RelayPlan {
 impl RelayPlan {
     /// A single-level plan: contact these peers directly.
     pub fn flat(peers: Vec<NodeId>) -> Self {
-        RelayPlan { peers, sub: Vec::new() }
+        RelayPlan {
+            peers,
+            sub: Vec::new(),
+        }
     }
 
     /// Number of nodes this plan expects responses from (direct peers +
@@ -36,13 +39,21 @@ impl RelayPlan {
     /// Total followers covered by the plan (all levels).
     pub fn total_nodes(&self) -> usize {
         self.peers.len()
-            + self.sub.iter().map(|(_, p)| 1 + p.total_nodes()).sum::<usize>()
+            + self
+                .sub
+                .iter()
+                .map(|(_, p)| 1 + p.total_nodes())
+                .sum::<usize>()
     }
 
     /// Serialized size contribution.
     pub fn wire_bytes(&self) -> usize {
         4 + self.peers.len() * 4
-            + self.sub.iter().map(|(_, p)| 4 + p.wire_bytes()).sum::<usize>()
+            + self
+                .sub
+                .iter()
+                .map(|(_, p)| 4 + p.wire_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -90,7 +101,10 @@ mod tests {
     use paxi::Ballot;
 
     fn p1a() -> PaxosMsg {
-        PaxosMsg::P1a { ballot: Ballot::new(1, NodeId(0)) }
+        PaxosMsg::P1a {
+            ballot: Ballot::new(1, NodeId(0)),
+            from: 0,
+        }
     }
 
     #[test]

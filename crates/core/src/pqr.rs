@@ -163,14 +163,21 @@ mod tests {
     use super::*;
 
     fn rid() -> RequestId {
-        RequestId { client: NodeId(100), seq: 1 }
+        RequestId {
+            client: NodeId(100),
+            seq: 1,
+        }
     }
 
     fn entry(node: u32, slot: u64, pending: bool) -> QrVoteEntry {
         QrVoteEntry {
             node: NodeId(node),
             value_slot: slot,
-            value: if slot == 0 { None } else { Some(Value::zeros(slot as usize)) },
+            value: if slot == 0 {
+                None
+            } else {
+                Some(Value::zeros(slot as usize))
+            },
             pending_write: pending,
         }
     }
@@ -179,8 +186,14 @@ mod tests {
     fn completes_with_majority_and_highest_slot_wins() {
         let mut p = PendingReads::new();
         let id = p.start(NodeId(100), rid(), 7, 3, SimTime::ZERO);
-        assert_eq!(p.add_votes(id, vec![entry(1, 5, false)]), ReadOutcome::Pending);
-        assert_eq!(p.add_votes(id, vec![entry(2, 9, false)]), ReadOutcome::Pending);
+        assert_eq!(
+            p.add_votes(id, vec![entry(1, 5, false)]),
+            ReadOutcome::Pending
+        );
+        assert_eq!(
+            p.add_votes(id, vec![entry(2, 9, false)]),
+            ReadOutcome::Pending
+        );
         match p.add_votes(id, vec![entry(3, 2, false)]) {
             ReadOutcome::Done(Some(v)) => assert_eq!(v.len(), 9, "slot-9 value wins"),
             other => panic!("unexpected {other:?}"),
@@ -215,7 +228,10 @@ mod tests {
         let mut p = PendingReads::new();
         let id = p.start(NodeId(100), rid(), 7, 2, SimTime::ZERO);
         p.add_votes(id, vec![entry(1, 5, true)]);
-        assert_eq!(p.add_votes(id, vec![entry(2, 5, false)]), ReadOutcome::Rinse);
+        assert_eq!(
+            p.add_votes(id, vec![entry(2, 5, false)]),
+            ReadOutcome::Rinse
+        );
         // Restart clears state and bumps attempts.
         let (client, key, attempts) = p.restart(id).expect("still tracked");
         assert_eq!(client, NodeId(100));
@@ -254,6 +270,9 @@ mod tests {
     #[test]
     fn votes_for_unknown_read_ignored() {
         let mut p = PendingReads::new();
-        assert_eq!(p.add_votes(99, vec![entry(1, 1, false)]), ReadOutcome::Pending);
+        assert_eq!(
+            p.add_votes(99, vec![entry(1, 1, false)]),
+            ReadOutcome::Pending
+        );
     }
 }

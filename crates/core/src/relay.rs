@@ -19,6 +19,10 @@ pub enum AggKey {
     P1(Ballot),
     /// Phase-2 for (ballot, slot).
     P2(Ballot, u64),
+    /// Batched phase-2 for (ballot, first slot, last slot) — the
+    /// leader-side command-batching fast path. Votes carry their own
+    /// slots, so aggregation is still plain concatenation.
+    P2Span(Ballot, u64, u64),
     /// A quorum read for (reader proxy, read id) — §4.3.
     Qr(NodeId, u64),
 }
@@ -76,12 +80,20 @@ impl VoteSet {
     pub fn into_message(self, key: AggKey) -> PaxosMsg {
         match (self, key) {
             (VoteSet::P1(votes), AggKey::P1(ballot)) => PaxosMsg::P1b { ballot, votes },
-            (VoteSet::P2(votes), AggKey::P2(ballot, slot)) => {
-                PaxosMsg::P2b { ballot, slot, votes }
+            (VoteSet::P2(votes), AggKey::P2(ballot, slot)) => PaxosMsg::P2b {
+                ballot,
+                slot,
+                votes,
+            },
+            (VoteSet::P2(votes), AggKey::P2Span(ballot, first_slot, last_slot)) => {
+                PaxosMsg::P2bBatch {
+                    ballot,
+                    first_slot,
+                    last_slot,
+                    votes,
+                }
             }
-            (VoteSet::Qr(votes), AggKey::Qr(reader, id)) => {
-                PaxosMsg::QrVote { reader, id, votes }
-            }
+            (VoteSet::Qr(votes), AggKey::Qr(reader, id)) => PaxosMsg::QrVote { reader, id, votes },
             _ => unreachable!("phase-mismatched key/votes"),
         }
     }
@@ -146,7 +158,11 @@ impl RelayTable {
     ) -> Option<Flush> {
         let collected = own_vote.len();
         if expect.is_empty() || own_vote.has_rejection() {
-            return Some(Flush { reply_to, key, votes: own_vote });
+            return Some(Flush {
+                reply_to,
+                key,
+                votes: own_vote,
+            });
         }
         if threshold > 0 && collected >= threshold {
             // Own vote already satisfies the partial threshold: flush it
@@ -167,7 +183,11 @@ impl RelayTable {
                     collected,
                 },
             );
-            return Some(Flush { reply_to, key, votes: own_vote });
+            return Some(Flush {
+                reply_to,
+                key,
+                votes: own_vote,
+            });
         }
         self.pending.insert(
             key,
@@ -206,12 +226,20 @@ impl RelayTable {
             if agg.votes.is_empty() {
                 return None; // everything already flushed
             }
-            return Some(Flush { reply_to: agg.reply_to, key, votes: agg.votes });
+            return Some(Flush {
+                reply_to: agg.reply_to,
+                key,
+                votes: agg.votes,
+            });
         }
         if threshold_hit {
             agg.flushed_once = true;
             let out = agg.votes.take();
-            return Some(Flush { reply_to: agg.reply_to, key, votes: out });
+            return Some(Flush {
+                reply_to: agg.reply_to,
+                key,
+                votes: out,
+            });
         }
         None
     }
@@ -229,7 +257,11 @@ impl RelayTable {
         for key in expired {
             let agg = self.pending.remove(&key).expect("present");
             if !agg.votes.is_empty() {
-                out.push(Flush { reply_to: agg.reply_to, key, votes: agg.votes });
+                out.push(Flush {
+                    reply_to: agg.reply_to,
+                    key,
+                    votes: agg.votes,
+                });
             }
         }
         out
@@ -245,7 +277,12 @@ mod tests {
     }
 
     fn own_p2(node: u32, ok: bool) -> VoteSet {
-        VoteSet::P2(vec![P2bVote { node: NodeId(node), ballot: b(), slot: 7, ok }])
+        VoteSet::P2(vec![P2bVote {
+            node: NodeId(node),
+            ballot: b(),
+            slot: 7,
+            ok,
+        }])
     }
 
     fn peer_p2(node: u32) -> VoteSet {
@@ -266,7 +303,14 @@ mod tests {
     fn completes_when_all_respond() {
         let mut t = RelayTable::new();
         assert!(t
-            .open(key(), NodeId(0), expect(&[2, 3]), own_p2(1, true), 0, SimTime::from_millis(50))
+            .open(
+                key(),
+                NodeId(0),
+                expect(&[2, 3]),
+                own_p2(1, true),
+                0,
+                SimTime::from_millis(50)
+            )
             .is_none());
         assert!(t.add(key(), NodeId(2), peer_p2(2)).is_none());
         let f = t.add(key(), NodeId(3), peer_p2(3)).expect("complete");
@@ -279,7 +323,14 @@ mod tests {
     fn empty_expectation_flushes_immediately() {
         let mut t = RelayTable::new();
         let f = t
-            .open(key(), NodeId(0), HashSet::new(), own_p2(1, true), 0, SimTime::ZERO)
+            .open(
+                key(),
+                NodeId(0),
+                HashSet::new(),
+                own_p2(1, true),
+                0,
+                SimTime::ZERO,
+            )
             .expect("immediate");
         assert_eq!(f.votes.len(), 1);
     }
@@ -288,7 +339,14 @@ mod tests {
     fn rejection_fast_path_on_own_vote() {
         let mut t = RelayTable::new();
         let f = t
-            .open(key(), NodeId(0), expect(&[2]), own_p2(1, false), 0, SimTime::ZERO)
+            .open(
+                key(),
+                NodeId(0),
+                expect(&[2]),
+                own_p2(1, false),
+                0,
+                SimTime::ZERO,
+            )
             .expect("reject flushes now");
         assert!(matches!(f.votes, VoteSet::P2(ref v) if !v[0].ok));
         assert!(t.is_empty(), "round abandoned after rejection");
@@ -297,8 +355,17 @@ mod tests {
     #[test]
     fn rejection_fast_path_on_peer_vote() {
         let mut t = RelayTable::new();
-        t.open(key(), NodeId(0), expect(&[2, 3]), own_p2(1, true), 0, SimTime::from_millis(50));
-        let f = t.add(key(), NodeId(2), own_p2(2, false)).expect("reject flushes");
+        t.open(
+            key(),
+            NodeId(0),
+            expect(&[2, 3]),
+            own_p2(1, true),
+            0,
+            SimTime::from_millis(50),
+        );
+        let f = t
+            .add(key(), NodeId(2), own_p2(2, false))
+            .expect("reject flushes");
         assert_eq!(f.votes.len(), 2);
         assert!(t.is_empty());
         // Late vote from node 3 is dropped silently.
@@ -308,9 +375,22 @@ mod tests {
     #[test]
     fn unsolicited_votes_ignored() {
         let mut t = RelayTable::new();
-        t.open(key(), NodeId(0), expect(&[2]), own_p2(1, true), 0, SimTime::from_millis(50));
-        assert!(t.add(key(), NodeId(9), peer_p2(9)).is_none(), "node 9 not expected");
-        assert!(t.add(KEY, NodeId(2), peer_p2(2)).is_none(), "different ballot key");
+        t.open(
+            key(),
+            NodeId(0),
+            expect(&[2]),
+            own_p2(1, true),
+            0,
+            SimTime::from_millis(50),
+        );
+        assert!(
+            t.add(key(), NodeId(9), peer_p2(9)).is_none(),
+            "node 9 not expected"
+        );
+        assert!(
+            t.add(KEY, NodeId(2), peer_p2(2)).is_none(),
+            "different ballot key"
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -332,7 +412,11 @@ mod tests {
         assert_eq!(t.len(), 1, "still collecting the rest");
         assert!(t.add(key(), NodeId(4), peer_p2(4)).is_none());
         let second = t.add(key(), NodeId(5), peer_p2(5)).expect("completion");
-        assert_eq!(second.votes.len(), 2, "only the votes after the partial flush");
+        assert_eq!(
+            second.votes.len(),
+            2,
+            "only the votes after the partial flush"
+        );
         assert!(t.is_empty());
     }
 
@@ -340,7 +424,14 @@ mod tests {
     fn threshold_met_by_own_vote_alone() {
         let mut t = RelayTable::new();
         let f = t
-            .open(key(), NodeId(0), expect(&[2]), own_p2(1, true), 1, SimTime::from_millis(50))
+            .open(
+                key(),
+                NodeId(0),
+                expect(&[2]),
+                own_p2(1, true),
+                1,
+                SimTime::from_millis(50),
+            )
             .expect("own vote satisfies threshold 1");
         assert_eq!(f.votes.len(), 1);
         // Remainder still tracked.
@@ -351,7 +442,14 @@ mod tests {
     #[test]
     fn expiry_flushes_partial_votes() {
         let mut t = RelayTable::new();
-        t.open(key(), NodeId(0), expect(&[2, 3]), own_p2(1, true), 0, SimTime::from_millis(50));
+        t.open(
+            key(),
+            NodeId(0),
+            expect(&[2, 3]),
+            own_p2(1, true),
+            0,
+            SimTime::from_millis(50),
+        );
         t.add(key(), NodeId(2), peer_p2(2));
         assert!(t.expire(SimTime::from_millis(49)).is_empty(), "not due yet");
         let flushed = t.expire(SimTime::from_millis(50));
@@ -363,7 +461,14 @@ mod tests {
     #[test]
     fn expiry_after_partial_flush_sends_only_new_votes() {
         let mut t = RelayTable::new();
-        t.open(key(), NodeId(0), expect(&[2, 3, 4]), own_p2(1, true), 2, SimTime::from_millis(50));
+        t.open(
+            key(),
+            NodeId(0),
+            expect(&[2, 3, 4]),
+            own_p2(1, true),
+            2,
+            SimTime::from_millis(50),
+        );
         let first = t.add(key(), NodeId(2), peer_p2(2)).expect("partial");
         assert_eq!(first.votes.len(), 2);
         t.add(key(), NodeId(3), peer_p2(3));
@@ -375,7 +480,14 @@ mod tests {
     #[test]
     fn expired_empty_rounds_drop_silently() {
         let mut t = RelayTable::new();
-        t.open(key(), NodeId(0), expect(&[2]), own_p2(1, true), 1, SimTime::from_millis(50));
+        t.open(
+            key(),
+            NodeId(0),
+            expect(&[2]),
+            own_p2(1, true),
+            1,
+            SimTime::from_millis(50),
+        );
         // Threshold 1 flushed own vote at open; nothing new arrives.
         let flushed = t.expire(SimTime::from_millis(60));
         assert!(flushed.is_empty());
@@ -384,9 +496,18 @@ mod tests {
 
     #[test]
     fn into_message_round_trips() {
-        let votes = VoteSet::P2(vec![P2bVote { node: NodeId(1), ballot: b(), slot: 7, ok: true }]);
+        let votes = VoteSet::P2(vec![P2bVote {
+            node: NodeId(1),
+            ballot: b(),
+            slot: 7,
+            ok: true,
+        }]);
         match votes.into_message(AggKey::P2(b(), 7)) {
-            PaxosMsg::P2b { ballot, slot, votes } => {
+            PaxosMsg::P2b {
+                ballot,
+                slot,
+                votes,
+            } => {
                 assert_eq!(ballot, b());
                 assert_eq!(slot, 7);
                 assert_eq!(votes.len(), 1);

@@ -18,10 +18,10 @@ use crate::messages::{PigMsg, RelayPlan};
 use crate::pqr::{PendingReads, ReadOutcome};
 use crate::relay::{AggKey, Flush, RelayTable, VoteSet};
 use paxi::{
-    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
-    ReplicaCtx,
+    BatchPush, Batcher, ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica,
+    ReplicaActor, ReplicaCtx, SessionTable,
 };
-use paxos::{Acceptor, CommitAdvance, Leader, PaxosMsg, Phase1Outcome};
+use paxos::{Acceptor, CommitAdvance, Leader, P2bVote, PaxosMsg, Phase1Outcome};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
@@ -34,6 +34,7 @@ const T_RELAY_SCAN: u64 = 4;
 const T_RESHUFFLE: u64 = 5;
 const T_LEARN: u64 = 6;
 const T_PQR_RINSE: u64 = 7;
+const T_BATCH: u64 = 8;
 
 /// Timer kinds live in the low byte; the payload (e.g. a read id) in
 /// the rest.
@@ -54,6 +55,17 @@ pub struct PigReplica {
     known_leader: Option<NodeId>,
     last_leader_contact: SimTime,
     waiting: HashMap<u64, NodeId>,
+    /// Last executed reply per client, for exactly-once retries.
+    sessions: SessionTable,
+    /// Client-command batching buffer (active leader only).
+    batcher: Batcher,
+    /// Pending `max_delay` flush timer, cancelled when a batch flushes
+    /// by size so it cannot prematurely flush the next batch.
+    batch_timer: Option<TimerId>,
+    /// Highest sequence number proposed per client — a cheap filter so
+    /// only requests at or below this high-water mark (i.e. possible
+    /// duplicates) pay the unexecuted-window log scan in `on_request`.
+    proposed_seq: HashMap<NodeId, u64>,
     election_timeout: SimDuration,
     repair_up_to: u64,
     repair_armed: bool,
@@ -93,6 +105,10 @@ impl PigReplica {
             known_leader: Some(cluster.leader),
             last_leader_contact: SimTime::ZERO,
             waiting: HashMap::new(),
+            sessions: SessionTable::new(),
+            batcher: Batcher::new(cfg.paxos.batch.clone()),
+            batch_timer: None,
+            proposed_seq: HashMap::new(),
             election_timeout: SimDuration::ZERO,
             repair_up_to: 0,
             repair_armed: false,
@@ -133,18 +149,29 @@ impl PigReplica {
             let plan = build_plan(peers, levels, ctx.rng());
             ctx.send_proto(
                 relay,
-                PigMsg::ToRelay { reply_to: self.me, plan, inner: inner.clone(), threshold },
+                PigMsg::ToRelay {
+                    reply_to: self.me,
+                    plan,
+                    inner: inner.clone(),
+                    threshold,
+                },
             );
         }
     }
 
     fn begin_campaign(&mut self, ctx: &mut Ctx<PigMsg>) {
         let ballot = self.leader.start_campaign(self.acceptor.promised());
-        let own = self.acceptor.on_p1a(ballot);
         let watermark = self.acceptor.commit_watermark();
+        let own = self.acceptor.on_p1a(ballot, watermark);
         let outcome = self.leader.on_p1b_votes(vec![own], watermark);
         self.handle_phase1_outcome(outcome, ctx);
-        self.disseminate(PaxosMsg::P1a { ballot }, ctx);
+        self.disseminate(
+            PaxosMsg::P1a {
+                ballot,
+                from: watermark,
+            },
+            ctx,
+        );
     }
 
     fn handle_phase1_outcome(&mut self, outcome: Phase1Outcome, ctx: &mut Ctx<PigMsg>) {
@@ -172,23 +199,143 @@ impl PigReplica {
         while let Some((client, cmd)) = self.leader.pending.pop_front() {
             ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
         }
+        for (client, cmd) in self.batcher.flush() {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+        // A stale flush timer must not fire into the next leadership term.
+        if let Some(t) = self.batch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn note_proposed(&mut self, client: NodeId, seq: u64) {
+        let hw = self.proposed_seq.entry(client).or_insert(0);
+        *hw = (*hw).max(seq);
     }
 
     fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PigMsg>) {
+        self.note_proposed(cmd.id.client, cmd.id.seq);
         let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
         self.waiting.insert(slot, client);
         self.send_accepts(slot, cmd, ctx);
     }
 
+    /// Propose a full batch: allocate consecutive slots, self-vote each,
+    /// and send a single `P2aBatch` down the relay tree — one message
+    /// per *relay group* now amortizes the whole batch (relay fan-in ×
+    /// batch amortization).
+    fn propose_batch(&mut self, batch: Vec<(NodeId, Command)>, ctx: &mut Ctx<PigMsg>) {
+        if batch.is_empty() {
+            return;
+        }
+        if batch.len() == 1 {
+            let (client, cmd) = batch.into_iter().next().expect("len checked");
+            self.propose_command(client, cmd, ctx);
+            return;
+        }
+        for (_, cmd) in &batch {
+            self.note_proposed(cmd.id.client, cmd.id.seq);
+        }
+        let paxos::BatchProposal {
+            ballot,
+            first_slot,
+            commit_up_to,
+            commands,
+            waiting,
+            self_commits,
+            advances,
+        } = paxos::propose_batch(&mut self.leader, &mut self.acceptor, batch, ctx.now());
+        for (slot, client) in waiting {
+            self.waiting.insert(slot, client);
+        }
+        for adv in advances {
+            self.finish_advance(adv, ctx);
+        }
+        for (slot, cmd) in self_commits {
+            self.commit_and_execute(slot, cmd, ctx);
+        }
+        self.disseminate(
+            PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            },
+            ctx,
+        );
+    }
+
+    /// Accept every slot of a batched phase-2a locally (via the shared
+    /// [`paxos::batching`] helper), returning the per-slot votes.
+    fn accept_batch_local(
+        &mut self,
+        ballot: paxi::Ballot,
+        first_slot: u64,
+        commands: Vec<Command>,
+        commit_up_to: u64,
+        ctx: &mut Ctx<PigMsg>,
+    ) -> paxos::BatchAccept {
+        let mut acc = paxos::accept_batch(
+            &mut self.acceptor,
+            ballot,
+            first_slot,
+            commands,
+            commit_up_to,
+        );
+        for adv in std::mem::take(&mut acc.advances) {
+            self.finish_advance(adv, ctx);
+        }
+        if acc.any_ok {
+            self.note_leader_contact(ballot.node(), ctx.now());
+            if self.leader.is_active() && ballot > self.leader.ballot() {
+                self.abdicate(ballot.node(), ctx);
+            }
+        }
+        acc
+    }
+
+    /// Feed a batched phase-2b aggregate at the leader: votes grouped
+    /// per slot, then ordinary single-slot quorum counting. Commits are
+    /// applied even when the same aggregate reports a preemption — a
+    /// quorum of acks means *chosen*, and the slot is already out of
+    /// `outstanding`.
+    fn count_batch_votes(
+        &mut self,
+        ballot: paxi::Ballot,
+        votes: Vec<P2bVote>,
+        ctx: &mut Ctx<PigMsg>,
+    ) {
+        if !self.leader.is_active() || ballot != self.leader.ballot() {
+            return;
+        }
+        let out = self.leader.on_p2b_batch(votes);
+        for (slot, cmd, _client) in out.committed {
+            self.commit_and_execute(slot, cmd, ctx);
+        }
+        if let Some(higher) = out.preempted {
+            self.abdicate(higher.node(), ctx);
+        }
+    }
+
     fn send_accepts(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PigMsg>) {
         let ballot = self.leader.ballot();
         let commit_up_to = self.acceptor.commit_watermark();
-        let (own, adv) = self.acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
+        let (own, adv) = self
+            .acceptor
+            .on_p2a(ballot, slot, cmd.clone(), commit_up_to);
         self.finish_advance(adv, ctx);
         if let Ok(Some((slot, cmd, _))) = self.leader.on_p2b_votes(slot, vec![own]) {
             self.commit_and_execute(slot, cmd, ctx);
         }
-        self.disseminate(PaxosMsg::P2a { ballot, slot, command: cmd, commit_up_to }, ctx);
+        self.disseminate(
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                command: cmd,
+                commit_up_to,
+            },
+            ctx,
+        );
     }
 
     fn commit_and_execute(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PigMsg>) {
@@ -206,8 +353,12 @@ impl PigReplica {
             ctx.charge(self.cfg.paxos.exec_cost * executed.len() as u64);
         }
         for (slot, id, value) in executed {
+            let reply = ClientReply::ok(id, value);
+            // Every replica caches the reply so retries are answered
+            // without another consensus round, even after a leader change.
+            self.sessions.record(&reply);
             if let Some(client) = self.waiting.remove(&slot) {
-                ctx.reply(client, ClientReply::ok(id, value));
+                ctx.reply(client, reply);
             }
         }
     }
@@ -230,13 +381,20 @@ impl PigReplica {
     /// it off the leader's hot path (paper Fig. 13's ≈3% dip).
     fn send_learn_request(&mut self, ctx: &mut Ctx<PigMsg>) {
         self.repair_armed = false;
-        let Some(leader) = self.known_leader else { return };
+        let Some(leader) = self.known_leader else {
+            return;
+        };
         if leader == self.me {
             return;
         }
-        let missing = self.acceptor.missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
+        let missing = self
+            .acceptor
+            .missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
         if !missing.is_empty() {
-            ctx.send_proto(leader, PigMsg::Direct(PaxosMsg::LearnReq { slots: missing }));
+            ctx.send_proto(
+                leader,
+                PigMsg::Direct(PaxosMsg::LearnReq { slots: missing }),
+            );
         }
     }
 
@@ -273,7 +431,14 @@ impl PigReplica {
         let own = self.acceptor.read_state(key);
         let still_collecting = self.feed_read_votes(id, vec![own], ctx);
         if still_collecting {
-            self.disseminate(PaxosMsg::QrRead { reader: self.me, id, key }, ctx);
+            self.disseminate(
+                PaxosMsg::QrRead {
+                    reader: self.me,
+                    id,
+                    key,
+                },
+                ctx,
+            );
         }
     }
 
@@ -338,8 +503,11 @@ impl PigReplica {
 
         // 2. Process locally and open the aggregation.
         match inner {
-            PaxosMsg::P1a { ballot } => {
-                let own = self.acceptor.on_p1a(ballot);
+            PaxosMsg::P1a {
+                ballot,
+                from: report_from,
+            } => {
+                let own = self.acceptor.on_p1a(ballot, report_from);
                 if own.ok {
                     self.note_leader_contact(ballot.node(), ctx.now());
                     if (self.leader.is_active() || self.leader.is_campaigning())
@@ -360,7 +528,12 @@ impl PigReplica {
                     self.send_flush(f, ctx);
                 }
             }
-            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                command,
+                commit_up_to,
+            } => {
                 let (own, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
                 if own.ok {
                     self.note_leader_contact(ballot.node(), ctx.now());
@@ -375,6 +548,29 @@ impl PigReplica {
                     expect,
                     VoteSet::P2(vec![own]),
                     threshold,
+                    deadline,
+                );
+                if let Some(f) = flush {
+                    self.send_flush(f, ctx);
+                }
+            }
+            PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            } => {
+                let batch_len = commands.len().max(1);
+                let last_slot = first_slot + (batch_len - 1) as u64;
+                let acc = self.accept_batch_local(ballot, first_slot, commands, commit_up_to, ctx);
+                let flush = self.relays.open(
+                    AggKey::P2Span(ballot, first_slot, last_slot),
+                    reply_to,
+                    expect,
+                    VoteSet::P2(acc.votes),
+                    // The relay table counts individual votes; each group
+                    // member contributes one vote per slot of the batch.
+                    threshold * batch_len,
                     deadline,
                 );
                 if let Some(f) = flush {
@@ -401,7 +597,11 @@ impl PigReplica {
     }
 
     fn send_flush(&mut self, f: Flush, ctx: &mut Ctx<PigMsg>) {
-        let Flush { reply_to, key, votes } = f;
+        let Flush {
+            reply_to,
+            key,
+            votes,
+        } = f;
         ctx.send_proto(reply_to, PigMsg::Direct(votes.into_message(key)));
     }
 
@@ -409,8 +609,11 @@ impl PigReplica {
 
     fn handle_direct_inner(&mut self, from: NodeId, inner: PaxosMsg, ctx: &mut Ctx<PigMsg>) {
         match inner {
-            PaxosMsg::P1a { ballot } => {
-                let vote = self.acceptor.on_p1a(ballot);
+            PaxosMsg::P1a {
+                ballot,
+                from: report_from,
+            } => {
+                let vote = self.acceptor.on_p1a(ballot, report_from);
                 if vote.ok {
                     self.note_leader_contact(ballot.node(), ctx.now());
                     if (self.leader.is_active() || self.leader.is_campaigning())
@@ -421,10 +624,18 @@ impl PigReplica {
                 }
                 ctx.send_proto(
                     from,
-                    PigMsg::Direct(PaxosMsg::P1b { ballot: vote.ballot, votes: vec![vote] }),
+                    PigMsg::Direct(PaxosMsg::P1b {
+                        ballot: vote.ballot,
+                        votes: vec![vote],
+                    }),
                 );
             }
-            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                command,
+                commit_up_to,
+            } => {
                 let (vote, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
                 if vote.ok {
                     self.note_leader_contact(ballot.node(), ctx.now());
@@ -435,13 +646,19 @@ impl PigReplica {
                 self.finish_advance(adv, ctx);
                 ctx.send_proto(
                     from,
-                    PigMsg::Direct(PaxosMsg::P2b { ballot: vote.ballot, slot, votes: vec![vote] }),
+                    PigMsg::Direct(PaxosMsg::P2b {
+                        ballot: vote.ballot,
+                        slot,
+                        votes: vec![vote],
+                    }),
                 );
             }
             PaxosMsg::P1b { ballot, votes } => {
                 // A relay aggregation in progress takes precedence; the
                 // leader path handles everything else.
-                if let Some(f) = self.relays.add(AggKey::P1(ballot), from, VoteSet::P1(votes.clone()))
+                if let Some(f) =
+                    self.relays
+                        .add(AggKey::P1(ballot), from, VoteSet::P1(votes.clone()))
                 {
                     self.send_flush(f, ctx);
                 } else if self.leader.is_campaigning() && ballot == self.leader.ballot() {
@@ -450,9 +667,14 @@ impl PigReplica {
                     self.handle_phase1_outcome(outcome, ctx);
                 }
             }
-            PaxosMsg::P2b { ballot, slot, votes } => {
+            PaxosMsg::P2b {
+                ballot,
+                slot,
+                votes,
+            } => {
                 if let Some(f) =
-                    self.relays.add(AggKey::P2(ballot, slot), from, VoteSet::P2(votes.clone()))
+                    self.relays
+                        .add(AggKey::P2(ballot, slot), from, VoteSet::P2(votes.clone()))
                 {
                     self.send_flush(f, ctx);
                 } else if self.leader.is_active() && ballot == self.leader.ballot() {
@@ -463,7 +685,46 @@ impl PigReplica {
                     }
                 }
             }
-            PaxosMsg::Heartbeat { ballot, commit_up_to } => {
+            PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            } => {
+                let last_slot = first_slot + commands.len().saturating_sub(1) as u64;
+                let acc = self.accept_batch_local(ballot, first_slot, commands, commit_up_to, ctx);
+                ctx.send_proto(
+                    from,
+                    PigMsg::Direct(PaxosMsg::P2bBatch {
+                        ballot: acc.reply_ballot,
+                        first_slot,
+                        last_slot,
+                        votes: acc.votes,
+                    }),
+                );
+            }
+            PaxosMsg::P2bBatch {
+                ballot,
+                first_slot,
+                last_slot,
+                votes,
+            } => {
+                // A relay aggregation in progress takes precedence; the
+                // leader path handles everything else.
+                if let Some(f) = self.relays.add(
+                    AggKey::P2Span(ballot, first_slot, last_slot),
+                    from,
+                    VoteSet::P2(votes.clone()),
+                ) {
+                    self.send_flush(f, ctx);
+                } else {
+                    self.count_batch_votes(ballot, votes, ctx);
+                }
+            }
+            PaxosMsg::Heartbeat {
+                ballot,
+                commit_up_to,
+            } => {
                 if ballot >= self.acceptor.promised() {
                     self.note_leader_contact(ballot.node(), ctx.now());
                     let adv = self.acceptor.advance_commits(commit_up_to, ballot);
@@ -493,7 +754,11 @@ impl PigReplica {
                 let entry = self.acceptor.read_state(key);
                 ctx.send_proto(
                     from,
-                    PigMsg::Direct(PaxosMsg::QrVote { reader, id, votes: vec![entry] }),
+                    PigMsg::Direct(PaxosMsg::QrVote {
+                        reader,
+                        id,
+                        votes: vec![entry],
+                    }),
                 );
             }
             PaxosMsg::QrVote { reader, id, votes } => {
@@ -501,7 +766,8 @@ impl PigReplica {
                     // We are the proxy: count toward the pending read.
                     self.feed_read_votes(id, votes, ctx);
                 } else if let Some(f) =
-                    self.relays.add(AggKey::Qr(reader, id), from, VoteSet::Qr(votes))
+                    self.relays
+                        .add(AggKey::Qr(reader, id), from, VoteSet::Qr(votes))
                 {
                     // We are a relay: aggregate toward the proxy.
                     self.send_flush(f, ctx);
@@ -530,7 +796,10 @@ pub fn build_plan(peers: Vec<NodeId>, levels: usize, rng: &mut StdRng) -> RelayP
         let rest: Vec<NodeId> = chunk.iter().copied().filter(|&n| n != sub_relay).collect();
         sub.push((sub_relay, build_plan(rest, levels - 1, rng)));
     }
-    RelayPlan { peers: Vec::new(), sub }
+    RelayPlan {
+        peers: Vec::new(),
+        sub,
+    }
 }
 
 impl Replica<PigMsg> for PigReplica {
@@ -551,11 +820,47 @@ impl Replica<PigMsg> for PigReplica {
 
     fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<PigMsg>) {
         let cmd = req.command;
+        // Exactly-once: a retry of the last executed command gets the
+        // cached reply; anything older is a stale duplicate.
+        if let Some(reply) = self.sessions.replay(cmd.id) {
+            ctx.reply(client, reply.clone());
+            return;
+        }
+        if self.sessions.is_stale(cmd.id) {
+            return;
+        }
         if self.leader.is_active() {
-            if self.leader.has_outstanding_request(cmd.id) {
+            let possibly_duplicate = self
+                .proposed_seq
+                .get(&cmd.id.client)
+                .is_some_and(|&hw| hw >= cmd.id.seq);
+            if self.leader.has_outstanding_request(cmd.id)
+                || self.batcher.contains(cmd.id)
+                || (possibly_duplicate && self.acceptor.has_unexecuted_command(cmd.id))
+            {
+                // Duplicate of an in-flight retry: either still gathering
+                // votes, buffered in the batcher, or already committed and
+                // waiting on a lower slot to execute (the window the
+                // session table cannot see). The reply comes at execution.
                 return;
             }
-            self.propose_command(client, cmd, ctx);
+            if self.batcher.enabled() {
+                match self.batcher.push(client, cmd) {
+                    BatchPush::Flush(batch) => {
+                        if let Some(t) = self.batch_timer.take() {
+                            ctx.cancel_timer(t);
+                        }
+                        self.propose_batch(batch, ctx);
+                    }
+                    BatchPush::ArmTimer => {
+                        self.batch_timer =
+                            Some(ctx.set_timer(self.batcher.config().max_delay, T_BATCH));
+                    }
+                    BatchPush::Buffered => {}
+                }
+            } else {
+                self.propose_command(client, cmd, ctx);
+            }
         } else if self.cfg.pqr_reads && cmd.op.is_read() {
             // §4.3: serve reads from any replica via a quorum read over
             // the relay tree, keeping them entirely off the leader.
@@ -573,7 +878,12 @@ impl Replica<PigMsg> for PigReplica {
 
     fn on_proto(&mut self, from: NodeId, msg: PigMsg, ctx: &mut Ctx<PigMsg>) {
         match msg {
-            PigMsg::ToRelay { reply_to, plan, inner, threshold } => {
+            PigMsg::ToRelay {
+                reply_to,
+                plan,
+                inner,
+                threshold,
+            } => {
                 self.handle_to_relay(reply_to, plan, inner, threshold, ctx);
             }
             PigMsg::Direct(inner) => self.handle_direct_inner(from, inner, ctx),
@@ -597,7 +907,10 @@ impl Replica<PigMsg> for PigReplica {
                 if self.leader.is_active() {
                     let commit_up_to = self.acceptor.commit_watermark();
                     self.disseminate(
-                        PaxosMsg::Heartbeat { ballot: self.leader.ballot(), commit_up_to },
+                        PaxosMsg::Heartbeat {
+                            ballot: self.leader.ballot(),
+                            commit_up_to,
+                        },
                         ctx,
                     );
                     ctx.set_timer(self.cfg.paxos.heartbeat_interval, T_HEARTBEAT);
@@ -607,14 +920,20 @@ impl Replica<PigMsg> for PigReplica {
             }
             T_RETRY_SCAN => {
                 if self.leader.is_active() {
-                    let stale =
-                        self.leader.stale_proposals(ctx.now(), self.cfg.paxos.p2_retry_timeout);
+                    let stale = self
+                        .leader
+                        .stale_proposals(ctx.now(), self.cfg.paxos.p2_retry_timeout);
                     let ballot = self.leader.ballot();
                     let commit_up_to = self.acceptor.commit_watermark();
                     for (slot, command) in stale {
                         // Fresh random relays each retry (paper §3.4).
                         self.disseminate(
-                            PaxosMsg::P2a { ballot, slot, command, commit_up_to },
+                            PaxosMsg::P2a {
+                                ballot,
+                                slot,
+                                command,
+                                commit_up_to,
+                            },
                             ctx,
                         );
                     }
@@ -634,6 +953,11 @@ impl Replica<PigMsg> for PigReplica {
                 }
             }
             T_LEARN => self.send_learn_request(ctx),
+            T_BATCH if self.leader.is_active() => {
+                self.batch_timer = None;
+                let batch = self.batcher.flush();
+                self.propose_batch(batch, ctx);
+            }
             T_PQR_RINSE => {
                 let id = kind >> 8;
                 match self.reads.restart(id) {
@@ -660,7 +984,11 @@ pub fn pig_builder(
     cfg: PigConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PigMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(PigReplica::new(node, cluster.clone(), cfg.clone())))
+        Box::new(ReplicaActor(PigReplica::new(
+            node,
+            cluster.clone(),
+            cfg.clone(),
+        )))
     }
 }
 
@@ -681,7 +1009,11 @@ mod tests {
 
     #[test]
     fn five_nodes_two_groups_commit() {
-        let r = run(&spec(5, 4), pig_builder(PigConfig::lan(2)), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(5, 4),
+            pig_builder(PigConfig::lan(2)),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 50);
@@ -689,7 +1021,11 @@ mod tests {
 
     #[test]
     fn twentyfive_nodes_three_groups_commit() {
-        let r = run(&spec(25, 8), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(25, 8),
+            pig_builder(PigConfig::lan(3)),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0);
         // Paper Table 1: leader handles Ml = 2r + 2 = 8 messages per op.
@@ -702,8 +1038,16 @@ mod tests {
 
     #[test]
     fn leader_load_grows_with_group_count() {
-        let r2 = run(&spec(25, 8), pig_builder(PigConfig::lan(2)), TargetPolicy::Fixed(NodeId(0)));
-        let r6 = run(&spec(25, 8), pig_builder(PigConfig::lan(6)), TargetPolicy::Fixed(NodeId(0)));
+        let r2 = run(
+            &spec(25, 8),
+            pig_builder(PigConfig::lan(2)),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        let r6 = run(
+            &spec(25, 8),
+            pig_builder(PigConfig::lan(6)),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(
             r6.leader_msgs_per_op > r2.leader_msgs_per_op + 5.0,
             "r=6 leader ({}) must be busier than r=2 leader ({})",
@@ -723,7 +1067,10 @@ mod tests {
             },
         );
         assert!(r.violations.is_empty());
-        assert!(r.throughput > 100.0, "one crashed follower must not halt progress");
+        assert!(
+            r.throughput > 100.0,
+            "one crashed follower must not halt progress"
+        );
     }
 
     #[test]
@@ -748,7 +1095,11 @@ mod tests {
     fn multi_level_cluster_commits() {
         let mut cfg = PigConfig::lan(2);
         cfg.levels = 2;
-        let r = run(&spec(25, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(25, 4),
+            pig_builder(cfg),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "2-level trees must still commit");
     }
@@ -759,7 +1110,11 @@ mod tests {
         // 25 nodes, 3 groups of 8: relays may respond after 5 votes each
         // (3×5 = 15 > majority 13, satisfying §4.2's constraint).
         cfg.partial_threshold = Some(5);
-        let r = run(&spec(25, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(25, 4),
+            pig_builder(cfg),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -768,7 +1123,11 @@ mod tests {
     fn reshuffle_cluster_commits() {
         let mut cfg = PigConfig::lan(3);
         cfg.reshuffle_interval = Some(SimDuration::from_millis(100));
-        let r = run(&spec(9, 4), pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(9, 4),
+            pig_builder(cfg),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -786,7 +1145,11 @@ mod tests {
             },
         );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
-        assert!(r.throughput > 30.0, "new leader must emerge, got {}", r.throughput);
+        assert!(
+            r.throughput > 30.0,
+            "new leader must emerge, got {}",
+            r.throughput
+        );
     }
 
     #[test]

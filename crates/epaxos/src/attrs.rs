@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 #[derive(Debug, Default, Clone, Copy)]
 struct KeyInfo {
-    last_any: Option<(InstanceId, u64)>,   // last read or write + its seq
+    last_any: Option<(InstanceId, u64)>, // last read or write + its seq
     last_write: Option<(InstanceId, u64)>, // last write + its seq
 }
 
@@ -48,9 +48,16 @@ impl InterferenceIndex {
             Some(i) => *i,
             None => return Attrs::default(),
         };
-        let dep = if op.is_read() { info.last_write } else { info.last_any };
+        let dep = if op.is_read() {
+            info.last_write
+        } else {
+            info.last_any
+        };
         match dep {
-            Some((inst, seq)) => Attrs { seq: seq + 1, deps: vec![inst] },
+            Some((inst, seq)) => Attrs {
+                seq: seq + 1,
+                deps: vec![inst],
+            },
             None => Attrs::default(),
         }
     }
@@ -78,7 +85,10 @@ mod tests {
     use simnet::NodeId;
 
     fn inst(r: u32, s: u64) -> InstanceId {
-        InstanceId { replica: NodeId(r), slot: s }
+        InstanceId {
+            replica: NodeId(r),
+            slot: s,
+        }
     }
 
     fn put(k: Key) -> Operation {

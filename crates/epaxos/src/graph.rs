@@ -179,7 +179,10 @@ pub fn plan_execution(roots: &[InstanceId], view: &impl InstanceView) -> Executi
             order.extend(members);
         }
     }
-    ExecutionPlan { order, visited: t.visited }
+    ExecutionPlan {
+        order,
+        visited: t.visited,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +196,10 @@ mod tests {
 
     impl InstanceView for MockView {
         fn status(&self, id: InstanceId) -> InstStatus {
-            self.nodes.get(&id).map(|n| n.0).unwrap_or(InstStatus::Unknown)
+            self.nodes
+                .get(&id)
+                .map(|n| n.0)
+                .unwrap_or(InstStatus::Unknown)
         }
         fn deps(&self, id: InstanceId) -> &[InstanceId] {
             self.nodes.get(&id).map(|n| n.2.as_slice()).unwrap_or(&[])
@@ -204,7 +210,10 @@ mod tests {
     }
 
     fn inst(r: u32, s: u64) -> InstanceId {
-        InstanceId { replica: NodeId(r), slot: s }
+        InstanceId {
+            replica: NodeId(r),
+            slot: s,
+        }
     }
 
     fn view(entries: &[(InstanceId, InstStatus, u64, &[InstanceId])]) -> MockView {
@@ -255,7 +264,11 @@ mod tests {
             (c, InstStatus::Committed, 3, &[b]),
         ]);
         let plan = plan_execution(&[c], &v);
-        assert!(plan.order.is_empty(), "b blocked by a, c blocked by b: {:?}", plan.order);
+        assert!(
+            plan.order.is_empty(),
+            "b blocked by a, c blocked by b: {:?}",
+            plan.order
+        );
     }
 
     #[test]
@@ -321,7 +334,11 @@ mod tests {
             (t, InstStatus::Tentative, 0, &[]),
         ]);
         let plan = plan_execution(&[d], &v);
-        assert!(plan.order.is_empty(), "everything transitively blocked: {:?}", plan.order);
+        assert!(
+            plan.order.is_empty(),
+            "everything transitively blocked: {:?}",
+            plan.order
+        );
     }
 
     #[test]
@@ -344,7 +361,9 @@ mod tests {
             let deps: Vec<InstanceId> = if i == 0 { vec![] } else { vec![inst(0, i - 1)] };
             entries.push((inst(0, i), (InstStatus::Committed, i, deps)));
         }
-        let v = MockView { nodes: entries.into_iter().collect() };
+        let v = MockView {
+            nodes: entries.into_iter().collect(),
+        };
         let plan = plan_execution(&[inst(0, 9_999)], &v);
         assert_eq!(plan.order.len(), 10_000);
         assert_eq!(plan.order[0], inst(0, 0));

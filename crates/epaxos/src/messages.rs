@@ -151,13 +151,22 @@ mod tests {
     use paxi::{Operation, RequestId, Value};
 
     fn inst(r: u32, s: u64) -> InstanceId {
-        InstanceId { replica: NodeId(r), slot: s }
+        InstanceId {
+            replica: NodeId(r),
+            slot: s,
+        }
     }
 
     #[test]
     fn attrs_merge_unions_deps_and_maxes_seq() {
-        let mut a = Attrs { seq: 3, deps: vec![inst(0, 1)] };
-        let b = Attrs { seq: 5, deps: vec![inst(0, 1), inst(1, 2)] };
+        let mut a = Attrs {
+            seq: 3,
+            deps: vec![inst(0, 1)],
+        };
+        let b = Attrs {
+            seq: 5,
+            deps: vec![inst(0, 1), inst(1, 2)],
+        };
         assert!(a.merge(&b));
         assert_eq!(a.seq, 5);
         assert_eq!(a.deps, vec![inst(0, 1), inst(1, 2)]);
@@ -167,8 +176,14 @@ mod tests {
 
     #[test]
     fn attrs_merge_keeps_higher_seq() {
-        let mut a = Attrs { seq: 9, deps: vec![] };
-        let b = Attrs { seq: 2, deps: vec![] };
+        let mut a = Attrs {
+            seq: 9,
+            deps: vec![],
+        };
+        let b = Attrs {
+            seq: 2,
+            deps: vec![],
+        };
         assert!(!a.merge(&b));
         assert_eq!(a.seq, 9);
     }
@@ -176,7 +191,10 @@ mod tests {
     #[test]
     fn message_sizes_grow_with_deps() {
         let cmd = Command {
-            id: RequestId { client: NodeId(9), seq: 1 },
+            id: RequestId {
+                client: NodeId(9),
+                seq: 1,
+            },
             op: Operation::Put(1, Value::zeros(8)),
         };
         let small = EpaxosMsg::PreAccept {
@@ -189,7 +207,10 @@ mod tests {
             inst: inst(0, 0),
             ballot: Ballot::ZERO,
             command: cmd,
-            attrs: Attrs { seq: 1, deps: (0..10).map(|i| inst(1, i)).collect() },
+            attrs: Attrs {
+                seq: 1,
+                deps: (0..10).map(|i| inst(1, i)).collect(),
+            },
         };
         assert_eq!(big.wire_size() - small.wire_size(), 120);
     }

@@ -56,7 +56,10 @@ impl InstanceView for TableView<'_> {
         }
     }
     fn deps(&self, id: InstanceId) -> &[InstanceId] {
-        self.0.get(&id).map(|i| i.attrs.deps.as_slice()).unwrap_or(&[])
+        self.0
+            .get(&id)
+            .map(|i| i.attrs.deps.as_slice())
+            .unwrap_or(&[])
     }
     fn seq(&self, id: InstanceId) -> u64 {
         self.0.get(&id).map(|i| i.attrs.seq).unwrap_or(0)
@@ -109,16 +112,24 @@ impl EpaxosReplica {
     }
 
     fn commit_instance(&mut self, inst: InstanceId, ctx: &mut Ctx<EpaxosMsg>) {
-        let i = self.instances.get_mut(&inst).expect("committing unknown instance");
+        let i = self
+            .instances
+            .get_mut(&inst)
+            .expect("committing unknown instance");
         debug_assert!(i.phase != Phase::Executed);
         if i.phase == Phase::Committed {
             return;
         }
         i.phase = Phase::Committed;
-        self.cluster.safety.record(inst.replica.0, inst.slot, i.command.id);
+        self.cluster
+            .safety
+            .record(inst.replica.0, inst.slot, i.command.id);
         self.unexecuted.insert(inst);
-        let msg =
-            EpaxosMsg::Commit { inst, command: i.command.clone(), attrs: i.attrs.clone() };
+        let msg = EpaxosMsg::Commit {
+            inst,
+            command: i.command.clone(),
+            attrs: i.attrs.clone(),
+        };
         self.broadcast(msg, ctx);
         self.try_execute(ctx);
     }
@@ -148,7 +159,9 @@ impl EpaxosReplica {
         entry.phase = Phase::Committed;
         let (seq, op) = (entry.attrs.seq, entry.command.op.clone());
         self.interference.record(inst, seq, &op);
-        self.cluster.safety.record(inst.replica.0, inst.slot, entry.command.id);
+        self.cluster
+            .safety
+            .record(inst.replica.0, inst.slot, entry.command.id);
         self.unexecuted.insert(inst);
         self.try_execute(ctx);
     }
@@ -163,7 +176,10 @@ impl EpaxosReplica {
             ctx.charge(self.cfg.graph_visit_cost * plan.visited as u64);
         }
         for inst in plan.order {
-            let i = self.instances.get_mut(&inst).expect("planned unknown instance");
+            let i = self
+                .instances
+                .get_mut(&inst)
+                .expect("planned unknown instance");
             debug_assert_eq!(i.phase, Phase::Committed);
             let value = self.kv.apply(&i.command.op);
             ctx.charge(self.cfg.exec_cost);
@@ -181,7 +197,10 @@ impl EpaxosReplica {
 impl Replica<EpaxosMsg> for EpaxosReplica {
     fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<EpaxosMsg>) {
         let command = req.command;
-        let inst = InstanceId { replica: self.me, slot: self.next_slot };
+        let inst = InstanceId {
+            replica: self.me,
+            slot: self.next_slot,
+        };
         self.next_slot += 1;
         ctx.charge(self.cfg.attr_cost);
         let attrs = self.interference.attrs_for(&command.op);
@@ -203,14 +222,24 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
             return;
         }
         self.broadcast(
-            EpaxosMsg::PreAccept { inst, ballot: Ballot::ZERO, command, attrs },
+            EpaxosMsg::PreAccept {
+                inst,
+                ballot: Ballot::ZERO,
+                command,
+                attrs,
+            },
             ctx,
         );
     }
 
     fn on_proto(&mut self, _from: NodeId, msg: EpaxosMsg, ctx: &mut Ctx<EpaxosMsg>) {
         match msg {
-            EpaxosMsg::PreAccept { inst, ballot: _, command, attrs } => {
+            EpaxosMsg::PreAccept {
+                inst,
+                ballot: _,
+                command,
+                attrs,
+            } => {
                 ctx.charge(self.cfg.attr_cost);
                 let mut merged = attrs;
                 let local = self.interference.attrs_for(&command.op);
@@ -230,12 +259,24 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                 );
                 ctx.send_proto(
                     inst.replica,
-                    EpaxosMsg::PreAcceptOk { inst, node: self.me, attrs: merged, changed },
+                    EpaxosMsg::PreAcceptOk {
+                        inst,
+                        node: self.me,
+                        attrs: merged,
+                        changed,
+                    },
                 );
             }
-            EpaxosMsg::PreAcceptOk { inst, node: _, attrs, changed } => {
+            EpaxosMsg::PreAcceptOk {
+                inst,
+                node: _,
+                attrs,
+                changed,
+            } => {
                 let n = self.cluster.n();
-                let Some(i) = self.instances.get_mut(&inst) else { return };
+                let Some(i) = self.instances.get_mut(&inst) else {
+                    return;
+                };
                 if i.phase != Phase::PreAccepted || inst.replica != self.me {
                     return; // stale (already moved on)
                 }
@@ -262,7 +303,12 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                     }
                 }
             }
-            EpaxosMsg::Accept { inst, ballot: _, command, attrs } => {
+            EpaxosMsg::Accept {
+                inst,
+                ballot: _,
+                command,
+                attrs,
+            } => {
                 ctx.charge(self.cfg.attr_cost);
                 self.interference.record(inst, attrs.seq, &command.op);
                 let entry = self.instances.entry(inst).or_insert_with(|| Instance {
@@ -279,11 +325,19 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                     entry.attrs = attrs;
                     entry.phase = Phase::Accepted;
                 }
-                ctx.send_proto(inst.replica, EpaxosMsg::AcceptOk { inst, node: self.me });
+                ctx.send_proto(
+                    inst.replica,
+                    EpaxosMsg::AcceptOk {
+                        inst,
+                        node: self.me,
+                    },
+                );
             }
             EpaxosMsg::AcceptOk { inst, node: _ } => {
                 let n = self.cluster.n();
-                let Some(i) = self.instances.get_mut(&inst) else { return };
+                let Some(i) = self.instances.get_mut(&inst) else {
+                    return;
+                };
                 if i.phase != Phase::Accepted || inst.replica != self.me {
                     return;
                 }
@@ -292,7 +346,11 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                     self.commit_instance(inst, ctx);
                 }
             }
-            EpaxosMsg::Commit { inst, command, attrs } => {
+            EpaxosMsg::Commit {
+                inst,
+                command,
+                attrs,
+            } => {
                 self.learn_commit(inst, command, attrs, ctx);
             }
         }
@@ -308,7 +366,11 @@ pub fn epaxos_builder(
     cfg: EpaxosConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<EpaxosMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(EpaxosReplica::new(node, cluster.clone(), cfg.clone())))
+        Box::new(ReplicaActor(EpaxosReplica::new(
+            node,
+            cluster.clone(),
+            cfg.clone(),
+        )))
     }
 }
 
@@ -333,7 +395,11 @@ mod tests {
 
     #[test]
     fn five_node_cluster_commits() {
-        let r = run(&spec(5, 4), epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        let r = run(
+            &spec(5, 4),
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(5),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 50);
@@ -341,20 +407,32 @@ mod tests {
 
     #[test]
     fn twentyfive_node_cluster_commits() {
-        let r = run(&spec(25, 8), epaxos_builder(EpaxosConfig::default()), random_targets(25));
+        let r = run(
+            &spec(25, 8),
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(25),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 50.0);
     }
 
     #[test]
     fn load_is_spread_across_replicas() {
-        let r = run(&spec(5, 8), epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        let r = run(
+            &spec(5, 8),
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(5),
+        );
         // No dedicated leader: every replica should carry comparable
         // message load (unlike Paxos where the leader dominates).
         let max = r.node_msgs[..5].iter().max().copied().unwrap() as f64;
         let min = r.node_msgs[..5].iter().min().copied().unwrap() as f64;
         assert!(min > 0.0);
-        assert!(max / min < 2.0, "balanced load expected, got {:?}", &r.node_msgs[..5]);
+        assert!(
+            max / min < 2.0,
+            "balanced load expected, got {:?}",
+            &r.node_msgs[..5]
+        );
     }
 
     #[test]
@@ -362,15 +440,26 @@ mod tests {
         // Tiny key space: every command interferes, exercising the slow
         // path and SCC execution heavily.
         let mut s = spec(5, 8);
-        s.workload = Workload { num_keys: 2, ..Workload::paper_default() };
-        let r = run(&s, epaxos_builder(EpaxosConfig::default()), random_targets(5));
+        s.workload = Workload {
+            num_keys: 2,
+            ..Workload::paper_default()
+        };
+        let r = run(
+            &s,
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(5),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 10.0);
     }
 
     #[test]
     fn single_node_degenerate_cluster() {
-        let r = run(&spec(1, 2), epaxos_builder(EpaxosConfig::default()), random_targets(1));
+        let r = run(
+            &spec(1, 2),
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(1),
+        );
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -382,8 +471,15 @@ mod tests {
         // end-to-end sanity: plenty of reads completed and nothing
         // violated agreement.
         let mut s = spec(3, 4);
-        s.workload = Workload { read_ratio: 0.9, ..Workload::paper_default() };
-        let r = run(&s, epaxos_builder(EpaxosConfig::default()), random_targets(3));
+        s.workload = Workload {
+            read_ratio: 0.9,
+            ..Workload::paper_default()
+        };
+        let r = run(
+            &s,
+            epaxos_builder(EpaxosConfig::default()),
+            random_targets(3),
+        );
         assert!(r.violations.is_empty());
         assert!(r.samples > 100);
     }

@@ -1,0 +1,202 @@
+//! Leader-side client-command batching.
+//!
+//! The PigPaxos paper attacks the leader's *communication* bottleneck
+//! with relay trees; batching attacks the same bottleneck on an
+//! orthogonal axis: one phase-2 round (and therefore one message per
+//! relay/follower) amortizes up to [`BatchConfig::max_batch`] client
+//! commands. Commands buffered at the leader are flushed either when the
+//! batch fills or when the oldest buffered command has waited
+//! [`BatchConfig::max_delay`] — the classic size-or-time policy.
+//!
+//! The batcher is protocol-agnostic plumbing: `paxos::PaxosReplica`
+//! sends one `P2aBatch` per follower per flush, and the PigPaxos replica
+//! sends one per *relay group*, so the two compose (relay fan-in × batch
+//! amortization).
+
+use crate::command::{Command, RequestId};
+use simnet::{NodeId, SimDuration};
+
+/// Batching policy for a leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum commands per accept round. `1` disables batching (every
+    /// command gets its own phase-2 round, the paper's baseline).
+    pub max_batch: usize,
+    /// Maximum time the first command of a batch may wait before the
+    /// batch is flushed regardless of size.
+    pub max_delay: SimDuration,
+}
+
+impl BatchConfig {
+    /// Batching off: every command proposed individually.
+    pub fn disabled() -> Self {
+        BatchConfig {
+            max_batch: 1,
+            max_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Batch up to `max_batch` commands, holding the first at most
+    /// `max_delay`.
+    pub fn new(max_batch: usize, max_delay: SimDuration) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        BatchConfig {
+            max_batch,
+            max_delay,
+        }
+    }
+
+    /// True when batching is active (`max_batch > 1`).
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
+/// Outcome of [`Batcher::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum BatchPush {
+    /// The batch reached `max_batch`: flush these commands now.
+    Flush(Vec<(NodeId, Command)>),
+    /// First command buffered since the last flush: arm the flush timer
+    /// for `max_delay`.
+    ArmTimer,
+    /// Buffered behind an already-armed timer.
+    Buffered,
+}
+
+/// Accumulates `(client, command)` pairs at an active leader.
+#[derive(Debug)]
+pub struct Batcher {
+    cfg: BatchConfig,
+    buf: Vec<(NodeId, Command)>,
+}
+
+impl Batcher {
+    /// Empty batcher with the given policy.
+    pub fn new(cfg: BatchConfig) -> Self {
+        Batcher {
+            buf: Vec::with_capacity(cfg.max_batch),
+            cfg,
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// True when batching is active (`max_batch > 1`).
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Commands currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True if a command with this id is already buffered (duplicate
+    /// suppression for client retries).
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.buf.iter().any(|(_, c)| c.id == id)
+    }
+
+    /// Buffer a command. Returns [`BatchPush::Flush`] with the full
+    /// batch when it reaches `max_batch`.
+    pub fn push(&mut self, client: NodeId, command: Command) -> BatchPush {
+        self.buf.push((client, command));
+        if self.buf.len() >= self.cfg.max_batch {
+            BatchPush::Flush(std::mem::take(&mut self.buf))
+        } else if self.buf.len() == 1 {
+            BatchPush::ArmTimer
+        } else {
+            BatchPush::Buffered
+        }
+    }
+
+    /// Take whatever is buffered (the `max_delay` flush, or draining on
+    /// abdication). May be empty.
+    pub fn flush(&mut self) -> Vec<(NodeId, Command)> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Operation;
+
+    fn cmd(seq: u64) -> Command {
+        Command {
+            id: RequestId {
+                client: NodeId(7),
+                seq,
+            },
+            op: Operation::Get(seq),
+        }
+    }
+
+    #[test]
+    fn disabled_config_flushes_every_push() {
+        let mut b = Batcher::new(BatchConfig::disabled());
+        assert!(!b.enabled());
+        match b.push(NodeId(1), cmd(1)) {
+            BatchPush::Flush(batch) => assert_eq!(batch.len(), 1),
+            other => panic!("expected immediate flush, got {other:?}"),
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fills_to_max_batch() {
+        let mut b = Batcher::new(BatchConfig::new(3, SimDuration::from_millis(1)));
+        assert_eq!(b.push(NodeId(1), cmd(1)), BatchPush::ArmTimer);
+        assert_eq!(b.push(NodeId(2), cmd(2)), BatchPush::Buffered);
+        match b.push(NodeId(3), cmd(3)) {
+            BatchPush::Flush(batch) => {
+                assert_eq!(batch.len(), 3);
+                assert_eq!(batch[0].0, NodeId(1));
+                assert_eq!(batch[2].1, cmd(3));
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        // Next command starts a fresh batch and needs a fresh timer.
+        assert_eq!(b.push(NodeId(4), cmd(4)), BatchPush::ArmTimer);
+    }
+
+    #[test]
+    fn timer_flush_takes_partial_batch() {
+        let mut b = Batcher::new(BatchConfig::new(8, SimDuration::from_millis(1)));
+        b.push(NodeId(1), cmd(1));
+        b.push(NodeId(2), cmd(2));
+        let batch = b.flush();
+        assert_eq!(batch.len(), 2);
+        assert!(b.is_empty());
+        assert!(b.flush().is_empty(), "second flush has nothing");
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut b = Batcher::new(BatchConfig::new(8, SimDuration::from_millis(1)));
+        b.push(NodeId(1), cmd(1));
+        assert!(b.contains(cmd(1).id));
+        assert!(!b.contains(cmd(2).id));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        BatchConfig::new(0, SimDuration::ZERO);
+    }
+}

@@ -136,10 +136,17 @@ impl<P: ProtoMessage> ClosedLoopClient<P> {
         self.seq += 1;
         let op = self.workload.next_op(ctx.rng());
         let is_read = op.is_read();
-        let id = RequestId { client: ctx.node(), seq: self.seq };
+        let id = RequestId {
+            client: ctx.node(),
+            seq: self.seq,
+        };
         let command = Command { id, op };
-        self.outstanding =
-            Some(Outstanding { seq: self.seq, issued: ctx.now(), command: command.clone(), is_read });
+        self.outstanding = Some(Outstanding {
+            seq: self.seq,
+            issued: ctx.now(),
+            command: command.clone(),
+            is_read,
+        });
         let to = self.target.pick(ctx.rng());
         ctx.send(to, Envelope::Request(ClientRequest { command }));
         ctx.set_timer(self.retry_timeout, self.seq);
@@ -270,7 +277,10 @@ mod tests {
         sim.run_until(SimTime::from_millis(100));
         // RTT ≈ 0.4ms -> ≈250 completions in 100ms.
         let n = rec.len();
-        assert!((150..400).contains(&n), "expected ~250 completions, got {n}");
+        assert!(
+            (150..400).contains(&n),
+            "expected ~250 completions, got {n}"
+        );
         // Latencies are positive and ~RTT.
         for s in rec.samples() {
             assert!(s.latency() > SimDuration::ZERO);
@@ -314,11 +324,17 @@ mod tests {
         sim.add_actor(Box::new(ReplicaActor(InstantServer)));
         sim.add_actor(Box::new(ReplicaActor(InstantServer)));
         let rec = ClientRecorder::new();
-        sim.add_actor(client(TargetPolicy::Random(vec![NodeId(0), NodeId(1)]), &rec));
+        sim.add_actor(client(
+            TargetPolicy::Random(vec![NodeId(0), NodeId(1)]),
+            &rec,
+        ));
         sim.run_until(SimTime::from_millis(200));
         let a = sim.stats().nodes[0].msgs_received;
         let b = sim.stats().nodes[1].msgs_received;
-        assert!(a > 0 && b > 0, "both replicas should see traffic: {a} vs {b}");
+        assert!(
+            a > 0 && b > 0,
+            "both replicas should see traffic: {a} vs {b}"
+        );
     }
 
     #[test]

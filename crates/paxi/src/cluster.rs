@@ -59,7 +59,14 @@ mod tests {
     fn safety_handle_is_shared() {
         let c = ClusterConfig::new(3);
         let c2 = c.clone();
-        c.safety.record(0, 0, crate::command::RequestId { client: NodeId(9), seq: 1 });
+        c.safety.record(
+            0,
+            0,
+            crate::command::RequestId {
+                client: NodeId(9),
+                seq: 1,
+            },
+        );
         assert_eq!(c2.safety.decided_count(), 1);
     }
 }

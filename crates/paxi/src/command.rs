@@ -118,7 +118,13 @@ pub struct Command {
 impl Command {
     /// A no-op command (log hole filler) attributed to a synthetic id.
     pub fn noop() -> Self {
-        Command { id: RequestId { client: NodeId(u32::MAX), seq: 0 }, op: Operation::Noop }
+        Command {
+            id: RequestId {
+                client: NodeId(u32::MAX),
+                seq: 0,
+            },
+            op: Operation::Noop,
+        }
     }
 
     /// True if this is a no-op filler.
@@ -168,12 +174,22 @@ pub struct ClientReply {
 impl ClientReply {
     /// Successful reply.
     pub fn ok(id: RequestId, value: Option<Value>) -> Self {
-        ClientReply { id, value, ok: true, redirect: None }
+        ClientReply {
+            id,
+            value,
+            ok: true,
+            redirect: None,
+        }
     }
 
     /// Redirect reply pointing the client at `leader`.
     pub fn redirect(id: RequestId, leader: Option<NodeId>) -> Self {
-        ClientReply { id, value: None, ok: false, redirect: leader }
+        ClientReply {
+            id,
+            value: None,
+            ok: false,
+            redirect: leader,
+        }
     }
 
     /// Wire size of the reply.
@@ -215,11 +231,20 @@ mod tests {
         let r1 = Operation::Get(1);
         let w1 = Operation::Put(1, Value::zeros(1));
         let w2 = Operation::Put(2, Value::zeros(1));
-        assert!(!r1.conflicts_with(&Operation::Get(1)), "read-read never conflicts");
+        assert!(
+            !r1.conflicts_with(&Operation::Get(1)),
+            "read-read never conflicts"
+        );
         assert!(r1.conflicts_with(&w1), "read-write same key conflicts");
-        assert!(w1.conflicts_with(&w1.clone()), "write-write same key conflicts");
+        assert!(
+            w1.conflicts_with(&w1.clone()),
+            "write-write same key conflicts"
+        );
         assert!(!w1.conflicts_with(&w2), "different keys never conflict");
-        assert!(!Operation::Noop.conflicts_with(&w1), "noop conflicts with nothing");
+        assert!(
+            !Operation::Noop.conflicts_with(&w1),
+            "noop conflicts with nothing"
+        );
     }
 
     #[test]
@@ -231,9 +256,15 @@ mod tests {
 
     #[test]
     fn request_reply_sizes_scale_with_value() {
-        let id = RequestId { client: NodeId(9), seq: 1 };
+        let id = RequestId {
+            client: NodeId(9),
+            seq: 1,
+        };
         let req = ClientRequest {
-            command: Command { id, op: Operation::Put(1, Value::zeros(1280)) },
+            command: Command {
+                id,
+                op: Operation::Put(1, Value::zeros(1280)),
+            },
         };
         assert_eq!(req.wire_size(), HEADER_BYTES + 12 + 8 + 1280);
         let rep = ClientReply::ok(id, Some(Value::zeros(64)));
@@ -244,7 +275,10 @@ mod tests {
 
     #[test]
     fn redirect_reply() {
-        let id = RequestId { client: NodeId(1), seq: 2 };
+        let id = RequestId {
+            client: NodeId(1),
+            seq: 2,
+        };
         let r = ClientReply::redirect(id, Some(NodeId(0)));
         assert!(!r.ok);
         assert_eq!(r.redirect, Some(NodeId(0)));
@@ -252,8 +286,14 @@ mod tests {
 
     #[test]
     fn request_id_display_and_order() {
-        let a = RequestId { client: NodeId(1), seq: 1 };
-        let b = RequestId { client: NodeId(1), seq: 2 };
+        let a = RequestId {
+            client: NodeId(1),
+            seq: 1,
+        };
+        let b = RequestId {
+            client: NodeId(1),
+            seq: 2,
+        };
         assert!(b > a);
         assert_eq!(format!("{a}"), "n1#1");
     }

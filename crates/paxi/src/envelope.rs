@@ -66,9 +66,15 @@ mod tests {
 
     #[test]
     fn envelope_delegates_size_and_label() {
-        let id = RequestId { client: NodeId(1), seq: 1 };
+        let id = RequestId {
+            client: NodeId(1),
+            seq: 1,
+        };
         let req: Envelope<P2a> = Envelope::Request(ClientRequest {
-            command: Command { id, op: Operation::Put(1, Value::zeros(8)) },
+            command: Command {
+                id,
+                op: Operation::Put(1, Value::zeros(8)),
+            },
         });
         assert_eq!(req.wire_size(), HEADER_BYTES + 12 + 16);
         assert_eq!(req.label(), "request");

@@ -8,9 +8,7 @@ use crate::cluster::ClusterConfig;
 use crate::envelope::{Envelope, ProtoMessage};
 use crate::metrics::{mean, percentile};
 use crate::workload::Workload;
-use simnet::{
-    Actor, CpuCostModel, NodeId, RegionId, SimDuration, SimTime, Simulation, Topology,
-};
+use simnet::{Actor, CpuCostModel, NodeId, RegionId, SimDuration, SimTime, Simulation, Topology};
 
 /// Everything needed to run one experiment point.
 #[derive(Debug, Clone)]
@@ -38,6 +36,12 @@ pub struct RunSpec {
     pub retry_timeout: SimDuration,
     /// If set, also produce a per-bucket throughput timeline (Fig. 13).
     pub timeline_bucket: Option<SimDuration>,
+    /// Capture a full message trace: populates
+    /// [`RunResult::trace_fingerprint`] (determinism regressions) and
+    /// [`RunResult::leader_proto_sent_per_op`] (message-amortization
+    /// accounting). Off by default — high-throughput runs generate
+    /// millions of entries.
+    pub capture_trace: bool,
 }
 
 impl RunSpec {
@@ -53,8 +57,9 @@ impl RunSpec {
             workload: Workload::paper_default(),
             warmup: SimDuration::from_secs(1),
             measure: SimDuration::from_secs(4),
-            retry_timeout: SimDuration::from_millis(500),
+            retry_timeout: SimDuration::from_millis(100),
             timeline_bucket: None,
+            capture_trace: false,
         }
     }
 
@@ -106,6 +111,15 @@ pub struct RunResult {
     pub timeline: Vec<(f64, f64)>,
     /// Client retries observed (an indicator of failures during the run).
     pub client_retries: u64,
+    /// FNV fingerprint of the full message trace, present when
+    /// [`RunSpec::capture_trace`] was set. Identical seeds + configs
+    /// must produce identical fingerprints.
+    pub trace_fingerprint: Option<u64>,
+    /// Leader-sent *protocol* messages (everything except client
+    /// replies) per completed operation in the window, present when
+    /// [`RunSpec::capture_trace`] was set — the precise measure of what
+    /// relay trees and batching amortize.
+    pub leader_proto_sent_per_op: Option<f64>,
 }
 
 /// Run one experiment.
@@ -130,6 +144,9 @@ where
     topology.add_nodes(spec.n_clients, spec.client_region);
 
     let mut sim: Simulation<Envelope<P>> = Simulation::new(topology, spec.cost.clone(), spec.seed);
+    if spec.capture_trace {
+        sim.enable_trace();
+    }
     let cluster = ClusterConfig::new(spec.n_replicas);
 
     for i in 0..spec.n_replicas {
@@ -191,6 +208,24 @@ where
         Some(bucket) => bucket_timeline(&all_samples, bucket, window_end),
     };
 
+    let (trace_fingerprint, leader_proto_sent_per_op) = match sim.trace() {
+        None => (None, None),
+        Some(trace) => {
+            let leader_node = NodeId::from(leader);
+            let proto_sent = trace
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.from == leader_node
+                        && e.at > warmup_end
+                        && e.at <= window_end
+                        && e.label != "reply"
+                })
+                .count();
+            (Some(trace.fingerprint()), Some(proto_sent as f64 / ops))
+        }
+    };
+
     RunResult {
         throughput,
         mean_latency_ms: mean(&lat_ms),
@@ -205,6 +240,8 @@ where
         cross_region_msgs_per_op,
         timeline,
         client_retries: 0,
+        trace_fingerprint,
+        leader_proto_sent_per_op,
     }
 }
 
@@ -320,7 +357,10 @@ mod tests {
     }
 
     fn build_instant(_: NodeId, cluster: &ClusterConfig) -> Box<dyn Actor<Envelope<NoProto>>> {
-        Box::new(ReplicaActor(Instant { slot: 0, cluster: cluster.clone() }))
+        Box::new(ReplicaActor(Instant {
+            slot: 0,
+            cluster: cluster.clone(),
+        }))
     }
 
     fn small_spec(clients: usize) -> RunSpec {
@@ -344,8 +384,16 @@ mod tests {
 
     #[test]
     fn more_clients_more_throughput_until_saturation() {
-        let lo = run(&small_spec(1), build_instant, TargetPolicy::Fixed(NodeId(0)));
-        let hi = run(&small_spec(8), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let lo = run(
+            &small_spec(1),
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        let hi = run(
+            &small_spec(8),
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(
             hi.throughput > lo.throughput * 2.0,
             "8 clients ({}) should beat 1 client ({}) substantially",
@@ -375,7 +423,11 @@ mod tests {
             build_instant,
             TargetPolicy::Fixed(NodeId(0)),
         );
-        let one = run(&small_spec(1), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let one = run(
+            &small_spec(1),
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(m >= one.throughput);
     }
 
@@ -396,8 +448,16 @@ mod tests {
 
     #[test]
     fn leader_msgs_per_op_counted() {
-        let r = run(&small_spec(2), build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &small_spec(2),
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         // The instant server handles exactly 1 recv + 1 send per op.
-        assert!((r.leader_msgs_per_op - 2.0).abs() < 0.2, "got {}", r.leader_msgs_per_op);
+        assert!(
+            (r.leader_msgs_per_op - 2.0).abs() < 0.2,
+            "got {}",
+            r.leader_msgs_per_op
+        );
     }
 }

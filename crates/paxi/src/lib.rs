@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ballot;
+pub mod batch;
 pub mod client;
 pub mod cluster;
 pub mod command;
@@ -33,9 +34,11 @@ pub mod metrics;
 pub mod quorum;
 pub mod replica;
 pub mod safety;
+pub mod session;
 pub mod workload;
 
 pub use ballot::Ballot;
+pub use batch::{BatchConfig, BatchPush, Batcher};
 pub use client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
 pub use cluster::ClusterConfig;
 pub use command::{
@@ -50,4 +53,5 @@ pub use log::{Log, LogEntry};
 pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};
 pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
 pub use safety::SafetyMonitor;
+pub use session::SessionTable;
 pub use workload::{KeyDistribution, Workload};

@@ -62,8 +62,15 @@ impl Log {
                 true
             }
             None => {
-                self.entries
-                    .insert(slot, LogEntry { ballot, command, committed: false, executed: false });
+                self.entries.insert(
+                    slot,
+                    LogEntry {
+                        ballot,
+                        command,
+                        committed: false,
+                        executed: false,
+                    },
+                );
                 true
             }
         }
@@ -103,7 +110,10 @@ impl Log {
     /// Panics if called out of order.
     pub fn mark_executed(&mut self, slot: u64) {
         assert_eq!(slot, self.execute_cursor, "out-of-order execution");
-        let e = self.entries.get_mut(&slot).expect("executing a missing slot");
+        let e = self
+            .entries
+            .get_mut(&slot)
+            .expect("executing a missing slot");
         assert!(e.committed, "executing an uncommitted slot");
         e.executed = true;
         self.execute_cursor += 1;
@@ -129,13 +139,27 @@ impl Log {
         self.entries.values().filter(|e| e.committed).count() as u64
     }
 
-    /// All accepted-but-uncommitted `(slot, ballot, command)` above
-    /// `from_slot` — what a new leader must re-propose during recovery
-    /// (phase-1b payload).
-    pub fn uncommitted_from(&self, from_slot: u64) -> Vec<(u64, Ballot, Command)> {
+    /// True if any unexecuted entry (accepted or committed) at or above
+    /// the execute cursor carries `id`. This is the duplicate-suppression
+    /// window the session table cannot see: a command that is already
+    /// committed but still waiting on a lower slot to execute is in
+    /// neither the leader's outstanding set nor the session table, and
+    /// re-proposing a client retry of it would decide the command twice.
+    pub fn has_unexecuted_command(&self, id: crate::command::RequestId) -> bool {
+        self.entries
+            .range(self.execute_cursor..)
+            .any(|(_, e)| !e.executed && e.command.id == id)
+    }
+
+    /// Every `(slot, ballot, command)` at or above `from_slot`, committed
+    /// or not — the phase-1b payload. Reporting *committed* entries too is
+    /// what keeps a new leader from filling a slot that was already
+    /// decided elsewhere (and since the commit watermark only advances
+    /// over committed prefixes, `from_slot` bounds the payload to the
+    /// in-flight window).
+    pub fn entries_from(&self, from_slot: u64) -> Vec<(u64, Ballot, Command)> {
         self.entries
             .range(from_slot..)
-            .filter(|(_, e)| !e.committed)
             .map(|(&s, e)| (s, e.ballot, e.command.clone()))
             .collect()
     }
@@ -143,7 +167,9 @@ impl Log {
     /// Slots in `[from, to)` that have no entry (holes a recovering leader
     /// fills with no-ops).
     pub fn holes(&self, from: u64, to: u64) -> Vec<u64> {
-        (from..to).filter(|s| !self.entries.contains_key(s)).collect()
+        (from..to)
+            .filter(|s| !self.entries.contains_key(s))
+            .collect()
     }
 
     /// True if any accepted-but-uncommitted entry at or above `from`
@@ -162,7 +188,13 @@ mod tests {
     use simnet::NodeId;
 
     fn cmd(seq: u64) -> Command {
-        Command { id: RequestId { client: NodeId(100), seq }, op: Operation::Get(seq) }
+        Command {
+            id: RequestId {
+                client: NodeId(100),
+                seq,
+            },
+            op: Operation::Get(seq),
+        }
     }
 
     fn b(r: u32) -> Ballot {
@@ -253,15 +285,39 @@ mod tests {
     }
 
     #[test]
-    fn uncommitted_and_holes_for_recovery() {
+    fn entries_and_holes_for_recovery() {
         let mut log = Log::new();
         log.accept(0, b(1), cmd(1));
         log.commit(0, b(1), cmd(1));
         log.accept(2, b(1), cmd(3)); // slot 1 is a hole
-        let unc = log.uncommitted_from(0);
-        assert_eq!(unc.len(), 1);
-        assert_eq!(unc[0].0, 2);
+                                     // Phase-1b payload: committed AND accepted entries from `from`.
+        let all = log.entries_from(0);
+        assert_eq!(all.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 2]);
+        let tail = log.entries_from(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0, 2);
         assert_eq!(log.holes(0, 3), vec![1]);
         assert_eq!(log.committed_count(), 1);
+    }
+
+    #[test]
+    fn unexecuted_command_window() {
+        let mut log = Log::new();
+        log.commit(0, b(1), cmd(1));
+        log.accept(2, b(1), cmd(3)); // committed slot 0 + accepted slot 2
+        assert!(
+            log.has_unexecuted_command(cmd(1).id),
+            "committed, not yet executed"
+        );
+        assert!(
+            log.has_unexecuted_command(cmd(3).id),
+            "accepted, not yet executed"
+        );
+        log.mark_executed(0);
+        assert!(
+            !log.has_unexecuted_command(cmd(1).id),
+            "executed commands leave the window"
+        );
+        assert!(log.has_unexecuted_command(cmd(3).id));
     }
 }

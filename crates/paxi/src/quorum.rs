@@ -38,7 +38,10 @@ impl FlexibleQuorum {
     /// Construct and validate a flexible quorum. Panics if the phase
     /// quorums do not intersect or exceed the cluster size.
     pub fn new(n: usize, q1: usize, q2: usize) -> Self {
-        assert!(q1 >= 1 && q2 >= 1 && q1 <= n && q2 <= n, "quorums must be within [1, n]");
+        assert!(
+            q1 >= 1 && q2 >= 1 && q1 <= n && q2 <= n,
+            "quorums must be within [1, n]"
+        );
         assert!(q1 + q2 > n, "flexible quorums require q1 + q2 > n");
         FlexibleQuorum { n, q1, q2 }
     }
@@ -67,7 +70,12 @@ pub struct VoteTracker {
 impl VoteTracker {
     /// Track votes toward `need` acks for `ballot`.
     pub fn new(need: usize, ballot: Ballot) -> Self {
-        VoteTracker { need, ballot, acks: HashSet::new(), nacks: HashSet::new() }
+        VoteTracker {
+            need,
+            ballot,
+            acks: HashSet::new(),
+            nacks: HashSet::new(),
+        }
     }
 
     /// Record an ack from `node` for `ballot`. Votes for other ballots

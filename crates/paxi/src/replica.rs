@@ -68,7 +68,7 @@ impl<P: ProtoMessage, R: Replica<P>> Actor<Envelope<P>> for ReplicaActor<R> {
 mod tests {
     use super::*;
     use crate::command::{Command, Operation, RequestId};
-    use simnet::{CpuCostModel, Simulation, SimTime, Topology};
+    use simnet::{CpuCostModel, SimTime, Simulation, Topology};
 
     #[derive(Debug, Clone)]
     struct Echo;
@@ -99,11 +99,17 @@ mod tests {
 
     impl Actor<Envelope<Echo>> for OneShot {
         fn on_start(&mut self, ctx: &mut Context<Envelope<Echo>>) {
-            let id = RequestId { client: ctx.node(), seq: 1 };
+            let id = RequestId {
+                client: ctx.node(),
+                seq: 1,
+            };
             ctx.send(
                 self.replica,
                 Envelope::Request(ClientRequest {
-                    command: Command { id, op: Operation::Get(1) },
+                    command: Command {
+                        id,
+                        op: Operation::Get(1),
+                    },
                 }),
             );
         }
@@ -125,9 +131,16 @@ mod tests {
         let mut sim: Simulation<Envelope<Echo>> =
             Simulation::new(Topology::lan(2), CpuCostModel::free(), 1);
         sim.add_actor(Box::new(ReplicaActor(AckAll { requests_seen: 0 })));
-        sim.add_actor(Box::new(OneShot { replica: NodeId(0), replies: 0 }));
+        sim.add_actor(Box::new(OneShot {
+            replica: NodeId(0),
+            replies: 0,
+        }));
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.stats().nodes[0].msgs_received, 1);
-        assert_eq!(sim.stats().nodes[1].msgs_received, 1, "client got its reply");
+        assert_eq!(
+            sim.stats().nodes[1].msgs_received,
+            1,
+            "client got its reply"
+        );
     }
 }

@@ -55,6 +55,21 @@ impl SafetyMonitor {
         self.0.lock().decided.len() as u64
     }
 
+    /// Snapshot of every decision, sorted by `(space, slot)` — lets
+    /// tests assert ordering properties (e.g. per-client FIFO under
+    /// batching) on the actual decided log.
+    pub fn decisions(&self) -> Vec<((u32, u64), RequestId)> {
+        let mut v: Vec<_> = self
+            .0
+            .lock()
+            .decided
+            .iter()
+            .map(|(&k, &id)| (k, id))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Total commit observations (each replica's learn counts once).
     pub fn commit_observations(&self) -> u64 {
         self.0.lock().commits
@@ -79,7 +94,10 @@ mod tests {
     use simnet::NodeId;
 
     fn id(seq: u64) -> RequestId {
-        RequestId { client: NodeId(9), seq }
+        RequestId {
+            client: NodeId(9),
+            seq,
+        }
     }
 
     #[test]

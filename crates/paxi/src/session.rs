@@ -1,0 +1,123 @@
+//! Per-client session tracking for exactly-once request execution.
+//!
+//! Clients are closed-loop: each has at most one request outstanding and
+//! issues strictly increasing sequence numbers. A replica therefore only
+//! needs the *latest* executed reply per client to answer any retry:
+//!
+//! - retry of the last executed command → replay the cached reply
+//!   (without re-proposing, so a lost reply costs one round trip, not a
+//!   whole new consensus round);
+//! - anything older → the client has already moved on; drop it.
+//!
+//! Every replica updates its table at execution time, so after a leader
+//! change the new leader can still answer retries for commands the old
+//! leader executed cluster-wide.
+
+use crate::command::{ClientReply, RequestId};
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// Latest executed reply per client.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    last: HashMap<NodeId, (u64, ClientReply)>,
+}
+
+impl SessionTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Number of clients tracked.
+    pub fn len(&self) -> usize {
+        self.last.len()
+    }
+
+    /// True when no client has executed anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.last.is_empty()
+    }
+
+    /// Record the reply for an executed command. No-op sentinel commands
+    /// (hole fillers) and out-of-date replies are ignored.
+    pub fn record(&mut self, reply: &ClientReply) {
+        let id = reply.id;
+        if id.client == NodeId(u32::MAX) {
+            return; // noop filler, no client session
+        }
+        match self.last.get(&id.client) {
+            Some((seq, _)) if *seq >= id.seq => {}
+            _ => {
+                self.last.insert(id.client, (id.seq, reply.clone()));
+            }
+        }
+    }
+
+    /// Cached reply if `id` is exactly the client's last executed
+    /// request (the retry-of-lost-reply case).
+    pub fn replay(&self, id: RequestId) -> Option<&ClientReply> {
+        match self.last.get(&id.client) {
+            Some((seq, reply)) if *seq == id.seq => Some(reply),
+            _ => None,
+        }
+    }
+
+    /// True if `id` is older than the client's last executed request —
+    /// a stale duplicate that must not be re-proposed (the client has
+    /// already received a newer reply and moved on).
+    pub fn is_stale(&self, id: RequestId) -> bool {
+        matches!(self.last.get(&id.client), Some((seq, _)) if *seq > id.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(client: u32, seq: u64) -> RequestId {
+        RequestId {
+            client: NodeId(client),
+            seq,
+        }
+    }
+
+    #[test]
+    fn replay_exact_seq_only() {
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(1, 3), None));
+        assert!(t.replay(id(1, 3)).is_some());
+        assert!(t.replay(id(1, 2)).is_none());
+        assert!(t.replay(id(1, 4)).is_none());
+        assert!(t.replay(id(2, 3)).is_none());
+    }
+
+    #[test]
+    fn staleness() {
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(1, 3), None));
+        assert!(t.is_stale(id(1, 2)));
+        assert!(!t.is_stale(id(1, 3)), "exact match is a replay, not stale");
+        assert!(!t.is_stale(id(1, 4)));
+        assert!(!t.is_stale(id(9, 1)), "unknown clients are never stale");
+    }
+
+    #[test]
+    fn newer_reply_overwrites_older_kept() {
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(1, 5), None));
+        t.record(&ClientReply::ok(id(1, 4), None));
+        assert!(
+            t.replay(id(1, 5)).is_some(),
+            "older record must not clobber newer"
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn noop_sentinel_ignored() {
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(u32::MAX, 0), None));
+        assert!(t.is_empty());
+    }
+}

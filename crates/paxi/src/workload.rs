@@ -53,7 +53,11 @@ impl Workload {
 
     /// Write-only variant with a given payload size (Fig. 12).
     pub fn write_only(payload_size: usize) -> Self {
-        Workload { read_ratio: 0.0, payload_size, ..Workload::paper_default() }
+        Workload {
+            read_ratio: 0.0,
+            payload_size,
+            ..Workload::paper_default()
+        }
     }
 
     /// Sample the next operation.
@@ -117,10 +121,16 @@ mod tests {
 
     #[test]
     fn read_ratio_respected() {
-        let w = Workload { read_ratio: 0.5, ..Workload::paper_default() };
+        let w = Workload {
+            read_ratio: 0.5,
+            ..Workload::paper_default()
+        };
         let mut r = rng();
         let reads = (0..10_000).filter(|_| w.next_op(&mut r).is_read()).count();
-        assert!((4000..6000).contains(&reads), "≈50% reads expected, got {reads}");
+        assert!(
+            (4000..6000).contains(&reads),
+            "≈50% reads expected, got {reads}"
+        );
     }
 
     #[test]
@@ -136,7 +146,11 @@ mod tests {
 
     #[test]
     fn payload_size_honored() {
-        let w = Workload { payload_size: 1280, read_ratio: 0.0, ..Workload::paper_default() };
+        let w = Workload {
+            payload_size: 1280,
+            read_ratio: 0.0,
+            ..Workload::paper_default()
+        };
         let mut r = rng();
         match w.next_op(&mut r) {
             Operation::Put(_, v) => assert_eq!(v.len(), 1280),

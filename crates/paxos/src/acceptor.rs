@@ -60,18 +60,26 @@ impl Acceptor {
         &self.kv
     }
 
-    /// Handle a phase-1a leadership proposal.
-    pub fn on_p1a(&mut self, ballot: Ballot) -> P1bVote {
+    /// Handle a phase-1a leadership proposal. `from` is the candidate's
+    /// commit watermark; the promise reports every entry (committed or
+    /// not) from there, so a candidate that fell behind learns decided
+    /// slots instead of filling them with no-ops.
+    pub fn on_p1a(&mut self, ballot: Ballot, from: u64) -> P1bVote {
         if ballot > self.promised {
             self.promised = ballot;
             P1bVote {
                 node: self.node,
                 ballot,
                 ok: true,
-                accepted: self.log.uncommitted_from(0),
+                accepted: self.log.entries_from(from),
             }
         } else {
-            P1bVote { node: self.node, ballot: self.promised, ok: false, accepted: Vec::new() }
+            P1bVote {
+                node: self.node,
+                ballot: self.promised,
+                ok: false,
+                accepted: Vec::new(),
+            }
         }
     }
 
@@ -89,10 +97,23 @@ impl Acceptor {
             self.promised = ballot;
             self.log.accept(slot, ballot, command);
             let adv = self.advance_commits(commit_up_to, ballot);
-            (P2bVote { node: self.node, ballot, slot, ok: true }, adv)
+            (
+                P2bVote {
+                    node: self.node,
+                    ballot,
+                    slot,
+                    ok: true,
+                },
+                adv,
+            )
         } else {
             (
-                P2bVote { node: self.node, ballot: self.promised, slot, ok: false },
+                P2bVote {
+                    node: self.node,
+                    ballot: self.promised,
+                    slot,
+                    ok: false,
+                },
                 CommitAdvance::default(),
             )
         }
@@ -149,6 +170,13 @@ impl Acceptor {
         out
     }
 
+    /// True if `id` sits in the committed-or-accepted-but-unexecuted
+    /// window of the log — the retry gap the session table cannot
+    /// cover (see [`paxi::Log::has_unexecuted_command`]).
+    pub fn has_unexecuted_command(&self, id: RequestId) -> bool {
+        self.log.has_unexecuted_command(id)
+    }
+
     /// This replica's answer to a quorum read (PQR): the last executed
     /// write to `key` plus whether any uncommitted write to it is in
     /// flight here.
@@ -157,7 +185,9 @@ impl Acceptor {
             node: self.node,
             value_slot: self.last_write_slot.get(&key).copied().unwrap_or(0),
             value: self.kv.peek(key).cloned(),
-            pending_write: self.log.has_uncommitted_write(key, self.log.execute_cursor()),
+            pending_write: self
+                .log
+                .has_uncommitted_write(key, self.log.execute_cursor()),
         }
     }
 
@@ -177,7 +207,10 @@ impl Acceptor {
     pub fn committed_range(&self, from: u64, to: u64) -> Vec<(u64, Command)> {
         (from..to)
             .filter_map(|s| {
-                self.log.get(s).filter(|e| e.committed).map(|e| (s, e.command.clone()))
+                self.log
+                    .get(s)
+                    .filter(|e| e.committed)
+                    .map(|e| (s, e.command.clone()))
             })
             .collect()
     }
@@ -188,7 +221,10 @@ impl Acceptor {
         slots
             .iter()
             .filter_map(|&s| {
-                self.log.get(s).filter(|e| e.committed).map(|e| (s, e.command.clone()))
+                self.log
+                    .get(s)
+                    .filter(|e| e.committed)
+                    .map(|e| (s, e.command.clone()))
             })
             .collect()
     }
@@ -215,7 +251,10 @@ mod tests {
 
     fn cmd(seq: u64) -> Command {
         Command {
-            id: RequestId { client: NodeId(9), seq },
+            id: RequestId {
+                client: NodeId(9),
+                seq,
+            },
             op: Operation::Put(seq, Value::zeros(8)),
         }
     }
@@ -227,33 +266,41 @@ mod tests {
     #[test]
     fn p1a_promise_and_reject() {
         let mut a = acc();
-        let v = a.on_p1a(b(1));
+        let v = a.on_p1a(b(1), 0);
         assert!(v.ok);
         assert_eq!(v.ballot, b(1));
         // Same ballot again: reject (strictly-greater required).
-        let v2 = a.on_p1a(b(1));
+        let v2 = a.on_p1a(b(1), 0);
         assert!(!v2.ok);
-        let v3 = a.on_p1a(b(2));
+        let v3 = a.on_p1a(b(2), 0);
         assert!(v3.ok);
     }
 
     #[test]
-    fn p1b_reports_uncommitted_accepted_entries() {
+    fn p1b_reports_committed_and_accepted_entries_from_watermark() {
         let mut a = acc();
         a.on_p2a(b(1), 0, cmd(1), 0);
         a.on_p2a(b(1), 1, cmd(2), 0);
         // Commit slot 0 only.
         a.commit(0, b(1), cmd(1));
-        let v = a.on_p1a(b(2));
+        // A candidate starting from watermark 0 must learn about *both*
+        // slots: the committed one (so it is never refilled with a noop)
+        // and the uncommitted one (to re-propose it).
+        let v = a.on_p1a(b(2), 0);
         assert!(v.ok);
-        assert_eq!(v.accepted.len(), 1, "only slot 1 is uncommitted");
+        assert_eq!(v.accepted.len(), 2);
+        assert_eq!(v.accepted[0].0, 0);
+        assert_eq!(v.accepted[1].0, 1);
+        // A candidate already past slot 0 only gets the tail.
+        let v = a.on_p1a(b(3), 1);
+        assert_eq!(v.accepted.len(), 1, "`from` bounds the phase-1b payload");
         assert_eq!(v.accepted[0].0, 1);
     }
 
     #[test]
     fn p2a_accept_and_reject_by_ballot() {
         let mut a = acc();
-        a.on_p1a(b(5));
+        a.on_p1a(b(5), 0);
         let (v, _) = a.on_p2a(b(5), 0, cmd(1), 0);
         assert!(v.ok, "equal ballot accepted");
         let (v, _) = a.on_p2a(b(3), 1, cmd(2), 0);
@@ -312,7 +359,11 @@ mod tests {
         let mut a = Acceptor::new(NodeId(1), safety.clone());
         a.commit(0, b(1), cmd(1));
         a.commit(0, b(1), cmd(1));
-        assert_eq!(safety.commit_observations(), 1, "double commit reported once");
+        assert_eq!(
+            safety.commit_observations(),
+            1,
+            "double commit reported once"
+        );
     }
 
     #[test]
@@ -330,11 +381,17 @@ mod tests {
     fn get_executes_against_prior_puts() {
         let mut a = acc();
         let put = Command {
-            id: RequestId { client: NodeId(9), seq: 1 },
+            id: RequestId {
+                client: NodeId(9),
+                seq: 1,
+            },
             op: Operation::Put(42, Value::zeros(3)),
         };
         let get = Command {
-            id: RequestId { client: NodeId(9), seq: 2 },
+            id: RequestId {
+                client: NodeId(9),
+                seq: 2,
+            },
             op: Operation::Get(42),
         };
         a.commit(0, b(1), put);

@@ -1,0 +1,201 @@
+//! Shared leader/acceptor plumbing for batched accept rounds.
+//!
+//! Both the direct Multi-Paxos replica and the PigPaxos overlay batch
+//! identically — only the *dissemination* of the resulting `P2aBatch`
+//! (full fan-out vs. relay tree) differs. The slot allocation,
+//! self-voting, and local acceptance logic live here once so the two
+//! replicas cannot drift.
+
+use crate::acceptor::{Acceptor, CommitAdvance};
+use crate::leader::Leader;
+use crate::messages::P2bVote;
+use paxi::{Ballot, Command};
+use simnet::{NodeId, SimTime};
+
+/// Everything a replica must apply and send after proposing a batch:
+/// the wire payload fields plus the leader's local side effects.
+#[derive(Debug)]
+pub struct BatchProposal {
+    /// Leader's ballot at proposal time.
+    pub ballot: Ballot,
+    /// Slot of `commands[0]`; the batch occupies consecutive slots.
+    pub first_slot: u64,
+    /// Commit watermark to piggyback.
+    pub commit_up_to: u64,
+    /// The batched commands, in slot order.
+    pub commands: Vec<Command>,
+    /// `(slot, client)` pairs the replica must await execution for.
+    pub waiting: Vec<(u64, NodeId)>,
+    /// Slots the leader's own vote already decided (1-node quorums).
+    pub self_commits: Vec<(u64, Command)>,
+    /// Commit advances produced by accepting locally.
+    pub advances: Vec<CommitAdvance>,
+}
+
+/// Allocate consecutive slots for `batch`, register each command with
+/// the leader, and feed the leader's own acceptor vote per slot.
+/// `batch` must be non-empty.
+pub fn propose_batch(
+    leader: &mut Leader,
+    acceptor: &mut Acceptor,
+    batch: Vec<(NodeId, Command)>,
+    now: SimTime,
+) -> BatchProposal {
+    debug_assert!(!batch.is_empty(), "propose_batch needs commands");
+    let ballot = leader.ballot();
+    let commit_up_to = acceptor.commit_watermark();
+    let mut first_slot = None;
+    let mut commands = Vec::with_capacity(batch.len());
+    let mut waiting = Vec::with_capacity(batch.len());
+    let mut self_commits = Vec::new();
+    let mut advances = Vec::new();
+    for (client, cmd) in batch {
+        let slot = leader.propose(Some(client), cmd.clone(), now);
+        first_slot.get_or_insert(slot);
+        waiting.push((slot, client));
+        let (own, adv) = acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
+        advances.push(adv);
+        if let Ok(Some((slot, cmd, _))) = leader.on_p2b_votes(slot, vec![own]) {
+            self_commits.push((slot, cmd));
+        }
+        commands.push(cmd);
+    }
+    BatchProposal {
+        ballot,
+        first_slot: first_slot.expect("non-empty batch"),
+        commit_up_to,
+        commands,
+        waiting,
+        self_commits,
+        advances,
+    }
+}
+
+/// A follower's local processing of a batched phase-2a.
+#[derive(Debug)]
+pub struct BatchAccept {
+    /// One vote per slot of the batch, in slot order.
+    pub votes: Vec<P2bVote>,
+    /// Commit advances from the piggybacked watermark.
+    pub advances: Vec<CommitAdvance>,
+    /// True if any slot was accepted (leader contact is real).
+    pub any_ok: bool,
+    /// Ballot for the reply message (the promised ballot on rejection,
+    /// mirroring the single-slot reply convention).
+    pub reply_ballot: Ballot,
+}
+
+/// Accept every slot of a batched phase-2a against `acceptor`.
+pub fn accept_batch(
+    acceptor: &mut Acceptor,
+    ballot: Ballot,
+    first_slot: u64,
+    commands: Vec<Command>,
+    commit_up_to: u64,
+) -> BatchAccept {
+    let mut votes = Vec::with_capacity(commands.len());
+    let mut advances = Vec::with_capacity(commands.len());
+    let mut any_ok = false;
+    for (i, command) in commands.into_iter().enumerate() {
+        let (vote, adv) = acceptor.on_p2a(ballot, first_slot + i as u64, command, commit_up_to);
+        any_ok |= vote.ok;
+        votes.push(vote);
+        advances.push(adv);
+    }
+    let reply_ballot = votes.first().map(|v| v.ballot).unwrap_or(ballot);
+    BatchAccept {
+        votes,
+        advances,
+        any_ok,
+        reply_ballot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::P1bVote;
+    use paxi::{majority, Operation, RequestId, SafetyMonitor, Value};
+
+    fn cmd(seq: u64) -> Command {
+        Command {
+            id: RequestId {
+                client: NodeId(9),
+                seq,
+            },
+            op: Operation::Put(seq, Value::zeros(8)),
+        }
+    }
+
+    fn active_leader(n: usize) -> Leader {
+        let mut l = Leader::new(NodeId(0), n);
+        let b = l.start_campaign(Ballot::ZERO);
+        let votes: Vec<P1bVote> = (0..majority(n) as u32)
+            .map(|i| P1bVote {
+                node: NodeId(i),
+                ballot: b,
+                ok: true,
+                accepted: vec![],
+            })
+            .collect();
+        l.on_p1b_votes(votes, 0);
+        l
+    }
+
+    #[test]
+    fn propose_allocates_consecutive_slots_and_tracks_clients() {
+        let mut leader = active_leader(5);
+        let mut acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+        let batch = vec![
+            (NodeId(10), cmd(1)),
+            (NodeId(11), cmd(2)),
+            (NodeId(12), cmd(3)),
+        ];
+        let p = propose_batch(&mut leader, &mut acceptor, batch, SimTime::ZERO);
+        assert_eq!(p.first_slot, 0);
+        assert_eq!(p.commands.len(), 3);
+        assert_eq!(
+            p.waiting,
+            vec![(0, NodeId(10)), (1, NodeId(11)), (2, NodeId(12))]
+        );
+        assert!(
+            p.self_commits.is_empty(),
+            "5-node quorum needs more than the self vote"
+        );
+        assert_eq!(leader.outstanding().len(), 3);
+    }
+
+    #[test]
+    fn one_node_cluster_self_commits_whole_batch() {
+        let mut leader = active_leader(1);
+        let mut acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+        let batch = vec![(NodeId(10), cmd(1)), (NodeId(11), cmd(2))];
+        let p = propose_batch(&mut leader, &mut acceptor, batch, SimTime::ZERO);
+        assert_eq!(p.self_commits.len(), 2, "quorum of one: own vote decides");
+        assert!(leader.outstanding().is_empty());
+    }
+
+    #[test]
+    fn accept_batch_votes_per_slot() {
+        let mut acceptor = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        let ballot = Ballot::new(1, NodeId(0));
+        let acc = accept_batch(&mut acceptor, ballot, 5, vec![cmd(1), cmd(2)], 0);
+        assert!(acc.any_ok);
+        assert_eq!(acc.reply_ballot, ballot);
+        assert_eq!(acc.votes.len(), 2);
+        assert_eq!(acc.votes[0].slot, 5);
+        assert_eq!(acc.votes[1].slot, 6);
+        assert!(acc.votes.iter().all(|v| v.ok));
+    }
+
+    #[test]
+    fn accept_batch_rejects_stale_ballot_with_promised() {
+        let mut acceptor = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        let high = Ballot::new(9, NodeId(2));
+        acceptor.on_p1a(high, 0);
+        let stale = Ballot::new(1, NodeId(0));
+        let acc = accept_batch(&mut acceptor, stale, 0, vec![cmd(1)], 0);
+        assert!(!acc.any_ok);
+        assert_eq!(acc.reply_ballot, high, "nack carries the promised ballot");
+    }
+}

@@ -1,5 +1,6 @@
 //! Multi-Paxos timing configuration.
 
+use paxi::BatchConfig;
 use simnet::SimDuration;
 
 /// Timers governing liveness behaviour.
@@ -36,6 +37,10 @@ pub struct PaxosConfig {
     /// sluggish or crashed node in that set stalls commits until the
     /// retry path widens the fan-out.
     pub thrifty: bool,
+    /// Leader-side client-command batching: one accept round (and one
+    /// message per follower / relay group) amortizes up to
+    /// `batch.max_batch` commands. Disabled by default.
+    pub batch: BatchConfig,
 }
 
 impl Default for PaxosConfig {
@@ -57,6 +62,7 @@ impl PaxosConfig {
             learn_delay: SimDuration::from_millis(100),
             flexible_quorums: None,
             thrifty: false,
+            batch: BatchConfig::disabled(),
         }
     }
 
@@ -72,6 +78,7 @@ impl PaxosConfig {
             learn_delay: SimDuration::from_millis(300),
             flexible_quorums: None,
             thrifty: false,
+            batch: BatchConfig::disabled(),
         }
     }
 }

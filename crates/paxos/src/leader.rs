@@ -30,6 +30,18 @@ pub enum Phase1Outcome {
     },
 }
 
+/// Outcome of [`Leader::on_p2b_batch`]: slots that reached quorum plus
+/// any preempting ballot seen while counting.
+#[derive(Debug, PartialEq)]
+pub struct BatchVotesOutcome {
+    /// `(slot, command, waiting client)` per newly decided slot, in
+    /// slot order.
+    pub committed: Vec<(u64, Command, Option<NodeId>)>,
+    /// Highest preempting ballot observed, if any — the replica must
+    /// still apply every commit before abdicating.
+    pub preempted: Option<Ballot>,
+}
+
 /// A proposal in flight.
 #[derive(Debug)]
 pub struct Outstanding {
@@ -184,12 +196,7 @@ impl Leader {
     /// Allocate a slot and register the proposal. The caller constructs
     /// and disseminates the P2a and feeds the leader's own acceptor vote
     /// back via [`Leader::on_p2b_votes`].
-    pub fn propose(
-        &mut self,
-        client: Option<NodeId>,
-        command: Command,
-        now: SimTime,
-    ) -> u64 {
+    pub fn propose(&mut self, client: Option<NodeId>, command: Command, now: SimTime) -> u64 {
         assert!(self.active, "propose on inactive leader");
         let slot = self.next_slot;
         self.next_slot += 1;
@@ -240,6 +247,39 @@ impl Leader {
         Ok(None)
     }
 
+    /// Feed a batched set of phase-2b votes spanning multiple slots
+    /// (one `P2bVote` per `(node, slot)` pair, as carried by
+    /// `P2bBatch`). Votes are grouped per slot — in slot order, so
+    /// commits come out ready for in-order execution — and run through
+    /// the ordinary single-slot quorum counting. Every slot of the
+    /// batch is counted even when one slot reports a preempting ballot:
+    /// a quorum of acks at our ballot means *chosen*, and dropping such
+    /// a commit would strand its client (the slot is already out of
+    /// `outstanding`, so `demote` could not re-queue it).
+    pub fn on_p2b_batch(&mut self, votes: Vec<P2bVote>) -> BatchVotesOutcome {
+        let mut by_slot: BTreeMap<u64, Vec<P2bVote>> = BTreeMap::new();
+        for v in votes {
+            by_slot.entry(v.slot).or_default().push(v);
+        }
+        let mut out = BatchVotesOutcome {
+            committed: Vec::new(),
+            preempted: None,
+        };
+        for (slot, group) in by_slot {
+            match self.on_p2b_votes(slot, group) {
+                Ok(Some(c)) => out.committed.push(c),
+                Ok(None) => {}
+                Err(higher) => {
+                    out.preempted = Some(match out.preempted {
+                        Some(prev) => prev.max(higher),
+                        None => higher,
+                    });
+                }
+            }
+        }
+        out
+    }
+
     /// Demote after preemption: drop in-flight proposals back into the
     /// pending queue (they will be re-proposed if we win again, or the
     /// new leader will adopt them via phase-1).
@@ -285,17 +325,30 @@ mod tests {
 
     fn cmd(seq: u64) -> Command {
         Command {
-            id: RequestId { client: NodeId(9), seq },
+            id: RequestId {
+                client: NodeId(9),
+                seq,
+            },
             op: Operation::Put(seq, Value::zeros(8)),
         }
     }
 
     fn p1b_ok(node: u32, ballot: Ballot) -> P1bVote {
-        P1bVote { node: NodeId(node), ballot, ok: true, accepted: vec![] }
+        P1bVote {
+            node: NodeId(node),
+            ballot,
+            ok: true,
+            accepted: vec![],
+        }
     }
 
     fn p2b_ok(node: u32, ballot: Ballot, slot: u64) -> P2bVote {
-        P2bVote { node: NodeId(node), ballot, slot, ok: true }
+        P2bVote {
+            node: NodeId(node),
+            ballot,
+            slot,
+            ok: true,
+        }
     }
 
     #[test]
@@ -303,8 +356,14 @@ mod tests {
         let mut l = Leader::new(NodeId(0), 5);
         let b = l.start_campaign(Ballot::ZERO);
         assert!(l.is_campaigning());
-        assert_eq!(l.on_p1b_votes(vec![p1b_ok(0, b)], 0), Phase1Outcome::Pending);
-        assert_eq!(l.on_p1b_votes(vec![p1b_ok(1, b)], 0), Phase1Outcome::Pending);
+        assert_eq!(
+            l.on_p1b_votes(vec![p1b_ok(0, b)], 0),
+            Phase1Outcome::Pending
+        );
+        assert_eq!(
+            l.on_p1b_votes(vec![p1b_ok(1, b)], 0),
+            Phase1Outcome::Pending
+        );
         match l.on_p1b_votes(vec![p1b_ok(2, b)], 0) {
             Phase1Outcome::Won { reproposals } => assert!(reproposals.is_empty()),
             other => panic!("expected win, got {other:?}"),
@@ -348,8 +407,16 @@ mod tests {
         let mut l = Leader::new(NodeId(0), 3);
         let b = l.start_campaign(Ballot::ZERO);
         let higher = Ballot::new(99, NodeId(2));
-        let nack = P1bVote { node: NodeId(2), ballot: higher, ok: false, accepted: vec![] };
-        assert_eq!(l.on_p1b_votes(vec![nack], 0), Phase1Outcome::Preempted { higher });
+        let nack = P1bVote {
+            node: NodeId(2),
+            ballot: higher,
+            ok: false,
+            accepted: vec![],
+        };
+        assert_eq!(
+            l.on_p1b_votes(vec![nack], 0),
+            Phase1Outcome::Preempted { higher }
+        );
         assert!(!l.is_active());
         // Next campaign outbids the preemptor.
         let b2 = l.start_campaign(higher);
@@ -384,7 +451,10 @@ mod tests {
         let slot = l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
         assert_eq!(l.on_p2b_votes(slot, vec![p2b_ok(0, b, slot)]), Ok(None));
         assert_eq!(l.on_p2b_votes(slot, vec![p2b_ok(1, b, slot)]), Ok(None));
-        let r = l.on_p2b_votes(slot, vec![p2b_ok(2, b, slot)]).unwrap().unwrap();
+        let r = l
+            .on_p2b_votes(slot, vec![p2b_ok(2, b, slot)])
+            .unwrap()
+            .unwrap();
         assert_eq!(r.0, slot);
         assert_eq!(r.1, cmd(1));
         assert_eq!(r.2, Some(NodeId(10)));
@@ -401,7 +471,10 @@ mod tests {
         // A PigPaxos relay aggregate carrying 3 votes at once.
         let votes = vec![p2b_ok(0, b, slot), p2b_ok(1, b, slot), p2b_ok(2, b, slot)];
         let r = l.on_p2b_votes(slot, votes).unwrap();
-        assert!(r.is_some(), "aggregate satisfying quorum commits immediately");
+        assert!(
+            r.is_some(),
+            "aggregate satisfying quorum commits immediately"
+        );
     }
 
     #[test]
@@ -409,7 +482,12 @@ mod tests {
         let mut l = active_leader(3);
         let slot = l.propose(None, cmd(1), SimTime::ZERO);
         let higher = Ballot::new(50, NodeId(1));
-        let nack = P2bVote { node: NodeId(1), ballot: higher, slot, ok: false };
+        let nack = P2bVote {
+            node: NodeId(1),
+            ballot: higher,
+            slot,
+            ok: false,
+        };
         assert_eq!(l.on_p2b_votes(slot, vec![nack]), Err(higher));
     }
 
@@ -441,7 +519,91 @@ mod tests {
     fn duplicate_request_detection() {
         let mut l = active_leader(3);
         l.propose(Some(NodeId(10)), cmd(7), SimTime::ZERO);
-        assert!(l.has_outstanding_request(RequestId { client: NodeId(9), seq: 7 }));
-        assert!(!l.has_outstanding_request(RequestId { client: NodeId(9), seq: 8 }));
+        assert!(l.has_outstanding_request(RequestId {
+            client: NodeId(9),
+            seq: 7
+        }));
+        assert!(!l.has_outstanding_request(RequestId {
+            client: NodeId(9),
+            seq: 8
+        }));
+    }
+
+    #[test]
+    fn batched_votes_commit_multiple_slots_in_order() {
+        let mut l = active_leader(5);
+        let b = l.ballot();
+        let s0 = l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+        let s1 = l.propose(Some(NodeId(11)), cmd(2), SimTime::ZERO);
+        // One P2bBatch worth of votes: two nodes ack both slots (own
+        // vote per slot arrives first, as the replica does it).
+        for s in [s0, s1] {
+            assert_eq!(l.on_p2b_votes(s, vec![p2b_ok(0, b, s)]), Ok(None));
+        }
+        let votes = vec![
+            p2b_ok(1, b, s0),
+            p2b_ok(1, b, s1),
+            p2b_ok(2, b, s0),
+            p2b_ok(2, b, s1),
+        ];
+        let out = l.on_p2b_batch(votes);
+        assert_eq!(out.preempted, None);
+        assert_eq!(out.committed.len(), 2);
+        assert_eq!(out.committed[0].0, s0, "commits come out in slot order");
+        assert_eq!(out.committed[1].0, s1);
+        assert_eq!(out.committed[0].2, Some(NodeId(10)));
+        assert!(l.outstanding().is_empty());
+    }
+
+    #[test]
+    fn batched_votes_report_preemption() {
+        let mut l = active_leader(3);
+        let b = l.ballot();
+        let s0 = l.propose(None, cmd(1), SimTime::ZERO);
+        let higher = Ballot::new(50, NodeId(1));
+        let votes = vec![
+            p2b_ok(1, b, s0),
+            P2bVote {
+                node: NodeId(2),
+                ballot: higher,
+                slot: s0,
+                ok: false,
+            },
+        ];
+        let out = l.on_p2b_batch(votes);
+        assert_eq!(out.preempted, Some(higher));
+        assert!(out.committed.is_empty());
+    }
+
+    #[test]
+    fn batched_votes_salvage_commits_despite_preemption() {
+        // One aggregated batch completes slot s0's quorum AND carries a
+        // higher-ballot nack on slot s1: s0's decision must not be lost.
+        let mut l = active_leader(5);
+        let b = l.ballot();
+        let s0 = l.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+        let s1 = l.propose(Some(NodeId(11)), cmd(2), SimTime::ZERO);
+        for s in [s0, s1] {
+            assert_eq!(l.on_p2b_votes(s, vec![p2b_ok(0, b, s)]), Ok(None));
+            assert_eq!(l.on_p2b_votes(s, vec![p2b_ok(1, b, s)]), Ok(None));
+        }
+        let higher = Ballot::new(50, NodeId(3));
+        let votes = vec![
+            p2b_ok(2, b, s0), // third ack: s0 reaches quorum
+            P2bVote {
+                node: NodeId(3),
+                ballot: higher,
+                slot: s1,
+                ok: false,
+            },
+        ];
+        let out = l.on_p2b_batch(votes);
+        assert_eq!(
+            out.committed.len(),
+            1,
+            "quorum-complete slot survives the nack"
+        );
+        assert_eq!(out.committed[0].0, s0);
+        assert_eq!(out.preempted, Some(higher));
     }
 }

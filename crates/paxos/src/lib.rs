@@ -14,13 +14,15 @@
 #![warn(missing_docs)]
 
 pub mod acceptor;
+pub mod batching;
 pub mod config;
 pub mod leader;
 pub mod messages;
 pub mod replica;
 
 pub use acceptor::{Acceptor, CommitAdvance};
+pub use batching::{accept_batch, propose_batch, BatchAccept, BatchProposal};
 pub use config::PaxosConfig;
-pub use leader::{Leader, Outstanding, Phase1Outcome};
+pub use leader::{BatchVotesOutcome, Leader, Outstanding, Phase1Outcome};
 pub use messages::{P1bVote, P2bVote, PaxosMsg, QrVoteEntry};
 pub use replica::{paxos_builder, PaxosReplica};

@@ -67,6 +67,11 @@ pub enum PaxosMsg {
     P1a {
         /// Candidate's ballot.
         ballot: Ballot,
+        /// The candidate's own commit watermark: promises report every
+        /// log entry (committed or not) from this slot up, so the
+        /// candidate learns about slots decided while it was behind and
+        /// never fills them with no-ops.
+        from: u64,
     },
     /// Phase-1b: promise votes (singleton when direct, aggregated by
     /// PigPaxos relays).
@@ -96,6 +101,33 @@ pub enum PaxosMsg {
         /// The slot these votes answer.
         slot: u64,
         /// Individual acks.
+        votes: Vec<P2bVote>,
+    },
+    /// Phase-2a for a *contiguous run* of slots — the leader-side
+    /// client-command batching fast path. One message amortizes
+    /// `commands.len()` accept rounds; slot `first_slot + i` carries
+    /// `commands[i]`. Semantically identical to that many `P2a`s.
+    P2aBatch {
+        /// Leader's ballot.
+        ballot: Ballot,
+        /// Slot of `commands[0]`.
+        first_slot: u64,
+        /// One command per consecutive slot.
+        commands: Vec<Command>,
+        /// All slots `< commit_up_to` are committed (phase-3 piggyback).
+        commit_up_to: u64,
+    },
+    /// Accept votes for a batched round: one [`P2bVote`] per `(node,
+    /// slot)` pair, possibly aggregated across a relay group. Each vote
+    /// carries its own slot.
+    P2bBatch {
+        /// The ballot these votes answer.
+        ballot: Ballot,
+        /// First slot of the batch being answered.
+        first_slot: u64,
+        /// Last slot of the batch being answered.
+        last_slot: u64,
+        /// Individual per-slot acks.
         votes: Vec<P2bVote>,
     },
     /// Leader liveness + commit-watermark propagation when idle.
@@ -146,7 +178,11 @@ impl PaxosMsg {
         votes
             .iter()
             .map(|v| {
-                14 + v.accepted.iter().map(|(_, _, c)| 16 + c.payload_bytes()).sum::<usize>()
+                14 + v
+                    .accepted
+                    .iter()
+                    .map(|(_, _, c)| 16 + c.payload_bytes())
+                    .sum::<usize>()
             })
             .sum()
     }
@@ -156,14 +192,26 @@ impl ProtoMessage for PaxosMsg {
     fn wire_size(&self) -> usize {
         HEADER_BYTES
             + match self {
-                PaxosMsg::P1a { .. } => 8,
+                PaxosMsg::P1a { .. } => 16,
                 PaxosMsg::P1b { votes, .. } => 8 + PaxosMsg::votes_bytes_p1(votes),
                 PaxosMsg::P2a { command, .. } => 8 + 8 + 8 + command.payload_bytes(),
                 PaxosMsg::P2b { votes, .. } => 16 + votes.len() * 14,
+                PaxosMsg::P2aBatch { commands, .. } => {
+                    8 + 8
+                        + 8
+                        + commands
+                            .iter()
+                            .map(|c| 4 + c.payload_bytes())
+                            .sum::<usize>()
+                }
+                PaxosMsg::P2bBatch { votes, .. } => 24 + votes.len() * 14,
                 PaxosMsg::Heartbeat { .. } => 16,
                 PaxosMsg::LearnReq { slots } => 8 + slots.len() * 8,
                 PaxosMsg::LearnRep { entries, .. } => {
-                    8 + entries.iter().map(|(_, c)| 8 + c.payload_bytes()).sum::<usize>()
+                    8 + entries
+                        .iter()
+                        .map(|(_, c)| 8 + c.payload_bytes())
+                        .sum::<usize>()
                 }
                 PaxosMsg::QrRead { .. } => 20,
                 PaxosMsg::QrVote { votes, .. } => {
@@ -178,6 +226,8 @@ impl ProtoMessage for PaxosMsg {
             PaxosMsg::P1b { .. } => "p1b",
             PaxosMsg::P2a { .. } => "p2a",
             PaxosMsg::P2b { .. } => "p2b",
+            PaxosMsg::P2aBatch { .. } => "p2a_batch",
+            PaxosMsg::P2bBatch { .. } => "p2b_batch",
             PaxosMsg::Heartbeat { .. } => "heartbeat",
             PaxosMsg::LearnReq { .. } => "learnreq",
             PaxosMsg::LearnRep { .. } => "learnrep",
@@ -194,7 +244,10 @@ mod tests {
 
     fn cmd(bytes: usize) -> Command {
         Command {
-            id: RequestId { client: NodeId(9), seq: 1 },
+            id: RequestId {
+                client: NodeId(9),
+                seq: 1,
+            },
             op: Operation::Put(1, Value::zeros(bytes)),
         }
     }
@@ -218,9 +271,17 @@ mod tests {
 
     #[test]
     fn aggregated_p2b_bigger_than_single() {
-        let vote = |n| P2bVote { node: NodeId(n), ballot: Ballot::ZERO, slot: 0, ok: true };
-        let single =
-            PaxosMsg::P2b { ballot: Ballot::ZERO, slot: 0, votes: vec![vote(1)] };
+        let vote = |n| P2bVote {
+            node: NodeId(n),
+            ballot: Ballot::ZERO,
+            slot: 0,
+            ok: true,
+        };
+        let single = PaxosMsg::P2b {
+            ballot: Ballot::ZERO,
+            slot: 0,
+            votes: vec![vote(1)],
+        };
         let agg = PaxosMsg::P2b {
             ballot: Ballot::ZERO,
             slot: 0,
@@ -254,10 +315,83 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
-        assert_eq!(PaxosMsg::P1a { ballot: Ballot::ZERO }.label(), "p1a");
+    fn batch_scales_sublinearly_vs_singles() {
+        let singles: usize = (0..8)
+            .map(|s| {
+                PaxosMsg::P2a {
+                    ballot: Ballot::ZERO,
+                    slot: s,
+                    command: cmd(64),
+                    commit_up_to: 0,
+                }
+                .wire_size()
+            })
+            .sum();
+        let batch = PaxosMsg::P2aBatch {
+            ballot: Ballot::ZERO,
+            first_slot: 0,
+            commands: (0..8).map(|_| cmd(64)).collect(),
+            commit_up_to: 0,
+        }
+        .wire_size();
+        assert!(
+            batch < singles,
+            "one batch message ({batch}B) must beat 8 singles ({singles}B)"
+        );
         assert_eq!(
-            PaxosMsg::Heartbeat { ballot: Ballot::ZERO, commit_up_to: 0 }.label(),
+            PaxosMsg::P2aBatch {
+                ballot: Ballot::ZERO,
+                first_slot: 0,
+                commands: vec![cmd(64)],
+                commit_up_to: 0
+            }
+            .label(),
+            "p2a_batch"
+        );
+    }
+
+    #[test]
+    fn p2b_batch_size_scales_with_votes() {
+        let vote = |n, s| P2bVote {
+            node: NodeId(n),
+            ballot: Ballot::ZERO,
+            slot: s,
+            ok: true,
+        };
+        let small = PaxosMsg::P2bBatch {
+            ballot: Ballot::ZERO,
+            first_slot: 0,
+            last_slot: 3,
+            votes: vec![vote(1, 0)],
+        };
+        let big = PaxosMsg::P2bBatch {
+            ballot: Ballot::ZERO,
+            first_slot: 0,
+            last_slot: 3,
+            votes: (0..4)
+                .flat_map(|s| (1..4).map(move |n| vote(n, s)))
+                .collect(),
+        };
+        assert_eq!(big.wire_size() - small.wire_size(), 11 * 14);
+        assert_eq!(big.label(), "p2b_batch");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            PaxosMsg::P1a {
+                ballot: Ballot::ZERO,
+                from: 0
+            }
+            .label(),
+            "p1a"
+        );
+        assert_eq!(
+            PaxosMsg::Heartbeat {
+                ballot: Ballot::ZERO,
+                commit_up_to: 0
+            }
+            .label(),
             "heartbeat"
         );
     }

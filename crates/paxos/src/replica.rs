@@ -11,8 +11,8 @@ use crate::config::PaxosConfig;
 use crate::leader::{Leader, Phase1Outcome};
 use crate::messages::PaxosMsg;
 use paxi::{
-    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
-    ReplicaCtx,
+    BatchPush, Batcher, ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica,
+    ReplicaActor, ReplicaCtx, SessionTable,
 };
 use rand::Rng;
 use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
@@ -22,6 +22,7 @@ const T_ELECTION: u64 = 1;
 const T_HEARTBEAT: u64 = 2;
 const T_RETRY_SCAN: u64 = 3;
 const T_LEARN: u64 = 6;
+const T_BATCH: u64 = 7;
 
 /// Largest number of slots requested in one batched `LearnReq`.
 const LEARN_BATCH_MAX: usize = 4096;
@@ -37,6 +38,17 @@ pub struct PaxosReplica {
     last_leader_contact: SimTime,
     /// Clients waiting for a slot to execute, by slot.
     waiting: HashMap<u64, NodeId>,
+    /// Last executed reply per client, for exactly-once retries.
+    sessions: SessionTable,
+    /// Client-command batching buffer (active leader only).
+    batcher: Batcher,
+    /// Pending `max_delay` flush timer, cancelled when a batch flushes
+    /// by size so it cannot prematurely flush the next batch.
+    batch_timer: Option<TimerId>,
+    /// Highest sequence number proposed per client — a cheap filter so
+    /// only requests at or below this high-water mark (i.e. possible
+    /// duplicates) pay the unexecuted-window log scan in `on_request`.
+    proposed_seq: HashMap<NodeId, u64>,
     election_timeout: SimDuration,
     /// Highest watermark we observed with gaps below it; a learn timer
     /// is armed while repair is pending.
@@ -55,12 +67,16 @@ impl PaxosReplica {
         };
         PaxosReplica {
             me,
+            batcher: Batcher::new(cfg.batch.clone()),
+            batch_timer: None,
+            proposed_seq: HashMap::new(),
             cfg,
             acceptor,
             leader,
             known_leader: Some(cluster.leader),
             last_leader_contact: SimTime::ZERO,
             waiting: HashMap::new(),
+            sessions: SessionTable::new(),
             election_timeout: SimDuration::ZERO,
             repair_up_to: 0,
             repair_armed: false,
@@ -84,14 +100,35 @@ impl PaxosReplica {
         }
     }
 
+    /// Phase-2 dissemination policy, shared by single and batched
+    /// accepts. Thrifty sends to exactly enough peers for a q2 quorum
+    /// (own vote included); retries fall back to the full fan-out,
+    /// recovering from a sluggish member at latency cost (paper §2.2).
+    fn disseminate_p2(&self, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
+        if self.cfg.thrifty {
+            let peers = self.cluster.peers(self.me);
+            for peer in peers.into_iter().take(self.leader.q2().saturating_sub(1)) {
+                ctx.send_proto(peer, msg.clone());
+            }
+        } else {
+            self.fanout(msg, ctx);
+        }
+    }
+
     fn begin_campaign(&mut self, ctx: &mut Ctx<PaxosMsg>) {
         let ballot = self.leader.start_campaign(self.acceptor.promised());
-        // Self-vote first; in a 1-node cluster this already wins.
-        let own = self.acceptor.on_p1a(ballot);
         let watermark = self.acceptor.commit_watermark();
+        // Self-vote first; in a 1-node cluster this already wins.
+        let own = self.acceptor.on_p1a(ballot, watermark);
         let outcome = self.leader.on_p1b_votes(vec![own], watermark);
         self.handle_phase1_outcome(outcome, ctx);
-        self.fanout(PaxosMsg::P1a { ballot }, ctx);
+        self.fanout(
+            PaxosMsg::P1a {
+                ballot,
+                from: watermark,
+            },
+            ctx,
+        );
     }
 
     fn handle_phase1_outcome(&mut self, outcome: Phase1Outcome, ctx: &mut Ctx<PaxosMsg>) {
@@ -121,12 +158,120 @@ impl PaxosReplica {
         while let Some((client, cmd)) = self.leader.pending.pop_front() {
             ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
         }
+        for (client, cmd) in self.batcher.flush() {
+            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
+        }
+        // A stale flush timer must not fire into the next leadership term.
+        if let Some(t) = self.batch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn note_proposed(&mut self, client: NodeId, seq: u64) {
+        let hw = self.proposed_seq.entry(client).or_insert(0);
+        *hw = (*hw).max(seq);
     }
 
     fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
+        self.note_proposed(cmd.id.client, cmd.id.seq);
         let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
         self.waiting.insert(slot, client);
         self.send_accepts(slot, cmd, ctx);
+    }
+
+    /// Propose a full batch: allocate consecutive slots, self-vote each,
+    /// then fan out a single `P2aBatch` carrying all of them — this is
+    /// where N commands start costing one message per follower instead
+    /// of N.
+    fn propose_batch(&mut self, batch: Vec<(NodeId, Command)>, ctx: &mut Ctx<PaxosMsg>) {
+        if batch.is_empty() {
+            return;
+        }
+        if batch.len() == 1 {
+            let (client, cmd) = batch.into_iter().next().expect("len checked");
+            self.propose_command(client, cmd, ctx);
+            return;
+        }
+        for (_, cmd) in &batch {
+            self.note_proposed(cmd.id.client, cmd.id.seq);
+        }
+        let crate::batching::BatchProposal {
+            ballot,
+            first_slot,
+            commit_up_to,
+            commands,
+            waiting,
+            self_commits,
+            advances,
+        } = crate::batching::propose_batch(&mut self.leader, &mut self.acceptor, batch, ctx.now());
+        for (slot, client) in waiting {
+            self.waiting.insert(slot, client);
+        }
+        for adv in advances {
+            self.finish_advance(adv, ctx);
+        }
+        for (slot, cmd) in self_commits {
+            self.commit_and_execute(slot, cmd, ctx);
+        }
+        let msg = PaxosMsg::P2aBatch {
+            ballot,
+            first_slot,
+            commands,
+            commit_up_to,
+        };
+        self.disseminate_p2(msg, ctx);
+    }
+
+    /// Accept every slot of a batched phase-2a locally (via the shared
+    /// [`crate::batching`] helper), returning the per-slot votes.
+    fn accept_batch(
+        &mut self,
+        ballot: paxi::Ballot,
+        first_slot: u64,
+        commands: Vec<Command>,
+        commit_up_to: u64,
+        ctx: &mut Ctx<PaxosMsg>,
+    ) -> crate::batching::BatchAccept {
+        let mut acc = crate::batching::accept_batch(
+            &mut self.acceptor,
+            ballot,
+            first_slot,
+            commands,
+            commit_up_to,
+        );
+        for adv in std::mem::take(&mut acc.advances) {
+            self.finish_advance(adv, ctx);
+        }
+        if acc.any_ok {
+            self.note_leader_contact(ballot.node(), ctx.now());
+            if self.leader.is_active() && ballot > self.leader.ballot() {
+                self.abdicate(ballot.node(), ctx);
+            }
+        }
+        acc
+    }
+
+    /// Feed a batched phase-2b response: votes are grouped per slot and
+    /// run through the ordinary single-slot quorum counting. Commits are
+    /// applied even when the same batch reports a preemption — a quorum
+    /// of acks means *chosen*, and the slot is already out of
+    /// `outstanding`.
+    fn count_batch_votes(
+        &mut self,
+        ballot: paxi::Ballot,
+        votes: Vec<crate::messages::P2bVote>,
+        ctx: &mut Ctx<PaxosMsg>,
+    ) {
+        if !self.leader.is_active() || ballot != self.leader.ballot() {
+            return;
+        }
+        let out = self.leader.on_p2b_batch(votes);
+        for (slot, cmd, _client) in out.committed {
+            self.commit_and_execute(slot, cmd, ctx);
+        }
+        if let Some(higher) = out.preempted {
+            self.abdicate(higher.node(), ctx);
+        }
     }
 
     /// Self-vote + fan the P2a out (to all followers, or to `q2 − 1` of
@@ -134,25 +279,22 @@ impl PaxosReplica {
     fn send_accepts(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
         let ballot = self.leader.ballot();
         let commit_up_to = self.acceptor.commit_watermark();
-        let (own, adv) = self.acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
+        let (own, adv) = self
+            .acceptor
+            .on_p2a(ballot, slot, cmd.clone(), commit_up_to);
         self.finish_advance(adv, ctx);
         match self.leader.on_p2b_votes(slot, vec![own]) {
             Ok(Some((slot, cmd, _client))) => self.commit_and_execute(slot, cmd, ctx),
             Ok(None) => {}
             Err(_) => {}
         }
-        let msg = PaxosMsg::P2a { ballot, slot, command: cmd, commit_up_to };
-        if self.cfg.thrifty {
-            // Exactly enough peers for a q2 quorum (own vote included).
-            // Retries fall back to the full fan-out, recovering from a
-            // sluggish member at latency cost (paper §2.2).
-            let peers = self.cluster.peers(self.me);
-            for peer in peers.into_iter().take(self.leader.q2().saturating_sub(1)) {
-                ctx.send_proto(peer, msg.clone());
-            }
-        } else {
-            self.fanout(msg, ctx);
-        }
+        let msg = PaxosMsg::P2a {
+            ballot,
+            slot,
+            command: cmd,
+            commit_up_to,
+        };
+        self.disseminate_p2(msg, ctx);
     }
 
     fn commit_and_execute(&mut self, slot: u64, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
@@ -170,8 +312,12 @@ impl PaxosReplica {
             ctx.charge(self.cfg.exec_cost * executed.len() as u64);
         }
         for (slot, id, value) in executed {
+            let reply = ClientReply::ok(id, value);
+            // Every replica caches the reply so retries are answered
+            // without another consensus round, even after a leader change.
+            self.sessions.record(&reply);
             if let Some(client) = self.waiting.remove(&slot) {
-                ctx.reply(client, ClientReply::ok(id, value));
+                ctx.reply(client, reply);
             }
         }
     }
@@ -191,11 +337,15 @@ impl PaxosReplica {
     /// still missing (most in-flight gaps will have healed by now).
     fn send_learn_request(&mut self, ctx: &mut Ctx<PaxosMsg>) {
         self.repair_armed = false;
-        let Some(leader) = self.known_leader else { return };
+        let Some(leader) = self.known_leader else {
+            return;
+        };
         if leader == self.me {
             return;
         }
-        let missing = self.acceptor.missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
+        let missing = self
+            .acceptor
+            .missing_slots(self.repair_up_to, LEARN_BATCH_MAX);
         if !missing.is_empty() {
             ctx.send_proto(leader, PaxosMsg::LearnReq { slots: missing });
         }
@@ -229,11 +379,47 @@ impl Replica<PaxosMsg> for PaxosReplica {
 
     fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<PaxosMsg>) {
         let cmd = req.command;
+        // Exactly-once: a retry of the last executed command gets the
+        // cached reply; anything older is a stale duplicate.
+        if let Some(reply) = self.sessions.replay(cmd.id) {
+            ctx.reply(client, reply.clone());
+            return;
+        }
+        if self.sessions.is_stale(cmd.id) {
+            return;
+        }
         if self.leader.is_active() {
-            if self.leader.has_outstanding_request(cmd.id) {
-                return; // duplicate of an in-flight client retry
+            let possibly_duplicate = self
+                .proposed_seq
+                .get(&cmd.id.client)
+                .is_some_and(|&hw| hw >= cmd.id.seq);
+            if self.leader.has_outstanding_request(cmd.id)
+                || self.batcher.contains(cmd.id)
+                || (possibly_duplicate && self.acceptor.has_unexecuted_command(cmd.id))
+            {
+                // Duplicate of an in-flight retry: either still gathering
+                // votes, buffered in the batcher, or already committed and
+                // waiting on a lower slot to execute (the window the
+                // session table cannot see). The reply comes at execution.
+                return;
             }
-            self.propose_command(client, cmd, ctx);
+            if self.batcher.enabled() {
+                match self.batcher.push(client, cmd) {
+                    BatchPush::Flush(batch) => {
+                        if let Some(t) = self.batch_timer.take() {
+                            ctx.cancel_timer(t);
+                        }
+                        self.propose_batch(batch, ctx);
+                    }
+                    BatchPush::ArmTimer => {
+                        self.batch_timer =
+                            Some(ctx.set_timer(self.batcher.config().max_delay, T_BATCH));
+                    }
+                    BatchPush::Buffered => {}
+                }
+            } else {
+                self.propose_command(client, cmd, ctx);
+            }
         } else if self.leader.is_campaigning() || self.me == self.cluster.leader {
             self.leader.pending.push_back((client, cmd));
         } else {
@@ -243,8 +429,11 @@ impl Replica<PaxosMsg> for PaxosReplica {
 
     fn on_proto(&mut self, from: NodeId, msg: PaxosMsg, ctx: &mut Ctx<PaxosMsg>) {
         match msg {
-            PaxosMsg::P1a { ballot } => {
-                let vote = self.acceptor.on_p1a(ballot);
+            PaxosMsg::P1a {
+                ballot,
+                from: report_from,
+            } => {
+                let vote = self.acceptor.on_p1a(ballot, report_from);
                 if vote.ok {
                     self.note_leader_contact(from, ctx.now());
                     if (self.leader.is_active() || self.leader.is_campaigning())
@@ -253,7 +442,13 @@ impl Replica<PaxosMsg> for PaxosReplica {
                         self.abdicate(from, ctx);
                     }
                 }
-                ctx.send_proto(from, PaxosMsg::P1b { ballot: vote.ballot, votes: vec![vote] });
+                ctx.send_proto(
+                    from,
+                    PaxosMsg::P1b {
+                        ballot: vote.ballot,
+                        votes: vec![vote],
+                    },
+                );
             }
             PaxosMsg::P1b { ballot, votes } => {
                 if ballot == self.leader.ballot() && self.leader.is_campaigning() {
@@ -262,7 +457,12 @@ impl Replica<PaxosMsg> for PaxosReplica {
                     self.handle_phase1_outcome(outcome, ctx);
                 }
             }
-            PaxosMsg::P2a { ballot, slot, command, commit_up_to } => {
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                command,
+                commit_up_to,
+            } => {
                 let (vote, adv) = self.acceptor.on_p2a(ballot, slot, command, commit_up_to);
                 if vote.ok {
                     self.note_leader_contact(from, ctx.now());
@@ -273,21 +473,51 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 self.finish_advance(adv, ctx);
                 ctx.send_proto(
                     from,
-                    PaxosMsg::P2b { ballot: vote.ballot, slot, votes: vec![vote] },
+                    PaxosMsg::P2b {
+                        ballot: vote.ballot,
+                        slot,
+                        votes: vec![vote],
+                    },
                 );
             }
-            PaxosMsg::P2b { ballot, slot, votes } => {
+            PaxosMsg::P2b {
+                ballot,
+                slot,
+                votes,
+            } => {
                 if self.leader.is_active() && ballot == self.leader.ballot() {
                     match self.leader.on_p2b_votes(slot, votes) {
-                        Ok(Some((slot, cmd, _client))) => {
-                            self.commit_and_execute(slot, cmd, ctx)
-                        }
+                        Ok(Some((slot, cmd, _client))) => self.commit_and_execute(slot, cmd, ctx),
                         Ok(None) => {}
                         Err(higher) => self.abdicate(higher.node(), ctx),
                     }
                 }
             }
-            PaxosMsg::Heartbeat { ballot, commit_up_to } => {
+            PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            } => {
+                let last_slot = first_slot + commands.len().saturating_sub(1) as u64;
+                let acc = self.accept_batch(ballot, first_slot, commands, commit_up_to, ctx);
+                ctx.send_proto(
+                    from,
+                    PaxosMsg::P2bBatch {
+                        ballot: acc.reply_ballot,
+                        first_slot,
+                        last_slot,
+                        votes: acc.votes,
+                    },
+                );
+            }
+            PaxosMsg::P2bBatch { ballot, votes, .. } => {
+                self.count_batch_votes(ballot, votes, ctx);
+            }
+            PaxosMsg::Heartbeat {
+                ballot,
+                commit_up_to,
+            } => {
                 if ballot >= self.acceptor.promised() {
                     self.note_leader_contact(from, ctx.now());
                     let adv = self.acceptor.advance_commits(commit_up_to, ballot);
@@ -299,7 +529,10 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 if !entries.is_empty() {
                     ctx.send_proto(
                         from,
-                        PaxosMsg::LearnRep { ballot: self.acceptor.promised(), entries },
+                        PaxosMsg::LearnRep {
+                            ballot: self.acceptor.promised(),
+                            entries,
+                        },
                     );
                 }
             }
@@ -312,7 +545,14 @@ impl Replica<PaxosMsg> for PaxosReplica {
             }
             PaxosMsg::QrRead { reader, id, key } => {
                 let entry = self.acceptor.read_state(key);
-                ctx.send_proto(from, PaxosMsg::QrVote { reader, id, votes: vec![entry] });
+                ctx.send_proto(
+                    from,
+                    PaxosMsg::QrVote {
+                        reader,
+                        id,
+                        votes: vec![entry],
+                    },
+                );
             }
             // Plain Multi-Paxos replicas never proxy quorum reads; a
             // stray aggregate is dropped (PigPaxos implements the proxy).
@@ -339,7 +579,10 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 if self.leader.is_active() {
                     let commit_up_to = self.acceptor.commit_watermark();
                     self.fanout(
-                        PaxosMsg::Heartbeat { ballot: self.leader.ballot(), commit_up_to },
+                        PaxosMsg::Heartbeat {
+                            ballot: self.leader.ballot(),
+                            commit_up_to,
+                        },
                         ctx,
                     );
                     ctx.set_timer(self.cfg.heartbeat_interval, T_HEARTBEAT);
@@ -351,12 +594,19 @@ impl Replica<PaxosMsg> for PaxosReplica {
             }
             T_RETRY_SCAN => {
                 if self.leader.is_active() {
-                    let stale = self.leader.stale_proposals(ctx.now(), self.cfg.p2_retry_timeout);
+                    let stale = self
+                        .leader
+                        .stale_proposals(ctx.now(), self.cfg.p2_retry_timeout);
                     let ballot = self.leader.ballot();
                     let commit_up_to = self.acceptor.commit_watermark();
                     for (slot, command) in stale {
                         self.fanout(
-                            PaxosMsg::P2a { ballot, slot, command, commit_up_to },
+                            PaxosMsg::P2a {
+                                ballot,
+                                slot,
+                                command,
+                                commit_up_to,
+                            },
                             ctx,
                         );
                     }
@@ -364,6 +614,11 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 ctx.set_timer(self.cfg.p2_retry_timeout / 2, T_RETRY_SCAN);
             }
             T_LEARN => self.send_learn_request(ctx),
+            T_BATCH if self.leader.is_active() => {
+                self.batch_timer = None;
+                let batch = self.batcher.flush();
+                self.propose_batch(batch, ctx);
+            }
             _ => {}
         }
     }
@@ -375,7 +630,11 @@ pub fn paxos_builder(
     cfg: PaxosConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PaxosMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(PaxosReplica::new(node, cluster.clone(), cfg.clone())))
+        Box::new(ReplicaActor(PaxosReplica::new(
+            node,
+            cluster.clone(),
+            cfg.clone(),
+        )))
     }
 }
 
@@ -396,7 +655,11 @@ mod tests {
 
     #[test]
     fn three_node_cluster_commits() {
-        let r = run(&spec(3, 4), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(3, 4),
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 100);
@@ -405,7 +668,11 @@ mod tests {
 
     #[test]
     fn five_node_cluster_commits() {
-        let r = run(&spec(5, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(5, 8),
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -413,8 +680,16 @@ mod tests {
     #[test]
     fn leader_messages_scale_with_cluster_size() {
         // Paper Table 1/2: Paxos leader handles 2(N-1)+2 msgs/op.
-        let r5 = run(&spec(5, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
-        let r9 = run(&spec(9, 8), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        let r5 = run(
+            &spec(5, 8),
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        let r9 = run(
+            &spec(9, 8),
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(
             (r5.leader_msgs_per_op - 10.0).abs() < 2.0,
             "5 nodes: expected ≈10 msgs/op at leader, got {}",
@@ -469,7 +744,11 @@ mod tests {
 
     #[test]
     fn reads_and_writes_both_complete() {
-        let r = run(&spec(3, 4), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(3, 4),
+            paxos_builder(PaxosConfig::lan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.samples > 0);
         assert!(r.violations.is_empty());
     }
@@ -479,7 +758,11 @@ mod tests {
         // The paper's §2.2 example: N=10, Q1=8, Q2=3.
         let mut cfg = PaxosConfig::lan();
         cfg.flexible_quorums = Some((8, 3));
-        let r = run(&spec(10, 6), paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        let r = run(
+            &spec(10, 6),
+            paxos_builder(cfg),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0);
     }
@@ -495,7 +778,11 @@ mod tests {
             measure: SimDuration::from_secs(2),
             ..RunSpec::wan(15, 4)
         };
-        let majority = run(&wan, paxos_builder(PaxosConfig::wan()), TargetPolicy::Fixed(NodeId(0)));
+        let majority = run(
+            &wan,
+            paxos_builder(PaxosConfig::wan()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         let mut cfg = PaxosConfig::wan();
         cfg.flexible_quorums = Some((11, 5));
         let flexible = run(&wan, paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
@@ -520,8 +807,11 @@ mod tests {
     fn thrifty_reduces_leader_messages_but_one_crash_hurts() {
         let mut cfg = PaxosConfig::lan();
         cfg.thrifty = true;
-        let healthy =
-            run(&spec(9, 4), paxos_builder(cfg.clone()), TargetPolicy::Fixed(NodeId(0)));
+        let healthy = run(
+            &spec(9, 4),
+            paxos_builder(cfg.clone()),
+            TargetPolicy::Fixed(NodeId(0)),
+        );
         assert!(healthy.violations.is_empty());
         // Thrifty: 1 req + (q2-1)=4 sends + 4 acks + 1 reply = 10 per op
         // instead of 18.

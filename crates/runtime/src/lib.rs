@@ -136,7 +136,9 @@ impl<M: Message + Send> Runtime<M> {
             let stats = self.stats.clone();
             let epoch = self.epoch;
             let node = NodeId::from(i);
-            let seed = self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            let seed = self
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
             let done = done_tx.clone();
             handles.push(std::thread::spawn(move || {
                 node_loop(node, actor, rx, senders, stats, epoch, seed);
@@ -180,7 +182,14 @@ fn node_loop<M: Message + Send>(
         let mut ctx = Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
         actor.on_start(&mut ctx);
     }
-    apply_effects(&mut effects, node, &senders, &mut timers, &mut cancelled, epoch);
+    apply_effects(
+        &mut effects,
+        node,
+        &senders,
+        &mut timers,
+        &mut cancelled,
+        epoch,
+    );
 
     loop {
         // Fire due timers first.
@@ -196,7 +205,14 @@ fn node_loop<M: Message + Send>(
             let mut ctx =
                 Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
             actor.on_timer(t.id, t.kind, &mut ctx);
-            apply_effects(&mut effects, node, &senders, &mut timers, &mut cancelled, epoch);
+            apply_effects(
+                &mut effects,
+                node,
+                &senders,
+                &mut timers,
+                &mut cancelled,
+                epoch,
+            );
         }
 
         let next_deadline = timers.peek().map(|t| t.at);
@@ -223,7 +239,14 @@ fn node_loop<M: Message + Send>(
                 let mut ctx =
                     Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
                 actor.on_message(from, msg, &mut ctx);
-                apply_effects(&mut effects, node, &senders, &mut timers, &mut cancelled, epoch);
+                apply_effects(
+                    &mut effects,
+                    node,
+                    &senders,
+                    &mut timers,
+                    &mut cancelled,
+                    epoch,
+                );
             }
         }
     }
@@ -312,7 +335,10 @@ mod tests {
     fn ping_pong_over_real_threads() {
         let pongs = Arc::new(Mutex::new(0u64));
         let mut rt = Runtime::new(1);
-        rt.add_actor(Pinger { peer: NodeId(1), pongs: pongs.clone() });
+        rt.add_actor(Pinger {
+            peer: NodeId(1),
+            pongs: pongs.clone(),
+        });
         rt.add_actor(Ponger);
         let stats = rt.run_for(Duration::from_millis(100));
         let got = *pongs.lock();
@@ -338,7 +364,9 @@ mod tests {
     fn timers_fire_on_wall_clock() {
         let fired = Arc::new(Mutex::new(0u64));
         let mut rt = Runtime::new(2);
-        rt.add_actor(TimerCounter { fired: fired.clone() });
+        rt.add_actor(TimerCounter {
+            fired: fired.clone(),
+        });
         rt.run_for(Duration::from_millis(120));
         let got = *fired.lock();
         // ~24 expected at 5ms period over 120ms; allow generous slack for
@@ -364,7 +392,9 @@ mod tests {
     fn cancelled_timers_do_not_fire() {
         let fired = Arc::new(Mutex::new(0u64));
         let mut rt = Runtime::new(3);
-        rt.add_actor(Canceller { fired: fired.clone() });
+        rt.add_actor(Canceller {
+            fired: fired.clone(),
+        });
         rt.run_for(Duration::from_millis(50));
         assert_eq!(*fired.lock(), 0);
     }

@@ -85,7 +85,13 @@ impl<'a, M> Context<'a, M> {
         effects: &'a mut Vec<Effect<M>>,
         timer_seq: &'a mut u64,
     ) -> Self {
-        Context { now, node, rng, effects, timer_seq }
+        Context {
+            now,
+            node,
+            rng,
+            effects,
+            timer_seq,
+        }
     }
 
     /// Current simulated time as observed by this handler.
@@ -151,8 +157,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut effects = Vec::new();
         let mut seq = 0;
-        let mut ctx =
-            Context::new(SimTime::from_millis(5), NodeId(1), &mut rng, &mut effects, &mut seq);
+        let mut ctx = Context::new(
+            SimTime::from_millis(5),
+            NodeId(1),
+            &mut rng,
+            &mut effects,
+            &mut seq,
+        );
         assert_eq!(ctx.now(), SimTime::from_millis(5));
         assert_eq!(ctx.node(), NodeId(1));
         ctx.send(NodeId(2), Ping(7));

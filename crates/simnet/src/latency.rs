@@ -47,7 +47,11 @@ impl LatencyModel {
 
     /// A truncated-normal model with `floor = mean / 2`.
     pub fn normal(mean: SimDuration, std_dev: SimDuration) -> Self {
-        LatencyModel::Normal { mean, std_dev, floor: mean / 2 }
+        LatencyModel::Normal {
+            mean,
+            std_dev,
+            floor: mean / 2,
+        }
     }
 
     /// Typical LAN one-way delay: ~200 µs mean with mild jitter.
@@ -64,7 +68,11 @@ impl LatencyModel {
 
     /// A WAN link with the given one-way mean delay and 5% jitter.
     pub fn wan(mean: SimDuration) -> Self {
-        LatencyModel::Normal { mean, std_dev: mean / 20, floor: mean / 2 }
+        LatencyModel::Normal {
+            mean,
+            std_dev: mean / 20,
+            floor: mean / 2,
+        }
     }
 
     /// Sample a delay from the model.
@@ -78,7 +86,11 @@ impl LatencyModel {
                     SimDuration::from_nanos(rng.gen_range(min.as_nanos()..=max.as_nanos()))
                 }
             }
-            LatencyModel::Normal { mean, std_dev, floor } => {
+            LatencyModel::Normal {
+                mean,
+                std_dev,
+                floor,
+            } => {
                 // Box-Muller transform; avoids a dependency on rand_distr.
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen::<f64>();
@@ -164,7 +176,10 @@ mod tests {
         let total: u64 = (0..n).map(|_| m.sample(&mut r).as_nanos()).sum();
         let mean = total as f64 / n as f64;
         let expect = SimDuration::from_millis(10).as_nanos() as f64;
-        assert!((mean - expect).abs() / expect < 0.01, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.01,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

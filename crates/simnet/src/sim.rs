@@ -50,8 +50,16 @@ pub enum Control {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, kind: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        kind: u64,
+    },
     Control(Control),
 }
 
@@ -187,12 +195,16 @@ impl<M: Message> Simulation<M> {
     ///
     /// Panics if called while that actor is being invoked.
     pub fn actor(&self, node: NodeId) -> &dyn Actor<M> {
-        self.actors[node.index()].as_deref().expect("actor is currently executing")
+        self.actors[node.index()]
+            .as_deref()
+            .expect("actor is currently executing")
     }
 
     /// Mutable access to an actor.
     pub fn actor_mut(&mut self, node: NodeId) -> &mut (dyn Actor<M> + 'static) {
-        self.actors[node.index()].as_deref_mut().expect("actor is currently executing")
+        self.actors[node.index()]
+            .as_deref_mut()
+            .expect("actor is currently executing")
     }
 
     /// Schedule a control operation at an absolute simulated time.
@@ -235,7 +247,11 @@ impl<M: Message> Simulation<M> {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn apply_control(&mut self, c: Control) {
@@ -268,7 +284,9 @@ impl<M: Message> Simulation<M> {
         self.started = true;
         for i in 0..self.actors.len() {
             let node = NodeId::from(i);
-            self.invoke(node, self.time, SimDuration::ZERO, |actor, ctx| actor.on_start(ctx));
+            self.invoke(node, self.time, SimDuration::ZERO, |actor, ctx| {
+                actor.on_start(ctx)
+            });
         }
     }
 
@@ -326,7 +344,9 @@ impl<M: Message> Simulation<M> {
                 self.stats.ensure(node.index());
                 self.stats.nodes[node.index()].timers_fired += 1;
                 let pre = self.cost.timer_cost;
-                self.invoke(node, self.time, pre, |actor, ctx| actor.on_timer(id, kind, ctx));
+                self.invoke(node, self.time, pre, |actor, ctx| {
+                    actor.on_timer(id, kind, ctx)
+                });
             }
             EventKind::Deliver { from, to, msg } => {
                 let i = to.index();
@@ -363,7 +383,9 @@ impl<M: Message> Simulation<M> {
                     });
                 }
                 let pre = self.cost.recv_cost(bytes);
-                self.invoke(to, self.time, pre, |actor, ctx| actor.on_message(from, msg, ctx));
+                self.invoke(to, self.time, pre, |actor, ctx| {
+                    actor.on_message(from, msg, ctx)
+                });
             }
         }
     }
@@ -414,7 +436,14 @@ impl<M: Message> Simulation<M> {
                         continue;
                     }
                     let latency = self.topology.link(node, to).sample(&mut self.net_rng);
-                    self.push_event(cursor + latency, EventKind::Deliver { from: node, to, msg });
+                    self.push_event(
+                        cursor + latency,
+                        EventKind::Deliver {
+                            from: node,
+                            to,
+                            msg,
+                        },
+                    );
                 }
                 Effect::SetTimer { id, delay, kind } => {
                     self.push_event(handler_time + delay, EventKind::Timer { node, id, kind });
@@ -567,7 +596,12 @@ mod tests {
         assert_eq!(pinger_pongs(&sim), 0);
         // Re-inject after recovery.
         sim.run_until(SimTime::from_millis(20));
-        sim.inject(NodeId(0), NodeId(1), TestMsg::Ping(99), SimDuration::from_micros(1));
+        sim.inject(
+            NodeId(0),
+            NodeId(1),
+            TestMsg::Ping(99),
+            SimDuration::from_micros(1),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(pinger_pongs(&sim), 1);
     }
@@ -590,7 +624,12 @@ mod tests {
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(sim.stats().nodes[1].msgs_received, 0);
         sim.heal();
-        sim.inject(NodeId(0), NodeId(1), TestMsg::Ping(1), SimDuration::from_micros(1));
+        sim.inject(
+            NodeId(0),
+            NodeId(1),
+            TestMsg::Ping(1),
+            SimDuration::from_micros(1),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(pinger_pongs(&sim), 1);
     }
@@ -653,7 +692,11 @@ mod tests {
         let mut sim: Simulation<TestMsg> = Simulation::new(topo, CpuCostModel::free(), 1);
         sim.add_actor(Box::new(TimerActor { fired: vec![] }));
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.stats().nodes[0].timers_fired, 2, "cancelled timer must not fire");
+        assert_eq!(
+            sim.stats().nodes[0].timers_fired,
+            2,
+            "cancelled timer must not fire"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub struct NetStats {
 impl NetStats {
     /// Create stats for `n` nodes.
     pub fn new(n: usize) -> Self {
-        NetStats { nodes: vec![NodeStats::default(); n], ..Default::default() }
+        NetStats {
+            nodes: vec![NodeStats::default(); n],
+            ..Default::default()
+        }
     }
 
     /// Grow to accommodate node `i`.
@@ -87,7 +90,10 @@ mod tests {
 
     #[test]
     fn utilization_fraction() {
-        let s = NodeStats { busy_time: SimDuration::from_millis(500), ..Default::default() };
+        let s = NodeStats {
+            busy_time: SimDuration::from_millis(500),
+            ..Default::default()
+        };
         let u = s.utilization(SimTime::from_secs(1));
         assert!((u - 0.5).abs() < 1e-12);
     }

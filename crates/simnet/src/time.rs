@@ -255,7 +255,10 @@ mod tests {
         let a = SimDuration::from_micros(1);
         let b = SimDuration::from_micros(2);
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
-        assert_eq!(SimTime::ZERO.saturating_sub(SimTime::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(1)),
+            SimDuration::ZERO
+        );
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
     }
 

@@ -35,13 +35,20 @@ impl Topology {
         region_names: Vec<String>,
     ) -> Self {
         let r = matrix.len();
-        assert!(matrix.iter().all(|row| row.len() == r), "latency matrix must be square");
+        assert!(
+            matrix.iter().all(|row| row.len() == r),
+            "latency matrix must be square"
+        );
         assert_eq!(region_names.len(), r, "one name per region");
         assert!(
             region_of.iter().all(|&reg| reg < r),
             "node region index out of bounds"
         );
-        Topology { region_of, matrix, region_names }
+        Topology {
+            region_of,
+            matrix,
+            region_names,
+        }
     }
 
     /// A single-region LAN of `n` nodes with the default LAN latency.
@@ -174,7 +181,10 @@ mod tests {
         let t = Topology::wan_virginia_california_oregon(15);
         let intra = t.link(NodeId(0), NodeId(1)).mean();
         let cross = t.link(NodeId(0), NodeId(5)).mean();
-        assert!(cross > intra * 10, "cross {cross} should dwarf intra {intra}");
+        assert!(
+            cross > intra * 10,
+            "cross {cross} should dwarf intra {intra}"
+        );
     }
 
     #[test]

@@ -56,17 +56,52 @@ impl Trace {
 
     /// Count of delivered messages matching a label.
     pub fn count_label(&self, label: &str) -> usize {
-        self.entries.iter().filter(|e| !e.dropped && e.label == label).count()
+        self.entries
+            .iter()
+            .filter(|e| !e.dropped && e.label == label)
+            .count()
     }
 
     /// Count of delivered messages that crossed a region boundary.
     pub fn cross_region_count(&self) -> usize {
-        self.entries.iter().filter(|e| !e.dropped && e.cross_region).count()
+        self.entries
+            .iter()
+            .filter(|e| !e.dropped && e.cross_region)
+            .count()
     }
 
     /// Clear all entries while keeping capacity.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Order-sensitive FNV-1a fingerprint over every entry (time, ends,
+    /// label, size, flags). Two runs with identical message schedules
+    /// produce identical fingerprints — the compact witness used by
+    /// determinism regression tests.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, b: u64) -> u64 {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for e in &self.entries {
+            h = eat(h, e.at.as_nanos());
+            h = eat(h, e.from.0 as u64);
+            h = eat(h, e.to.0 as u64);
+            h = eat(h, e.bytes as u64);
+            h = eat(h, ((e.cross_region as u64) << 1) | e.dropped as u64);
+            for b in e.label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
     }
 }
 
@@ -106,5 +141,22 @@ mod tests {
         t.push(entry("x", false, false));
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        let mut a = Trace::default();
+        a.push(entry("p2a", false, false));
+        a.push(entry("p2b", false, false));
+        let mut b = Trace::default();
+        b.push(entry("p2a", false, false));
+        b.push(entry("p2b", false, false));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = Trace::default();
+        c.push(entry("p2b", false, false));
+        c.push(entry("p2a", false, false));
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order must matter");
+        assert_ne!(Trace::default().fingerprint(), a.fingerprint());
     }
 }

@@ -45,7 +45,10 @@ fn main() {
         },
     );
 
-    assert!(result.violations.is_empty(), "safety must hold through every fault");
+    assert!(
+        result.violations.is_empty(),
+        "safety must hold through every fault"
+    );
 
     println!("PigPaxos 25 nodes / 3 relay groups, 80 clients\n");
     println!("{:>7} {:>12}   event", "time(s)", "tput(req/s)");
@@ -59,5 +62,9 @@ fn main() {
         };
         println!("{t:>7.0} {tput:>12.0}   {event}");
     }
-    println!("\ndecided slots: {}   safety violations: {}", result.decided, result.violations.len());
+    println!(
+        "\ndecided slots: {}   safety violations: {}",
+        result.decided,
+        result.violations.len()
+    );
 }

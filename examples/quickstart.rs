@@ -28,7 +28,10 @@ fn main() {
     );
 
     // Safety is machine-checked on every run.
-    assert!(result.violations.is_empty(), "no two nodes may disagree on a slot");
+    assert!(
+        result.violations.is_empty(),
+        "no two nodes may disagree on a slot"
+    );
 
     println!("PigPaxos, 9 nodes, 3 relay groups, 16 clients");
     println!("  throughput      {:>8.0} req/s", result.throughput);

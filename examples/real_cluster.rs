@@ -36,7 +36,9 @@ fn main() {
         ));
     }
 
-    println!("running {n} PigPaxos replicas + {n_clients} clients on real threads for {wall_time:?}…");
+    println!(
+        "running {n} PigPaxos replicas + {n_clients} clients on real threads for {wall_time:?}…"
+    );
     let stats = rt.run_for(wall_time);
 
     cluster.safety.assert_safe();

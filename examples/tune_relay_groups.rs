@@ -41,8 +41,7 @@ fn main() {
             TargetPolicy::Fixed(NodeId(0)),
         );
         let low_load_latency = pts[0].result.mean_latency_ms;
-        let max_tput =
-            pts.iter().map(|p| p.result.throughput).fold(0.0, f64::max);
+        let max_tput = pts.iter().map(|p| p.result.throughput).fold(0.0, f64::max);
         println!(
             "{r:>8} {max_tput:>16.0} {low_load_latency:>18.2} {:>12.1} {:>12.2}",
             analytical::leader_load(r),

@@ -33,7 +33,11 @@ fn main() {
         spec.topology.region_name(0)
     );
 
-    let paxos = run(&spec, paxos_builder(PaxosConfig::wan()), TargetPolicy::Fixed(NodeId(0)));
+    let paxos = run(
+        &spec,
+        paxos_builder(PaxosConfig::wan()),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
 
     // One relay group per region (leader excluded from its own group).
     let groups: Vec<Vec<NodeId>> = (0..spec.topology.num_regions())

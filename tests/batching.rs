@@ -1,0 +1,304 @@
+//! Leader-side command batching: safety and amortization, end to end.
+//!
+//! With `max_batch > 1` an accept round carries many commands, so these
+//! tests pin down what batching must NOT change (per-client FIFO order,
+//! read-your-writes, agreement) and what it MUST change (leader message
+//! load per committed command).
+
+use paxi::harness::{run, RunSpec};
+use paxi::{
+    BatchConfig, ClientRecorder, ClientRequest, ClosedLoopClient, ClusterConfig, Command, Envelope,
+    Operation, ProtoMessage, RequestId, TargetPolicy, Value, Workload,
+};
+use paxos::{paxos_builder, PaxosConfig};
+use pigpaxos::{pig_builder, PigConfig};
+use simnet::{
+    Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+fn batched(max_batch: usize) -> BatchConfig {
+    BatchConfig::new(max_batch, SimDuration::from_micros(200))
+}
+
+fn paxos_batched(max_batch: usize) -> PaxosConfig {
+    let mut cfg = PaxosConfig::lan();
+    cfg.batch = batched(max_batch);
+    cfg
+}
+
+fn pig_batched(groups: usize, max_batch: usize) -> PigConfig {
+    let mut cfg = PigConfig::lan(groups);
+    cfg.paxos.batch = batched(max_batch);
+    cfg
+}
+
+fn leader() -> TargetPolicy {
+    TargetPolicy::Fixed(NodeId(0))
+}
+
+/// Hand-rolled cluster run that keeps the `ClusterConfig` (and thus the
+/// safety monitor's decided log) accessible after the run.
+fn run_cluster<P, B>(n: usize, clients: usize, build: B, until: SimTime) -> ClusterConfig
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+{
+    let mut topo = Topology::lan(n);
+    topo.add_nodes(clients, 0);
+    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), 11);
+    let cluster = ClusterConfig::new(n);
+    for i in 0..n {
+        sim.add_actor(build(NodeId::from(i), &cluster));
+    }
+    let recorder = ClientRecorder::new();
+    for _ in 0..clients {
+        sim.add_actor(Box::new(ClosedLoopClient::<P>::new(
+            leader(),
+            Workload::paper_default(),
+            recorder.clone(),
+            SimDuration::from_millis(100),
+        )));
+    }
+    sim.run_until(until);
+    assert!(
+        recorder.len() > 100,
+        "cluster must make progress, got {}",
+        recorder.len()
+    );
+    cluster
+}
+
+/// In slot order, every client's sequence numbers must be strictly
+/// increasing: a closed-loop client only issues seq n+1 after seq n
+/// completed, so any batching-induced reorder or duplicate would show
+/// up here.
+fn assert_per_client_fifo(cluster: &ClusterConfig) {
+    cluster.safety.assert_safe();
+    let mut last_seq: HashMap<NodeId, u64> = HashMap::new();
+    let mut checked = 0u64;
+    for ((space, slot), id) in cluster.safety.decisions() {
+        assert_eq!(space, 0, "single log space for (Pig)Paxos");
+        if id.client == NodeId(u32::MAX) {
+            continue; // noop hole filler
+        }
+        if let Some(&prev) = last_seq.get(&id.client) {
+            assert!(
+                id.seq > prev,
+                "slot {slot}: client {} seq {} after seq {prev} — decided log \
+                 violates per-client issue order",
+                id.client,
+                id.seq
+            );
+        }
+        last_seq.insert(id.client, id.seq);
+        checked += 1;
+    }
+    assert!(
+        checked > 100,
+        "expected a substantive decided log, saw {checked} commands"
+    );
+}
+
+#[test]
+fn paxos_batched_log_respects_client_issue_order() {
+    let cluster = run_cluster(
+        5,
+        16,
+        paxos_builder(paxos_batched(8)),
+        SimTime::from_millis(1200),
+    );
+    assert_per_client_fifo(&cluster);
+}
+
+#[test]
+fn pigpaxos_batched_log_respects_client_issue_order() {
+    let cluster = run_cluster(
+        5,
+        16,
+        pig_builder(pig_batched(2, 8)),
+        SimTime::from_millis(1200),
+    );
+    assert_per_client_fifo(&cluster);
+}
+
+/// Sequential put-then-get client: every get must observe the
+/// immediately preceding put even when both ride through the batcher.
+struct RywClient<P> {
+    leader: NodeId,
+    rounds: u64,
+    seq: u64,
+    current_round: u64,
+    expecting_get: bool,
+    failures: Rc<RefCell<Vec<String>>>,
+    completed: Rc<RefCell<u64>>,
+    _proto: std::marker::PhantomData<P>,
+}
+
+impl<P: ProtoMessage> RywClient<P> {
+    fn value_for_round(round: u64) -> Value {
+        Value::from(round.to_be_bytes().as_slice())
+    }
+
+    fn issue(&mut self, op: Operation, ctx: &mut Context<Envelope<P>>) {
+        self.seq += 1;
+        let id = RequestId {
+            client: ctx.node(),
+            seq: self.seq,
+        };
+        ctx.send(
+            self.leader,
+            Envelope::Request(ClientRequest {
+                command: Command { id, op },
+            }),
+        );
+    }
+
+    fn next_round(&mut self, ctx: &mut Context<Envelope<P>>) {
+        if self.current_round >= self.rounds {
+            return;
+        }
+        self.current_round += 1;
+        self.expecting_get = false;
+        self.issue(
+            Operation::Put(7, Self::value_for_round(self.current_round)),
+            ctx,
+        );
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for RywClient<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        self.next_round(ctx);
+    }
+
+    fn on_message(&mut self, _f: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
+        let Envelope::Reply(reply) = msg else { return };
+        if !reply.ok || reply.id.seq != self.seq {
+            return;
+        }
+        if self.expecting_get {
+            let expected = Self::value_for_round(self.current_round);
+            if reply.value.as_ref() != Some(&expected) {
+                self.failures.borrow_mut().push(format!(
+                    "round {}: get returned {:?}, expected {:?}",
+                    self.current_round, reply.value, expected
+                ));
+            }
+            *self.completed.borrow_mut() += 1;
+            self.next_round(ctx);
+        } else {
+            self.expecting_get = true;
+            self.issue(Operation::Get(7), ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<Envelope<P>>) {}
+}
+
+/// A lone sequential client never fills a batch, so every one of its
+/// commands rides the `max_delay` timer flush — this doubles as the
+/// partial-batch-flush liveness test.
+fn check_read_your_writes<P, B>(n: usize, build: B)
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+{
+    let mut topo = Topology::lan(n);
+    topo.add_nodes(1, 0);
+    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), 99);
+    let cluster = ClusterConfig::new(n);
+    for i in 0..n {
+        sim.add_actor(build(NodeId::from(i), &cluster));
+    }
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    let completed = Rc::new(RefCell::new(0u64));
+    sim.add_actor(Box::new(RywClient::<P> {
+        leader: NodeId(0),
+        rounds: 50,
+        seq: 0,
+        current_round: 0,
+        expecting_get: false,
+        failures: failures.clone(),
+        completed: completed.clone(),
+        _proto: std::marker::PhantomData,
+    }));
+    sim.run_until(SimTime::from_secs(5));
+    cluster.safety.assert_safe();
+    assert!(failures.borrow().is_empty(), "{:?}", failures.borrow());
+    assert_eq!(
+        *completed.borrow(),
+        50,
+        "all rounds must complete through the batcher"
+    );
+}
+
+#[test]
+fn paxos_batched_read_your_writes() {
+    check_read_your_writes(5, paxos_builder(paxos_batched(16)));
+}
+
+#[test]
+fn pigpaxos_batched_read_your_writes() {
+    check_read_your_writes(5, pig_builder(pig_batched(2, 16)));
+}
+
+/// The point of the whole subsystem: at `max_batch = 16`, leader-sent
+/// protocol messages per committed command must drop by at least 4x
+/// vs. unbatched (the repo's acceptance gate), for both the direct and
+/// the relay-tree protocol.
+#[test]
+fn batching_cuts_leader_protocol_messages_4x() {
+    let spec = RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(1200),
+        capture_trace: true,
+        ..RunSpec::lan(5, 32)
+    };
+
+    for (name, base, b16) in [
+        (
+            "paxos",
+            run(&spec, paxos_builder(PaxosConfig::lan()), leader()),
+            run(&spec, paxos_builder(paxos_batched(16)), leader()),
+        ),
+        (
+            "pigpaxos",
+            run(&spec, pig_builder(PigConfig::lan(2)), leader()),
+            run(&spec, pig_builder(pig_batched(2, 16)), leader()),
+        ),
+    ] {
+        assert!(
+            base.violations.is_empty(),
+            "{name} unbatched: {:?}",
+            base.violations
+        );
+        assert!(
+            b16.violations.is_empty(),
+            "{name} batched: {:?}",
+            b16.violations
+        );
+        let unbatched = base.leader_proto_sent_per_op.expect("trace captured");
+        let batched16 = b16.leader_proto_sent_per_op.expect("trace captured");
+        assert!(
+            unbatched >= batched16 * 4.0,
+            "{name}: leader-sent protocol msgs/cmd must drop >=4x: {unbatched:.3} vs {batched16:.3}"
+        );
+        // Total leader load (requests + replies included) must drop too.
+        assert!(
+            b16.leader_msgs_per_op < base.leader_msgs_per_op,
+            "{name}: total leader msgs/op must drop: {:.2} vs {:.2}",
+            base.leader_msgs_per_op,
+            b16.leader_msgs_per_op
+        );
+        // Batching must not wreck service: same order of throughput.
+        assert!(
+            b16.throughput > base.throughput * 0.5,
+            "{name}: batched throughput collapsed: {:.0} vs {:.0}",
+            b16.throughput,
+            base.throughput
+        );
+    }
+}

@@ -17,8 +17,16 @@ fn spec(seed: u64) -> RunSpec {
 
 #[test]
 fn same_seed_same_results_pigpaxos() {
-    let a = run(&spec(42), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
-    let b = run(&spec(42), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+    let a = run(
+        &spec(42),
+        pig_builder(PigConfig::lan(3)),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
+    let b = run(
+        &spec(42),
+        pig_builder(PigConfig::lan(3)),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
     assert_eq!(a.samples, b.samples);
     assert_eq!(a.decided, b.decided);
     assert_eq!(a.node_msgs, b.node_msgs);
@@ -28,16 +36,74 @@ fn same_seed_same_results_pigpaxos() {
 
 #[test]
 fn same_seed_same_results_paxos() {
-    let a = run(&spec(7), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
-    let b = run(&spec(7), paxos_builder(PaxosConfig::lan()), TargetPolicy::Fixed(NodeId(0)));
+    let a = run(
+        &spec(7),
+        paxos_builder(PaxosConfig::lan()),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
+    let b = run(
+        &spec(7),
+        paxos_builder(PaxosConfig::lan()),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
     assert_eq!(a.samples, b.samples);
     assert_eq!(a.node_msgs, b.node_msgs);
 }
 
 #[test]
+fn same_seed_same_trace_fingerprint_with_batching() {
+    // Regression for the batching subsystem: the batch flush timer and
+    // the P2aBatch/P2bBatch paths must stay on the deterministic
+    // schedule. Two identically-seeded runs must produce bit-identical
+    // message traces, hashed by the simulator.
+    let run_once = |protocol: u8| {
+        let mut s = spec(42);
+        s.capture_trace = true;
+        let batch = paxi::BatchConfig::new(8, SimDuration::from_micros(200));
+        match protocol {
+            0 => {
+                let mut cfg = PaxosConfig::lan();
+                cfg.batch = batch;
+                run(&s, paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)))
+            }
+            _ => {
+                let mut cfg = PigConfig::lan(3);
+                cfg.paxos.batch = batch;
+                run(&s, pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)))
+            }
+        }
+    };
+    for protocol in [0, 1] {
+        let a = run_once(protocol);
+        let b = run_once(protocol);
+        let fa = a.trace_fingerprint.expect("trace captured");
+        let fb = b.trace_fingerprint.expect("trace captured");
+        assert_eq!(
+            fa, fb,
+            "batched runs must be trace-identical under one seed"
+        );
+        assert_ne!(
+            fa, 0xcbf2_9ce4_8422_2325,
+            "fingerprint of a non-empty trace"
+        );
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.node_msgs, b.node_msgs);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
-    let a = run(&spec(1), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
-    let b = run(&spec(2), pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+    let a = run(
+        &spec(1),
+        pig_builder(PigConfig::lan(3)),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
+    let b = run(
+        &spec(2),
+        pig_builder(PigConfig::lan(3)),
+        TargetPolicy::Fixed(NodeId(0)),
+    );
     // Equal aggregate metrics across different seeds would suggest the
     // seed is ignored somewhere.
     assert_ne!(

@@ -37,7 +37,11 @@ fn pigpaxos_survives_minority_of_crashes() {
         },
     );
     assert!(r.violations.is_empty(), "{:?}", r.violations);
-    assert!(r.throughput > 50.0, "majority alive ⇒ progress: {}", r.throughput);
+    assert!(
+        r.throughput > 50.0,
+        "majority alive ⇒ progress: {}",
+        r.throughput
+    );
 }
 
 #[test]
@@ -85,19 +89,33 @@ fn safety_holds_under_random_message_loss() {
     for (name, r) in [
         (
             "paxos",
-            run_spec(&spec(5, 4), paxos_builder(PaxosConfig::lan()), leader(), |sim, _| {
-                sim.set_drop_rate(0.05);
-            }),
+            run_spec(
+                &spec(5, 4),
+                paxos_builder(PaxosConfig::lan()),
+                leader(),
+                |sim, _| {
+                    sim.set_drop_rate(0.05);
+                },
+            ),
         ),
         (
             "pigpaxos",
-            run_spec(&spec(5, 4), pig_builder(PigConfig::lan(2)), leader(), |sim, _| {
-                sim.set_drop_rate(0.05);
-            }),
+            run_spec(
+                &spec(5, 4),
+                pig_builder(PigConfig::lan(2)),
+                leader(),
+                |sim, _| {
+                    sim.set_drop_rate(0.05);
+                },
+            ),
         ),
     ] {
         assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
-        assert!(r.throughput > 50.0, "{name} must retry through 5% loss: {}", r.throughput);
+        assert!(
+            r.throughput > 50.0,
+            "{name} must retry through 5% loss: {}",
+            r.throughput
+        );
     }
 }
 
@@ -109,7 +127,10 @@ fn partition_heals_and_cluster_catches_up() {
         // Cut off two followers for a second, then heal.
         let minority = [NodeId(3), NodeId(4)];
         let rest = [NodeId(0), NodeId(1), NodeId(2)];
-        sim.schedule_control(SimTime::from_millis(500), Control::BlockLink(NodeId(3), NodeId(0)));
+        sim.schedule_control(
+            SimTime::from_millis(500),
+            Control::BlockLink(NodeId(3), NodeId(0)),
+        );
         let _ = (minority, rest);
         for a in [3u32, 4] {
             for b in 0..3u32 {
@@ -126,7 +147,11 @@ fn partition_heals_and_cluster_catches_up() {
         sim.schedule_control(SimTime::from_millis(1500), Control::HealAllLinks);
     });
     assert!(r.violations.is_empty(), "{:?}", r.violations);
-    assert!(r.throughput > 100.0, "leader-side majority keeps running: {}", r.throughput);
+    assert!(
+        r.throughput > 100.0,
+        "leader-side majority keeps running: {}",
+        r.throughput
+    );
 }
 
 #[test]
@@ -157,7 +182,10 @@ fn paxos_and_pigpaxos_handle_leader_crash_with_reelection() {
         (
             "paxos",
             run_spec(
-                &RunSpec { measure: SimDuration::from_secs(3), ..spec(5, 3) },
+                &RunSpec {
+                    measure: SimDuration::from_secs(3),
+                    ..spec(5, 3)
+                },
                 paxos_builder(PaxosConfig::lan()),
                 TargetPolicy::Random((0..5u32).map(NodeId).collect()),
                 |sim: &mut simnet::Simulation<_>, _: &paxi::ClusterConfig| {
@@ -168,7 +196,10 @@ fn paxos_and_pigpaxos_handle_leader_crash_with_reelection() {
         (
             "pigpaxos",
             run_spec(
-                &RunSpec { measure: SimDuration::from_secs(3), ..spec(5, 3) },
+                &RunSpec {
+                    measure: SimDuration::from_secs(3),
+                    ..spec(5, 3)
+                },
                 pig_builder(PigConfig::lan(2)),
                 TargetPolicy::Random((0..5u32).map(NodeId).collect()),
                 |sim: &mut simnet::Simulation<_>, _: &paxi::ClusterConfig| {
@@ -178,6 +209,10 @@ fn paxos_and_pigpaxos_handle_leader_crash_with_reelection() {
         ),
     ] {
         assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
-        assert!(r.throughput > 30.0, "{name}: new leader must serve: {}", r.throughput);
+        assert!(
+            r.throughput > 30.0,
+            "{name}: new leader must serve: {}",
+            r.throughput
+        );
     }
 }

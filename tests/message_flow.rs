@@ -17,11 +17,7 @@ fn spec(n: usize, clients: usize) -> RunSpec {
 }
 
 /// Run with tracing and return `(ops, count_of_label)` pairs.
-fn traced_counts<P, B>(
-    s: &RunSpec,
-    build: B,
-    labels: &[&'static str],
-) -> (usize, Vec<usize>)
+fn traced_counts<P, B>(s: &RunSpec, build: B, labels: &[&'static str]) -> (usize, Vec<usize>)
 where
     P: paxi::ProtoMessage,
     B: Fn(NodeId, &paxi::ClusterConfig) -> Box<dyn simnet::Actor<paxi::Envelope<P>>>,
@@ -61,8 +57,11 @@ fn pigpaxos_leader_sends_exactly_r_relay_messages_per_round() {
     let n = 25;
     let r = 3;
     let s = spec(n, 4);
-    let (ops, counts) =
-        traced_counts(&s, pig_builder(PigConfig::lan(r)), &["to_relay", "p2a", "p2b"]);
+    let (ops, counts) = traced_counts(
+        &s,
+        pig_builder(PigConfig::lan(r)),
+        &["to_relay", "p2a", "p2b"],
+    );
     assert!(ops > 200, "need enough ops to average over, got {ops}");
     let to_relay_per_op = counts[0] as f64 / ops as f64;
     // One ToRelay per group per proposal (heartbeats add a small floor).

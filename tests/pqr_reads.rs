@@ -25,7 +25,10 @@ fn pqr_cluster_serves_reads_from_followers() {
     let spec = RunSpec {
         warmup: SimDuration::from_millis(300),
         measure: SimDuration::from_millis(900),
-        workload: Workload { read_ratio: 0.9, ..Workload::paper_default() },
+        workload: Workload {
+            read_ratio: 0.9,
+            ..Workload::paper_default()
+        },
         ..RunSpec::lan(9, 8)
     };
     // Clients pick random replicas; 90% of ops are reads answered by
@@ -44,7 +47,10 @@ fn pqr_offloads_the_leader_on_read_heavy_workloads() {
     let base = RunSpec {
         warmup: SimDuration::from_millis(300),
         measure: SimDuration::from_millis(900),
-        workload: Workload { read_ratio: 0.9, ..Workload::paper_default() },
+        workload: Workload {
+            read_ratio: 0.9,
+            ..Workload::paper_default()
+        },
         n_clients: 80,
         ..RunSpec::lan(25, 80)
     };
@@ -92,8 +98,16 @@ impl PqrChecker {
     }
     fn issue(&mut self, to: NodeId, op: Operation, ctx: &mut Context<Envelope<PigMsg>>) {
         self.seq += 1;
-        let id = RequestId { client: ctx.node(), seq: self.seq };
-        ctx.send(to, Envelope::Request(ClientRequest { command: Command { id, op } }));
+        let id = RequestId {
+            client: ctx.node(),
+            seq: self.seq,
+        };
+        ctx.send(
+            to,
+            Envelope::Request(ClientRequest {
+                command: Command { id, op },
+            }),
+        );
     }
 }
 

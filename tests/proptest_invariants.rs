@@ -9,7 +9,10 @@ use simnet::{NodeId, SimDuration};
 
 fn cmd(seq: u64) -> Command {
     Command {
-        id: RequestId { client: NodeId(1000), seq },
+        id: RequestId {
+            client: NodeId(1000),
+            seq,
+        },
         op: Operation::Put(seq % 16, Value::zeros(4)),
     }
 }
@@ -105,6 +108,102 @@ proptest! {
             prop_assert!(groups.groups()[i].contains(relay));
             prop_assert!(!peers.contains(relay));
             prop_assert_eq!(peers.len(), groups.groups()[i].len() - 1);
+        }
+    }
+
+    /// An explicit `GroupSpec` built from any permutation of the
+    /// followers, split at any cut points, is accepted and materializes
+    /// verbatim as a disjoint cover of the peers.
+    #[test]
+    fn relay_groups_explicit_partition_round_trips(
+        n_followers in 1usize..80,
+        cut_fracs in prop::collection::vec(1usize..100, 0..6),
+        seed in 0u64..1000
+    ) {
+        let followers: Vec<NodeId> = (1..=n_followers as u32).map(NodeId).collect();
+        // Deterministically shuffle and cut the follower list into a
+        // random partition.
+        let mut shuffled = followers.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut rng);
+        let mut cuts: Vec<usize> =
+            cut_fracs.iter().map(|f| f * n_followers / 100).filter(|&c| c > 0 && c < n_followers).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut explicit: Vec<Vec<NodeId>> = Vec::new();
+        let mut prev = 0;
+        for &c in cuts.iter().chain(std::iter::once(&n_followers)) {
+            if c > prev {
+                explicit.push(shuffled[prev..c].to_vec());
+            }
+            prev = c;
+        }
+        let spec = GroupSpec::Explicit(explicit.clone());
+        let groups = RelayGroups::build(&followers, &spec);
+        prop_assert_eq!(groups.groups(), &explicit[..], "explicit groups kept verbatim");
+        prop_assert_eq!(groups.num_followers(), n_followers);
+        // Disjoint cover: flattening gives each follower exactly once.
+        let mut all: Vec<NodeId> = groups.groups().iter().flatten().copied().collect();
+        all.sort();
+        prop_assert_eq!(&all, &followers);
+    }
+
+    /// Relay rotation is membership-preserving round after round: every
+    /// pick returns, per group, a (relay, peers) pair that is exactly
+    /// that group — nothing lost, nothing duplicated, relay never among
+    /// its peers. Holds for the rotating and the fixed (ablation) picker.
+    #[test]
+    fn relay_rotation_preserves_membership(
+        n_followers in 2usize..80,
+        r in 1usize..8,
+        seed in 0u64..200,
+        rounds in 1usize..20
+    ) {
+        prop_assume!(r <= n_followers);
+        let followers: Vec<NodeId> = (1..=n_followers as u32).map(NodeId).collect();
+        let groups = RelayGroups::build(&followers, &GroupSpec::Chunks(r));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _round in 0..rounds {
+            for (picks, picker) in [
+                (groups.pick_relays(&mut rng), "rotating"),
+                (groups.pick_fixed_relays(), "fixed"),
+            ] {
+                prop_assert_eq!(picks.len(), groups.num_groups());
+                for (i, (relay, peers)) in picks.iter().enumerate() {
+                    prop_assert!(!peers.contains(relay), "{picker}: relay among peers");
+                    let mut covered: Vec<NodeId> = peers.clone();
+                    covered.push(*relay);
+                    covered.sort();
+                    let mut expect = groups.groups()[i].clone();
+                    expect.sort();
+                    prop_assert_eq!(covered, expect, "{picker}: pick must equal its group");
+                }
+            }
+        }
+    }
+
+    /// Chains of reshuffles keep the disjoint cover and the group-size
+    /// profile intact, whatever the shape.
+    #[test]
+    fn relay_reshuffle_chain_preserves_cover(
+        n_followers in 2usize..60,
+        r in 1usize..8,
+        seed in 0u64..100,
+        times in 1usize..8
+    ) {
+        prop_assume!(r <= n_followers);
+        let followers: Vec<NodeId> = (1..=n_followers as u32).map(NodeId).collect();
+        let mut groups = RelayGroups::build(&followers, &GroupSpec::Chunks(r));
+        let sizes: Vec<usize> = groups.groups().iter().map(|g| g.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..times {
+            groups.reshuffle(&mut rng);
+            let now: Vec<usize> = groups.groups().iter().map(|g| g.len()).collect();
+            prop_assert_eq!(&now, &sizes, "sizes stable across the chain");
+            let mut all: Vec<NodeId> = groups.groups().iter().flatten().copied().collect();
+            all.sort();
+            prop_assert_eq!(&all, &followers, "cover stable across the chain");
         }
     }
 

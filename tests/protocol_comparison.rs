@@ -41,7 +41,12 @@ fn pigpaxos_beats_paxos_by_3x_at_25_nodes() {
 fn epaxos_saturates_below_paxos_at_25_nodes() {
     let base = spec(25, 0);
     let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
-    let ep = max_throughput(&base, SWEEP, epaxos_builder(EpaxosConfig::default()), random(25));
+    let ep = max_throughput(
+        &base,
+        SWEEP,
+        epaxos_builder(EpaxosConfig::default()),
+        random(25),
+    );
     assert!(
         ep < paxos,
         "paper Fig 8 ordering: EPaxos ({ep:.0}) below Paxos ({paxos:.0})"
@@ -73,7 +78,10 @@ fn fewer_relay_groups_higher_throughput() {
     let base = spec(25, 0);
     let r2 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(2)), leader());
     let r6 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(6)), leader());
-    assert!(r2 > r6 * 1.4, "r=2 ({r2:.0}) must clearly beat r=6 ({r6:.0})");
+    assert!(
+        r2 > r6 * 1.4,
+        "r=2 ({r2:.0}) must clearly beat r=6 ({r6:.0})"
+    );
 }
 
 #[test]
@@ -90,11 +98,29 @@ fn pigpaxos_benefits_extend_to_small_clusters() {
 
 #[test]
 fn paxos_throughput_decays_with_cluster_size_pigpaxos_does_not() {
-    let paxos9 = max_throughput(&spec(9, 0), SWEEP, paxos_builder(PaxosConfig::lan()), leader());
-    let paxos25 = max_throughput(&spec(25, 0), SWEEP, paxos_builder(PaxosConfig::lan()), leader());
+    let paxos9 = max_throughput(
+        &spec(9, 0),
+        SWEEP,
+        paxos_builder(PaxosConfig::lan()),
+        leader(),
+    );
+    let paxos25 = max_throughput(
+        &spec(25, 0),
+        SWEEP,
+        paxos_builder(PaxosConfig::lan()),
+        leader(),
+    );
     let pig9 = max_throughput(&spec(9, 0), SWEEP, pig_builder(PigConfig::lan(2)), leader());
-    let pig25 = max_throughput(&spec(25, 0), SWEEP, pig_builder(PigConfig::lan(2)), leader());
-    assert!(paxos9 > paxos25 * 1.8, "Paxos decays ~1/N: {paxos9:.0} vs {paxos25:.0}");
+    let pig25 = max_throughput(
+        &spec(25, 0),
+        SWEEP,
+        pig_builder(PigConfig::lan(2)),
+        leader(),
+    );
+    assert!(
+        paxos9 > paxos25 * 1.8,
+        "Paxos decays ~1/N: {paxos9:.0} vs {paxos25:.0}"
+    );
     assert!(
         pig25 > pig9 * 0.85,
         "PigPaxos stays nearly flat: {pig9:.0} vs {pig25:.0}"
@@ -104,7 +130,10 @@ fn paxos_throughput_decays_with_cluster_size_pigpaxos_does_not() {
 #[test]
 fn measured_message_loads_match_analytical_model() {
     // §6.1: the simulator's counters must agree with Eq. 1 and Eq. 3.
-    let s = RunSpec { n_clients: 10, ..spec(25, 10) };
+    let s = RunSpec {
+        n_clients: 10,
+        ..spec(25, 10)
+    };
     for r in [2usize, 4] {
         let res = run(&s, pig_builder(PigConfig::lan(r)), leader());
         let ml = analytical::leader_load(r);

@@ -35,8 +35,16 @@ impl<P: ProtoMessage> CheckingClient<P> {
 
     fn issue(&mut self, op: Operation, ctx: &mut Context<Envelope<P>>) {
         self.seq += 1;
-        let id = RequestId { client: ctx.node(), seq: self.seq };
-        ctx.send(self.leader, Envelope::Request(ClientRequest { command: Command { id, op } }));
+        let id = RequestId {
+            client: ctx.node(),
+            seq: self.seq,
+        };
+        ctx.send(
+            self.leader,
+            Envelope::Request(ClientRequest {
+                command: Command { id, op },
+            }),
+        );
     }
 
     fn next_round(&mut self, ctx: &mut Context<Envelope<P>>) {
@@ -45,7 +53,10 @@ impl<P: ProtoMessage> CheckingClient<P> {
         }
         self.current_round += 1;
         self.expecting_get = false;
-        self.issue(Operation::Put(7, Self::value_for_round(self.current_round)), ctx);
+        self.issue(
+            Operation::Put(7, Self::value_for_round(self.current_round)),
+            ctx,
+        );
     }
 }
 

@@ -1,0 +1,110 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Provides [`Bytes`]: a cheaply clonable, immutable, refcounted byte
+//! buffer — the only piece of the real crate this workspace uses.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer (refcounted).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        assert!(Bytes::new().is_empty());
+        assert!(Bytes::default().is_empty());
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(&[9; 64]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 64);
+    }
+}

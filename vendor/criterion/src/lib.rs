@@ -1,0 +1,205 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Benches compile and run with `cargo bench` (harness = false) and
+//! report mean wall-clock time per iteration, but there is no warmup
+//! model, statistical analysis, or HTML report — this is a smoke-and-
+//! sanity harness for environments without crates.io access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup between iterations. Accepted for
+/// API compatibility; this stub always runs setup per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    sample_size: u64,
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: u64) -> Self {
+        Bencher {
+            sample_size,
+            last_mean_ns: 0.0,
+        }
+    }
+
+    /// Time a routine over several iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), self.sample_size);
+    }
+
+    /// Time a routine with per-iteration setup excluded from the timing.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.record(total, self.sample_size);
+    }
+
+    fn record(&mut self, total: Duration, iters: u64) {
+        self.last_mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn print_result(name: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "us")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{name:<48} time: {value:>10.3} {unit}/iter");
+}
+
+/// Named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n as u64;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        print_result(&full, b.last_mean_ns);
+        self
+    }
+
+    /// Finish the group (restores the default sample size).
+    pub fn finish(&mut self) {
+        self.criterion.sample_size = Criterion::DEFAULT_SAMPLE_SIZE;
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    const DEFAULT_SAMPLE_SIZE: u64 = 20;
+
+    /// Parse CLI arguments (accepted and ignored in this stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        print_result(id, b.last_mean_ns);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: Criterion::DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// Group benchmark functions under one runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs >= Criterion::DEFAULT_SAMPLE_SIZE);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 5);
+    }
+}
