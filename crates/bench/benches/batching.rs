@@ -8,7 +8,7 @@ use paxi::harness::{run, RunSpec};
 use paxi::{BatchConfig, BatchPush, Batcher, Command, Operation, RequestId, TargetPolicy};
 use paxos::{paxos_builder, PaxosConfig};
 use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use simnet::{NodeId, SimDuration, SimTime};
 
 fn cmd(seq: u64) -> Command {
     Command {
@@ -26,7 +26,19 @@ fn bench_batcher(c: &mut Criterion) {
         let mut seq = 0u64;
         b.iter(|| {
             seq += 1;
-            match batcher.push(NodeId(7), cmd(seq)) {
+            match batcher.push(NodeId(7), cmd(seq), SimTime::from_nanos(seq * 1_000)) {
+                BatchPush::Flush(batch) => black_box(batch.len()),
+                _ => 0,
+            }
+        })
+    });
+
+    c.bench_function("batcher_push_flush_adaptive_32", |b| {
+        let mut batcher = Batcher::new(BatchConfig::adaptive(32, SimDuration::from_micros(200)));
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            match batcher.push(NodeId(7), cmd(seq), SimTime::from_nanos(seq * 1_000)) {
                 BatchPush::Flush(batch) => black_box(batch.len()),
                 _ => 0,
             }

@@ -1,20 +1,31 @@
-//! Leader-side command batching sweep: throughput and leader message
-//! amortization vs. `max_batch`, for direct Multi-Paxos and PigPaxos on
-//! a 5-node LAN cluster under heavy offered load.
+//! Batching pipeline sweep: throughput, latency, and per-hop leader
+//! message amortization for direct Multi-Paxos and PigPaxos on a 5-node
+//! LAN cluster.
 //!
-//! The headline column is **leader-sent protocol messages per committed
-//! command** (client replies excluded): with `max_batch = B` one accept
-//! round carries up to `B` commands, so the `N−1` (Paxos) or `r`
-//! (PigPaxos) accept messages amortize across the batch. At `B = 16`
-//! the reduction vs. `B = 1` must exceed 4× — the repo's acceptance
-//! gate for the batching subsystem, checked here and in
-//! `tests/batching.rs`.
+//! Three sections:
+//!
+//! 1. **Fixed sweep** (`max_batch` ∈ {1..32}, the PR-1 experiment):
+//!    leader-sent *protocol* messages per committed command must drop
+//!    ≥ 4× at `B = 16` vs. unbatched — the original acceptance gate.
+//! 2. **Batching v2 end-to-end** (pipelined clients): compares the PR-1
+//!    configuration (fixed `B = 16`, one reply envelope per command,
+//!    per-round relay uplinks) against the full pipeline — reply
+//!    coalescing + multi-round relay aggregate coalescing. Gate: total
+//!    leader-sent messages per command (protocol **and** replies) drop
+//!    ≥ 2×.
+//! 3. **Adaptive sizing**: at low load the EWMA sizer must keep p50
+//!    within 1.2× of unbatched; under saturation it must amortize like
+//!    a large fixed batch.
+//!
+//! `--json <path>` additionally writes the headline metrics as a flat
+//! JSON object — the artifact `perf_gate` checks against
+//! `BENCH_baseline.json` in CI.
 
-use paxi::harness::{run, RunSpec};
+use paxi::harness::{run, RunResult, RunSpec};
 use paxi::BatchConfig;
 use paxos::{paxos_builder, PaxosConfig};
 use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, leader_target, quick_mode};
+use pigpaxos_bench::{csv_mode, json, json_path, leader_target, quick_mode};
 use simnet::SimDuration;
 
 const BATCH_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32];
@@ -34,12 +45,39 @@ fn spec() -> RunSpec {
     spec
 }
 
+/// The v2 client population: same 32 outstanding requests, but
+/// multiplexed 8-deep over 4 connections so reply coalescing has
+/// per-destination waves to merge (one connection ≈ several user
+/// sessions).
+fn pipelined_spec() -> RunSpec {
+    let mut spec = spec();
+    spec.n_clients = 4;
+    spec.client_pipeline = 8;
+    spec
+}
+
 fn batch_cfg(max_batch: usize) -> BatchConfig {
     if max_batch <= 1 {
         BatchConfig::disabled()
     } else {
         BatchConfig::new(max_batch, SimDuration::from_micros(200))
     }
+}
+
+/// PigPaxos with the PR-1 behaviour: fixed batching only, no reply or
+/// relay-round coalescing.
+fn pig_v1(max_batch: usize) -> PigConfig {
+    let mut cfg = PigConfig::lan(2);
+    cfg.paxos.batch = batch_cfg(max_batch);
+    cfg.relay_coalesce_window = SimDuration::ZERO;
+    cfg
+}
+
+/// PigPaxos with the full batching-v2 pipeline.
+fn pig_v2(batch: BatchConfig) -> PigConfig {
+    let mut cfg = PigConfig::lan(2);
+    cfg.paxos.batch = batch.with_reply_coalescing(SimDuration::ZERO);
+    cfg
 }
 
 struct Row {
@@ -51,7 +89,7 @@ struct Row {
     leader_proto_sent_per_op: f64,
 }
 
-fn sweep(name: &str, mut run_one: impl FnMut(usize) -> Row) {
+fn sweep(name: &str, out: &mut Vec<(String, f64)>, mut run_one: impl FnMut(usize) -> Row) {
     let rows: Vec<Row> = BATCH_SIZES.iter().map(|&b| run_one(b)).collect();
     if csv_mode() {
         for r in &rows {
@@ -89,6 +127,12 @@ fn sweep(name: &str, mut run_one: impl FnMut(usize) -> Row) {
         .find(|r| r.max_batch == 16)
         .expect("16 in sweep");
     let reduction = base.leader_proto_sent_per_op / b16.leader_proto_sent_per_op;
+    out.push((
+        format!("{name}_b16_proto_sent_per_op"),
+        b16.leader_proto_sent_per_op,
+    ));
+    out.push((format!("{name}_b16_tput"), b16.throughput));
+    out.push((format!("{name}_b16_proto_reduction"), reduction));
     if csv_mode() {
         println!("{name}_b16_proto_sent_reduction,,{reduction:.2},,,,");
     } else {
@@ -104,14 +148,38 @@ fn sweep(name: &str, mut run_one: impl FnMut(usize) -> Row) {
     );
 }
 
+fn hop_report(name: &str, r: &RunResult) {
+    if csv_mode() {
+        println!(
+            "{name}_hops,,{:.3},{:.3},{:.3},{:.3},",
+            r.leader_proto_sent_per_op.unwrap_or(0.0),
+            r.leader_proto_recv_per_op.unwrap_or(0.0),
+            r.leader_replies_per_op.unwrap_or(0.0),
+            r.leader_sent_per_op.unwrap_or(0.0),
+        );
+    } else {
+        println!(
+            "    {name:<22} proto sent/cmd {:>6.3}  uplink recv/cmd {:>6.3}  replies/cmd {:>6.3}  total sent/cmd {:>6.3}  tput {:>7.0}  p50 {:>5.2}ms",
+            r.leader_proto_sent_per_op.unwrap_or(0.0),
+            r.leader_proto_recv_per_op.unwrap_or(0.0),
+            r.leader_replies_per_op.unwrap_or(0.0),
+            r.leader_sent_per_op.unwrap_or(0.0),
+            r.throughput,
+            r.p50_latency_ms,
+        );
+    }
+}
+
 fn main() {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     if csv_mode() {
         println!("series,max_batch,throughput,mean_ms,p99_ms,leader_msgs_per_op,leader_proto_sent_per_op");
     } else {
-        println!("Leader-side command batching sweep (max_delay = 200us)");
+        println!("Batching pipeline sweep (max_delay = 200us)");
     }
 
-    sweep("paxos", |b| {
+    // ── 1. Fixed-size sweeps (the PR-1 gate) ──────────────────────────
+    sweep("paxos", &mut metrics, |b| {
         let mut cfg = PaxosConfig::lan();
         cfg.batch = batch_cfg(b);
         let r = run(&spec(), paxos_builder(cfg), leader_target());
@@ -126,10 +194,8 @@ fn main() {
         }
     });
 
-    sweep("pigpaxos_r2", |b| {
-        let mut cfg = PigConfig::lan(2);
-        cfg.paxos.batch = batch_cfg(b);
-        let r = run(&spec(), pig_builder(cfg), leader_target());
+    sweep("pigpaxos_r2", &mut metrics, |b| {
+        let r = run(&spec(), pig_builder(pig_v1(b)), leader_target());
         assert!(
             r.violations.is_empty(),
             "pigpaxos B={b}: {:?}",
@@ -144,4 +210,107 @@ fn main() {
             leader_proto_sent_per_op: r.leader_proto_sent_per_op.expect("trace captured"),
         }
     });
+
+    // ── 2. Batching v2 end-to-end (reply + relay-round coalescing) ────
+    if !csv_mode() {
+        println!("\n── batching v2 @ B=16: 4 clients x pipeline 8, per-hop leader load ──");
+    }
+    let v1 = run(&pipelined_spec(), pig_builder(pig_v1(16)), leader_target());
+    assert!(v1.violations.is_empty(), "v1: {:?}", v1.violations);
+    hop_report("pig_v1_b16", &v1);
+    let v2 = run(
+        &pipelined_spec(),
+        pig_builder(pig_v2(batch_cfg(16))),
+        leader_target(),
+    );
+    assert!(v2.violations.is_empty(), "v2: {:?}", v2.violations);
+    hop_report("pig_v2_b16", &v2);
+
+    let v1_total = v1.leader_sent_per_op.expect("trace captured");
+    let v2_total = v2.leader_sent_per_op.expect("trace captured");
+    let total_reduction = v1_total / v2_total;
+    metrics.push(("v1_total_sent_per_op".into(), v1_total));
+    metrics.push(("v2_total_sent_per_op".into(), v2_total));
+    metrics.push(("v2_total_reduction".into(), total_reduction));
+    metrics.push(("v2_tput".into(), v2.throughput));
+    metrics.push((
+        "v2_uplink_recv_per_op".into(),
+        v2.leader_proto_recv_per_op.expect("trace captured"),
+    ));
+    if csv_mode() {
+        println!("v2_total_sent_reduction,,{total_reduction:.2},,,,");
+    } else {
+        println!(
+            "    v2 vs v1 total leader-sent msgs/cmd: {v1_total:.3} -> {v2_total:.3}  ({total_reduction:.1}x reduction)"
+        );
+    }
+    assert!(
+        total_reduction >= 2.0,
+        "batching v2 must cut total leader-sent messages per command >=2x vs PR-1 \
+         at B=16 (got {total_reduction:.2}x)"
+    );
+
+    // ── 3. Adaptive sizing ────────────────────────────────────────────
+    if !csv_mode() {
+        println!("\n── adaptive sizing (max_batch 32, window 200us) ──");
+    }
+    let adaptive = BatchConfig::adaptive(32, SimDuration::from_micros(200));
+
+    // Low load: 2 clients, no pipeline — adaptive must not add latency.
+    let mut low = spec();
+    low.n_clients = 2;
+    let unbatched_low = run(&low, pig_builder(pig_v1(1)), leader_target());
+    assert!(
+        unbatched_low.violations.is_empty(),
+        "unbatched baseline: {:?}",
+        unbatched_low.violations
+    );
+    let adaptive_low = run(&low, pig_builder(pig_v2(adaptive.clone())), leader_target());
+    assert!(adaptive_low.violations.is_empty());
+    hop_report("pig_unbatched_low", &unbatched_low);
+    hop_report("pig_adaptive_low", &adaptive_low);
+    metrics.push(("adaptive_low_p50_ms".into(), adaptive_low.p50_latency_ms));
+    metrics.push(("unbatched_low_p50_ms".into(), unbatched_low.p50_latency_ms));
+    assert!(
+        adaptive_low.p50_latency_ms <= unbatched_low.p50_latency_ms * 1.2,
+        "adaptive batching must keep low-load p50 within 1.2x of unbatched: \
+         {:.3}ms vs {:.3}ms",
+        adaptive_low.p50_latency_ms,
+        unbatched_low.p50_latency_ms
+    );
+
+    // Saturation: the sizer must amortize like a large fixed batch.
+    let adaptive_sat = run(
+        &pipelined_spec(),
+        pig_builder(pig_v2(adaptive)),
+        leader_target(),
+    );
+    assert!(adaptive_sat.violations.is_empty());
+    hop_report("pig_adaptive_sat", &adaptive_sat);
+    let unbatched_proto = unbatched_low
+        .leader_proto_sent_per_op
+        .expect("trace captured");
+    let adaptive_proto = adaptive_sat
+        .leader_proto_sent_per_op
+        .expect("trace captured");
+    metrics.push(("adaptive_sat_proto_sent_per_op".into(), adaptive_proto));
+    metrics.push(("adaptive_sat_tput".into(), adaptive_sat.throughput));
+    assert!(
+        unbatched_proto >= adaptive_proto * 2.0,
+        "adaptive batching must amortize under saturation: {unbatched_proto:.3} vs {adaptive_proto:.3} proto msgs/cmd"
+    );
+    if !csv_mode() {
+        println!(
+            "    adaptive under saturation: {:.3} proto msgs/cmd ({:.1}x vs unbatched)",
+            adaptive_proto,
+            unbatched_proto / adaptive_proto
+        );
+    }
+
+    if let Some(path) = json_path() {
+        std::fs::write(&path, json::render(&metrics)).expect("write json metrics");
+        if !csv_mode() {
+            println!("\nwrote {} metrics to {path}", metrics.len());
+        }
+    }
 }

@@ -30,6 +30,84 @@ pub fn csv_mode() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// Path given via `--json <path>`: the binary writes its headline
+/// metrics there as a flat JSON object (the CI perf-gate artifact).
+pub fn json_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Flat `{"key": number}` JSON read/write for bench artifacts. The
+/// container vendors no serde, so this hand-rolls exactly the subset
+/// the perf gate needs: string keys mapped to finite f64 values.
+pub mod json {
+    /// Serialize entries as a flat JSON object (stable order). Panics
+    /// on non-finite values — `parse` would reject them, and a NaN in a
+    /// metric means the producing run is broken and must fail loudly at
+    /// the source, not in the perf gate.
+    pub fn render(entries: &[(String, f64)]) -> String {
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(k, v)| {
+                assert!(v.is_finite(), "metric {k} is not finite: {v}");
+                format!("  \"{k}\": {v:.6}")
+            })
+            .collect();
+        format!("{{\n{}\n}}\n", body.join(",\n"))
+    }
+
+    /// Parse a flat JSON object of numeric values. Returns `None` on
+    /// anything that is not `{"key": number, ...}`.
+    pub fn parse(text: &str) -> Option<Vec<(String, f64)>> {
+        let inner = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut out = Vec::new();
+        for pair in inner.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value: f64 = value.trim().parse().ok()?;
+            if !value.is_finite() {
+                return None;
+            }
+            out.push((key.to_string(), value));
+        }
+        Some(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip() {
+            let entries = vec![
+                ("a_per_op".to_string(), 1.25),
+                ("b_tput".to_string(), 10_000.0),
+            ];
+            let text = render(&entries);
+            let parsed = parse(&text).expect("own output parses");
+            assert_eq!(parsed.len(), 2);
+            assert_eq!(parsed[0].0, "a_per_op");
+            assert!((parsed[0].1 - 1.25).abs() < 1e-9);
+            assert!((parsed[1].1 - 10_000.0).abs() < 1e-3);
+        }
+
+        #[test]
+        fn rejects_garbage() {
+            assert!(parse("not json").is_none());
+            assert!(parse("{\"k\": \"string\"}").is_none());
+        }
+    }
+}
+
 /// Standard LAN spec for a figure run (shorter under `--quick`).
 pub fn lan_spec(n_replicas: usize) -> RunSpec {
     let mut spec = RunSpec::lan(n_replicas, 0);

@@ -21,6 +21,17 @@ pub struct PigConfig {
     /// first aggregate once it holds this many votes (including its own).
     /// `None` waits for the whole group (the basic protocol).
     pub partial_threshold: Option<usize>,
+    /// Multi-round aggregate coalescing: a relay holds completed
+    /// batched-round (`P2aBatch`) aggregates for up to this window and
+    /// ships several rounds' votes to the leader in one `P2bBatch` — a
+    /// second multiplier on top of leader-side command batching.
+    /// `SimDuration::ZERO` disables it. Only effective with
+    /// single-level trees (`levels == 1`); sub-relays must preserve
+    /// per-round uplinks for their parents' round matching.
+    pub relay_coalesce_window: SimDuration,
+    /// Maximum rounds one coalesced uplink may span before it is
+    /// flushed regardless of the window.
+    pub relay_coalesce_rounds: usize,
     /// Dynamic relay groups (§4.1): reshuffle membership at this period.
     pub reshuffle_interval: Option<SimDuration>,
     /// Relay tree depth: 1 = the paper's default single relay layer;
@@ -59,6 +70,8 @@ impl PigConfig {
             relay_timeout: SimDuration::from_millis(50),
             relay_scan_interval: SimDuration::from_millis(5),
             partial_threshold: None,
+            relay_coalesce_window: SimDuration::from_micros(250),
+            relay_coalesce_rounds: 4,
             reshuffle_interval: None,
             levels: 1,
             rotate_relays: true,
@@ -78,6 +91,8 @@ impl PigConfig {
             relay_timeout: SimDuration::from_millis(300),
             relay_scan_interval: SimDuration::from_millis(25),
             partial_threshold: None,
+            relay_coalesce_window: SimDuration::from_millis(2),
+            relay_coalesce_rounds: 4,
             reshuffle_interval: None,
             levels: 1,
             rotate_relays: true,

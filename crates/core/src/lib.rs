@@ -58,4 +58,5 @@ pub use config::PigConfig;
 pub use groups::{GroupSpec, RelayGroups};
 pub use messages::{PigMsg, RelayPlan};
 pub use pqr::{PendingReads, ReadOutcome};
+pub use relay::UplinkCoalescer;
 pub use replica::{build_plan, pig_builder, PigReplica};

@@ -16,12 +16,12 @@ use crate::config::PigConfig;
 use crate::groups::RelayGroups;
 use crate::messages::{PigMsg, RelayPlan};
 use crate::pqr::{PendingReads, ReadOutcome};
-use crate::relay::{AggKey, Flush, RelayTable, VoteSet};
+use crate::relay::{AggKey, Flush, RelayTable, UplinkCoalescer, VoteSet};
 use paxi::{
-    BatchPush, Batcher, ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica,
-    ReplicaActor, ReplicaCtx, SessionTable,
+    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
+    ReplicaCtx, ReplyBatcher, SessionTable,
 };
-use paxos::{Acceptor, CommitAdvance, Leader, P2bVote, PaxosMsg, Phase1Outcome};
+use paxos::{Acceptor, BatchLane, CommitAdvance, Leader, P2bVote, PaxosMsg, Phase1Outcome};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
@@ -35,6 +35,8 @@ const T_RESHUFFLE: u64 = 5;
 const T_LEARN: u64 = 6;
 const T_PQR_RINSE: u64 = 7;
 const T_BATCH: u64 = 8;
+const T_REPLY: u64 = 9;
+const T_AGG_FLUSH: u64 = 10;
 
 /// Timer kinds live in the low byte; the payload (e.g. a read id) in
 /// the rest.
@@ -55,17 +57,20 @@ pub struct PigReplica {
     known_leader: Option<NodeId>,
     last_leader_contact: SimTime,
     waiting: HashMap<u64, NodeId>,
-    /// Last executed reply per client, for exactly-once retries.
+    /// Recently executed replies per client, for exactly-once retries.
     sessions: SessionTable,
-    /// Client-command batching buffer (active leader only).
-    batcher: Batcher,
-    /// Pending `max_delay` flush timer, cancelled when a batch flushes
-    /// by size so it cannot prematurely flush the next batch.
-    batch_timer: Option<TimerId>,
-    /// Highest sequence number proposed per client — a cheap filter so
-    /// only requests at or below this high-water mark (i.e. possible
-    /// duplicates) pay the unexecuted-window log scan in `on_request`.
-    proposed_seq: HashMap<NodeId, u64>,
+    /// Client-command admission: duplicate suppression, per-client
+    /// sequencing, and the batch buffer (active leader only; shared
+    /// with the direct Multi-Paxos replica via `paxos::batching`).
+    lane: BatchLane,
+    /// Executed-command replies buffered per destination client.
+    replies: ReplyBatcher,
+    /// True while a reply flush timer is in flight.
+    reply_timer_armed: bool,
+    /// Multi-round uplink coalescing (relay role).
+    coalescer: UplinkCoalescer,
+    /// True while an uplink coalesce-window timer is in flight.
+    agg_timer_armed: bool,
     election_timeout: SimDuration,
     repair_up_to: u64,
     repair_armed: bool,
@@ -96,6 +101,14 @@ impl PigReplica {
             other => other.clone(),
         };
         let groups = RelayGroups::build(&followers, &spec);
+        // Sub-relays must answer their parent per round (the parent's
+        // aggregation is keyed by the round's exact span), so multi-
+        // round coalescing is only safe on single-level trees.
+        let coalescer = if cfg.levels == 1 {
+            UplinkCoalescer::new(cfg.relay_coalesce_window, cfg.relay_coalesce_rounds)
+        } else {
+            UplinkCoalescer::disabled()
+        };
         PigReplica {
             me,
             acceptor: Acceptor::new(me, cluster.safety.clone()),
@@ -106,9 +119,15 @@ impl PigReplica {
             last_leader_contact: SimTime::ZERO,
             waiting: HashMap::new(),
             sessions: SessionTable::new(),
-            batcher: Batcher::new(cfg.paxos.batch.clone()),
-            batch_timer: None,
-            proposed_seq: HashMap::new(),
+            // PQR reads are served at follower proxies and never reach
+            // the leader's log, so a client's sequence numbers have
+            // legitimate gaps there — per-client sequencing would hold
+            // its writes forever.
+            lane: BatchLane::new(cfg.paxos.batch.clone(), !cfg.pqr_reads),
+            replies: ReplyBatcher::new(cfg.paxos.batch.replies),
+            reply_timer_armed: false,
+            coalescer,
+            agg_timer_armed: false,
             election_timeout: SimDuration::ZERO,
             repair_up_to: 0,
             repair_armed: false,
@@ -183,8 +202,10 @@ impl PigReplica {
                     self.leader.register(slot, cmd.clone(), None, ctx.now());
                     self.send_accepts(slot, cmd, ctx);
                 }
+                // Serve commands that queued up during the campaign,
+                // through the same admission path as live requests.
                 while let Some((client, cmd)) = self.leader.pending.pop_front() {
-                    self.propose_command(client, cmd, ctx);
+                    self.admit_and_propose(client, cmd, ctx);
                 }
             }
             Phase1Outcome::Preempted { higher } => {
@@ -196,25 +217,33 @@ impl PigReplica {
     fn abdicate(&mut self, to: NodeId, ctx: &mut Ctx<PigMsg>) {
         self.leader.demote();
         self.known_leader = Some(to);
-        while let Some((client, cmd)) = self.leader.pending.pop_front() {
-            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
-        }
-        for (client, cmd) in self.batcher.flush() {
-            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
-        }
-        // A stale flush timer must not fire into the next leadership term.
-        if let Some(t) = self.batch_timer.take() {
-            ctx.cancel_timer(t);
-        }
+        paxos::abandon_leadership(
+            &mut self.lane,
+            &mut self.replies,
+            &mut self.leader,
+            self.known_leader,
+            ctx,
+        );
     }
 
-    fn note_proposed(&mut self, client: NodeId, seq: u64) {
-        let hw = self.proposed_seq.entry(client).or_insert(0);
-        *hw = (*hw).max(seq);
+    /// Run a client command through the shared admission lane and
+    /// propose whatever it flushes.
+    fn admit_and_propose(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PigMsg>) {
+        let batches = self.lane.admit(
+            &self.leader,
+            &self.acceptor,
+            &self.sessions,
+            client,
+            cmd,
+            ctx,
+            T_BATCH,
+        );
+        for batch in batches {
+            self.propose_batch(batch, ctx);
+        }
     }
 
     fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PigMsg>) {
-        self.note_proposed(cmd.id.client, cmd.id.seq);
         let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
         self.waiting.insert(slot, client);
         self.send_accepts(slot, cmd, ctx);
@@ -232,9 +261,6 @@ impl PigReplica {
             let (client, cmd) = batch.into_iter().next().expect("len checked");
             self.propose_command(client, cmd, ctx);
             return;
-        }
-        for (_, cmd) in &batch {
-            self.note_proposed(cmd.id.client, cmd.id.seq);
         }
         let paxos::BatchProposal {
             ballot,
@@ -294,10 +320,10 @@ impl PigReplica {
         acc
     }
 
-    /// Feed a batched phase-2b aggregate at the leader: votes grouped
-    /// per slot, then ordinary single-slot quorum counting. Commits are
-    /// applied even when the same aggregate reports a preemption — a
-    /// quorum of acks means *chosen*, and the slot is already out of
+    /// Feed a batched phase-2b aggregate at the leader through the
+    /// shared guard + per-slot quorum counting. Commits are applied
+    /// even when the same aggregate reports a preemption — a quorum of
+    /// acks means *chosen*, and the slot is already out of
     /// `outstanding`.
     fn count_batch_votes(
         &mut self,
@@ -305,14 +331,13 @@ impl PigReplica {
         votes: Vec<P2bVote>,
         ctx: &mut Ctx<PigMsg>,
     ) {
-        if !self.leader.is_active() || ballot != self.leader.ballot() {
+        let Some(wave) =
+            paxos::apply_batch_votes(&mut self.leader, &mut self.acceptor, ballot, votes)
+        else {
             return;
-        }
-        let out = self.leader.on_p2b_batch(votes);
-        for (slot, cmd, _client) in out.committed {
-            self.commit_and_execute(slot, cmd, ctx);
-        }
-        if let Some(higher) = out.preempted {
+        };
+        self.reply_executed(wave.executed, ctx);
+        if let Some(higher) = wave.preempted {
             self.abdicate(higher.node(), ctx);
         }
     }
@@ -349,17 +374,22 @@ impl PigReplica {
         executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
         ctx: &mut Ctx<PigMsg>,
     ) {
-        if !executed.is_empty() {
-            ctx.charge(self.cfg.paxos.exec_cost * executed.len() as u64);
-        }
-        for (slot, id, value) in executed {
-            let reply = ClientReply::ok(id, value);
-            // Every replica caches the reply so retries are answered
-            // without another consensus round, even after a leader change.
-            self.sessions.record(&reply);
-            if let Some(client) = self.waiting.remove(&slot) {
-                ctx.reply(client, reply);
-            }
+        let batches = paxos::handle_executed(
+            &mut self.lane,
+            &mut self.replies,
+            &mut self.reply_timer_armed,
+            &mut self.sessions,
+            &mut self.waiting,
+            &self.leader,
+            &self.acceptor,
+            self.cfg.paxos.exec_cost,
+            executed,
+            T_BATCH,
+            T_REPLY,
+            ctx,
+        );
+        for batch in batches {
+            self.propose_batch(batch, ctx);
         }
     }
 
@@ -596,13 +626,18 @@ impl PigReplica {
         }
     }
 
+    /// Ship a completed aggregation, possibly holding batched-round
+    /// aggregates in the uplink coalescer so several accept rounds share
+    /// one `P2bBatch` to the leader.
     fn send_flush(&mut self, f: Flush, ctx: &mut Ctx<PigMsg>) {
-        let Flush {
-            reply_to,
-            key,
-            votes,
-        } = f;
-        ctx.send_proto(reply_to, PigMsg::Direct(votes.into_message(key)));
+        let (msgs, arm) = self.coalescer.offer(f);
+        for (to, msg) in msgs {
+            ctx.send_proto(to, PigMsg::Direct(msg));
+        }
+        if arm && !self.agg_timer_armed {
+            self.agg_timer_armed = true;
+            ctx.set_timer(self.coalescer.window(), T_AGG_FLUSH);
+        }
     }
 
     // ---- point-to-point Paxos semantics -----------------------------------
@@ -830,37 +865,10 @@ impl Replica<PigMsg> for PigReplica {
             return;
         }
         if self.leader.is_active() {
-            let possibly_duplicate = self
-                .proposed_seq
-                .get(&cmd.id.client)
-                .is_some_and(|&hw| hw >= cmd.id.seq);
-            if self.leader.has_outstanding_request(cmd.id)
-                || self.batcher.contains(cmd.id)
-                || (possibly_duplicate && self.acceptor.has_unexecuted_command(cmd.id))
-            {
-                // Duplicate of an in-flight retry: either still gathering
-                // votes, buffered in the batcher, or already committed and
-                // waiting on a lower slot to execute (the window the
-                // session table cannot see). The reply comes at execution.
-                return;
-            }
-            if self.batcher.enabled() {
-                match self.batcher.push(client, cmd) {
-                    BatchPush::Flush(batch) => {
-                        if let Some(t) = self.batch_timer.take() {
-                            ctx.cancel_timer(t);
-                        }
-                        self.propose_batch(batch, ctx);
-                    }
-                    BatchPush::ArmTimer => {
-                        self.batch_timer =
-                            Some(ctx.set_timer(self.batcher.config().max_delay, T_BATCH));
-                    }
-                    BatchPush::Buffered => {}
-                }
-            } else {
-                self.propose_command(client, cmd, ctx);
-            }
+            // Admission (duplicate suppression, per-client sequencing,
+            // batching) is shared with the direct Multi-Paxos replica;
+            // only the dissemination in `propose_batch` differs.
+            self.admit_and_propose(client, cmd, ctx);
         } else if self.cfg.pqr_reads && cmd.op.is_read() {
             // §4.3: serve reads from any replica via a quorum read over
             // the relay tree, keeping them entirely off the leader.
@@ -954,9 +962,18 @@ impl Replica<PigMsg> for PigReplica {
             }
             T_LEARN => self.send_learn_request(ctx),
             T_BATCH if self.leader.is_active() => {
-                self.batch_timer = None;
-                let batch = self.batcher.flush();
+                let batch = self.lane.on_flush_timer();
                 self.propose_batch(batch, ctx);
+            }
+            T_REPLY => {
+                self.reply_timer_armed = false;
+                self.replies.flush_into(ctx);
+            }
+            T_AGG_FLUSH => {
+                self.agg_timer_armed = false;
+                for (to, msg) in self.coalescer.flush_all() {
+                    ctx.send_proto(to, PigMsg::Direct(msg));
+                }
             }
             T_PQR_RINSE => {
                 let id = kind >> 8;

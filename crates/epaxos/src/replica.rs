@@ -19,7 +19,7 @@ use crate::graph::{plan_execution, InstStatus, InstanceView};
 use crate::messages::{Attrs, EpaxosMsg, InstanceId};
 use paxi::{
     fast_quorum, majority, Ballot, ClientReply, ClientRequest, ClusterConfig, Command, Ctx,
-    Envelope, KvStore, Replica, ReplicaActor, ReplicaCtx,
+    Envelope, KvStore, Replica, ReplicaActor, ReplicaCtx, RequestId, SessionTable,
 };
 use simnet::{Actor, NodeId, TimerId};
 use std::collections::{BTreeSet, HashMap};
@@ -77,6 +77,13 @@ pub struct EpaxosReplica {
     kv: KvStore,
     /// Committed-but-unexecuted instances (the execution frontier).
     unexecuted: BTreeSet<InstanceId>,
+    /// Recently executed replies per client, for exactly-once retry
+    /// replay (mirrors the Paxos/PigPaxos replicas): a retried command
+    /// is answered from the cache instead of becoming a new instance.
+    sessions: SessionTable,
+    /// Own in-flight instances by request id, so a retry arriving
+    /// before commit attaches to the existing instance.
+    in_flight: HashMap<RequestId, InstanceId>,
 }
 
 impl EpaxosReplica {
@@ -91,6 +98,8 @@ impl EpaxosReplica {
             interference: InterferenceIndex::new(),
             kv: KvStore::new(),
             unexecuted: BTreeSet::new(),
+            sessions: SessionTable::new(),
+            in_flight: HashMap::new(),
         }
     }
 
@@ -181,13 +190,31 @@ impl EpaxosReplica {
                 .get_mut(&inst)
                 .expect("planned unknown instance");
             debug_assert_eq!(i.phase, Phase::Committed);
-            let value = self.kv.apply(&i.command.op);
-            ctx.charge(self.cfg.exec_cost);
+            // Exactly-once at the state machine: a command that slipped
+            // past proposal-time dedup (e.g. a retry re-proposed by a
+            // different replica) is committed as an instance but must
+            // not mutate state twice. The cached reply answers instead.
+            let already = self.sessions.replay(i.command.id).cloned();
+            let reply = match already {
+                Some(cached) => {
+                    let mut r = cached;
+                    r.id = i.command.id;
+                    r
+                }
+                None => {
+                    let value = self.kv.apply(&i.command.op);
+                    ctx.charge(self.cfg.exec_cost);
+                    let r = ClientReply::ok(i.command.id, value);
+                    self.sessions.record(&r);
+                    r
+                }
+            };
             i.phase = Phase::Executed;
             self.unexecuted.remove(&inst);
             if inst.replica == self.me {
+                self.in_flight.remove(&i.command.id);
                 if let Some(client) = i.client.take() {
-                    ctx.reply(client, ClientReply::ok(i.command.id, value));
+                    ctx.reply(client, reply);
                 }
             }
         }
@@ -197,11 +224,34 @@ impl EpaxosReplica {
 impl Replica<EpaxosMsg> for EpaxosReplica {
     fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<EpaxosMsg>) {
         let command = req.command;
+        // Exactly-once replay (ROADMAP item): a retry of an executed
+        // command gets the cached reply; a retry of one still in flight
+        // attaches to the existing instance instead of opening a new
+        // one; anything older than the session window is dropped.
+        if let Some(reply) = self.sessions.replay(command.id) {
+            ctx.reply(client, reply.clone());
+            return;
+        }
+        // In-flight before staleness: a retry of a pending instance must
+        // attach to it even if the session window has moved past its seq
+        // (dependency-ordered execution can finish successors first).
+        if let Some(inst) = self.in_flight.get(&command.id) {
+            if let Some(i) = self.instances.get_mut(inst) {
+                if i.phase != Phase::Executed {
+                    i.client = Some(client); // reply comes at execution
+                    return;
+                }
+            }
+        }
+        if self.sessions.is_stale(command.id) {
+            return;
+        }
         let inst = InstanceId {
             replica: self.me,
             slot: self.next_slot,
         };
         self.next_slot += 1;
+        self.in_flight.insert(command.id, inst);
         ctx.charge(self.cfg.attr_cost);
         let attrs = self.interference.attrs_for(&command.op);
         self.interference.record(inst, attrs.seq, &command.op);
@@ -462,6 +512,98 @@ mod tests {
         );
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
+    }
+
+    #[test]
+    fn retried_commands_do_not_become_new_instances() {
+        use paxi::{ClusterConfig, Envelope, Operation, Value};
+        use simnet::{Actor, Context, CpuCostModel, SimTime, Simulation, TimerId, Topology};
+
+        /// Sends the same Put three times (original + two retries),
+        /// then a Get on the same key; counts ok replies.
+        struct RetryingClient {
+            target: NodeId,
+            sent: u32,
+            oks: std::rc::Rc<std::cell::RefCell<u32>>,
+        }
+        impl RetryingClient {
+            fn put(&self, ctx: &mut Context<Envelope<EpaxosMsg>>) {
+                let id = paxi::RequestId {
+                    client: ctx.node(),
+                    seq: 1,
+                };
+                ctx.send(
+                    self.target,
+                    Envelope::Request(ClientRequest {
+                        command: Command {
+                            id,
+                            op: Operation::Put(7, Value::zeros(4)),
+                        },
+                    }),
+                );
+            }
+        }
+        impl Actor<Envelope<EpaxosMsg>> for RetryingClient {
+            fn on_start(&mut self, ctx: &mut Context<Envelope<EpaxosMsg>>) {
+                self.put(ctx);
+                self.sent = 1;
+                ctx.set_timer(simnet::SimDuration::from_millis(5), 0);
+            }
+            fn on_message(
+                &mut self,
+                _f: NodeId,
+                msg: Envelope<EpaxosMsg>,
+                _ctx: &mut Context<Envelope<EpaxosMsg>>,
+            ) {
+                if matches!(msg, Envelope::Reply(r) if r.ok) {
+                    *self.oks.borrow_mut() += 1;
+                }
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<Envelope<EpaxosMsg>>) {
+                if self.sent < 3 {
+                    self.put(ctx); // retry: reply lost or slow
+                    self.sent += 1;
+                    ctx.set_timer(simnet::SimDuration::from_millis(5), 0);
+                }
+            }
+        }
+
+        let mut topo = Topology::lan(3);
+        topo.add_nodes(1, 0);
+        let mut sim: Simulation<Envelope<EpaxosMsg>> =
+            Simulation::new(topo, CpuCostModel::calibrated(), 5);
+        let cluster = ClusterConfig::new(3);
+        for i in 0..3usize {
+            sim.add_actor(Box::new(ReplicaActor(EpaxosReplica::new(
+                NodeId::from(i),
+                cluster.clone(),
+                EpaxosConfig::default(),
+            ))));
+        }
+        let oks = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        sim.add_actor(Box::new(RetryingClient {
+            target: NodeId(0),
+            sent: 0,
+            oks: oks.clone(),
+        }));
+        sim.run_until(SimTime::from_millis(100));
+        cluster.safety.assert_safe();
+        let decided_copies = cluster
+            .safety
+            .decisions()
+            .iter()
+            .filter(|((_, _), id)| id.seq == 1 && id.client == NodeId(3))
+            .count();
+        assert_eq!(
+            decided_copies, 1,
+            "retries must attach to or replay the existing instance, \
+             not open new ones"
+        );
+        assert!(
+            *oks.borrow() >= 2,
+            "retries are answered from the session cache, got {}",
+            oks.borrow()
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Leader-side client-command batching.
+//! Leader-side client-command batching and client-reply coalescing.
 //!
 //! The PigPaxos paper attacks the leader's *communication* bottleneck
 //! with relay trees; batching attacks the same bottleneck on an
@@ -8,13 +8,34 @@
 //! batch fills or when the oldest buffered command has waited
 //! [`BatchConfig::max_delay`] — the classic size-or-time policy.
 //!
+//! **Adaptive sizing** (`BatchConfig::adaptive`): instead of a static
+//! fill target, the batcher tracks the command arrival rate with an EWMA
+//! of inter-arrival gaps and sizes each batch to the number of arrivals
+//! expected within one `max_delay` window. Under saturation that target
+//! converges toward `max_batch` (maximal amortization); at low load it
+//! collapses to 1, so an isolated command flushes immediately and pays
+//! no batching latency.
+//!
+//! **Reply coalescing** ([`ReplyBatcher`]): execution of a batch
+//! produces a wave of client replies, and a pipelined client can have
+//! several commands in the same wave. The leader buffers replies per
+//! destination and ships each destination one `ReplyBatch` envelope,
+//! amortizing the reply leg the same way `P2aBatch` amortizes the
+//! accept leg.
+//!
 //! The batcher is protocol-agnostic plumbing: `paxos::PaxosReplica`
 //! sends one `P2aBatch` per follower per flush, and the PigPaxos replica
 //! sends one per *relay group*, so the two compose (relay fan-in × batch
 //! amortization).
 
-use crate::command::{Command, RequestId};
-use simnet::{NodeId, SimDuration};
+use crate::command::{ClientReply, Command, RequestId};
+use crate::envelope::ProtoMessage;
+use crate::replica::{Ctx, ReplicaCtx};
+use simnet::{NodeId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// EWMA weight of the newest inter-arrival gap in adaptive mode.
+const EWMA_ALPHA: f64 = 0.25;
 
 /// Batching policy for a leader.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,8 +44,14 @@ pub struct BatchConfig {
     /// command gets its own phase-2 round, the paper's baseline).
     pub max_batch: usize,
     /// Maximum time the first command of a batch may wait before the
-    /// batch is flushed regardless of size.
+    /// batch is flushed regardless of size. In adaptive mode this is
+    /// also the arrival window the size target is computed over.
     pub max_delay: SimDuration,
+    /// Adaptive sizing: the fill target tracks the observed arrival
+    /// rate in `[1, max_batch]` instead of sitting at `max_batch`.
+    pub adaptive: bool,
+    /// Client-reply coalescing policy for executed commands.
+    pub replies: ReplyCoalesce,
 }
 
 impl BatchConfig {
@@ -33,6 +60,8 @@ impl BatchConfig {
         BatchConfig {
             max_batch: 1,
             max_delay: SimDuration::ZERO,
+            adaptive: false,
+            replies: ReplyCoalesce::Off,
         }
     }
 
@@ -43,7 +72,26 @@ impl BatchConfig {
         BatchConfig {
             max_batch,
             max_delay,
+            adaptive: false,
+            replies: ReplyCoalesce::Off,
         }
+    }
+
+    /// Adaptive batching: size each batch to the observed arrival rate,
+    /// up to `max_batch`, flushing immediately at low load.
+    pub fn adaptive(max_batch: usize, max_delay: SimDuration) -> Self {
+        BatchConfig {
+            adaptive: true,
+            ..BatchConfig::new(max_batch, max_delay)
+        }
+    }
+
+    /// Enable reply coalescing with the given flush window
+    /// (`SimDuration::ZERO` groups replies produced by one execution
+    /// wave without delaying them).
+    pub fn with_reply_coalescing(mut self, window: SimDuration) -> Self {
+        self.replies = ReplyCoalesce::Window(window);
+        self
     }
 
     /// True when batching is active (`max_batch > 1`).
@@ -61,7 +109,7 @@ impl Default for BatchConfig {
 /// Outcome of [`Batcher::push`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum BatchPush {
-    /// The batch reached `max_batch`: flush these commands now.
+    /// The batch reached its fill target: flush these commands now.
     Flush(Vec<(NodeId, Command)>),
     /// First command buffered since the last flush: arm the flush timer
     /// for `max_delay`.
@@ -75,6 +123,10 @@ pub enum BatchPush {
 pub struct Batcher {
     cfg: BatchConfig,
     buf: Vec<(NodeId, Command)>,
+    /// EWMA of inter-arrival gaps in nanoseconds (adaptive mode only;
+    /// `None` until a second arrival establishes a gap).
+    ewma_gap_ns: Option<f64>,
+    last_arrival: Option<SimTime>,
 }
 
 impl Batcher {
@@ -83,6 +135,8 @@ impl Batcher {
         Batcher {
             buf: Vec::with_capacity(cfg.max_batch),
             cfg,
+            ewma_gap_ns: None,
+            last_arrival: None,
         }
     }
 
@@ -112,11 +166,48 @@ impl Batcher {
         self.buf.iter().any(|(_, c)| c.id == id)
     }
 
-    /// Buffer a command. Returns [`BatchPush::Flush`] with the full
-    /// batch when it reaches `max_batch`.
-    pub fn push(&mut self, client: NodeId, command: Command) -> BatchPush {
+    /// Highest sequence number of `client`'s buffered commands. Used to
+    /// rebuild the per-client proposal floor after re-election.
+    pub fn highest_buffered_seq(&self, client: NodeId) -> Option<u64> {
+        self.buf
+            .iter()
+            .filter(|(_, c)| c.id.client == client)
+            .map(|(_, c)| c.id.seq)
+            .max()
+    }
+
+    /// The current fill target: `max_batch` in fixed mode; in adaptive
+    /// mode, the arrivals expected within one `max_delay` window given
+    /// the EWMA arrival rate, clamped to `[1, max_batch]`.
+    pub fn target(&self) -> usize {
+        if !self.cfg.adaptive {
+            return self.cfg.max_batch;
+        }
+        match self.ewma_gap_ns {
+            None => 1, // no rate estimate yet: stay latency-optimal
+            Some(gap_ns) => {
+                let window_ns = self.cfg.max_delay.as_nanos() as f64;
+                let expected = window_ns / gap_ns.max(1.0);
+                (expected as usize).clamp(1, self.cfg.max_batch)
+            }
+        }
+    }
+
+    /// Buffer a command arriving at `now`. Returns [`BatchPush::Flush`]
+    /// with the full batch when it reaches the current fill target.
+    pub fn push(&mut self, client: NodeId, command: Command, now: SimTime) -> BatchPush {
+        if self.cfg.adaptive {
+            if let Some(prev) = self.last_arrival {
+                let gap = now.saturating_sub(prev).as_nanos().max(1) as f64;
+                self.ewma_gap_ns = Some(match self.ewma_gap_ns {
+                    Some(ewma) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * ewma,
+                    None => gap,
+                });
+            }
+            self.last_arrival = Some(now);
+        }
         self.buf.push((client, command));
-        if self.buf.len() >= self.cfg.max_batch {
+        if self.buf.len() >= self.target() {
             BatchPush::Flush(std::mem::take(&mut self.buf))
         } else if self.buf.len() == 1 {
             BatchPush::ArmTimer
@@ -129,6 +220,120 @@ impl Batcher {
     /// abdication). May be empty.
     pub fn flush(&mut self) -> Vec<(NodeId, Command)> {
         std::mem::take(&mut self.buf)
+    }
+}
+
+/// Client-reply coalescing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCoalesce {
+    /// One `Reply` envelope per executed command (the baseline).
+    Off,
+    /// Buffer replies per destination and flush them in one `ReplyBatch`
+    /// envelope after at most this window. `SimDuration::ZERO` groups
+    /// the replies of a single execution wave without delaying them.
+    Window(SimDuration),
+}
+
+impl ReplyCoalesce {
+    /// True when coalescing is on.
+    pub fn enabled(&self) -> bool {
+        matches!(self, ReplyCoalesce::Window(_))
+    }
+
+    /// The flush window (ZERO when off or immediate).
+    pub fn window(&self) -> SimDuration {
+        match self {
+            ReplyCoalesce::Off => SimDuration::ZERO,
+            ReplyCoalesce::Window(w) => *w,
+        }
+    }
+}
+
+/// Buffers executed-command replies per destination client so one
+/// envelope carries a whole wave. Keyed by a `BTreeMap` so flush order
+/// is deterministic (the simulator's trace fingerprint depends on it).
+#[derive(Debug)]
+pub struct ReplyBatcher {
+    mode: ReplyCoalesce,
+    buf: BTreeMap<NodeId, Vec<ClientReply>>,
+}
+
+impl ReplyBatcher {
+    /// Empty buffer with the given policy.
+    pub fn new(mode: ReplyCoalesce) -> Self {
+        ReplyBatcher {
+            mode,
+            buf: BTreeMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn mode(&self) -> ReplyCoalesce {
+        self.mode
+    }
+
+    /// True when coalescing is on.
+    pub fn enabled(&self) -> bool {
+        self.mode.enabled()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Buffer a reply. Returns true when this push made the buffer
+    /// non-empty (the caller arms the flush timer if the window is
+    /// non-zero).
+    pub fn push(&mut self, client: NodeId, reply: ClientReply) -> bool {
+        let was_empty = self.buf.is_empty();
+        self.buf.entry(client).or_default().push(reply);
+        was_empty
+    }
+
+    /// Drain everything, grouped per destination in ascending node
+    /// order.
+    pub fn flush(&mut self) -> Vec<(NodeId, Vec<ClientReply>)> {
+        std::mem::take(&mut self.buf).into_iter().collect()
+    }
+
+    /// Route one executed-command reply: sent immediately when
+    /// coalescing is off; otherwise buffered, arming the caller's
+    /// `t_reply` flush timer on the first push of a non-zero window.
+    pub fn deliver<P: ProtoMessage>(
+        &mut self,
+        client: NodeId,
+        reply: ClientReply,
+        timer_armed: &mut bool,
+        t_reply: u64,
+        ctx: &mut Ctx<P>,
+    ) {
+        if !self.enabled() {
+            ctx.reply(client, reply);
+            return;
+        }
+        let window = self.mode.window();
+        let first = self.push(client, reply);
+        if first && window > SimDuration::ZERO && !*timer_armed {
+            *timer_armed = true;
+            ctx.set_timer(window, t_reply);
+        }
+    }
+
+    /// End of one execution wave: in zero-window mode the wave's
+    /// replies ship now (grouped per destination, never delayed).
+    pub fn end_wave<P: ProtoMessage>(&mut self, ctx: &mut Ctx<P>) {
+        if self.enabled() && self.mode.window() == SimDuration::ZERO {
+            self.flush_into(ctx);
+        }
+    }
+
+    /// Ship every buffered reply, one (possibly batched) envelope per
+    /// destination client.
+    pub fn flush_into<P: ProtoMessage>(&mut self, ctx: &mut Ctx<P>) {
+        for (client, replies) in self.flush() {
+            ctx.reply_many(client, replies);
+        }
     }
 }
 
@@ -147,11 +352,15 @@ mod tests {
         }
     }
 
+    fn at(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
     #[test]
     fn disabled_config_flushes_every_push() {
         let mut b = Batcher::new(BatchConfig::disabled());
         assert!(!b.enabled());
-        match b.push(NodeId(1), cmd(1)) {
+        match b.push(NodeId(1), cmd(1), at(0)) {
             BatchPush::Flush(batch) => assert_eq!(batch.len(), 1),
             other => panic!("expected immediate flush, got {other:?}"),
         }
@@ -161,9 +370,9 @@ mod tests {
     #[test]
     fn fills_to_max_batch() {
         let mut b = Batcher::new(BatchConfig::new(3, SimDuration::from_millis(1)));
-        assert_eq!(b.push(NodeId(1), cmd(1)), BatchPush::ArmTimer);
-        assert_eq!(b.push(NodeId(2), cmd(2)), BatchPush::Buffered);
-        match b.push(NodeId(3), cmd(3)) {
+        assert_eq!(b.push(NodeId(1), cmd(1), at(0)), BatchPush::ArmTimer);
+        assert_eq!(b.push(NodeId(2), cmd(2), at(1)), BatchPush::Buffered);
+        match b.push(NodeId(3), cmd(3), at(2)) {
             BatchPush::Flush(batch) => {
                 assert_eq!(batch.len(), 3);
                 assert_eq!(batch[0].0, NodeId(1));
@@ -172,14 +381,14 @@ mod tests {
             other => panic!("expected flush, got {other:?}"),
         }
         // Next command starts a fresh batch and needs a fresh timer.
-        assert_eq!(b.push(NodeId(4), cmd(4)), BatchPush::ArmTimer);
+        assert_eq!(b.push(NodeId(4), cmd(4), at(3)), BatchPush::ArmTimer);
     }
 
     #[test]
     fn timer_flush_takes_partial_batch() {
         let mut b = Batcher::new(BatchConfig::new(8, SimDuration::from_millis(1)));
-        b.push(NodeId(1), cmd(1));
-        b.push(NodeId(2), cmd(2));
+        b.push(NodeId(1), cmd(1), at(0));
+        b.push(NodeId(2), cmd(2), at(1));
         let batch = b.flush();
         assert_eq!(batch.len(), 2);
         assert!(b.is_empty());
@@ -189,7 +398,7 @@ mod tests {
     #[test]
     fn duplicate_detection() {
         let mut b = Batcher::new(BatchConfig::new(8, SimDuration::from_millis(1)));
-        b.push(NodeId(1), cmd(1));
+        b.push(NodeId(1), cmd(1), at(0));
         assert!(b.contains(cmd(1).id));
         assert!(!b.contains(cmd(2).id));
     }
@@ -198,5 +407,79 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_batch_rejected() {
         BatchConfig::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_starts_latency_optimal() {
+        // No rate estimate yet: the first commands flush immediately.
+        let mut b = Batcher::new(BatchConfig::adaptive(32, SimDuration::from_micros(200)));
+        assert_eq!(b.target(), 1);
+        match b.push(NodeId(1), cmd(1), at(0)) {
+            BatchPush::Flush(batch) => assert_eq!(batch.len(), 1),
+            other => panic!("expected immediate flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_grows_under_saturation_and_shrinks_when_idle() {
+        let cfg = BatchConfig::adaptive(32, SimDuration::from_micros(200));
+        let mut b = Batcher::new(cfg);
+        // Dense arrivals: 1 µs apart → ~200 expected per window → capped.
+        let mut t = 0;
+        for seq in 1..=64 {
+            b.push(NodeId(1), cmd(seq), at(t));
+            t += 1;
+        }
+        assert_eq!(b.target(), 32, "saturation drives the target to max");
+        // A long idle gap collapses the target back toward 1.
+        b.push(NodeId(1), cmd(65), at(t + 100_000));
+        assert_eq!(b.target(), 1, "idle gap restores latency-optimal mode");
+        b.flush();
+    }
+
+    #[test]
+    fn adaptive_tracks_moderate_rates() {
+        // 50 µs gaps with a 200 µs window → target ≈ 4.
+        let cfg = BatchConfig::adaptive(32, SimDuration::from_micros(200));
+        let mut b = Batcher::new(cfg);
+        let mut t = 0;
+        for seq in 1..=32 {
+            b.push(NodeId(1), cmd(seq), at(t));
+            t += 50;
+        }
+        let target = b.target();
+        assert!(
+            (2..=8).contains(&target),
+            "expected a mid-range target for 50us gaps, got {target}"
+        );
+    }
+
+    #[test]
+    fn reply_batcher_groups_per_destination_in_order() {
+        let mut r = ReplyBatcher::new(ReplyCoalesce::Window(SimDuration::ZERO));
+        assert!(r.enabled());
+        let id = |c: u32, s: u64| RequestId {
+            client: NodeId(c),
+            seq: s,
+        };
+        assert!(r.push(NodeId(9), ClientReply::ok(id(9, 1), None)));
+        assert!(!r.push(NodeId(3), ClientReply::ok(id(3, 1), None)));
+        assert!(!r.push(NodeId(9), ClientReply::ok(id(9, 2), None)));
+        let out = r.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId(3), "deterministic ascending node order");
+        assert_eq!(out[1].0, NodeId(9));
+        assert_eq!(out[1].1.len(), 2, "both replies to client 9 coalesced");
+        assert!(r.is_empty());
+        assert!(r.push(NodeId(1), ClientReply::ok(id(1, 1), None)));
+    }
+
+    #[test]
+    fn reply_coalesce_modes() {
+        assert!(!ReplyCoalesce::Off.enabled());
+        assert_eq!(ReplyCoalesce::Off.window(), SimDuration::ZERO);
+        let w = ReplyCoalesce::Window(SimDuration::from_micros(100));
+        assert!(w.enabled());
+        assert_eq!(w.window(), SimDuration::from_micros(100));
     }
 }

@@ -11,6 +11,7 @@ use crate::envelope::{Envelope, ProtoMessage};
 use crate::workload::Workload;
 use parking_lot::Mutex;
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -86,7 +87,6 @@ impl ClientRecorder {
 }
 
 struct Outstanding {
-    seq: u64,
     issued: SimTime,
     command: Command,
     is_read: bool,
@@ -94,13 +94,19 @@ struct Outstanding {
 
 /// A closed-loop client actor, generic over the protocol message type
 /// (clients never construct protocol messages).
+///
+/// With `pipeline > 1` the client keeps that many requests in flight
+/// simultaneously (one user session multiplexing several operations
+/// over one connection); each completion immediately issues the next.
+/// Coalesced [`Envelope::ReplyBatch`] envelopes are unpacked in order.
 pub struct ClosedLoopClient<P> {
     target: TargetPolicy,
     workload: Workload,
     recorder: ClientRecorder,
     retry_timeout: SimDuration,
+    pipeline: usize,
     seq: u64,
-    outstanding: Option<Outstanding>,
+    outstanding: HashMap<u64, Outstanding>,
     retries: u64,
     _proto: PhantomData<P>,
 }
@@ -118,11 +124,19 @@ impl<P> ClosedLoopClient<P> {
             workload,
             recorder,
             retry_timeout,
+            pipeline: 1,
             seq: 0,
-            outstanding: None,
+            outstanding: HashMap::new(),
             retries: 0,
             _proto: PhantomData,
         }
+    }
+
+    /// Keep `depth` requests outstanding instead of one.
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline = depth;
+        self
     }
 
     /// How many times this client re-sent a request after a timeout.
@@ -141,69 +155,72 @@ impl<P: ProtoMessage> ClosedLoopClient<P> {
             seq: self.seq,
         };
         let command = Command { id, op };
-        self.outstanding = Some(Outstanding {
-            seq: self.seq,
-            issued: ctx.now(),
-            command: command.clone(),
-            is_read,
-        });
+        self.outstanding.insert(
+            self.seq,
+            Outstanding {
+                issued: ctx.now(),
+                command: command.clone(),
+                is_read,
+            },
+        );
         let to = self.target.pick(ctx.rng());
         ctx.send(to, Envelope::Request(ClientRequest { command }));
         ctx.set_timer(self.retry_timeout, self.seq);
     }
 
-    fn resend(&mut self, ctx: &mut Context<Envelope<P>>) {
-        if let Some(out) = &self.outstanding {
+    fn resend(&mut self, seq: u64, to: Option<NodeId>, ctx: &mut Context<Envelope<P>>) {
+        if let Some(out) = self.outstanding.get(&seq) {
             let command = out.command.clone();
-            let seq = out.seq;
             self.retries += 1;
-            let to = self.target.pick(ctx.rng());
+            let to = to.unwrap_or_else(|| self.target.pick(ctx.rng()));
             ctx.send(to, Envelope::Request(ClientRequest { command }));
             ctx.set_timer(self.retry_timeout, seq);
         }
     }
-}
 
-impl<P: ProtoMessage> Actor<Envelope<P>> for ClosedLoopClient<P> {
-    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
-        self.issue_next(ctx);
-    }
-
-    fn on_message(&mut self, _from: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
-        let reply = match msg {
-            Envelope::Reply(r) => r,
-            // Clients ignore anything that is not a reply.
-            _ => return,
-        };
-        let Some(out) = &self.outstanding else { return };
-        if reply.id.seq != out.seq {
+    fn handle_reply(&mut self, reply: crate::command::ClientReply, ctx: &mut Context<Envelope<P>>) {
+        if !self.outstanding.contains_key(&reply.id.seq) {
             return; // stale reply (e.g. after a retry raced the original)
         }
         if !reply.ok {
             // Redirected: re-send to the hinted node (or re-pick).
-            if let Some(leader) = reply.redirect {
-                let command = out.command.clone();
-                let seq = out.seq;
-                ctx.send(leader, Envelope::Request(ClientRequest { command }));
-                ctx.set_timer(self.retry_timeout, seq);
-            } else {
-                self.resend(ctx);
-            }
+            self.resend(reply.id.seq, reply.redirect, ctx);
             return;
         }
+        let out = self.outstanding.remove(&reply.id.seq).expect("checked");
         self.recorder.record(Sample {
             issued: out.issued,
             completed: ctx.now(),
             is_read: out.is_read,
         });
-        self.outstanding = None;
         self.issue_next(ctx);
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for ClosedLoopClient<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        for _ in 0..self.pipeline {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
+        match msg {
+            Envelope::Reply(r) => self.handle_reply(r, ctx),
+            Envelope::ReplyBatch(rs) => {
+                for r in rs {
+                    self.handle_reply(r, ctx);
+                }
+            }
+            // Clients ignore anything that is not a reply.
+            _ => {}
+        }
     }
 
     fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
-        // Retry only if the timed-out request is still the outstanding one.
-        if matches!(&self.outstanding, Some(out) if out.seq == kind) {
-            self.resend(ctx);
+        // Retry only if the timed-out request is still outstanding.
+        if self.outstanding.contains_key(&kind) {
+            self.resend(kind, None, ctx);
         }
     }
 }
@@ -334,6 +351,73 @@ mod tests {
         assert!(
             a > 0 && b > 0,
             "both replicas should see traffic: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn pipelined_client_multiplies_in_flight_load() {
+        let run_with = |pipeline: usize| {
+            let mut sim: Simulation<Envelope<NoProto>> =
+                Simulation::new(Topology::lan(2), CpuCostModel::free(), 3);
+            sim.add_actor(Box::new(ReplicaActor(InstantServer)));
+            let rec = ClientRecorder::new();
+            sim.add_actor(Box::new(
+                ClosedLoopClient::<NoProto>::new(
+                    TargetPolicy::Fixed(NodeId(0)),
+                    Workload::paper_default(),
+                    rec.clone(),
+                    SimDuration::from_millis(100),
+                )
+                .with_pipeline(pipeline),
+            ));
+            sim.run_until(SimTime::from_millis(100));
+            rec.len()
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        assert!(
+            four as f64 > one as f64 * 3.0,
+            "pipeline 4 should complete ~4x the ops: {four} vs {one}"
+        );
+    }
+
+    /// Buffers replies and ships them two at a time in one envelope.
+    struct BatchingServer {
+        held: Vec<(NodeId, ClientReply)>,
+    }
+    impl Replica<NoProto> for BatchingServer {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            self.held
+                .push((client, ClientReply::ok(req.command.id, None)));
+            if self.held.len() >= 2 {
+                let held = std::mem::take(&mut self.held);
+                let client = held[0].0;
+                ctx.reply_many(client, held.into_iter().map(|(_, r)| r).collect());
+            }
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    #[test]
+    fn reply_batches_unpack_and_complete_requests() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(2), CpuCostModel::free(), 3);
+        sim.add_actor(Box::new(ReplicaActor(BatchingServer { held: Vec::new() })));
+        let rec = ClientRecorder::new();
+        sim.add_actor(Box::new(
+            ClosedLoopClient::<NoProto>::new(
+                TargetPolicy::Fixed(NodeId(0)),
+                Workload::paper_default(),
+                rec.clone(),
+                SimDuration::from_millis(100),
+            )
+            .with_pipeline(2),
+        ));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(
+            rec.len() > 20,
+            "coalesced replies must keep the pipeline moving, got {}",
+            rec.len()
         );
     }
 

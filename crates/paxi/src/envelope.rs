@@ -25,6 +25,11 @@ pub enum Envelope<P> {
     Request(ClientRequest),
     /// Replica → client.
     Reply(ClientReply),
+    /// Replica → client: several coalesced replies in one envelope (the
+    /// reply-side counterpart of `P2aBatch`; see `paxi::batch`). All
+    /// replies target the destination client, which unpacks them in
+    /// order.
+    ReplyBatch(Vec<ClientReply>),
     /// Replica → replica (protocol internal).
     Proto(P),
 }
@@ -34,6 +39,13 @@ impl<P: ProtoMessage> Message for Envelope<P> {
         match self {
             Envelope::Request(r) => r.wire_size(),
             Envelope::Reply(r) => r.wire_size(),
+            // One shared header; per-reply payload without re-framing.
+            Envelope::ReplyBatch(rs) => {
+                crate::command::HEADER_BYTES
+                    + rs.iter()
+                        .map(|r| r.wire_size() - crate::command::HEADER_BYTES + 2)
+                        .sum::<usize>()
+            }
             Envelope::Proto(p) => p.wire_size(),
         }
     }
@@ -42,6 +54,7 @@ impl<P: ProtoMessage> Message for Envelope<P> {
         match self {
             Envelope::Request(_) => "request",
             Envelope::Reply(_) => "reply",
+            Envelope::ReplyBatch(_) => "reply_batch",
             Envelope::Proto(p) => p.label(),
         }
     }
@@ -81,6 +94,12 @@ mod tests {
 
         let rep: Envelope<P2a> = Envelope::Reply(ClientReply::ok(id, None));
         assert_eq!(rep.label(), "reply");
+
+        let batch: Envelope<P2a> =
+            Envelope::ReplyBatch(vec![ClientReply::ok(id, None), ClientReply::ok(id, None)]);
+        assert_eq!(batch.label(), "reply_batch");
+        // Two coalesced replies must beat two framed singles.
+        assert!(batch.wire_size() < 2 * rep.wire_size());
 
         let proto: Envelope<P2a> = Envelope::Proto(P2a);
         assert_eq!(proto.wire_size(), 100);

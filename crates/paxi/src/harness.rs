@@ -17,6 +17,10 @@ pub struct RunSpec {
     pub n_replicas: usize,
     /// Number of closed-loop clients (offered load control).
     pub n_clients: usize,
+    /// Requests each client keeps in flight (1 = classic closed loop;
+    /// higher values model one connection multiplexing several user
+    /// sessions, the workload reply coalescing amortizes).
+    pub client_pipeline: usize,
     /// Topology covering the replicas (clients are appended).
     pub topology: Topology,
     /// Region clients attach to (0 for LAN; the leader's region for WAN,
@@ -50,6 +54,7 @@ impl RunSpec {
         RunSpec {
             n_replicas,
             n_clients,
+            client_pipeline: 1,
             topology: Topology::lan(n_replicas),
             client_region: 0,
             cost: CpuCostModel::calibrated(),
@@ -120,6 +125,20 @@ pub struct RunResult {
     /// [`RunSpec::capture_trace`] was set — the precise measure of what
     /// relay trees and batching amortize.
     pub leader_proto_sent_per_op: Option<f64>,
+    /// Leader-sent client-reply envelopes (`reply` + `reply_batch`) per
+    /// completed operation — what reply coalescing amortizes. Present
+    /// when [`RunSpec::capture_trace`] was set.
+    pub leader_replies_per_op: Option<f64>,
+    /// All leader-sent messages (protocol + replies) per completed
+    /// operation — the end-to-end outbound leader load the batching
+    /// pipeline attacks. Present when [`RunSpec::capture_trace`] was
+    /// set.
+    pub leader_sent_per_op: Option<f64>,
+    /// Protocol messages *received* by the leader per completed
+    /// operation (the relay→leader uplink hop that multi-round
+    /// aggregate coalescing amortizes). Present when
+    /// [`RunSpec::capture_trace`] was set.
+    pub leader_proto_recv_per_op: Option<f64>,
 }
 
 /// Run one experiment.
@@ -155,12 +174,15 @@ where
 
     let recorder = ClientRecorder::new();
     for _ in 0..spec.n_clients {
-        sim.add_actor(Box::new(ClosedLoopClient::<P>::new(
-            target.clone(),
-            spec.workload.clone(),
-            recorder.clone(),
-            spec.retry_timeout,
-        )));
+        sim.add_actor(Box::new(
+            ClosedLoopClient::<P>::new(
+                target.clone(),
+                spec.workload.clone(),
+                recorder.clone(),
+                spec.retry_timeout,
+            )
+            .with_pipeline(spec.client_pipeline),
+        ));
     }
 
     hook(&mut sim, &cluster);
@@ -208,23 +230,37 @@ where
         Some(bucket) => bucket_timeline(&all_samples, bucket, window_end),
     };
 
-    let (trace_fingerprint, leader_proto_sent_per_op) = match sim.trace() {
-        None => (None, None),
-        Some(trace) => {
-            let leader_node = NodeId::from(leader);
-            let proto_sent = trace
-                .entries()
-                .iter()
-                .filter(|e| {
-                    e.from == leader_node
-                        && e.at > warmup_end
-                        && e.at <= window_end
-                        && e.label != "reply"
-                })
-                .count();
-            (Some(trace.fingerprint()), Some(proto_sent as f64 / ops))
+    let mut trace_fingerprint = None;
+    let mut leader_proto_sent_per_op = None;
+    let mut leader_replies_per_op = None;
+    let mut leader_sent_per_op = None;
+    let mut leader_proto_recv_per_op = None;
+    if let Some(trace) = sim.trace() {
+        let leader_node = NodeId::from(leader);
+        let is_reply = |label: &str| label == "reply" || label == "reply_batch";
+        let mut proto_sent = 0usize;
+        let mut replies_sent = 0usize;
+        let mut proto_recv = 0usize;
+        for e in trace.entries() {
+            if e.at <= warmup_end || e.at > window_end {
+                continue;
+            }
+            if e.from == leader_node {
+                if is_reply(e.label) {
+                    replies_sent += 1;
+                } else {
+                    proto_sent += 1;
+                }
+            } else if e.to == leader_node && e.label != "request" && !is_reply(e.label) {
+                proto_recv += 1;
+            }
         }
-    };
+        trace_fingerprint = Some(trace.fingerprint());
+        leader_proto_sent_per_op = Some(proto_sent as f64 / ops);
+        leader_replies_per_op = Some(replies_sent as f64 / ops);
+        leader_sent_per_op = Some((proto_sent + replies_sent) as f64 / ops);
+        leader_proto_recv_per_op = Some(proto_recv as f64 / ops);
+    }
 
     RunResult {
         throughput,
@@ -242,6 +278,9 @@ where
         client_retries: 0,
         trace_fingerprint,
         leader_proto_sent_per_op,
+        leader_replies_per_op,
+        leader_sent_per_op,
+        leader_proto_recv_per_op,
     }
 }
 

@@ -38,7 +38,7 @@ pub mod session;
 pub mod workload;
 
 pub use ballot::Ballot;
-pub use batch::{BatchConfig, BatchPush, Batcher};
+pub use batch::{BatchConfig, BatchPush, Batcher, ReplyBatcher, ReplyCoalesce};
 pub use client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
 pub use cluster::ClusterConfig;
 pub use command::{
@@ -53,5 +53,5 @@ pub use log::{Log, LogEntry};
 pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};
 pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
 pub use safety::SafetyMonitor;
-pub use session::SessionTable;
+pub use session::{SessionTable, DEFAULT_SESSION_WINDOW};
 pub use workload::{KeyDistribution, Workload};

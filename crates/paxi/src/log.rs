@@ -151,6 +151,17 @@ impl Log {
             .any(|(_, e)| !e.executed && e.command.id == id)
     }
 
+    /// Highest sequence number of `client`'s commands in the unexecuted
+    /// window (accepted or committed, not yet executed). Used to rebuild
+    /// a leader's per-client proposal floor after re-election.
+    pub fn highest_unexecuted_seq(&self, client: simnet::NodeId) -> Option<u64> {
+        self.entries
+            .range(self.execute_cursor..)
+            .filter(|(_, e)| !e.executed && e.command.id.client == client)
+            .map(|(_, e)| e.command.id.seq)
+            .max()
+    }
+
     /// Every `(slot, ballot, command)` at or above `from_slot`, committed
     /// or not — the phase-1b payload. Reporting *committed* entries too is
     /// what keeps a new leader from filling a slot that was already

@@ -18,6 +18,9 @@ pub trait ReplicaCtx<P> {
     fn send_proto(&mut self, to: NodeId, msg: P);
     /// Send a reply to a client.
     fn reply(&mut self, client: NodeId, reply: ClientReply);
+    /// Send coalesced replies to a client in one envelope (a singleton
+    /// degrades to a plain `Reply`).
+    fn reply_many(&mut self, client: NodeId, replies: Vec<ClientReply>);
 }
 
 impl<P: ProtoMessage> ReplicaCtx<P> for Ctx<'_, P> {
@@ -26,6 +29,13 @@ impl<P: ProtoMessage> ReplicaCtx<P> for Ctx<'_, P> {
     }
     fn reply(&mut self, client: NodeId, reply: ClientReply) {
         self.send(client, Envelope::Reply(reply));
+    }
+    fn reply_many(&mut self, client: NodeId, mut replies: Vec<ClientReply>) {
+        match replies.len() {
+            0 => {}
+            1 => self.reply(client, replies.pop().expect("len checked")),
+            _ => self.send(client, Envelope::ReplyBatch(replies)),
+        }
     }
 }
 
@@ -55,7 +65,7 @@ impl<P: ProtoMessage, R: Replica<P>> Actor<Envelope<P>> for ReplicaActor<R> {
             Envelope::Proto(p) => self.0.on_proto(from, p, ctx),
             // Replicas do not receive client replies; a stray one (e.g.
             // a redirect bouncing off a misconfigured client) is dropped.
-            Envelope::Reply(_) => {}
+            Envelope::Reply(_) | Envelope::ReplyBatch(_) => {}
         }
     }
 

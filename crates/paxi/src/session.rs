@@ -1,73 +1,130 @@
 //! Per-client session tracking for exactly-once request execution.
 //!
-//! Clients are closed-loop: each has at most one request outstanding and
-//! issues strictly increasing sequence numbers. A replica therefore only
-//! needs the *latest* executed reply per client to answer any retry:
+//! Clients issue strictly increasing sequence numbers and keep at most a
+//! small pipeline of requests outstanding. A replica therefore only
+//! needs the *last few* executed replies per client to answer any retry:
 //!
-//! - retry of the last executed command → replay the cached reply
+//! - retry of a recently executed command → replay the cached reply
 //!   (without re-proposing, so a lost reply costs one round trip, not a
 //!   whole new consensus round);
-//! - anything older → the client has already moved on; drop it.
+//! - anything older than the retained window → the client has already
+//!   moved on; drop it.
 //!
-//! Every replica updates its table at execution time, so after a leader
-//! change the new leader can still answer retries for commands the old
-//! leader executed cluster-wide.
+//! The retained window must cover the client's pipeline depth: with `k`
+//! requests outstanding, a retry can lag at most `k` executions behind
+//! the newest reply, so any window `>= k` keeps replay exact. Every
+//! replica updates its table at execution time, so after a leader change
+//! the new leader can still answer retries for commands the old leader
+//! executed cluster-wide.
 
 use crate::command::{ClientReply, RequestId};
 use simnet::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-/// Latest executed reply per client.
-#[derive(Debug, Default)]
+/// Replies retained per client by [`SessionTable::new`]. Covers any
+/// client pipeline depth up to this many in-flight requests.
+pub const DEFAULT_SESSION_WINDOW: usize = 16;
+
+#[derive(Debug)]
+struct Session {
+    /// Highest executed sequence number.
+    latest: u64,
+    /// The `window` highest executed replies by seq. Kept as a map (not
+    /// a contiguous ring) because protocols that execute in dependency
+    /// order (EPaxos) can execute a pipelined client's commands out of
+    /// sequence order.
+    replies: BTreeMap<u64, ClientReply>,
+}
+
+/// Recently executed replies per client.
+#[derive(Debug)]
 pub struct SessionTable {
-    last: HashMap<NodeId, (u64, ClientReply)>,
+    window: usize,
+    sessions: HashMap<NodeId, Session>,
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable::with_window(DEFAULT_SESSION_WINDOW)
+    }
 }
 
 impl SessionTable {
-    /// Empty table.
+    /// Table retaining [`DEFAULT_SESSION_WINDOW`] replies per client.
     pub fn new() -> Self {
         SessionTable::default()
     }
 
+    /// Table retaining the last `window` replies per client (must cover
+    /// the deepest client pipeline in use).
+    pub fn with_window(window: usize) -> Self {
+        assert!(window >= 1, "session window must retain at least 1 reply");
+        SessionTable {
+            window,
+            sessions: HashMap::new(),
+        }
+    }
+
     /// Number of clients tracked.
     pub fn len(&self) -> usize {
-        self.last.len()
+        self.sessions.len()
     }
 
     /// True when no client has executed anything yet.
     pub fn is_empty(&self) -> bool {
-        self.last.is_empty()
+        self.sessions.is_empty()
+    }
+
+    /// Highest executed sequence number for `client`, if any.
+    pub fn latest_seq(&self, client: NodeId) -> Option<u64> {
+        self.sessions.get(&client).map(|s| s.latest)
     }
 
     /// Record the reply for an executed command. No-op sentinel commands
-    /// (hole fillers) and out-of-date replies are ignored.
+    /// (hole fillers) and already-recorded replies are ignored. Replies
+    /// may arrive out of sequence order (dependency-ordered execution);
+    /// each is retained as long as it is within the window of the
+    /// highest seen.
     pub fn record(&mut self, reply: &ClientReply) {
         let id = reply.id;
         if id.client == NodeId(u32::MAX) {
             return; // noop filler, no client session
         }
-        match self.last.get(&id.client) {
-            Some((seq, _)) if *seq >= id.seq => {}
-            _ => {
-                self.last.insert(id.client, (id.seq, reply.clone()));
-            }
+        let s = self.sessions.entry(id.client).or_insert(Session {
+            latest: 0,
+            replies: BTreeMap::new(),
+        });
+        s.latest = s.latest.max(id.seq);
+        s.replies.entry(id.seq).or_insert_with(|| reply.clone());
+        while s.replies.len() > self.window {
+            s.replies.pop_first();
         }
     }
 
-    /// Cached reply if `id` is exactly the client's last executed
-    /// request (the retry-of-lost-reply case).
+    /// Cached reply if `id` is one of the client's recently executed
+    /// requests (the retry-of-lost-reply case).
     pub fn replay(&self, id: RequestId) -> Option<&ClientReply> {
-        match self.last.get(&id.client) {
-            Some((seq, reply)) if *seq == id.seq => Some(reply),
-            _ => None,
-        }
+        self.sessions.get(&id.client)?.replies.get(&id.seq)
     }
 
-    /// True if `id` is older than the client's last executed request —
-    /// a stale duplicate that must not be re-proposed (the client has
-    /// already received a newer reply and moved on).
+    /// True if `id` fell off the *full* retained reply window — a stale
+    /// duplicate that must not be re-proposed (the client has already
+    /// received a newer reply and moved on). A sparse window (fewer
+    /// than `window` replies recorded) never classifies anything stale:
+    /// with out-of-order execution a below-oldest seq could simply not
+    /// have executed yet, and dropping its retry would strand the
+    /// client.
     pub fn is_stale(&self, id: RequestId) -> bool {
-        matches!(self.last.get(&id.client), Some((seq, _)) if *seq > id.seq)
+        match self.sessions.get(&id.client) {
+            Some(s) => {
+                id.seq < s.latest
+                    && s.replies.len() >= self.window
+                    && s.replies
+                        .first_key_value()
+                        .is_some_and(|(oldest, _)| id.seq < *oldest)
+            }
+            None => false,
+        }
     }
 }
 
@@ -93,25 +150,65 @@ mod tests {
     }
 
     #[test]
-    fn staleness() {
-        let mut t = SessionTable::new();
-        t.record(&ClientReply::ok(id(1, 3), None));
+    fn staleness_beyond_window() {
+        let mut t = SessionTable::with_window(2);
+        for seq in 1..=4 {
+            t.record(&ClientReply::ok(id(1, seq), None));
+        }
+        // Window 2 retains seqs 3 and 4.
+        assert!(t.replay(id(1, 4)).is_some());
+        assert!(t.replay(id(1, 3)).is_some());
+        assert!(t.replay(id(1, 2)).is_none());
         assert!(t.is_stale(id(1, 2)));
-        assert!(!t.is_stale(id(1, 3)), "exact match is a replay, not stale");
-        assert!(!t.is_stale(id(1, 4)));
+        assert!(t.is_stale(id(1, 1)));
+        assert!(!t.is_stale(id(1, 3)), "retained replies replay, not drop");
+        assert!(!t.is_stale(id(1, 5)));
         assert!(!t.is_stale(id(9, 1)), "unknown clients are never stale");
     }
 
     #[test]
-    fn newer_reply_overwrites_older_kept() {
+    fn window_covers_pipelined_retries() {
+        // A pipeline-4 client may retry any of its last 4 executed
+        // requests; a window >= 4 must replay all of them.
+        let mut t = SessionTable::with_window(4);
+        for seq in 1..=10 {
+            t.record(&ClientReply::ok(id(1, seq), None));
+        }
+        for seq in 7..=10 {
+            assert!(t.replay(id(1, seq)).is_some(), "seq {seq} in window");
+        }
+        assert!(t.replay(id(1, 6)).is_none());
+        assert_eq!(t.latest_seq(NodeId(1)), Some(10));
+        assert_eq!(t.latest_seq(NodeId(2)), None);
+    }
+
+    #[test]
+    fn out_of_order_execution_still_replays_both() {
+        // EPaxos executes in dependency order: a pipelined client's
+        // seq 5 can execute before seq 4. Both replies must be
+        // retained for retry replay.
         let mut t = SessionTable::new();
         t.record(&ClientReply::ok(id(1, 5), None));
         t.record(&ClientReply::ok(id(1, 4), None));
+        assert!(t.replay(id(1, 5)).is_some());
         assert!(
-            t.replay(id(1, 5)).is_some(),
-            "older record must not clobber newer"
+            t.replay(id(1, 4)).is_some(),
+            "late out-of-order execution must still be cached"
         );
+        assert!(!t.is_stale(id(1, 4)));
+        assert_eq!(t.latest_seq(NodeId(1)), Some(5));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_record_keeps_first_reply() {
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(1, 3), Some(crate::Value::zeros(4))));
+        t.record(&ClientReply::ok(id(1, 3), None));
+        assert!(
+            t.replay(id(1, 3)).expect("cached").value.is_some(),
+            "re-execution must not clobber the original reply"
+        );
     }
 
     #[test]

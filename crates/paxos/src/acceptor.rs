@@ -177,6 +177,12 @@ impl Acceptor {
         self.log.has_unexecuted_command(id)
     }
 
+    /// Highest sequence number of `client`'s commands in the unexecuted
+    /// window (see [`paxi::Log::highest_unexecuted_seq`]).
+    pub fn highest_unexecuted_seq(&self, client: simnet::NodeId) -> Option<u64> {
+        self.log.highest_unexecuted_seq(client)
+    }
+
     /// This replica's answer to a quorum read (PQR): the last executed
     /// write to `key` plus whether any uncommitted write to it is in
     /// flight here.

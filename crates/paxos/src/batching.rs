@@ -2,15 +2,444 @@
 //!
 //! Both the direct Multi-Paxos replica and the PigPaxos overlay batch
 //! identically — only the *dissemination* of the resulting `P2aBatch`
-//! (full fan-out vs. relay tree) differs. The slot allocation,
-//! self-voting, and local acceptance logic live here once so the two
-//! replicas cannot drift.
+//! (full fan-out vs. relay tree) differs. Everything else lives here
+//! once so the two replicas cannot drift:
+//!
+//! - [`BatchLane`]: client-command admission at an active leader —
+//!   duplicate suppression, per-client sequencing (pipelined clients'
+//!   requests can arrive reordered by network jitter; the lane holds
+//!   successors until their predecessors are proposed so the decided
+//!   log preserves per-client issue order), and the size-or-time
+//!   (or adaptive) batch buffer;
+//! - [`propose_batch`] / [`accept_batch`]: slot allocation, self-voting,
+//!   and follower-side acceptance for a batched phase-2a;
+//! - [`count_batch_votes`]: the leader-side quorum counting guard.
 
 use crate::acceptor::{Acceptor, CommitAdvance};
-use crate::leader::Leader;
+use crate::leader::{BatchVotesOutcome, Leader};
 use crate::messages::P2bVote;
-use paxi::{Ballot, Command};
-use simnet::{NodeId, SimTime};
+use paxi::{
+    Ballot, BatchConfig, BatchPush, Batcher, Command, Ctx, ProtoMessage, ReplicaCtx, ReplyBatcher,
+    SessionTable,
+};
+use simnet::{NodeId, SimTime, TimerId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A flushed batch ready to propose: `(client, command)` pairs in
+/// admission order.
+pub type Batch = Vec<(NodeId, Command)>;
+
+/// Client-command admission and batching state for an active leader.
+///
+/// The lane is the part of the request path that was previously
+/// mirrored between `PaxosReplica` and `PigReplica`; the replicas keep
+/// only their dissemination policy. Every batch the lane emits must be
+/// proposed (via [`propose_batch`]) by the caller.
+#[derive(Debug)]
+pub struct BatchLane {
+    batcher: Batcher,
+    /// Pending `max_delay` flush timer, cancelled when a batch flushes
+    /// by size so it cannot prematurely flush the next batch.
+    timer: Option<TimerId>,
+    /// Highest sequence number proposed per client — the per-client
+    /// sequencing floor, and a cheap filter so only requests at or
+    /// below it (i.e. possible duplicates) pay the unexecuted-window
+    /// log scan.
+    proposed_hw: HashMap<NodeId, u64>,
+    /// Out-of-order arrivals held until their predecessors are proposed
+    /// (only populated by pipelined clients under network jitter).
+    held: HashMap<NodeId, BTreeMap<u64, Command>>,
+    held_count: usize,
+    /// Enforce per-client issue order in the decided log. Must be off
+    /// when some of a client's commands legitimately bypass this
+    /// leader's log (e.g. PQR reads served at follower proxies) — a
+    /// sequence gap would otherwise be held forever.
+    sequencing: bool,
+}
+
+impl BatchLane {
+    /// Empty lane with the given batching policy; `sequencing` enforces
+    /// per-client issue order in the decided log (see the field doc for
+    /// when it must be off).
+    pub fn new(cfg: BatchConfig, sequencing: bool) -> Self {
+        BatchLane {
+            batcher: Batcher::new(cfg),
+            timer: None,
+            proposed_hw: HashMap::new(),
+            held: HashMap::new(),
+            held_count: 0,
+            sequencing,
+        }
+    }
+
+    /// The active batching policy.
+    pub fn config(&self) -> &BatchConfig {
+        self.batcher.config()
+    }
+
+    /// Current adaptive fill target (diagnostics).
+    pub fn batch_target(&self) -> usize {
+        self.batcher.target()
+    }
+
+    /// Commands currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Commands held for per-client reordering (diagnostics).
+    pub fn held_count(&self) -> usize {
+        self.held_count
+    }
+
+    fn next_expected(&self, sessions: &SessionTable, client: NodeId) -> u64 {
+        let hw = self.proposed_hw.get(&client).copied().unwrap_or(0);
+        let executed = sessions.latest_seq(client).unwrap_or(0);
+        hw.max(executed) + 1
+    }
+
+    fn note_proposed(&mut self, client: NodeId, seq: u64) {
+        let hw = self.proposed_hw.entry(client).or_insert(0);
+        *hw = (*hw).max(seq);
+    }
+
+    /// The provably-handled per-client floor: the highest seq visible in
+    /// any live structure (executed sessions, the unexecuted log window,
+    /// outstanding proposals, the batch buffer). Only consulted on the
+    /// rare stale-floor path after re-election, so the log scan stays
+    /// off the hot path.
+    fn justified_floor(
+        &self,
+        leader: &Leader,
+        acceptor: &Acceptor,
+        sessions: &SessionTable,
+        client: NodeId,
+    ) -> u64 {
+        sessions
+            .latest_seq(client)
+            .unwrap_or(0)
+            .max(acceptor.highest_unexecuted_seq(client).unwrap_or(0))
+            .max(leader.highest_outstanding_seq(client).unwrap_or(0))
+            .max(self.batcher.highest_buffered_seq(client).unwrap_or(0))
+    }
+
+    fn is_duplicate(&self, leader: &Leader, acceptor: &Acceptor, cmd: &Command) -> bool {
+        // The floor filter keeps the unexecuted-log scan off the hot
+        // path: a fresh command (above a known floor) cannot be in the
+        // log. An *absent* entry is inconclusive — after failover the
+        // new leader has no floor yet, but a retry of a command the old
+        // leader committed may sit unexecuted in the log — so scan.
+        let possibly_proposed = match self.proposed_hw.get(&cmd.id.client) {
+            Some(&hw) => hw >= cmd.id.seq,
+            None => true, // no floor yet (e.g. fresh leadership): scan
+        };
+        leader.has_outstanding_request(cmd.id)
+            || self.batcher.contains(cmd.id)
+            || (possibly_proposed && acceptor.has_unexecuted_command(cmd.id))
+    }
+
+    fn push<P: ProtoMessage>(
+        &mut self,
+        client: NodeId,
+        cmd: Command,
+        ctx: &mut Ctx<P>,
+        t_batch: u64,
+        out: &mut Vec<Batch>,
+    ) {
+        self.note_proposed(cmd.id.client, cmd.id.seq);
+        match self.batcher.push(client, cmd, ctx.now()) {
+            BatchPush::Flush(batch) => {
+                if let Some(t) = self.timer.take() {
+                    ctx.cancel_timer(t);
+                }
+                out.push(batch);
+            }
+            BatchPush::ArmTimer => {
+                self.timer = Some(ctx.set_timer(self.batcher.config().max_delay, t_batch));
+            }
+            BatchPush::Buffered => {}
+        }
+    }
+
+    /// Release held successors of `client` that are now in sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn release_client<P: ProtoMessage>(
+        &mut self,
+        leader: &Leader,
+        acceptor: &Acceptor,
+        sessions: &SessionTable,
+        client: NodeId,
+        ctx: &mut Ctx<P>,
+        t_batch: u64,
+        out: &mut Vec<Batch>,
+    ) {
+        loop {
+            let expect = self.next_expected(sessions, client);
+            let Some(chain) = self.held.get_mut(&client) else {
+                return;
+            };
+            // Drop anything at or below the floor (stale duplicates of
+            // commands that got proposed through another path).
+            while chain
+                .first_key_value()
+                .is_some_and(|(&seq, _)| seq < expect)
+            {
+                chain.pop_first();
+                self.held_count -= 1;
+            }
+            let Some(cmd) = chain.remove(&expect) else {
+                if chain.is_empty() {
+                    self.held.remove(&client);
+                }
+                return;
+            };
+            self.held_count -= 1;
+            if self.is_duplicate(leader, acceptor, &cmd) {
+                self.note_proposed(cmd.id.client, cmd.id.seq);
+                continue;
+            }
+            self.push(client, cmd, ctx, t_batch, out);
+        }
+    }
+
+    /// Admit a client command at an *active* leader. The caller has
+    /// already answered session replays and dropped stale duplicates.
+    /// Returns the batches (possibly several, when the command unblocks
+    /// held successors) that must be proposed now.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit<P: ProtoMessage>(
+        &mut self,
+        leader: &Leader,
+        acceptor: &Acceptor,
+        sessions: &SessionTable,
+        client: NodeId,
+        cmd: Command,
+        ctx: &mut Ctx<P>,
+        t_batch: u64,
+    ) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let id = cmd.id;
+        if self
+            .held
+            .get(&id.client)
+            .is_some_and(|chain| chain.contains_key(&id.seq))
+        {
+            return out; // retry of a held command
+        }
+        if self.is_duplicate(leader, acceptor, &cmd) {
+            // Already in flight, buffered, or committed-but-unexecuted
+            // (the window the session table cannot see): the reply
+            // comes at execution. Advancing the floor lets any held
+            // successors through.
+            self.note_proposed(id.client, id.seq);
+            self.release_client(
+                leader, acceptor, sessions, id.client, ctx, t_batch, &mut out,
+            );
+            return out;
+        }
+        if self.sequencing {
+            let mut expect = self.next_expected(sessions, id.client);
+            if id.seq < expect {
+                // The floor says this seq was handled, yet it is in no
+                // live structure (checked above, and the floor made the
+                // unexecuted-log scan run): the floor was inherited
+                // from an earlier leadership term whose proposal never
+                // survived. Rebuild it from ground truth and
+                // re-sequence, so even several such retries — which may
+                // themselves arrive reordered — are re-proposed in
+                // issue order rather than dropped (stranding the
+                // client) or pushed as they come (reordering the log).
+                let justified = self.justified_floor(leader, acceptor, sessions, id.client);
+                self.proposed_hw.insert(id.client, justified);
+                expect = justified + 1;
+                if id.seq < expect {
+                    // A *successor* already survived into the log or
+                    // executed while this seq vanished (possible only
+                    // under message loss + failover): issue order is
+                    // unrecoverable for this pair, so deliver rather
+                    // than strand the retrying client.
+                    expect = id.seq;
+                }
+            }
+            if id.seq > expect {
+                // A predecessor is still in the network (pipelined
+                // client + jitter) or is itself an unproposed retry yet
+                // to arrive: hold until it is proposed. Liveness is the
+                // client's job — every outstanding request is retried.
+                self.held.entry(id.client).or_default().insert(id.seq, cmd);
+                self.held_count += 1;
+                return out;
+            }
+        }
+        self.push(client, cmd, ctx, t_batch, &mut out);
+        self.release_client(
+            leader, acceptor, sessions, id.client, ctx, t_batch, &mut out,
+        );
+        out
+    }
+
+    /// Release held commands unblocked by state advances outside
+    /// [`BatchLane::admit`] (e.g. executions learned from the commit
+    /// watermark advancing the session table). Cheap when nothing is
+    /// held.
+    pub fn drain_ready<P: ProtoMessage>(
+        &mut self,
+        leader: &Leader,
+        acceptor: &Acceptor,
+        sessions: &SessionTable,
+        ctx: &mut Ctx<P>,
+        t_batch: u64,
+    ) -> Vec<Batch> {
+        let mut out = Vec::new();
+        if self.held_count == 0 {
+            return out;
+        }
+        let clients: Vec<NodeId> = self.held.keys().copied().collect();
+        for client in clients {
+            self.release_client(leader, acceptor, sessions, client, ctx, t_batch, &mut out);
+        }
+        out
+    }
+
+    /// The `max_delay` timer fired: take whatever is buffered.
+    pub fn on_flush_timer(&mut self) -> Batch {
+        self.timer = None;
+        self.batcher.flush()
+    }
+
+    /// Abandon leadership: drain the buffer and every held command (the
+    /// caller redirects their clients) and return the flush timer to
+    /// cancel, so it cannot fire into the next leadership term.
+    pub fn abandon(&mut self) -> (Vec<(NodeId, Command)>, Option<TimerId>) {
+        let mut out = self.batcher.flush();
+        for (_, chain) in self.held.drain() {
+            for (_, cmd) in chain {
+                out.push((cmd.id.client, cmd));
+            }
+        }
+        self.held_count = 0;
+        (out, self.timer.take())
+    }
+}
+
+/// Count a batched set of phase-2b votes at the leader, guarded against
+/// inactive leadership and stale ballots. `None` means the votes do not
+/// apply; otherwise the caller must apply every commit and any
+/// preemption in the outcome.
+pub fn count_batch_votes(
+    leader: &mut Leader,
+    ballot: Ballot,
+    votes: Vec<P2bVote>,
+) -> Option<BatchVotesOutcome> {
+    if !leader.is_active() || ballot != leader.ballot() {
+        return None;
+    }
+    Some(leader.on_p2b_batch(votes))
+}
+
+/// What a batched vote wave produced: one execution wave of replies to
+/// ship, plus any preempting ballot the caller must abdicate to (after
+/// delivering the replies — a quorum of acks means *chosen*).
+#[derive(Debug)]
+pub struct VoteWave {
+    /// Executed `(slot, request, value)` triples, in slot order.
+    pub executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
+    /// Highest preempting ballot observed, if any.
+    pub preempted: Option<Ballot>,
+}
+
+/// Count a batched vote wave and apply it: commit every decided slot
+/// first, then execute the ready prefix *once*, so the wave produces a
+/// single batch of replies (what reply coalescing amortizes into
+/// per-client envelopes). `None` when the votes do not apply.
+pub fn apply_batch_votes(
+    leader: &mut Leader,
+    acceptor: &mut Acceptor,
+    ballot: Ballot,
+    votes: Vec<P2bVote>,
+) -> Option<VoteWave> {
+    let out = count_batch_votes(leader, ballot, votes)?;
+    let ballot = leader.ballot();
+    for (slot, cmd, _client) in out.committed {
+        acceptor.commit(slot, ballot, cmd);
+    }
+    Some(VoteWave {
+        executed: acceptor.execute_ready(),
+        preempted: out.preempted,
+    })
+}
+
+/// Handle one wave of executed commands at a replica — the reply leg
+/// shared by the direct and relay-tree replicas: charge execution cost,
+/// record every reply in the session table, route waiting clients'
+/// replies through the (possibly coalescing) reply batcher, close the
+/// wave, and release any held admissions the session advance unblocked.
+/// Returns the batches the caller must propose (its dissemination
+/// policy is the only part that differs between replicas).
+#[allow(clippy::too_many_arguments)]
+pub fn handle_executed<P: ProtoMessage>(
+    lane: &mut BatchLane,
+    replies: &mut ReplyBatcher,
+    reply_timer_armed: &mut bool,
+    sessions: &mut SessionTable,
+    waiting: &mut HashMap<u64, NodeId>,
+    leader: &Leader,
+    acceptor: &Acceptor,
+    exec_cost: simnet::SimDuration,
+    executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
+    t_batch: u64,
+    t_reply: u64,
+    ctx: &mut Ctx<P>,
+) -> Vec<Batch> {
+    if executed.is_empty() {
+        return Vec::new();
+    }
+    ctx.charge(exec_cost * executed.len() as u64);
+    for (slot, id, value) in executed {
+        let reply = paxi::ClientReply::ok(id, value);
+        // Every replica caches the reply so retries are answered
+        // without another consensus round, even after a leader change.
+        sessions.record(&reply);
+        if let Some(client) = waiting.remove(&slot) {
+            replies.deliver(client, reply, reply_timer_armed, t_reply, ctx);
+        }
+    }
+    replies.end_wave(ctx);
+    // Executions advance the session table, which can release held
+    // out-of-order commands.
+    if leader.is_active() {
+        lane.drain_ready(leader, acceptor, sessions, ctx, t_batch)
+    } else {
+        Vec::new()
+    }
+}
+
+/// Abandon leadership — the other reply-leg path shared by both
+/// replicas: redirect every command queued during the campaign and
+/// every command the admission lane still holds (buffered or awaiting
+/// predecessors) toward `redirect_to`, cancel the batch flush timer so
+/// it cannot fire into the next term, and ship any replies still
+/// buffered for coalescing (executed results stay valid across
+/// abdication).
+pub fn abandon_leadership<P: ProtoMessage>(
+    lane: &mut BatchLane,
+    replies: &mut ReplyBatcher,
+    leader: &mut Leader,
+    redirect_to: Option<NodeId>,
+    ctx: &mut Ctx<P>,
+) {
+    while let Some((client, cmd)) = leader.pending.pop_front() {
+        ctx.reply(client, paxi::ClientReply::redirect(cmd.id, redirect_to));
+    }
+    let (abandoned, timer) = lane.abandon();
+    for (client, cmd) in abandoned {
+        ctx.reply(client, paxi::ClientReply::redirect(cmd.id, redirect_to));
+    }
+    if let Some(t) = timer {
+        ctx.cancel_timer(t);
+    }
+    replies.flush_into(ctx);
+}
 
 /// Everything a replica must apply and send after proposing a batch:
 /// the wire payload fields plus the leader's local side effects.
@@ -80,8 +509,12 @@ pub struct BatchAccept {
     pub advances: Vec<CommitAdvance>,
     /// True if any slot was accepted (leader contact is real).
     pub any_ok: bool,
-    /// Ballot for the reply message (the promised ballot on rejection,
-    /// mirroring the single-slot reply convention).
+    /// Ballot for the reply header: always the *request* ballot, so the
+    /// reply reaches the proposing leader's (and any relay's) round
+    /// matching even when every vote is a rejection — the rejecting
+    /// votes themselves carry the promised ballot, which is how a
+    /// preempted leader learns of the higher ballot immediately instead
+    /// of waiting for its P1a or heartbeat.
     pub reply_ballot: Ballot,
 }
 
@@ -102,12 +535,11 @@ pub fn accept_batch(
         votes.push(vote);
         advances.push(adv);
     }
-    let reply_ballot = votes.first().map(|v| v.ballot).unwrap_or(ballot);
     BatchAccept {
         votes,
         advances,
         any_ok,
-        reply_ballot,
+        reply_ballot: ballot,
     }
 }
 
@@ -121,6 +553,16 @@ mod tests {
         Command {
             id: RequestId {
                 client: NodeId(9),
+                seq,
+            },
+            op: Operation::Put(seq, Value::zeros(8)),
+        }
+    }
+
+    fn client_cmd(client: u32, seq: u64) -> Command {
+        Command {
+            id: RequestId {
+                client: NodeId(client),
                 seq,
             },
             op: Operation::Put(seq, Value::zeros(8)),
@@ -189,13 +631,347 @@ mod tests {
     }
 
     #[test]
-    fn accept_batch_rejects_stale_ballot_with_promised() {
+    fn accept_batch_rejection_keeps_request_ballot_header() {
         let mut acceptor = Acceptor::new(NodeId(1), SafetyMonitor::new());
         let high = Ballot::new(9, NodeId(2));
         acceptor.on_p1a(high, 0);
         let stale = Ballot::new(1, NodeId(0));
         let acc = accept_batch(&mut acceptor, stale, 0, vec![cmd(1)], 0);
         assert!(!acc.any_ok);
-        assert_eq!(acc.reply_ballot, high, "nack carries the promised ballot");
+        assert_eq!(
+            acc.reply_ballot, stale,
+            "reply header keeps the request ballot so the proposer's \
+             round matching accepts the nack"
+        );
+        assert_eq!(
+            acc.votes[0].ballot, high,
+            "the vote itself carries the promised ballot for preemption"
+        );
+    }
+
+    #[test]
+    fn rejected_batch_preempts_the_proposing_leader_immediately() {
+        let mut leader = active_leader(3);
+        let ballot = leader.ballot();
+        let slot = leader.propose(Some(NodeId(10)), cmd(1), SimTime::ZERO);
+
+        // A follower promised to a higher ballot rejects the batch.
+        let mut follower = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        let high = Ballot::new(50, NodeId(2));
+        follower.on_p1a(high, 0);
+        let acc = accept_batch(&mut follower, ballot, slot, vec![cmd(1)], 0);
+
+        // The reply header matches the leader's ballot, so the guard
+        // passes and the nack is seen at once.
+        let out = count_batch_votes(&mut leader, acc.reply_ballot, acc.votes)
+            .expect("request-ballot header must pass the leader guard");
+        assert_eq!(out.preempted, Some(high));
+    }
+
+    #[test]
+    fn count_votes_guards_inactive_and_stale() {
+        let mut leader = active_leader(3);
+        let stale = Ballot::new(999, NodeId(7));
+        assert!(count_batch_votes(&mut leader, stale, vec![]).is_none());
+        leader.demote();
+        let b = leader.ballot();
+        assert!(count_batch_votes(&mut leader, b, vec![]).is_none());
+    }
+
+    // ---- BatchLane ------------------------------------------------------
+
+    use paxi::Envelope;
+    use simnet::{Actor, Context, CpuCostModel, SimDuration, Simulation, Topology};
+
+    const T_BATCH: u64 = 7;
+
+    /// Drive a closure with a real simulator context (the lane needs
+    /// one for timers).
+    fn with_ctx(f: impl FnOnce(&mut Ctx<crate::messages::PaxosMsg>) + 'static) {
+        struct Once<F>(Option<F>);
+        impl<F: FnOnce(&mut Context<Envelope<crate::messages::PaxosMsg>>) + 'static>
+            Actor<Envelope<crate::messages::PaxosMsg>> for Once<F>
+        {
+            fn on_start(&mut self, ctx: &mut Context<Envelope<crate::messages::PaxosMsg>>) {
+                (self.0.take().expect("run once"))(ctx);
+            }
+            fn on_message(
+                &mut self,
+                _f: NodeId,
+                _m: Envelope<crate::messages::PaxosMsg>,
+                _c: &mut Context<Envelope<crate::messages::PaxosMsg>>,
+            ) {
+            }
+            fn on_timer(
+                &mut self,
+                _i: TimerId,
+                _k: u64,
+                _c: &mut Context<Envelope<crate::messages::PaxosMsg>>,
+            ) {
+            }
+        }
+        let mut sim: Simulation<Envelope<crate::messages::PaxosMsg>> =
+            Simulation::new(Topology::lan(1), CpuCostModel::free(), 1);
+        sim.add_actor(Box::new(Once(Some(f))));
+        sim.run_until(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn lane_orders_reordered_pipelined_arrivals() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::new(2, SimDuration::from_micros(200)), true);
+
+            // Seq 2 arrives before seq 1 (network jitter): held.
+            let held = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 2),
+                ctx,
+                T_BATCH,
+            );
+            assert!(held.is_empty(), "out-of-order arrival must be held");
+            assert_eq!(lane.held_count(), 1);
+
+            // Seq 1 arrives: both are admitted in order and fill the
+            // 2-command batch.
+            let batches = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(batches.len(), 1);
+            let seqs: Vec<u64> = batches[0].iter().map(|(_, c)| c.id.seq).collect();
+            assert_eq!(seqs, vec![1, 2], "admission restores issue order");
+            assert_eq!(lane.held_count(), 0);
+        });
+    }
+
+    #[test]
+    fn lane_suppresses_duplicates_and_held_retries() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::new(4, SimDuration::from_micros(200)), true);
+
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(lane.buffered(), 1);
+            // Retry of the buffered command: suppressed.
+            let out = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            assert!(out.is_empty());
+            assert_eq!(lane.buffered(), 1, "no duplicate buffered");
+
+            // A held command's retry is also suppressed.
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 3),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(lane.held_count(), 1);
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 3),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(lane.held_count(), 1, "held retry not duplicated");
+        });
+    }
+
+    #[test]
+    fn lane_reproposes_below_a_stale_floor_after_reelection() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::disabled(), true);
+
+            // Term 1: seq 1 admitted (floor advances to 1), but the
+            // proposal dies with the preempted leader — it never
+            // reaches the log and the lane is abandoned.
+            let first = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(first.len(), 1);
+            lane.abandon();
+
+            // Term 2 (re-elected): the client's retry of seq 1 sits
+            // below the stale floor but is in no live structure — it
+            // must be re-proposed, not dropped.
+            let retry = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(
+                retry.len(),
+                1,
+                "below-floor retry with no surviving proposal must be re-proposed"
+            );
+        });
+    }
+
+    #[test]
+    fn lane_resequences_reordered_retries_below_a_stale_floor() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::disabled(), true);
+
+            // Term 1: seqs 1 and 2 admitted (floor = 2), both proposals
+            // die with the preempted leader.
+            for seq in [1, 2] {
+                lane.admit(
+                    &leader,
+                    &acceptor,
+                    &sessions,
+                    NodeId(10),
+                    client_cmd(10, seq),
+                    ctx,
+                    T_BATCH,
+                );
+            }
+            lane.abandon();
+
+            // Term 2: the retries arrive reordered (2 before 1). The
+            // rebuilt floor must hold seq 2 until seq 1 lands, keeping
+            // the decided log in issue order.
+            let first = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 2),
+                ctx,
+                T_BATCH,
+            );
+            assert!(first.is_empty(), "seq 2 must wait for seq 1's retry");
+            assert_eq!(lane.held_count(), 1);
+            let second = lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            let seqs: Vec<u64> = second
+                .iter()
+                .flat_map(|b| b.iter().map(|(_, c)| c.id.seq))
+                .collect();
+            assert_eq!(seqs, vec![1, 2], "retries re-proposed in issue order");
+            assert_eq!(lane.held_count(), 0);
+        });
+    }
+
+    #[test]
+    fn lane_abandon_returns_buffered_and_held() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::new(8, SimDuration::from_micros(200)), true);
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 1),
+                ctx,
+                T_BATCH,
+            );
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(11),
+                client_cmd(11, 5),
+                ctx,
+                T_BATCH,
+            );
+            let (cmds, timer) = lane.abandon();
+            assert_eq!(cmds.len(), 2, "one buffered + one held");
+            assert!(timer.is_some(), "flush timer returned for cancellation");
+            assert_eq!(lane.held_count(), 0);
+            assert_eq!(lane.buffered(), 0);
+        });
+    }
+
+    #[test]
+    fn lane_drain_ready_releases_after_session_advance() {
+        with_ctx(|ctx| {
+            let leader = active_leader(5);
+            let acceptor = Acceptor::new(NodeId(0), SafetyMonitor::new());
+            let mut sessions = SessionTable::new();
+            let mut lane = BatchLane::new(BatchConfig::disabled(), true);
+
+            // Seq 2 held: the lane has never seen seq 1.
+            lane.admit(
+                &leader,
+                &acceptor,
+                &sessions,
+                NodeId(10),
+                client_cmd(10, 2),
+                ctx,
+                T_BATCH,
+            );
+            assert_eq!(lane.held_count(), 1);
+
+            // Seq 1 executes (e.g. learned via the commit watermark).
+            sessions.record(&paxi::ClientReply::ok(
+                RequestId {
+                    client: NodeId(10),
+                    seq: 1,
+                },
+                None,
+            ));
+            let batches = lane.drain_ready(&leader, &acceptor, &sessions, ctx, T_BATCH);
+            assert_eq!(batches.len(), 1, "session advance releases the successor");
+            assert_eq!(batches[0][0].1.id.seq, 2);
+        });
     }
 }

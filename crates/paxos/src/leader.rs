@@ -316,6 +316,17 @@ impl Leader {
     pub fn has_outstanding_request(&self, id: RequestId) -> bool {
         self.outstanding.values().any(|o| o.command.id == id)
     }
+
+    /// Highest sequence number of `client`'s commands currently
+    /// outstanding. Used to rebuild the per-client proposal floor after
+    /// re-election.
+    pub fn highest_outstanding_seq(&self, client: NodeId) -> Option<u64> {
+        self.outstanding
+            .values()
+            .filter(|o| o.command.id.client == client)
+            .map(|o| o.command.id.seq)
+            .max()
+    }
 }
 
 #[cfg(test)]

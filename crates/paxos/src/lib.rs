@@ -21,7 +21,10 @@ pub mod messages;
 pub mod replica;
 
 pub use acceptor::{Acceptor, CommitAdvance};
-pub use batching::{accept_batch, propose_batch, BatchAccept, BatchProposal};
+pub use batching::{
+    abandon_leadership, accept_batch, apply_batch_votes, count_batch_votes, handle_executed,
+    propose_batch, Batch, BatchAccept, BatchLane, BatchProposal, VoteWave,
+};
 pub use config::PaxosConfig;
 pub use leader::{BatchVotesOutcome, Leader, Outstanding, Phase1Outcome};
 pub use messages::{P1bVote, P2bVote, PaxosMsg, QrVoteEntry};

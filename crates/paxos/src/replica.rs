@@ -7,12 +7,13 @@
 //! operation (paper Table 1, "Paxos" row).
 
 use crate::acceptor::{Acceptor, CommitAdvance};
+use crate::batching::BatchLane;
 use crate::config::PaxosConfig;
 use crate::leader::{Leader, Phase1Outcome};
 use crate::messages::PaxosMsg;
 use paxi::{
-    BatchPush, Batcher, ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica,
-    ReplicaActor, ReplicaCtx, SessionTable,
+    ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
+    ReplicaCtx, ReplyBatcher, SessionTable,
 };
 use rand::Rng;
 use simnet::{Actor, NodeId, SimDuration, SimTime, TimerId};
@@ -23,6 +24,7 @@ const T_HEARTBEAT: u64 = 2;
 const T_RETRY_SCAN: u64 = 3;
 const T_LEARN: u64 = 6;
 const T_BATCH: u64 = 7;
+const T_REPLY: u64 = 8;
 
 /// Largest number of slots requested in one batched `LearnReq`.
 const LEARN_BATCH_MAX: usize = 4096;
@@ -38,17 +40,16 @@ pub struct PaxosReplica {
     last_leader_contact: SimTime,
     /// Clients waiting for a slot to execute, by slot.
     waiting: HashMap<u64, NodeId>,
-    /// Last executed reply per client, for exactly-once retries.
+    /// Recently executed replies per client, for exactly-once retries.
     sessions: SessionTable,
-    /// Client-command batching buffer (active leader only).
-    batcher: Batcher,
-    /// Pending `max_delay` flush timer, cancelled when a batch flushes
-    /// by size so it cannot prematurely flush the next batch.
-    batch_timer: Option<TimerId>,
-    /// Highest sequence number proposed per client — a cheap filter so
-    /// only requests at or below this high-water mark (i.e. possible
-    /// duplicates) pay the unexecuted-window log scan in `on_request`.
-    proposed_seq: HashMap<NodeId, u64>,
+    /// Client-command admission: duplicate suppression, per-client
+    /// sequencing, and the batch buffer (active leader only; shared
+    /// with the PigPaxos replica via `paxos::batching`).
+    lane: BatchLane,
+    /// Executed-command replies buffered per destination client.
+    replies: ReplyBatcher,
+    /// True while a reply flush timer is in flight.
+    reply_timer_armed: bool,
     election_timeout: SimDuration,
     /// Highest watermark we observed with gaps below it; a learn timer
     /// is armed while repair is pending.
@@ -67,9 +68,11 @@ impl PaxosReplica {
         };
         PaxosReplica {
             me,
-            batcher: Batcher::new(cfg.batch.clone()),
-            batch_timer: None,
-            proposed_seq: HashMap::new(),
+            // Every command of every client flows through the leader's
+            // log in direct Multi-Paxos, so per-client sequencing holds.
+            lane: BatchLane::new(cfg.batch.clone(), true),
+            replies: ReplyBatcher::new(cfg.batch.replies),
+            reply_timer_armed: false,
             cfg,
             acceptor,
             leader,
@@ -140,9 +143,10 @@ impl PaxosReplica {
                     self.leader.register(slot, cmd.clone(), None, ctx.now());
                     self.send_accepts(slot, cmd, ctx);
                 }
-                // Serve commands that queued up during the campaign.
+                // Serve commands that queued up during the campaign,
+                // through the same admission path as live requests.
                 while let Some((client, cmd)) = self.leader.pending.pop_front() {
-                    self.propose_command(client, cmd, ctx);
+                    self.admit_and_propose(client, cmd, ctx);
                 }
             }
             Phase1Outcome::Preempted { higher } => {
@@ -154,26 +158,33 @@ impl PaxosReplica {
     fn abdicate(&mut self, to: NodeId, ctx: &mut Ctx<PaxosMsg>) {
         self.leader.demote();
         self.known_leader = Some(to);
-        // Tell queued clients where to go instead of letting them stall.
-        while let Some((client, cmd)) = self.leader.pending.pop_front() {
-            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
-        }
-        for (client, cmd) in self.batcher.flush() {
-            ctx.reply(client, ClientReply::redirect(cmd.id, self.known_leader));
-        }
-        // A stale flush timer must not fire into the next leadership term.
-        if let Some(t) = self.batch_timer.take() {
-            ctx.cancel_timer(t);
-        }
+        crate::batching::abandon_leadership(
+            &mut self.lane,
+            &mut self.replies,
+            &mut self.leader,
+            self.known_leader,
+            ctx,
+        );
     }
 
-    fn note_proposed(&mut self, client: NodeId, seq: u64) {
-        let hw = self.proposed_seq.entry(client).or_insert(0);
-        *hw = (*hw).max(seq);
+    /// Run a client command through the shared admission lane and
+    /// propose whatever it flushes.
+    fn admit_and_propose(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
+        let batches = self.lane.admit(
+            &self.leader,
+            &self.acceptor,
+            &self.sessions,
+            client,
+            cmd,
+            ctx,
+            T_BATCH,
+        );
+        for batch in batches {
+            self.propose_batch(batch, ctx);
+        }
     }
 
     fn propose_command(&mut self, client: NodeId, cmd: Command, ctx: &mut Ctx<PaxosMsg>) {
-        self.note_proposed(cmd.id.client, cmd.id.seq);
         let slot = self.leader.propose(Some(client), cmd.clone(), ctx.now());
         self.waiting.insert(slot, client);
         self.send_accepts(slot, cmd, ctx);
@@ -191,9 +202,6 @@ impl PaxosReplica {
             let (client, cmd) = batch.into_iter().next().expect("len checked");
             self.propose_command(client, cmd, ctx);
             return;
-        }
-        for (_, cmd) in &batch {
-            self.note_proposed(cmd.id.client, cmd.id.seq);
         }
         let crate::batching::BatchProposal {
             ballot,
@@ -251,25 +259,23 @@ impl PaxosReplica {
         acc
     }
 
-    /// Feed a batched phase-2b response: votes are grouped per slot and
-    /// run through the ordinary single-slot quorum counting. Commits are
-    /// applied even when the same batch reports a preemption — a quorum
-    /// of acks means *chosen*, and the slot is already out of
-    /// `outstanding`.
+    /// Feed a batched phase-2b response through the shared guard +
+    /// commit-the-wave-then-execute-once helper. Commits are applied
+    /// even when the same batch reports a preemption — a quorum of acks
+    /// means *chosen*, and the slot is already out of `outstanding`.
     fn count_batch_votes(
         &mut self,
         ballot: paxi::Ballot,
         votes: Vec<crate::messages::P2bVote>,
         ctx: &mut Ctx<PaxosMsg>,
     ) {
-        if !self.leader.is_active() || ballot != self.leader.ballot() {
+        let Some(wave) =
+            crate::batching::apply_batch_votes(&mut self.leader, &mut self.acceptor, ballot, votes)
+        else {
             return;
-        }
-        let out = self.leader.on_p2b_batch(votes);
-        for (slot, cmd, _client) in out.committed {
-            self.commit_and_execute(slot, cmd, ctx);
-        }
-        if let Some(higher) = out.preempted {
+        };
+        self.reply_executed(wave.executed, ctx);
+        if let Some(higher) = wave.preempted {
             self.abdicate(higher.node(), ctx);
         }
     }
@@ -308,17 +314,22 @@ impl PaxosReplica {
         executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
         ctx: &mut Ctx<PaxosMsg>,
     ) {
-        if !executed.is_empty() {
-            ctx.charge(self.cfg.exec_cost * executed.len() as u64);
-        }
-        for (slot, id, value) in executed {
-            let reply = ClientReply::ok(id, value);
-            // Every replica caches the reply so retries are answered
-            // without another consensus round, even after a leader change.
-            self.sessions.record(&reply);
-            if let Some(client) = self.waiting.remove(&slot) {
-                ctx.reply(client, reply);
-            }
+        let batches = crate::batching::handle_executed(
+            &mut self.lane,
+            &mut self.replies,
+            &mut self.reply_timer_armed,
+            &mut self.sessions,
+            &mut self.waiting,
+            &self.leader,
+            &self.acceptor,
+            self.cfg.exec_cost,
+            executed,
+            T_BATCH,
+            T_REPLY,
+            ctx,
+        );
+        for batch in batches {
+            self.propose_batch(batch, ctx);
         }
     }
 
@@ -389,37 +400,10 @@ impl Replica<PaxosMsg> for PaxosReplica {
             return;
         }
         if self.leader.is_active() {
-            let possibly_duplicate = self
-                .proposed_seq
-                .get(&cmd.id.client)
-                .is_some_and(|&hw| hw >= cmd.id.seq);
-            if self.leader.has_outstanding_request(cmd.id)
-                || self.batcher.contains(cmd.id)
-                || (possibly_duplicate && self.acceptor.has_unexecuted_command(cmd.id))
-            {
-                // Duplicate of an in-flight retry: either still gathering
-                // votes, buffered in the batcher, or already committed and
-                // waiting on a lower slot to execute (the window the
-                // session table cannot see). The reply comes at execution.
-                return;
-            }
-            if self.batcher.enabled() {
-                match self.batcher.push(client, cmd) {
-                    BatchPush::Flush(batch) => {
-                        if let Some(t) = self.batch_timer.take() {
-                            ctx.cancel_timer(t);
-                        }
-                        self.propose_batch(batch, ctx);
-                    }
-                    BatchPush::ArmTimer => {
-                        self.batch_timer =
-                            Some(ctx.set_timer(self.batcher.config().max_delay, T_BATCH));
-                    }
-                    BatchPush::Buffered => {}
-                }
-            } else {
-                self.propose_command(client, cmd, ctx);
-            }
+            // Admission (duplicate suppression, per-client sequencing,
+            // batching) is shared with the PigPaxos replica; only the
+            // dissemination in `propose_batch` differs.
+            self.admit_and_propose(client, cmd, ctx);
         } else if self.leader.is_campaigning() || self.me == self.cluster.leader {
             self.leader.pending.push_back((client, cmd));
         } else {
@@ -615,9 +599,12 @@ impl Replica<PaxosMsg> for PaxosReplica {
             }
             T_LEARN => self.send_learn_request(ctx),
             T_BATCH if self.leader.is_active() => {
-                self.batch_timer = None;
-                let batch = self.batcher.flush();
+                let batch = self.lane.on_flush_timer();
                 self.propose_batch(batch, ctx);
+            }
+            T_REPLY => {
+                self.reply_timer_armed = false;
+                self.replies.flush_into(ctx);
             }
             _ => {}
         }

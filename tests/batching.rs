@@ -12,6 +12,7 @@ use paxi::{
 };
 use paxos::{paxos_builder, PaxosConfig};
 use pigpaxos::{pig_builder, PigConfig};
+use proptest::prelude::*;
 use simnet::{
     Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
 };
@@ -23,9 +24,21 @@ fn batched(max_batch: usize) -> BatchConfig {
     BatchConfig::new(max_batch, SimDuration::from_micros(200))
 }
 
+/// The full batching-v2 policy: adaptive sizing + coalesced replies.
+fn adaptive_coalesced(max_batch: usize) -> BatchConfig {
+    BatchConfig::adaptive(max_batch, SimDuration::from_micros(200))
+        .with_reply_coalescing(SimDuration::ZERO)
+}
+
 fn paxos_batched(max_batch: usize) -> PaxosConfig {
     let mut cfg = PaxosConfig::lan();
     cfg.batch = batched(max_batch);
+    cfg
+}
+
+fn paxos_with(batch: BatchConfig) -> PaxosConfig {
+    let mut cfg = PaxosConfig::lan();
+    cfg.batch = batch;
     cfg
 }
 
@@ -35,32 +48,48 @@ fn pig_batched(groups: usize, max_batch: usize) -> PigConfig {
     cfg
 }
 
+fn pig_with(groups: usize, batch: BatchConfig) -> PigConfig {
+    let mut cfg = PigConfig::lan(groups);
+    cfg.paxos.batch = batch;
+    cfg
+}
+
 fn leader() -> TargetPolicy {
     TargetPolicy::Fixed(NodeId(0))
 }
 
 /// Hand-rolled cluster run that keeps the `ClusterConfig` (and thus the
 /// safety monitor's decided log) accessible after the run.
-fn run_cluster<P, B>(n: usize, clients: usize, build: B, until: SimTime) -> ClusterConfig
+fn run_cluster<P, B>(
+    n: usize,
+    clients: usize,
+    pipeline: usize,
+    seed: u64,
+    build: B,
+    until: SimTime,
+) -> ClusterConfig
 where
     P: ProtoMessage,
     B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
 {
     let mut topo = Topology::lan(n);
     topo.add_nodes(clients, 0);
-    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), 11);
+    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), seed);
     let cluster = ClusterConfig::new(n);
     for i in 0..n {
         sim.add_actor(build(NodeId::from(i), &cluster));
     }
     let recorder = ClientRecorder::new();
     for _ in 0..clients {
-        sim.add_actor(Box::new(ClosedLoopClient::<P>::new(
-            leader(),
-            Workload::paper_default(),
-            recorder.clone(),
-            SimDuration::from_millis(100),
-        )));
+        sim.add_actor(Box::new(
+            ClosedLoopClient::<P>::new(
+                leader(),
+                Workload::paper_default(),
+                recorder.clone(),
+                SimDuration::from_millis(100),
+            )
+            .with_pipeline(pipeline),
+        ));
     }
     sim.run_until(until);
     assert!(
@@ -107,6 +136,8 @@ fn paxos_batched_log_respects_client_issue_order() {
     let cluster = run_cluster(
         5,
         16,
+        1,
+        11,
         paxos_builder(paxos_batched(8)),
         SimTime::from_millis(1200),
     );
@@ -118,10 +149,71 @@ fn pigpaxos_batched_log_respects_client_issue_order() {
     let cluster = run_cluster(
         5,
         16,
+        1,
+        11,
         pig_builder(pig_batched(2, 8)),
         SimTime::from_millis(1200),
     );
     assert_per_client_fifo(&cluster);
+}
+
+#[test]
+fn pipelined_adaptive_log_respects_client_issue_order() {
+    // Pipelined clients' requests reorder under LAN jitter; the leader's
+    // admission lane must restore per-client issue order even with
+    // adaptive batch sizes and coalesced replies in play.
+    let cluster = run_cluster(
+        5,
+        8,
+        4,
+        11,
+        pig_builder(pig_with(2, adaptive_coalesced(32))),
+        SimTime::from_millis(1200),
+    );
+    assert_per_client_fifo(&cluster);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-client FIFO holds in the decided log for every combination of
+    /// seed, pipeline depth, and sizing mode — the property the
+    /// admission lane exists to defend.
+    #[test]
+    fn fifo_holds_under_adaptive_sizing_and_coalesced_replies(
+        seed in 1u64..1_000,
+        pipeline in 1usize..=6,
+        adaptive in prop::bool::ANY,
+    ) {
+        let batch = if adaptive {
+            adaptive_coalesced(32)
+        } else {
+            batched(8).with_reply_coalescing(SimDuration::ZERO)
+        };
+        let cluster = run_cluster(
+            5,
+            6,
+            pipeline,
+            seed,
+            pig_builder(pig_with(2, batch)),
+            SimTime::from_millis(900),
+        );
+        cluster.safety.assert_safe();
+        let mut last_seq: HashMap<NodeId, u64> = HashMap::new();
+        for ((_, _), id) in cluster.safety.decisions() {
+            if id.client == NodeId(u32::MAX) {
+                continue;
+            }
+            if let Some(&prev) = last_seq.get(&id.client) {
+                prop_assert!(
+                    id.seq > prev,
+                    "client {} seq {} decided after seq {}",
+                    id.client, id.seq, prev
+                );
+            }
+            last_seq.insert(id.client, id.seq);
+        }
+    }
 }
 
 /// Sequential put-then-get client: every get must observe the
@@ -175,23 +267,32 @@ impl<P: ProtoMessage> Actor<Envelope<P>> for RywClient<P> {
     }
 
     fn on_message(&mut self, _f: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
-        let Envelope::Reply(reply) = msg else { return };
-        if !reply.ok || reply.id.seq != self.seq {
-            return;
-        }
-        if self.expecting_get {
-            let expected = Self::value_for_round(self.current_round);
-            if reply.value.as_ref() != Some(&expected) {
-                self.failures.borrow_mut().push(format!(
-                    "round {}: get returned {:?}, expected {:?}",
-                    self.current_round, reply.value, expected
-                ));
+        // Unpack coalesced envelopes like a real client would; a lone
+        // sequential client normally gets singletons (degraded to plain
+        // `Reply`), but windowed coalescing can merge across waves.
+        let replies = match msg {
+            Envelope::Reply(r) => vec![r],
+            Envelope::ReplyBatch(rs) => rs,
+            _ => return,
+        };
+        for reply in replies {
+            if !reply.ok || reply.id.seq != self.seq {
+                continue;
             }
-            *self.completed.borrow_mut() += 1;
-            self.next_round(ctx);
-        } else {
-            self.expecting_get = true;
-            self.issue(Operation::Get(7), ctx);
+            if self.expecting_get {
+                let expected = Self::value_for_round(self.current_round);
+                if reply.value.as_ref() != Some(&expected) {
+                    self.failures.borrow_mut().push(format!(
+                        "round {}: get returned {:?}, expected {:?}",
+                        self.current_round, reply.value, expected
+                    ));
+                }
+                *self.completed.borrow_mut() += 1;
+                self.next_round(ctx);
+            } else {
+                self.expecting_get = true;
+                self.issue(Operation::Get(7), ctx);
+            }
         }
     }
 
@@ -243,6 +344,94 @@ fn paxos_batched_read_your_writes() {
 #[test]
 fn pigpaxos_batched_read_your_writes() {
     check_read_your_writes(5, pig_builder(pig_batched(2, 16)));
+}
+
+#[test]
+fn adaptive_coalesced_read_your_writes() {
+    // The full v2 pipeline (adaptive sizing, reply coalescing, relay
+    // round coalescing) must preserve sequential consistency for a
+    // lone put-then-get client.
+    check_read_your_writes(5, paxos_builder(paxos_with(adaptive_coalesced(32))));
+    check_read_your_writes(5, pig_builder(pig_with(2, adaptive_coalesced(32))));
+}
+
+/// The reply-side gate: coalescing must collapse per-command reply
+/// envelopes for pipelined clients, cutting total leader-sent messages
+/// (protocol + replies) at least 2x versus the replies-per-command
+/// baseline at the same batch size.
+#[test]
+fn reply_coalescing_cuts_leader_reply_envelopes() {
+    let spec = RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(1200),
+        capture_trace: true,
+        n_clients: 4,
+        client_pipeline: 8,
+        ..RunSpec::lan(5, 4)
+    };
+    let mut v1 = PigConfig::lan(2);
+    v1.paxos.batch = batched(16);
+    v1.relay_coalesce_window = SimDuration::ZERO; // PR-1 behaviour
+    let base = run(&spec, pig_builder(v1), leader());
+    let v2 = run(
+        &spec,
+        pig_builder(pig_with(
+            2,
+            batched(16).with_reply_coalescing(SimDuration::ZERO),
+        )),
+        leader(),
+    );
+    assert!(base.violations.is_empty(), "{:?}", base.violations);
+    assert!(v2.violations.is_empty(), "{:?}", v2.violations);
+
+    let base_replies = base.leader_replies_per_op.expect("trace captured");
+    let v2_replies = v2.leader_replies_per_op.expect("trace captured");
+    assert!(
+        (base_replies - 1.0).abs() < 0.05,
+        "uncoalesced baseline sends one reply envelope per command, got {base_replies:.3}"
+    );
+    assert!(
+        v2_replies <= 0.5,
+        "pipelined waves must coalesce replies >=2x, got {v2_replies:.3} envelopes/cmd"
+    );
+
+    let base_total = base.leader_sent_per_op.expect("trace captured");
+    let v2_total = v2.leader_sent_per_op.expect("trace captured");
+    assert!(
+        base_total >= v2_total * 2.0,
+        "total leader-sent messages must drop >=2x end to end: {base_total:.3} vs {v2_total:.3}"
+    );
+    // Coalescing must not wreck service.
+    assert!(
+        v2.throughput > base.throughput * 0.7,
+        "throughput must hold: {:.0} vs {:.0}",
+        v2.throughput,
+        base.throughput
+    );
+}
+
+/// Adaptive sizing must not tax an idle system: a trickle of commands
+/// flushes immediately, keeping p50 within 1.2x of unbatched.
+#[test]
+fn adaptive_batching_keeps_low_load_latency() {
+    let spec = RunSpec {
+        warmup: SimDuration::from_millis(300),
+        measure: SimDuration::from_millis(1200),
+        ..RunSpec::lan(5, 2)
+    };
+    let unbatched = run(&spec, pig_builder(PigConfig::lan(2)), leader());
+    let adaptive = run(
+        &spec,
+        pig_builder(pig_with(2, adaptive_coalesced(32))),
+        leader(),
+    );
+    assert!(adaptive.violations.is_empty());
+    assert!(
+        adaptive.p50_latency_ms <= unbatched.p50_latency_ms * 1.2,
+        "adaptive mode must flush immediately at low load: p50 {:.3}ms vs {:.3}ms",
+        adaptive.p50_latency_ms,
+        unbatched.p50_latency_ms
+    );
 }
 
 /// The point of the whole subsystem: at `max_batch = 16`, leader-sent
