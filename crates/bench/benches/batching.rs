@@ -4,10 +4,11 @@
 //! batch_sweep's extreme points).
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use paxi::harness::{run, RunSpec};
-use paxi::{BatchConfig, BatchPush, Batcher, Command, Operation, RequestId, TargetPolicy};
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
+use paxi::{
+    BatchConfig, BatchPush, Batcher, Command, Experiment, Operation, ProtocolSpec, RequestId,
+};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
 use simnet::{NodeId, SimDuration, SimTime};
 
 fn cmd(seq: u64) -> Command {
@@ -46,12 +47,11 @@ fn bench_batcher(c: &mut Criterion) {
     });
 }
 
-fn quick_spec(n: usize, clients: usize) -> RunSpec {
-    RunSpec {
-        warmup: SimDuration::from_millis(100),
-        measure: SimDuration::from_millis(300),
-        ..RunSpec::lan(n, clients)
-    }
+fn quick<P: ProtocolSpec>(proto: P, n: usize, clients: usize) -> Experiment<P> {
+    Experiment::lan(proto, n)
+        .clients(clients)
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(300))
 }
 
 fn bench_batched_clusters(c: &mut Criterion) {
@@ -69,14 +69,10 @@ fn bench_batched_clusters(c: &mut Criterion) {
                     if max_batch > 1 {
                         cfg.batch = BatchConfig::new(max_batch, SimDuration::from_micros(200));
                     }
-                    cfg
+                    quick(cfg, 5, 32)
                 },
-                |cfg| {
-                    let r = run(
-                        &quick_spec(5, 32),
-                        paxos_builder(cfg),
-                        TargetPolicy::Fixed(NodeId(0)),
-                    );
+                |exp| {
+                    let r = exp.run_sim(paxi::DEFAULT_SEED);
                     assert!(r.violations.is_empty());
                     r.samples
                 },
@@ -88,16 +84,12 @@ fn bench_batched_clusters(c: &mut Criterion) {
     g.bench_function("pigpaxos_5n_r2_batch16_400ms_sim", |b| {
         b.iter_batched(
             || {
-                let mut cfg = PigConfig::lan(2);
-                cfg.paxos.batch = BatchConfig::new(16, SimDuration::from_micros(200));
-                cfg
+                let cfg = PigConfig::lan(2)
+                    .with_batch(BatchConfig::new(16, SimDuration::from_micros(200)));
+                quick(cfg, 5, 32)
             },
-            |cfg| {
-                let r = run(
-                    &quick_spec(5, 32),
-                    pig_builder(cfg),
-                    TargetPolicy::Fixed(NodeId(0)),
-                );
+            |exp| {
+                let r = exp.run_sim(paxi::DEFAULT_SEED);
                 assert!(r.violations.is_empty());
                 r.samples
             },

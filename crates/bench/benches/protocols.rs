@@ -7,19 +7,17 @@
 //! so figure regeneration stays fast.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::{run, RunSpec};
-use paxi::TargetPolicy;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use epaxos::EpaxosConfig;
+use paxi::{Experiment, ProtocolSpec};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
 
-fn quick_spec(n: usize, clients: usize) -> RunSpec {
-    RunSpec {
-        warmup: SimDuration::from_millis(100),
-        measure: SimDuration::from_millis(300),
-        ..RunSpec::lan(n, clients)
-    }
+fn quick<P: ProtocolSpec>(proto: P, n: usize, clients: usize) -> Experiment<P> {
+    Experiment::lan(proto, n)
+        .clients(clients)
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(300))
 }
 
 fn bench_protocols(c: &mut Criterion) {
@@ -28,13 +26,9 @@ fn bench_protocols(c: &mut Criterion) {
 
     g.bench_function("paxos_25n_400ms_sim", |b| {
         b.iter_batched(
-            || quick_spec(25, 20),
-            |spec| {
-                let r = run(
-                    &spec,
-                    paxos_builder(PaxosConfig::lan()),
-                    TargetPolicy::Fixed(NodeId(0)),
-                );
+            || quick(PaxosConfig::lan(), 25, 20),
+            |exp| {
+                let r = exp.run_sim(paxi::DEFAULT_SEED);
                 assert!(r.violations.is_empty());
                 r.samples
             },
@@ -44,13 +38,9 @@ fn bench_protocols(c: &mut Criterion) {
 
     g.bench_function("pigpaxos_25n_r3_400ms_sim", |b| {
         b.iter_batched(
-            || quick_spec(25, 20),
-            |spec| {
-                let r = run(
-                    &spec,
-                    pig_builder(PigConfig::lan(3)),
-                    TargetPolicy::Fixed(NodeId(0)),
-                );
+            || quick(PigConfig::lan(3), 25, 20),
+            |exp| {
+                let r = exp.run_sim(paxi::DEFAULT_SEED);
                 assert!(r.violations.is_empty());
                 r.samples
             },
@@ -60,13 +50,9 @@ fn bench_protocols(c: &mut Criterion) {
 
     g.bench_function("epaxos_5n_400ms_sim", |b| {
         b.iter_batched(
-            || quick_spec(5, 20),
-            |spec| {
-                let r = run(
-                    &spec,
-                    epaxos_builder(EpaxosConfig::default()),
-                    TargetPolicy::Random((0..5u32).map(NodeId).collect()),
-                );
+            || quick(EpaxosConfig::default(), 5, 20),
+            |exp| {
+                let r = exp.run_sim(paxi::DEFAULT_SEED);
                 assert!(r.violations.is_empty());
                 r.samples
             },

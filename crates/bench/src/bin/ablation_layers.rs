@@ -7,9 +7,8 @@
 //! possibility it helps is reserved for very large clusters, checked
 //! here at N = 101.
 
-use paxi::harness::max_throughput;
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
 fn main() {
     if csv_mode() {
@@ -22,8 +21,7 @@ fn main() {
         for levels in [1usize, 2] {
             let mut cfg = PigConfig::lan(2);
             cfg.levels = levels;
-            let spec = lan_spec(n);
-            let t = max_throughput(&spec, MAX_TPUT_CLIENTS, pig_builder(cfg), leader_target());
+            let t = lan_experiment(cfg, n).max_throughput(SEED, MAX_TPUT_CLIENTS);
             if csv_mode() {
                 println!("{n},{levels},{t:.0}");
             } else {

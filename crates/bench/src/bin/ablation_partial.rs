@@ -14,27 +14,26 @@
 //! flushes per group per round), so this also reports throughput to
 //! show the trade-off honestly.
 
-use paxi::harness::{run_spec, RunSpec};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, SEED};
 use simnet::{Control, NodeId, SimTime};
 
-fn run_one(spec: &RunSpec, threshold: Option<usize>) -> paxi::RunResult {
+fn run_one(threshold: Option<usize>) -> paxi::RunResult {
     let mut cfg = PigConfig::lan(3);
     cfg.partial_threshold = threshold;
-    run_spec(spec, pig_builder(cfg), leader_target(), |sim, _| {
-        // Groups of 8: g0 = nodes 1-8, g1 = 9-16, g2 = 17-24; one crash
-        // in g0 and one in g1.
-        sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(5)));
-        sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(12)));
-    })
+    lan_experiment(cfg, 25)
+        .clients(10) // moderate load: latency, not saturation, matters
+        .run_sim_with(SEED, |sim, _| {
+            // Groups of 8: g0 = nodes 1-8, g1 = 9-16, g2 = 17-24; one
+            // crash in g0 and one in g1.
+            sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(5)));
+            sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(12)));
+        })
 }
 
 fn main() {
-    let mut spec = lan_spec(25);
-    spec.n_clients = 10; // moderate load: latency, not saturation, matters
-    let waitall = run_one(&spec, None);
-    let partial = run_one(&spec, Some(5));
+    let waitall = run_one(None);
+    let partial = run_one(Some(5));
     if csv_mode() {
         println!("config,throughput,mean_ms,p99_ms");
         println!(

@@ -7,19 +7,18 @@
 //! throughput, and the busiest follower handles far more messages per
 //! op in the fixed configuration.
 
-use paxi::harness::{load_sweep, RunSpec};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
-fn run_one(spec: &RunSpec, rotate: bool) -> (f64, f64) {
+fn run_one(n: usize, rotate: bool) -> (f64, f64) {
     let mut cfg = PigConfig::lan(2);
     cfg.rotate_relays = rotate;
-    let pts = load_sweep(spec, MAX_TPUT_CLIENTS, pig_builder(cfg), leader_target());
+    let pts = lan_experiment(cfg, n).load_sweep(SEED, MAX_TPUT_CLIENTS);
     let best = pts
         .iter()
         .max_by(|a, b| a.result.throughput.total_cmp(&b.result.throughput))
         .expect("non-empty sweep");
-    let max_follower = best.result.node_msgs[1..spec.n_replicas]
+    let max_follower = best.result.node_msgs[1..n]
         .iter()
         .max()
         .copied()
@@ -29,9 +28,9 @@ fn run_one(spec: &RunSpec, rotate: bool) -> (f64, f64) {
 }
 
 fn main() {
-    let spec = lan_spec(25);
-    let (tput_rot, hot_rot) = run_one(&spec, true);
-    let (tput_fix, hot_fix) = run_one(&spec, false);
+    let n = 25;
+    let (tput_rot, hot_rot) = run_one(n, true);
+    let (tput_fix, hot_fix) = run_one(n, false);
     if csv_mode() {
         println!("config,max_throughput,busiest_follower_msgs_per_op");
         println!("rotating,{tput_rot:.0},{hot_rot:.2}");

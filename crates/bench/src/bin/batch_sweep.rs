@@ -19,41 +19,35 @@
 //!
 //! `--json <path>` additionally writes the headline metrics as a flat
 //! JSON object — the artifact `perf_gate` checks against
-//! `BENCH_baseline.json` in CI.
+//! `BENCH_baseline.json` in CI. The simulation is deterministic, so an
+//! unchanged tree reproduces the baseline bit-for-bit — which is also
+//! the proof that API refactors around the harness preserve behavior.
 
-use paxi::harness::{run, RunResult, RunSpec};
-use paxi::BatchConfig;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, json, json_path, leader_target, quick_mode};
+use paxi::{BatchConfig, Experiment, RunResult};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, json, json_path, lan_experiment, SEED};
 use simnet::SimDuration;
 
 const BATCH_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32];
 const NODES: usize = 5;
 const CLIENTS: usize = 32;
 
-fn spec() -> RunSpec {
-    let mut spec = RunSpec::lan(NODES, CLIENTS);
-    if quick_mode() {
-        spec.warmup = SimDuration::from_millis(300);
-        spec.measure = SimDuration::from_millis(700);
-    } else {
-        spec.warmup = SimDuration::from_secs(1);
-        spec.measure = SimDuration::from_secs(3);
-    }
-    spec.capture_trace = true;
-    spec
-}
-
 /// The v2 client population: same 32 outstanding requests, but
 /// multiplexed 8-deep over 4 connections so reply coalescing has
 /// per-destination waves to merge (one connection ≈ several user
 /// sessions).
-fn pipelined_spec() -> RunSpec {
-    let mut spec = spec();
-    spec.n_clients = 4;
-    spec.client_pipeline = 8;
-    spec
+fn pipelined<P: paxi::ProtocolSpec>(proto: P) -> Experiment<P> {
+    lan_experiment(proto, NODES)
+        .clients(4)
+        .client_pipeline(8)
+        .capture_trace()
+}
+
+fn saturated<P: paxi::ProtocolSpec>(proto: P) -> Experiment<P> {
+    lan_experiment(proto, NODES)
+        .clients(CLIENTS)
+        .capture_trace()
 }
 
 fn batch_cfg(max_batch: usize) -> BatchConfig {
@@ -67,17 +61,14 @@ fn batch_cfg(max_batch: usize) -> BatchConfig {
 /// PigPaxos with the PR-1 behaviour: fixed batching only, no reply or
 /// relay-round coalescing.
 fn pig_v1(max_batch: usize) -> PigConfig {
-    let mut cfg = PigConfig::lan(2);
-    cfg.paxos.batch = batch_cfg(max_batch);
+    let mut cfg = PigConfig::lan(2).with_batch(batch_cfg(max_batch));
     cfg.relay_coalesce_window = SimDuration::ZERO;
     cfg
 }
 
 /// PigPaxos with the full batching-v2 pipeline.
 fn pig_v2(batch: BatchConfig) -> PigConfig {
-    let mut cfg = PigConfig::lan(2);
-    cfg.paxos.batch = batch.with_reply_coalescing(SimDuration::ZERO);
-    cfg
+    PigConfig::lan(2).with_batch(batch.with_reply_coalescing(SimDuration::ZERO))
 }
 
 struct Row {
@@ -180,9 +171,8 @@ fn main() {
 
     // ── 1. Fixed-size sweeps (the PR-1 gate) ──────────────────────────
     sweep("paxos", &mut metrics, |b| {
-        let mut cfg = PaxosConfig::lan();
-        cfg.batch = batch_cfg(b);
-        let r = run(&spec(), paxos_builder(cfg), leader_target());
+        let cfg = PaxosConfig::lan().with_batch(batch_cfg(b));
+        let r = saturated(cfg).run_sim(SEED);
         assert!(r.violations.is_empty(), "paxos B={b}: {:?}", r.violations);
         Row {
             max_batch: b,
@@ -195,7 +185,7 @@ fn main() {
     });
 
     sweep("pigpaxos_r2", &mut metrics, |b| {
-        let r = run(&spec(), pig_builder(pig_v1(b)), leader_target());
+        let r = saturated(pig_v1(b)).run_sim(SEED);
         assert!(
             r.violations.is_empty(),
             "pigpaxos B={b}: {:?}",
@@ -215,14 +205,10 @@ fn main() {
     if !csv_mode() {
         println!("\n── batching v2 @ B=16: 4 clients x pipeline 8, per-hop leader load ──");
     }
-    let v1 = run(&pipelined_spec(), pig_builder(pig_v1(16)), leader_target());
+    let v1 = pipelined(pig_v1(16)).run_sim(SEED);
     assert!(v1.violations.is_empty(), "v1: {:?}", v1.violations);
     hop_report("pig_v1_b16", &v1);
-    let v2 = run(
-        &pipelined_spec(),
-        pig_builder(pig_v2(batch_cfg(16))),
-        leader_target(),
-    );
+    let v2 = pipelined(pig_v2(batch_cfg(16))).run_sim(SEED);
     assert!(v2.violations.is_empty(), "v2: {:?}", v2.violations);
     hop_report("pig_v2_b16", &v2);
 
@@ -257,15 +243,13 @@ fn main() {
     let adaptive = BatchConfig::adaptive(32, SimDuration::from_micros(200));
 
     // Low load: 2 clients, no pipeline — adaptive must not add latency.
-    let mut low = spec();
-    low.n_clients = 2;
-    let unbatched_low = run(&low, pig_builder(pig_v1(1)), leader_target());
+    let unbatched_low = saturated(pig_v1(1)).clients(2).run_sim(SEED);
     assert!(
         unbatched_low.violations.is_empty(),
         "unbatched baseline: {:?}",
         unbatched_low.violations
     );
-    let adaptive_low = run(&low, pig_builder(pig_v2(adaptive.clone())), leader_target());
+    let adaptive_low = saturated(pig_v2(adaptive.clone())).clients(2).run_sim(SEED);
     assert!(adaptive_low.violations.is_empty());
     hop_report("pig_unbatched_low", &unbatched_low);
     hop_report("pig_adaptive_low", &adaptive_low);
@@ -280,11 +264,7 @@ fn main() {
     );
 
     // Saturation: the sizer must amortize like a large fixed batch.
-    let adaptive_sat = run(
-        &pipelined_spec(),
-        pig_builder(pig_v2(adaptive)),
-        leader_target(),
-    );
+    let adaptive_sat = pipelined(pig_v2(adaptive)).run_sim(SEED);
     assert!(adaptive_sat.violations.is_empty());
     hop_report("pig_adaptive_sat", &adaptive_sat);
     let unbatched_proto = unbatched_low

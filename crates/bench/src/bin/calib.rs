@@ -4,46 +4,18 @@
 //! Run this first after touching `simnet::CpuCostModel` or any protocol
 //! cost constant.
 
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::max_throughput;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, random_target, MAX_TPUT_CLIENTS};
+use epaxos::EpaxosConfig;
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
 fn main() {
-    let spec25 = lan_spec(25);
-    let spec5 = lan_spec(5);
-
-    let paxos25 = max_throughput(
-        &spec25,
-        MAX_TPUT_CLIENTS,
-        paxos_builder(PaxosConfig::lan()),
-        leader_target(),
-    );
-    let pig25 = max_throughput(
-        &spec25,
-        MAX_TPUT_CLIENTS,
-        pig_builder(PigConfig::lan(3)),
-        leader_target(),
-    );
-    let epaxos25 = max_throughput(
-        &spec25,
-        MAX_TPUT_CLIENTS,
-        epaxos_builder(EpaxosConfig::default()),
-        random_target(25),
-    );
-    let paxos5 = max_throughput(
-        &spec5,
-        MAX_TPUT_CLIENTS,
-        paxos_builder(PaxosConfig::lan()),
-        leader_target(),
-    );
-    let pig5 = max_throughput(
-        &spec5,
-        MAX_TPUT_CLIENTS,
-        pig_builder(PigConfig::lan(2)),
-        leader_target(),
-    );
+    let paxos25 = lan_experiment(PaxosConfig::lan(), 25).max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let pig25 = lan_experiment(PigConfig::lan(3), 25).max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let epaxos25 =
+        lan_experiment(EpaxosConfig::default(), 25).max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let paxos5 = lan_experiment(PaxosConfig::lan(), 5).max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let pig5 = lan_experiment(PigConfig::lan(2), 5).max_throughput(SEED, MAX_TPUT_CLIENTS);
 
     if csv_mode() {
         println!("config,measured,paper");

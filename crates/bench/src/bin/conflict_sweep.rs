@@ -4,30 +4,22 @@
 //! show how interference drives EPaxos while leaving PigPaxos (which
 //! orders everything through one leader anyway) untouched.
 
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::{max_throughput, RunSpec};
+use epaxos::EpaxosConfig;
 use paxi::{KeyDistribution, Workload};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, random_target, MAX_TPUT_CLIENTS};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
-fn run_pair(spec: &RunSpec) -> (f64, f64) {
-    let ep = max_throughput(
-        spec,
-        MAX_TPUT_CLIENTS,
-        epaxos_builder(EpaxosConfig::default()),
-        random_target(spec.n_replicas),
-    );
-    let pig = max_throughput(
-        spec,
-        MAX_TPUT_CLIENTS,
-        pig_builder(PigConfig::lan(3)),
-        leader_target(),
-    );
+fn run_pair(workload: &Workload) -> (f64, f64) {
+    let ep = lan_experiment(EpaxosConfig::default(), 25)
+        .workload(workload.clone())
+        .max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let pig = lan_experiment(PigConfig::lan(3), 25)
+        .workload(workload.clone())
+        .max_throughput(SEED, MAX_TPUT_CLIENTS);
     (ep, pig)
 }
 
 fn main() {
-    let base = lan_spec(25);
     if csv_mode() {
         println!("workload,epaxos,pigpaxos");
     } else {
@@ -36,14 +28,11 @@ fn main() {
     }
 
     for &keys in &[100u64, 1000, 100_000] {
-        let spec = RunSpec {
-            workload: Workload {
-                num_keys: keys,
-                ..Workload::paper_default()
-            },
-            ..base.clone()
+        let workload = Workload {
+            num_keys: keys,
+            ..Workload::paper_default()
         };
-        let (ep, pig) = run_pair(&spec);
+        let (ep, pig) = run_pair(&workload);
         let label = format!("uniform, {keys} keys");
         if csv_mode() {
             println!("{label},{ep:.0},{pig:.0}");
@@ -53,15 +42,12 @@ fn main() {
     }
 
     // Skewed access concentrates interference on hot keys.
-    let spec = RunSpec {
-        workload: Workload {
-            num_keys: 1000,
-            distribution: KeyDistribution::Zipfian(0.99),
-            ..Workload::paper_default()
-        },
-        ..base
+    let workload = Workload {
+        num_keys: 1000,
+        distribution: KeyDistribution::Zipfian(0.99),
+        ..Workload::paper_default()
     };
-    let (ep, pig) = run_pair(&spec);
+    let (ep, pig) = run_pair(&workload);
     let label = "zipfian(0.99), 1000 keys";
     if csv_mode() {
         println!("{label},{ep:.0},{pig:.0}");

@@ -5,14 +5,13 @@
 //! ```sh
 //! cargo run --release -p pigpaxos-bench --bin explore -- \
 //!     --protocol pigpaxos --nodes 25 --groups 3 --clients 40 \
-//!     --read-ratio 0.5 --payload 8 --keys 1000 [--wan]
+//!     --read-ratio 0.5 --payload 8 --keys 1000 [--wan] [--pqr]
 //! ```
 
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::{run, RunSpec};
-use paxi::{TargetPolicy, Workload};
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, GroupSpec, PigConfig};
+use epaxos::EpaxosConfig;
+use paxi::{Experiment, ProtocolSpec, RunResult, Workload};
+use paxos::PaxosConfig;
+use pigpaxos::{GroupSpec, PigConfig};
 use simnet::{NodeId, SimDuration};
 
 struct Args {
@@ -80,24 +79,28 @@ fn parse() -> Args {
     args
 }
 
+/// Protocol choice is one orthogonal axis: build the experiment
+/// generically and run whichever config the flag picked.
+fn run_proto<P: ProtocolSpec>(a: &Args, proto: P) -> RunResult {
+    let exp = if a.wan {
+        Experiment::wan(proto, a.nodes)
+    } else {
+        Experiment::lan(proto, a.nodes)
+    };
+    exp.clients(a.clients)
+        .warmup(SimDuration::from_secs(1))
+        .measure(SimDuration::from_secs(3))
+        .workload(Workload {
+            num_keys: a.keys,
+            read_ratio: a.read_ratio,
+            payload_size: a.payload,
+            ..Workload::paper_default()
+        })
+        .run_sim(a.seed)
+}
+
 fn main() {
     let a = parse();
-    let mut spec = if a.wan {
-        RunSpec::wan(a.nodes, a.clients)
-    } else {
-        RunSpec::lan(a.nodes, a.clients)
-    };
-    spec.seed = a.seed;
-    spec.warmup = SimDuration::from_secs(1);
-    spec.measure = SimDuration::from_secs(3);
-    spec.workload = Workload {
-        num_keys: a.keys,
-        read_ratio: a.read_ratio,
-        payload_size: a.payload,
-        ..Workload::paper_default()
-    };
-
-    let leader = TargetPolicy::Fixed(NodeId(0));
     let result = match a.protocol.as_str() {
         "paxos" => {
             let cfg = if a.wan {
@@ -105,38 +108,20 @@ fn main() {
             } else {
                 PaxosConfig::lan()
             };
-            run(&spec, paxos_builder(cfg), leader)
+            run_proto(&a, cfg)
         }
         "pigpaxos" => {
             let mut cfg = if a.wan {
-                // One group per region, leader excluded from its own.
-                let groups: Vec<Vec<NodeId>> = (0..spec.topology.num_regions())
-                    .map(|region| {
-                        spec.topology
-                            .nodes_in_region(region)
-                            .into_iter()
-                            .filter(|&node| node != NodeId(0))
-                            .collect::<Vec<_>>()
-                    })
-                    .filter(|g: &Vec<NodeId>| !g.is_empty())
-                    .collect();
-                PigConfig::wan(GroupSpec::Explicit(groups))
+                // One relay group per region, leader excluded from its own.
+                let topology = simnet::Topology::wan_virginia_california_oregon(a.nodes);
+                PigConfig::wan(GroupSpec::per_region(&topology, NodeId(0)))
             } else {
                 PigConfig::lan(a.groups)
             };
-            cfg.pqr_reads = a.pqr;
-            let target = if a.pqr {
-                TargetPolicy::Random((0..a.nodes as u32).map(NodeId).collect())
-            } else {
-                leader
-            };
-            run(&spec, pig_builder(cfg), target)
+            cfg.pqr_reads = a.pqr; // default target follows automatically
+            run_proto(&a, cfg)
         }
-        "epaxos" => run(
-            &spec,
-            epaxos_builder(EpaxosConfig::default()),
-            TargetPolicy::Random((0..a.nodes as u32).map(NodeId).collect()),
-        ),
+        "epaxos" => run_proto(&a, EpaxosConfig::default()),
         other => {
             eprintln!("unknown protocol {other}; use paxos | pigpaxos | epaxos");
             std::process::exit(2);

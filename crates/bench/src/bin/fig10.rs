@@ -5,40 +5,21 @@
 //! exactly a majority's worth of followers — while Paxos still sends 4
 //! messages per round); EPaxos again suffers from conflicts.
 
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::load_sweep;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{
-    lan_spec, leader_target, print_csv_header, print_curve, random_target, CURVE_CLIENTS,
-};
+use epaxos::EpaxosConfig;
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{lan_experiment, print_csv_header, print_curve, CURVE_CLIENTS, SEED};
 
 fn main() {
     let n = 5;
-    let spec = lan_spec(n);
     print_csv_header();
 
-    let epaxos_pts = load_sweep(
-        &spec,
-        CURVE_CLIENTS,
-        epaxos_builder(EpaxosConfig::default()),
-        random_target(n),
-    );
+    let epaxos_pts = lan_experiment(EpaxosConfig::default(), n).load_sweep(SEED, CURVE_CLIENTS);
     print_curve("EPaxos 5 nodes", &epaxos_pts);
 
-    let paxos_pts = load_sweep(
-        &spec,
-        CURVE_CLIENTS,
-        paxos_builder(PaxosConfig::lan()),
-        leader_target(),
-    );
+    let paxos_pts = lan_experiment(PaxosConfig::lan(), n).load_sweep(SEED, CURVE_CLIENTS);
     print_curve("Paxos 5 nodes", &paxos_pts);
 
-    let pig_pts = load_sweep(
-        &spec,
-        CURVE_CLIENTS,
-        pig_builder(PigConfig::lan(2)),
-        leader_target(),
-    );
+    let pig_pts = lan_experiment(PigConfig::lan(2), n).load_sweep(SEED, CURVE_CLIENTS);
     print_curve("PigPaxos 5 nodes (2 groups)", &pig_pts);
 }

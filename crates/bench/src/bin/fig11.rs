@@ -5,30 +5,18 @@
 //! (by ≈57% at 2 groups) and Paxos's low-load latency advantage
 //! shrinks compared to the 5-node cluster.
 
-use paxi::harness::load_sweep;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{lan_spec, leader_target, print_csv_header, print_curve, CURVE_CLIENTS};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{lan_experiment, print_csv_header, print_curve, CURVE_CLIENTS, SEED};
 
 fn main() {
-    let spec = lan_spec(9);
     print_csv_header();
 
-    let paxos_pts = load_sweep(
-        &spec,
-        CURVE_CLIENTS,
-        paxos_builder(PaxosConfig::lan()),
-        leader_target(),
-    );
+    let paxos_pts = lan_experiment(PaxosConfig::lan(), 9).load_sweep(SEED, CURVE_CLIENTS);
     print_curve("Paxos 9 nodes", &paxos_pts);
 
     for groups in [2, 3] {
-        let pts = load_sweep(
-            &spec,
-            CURVE_CLIENTS,
-            pig_builder(PigConfig::lan(groups)),
-            leader_target(),
-        );
+        let pts = lan_experiment(PigConfig::lan(groups), 9).load_sweep(SEED, CURVE_CLIENTS);
         print_curve(&format!("PigPaxos 9 nodes ({groups} groups)"), &pts);
     }
 }

@@ -6,38 +6,24 @@
 //! Paper result: both protocols degrade similarly in relative terms
 //! (neither dips below 0.9 of its own peak across this payload range),
 //! while PigPaxos's absolute advantage persists at every size.
+//!
+//! With protocol and workload as orthogonal `Experiment` axes, the two
+//! series are one generic sweep instead of near-identical branches.
 
-use paxi::harness::{max_throughput, RunSpec};
-use paxi::Workload;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+use paxi::{ProtocolSpec, Workload};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
 const PAYLOADS: &[usize] = &[8, 80, 160, 320, 640, 1024, 1280];
 
-fn sweep(spec_base: &RunSpec, pig: bool) -> Vec<(usize, f64)> {
+fn sweep<P: ProtocolSpec>(proto: P) -> Vec<(usize, f64)> {
     PAYLOADS
         .iter()
         .map(|&payload| {
-            let spec = RunSpec {
-                workload: Workload::write_only(payload),
-                ..spec_base.clone()
-            };
-            let t = if pig {
-                max_throughput(
-                    &spec,
-                    MAX_TPUT_CLIENTS,
-                    pig_builder(PigConfig::lan(3)),
-                    leader_target(),
-                )
-            } else {
-                max_throughput(
-                    &spec,
-                    MAX_TPUT_CLIENTS,
-                    paxos_builder(PaxosConfig::lan()),
-                    leader_target(),
-                )
-            };
+            let t = lan_experiment(proto.clone(), 25)
+                .workload(Workload::write_only(payload))
+                .max_throughput(SEED, MAX_TPUT_CLIENTS);
             (payload, t)
         })
         .collect()
@@ -62,14 +48,11 @@ fn print_series(name: &str, series: &[(usize, f64)]) {
 }
 
 fn main() {
-    let spec = lan_spec(25);
     if csv_mode() {
         println!("series,payload_bytes,max_throughput,normalized");
     } else {
         println!("Figure 12: max throughput vs payload size (25 nodes, write-only)");
     }
-    let paxos = sweep(&spec, false);
-    print_series("Paxos", &paxos);
-    let pig = sweep(&spec, true);
-    print_series("PigPaxos (3 groups)", &pig);
+    print_series("Paxos", &sweep(PaxosConfig::lan()));
+    print_series("PigPaxos (3 groups)", &sweep(PigConfig::lan(3)));
 }

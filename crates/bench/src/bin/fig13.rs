@@ -6,9 +6,8 @@
 //! Paper result: the two healthy relay groups still deliver a majority,
 //! so max throughput declines only ≈3% during the fault.
 
-use paxi::harness::run_spec;
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, quick_mode};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, quick_mode, SEED};
 use simnet::{Control, NodeId, SimDuration, SimTime};
 
 fn main() {
@@ -18,23 +17,17 @@ fn main() {
         (60, 20, 40)
     };
 
-    let mut spec = lan_spec(25);
-    spec.n_clients = 160; // saturation, as in the paper
-    spec.warmup = SimDuration::from_secs(0);
-    spec.measure = SimDuration::from_secs(total_secs);
-    spec.timeline_bucket = Some(SimDuration::from_secs(1));
-
     // Node 5 is a member (and 1-in-8 rounds, the relay) of group 0.
     let faulty = NodeId(5);
-    let result = run_spec(
-        &spec,
-        pig_builder(PigConfig::lan(3)),
-        leader_target(),
-        move |sim, _cluster| {
+    let result = lan_experiment(PigConfig::lan(3), 25)
+        .clients(160) // saturation, as in the paper
+        .warmup(SimDuration::from_secs(0))
+        .measure(SimDuration::from_secs(total_secs))
+        .timeline_bucket(SimDuration::from_secs(1))
+        .run_sim_with(SEED, move |sim, _cluster| {
             sim.schedule_control(SimTime::from_secs(fault_start), Control::Crash(faulty));
             sim.schedule_control(SimTime::from_secs(fault_end), Control::Recover(faulty));
-        },
-    );
+        });
 
     assert!(
         result.violations.is_empty(),

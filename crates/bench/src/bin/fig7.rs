@@ -5,24 +5,17 @@
 //! monotonically toward r = 6 — the √N heuristic (r = 5) performs badly
 //! because leader load is `2r + 2`.
 
-use paxi::harness::max_throughput;
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{lan_spec, leader_target, print_scalar, MAX_TPUT_CLIENTS};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{lan_experiment, print_scalar, MAX_TPUT_CLIENTS, SEED};
 
 fn main() {
-    let spec = lan_spec(25);
     if pigpaxos_bench::csv_mode() {
         println!("relay_groups,max_throughput");
     } else {
         println!("Figure 7: 25-node PigPaxos, max throughput vs relay groups");
     }
     for r in 2..=6 {
-        let t = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            pig_builder(PigConfig::lan(r)),
-            leader_target(),
-        );
+        let t = lan_experiment(PigConfig::lan(r), 25).max_throughput(SEED, MAX_TPUT_CLIENTS);
         if pigpaxos_bench::csv_mode() {
             println!("{r},{t:.0}");
         } else {

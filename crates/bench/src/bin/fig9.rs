@@ -6,44 +6,24 @@
 //! PigPaxos are indistinguishable at low load; PigPaxos sustains low
 //! latency to much higher throughput.
 
-use paxi::harness::load_sweep;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, GroupSpec, PigConfig};
-use pigpaxos_bench::{leader_target, print_csv_header, print_curve, wan_spec, WAN_CURVE_CLIENTS};
+use paxos::PaxosConfig;
+use pigpaxos::{GroupSpec, PigConfig};
+use pigpaxos_bench::{print_csv_header, print_curve, wan_experiment, SEED, WAN_CURVE_CLIENTS};
 use simnet::NodeId;
 
 fn main() {
     let n = 15;
-    let spec = wan_spec(n);
     print_csv_header();
 
-    let paxos_pts = load_sweep(
-        &spec,
-        WAN_CURVE_CLIENTS,
-        paxos_builder(PaxosConfig::wan()),
-        leader_target(),
-    );
-    print_curve("Paxos (WAN)", &paxos_pts);
+    let paxos = wan_experiment(PaxosConfig::wan(), n);
+    print_curve("Paxos (WAN)", &paxos.load_sweep(SEED, WAN_CURVE_CLIENTS));
 
-    // One relay group per region. The leader (node 0) lives in Virginia,
-    // so its group is the remaining Virginia nodes.
-    let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    for region in 0..spec.topology.num_regions() {
-        let members: Vec<NodeId> = spec
-            .topology
-            .nodes_in_region(region)
-            .into_iter()
-            .filter(|&node| node != NodeId(0))
-            .collect();
-        if !members.is_empty() {
-            groups.push(members);
-        }
-    }
-    let pig_pts = load_sweep(
-        &spec,
-        WAN_CURVE_CLIENTS,
-        pig_builder(PigConfig::wan(GroupSpec::Explicit(groups))),
-        leader_target(),
+    // One relay group per region (the leader, node 0, lives in Virginia,
+    // so its group is the remaining Virginia nodes).
+    let groups = GroupSpec::per_region(paxos.topology(), NodeId(0));
+    let pig = wan_experiment(PigConfig::wan(groups), n);
+    print_curve(
+        "PigPaxos (region groups)",
+        &pig.load_sweep(SEED, WAN_CURVE_CLIENTS),
     );
-    print_curve("PigPaxos (region groups)", &pig_pts);
 }

@@ -8,42 +8,22 @@
 //!    single crashed or sluggish member of that set stalls every commit
 //!    until the retry path widens the fan-out.
 
-use paxi::harness::{max_throughput, run, run_spec, RunSpec};
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, wan_spec, MAX_TPUT_CLIENTS};
+use paxos::PaxosConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, wan_experiment, MAX_TPUT_CLIENTS, SEED};
 use simnet::{Control, NodeId, SimTime};
 
 fn main() {
     // Part 1: N=10 LAN, the paper's Q1=8/Q2=3 example.
-    let lan = lan_spec(10);
-    let lat = |cfg: PaxosConfig| {
-        let spec = RunSpec {
-            n_clients: 2,
-            ..lan.clone()
-        };
-        run(&spec, paxos_builder(cfg), leader_target())
-    };
+    let lat = |cfg: PaxosConfig| lan_experiment(cfg, 10).clients(2).run_sim(SEED);
     let m = lat(PaxosConfig::lan());
     let mut fq = PaxosConfig::lan();
     fq.flexible_quorums = Some((8, 3));
     let f = lat(fq.clone());
-    let m_max = max_throughput(
-        &lan,
-        MAX_TPUT_CLIENTS,
-        paxos_builder(PaxosConfig::lan()),
-        leader_target(),
-    );
-    let f_max = max_throughput(&lan, MAX_TPUT_CLIENTS, paxos_builder(fq), leader_target());
+    let m_max = lan_experiment(PaxosConfig::lan(), 10).max_throughput(SEED, MAX_TPUT_CLIENTS);
+    let f_max = lan_experiment(fq, 10).max_throughput(SEED, MAX_TPUT_CLIENTS);
 
     // Part 2: 15-node WAN — Q2=5 fits in the leader's region.
-    let wan = wan_spec(15);
-    let wlat = |cfg: PaxosConfig| {
-        let spec = RunSpec {
-            n_clients: 4,
-            ..wan.clone()
-        };
-        run(&spec, paxos_builder(cfg), leader_target())
-    };
+    let wlat = |cfg: PaxosConfig| wan_experiment(cfg, 15).clients(4).run_sim(SEED);
     let wm = wlat(PaxosConfig::wan());
     let mut wfq = PaxosConfig::wan();
     wfq.flexible_quorums = Some((11, 5));
@@ -52,12 +32,9 @@ fn main() {
     // Part 3: thrifty under a single crash (9-node LAN).
     let mut thr = PaxosConfig::lan();
     thr.thrifty = true;
-    let spec9 = RunSpec {
-        n_clients: 4,
-        ..lan_spec(9)
-    };
-    let t_ok = run(&spec9, paxos_builder(thr.clone()), leader_target());
-    let t_crash = run_spec(&spec9, paxos_builder(thr), leader_target(), |sim, _| {
+    let thrifty9 = lan_experiment(thr, 9).clients(4);
+    let t_ok = thrifty9.run_sim(SEED);
+    let t_crash = thrifty9.run_sim_with(SEED, |sim, _| {
         sim.schedule_control(SimTime::from_millis(200), Control::Crash(NodeId(1)));
     });
 

@@ -7,19 +7,12 @@
 //! `Mf = 2(N−r−1)/(N−1) + 2`, plus the direct-Paxos row.
 
 use analytical::{follower_load, leader_load, paxos_follower_load, paxos_leader_load};
-use paxi::harness::{run, RunSpec};
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, SEED};
 
 fn main() {
     let n = 25;
-    // Moderate load: batching-free region where per-op accounting is
-    // clean (heartbeats add a small constant background).
-    let spec = RunSpec {
-        n_clients: 10,
-        ..lan_spec(n)
-    };
 
     if csv_mode() {
         println!("config,measured_leader,model_leader,measured_follower,model_follower");
@@ -31,8 +24,12 @@ fn main() {
         );
     }
 
+    // Moderate load (10 clients): batching-free region where per-op
+    // accounting is clean (heartbeats add a small constant background).
     for r in 2..=6 {
-        let res = run(&spec, pig_builder(PigConfig::lan(r)), leader_target());
+        let res = lan_experiment(PigConfig::lan(r), n)
+            .clients(10)
+            .run_sim(SEED);
         report(
             &format!("pig r={r}"),
             res.leader_msgs_per_op,
@@ -41,7 +38,9 @@ fn main() {
             follower_load(n, r),
         );
     }
-    let res = run(&spec, paxos_builder(PaxosConfig::lan()), leader_target());
+    let res = lan_experiment(PaxosConfig::lan(), n)
+        .clients(10)
+        .run_sim(SEED);
     report(
         "paxos",
         res.leader_msgs_per_op,

@@ -1,16 +1,30 @@
 //! Extension experiment (§4.3): Paxos Quorum Reads over relay trees.
 //!
-//! Compares a 25-node PigPaxos cluster serving reads through the leader
-//! (the base protocol — reads serialized in the log) against the same
-//! cluster with follower proxies answering reads via quorum probes.
-//! The read-heavier the workload, the more PQR shifts throughput away
-//! from the leader.
+//! Section 1 compares a 25-node PigPaxos cluster serving reads through
+//! the leader (the base protocol — reads serialized in the log) against
+//! the same cluster with follower proxies answering reads via quorum
+//! probes. The read-heavier the workload, the more PQR shifts
+//! throughput away from the leader.
+//!
+//! Section 2 measures the ROADMAP open item "reply-path batching
+//! interaction with PQR reads": quorum reads bypass the leader's
+//! batcher entirely (probes fan out through the relay tree on arrival),
+//! so command batching should amortize only the *write* traffic while
+//! per-operation probe counts stay constant. The section counts
+//! `qr_read`/`qr_vote` wire messages per completed operation with
+//! batching off and on to check exactly that.
 
-use paxi::harness::{max_throughput, RunSpec};
-use paxi::{TargetPolicy, Workload};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
-use simnet::NodeId;
+use paxi::{BatchConfig, Workload};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
+use simnet::SimDuration;
+
+fn read_heavy(read_pct: u32) -> Workload {
+    Workload {
+        read_ratio: read_pct as f64 / 100.0,
+        ..Workload::paper_default()
+    }
+}
 
 fn main() {
     let n = 25;
@@ -24,31 +38,75 @@ fn main() {
         );
     }
     for read_pct in [50u32, 75, 90, 99] {
-        let spec = RunSpec {
-            workload: Workload {
-                read_ratio: read_pct as f64 / 100.0,
-                ..Workload::paper_default()
-            },
-            ..lan_spec(n)
-        };
-        let base = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            pig_builder(PigConfig::lan(3)),
-            leader_target(),
-        );
-        let mut cfg = PigConfig::lan(3);
-        cfg.pqr_reads = true;
-        let pqr = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            pig_builder(cfg),
-            TargetPolicy::Random((0..n as u32).map(NodeId).collect()),
-        );
+        let base = lan_experiment(PigConfig::lan(3), n)
+            .workload(read_heavy(read_pct))
+            .max_throughput(SEED, MAX_TPUT_CLIENTS);
+        // `with_pqr` flips the default client target to a random spread
+        // over all replicas — no per-protocol wiring at the call site.
+        let pqr = lan_experiment(PigConfig::lan(3).with_pqr(), n)
+            .workload(read_heavy(read_pct))
+            .max_throughput(SEED, MAX_TPUT_CLIENTS);
         if csv_mode() {
             println!("{read_pct},{base:.0},{pqr:.0}");
         } else {
             println!("{read_pct:>10}% {base:>16.0} {pqr:>14.0}");
         }
+    }
+
+    // ── PQR reads × batching (ROADMAP §4.3 open item) ─────────────────
+    // 9 nodes, 2 relay groups, 90% reads, 40 clients: count the probe
+    // traffic itself. Batching may not change reads-per-op probe costs
+    // (reads bypass the batcher); it should amortize the write rounds.
+    if csv_mode() {
+        println!("pqr_batching,batch,qr_read_per_op,qr_vote_per_op,leader_proto_sent_per_op,tput");
+    } else {
+        println!("\n── PQR reads × batching (9 nodes, 2 groups, 90% reads) ──");
+        println!(
+            "{:>14} {:>14} {:>14} {:>22} {:>12}",
+            "batch", "qr_read/op", "qr_vote/op", "leader proto sent/op", "tput(req/s)"
+        );
+    }
+    let mut probes = Vec::new();
+    for (name, batch) in [
+        ("off", BatchConfig::disabled()),
+        (
+            "adaptive32",
+            BatchConfig::adaptive(32, SimDuration::from_micros(200))
+                .with_reply_coalescing(SimDuration::ZERO),
+        ),
+    ] {
+        let r = lan_experiment(PigConfig::lan(2).with_pqr().with_batch(batch), 9)
+            .clients(40)
+            .workload(read_heavy(90))
+            .capture_trace()
+            .run_sim(SEED);
+        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        let qr_read = r.label_per_op("qr_read").expect("trace captured");
+        let qr_vote = r.label_per_op("qr_vote").expect("trace captured");
+        let proto = r.leader_proto_sent_per_op.expect("trace captured");
+        if csv_mode() {
+            println!(
+                "pqr_batching,{name},{qr_read:.3},{qr_vote:.3},{proto:.3},{:.0}",
+                r.throughput
+            );
+        } else {
+            println!(
+                "{name:>14} {qr_read:>14.3} {qr_vote:>14.3} {proto:>22.3} {:>12.0}",
+                r.throughput
+            );
+        }
+        probes.push((qr_read, qr_vote, proto));
+    }
+    if !csv_mode() {
+        let (read_off, vote_off, proto_off) = probes[0];
+        let (read_on, vote_on, proto_on) = probes[1];
+        println!(
+            "\n    probe msgs/op {:.2} -> {:.2} (reads bypass the batcher); \
+             leader proto sent/op {:.2} -> {:.2} (batching amortizes the write rounds)",
+            read_off + vote_off,
+            read_on + vote_on,
+            proto_off,
+            proto_on
+        );
     }
 }

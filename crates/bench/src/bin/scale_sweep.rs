@@ -7,10 +7,9 @@
 //! constant number of relays — until follower-side group work slowly
 //! grows with group size.
 
-use paxi::harness::max_throughput;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use pigpaxos_bench::{csv_mode, lan_spec, leader_target, MAX_TPUT_CLIENTS};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{csv_mode, lan_experiment, MAX_TPUT_CLIENTS, SEED};
 
 fn main() {
     if csv_mode() {
@@ -23,25 +22,9 @@ fn main() {
         );
     }
     for &n in &[5usize, 9, 15, 25, 49, 75, 101] {
-        let spec = lan_spec(n);
-        let paxos = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            paxos_builder(PaxosConfig::lan()),
-            leader_target(),
-        );
-        let pig2 = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            pig_builder(PigConfig::lan(2)),
-            leader_target(),
-        );
-        let pig3 = max_throughput(
-            &spec,
-            MAX_TPUT_CLIENTS,
-            pig_builder(PigConfig::lan(3)),
-            leader_target(),
-        );
+        let paxos = lan_experiment(PaxosConfig::lan(), n).max_throughput(SEED, MAX_TPUT_CLIENTS);
+        let pig2 = lan_experiment(PigConfig::lan(2), n).max_throughput(SEED, MAX_TPUT_CLIENTS);
+        let pig3 = lan_experiment(PigConfig::lan(3), n).max_throughput(SEED, MAX_TPUT_CLIENTS);
         if csv_mode() {
             println!("{n},{paxos:.0},{pig2:.0},{pig3:.0}");
         } else {

@@ -5,42 +5,32 @@
 //! Paper claim: 2 vs. 6 leader-side cross-WAN messages per write (3×
 //! saving); measured numbers include the response direction, so the
 //! expected measured ratio is the same 3× at 4 vs. 12 total crossings.
+//!
+//! The second section measures the ROADMAP open item "cross-wave reply
+//! windows": on a WAN, reply envelopes are expensive, so a small
+//! positive `ReplyCoalesce::Window` that merges replies *across*
+//! execution waves might amortize further than the zero-latency
+//! per-wave mode — at the cost of added client latency.
 
 use analytical::{paxos_wan_msgs_per_op, pigpaxos_wan_msgs_per_op};
-use paxi::harness::{run, RunSpec};
-use paxi::Workload;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, GroupSpec, PigConfig};
-use pigpaxos_bench::{csv_mode, leader_target, wan_spec};
-use simnet::NodeId;
+use paxi::{BatchConfig, ReplyCoalesce, Workload};
+use paxos::PaxosConfig;
+use pigpaxos::{GroupSpec, PigConfig};
+use pigpaxos_bench::{csv_mode, wan_experiment, SEED};
+use simnet::{NodeId, SimDuration};
 
 fn main() {
     let n = 9; // 3 regions × 3 nodes
-    let spec = RunSpec {
-        n_clients: 10,
-        workload: Workload::write_only(8),
-        ..wan_spec(n)
-    };
+    let paxos_exp = wan_experiment(PaxosConfig::wan(), n)
+        .clients(10)
+        .workload(Workload::write_only(8));
+    let groups = GroupSpec::per_region(paxos_exp.topology(), NodeId(0));
+    let paxos = paxos_exp.run_sim(SEED);
 
-    let paxos = run(&spec, paxos_builder(PaxosConfig::wan()), leader_target());
-
-    let mut groups: Vec<Vec<NodeId>> = Vec::new();
-    for region in 0..spec.topology.num_regions() {
-        let members: Vec<NodeId> = spec
-            .topology
-            .nodes_in_region(region)
-            .into_iter()
-            .filter(|&node| node != NodeId(0))
-            .collect();
-        if !members.is_empty() {
-            groups.push(members);
-        }
-    }
-    let pig = run(
-        &spec,
-        pig_builder(PigConfig::wan(GroupSpec::Explicit(groups))),
-        leader_target(),
-    );
+    let pig = wan_experiment(PigConfig::wan(groups.clone()), n)
+        .clients(10)
+        .workload(Workload::write_only(8))
+        .run_sim(SEED);
 
     let model_paxos = paxos_wan_msgs_per_op(3, 3) as f64;
     let model_pig = pigpaxos_wan_msgs_per_op(3) as f64;
@@ -63,5 +53,47 @@ fn main() {
             "  measured saving: {:.1}x (paper: 3x)",
             paxos.cross_region_msgs_per_op / pig.cross_region_msgs_per_op
         );
+    }
+
+    // ── Cross-wave reply windows (ROADMAP open item) ──────────────────
+    // Pipelined clients near the leader, batched writes, and a sweep of
+    // the reply-coalescing window: does merging replies across waves
+    // pay on a WAN?
+    if csv_mode() {
+        println!("reply_window,window_us,replies_per_op,p50_ms,p99_ms,tput");
+    } else {
+        println!("\n── cross-wave reply windows (batched writes, 8 clients x pipeline 8) ──");
+        println!(
+            "{:>12} {:>14} {:>10} {:>10} {:>12}",
+            "window", "replies/op", "p50(ms)", "p99(ms)", "tput(req/s)"
+        );
+    }
+    for (label, window_us) in [
+        ("per-wave", 0u64),
+        ("500us", 500),
+        ("2ms", 2_000),
+        ("8ms", 8_000),
+    ] {
+        let mut batch = BatchConfig::new(16, SimDuration::from_micros(200));
+        batch.replies = ReplyCoalesce::Window(SimDuration::from_micros(window_us));
+        let r = wan_experiment(PigConfig::wan(groups.clone()).with_batch(batch), n)
+            .clients(8)
+            .client_pipeline(8)
+            .workload(Workload::write_only(8))
+            .capture_trace()
+            .run_sim(SEED);
+        assert!(r.violations.is_empty(), "{label}: {:?}", r.violations);
+        let replies = r.leader_replies_per_op.expect("trace captured");
+        if csv_mode() {
+            println!(
+                "reply_window,{window_us},{replies:.3},{:.3},{:.3},{:.0}",
+                r.p50_latency_ms, r.p99_latency_ms, r.throughput
+            );
+        } else {
+            println!(
+                "{label:>12} {replies:>14.3} {:>10.2} {:>10.2} {:>12.0}",
+                r.p50_latency_ms, r.p99_latency_ms, r.throughput
+            );
+        }
     }
 }

@@ -5,9 +5,8 @@
 //!   for CI smoke runs; numbers are noisier.
 //! - `--csv`: machine-readable output instead of the aligned table.
 
-use paxi::harness::{LoadPoint, RunSpec};
-use paxi::TargetPolicy;
-use simnet::{NodeId, SimDuration};
+use paxi::{Experiment, LoadPoint, ProtocolSpec};
+use simnet::SimDuration;
 
 /// Client-count ladder used by the latency/throughput figures.
 pub const CURVE_CLIENTS: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160];
@@ -108,40 +107,34 @@ pub mod json {
     }
 }
 
-/// Standard LAN spec for a figure run (shorter under `--quick`).
-pub fn lan_spec(n_replicas: usize) -> RunSpec {
-    let mut spec = RunSpec::lan(n_replicas, 0);
+/// Master seed every figure binary runs under (re-exported so call
+/// sites read `bench::SEED` rather than importing two crates).
+pub const SEED: u64 = paxi::DEFAULT_SEED;
+
+/// Standard LAN experiment for a figure run (shorter measurement
+/// windows under `--quick`). Protocol and cluster size are the caller's
+/// two axes; everything else is the paper default.
+pub fn lan_experiment<P: ProtocolSpec>(proto: P, n_replicas: usize) -> Experiment<P> {
+    let exp = Experiment::lan(proto, n_replicas);
     if quick_mode() {
-        spec.warmup = SimDuration::from_millis(300);
-        spec.measure = SimDuration::from_millis(700);
+        exp.warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700))
     } else {
-        spec.warmup = SimDuration::from_secs(1);
-        spec.measure = SimDuration::from_secs(3);
+        exp.warmup(SimDuration::from_secs(1))
+            .measure(SimDuration::from_secs(3))
     }
-    spec
 }
 
-/// Standard WAN spec (Virginia/California/Oregon).
-pub fn wan_spec(n_replicas: usize) -> RunSpec {
-    let mut spec = RunSpec::wan(n_replicas, 0);
+/// Standard WAN experiment (Virginia/California/Oregon).
+pub fn wan_experiment<P: ProtocolSpec>(proto: P, n_replicas: usize) -> Experiment<P> {
+    let exp = Experiment::wan(proto, n_replicas);
     if quick_mode() {
-        spec.warmup = SimDuration::from_millis(500);
-        spec.measure = SimDuration::from_secs(1);
+        exp.warmup(SimDuration::from_millis(500))
+            .measure(SimDuration::from_secs(1))
     } else {
-        spec.warmup = SimDuration::from_secs(2);
-        spec.measure = SimDuration::from_secs(6);
+        exp.warmup(SimDuration::from_secs(2))
+            .measure(SimDuration::from_secs(6))
     }
-    spec
-}
-
-/// Fixed-leader target for Paxos/PigPaxos clients.
-pub fn leader_target() -> TargetPolicy {
-    TargetPolicy::Fixed(NodeId(0))
-}
-
-/// Random-replica target for EPaxos clients.
-pub fn random_target(n: usize) -> TargetPolicy {
-    TargetPolicy::Random((0..n).map(NodeId::from).collect())
 }
 
 /// Print one latency/throughput curve in the format the paper's figures
@@ -198,17 +191,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn specs_are_consistent() {
-        let s = lan_spec(25);
-        assert_eq!(s.n_replicas, 25);
-        assert_eq!(s.topology.num_nodes(), 25);
-        let w = wan_spec(15);
-        assert_eq!(w.topology.num_regions(), 3);
-    }
-
-    #[test]
-    fn targets() {
-        assert!(matches!(leader_target(), TargetPolicy::Fixed(NodeId(0))));
-        assert!(matches!(random_target(5), TargetPolicy::Random(v) if v.len() == 5));
+    fn experiments_are_consistent() {
+        let e = lan_experiment(paxos::PaxosConfig::lan(), 25);
+        assert_eq!(e.n_replicas(), 25);
+        assert_eq!(e.topology().num_nodes(), 25);
+        let w = wan_experiment(paxos::PaxosConfig::wan(), 15);
+        assert_eq!(w.topology().num_regions(), 3);
     }
 }

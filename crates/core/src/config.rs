@@ -81,6 +81,27 @@ impl PigConfig {
         }
     }
 
+    /// Fluent helper: enable leader-side command batching (and whatever
+    /// reply coalescing the [`paxi::BatchConfig`] carries).
+    pub fn with_batch(mut self, batch: paxi::BatchConfig) -> Self {
+        self.paxos.batch = batch;
+        self
+    }
+
+    /// Fluent helper: serve reads at follower proxies via Paxos Quorum
+    /// Reads (§4.3). The protocol's default client target becomes a
+    /// uniform spread over all replicas.
+    pub fn with_pqr(mut self) -> Self {
+        self.pqr_reads = true;
+        self
+    }
+
+    /// Fluent helper: override the relay-group partition.
+    pub fn with_groups(mut self, groups: GroupSpec) -> Self {
+        self.groups = groups;
+        self
+    }
+
     /// WAN defaults with explicit (per-region) groups.
     pub fn wan(groups: GroupSpec) -> Self {
         let mut paxos = PaxosConfig::wan();

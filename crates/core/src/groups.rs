@@ -22,6 +22,30 @@ pub enum GroupSpec {
     Explicit(Vec<Vec<NodeId>>),
 }
 
+impl GroupSpec {
+    /// One relay group per topology region, with `leader` excluded from
+    /// its own region's group — the paper's §6.4 WAN deployment, where
+    /// the leader sends one message per remote *region* instead of one
+    /// per remote replica. Regions containing only the leader produce
+    /// no group.
+    ///
+    /// Call with the replica topology (before clients are appended);
+    /// [`paxi::Experiment::topology`] returns exactly that.
+    pub fn per_region(topology: &simnet::Topology, leader: NodeId) -> Self {
+        let groups: Vec<Vec<NodeId>> = (0..topology.num_regions())
+            .map(|region| {
+                topology
+                    .nodes_in_region(region)
+                    .into_iter()
+                    .filter(|&node| node != leader)
+                    .collect::<Vec<_>>()
+            })
+            .filter(|g| !g.is_empty())
+            .collect();
+        GroupSpec::Explicit(groups)
+    }
+}
+
 /// The materialized relay groups for one leader.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelayGroups {

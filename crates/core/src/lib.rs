@@ -59,4 +59,6 @@ pub use groups::{GroupSpec, RelayGroups};
 pub use messages::{PigMsg, RelayPlan};
 pub use pqr::{PendingReads, ReadOutcome};
 pub use relay::UplinkCoalescer;
-pub use replica::{build_plan, pig_builder, PigReplica};
+#[allow(deprecated)]
+pub use replica::pig_builder;
+pub use replica::{build_plan, PigReplica};

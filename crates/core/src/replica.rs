@@ -996,41 +996,74 @@ impl Replica<PigMsg> for PigReplica {
     }
 }
 
-/// Builder usable with [`paxi::harness`]: one PigPaxos replica per node.
+/// [`PigConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it to
+/// [`paxi::Experiment`] to run PigPaxos on any topology and either
+/// execution substrate. Clients default to the stable leader; with
+/// [`PigConfig::pqr_reads`] enabled they spread uniformly over all
+/// replicas so follower proxies serve the reads (§4.3).
+impl paxi::ProtocolSpec for PigConfig {
+    type Msg = PigMsg;
+
+    fn protocol_name(&self) -> &'static str {
+        "pigpaxos"
+    }
+
+    fn build_replica(
+        &self,
+        node: NodeId,
+        cluster: &ClusterConfig,
+    ) -> Box<dyn Actor<Envelope<PigMsg>> + Send> {
+        Box::new(ReplicaActor(PigReplica::new(
+            node,
+            cluster.clone(),
+            self.clone(),
+        )))
+    }
+
+    fn default_target(&self, replicas: &[NodeId]) -> paxi::TargetPolicy {
+        if self.pqr_reads {
+            paxi::TargetPolicy::Random(replicas.to_vec())
+        } else {
+            paxi::TargetPolicy::Fixed(replicas[0])
+        }
+    }
+}
+
+/// Builder usable with the deprecated free-function harness: one
+/// PigPaxos replica per node.
+#[deprecated(
+    since = "0.1.0",
+    note = "pass PigConfig to paxi::Experiment directly — it implements ProtocolSpec"
+)]
 pub fn pig_builder(
     cfg: PigConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PigMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(PigReplica::new(
-            node,
-            cluster.clone(),
-            cfg.clone(),
-        )))
+        use paxi::ProtocolSpec;
+        cfg.build_replica(node, cluster)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paxi::harness::{run, run_spec, RunSpec};
-    use paxi::TargetPolicy;
+    use paxi::{Experiment, TargetPolicy};
     use simnet::Control;
 
-    fn spec(n: usize, clients: usize) -> RunSpec {
-        RunSpec {
-            warmup: SimDuration::from_millis(300),
-            measure: SimDuration::from_millis(700),
-            ..RunSpec::lan(n, clients)
-        }
+    fn exp(n: usize, clients: usize, groups: usize) -> Experiment<PigConfig> {
+        with_cfg(PigConfig::lan(groups), n, clients)
+    }
+
+    fn with_cfg(cfg: PigConfig, n: usize, clients: usize) -> Experiment<PigConfig> {
+        Experiment::lan(cfg, n)
+            .clients(clients)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700))
     }
 
     #[test]
     fn five_nodes_two_groups_commit() {
-        let r = run(
-            &spec(5, 4),
-            pig_builder(PigConfig::lan(2)),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exp(5, 4, 2).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 50);
@@ -1038,11 +1071,7 @@ mod tests {
 
     #[test]
     fn twentyfive_nodes_three_groups_commit() {
-        let r = run(
-            &spec(25, 8),
-            pig_builder(PigConfig::lan(3)),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exp(25, 8, 3).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0);
         // Paper Table 1: leader handles Ml = 2r + 2 = 8 messages per op.
@@ -1055,16 +1084,8 @@ mod tests {
 
     #[test]
     fn leader_load_grows_with_group_count() {
-        let r2 = run(
-            &spec(25, 8),
-            pig_builder(PigConfig::lan(2)),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        let r6 = run(
-            &spec(25, 8),
-            pig_builder(PigConfig::lan(6)),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r2 = exp(25, 8, 2).run_sim(paxi::DEFAULT_SEED);
+        let r6 = exp(25, 8, 6).run_sim(paxi::DEFAULT_SEED);
         assert!(
             r6.leader_msgs_per_op > r2.leader_msgs_per_op + 5.0,
             "r=6 leader ({}) must be busier than r=2 leader ({})",
@@ -1075,14 +1096,9 @@ mod tests {
 
     #[test]
     fn follower_crash_in_group_tolerated() {
-        let r = run_spec(
-            &spec(25, 8),
-            pig_builder(PigConfig::lan(3)),
-            TargetPolicy::Fixed(NodeId(0)),
-            |sim, _| {
-                sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(5)));
-            },
-        );
+        let r = exp(25, 8, 3).run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(5)));
+        });
         assert!(r.violations.is_empty());
         assert!(
             r.throughput > 100.0,
@@ -1112,11 +1128,7 @@ mod tests {
     fn multi_level_cluster_commits() {
         let mut cfg = PigConfig::lan(2);
         cfg.levels = 2;
-        let r = run(
-            &spec(25, 4),
-            pig_builder(cfg),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = with_cfg(cfg, 25, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "2-level trees must still commit");
     }
@@ -1127,11 +1139,7 @@ mod tests {
         // 25 nodes, 3 groups of 8: relays may respond after 5 votes each
         // (3×5 = 15 > majority 13, satisfying §4.2's constraint).
         cfg.partial_threshold = Some(5);
-        let r = run(
-            &spec(25, 4),
-            pig_builder(cfg),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = with_cfg(cfg, 25, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -1140,27 +1148,19 @@ mod tests {
     fn reshuffle_cluster_commits() {
         let mut cfg = PigConfig::lan(3);
         cfg.reshuffle_interval = Some(SimDuration::from_millis(100));
-        let r = run(
-            &spec(9, 4),
-            pig_builder(cfg),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = with_cfg(cfg, 9, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
 
     #[test]
     fn leader_crash_triggers_reelection() {
-        let mut s = spec(5, 2);
-        s.measure = SimDuration::from_secs(3);
-        let r = run_spec(
-            &s,
-            pig_builder(PigConfig::lan(2)),
-            TargetPolicy::Random((0..5).map(NodeId).collect()),
-            |sim, _| {
+        let r = exp(5, 2, 2)
+            .measure(SimDuration::from_secs(3))
+            .target(TargetPolicy::Random((0..5).map(NodeId).collect()))
+            .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
                 sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(0)));
-            },
-        );
+            });
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(
             r.throughput > 30.0,
@@ -1173,14 +1173,9 @@ mod tests {
     fn relay_timeout_delivers_partial_votes() {
         // Crash one node; the relay of its group must still answer within
         // the 50ms relay timeout, so commits continue at full speed.
-        let r = run_spec(
-            &spec(9, 4),
-            pig_builder(PigConfig::lan(2)),
-            TargetPolicy::Fixed(NodeId(0)),
-            |sim, _| {
-                sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(8)));
-            },
-        );
+        let r = exp(9, 4, 2).run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            sim.schedule_control(SimTime::from_millis(50), Control::Crash(NodeId(8)));
+        });
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
         assert!(
@@ -1188,5 +1183,21 @@ mod tests {
             "commits must not wait for the crashed node: {}ms",
             r.mean_latency_ms
         );
+    }
+
+    #[test]
+    fn pqr_config_spreads_default_target() {
+        use paxi::ProtocolSpec;
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        assert!(matches!(
+            PigConfig::lan(2).default_target(&nodes),
+            TargetPolicy::Fixed(NodeId(0))
+        ));
+        let mut pqr = PigConfig::lan(2);
+        pqr.pqr_reads = true;
+        assert!(matches!(
+            pqr.default_target(&nodes),
+            TargetPolicy::Random(v) if v.len() == 5
+        ));
     }
 }

@@ -21,4 +21,6 @@ pub use attrs::InterferenceIndex;
 pub use config::EpaxosConfig;
 pub use graph::{plan_execution, ExecutionPlan, InstStatus, InstanceView};
 pub use messages::{Attrs, EpaxosMsg, InstanceId};
-pub use replica::{epaxos_builder, EpaxosReplica};
+#[allow(deprecated)]
+pub use replica::epaxos_builder;
+pub use replica::EpaxosReplica;

@@ -409,47 +409,68 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
     fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Ctx<EpaxosMsg>) {}
 }
 
-/// Builder usable with [`paxi::harness`]: one EPaxos replica per node.
-/// Clients should use `TargetPolicy::Random` over all replicas, matching
-/// the paper's EPaxos client setup.
+/// [`EpaxosConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it
+/// to [`paxi::Experiment`] to run EPaxos on any topology and either
+/// execution substrate. EPaxos is leaderless, so clients default to a
+/// uniformly random replica per request, matching the paper's EPaxos
+/// client setup.
+impl paxi::ProtocolSpec for EpaxosConfig {
+    type Msg = EpaxosMsg;
+
+    fn protocol_name(&self) -> &'static str {
+        "epaxos"
+    }
+
+    fn build_replica(
+        &self,
+        node: NodeId,
+        cluster: &ClusterConfig,
+    ) -> Box<dyn Actor<Envelope<EpaxosMsg>> + Send> {
+        Box::new(ReplicaActor(EpaxosReplica::new(
+            node,
+            cluster.clone(),
+            self.clone(),
+        )))
+    }
+
+    fn default_target(&self, replicas: &[NodeId]) -> paxi::TargetPolicy {
+        paxi::TargetPolicy::Random(replicas.to_vec())
+    }
+}
+
+/// Builder usable with the deprecated free-function harness: one EPaxos
+/// replica per node.
+#[deprecated(
+    since = "0.1.0",
+    note = "pass EpaxosConfig to paxi::Experiment directly — it implements ProtocolSpec"
+)]
 pub fn epaxos_builder(
     cfg: EpaxosConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<EpaxosMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(EpaxosReplica::new(
-            node,
-            cluster.clone(),
-            cfg.clone(),
-        )))
+        use paxi::ProtocolSpec;
+        cfg.build_replica(node, cluster)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paxi::harness::{run, RunSpec};
-    use paxi::{TargetPolicy, Workload};
+    use paxi::{Experiment, Workload};
     use simnet::SimDuration;
 
-    fn spec(n: usize, clients: usize) -> RunSpec {
-        RunSpec {
-            warmup: SimDuration::from_millis(300),
-            measure: SimDuration::from_millis(700),
-            ..RunSpec::lan(n, clients)
-        }
-    }
-
-    fn random_targets(n: usize) -> TargetPolicy {
-        TargetPolicy::Random((0..n).map(NodeId::from).collect())
+    fn exp(n: usize, clients: usize) -> Experiment<EpaxosConfig> {
+        // EPaxos's default target is already a random spread over all
+        // replicas — no per-protocol client wiring needed.
+        Experiment::lan(EpaxosConfig::default(), n)
+            .clients(clients)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700))
     }
 
     #[test]
     fn five_node_cluster_commits() {
-        let r = run(
-            &spec(5, 4),
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(5),
-        );
+        let r = exp(5, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 50);
@@ -457,22 +478,14 @@ mod tests {
 
     #[test]
     fn twentyfive_node_cluster_commits() {
-        let r = run(
-            &spec(25, 8),
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(25),
-        );
+        let r = exp(25, 8).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 50.0);
     }
 
     #[test]
     fn load_is_spread_across_replicas() {
-        let r = run(
-            &spec(5, 8),
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(5),
-        );
+        let r = exp(5, 8).run_sim(paxi::DEFAULT_SEED);
         // No dedicated leader: every replica should carry comparable
         // message load (unlike Paxos where the leader dominates).
         let max = r.node_msgs[..5].iter().max().copied().unwrap() as f64;
@@ -489,27 +502,19 @@ mod tests {
     fn conflicting_workload_still_safe() {
         // Tiny key space: every command interferes, exercising the slow
         // path and SCC execution heavily.
-        let mut s = spec(5, 8);
-        s.workload = Workload {
-            num_keys: 2,
-            ..Workload::paper_default()
-        };
-        let r = run(
-            &s,
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(5),
-        );
+        let r = exp(5, 8)
+            .workload(Workload {
+                num_keys: 2,
+                ..Workload::paper_default()
+            })
+            .run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 10.0);
     }
 
     #[test]
     fn single_node_degenerate_cluster() {
-        let r = run(
-            &spec(1, 2),
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(1),
-        );
+        let r = exp(1, 2).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -612,16 +617,12 @@ mod tests {
         // public replica API is covered by graph tests; here we assert
         // end-to-end sanity: plenty of reads completed and nothing
         // violated agreement.
-        let mut s = spec(3, 4);
-        s.workload = Workload {
-            read_ratio: 0.9,
-            ..Workload::paper_default()
-        };
-        let r = run(
-            &s,
-            epaxos_builder(EpaxosConfig::default()),
-            random_targets(3),
-        );
+        let r = exp(3, 4)
+            .workload(Workload {
+                read_ratio: 0.9,
+                ..Workload::paper_default()
+            })
+            .run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty());
         assert!(r.samples > 100);
     }

@@ -1,7 +1,16 @@
-//! The measurement harness: builds a cluster + clients on the simulator,
-//! runs warmup and a measurement window, and reports the metrics the
-//! paper's figures plot (throughput, latency percentiles, per-node
-//! message loads, WAN traffic, and optional per-second timelines).
+//! The measurement engine behind [`crate::Experiment`]: builds a
+//! cluster + clients on the simulator, runs warmup and a measurement
+//! window, and reports the metrics the paper's figures plot
+//! (throughput, latency percentiles, per-node message loads, WAN
+//! traffic, and optional per-second timelines).
+//!
+//! The types here ([`RunSpec`], [`RunResult`], [`LoadPoint`]) are the
+//! engine's vocabulary; callers should not assemble a [`RunSpec`] by
+//! hand — use [`crate::Experiment`], which owns one internally and
+//! exposes every knob as a typed builder method. The free functions
+//! ([`run`], [`run_spec`], [`load_sweep`], [`max_throughput`]) are
+//! deprecated shims kept for one release so downstream code migrates
+//! incrementally.
 
 use crate::client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
 use crate::cluster::ClusterConfig;
@@ -9,8 +18,13 @@ use crate::envelope::{Envelope, ProtoMessage};
 use crate::metrics::{mean, percentile};
 use crate::workload::Workload;
 use simnet::{Actor, CpuCostModel, NodeId, RegionId, SimDuration, SimTime, Simulation, Topology};
+use std::collections::BTreeMap;
 
 /// Everything needed to run one experiment point.
+///
+/// Owned and populated by [`crate::Experiment`]; kept public so the
+/// deprecated free-function shims still compile, and because
+/// [`RunResult`] docs refer to its fields.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
     /// Number of consensus replicas (nodes 0..n).
@@ -21,6 +35,12 @@ pub struct RunSpec {
     /// higher values model one connection multiplexing several user
     /// sessions, the workload reply coalescing amortizes).
     pub client_pipeline: usize,
+    /// Extra client-side topology nodes *without* harness-spawned
+    /// closed-loop clients. A fault-injection / setup hook may populate
+    /// these slots with custom client actors (sequential checkers,
+    /// read-your-writes probes); they are appended after the
+    /// closed-loop clients, in `client_region`.
+    pub extra_client_nodes: usize,
     /// Topology covering the replicas (clients are appended).
     pub topology: Topology,
     /// Region clients attach to (0 for LAN; the leader's region for WAN,
@@ -41,10 +61,10 @@ pub struct RunSpec {
     /// If set, also produce a per-bucket throughput timeline (Fig. 13).
     pub timeline_bucket: Option<SimDuration>,
     /// Capture a full message trace: populates
-    /// [`RunResult::trace_fingerprint`] (determinism regressions) and
+    /// [`RunResult::trace_fingerprint`] (determinism regressions),
     /// [`RunResult::leader_proto_sent_per_op`] (message-amortization
-    /// accounting). Off by default — high-throughput runs generate
-    /// millions of entries.
+    /// accounting), and [`RunResult::label_counts`]. Off by default —
+    /// high-throughput runs generate millions of entries.
     pub capture_trace: bool,
 }
 
@@ -55,6 +75,7 @@ impl RunSpec {
             n_replicas,
             n_clients,
             client_pipeline: 1,
+            extra_client_nodes: 0,
             topology: Topology::lan(n_replicas),
             client_region: 0,
             cost: CpuCostModel::calibrated(),
@@ -80,10 +101,14 @@ impl RunSpec {
     }
 }
 
-/// Default master seed used by [`RunSpec`] constructors.
+/// Default master seed used by [`RunSpec`] constructors and
+/// [`crate::Experiment`] call sites that have no better choice.
 pub const DEFAULT_SEED: u64 = 0x9199_7a05;
 
-/// Metrics from one run.
+/// Metrics from one run, identical in shape for both execution
+/// substrates (simulator and thread runtime). Fields the thread
+/// substrate cannot measure are documented on
+/// [`crate::Experiment::run_threads`].
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Completed operations per second in the measurement window.
@@ -139,16 +164,29 @@ pub struct RunResult {
     /// aggregate coalescing amortizes). Present when
     /// [`RunSpec::capture_trace`] was set.
     pub leader_proto_recv_per_op: Option<f64>,
+    /// Delivered (non-dropped) messages in the measurement window by
+    /// wire label (`"p2a"`, `"qr_read"`, `"reply_batch"`, …). Present
+    /// when [`RunSpec::capture_trace`] was set. The typed handle on
+    /// message-shape questions — e.g. "how many quorum-read probes did
+    /// PQR send per operation?" — without hand-rolling a simulation.
+    pub label_counts: Option<BTreeMap<&'static str, u64>>,
 }
 
-/// Run one experiment.
-///
-/// * `build` constructs each replica actor given its node id and the
-///   shared [`ClusterConfig`].
-/// * `target` tells clients which replica(s) to contact.
-/// * `hook` runs after actors are registered and before the simulation
-///   starts — use it to schedule fault injection.
-pub fn run_spec<P, B, H>(spec: &RunSpec, build: B, target: TargetPolicy, hook: H) -> RunResult
+impl RunResult {
+    /// Delivered messages with `label` per completed operation in the
+    /// window. Returns `None` unless the run captured a trace.
+    pub fn label_per_op(&self, label: &str) -> Option<f64> {
+        let ops = self.samples.max(1) as f64;
+        self.label_counts
+            .as_ref()
+            .map(|c| c.get(label).copied().unwrap_or(0) as f64 / ops)
+    }
+}
+
+/// The engine: everything [`crate::Experiment::run_sim`] ultimately
+/// executes. Kept monolithic so the event schedule is byte-identical to
+/// the pre-`Experiment` harness (the perf gate's determinism contract).
+pub(crate) fn execute<P, B, H>(spec: &RunSpec, build: B, target: TargetPolicy, hook: H) -> RunResult
 where
     P: ProtoMessage,
     B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
@@ -160,7 +198,7 @@ where
         spec.n_replicas,
         "spec topology must cover exactly the replicas"
     );
-    topology.add_nodes(spec.n_clients, spec.client_region);
+    topology.add_nodes(spec.n_clients + spec.extra_client_nodes, spec.client_region);
 
     let mut sim: Simulation<Envelope<P>> = Simulation::new(topology, spec.cost.clone(), spec.seed);
     if spec.capture_trace {
@@ -235,15 +273,20 @@ where
     let mut leader_replies_per_op = None;
     let mut leader_sent_per_op = None;
     let mut leader_proto_recv_per_op = None;
+    let mut label_counts = None;
     if let Some(trace) = sim.trace() {
         let leader_node = NodeId::from(leader);
         let is_reply = |label: &str| label == "reply" || label == "reply_batch";
         let mut proto_sent = 0usize;
         let mut replies_sent = 0usize;
         let mut proto_recv = 0usize;
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
         for e in trace.entries() {
             if e.at <= warmup_end || e.at > window_end {
                 continue;
+            }
+            if !e.dropped {
+                *counts.entry(e.label).or_insert(0) += 1;
             }
             if e.from == leader_node {
                 if is_reply(e.label) {
@@ -260,6 +303,7 @@ where
         leader_replies_per_op = Some(replies_sent as f64 / ops);
         leader_sent_per_op = Some((proto_sent + replies_sent) as f64 / ops);
         leader_proto_recv_per_op = Some(proto_recv as f64 / ops);
+        label_counts = Some(counts);
     }
 
     RunResult {
@@ -281,19 +325,46 @@ where
         leader_replies_per_op,
         leader_sent_per_op,
         leader_proto_recv_per_op,
+        label_counts,
     }
 }
 
+/// Run one experiment with a fault-injection hook.
+///
+/// * `build` constructs each replica actor given its node id and the
+///   shared [`ClusterConfig`].
+/// * `target` tells clients which replica(s) to contact.
+/// * `hook` runs after actors are registered and before the simulation
+///   starts — use it to schedule fault injection.
+#[deprecated(
+    since = "0.1.0",
+    note = "use paxi::Experiment::run_sim_with — protocol, topology, substrate, and \
+            workload are orthogonal builder axes there"
+)]
+pub fn run_spec<P, B, H>(spec: &RunSpec, build: B, target: TargetPolicy, hook: H) -> RunResult
+where
+    P: ProtoMessage,
+    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
+    H: FnOnce(&mut Simulation<Envelope<P>>, &ClusterConfig),
+{
+    execute(spec, build, target, hook)
+}
+
 /// Convenience wrapper without a fault-injection hook.
+#[deprecated(since = "0.1.0", note = "use paxi::Experiment::run_sim")]
 pub fn run<P, B>(spec: &RunSpec, build: B, target: TargetPolicy) -> RunResult
 where
     P: ProtoMessage,
     B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
 {
-    run_spec(spec, build, target, |_, _| {})
+    execute(spec, build, target, |_, _| {})
 }
 
-fn bucket_timeline(samples: &[Sample], bucket: SimDuration, end: SimTime) -> Vec<(f64, f64)> {
+pub(crate) fn bucket_timeline(
+    samples: &[Sample],
+    bucket: SimDuration,
+    end: SimTime,
+) -> Vec<(f64, f64)> {
     let nb = (end.as_nanos() / bucket.as_nanos().max(1)) as usize;
     let mut counts = vec![0u64; nb + 1];
     for s in samples {
@@ -320,8 +391,13 @@ pub struct LoadPoint {
     pub result: RunResult,
 }
 
+pub(crate) fn sweep_seed(base_seed: u64, clients: usize) -> u64 {
+    base_seed.wrapping_add(clients as u64)
+}
+
 /// Sweep offered load (client counts) and return one point per count —
 /// the raw material of the paper's latency/throughput figures (8–11).
+#[deprecated(since = "0.1.0", note = "use paxi::Experiment::load_sweep")]
 pub fn load_sweep<P, B>(
     base: &RunSpec,
     client_counts: &[usize],
@@ -337,10 +413,10 @@ where
         .map(|&clients| {
             let spec = RunSpec {
                 n_clients: clients,
-                seed: base.seed.wrapping_add(clients as u64),
+                seed: sweep_seed(base.seed, clients),
                 ..base.clone()
             };
-            let result = run_spec(&spec, &build, target.clone(), |_, _| {});
+            let result = execute(&spec, &build, target.clone(), |_, _| {});
             LoadPoint { clients, result }
         })
         .collect()
@@ -351,6 +427,7 @@ pub const DEFAULT_CLIENT_SWEEP: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160, 320];
 
 /// Maximum throughput over a load sweep (the paper's "max throughput"
 /// metric used in Figs. 7, 12, 13).
+#[deprecated(since = "0.1.0", note = "use paxi::Experiment::max_throughput")]
 pub fn max_throughput<P, B>(
     base: &RunSpec,
     client_counts: &[usize],
@@ -361,6 +438,7 @@ where
     P: ProtoMessage,
     B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
 {
+    #[allow(deprecated)]
     load_sweep(base, client_counts, build, target)
         .iter()
         .map(|p| p.result.throughput)
@@ -369,6 +447,10 @@ where
 
 #[cfg(test)]
 mod tests {
+    // The harness unit tests exercise the deprecated shims on purpose:
+    // they must keep delegating to the engine until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::command::{ClientReply, ClientRequest};
     use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
@@ -498,5 +580,28 @@ mod tests {
             "got {}",
             r.leader_msgs_per_op
         );
+    }
+
+    #[test]
+    fn label_counts_present_only_with_trace() {
+        let no_trace = run(
+            &small_spec(2),
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+        );
+        assert!(no_trace.label_counts.is_none());
+        assert!(no_trace.label_per_op("request").is_none());
+
+        let spec = RunSpec {
+            capture_trace: true,
+            ..small_spec(2)
+        };
+        let traced = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let counts = traced.label_counts.as_ref().expect("trace captured");
+        assert!(counts.get("request").copied().unwrap_or(0) > 100);
+        assert!(counts.get("reply").copied().unwrap_or(0) > 100);
+        // One request and one reply per completed op (instant server).
+        let per_op = traced.label_per_op("request").expect("traced");
+        assert!((per_op - 1.0).abs() < 0.1, "got {per_op}");
     }
 }

@@ -3,21 +3,51 @@
 //! Rust counterpart of the Paxi framework the PigPaxos paper builds on:
 //! everything a replication protocol needs *except* the protocol itself.
 //!
+//! ## Running experiments: [`Experiment`]
+//!
+//! The public entry point is the [`Experiment`] builder, which makes
+//! the four experimental axes orthogonal:
+//!
+//! | axis | type | examples |
+//! |---|---|---|
+//! | protocol | any [`ProtocolSpec`] | `PaxosConfig`, `PigConfig`, `EpaxosConfig` |
+//! | topology | [`simnet::Topology`] | `Topology::lan(25)`, 3-region WAN |
+//! | workload & clients | [`Workload`] + builder knobs | read ratio, payload, pipeline |
+//! | substrate | a run method | [`Experiment::run_sim`], [`Experiment::run_threads`] |
+//!
+//! ```text
+//! use paxi::Experiment;
+//! use pigpaxos::PigConfig;
+//!
+//! let result = Experiment::lan(PigConfig::lan(3), 25)
+//!     .clients(40)
+//!     .run_sim(paxi::DEFAULT_SEED);
+//! assert!(result.violations.is_empty());
+//! ```
+//!
+//! Sweeps compose as plain loops over the orthogonal axes — one relay
+//! group count per iteration, one payload size, one protocol — instead
+//! of one hand-wired binary per figure.
+//!
+//! ## The pieces underneath
+//!
 //! - [`Ballot`], [`Log`], [`KvStore`]: consensus bookkeeping and the
 //!   replicated state machine.
 //! - [`quorum`]: majority, flexible (Howard et al.), and EPaxos fast
 //!   quorums, plus vote tracking.
 //! - [`Envelope`] / [`Replica`] / [`ReplicaActor`]: the wire format and
-//!   the adapter that runs a protocol replica on the `simnet` simulator.
+//!   the adapter that runs a protocol replica on any [`simnet::Actor`]
+//!   substrate (the simulator, or `pig-runtime` threads).
 //! - [`Workload`] / [`ClosedLoopClient`]: the benchmark workload
 //!   generator and closed-loop clients.
 //! - [`SafetyMonitor`]: machine-checks agreement on every run.
-//! - [`harness`]: experiment driver producing the metrics the paper's
-//!   evaluation plots.
+//! - [`experiment`]: the unified entry point; [`harness`]: the
+//!   measurement engine it drives.
 //!
 //! Protocol crates (`paxos`, `pigpaxos`, `epaxos`) implement
-//! [`Replica`] on top of these pieces, exactly as the paper's protocols
-//! were implemented inside Paxi.
+//! [`Replica`] on top of these pieces — exactly as the paper's
+//! protocols were implemented inside Paxi — and expose their config
+//! types as [`ProtocolSpec`]s.
 
 #![warn(missing_docs)]
 
@@ -27,6 +57,7 @@ pub mod client;
 pub mod cluster;
 pub mod command;
 pub mod envelope;
+pub mod experiment;
 pub mod harness;
 pub mod kv;
 pub mod log;
@@ -45,9 +76,8 @@ pub use command::{
     ClientReply, ClientRequest, Command, Key, Operation, RequestId, Value, HEADER_BYTES,
 };
 pub use envelope::{Envelope, ProtoMessage};
-pub use harness::{
-    load_sweep, max_throughput, run, run_spec, LoadPoint, RunResult, RunSpec, DEFAULT_SEED,
-};
+pub use experiment::{Experiment, ProtocolSpec};
+pub use harness::{LoadPoint, RunResult, RunSpec, DEFAULT_SEED};
 pub use kv::KvStore;
 pub use log::{Log, LogEntry};
 pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};

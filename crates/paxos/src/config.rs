@@ -66,6 +66,13 @@ impl PaxosConfig {
         }
     }
 
+    /// Fluent helper: enable leader-side command batching (and whatever
+    /// reply coalescing the [`BatchConfig`] carries).
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Defaults tuned for ~100 ms WAN RTTs.
     pub fn wan() -> Self {
         PaxosConfig {

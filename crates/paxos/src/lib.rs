@@ -28,4 +28,6 @@ pub use batching::{
 pub use config::PaxosConfig;
 pub use leader::{BatchVotesOutcome, Leader, Outstanding, Phase1Outcome};
 pub use messages::{P1bVote, P2bVote, PaxosMsg, QrVoteEntry};
-pub use replica::{paxos_builder, PaxosReplica};
+#[allow(deprecated)]
+pub use replica::paxos_builder;
+pub use replica::PaxosReplica;

@@ -611,42 +611,62 @@ impl Replica<PaxosMsg> for PaxosReplica {
     }
 }
 
-/// Builder usable with [`paxi::harness`]: constructs one Multi-Paxos
-/// replica actor per node.
+/// [`PaxosConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it to
+/// [`paxi::Experiment`] to run direct Multi-Paxos on any topology and
+/// either execution substrate. Clients default to the stable leader
+/// (replica 0).
+impl paxi::ProtocolSpec for PaxosConfig {
+    type Msg = PaxosMsg;
+
+    fn protocol_name(&self) -> &'static str {
+        "paxos"
+    }
+
+    fn build_replica(
+        &self,
+        node: NodeId,
+        cluster: &ClusterConfig,
+    ) -> Box<dyn Actor<Envelope<PaxosMsg>> + Send> {
+        Box::new(ReplicaActor(PaxosReplica::new(
+            node,
+            cluster.clone(),
+            self.clone(),
+        )))
+    }
+}
+
+/// Builder usable with the deprecated free-function harness: constructs
+/// one Multi-Paxos replica actor per node.
+#[deprecated(
+    since = "0.1.0",
+    note = "pass PaxosConfig to paxi::Experiment directly — it implements ProtocolSpec"
+)]
 pub fn paxos_builder(
     cfg: PaxosConfig,
 ) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PaxosMsg>>> {
     move |node, cluster| {
-        Box::new(ReplicaActor(PaxosReplica::new(
-            node,
-            cluster.clone(),
-            cfg.clone(),
-        )))
+        use paxi::ProtocolSpec;
+        cfg.build_replica(node, cluster)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paxi::harness::{run, run_spec, RunSpec};
+    use paxi::Experiment;
     use paxi::TargetPolicy;
     use simnet::{Control, SimTime};
 
-    fn spec(n: usize, clients: usize) -> RunSpec {
-        RunSpec {
-            warmup: SimDuration::from_millis(300),
-            measure: SimDuration::from_millis(700),
-            ..RunSpec::lan(n, clients)
-        }
+    fn exp(n: usize, clients: usize) -> Experiment<PaxosConfig> {
+        Experiment::lan(PaxosConfig::lan(), n)
+            .clients(clients)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700))
     }
 
     #[test]
     fn three_node_cluster_commits() {
-        let r = run(
-            &spec(3, 4),
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exp(3, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.decided > 100);
@@ -655,11 +675,7 @@ mod tests {
 
     #[test]
     fn five_node_cluster_commits() {
-        let r = run(
-            &spec(5, 8),
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exp(5, 8).run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0);
     }
@@ -667,16 +683,8 @@ mod tests {
     #[test]
     fn leader_messages_scale_with_cluster_size() {
         // Paper Table 1/2: Paxos leader handles 2(N-1)+2 msgs/op.
-        let r5 = run(
-            &spec(5, 8),
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        let r9 = run(
-            &spec(9, 8),
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r5 = exp(5, 8).run_sim(paxi::DEFAULT_SEED);
+        let r9 = exp(9, 8).run_sim(paxi::DEFAULT_SEED);
         assert!(
             (r5.leader_msgs_per_op - 10.0).abs() < 2.0,
             "5 nodes: expected ≈10 msgs/op at leader, got {}",
@@ -692,32 +700,22 @@ mod tests {
 
     #[test]
     fn follower_crash_does_not_stop_progress() {
-        let spec = spec(5, 4);
-        let r = run_spec(
-            &spec,
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-            |sim, _cluster| {
-                sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(4)));
-            },
-        );
+        let r = exp(5, 4).run_sim_with(paxi::DEFAULT_SEED, |sim, _cluster| {
+            sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(4)));
+        });
         assert!(r.violations.is_empty());
         assert!(r.throughput > 100.0, "majority alive: progress continues");
     }
 
     #[test]
     fn leader_crash_triggers_reelection() {
-        let mut spec = spec(3, 2);
-        spec.warmup = SimDuration::from_millis(200);
-        spec.measure = SimDuration::from_secs(3);
-        let r = run_spec(
-            &spec,
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Random(vec![NodeId(0), NodeId(1), NodeId(2)]),
-            |sim, _cluster| {
+        let r = exp(3, 2)
+            .warmup(SimDuration::from_millis(200))
+            .measure(SimDuration::from_secs(3))
+            .target(TargetPolicy::Random(vec![NodeId(0), NodeId(1), NodeId(2)]))
+            .run_sim_with(paxi::DEFAULT_SEED, |sim, _cluster| {
                 sim.schedule_control(SimTime::from_millis(700), Control::Crash(NodeId(0)));
-            },
-        );
+            });
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         // After the old leader dies, a new one must emerge and keep
         // committing (clients retry toward random nodes and follow
@@ -731,11 +729,7 @@ mod tests {
 
     #[test]
     fn reads_and_writes_both_complete() {
-        let r = run(
-            &spec(3, 4),
-            paxos_builder(PaxosConfig::lan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exp(3, 4).run_sim(paxi::DEFAULT_SEED);
         assert!(r.samples > 0);
         assert!(r.violations.is_empty());
     }
@@ -745,11 +739,11 @@ mod tests {
         // The paper's §2.2 example: N=10, Q1=8, Q2=3.
         let mut cfg = PaxosConfig::lan();
         cfg.flexible_quorums = Some((8, 3));
-        let r = run(
-            &spec(10, 6),
-            paxos_builder(cfg),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = Experiment::lan(cfg, 10)
+            .clients(6)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700))
+            .run_sim(paxi::DEFAULT_SEED);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
         assert!(r.throughput > 100.0);
     }
@@ -759,20 +753,17 @@ mod tests {
         // 15-node WAN, 5 replicas per region, leader in Virginia. A Q2
         // of 5 commits entirely within the leader's region; the majority
         // configuration must wait for California.
-        let wan = RunSpec {
-            n_clients: 4,
-            warmup: SimDuration::from_millis(500),
-            measure: SimDuration::from_secs(2),
-            ..RunSpec::wan(15, 4)
+        let wan = |cfg: PaxosConfig| {
+            Experiment::wan(cfg, 15)
+                .clients(4)
+                .warmup(SimDuration::from_millis(500))
+                .measure(SimDuration::from_secs(2))
+                .run_sim(paxi::DEFAULT_SEED)
         };
-        let majority = run(
-            &wan,
-            paxos_builder(PaxosConfig::wan()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let majority = wan(PaxosConfig::wan());
         let mut cfg = PaxosConfig::wan();
         cfg.flexible_quorums = Some((11, 5));
-        let flexible = run(&wan, paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)));
+        let flexible = wan(cfg);
         assert!(flexible.violations.is_empty());
         assert!(
             flexible.mean_latency_ms < majority.mean_latency_ms / 5.0,
@@ -794,11 +785,11 @@ mod tests {
     fn thrifty_reduces_leader_messages_but_one_crash_hurts() {
         let mut cfg = PaxosConfig::lan();
         cfg.thrifty = true;
-        let healthy = run(
-            &spec(9, 4),
-            paxos_builder(cfg.clone()),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let base = Experiment::lan(cfg, 9)
+            .clients(4)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(700));
+        let healthy = base.run_sim(paxi::DEFAULT_SEED);
         assert!(healthy.violations.is_empty());
         // Thrifty: 1 req + (q2-1)=4 sends + 4 acks + 1 reply = 10 per op
         // instead of 18.
@@ -811,14 +802,9 @@ mod tests {
         // Crash one of the thrifty quorum members: every commit now
         // rides the retry path (paper: "a single faulty or sluggish
         // node in Q2 stalls the performance").
-        let crashed = run_spec(
-            &spec(9, 4),
-            paxos_builder(cfg),
-            TargetPolicy::Fixed(NodeId(0)),
-            |sim, _| {
-                sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(1)));
-            },
-        );
+        let crashed = base.run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            sim.schedule_control(SimTime::from_millis(100), Control::Crash(NodeId(1)));
+        });
         assert!(crashed.violations.is_empty());
         assert!(
             crashed.mean_latency_ms > healthy.mean_latency_ms * 5.0,

@@ -136,9 +136,10 @@ impl<M: Message + Send> Runtime<M> {
             let stats = self.stats.clone();
             let epoch = self.epoch;
             let node = NodeId::from(i);
-            let seed = self
-                .seed
-                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            // Same per-node seed derivation as `simnet::Simulation`, so a
+            // protocol actor sees an identical RNG stream for a given
+            // (master seed, node) pair on either substrate.
+            let seed = simnet::derive_node_seed(self.seed, i);
             let done = done_tx.clone();
             handles.push(std::thread::spawn(move || {
                 node_loop(node, actor, rx, senders, stats, epoch, seed);
@@ -397,5 +398,50 @@ mod tests {
         });
         rt.run_for(Duration::from_millis(50));
         assert_eq!(*fired.lock(), 0);
+    }
+
+    /// Records the first value its per-node RNG produces.
+    struct RngProbe {
+        out: Arc<Mutex<Vec<(usize, u64)>>>,
+    }
+    impl Actor<Msg> for RngProbe {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            use rand::Rng;
+            let v = ctx.rng().gen::<u64>();
+            self.out.lock().push((ctx.node().index(), v));
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Msg, _c: &mut Context<Msg>) {}
+        fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<Msg>) {}
+    }
+
+    #[test]
+    fn rng_handoff_matches_simulator() {
+        // The same (master seed, node) pair must yield the same RNG
+        // stream on real threads as under the simulator — the shared
+        // `simnet::derive_node_seed` scheme.
+        let threads = Arc::new(Mutex::new(Vec::new()));
+        let mut rt = Runtime::new(42);
+        for _ in 0..3 {
+            rt.add_actor(RngProbe {
+                out: threads.clone(),
+            });
+        }
+        rt.run_for(Duration::from_millis(20));
+
+        let simulated = Arc::new(Mutex::new(Vec::new()));
+        let mut sim: simnet::Simulation<Msg> =
+            simnet::Simulation::new(simnet::Topology::lan(3), simnet::CpuCostModel::free(), 42);
+        for _ in 0..3 {
+            sim.add_actor(Box::new(RngProbe {
+                out: simulated.clone(),
+            }));
+        }
+        sim.run_until(SimTime::from_millis(1));
+
+        let mut a = threads.lock().clone();
+        a.sort_unstable();
+        let mut b = simulated.lock().clone();
+        b.sort_unstable();
+        assert_eq!(a, b, "per-node RNG streams must match across substrates");
     }
 }

@@ -40,6 +40,22 @@ pub trait Actor<M: Message> {
     fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<M>);
 }
 
+/// Boxed actors are actors too. This lets execution substrates that
+/// accept `impl Actor<M>` (e.g. the thread-per-node runtime) consume
+/// the `Box<dyn Actor<M> + Send>` values a protocol-generic factory
+/// produces, without an unboxing adapter at every call site.
+impl<M: Message, A: Actor<M> + ?Sized> Actor<M> for Box<A> {
+    fn on_start(&mut self, ctx: &mut Context<M>) {
+        (**self).on_start(ctx)
+    }
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<M>) {
+        (**self).on_message(from, msg, ctx)
+    }
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<M>) {
+        (**self).on_timer(id, kind, ctx)
+    }
+}
+
 /// Side effects an actor can produce during a single invocation.
 #[derive(Debug)]
 pub enum Effect<M> {

@@ -61,7 +61,7 @@ pub use actor::{Actor, Context, Effect, Message};
 pub use cost::CpuCostModel;
 pub use id::{NodeId, TimerId};
 pub use latency::LatencyModel;
-pub use sim::{Control, Simulation};
+pub use sim::{derive_node_seed, Control, Simulation};
 pub use stats::{NetStats, NodeStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{RegionId, Topology};

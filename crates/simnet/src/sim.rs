@@ -31,6 +31,18 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEntry};
 
+/// Derive the RNG seed for node `index` from a master seed.
+///
+/// This is the single source of truth for per-node randomness handoff:
+/// the deterministic simulator and the thread-per-node runtime
+/// (`pig-runtime`) both seed node `i`'s `StdRng` with
+/// `derive_node_seed(master, i)`, so a protocol actor observes the same
+/// RNG stream for a given `(master seed, node)` pair regardless of the
+/// execution substrate.
+pub fn derive_node_seed(master: u64, index: usize) -> u64 {
+    master.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1))
+}
+
 /// Fault-injection and control operations that can be scheduled for a
 /// future simulated time.
 #[derive(Debug, Clone)]
@@ -125,11 +137,7 @@ impl<M: Message> Simulation<M> {
             drop_rate: 0.0,
             net_rng: StdRng::seed_from_u64(seed ^ 0x5eed_0000_0000_0001),
             node_rngs: (0..n)
-                .map(|i| {
-                    StdRng::seed_from_u64(
-                        seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
-                    )
-                })
+                .map(|i| StdRng::seed_from_u64(derive_node_seed(seed, i)))
                 .collect(),
             timer_seq: 0,
             stats: NetStats::new(n),

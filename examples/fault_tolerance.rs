@@ -14,36 +14,38 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use paxi::harness::{run_spec, RunSpec};
-use paxi::TargetPolicy;
-use pigpaxos::{pig_builder, PigConfig};
+use paxi::{Experiment, TargetPolicy};
+use pigpaxos::PigConfig;
 use simnet::{Control, NodeId, SimDuration, SimTime};
 
 fn main() {
-    let spec = RunSpec {
-        n_clients: 80,
-        warmup: SimDuration::from_secs(0),
-        measure: SimDuration::from_secs(12),
-        timeline_bucket: Some(SimDuration::from_secs(1)),
-        // Clients spread over all replicas so they survive the leader
-        // crash by redirecting to whoever wins the next election.
-        retry_timeout: SimDuration::from_millis(400),
-        ..RunSpec::lan(25, 80)
+    let quick = std::env::var_os("PIG_QUICK").is_some();
+    let (total, crash_t, recover_t, leader_crash_t) = if quick {
+        (6u64, 1, 3, 4)
+    } else {
+        (12, 3, 6, 8)
     };
 
-    let result = run_spec(
-        &spec,
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Random((0..25u32).map(NodeId).collect()),
-        |sim, _| {
-            // t=3s: one follower in relay group 0 crashes.
-            sim.schedule_control(SimTime::from_secs(3), Control::Crash(NodeId(5)));
-            // t=6s: it recovers and catches up via batched LearnReq.
-            sim.schedule_control(SimTime::from_secs(6), Control::Recover(NodeId(5)));
-            // t=8s: the leader itself crashes; a follower takes over.
-            sim.schedule_control(SimTime::from_secs(8), Control::Crash(NodeId(0)));
-        },
-    );
+    let result = Experiment::lan(PigConfig::lan(3), 25)
+        .clients(80)
+        .warmup(SimDuration::from_secs(0))
+        .measure(SimDuration::from_secs(total))
+        .timeline_bucket(SimDuration::from_secs(1))
+        // Clients spread over all replicas so they survive the leader
+        // crash by redirecting to whoever wins the next election.
+        .target(TargetPolicy::Random((0..25u32).map(NodeId).collect()))
+        .retry_timeout(SimDuration::from_millis(400))
+        .run_sim_with(paxi::DEFAULT_SEED, move |sim, _| {
+            // One follower in relay group 0 crashes…
+            sim.schedule_control(SimTime::from_secs(crash_t), Control::Crash(NodeId(5)));
+            // …recovers and catches up via batched LearnReq…
+            sim.schedule_control(SimTime::from_secs(recover_t), Control::Recover(NodeId(5)));
+            // …then the leader itself crashes; a follower takes over.
+            sim.schedule_control(
+                SimTime::from_secs(leader_crash_t),
+                Control::Crash(NodeId(0)),
+            );
+        });
 
     assert!(
         result.violations.is_empty(),
@@ -53,12 +55,17 @@ fn main() {
     println!("PigPaxos 25 nodes / 3 relay groups, 80 clients\n");
     println!("{:>7} {:>12}   event", "time(s)", "tput(req/s)");
     for (t, tput) in &result.timeline {
-        let event = match *t as u64 {
-            4 => "<- follower n5 crashed at t=3s (dip = clients that picked n5 stall one retry)",
-            7 => "<- n5 recovered at t=6s, catching up via batched LearnReq",
-            9 => "<- LEADER crashed at t=8s; election in progress",
-            10 => "<- new leader serving (clients keep stalling on n0 until retry redirects them)",
-            _ => "",
+        let ts = *t as u64;
+        let event = if ts == crash_t + 1 {
+            "<- follower n5 crashed (dip = clients that picked n5 stall one retry)"
+        } else if ts == recover_t + 1 {
+            "<- n5 recovered, catching up via batched LearnReq"
+        } else if ts == leader_crash_t + 1 {
+            "<- LEADER crashed; election in progress"
+        } else if ts == leader_crash_t + 2 {
+            "<- new leader serving (clients keep stalling on n0 until retry redirects them)"
+        } else {
+            ""
         };
         println!("{t:>7.0} {tput:>12.0}   {event}");
     }

@@ -1,31 +1,26 @@
 //! Quickstart: stand up a 9-node PigPaxos cluster on the deterministic
 //! simulator, drive it with closed-loop clients, and print the numbers
-//! that matter.
+//! that matter. One builder call — protocol, topology, and workload are
+//! orthogonal axes.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use paxi::harness::{run, RunSpec};
-use paxi::TargetPolicy;
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use paxi::Experiment;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
 
 fn main() {
+    let quick = std::env::var_os("PIG_QUICK").is_some();
     // A 9-replica LAN cluster, 16 closed-loop clients, the paper's
     // default workload (1000 keys, 50/50 read-write, 8-byte values).
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(500),
-        measure: SimDuration::from_secs(2),
-        ..RunSpec::lan(9, 16)
-    };
-
-    // PigPaxos with 3 relay groups; clients always talk to the leader.
-    let result = run(
-        &spec,
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
+    // PigPaxos with 3 relay groups; clients default to the leader.
+    let result = Experiment::lan(PigConfig::lan(3), 9)
+        .clients(16)
+        .warmup(SimDuration::from_millis(500))
+        .measure(SimDuration::from_secs(if quick { 1 } else { 2 }))
+        .run_sim(paxi::DEFAULT_SEED);
 
     // Safety is machine-checked on every run.
     assert!(

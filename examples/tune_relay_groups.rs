@@ -1,29 +1,24 @@
 //! Capacity planning: given *your* cluster size, sweep the relay-group
 //! count and report the configuration with the best max throughput and
 //! the latency each choice costs — the decision the paper's Fig. 7 and
-//! §6.1 model inform.
+//! §6.1 model inform. With the relay-group count as just another value
+//! of the protocol axis, the sweep is a three-line loop.
 //!
 //! ```sh
 //! cargo run --release --example tune_relay_groups -- 13
 //! ```
 
-use paxi::harness::{load_sweep, RunSpec};
-use paxi::TargetPolicy;
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use paxi::Experiment;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
 
 fn main() {
+    let quick = std::env::var_os("PIG_QUICK").is_some();
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(13);
     assert!(n >= 3, "need at least 3 replicas");
-
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(500),
-        measure: SimDuration::from_secs(2),
-        ..RunSpec::lan(n, 0)
-    };
 
     println!("Relay-group tuning for a {n}-node PigPaxos cluster\n");
     println!(
@@ -34,12 +29,10 @@ fn main() {
     let max_r = (n - 1).min(8);
     let mut best = (0usize, 0.0f64);
     for r in 1..=max_r {
-        let pts = load_sweep(
-            &spec,
-            &[1, 40, 160],
-            pig_builder(PigConfig::lan(r)),
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let pts = Experiment::lan(PigConfig::lan(r), n)
+            .warmup(SimDuration::from_millis(500))
+            .measure(SimDuration::from_millis(if quick { 700 } else { 2000 }))
+            .load_sweep(paxi::DEFAULT_SEED, &[1, 40, 160]);
         let low_load_latency = pts[0].result.mean_latency_ms;
         let max_tput = pts.iter().map(|p| p.result.throughput).fold(0.0, f64::max);
         println!(

@@ -11,50 +11,37 @@
 //! cargo run --release --example wan_deployment
 //! ```
 
-use paxi::harness::{run, RunSpec};
-use paxi::TargetPolicy;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, GroupSpec, PigConfig};
+use paxi::Experiment;
+use paxos::PaxosConfig;
+use pigpaxos::{GroupSpec, PigConfig};
 use simnet::{NodeId, SimDuration};
 
 fn main() {
+    let quick = std::env::var_os("PIG_QUICK").is_some();
     let n = 15;
-    let spec = RunSpec {
-        n_clients: 100,
-        warmup: SimDuration::from_secs(1),
-        measure: SimDuration::from_secs(4),
-        ..RunSpec::wan(n, 100)
-    };
+    let measure = SimDuration::from_secs(if quick { 1 } else { 4 });
+
+    let paxos_exp = Experiment::wan(PaxosConfig::wan(), n)
+        .clients(100)
+        .warmup(SimDuration::from_secs(1))
+        .measure(measure);
 
     println!(
         "Topology: {} nodes over {} regions; leader + clients in {}",
         n,
-        spec.topology.num_regions(),
-        spec.topology.region_name(0)
-    );
-
-    let paxos = run(
-        &spec,
-        paxos_builder(PaxosConfig::wan()),
-        TargetPolicy::Fixed(NodeId(0)),
+        paxos_exp.topology().num_regions(),
+        paxos_exp.topology().region_name(0)
     );
 
     // One relay group per region (leader excluded from its own group).
-    let groups: Vec<Vec<NodeId>> = (0..spec.topology.num_regions())
-        .map(|region| {
-            spec.topology
-                .nodes_in_region(region)
-                .into_iter()
-                .filter(|&node| node != NodeId(0))
-                .collect::<Vec<_>>()
-        })
-        .filter(|g: &Vec<NodeId>| !g.is_empty())
-        .collect();
-    let pig = run(
-        &spec,
-        pig_builder(PigConfig::wan(GroupSpec::Explicit(groups))),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
+    let groups = GroupSpec::per_region(paxos_exp.topology(), NodeId(0));
+
+    let paxos = paxos_exp.run_sim(paxi::DEFAULT_SEED);
+    let pig = Experiment::wan(PigConfig::wan(groups), n)
+        .clients(100)
+        .warmup(SimDuration::from_secs(1))
+        .measure(measure)
+        .run_sim(paxi::DEFAULT_SEED);
 
     for (name, r) in [("Paxos", &paxos), ("PigPaxos", &pig)] {
         assert!(r.violations.is_empty());

@@ -5,17 +5,14 @@
 //! read-your-writes, agreement) and what it MUST change (leader message
 //! load per committed command).
 
-use paxi::harness::{run, RunSpec};
 use paxi::{
-    BatchConfig, ClientRecorder, ClientRequest, ClosedLoopClient, ClusterConfig, Command, Envelope,
-    Operation, ProtoMessage, RequestId, TargetPolicy, Value, Workload,
+    BatchConfig, ClientRequest, ClusterConfig, Command, Envelope, Experiment, Operation,
+    ProtoMessage, ProtocolSpec, RequestId, Value,
 };
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
 use proptest::prelude::*;
-use simnet::{
-    Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
-};
+use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -30,74 +27,30 @@ fn adaptive_coalesced(max_batch: usize) -> BatchConfig {
         .with_reply_coalescing(SimDuration::ZERO)
 }
 
-fn paxos_batched(max_batch: usize) -> PaxosConfig {
-    let mut cfg = PaxosConfig::lan();
-    cfg.batch = batched(max_batch);
-    cfg
-}
-
-fn paxos_with(batch: BatchConfig) -> PaxosConfig {
-    let mut cfg = PaxosConfig::lan();
-    cfg.batch = batch;
-    cfg
-}
-
-fn pig_batched(groups: usize, max_batch: usize) -> PigConfig {
-    let mut cfg = PigConfig::lan(groups);
-    cfg.paxos.batch = batched(max_batch);
-    cfg
-}
-
-fn pig_with(groups: usize, batch: BatchConfig) -> PigConfig {
-    let mut cfg = PigConfig::lan(groups);
-    cfg.paxos.batch = batch;
-    cfg
-}
-
-fn leader() -> TargetPolicy {
-    TargetPolicy::Fixed(NodeId(0))
-}
-
-/// Hand-rolled cluster run that keeps the `ClusterConfig` (and thus the
-/// safety monitor's decided log) accessible after the run.
-fn run_cluster<P, B>(
+/// Run a batched cluster and keep the `ClusterConfig` (and thus the
+/// safety monitor's decided log) for post-run inspection: the hook
+/// clones the shared handle out before the simulation starts.
+fn run_cluster<P: ProtocolSpec>(
+    proto: P,
     n: usize,
     clients: usize,
     pipeline: usize,
     seed: u64,
-    build: B,
-    until: SimTime,
-) -> ClusterConfig
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    let mut topo = Topology::lan(n);
-    topo.add_nodes(clients, 0);
-    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), seed);
-    let cluster = ClusterConfig::new(n);
-    for i in 0..n {
-        sim.add_actor(build(NodeId::from(i), &cluster));
-    }
-    let recorder = ClientRecorder::new();
-    for _ in 0..clients {
-        sim.add_actor(Box::new(
-            ClosedLoopClient::<P>::new(
-                leader(),
-                Workload::paper_default(),
-                recorder.clone(),
-                SimDuration::from_millis(100),
-            )
-            .with_pipeline(pipeline),
-        ));
-    }
-    sim.run_until(until);
+    measure: SimDuration,
+) -> ClusterConfig {
+    let mut captured = None;
+    let r = Experiment::lan(proto, n)
+        .clients(clients)
+        .client_pipeline(pipeline)
+        .warmup(SimDuration::ZERO)
+        .measure(measure)
+        .run_sim_with(seed, |_, cluster| captured = Some(cluster.clone()));
     assert!(
-        recorder.len() > 100,
+        r.samples > 100,
         "cluster must make progress, got {}",
-        recorder.len()
+        r.samples
     );
-    cluster
+    captured.expect("hook ran")
 }
 
 /// In slot order, every client's sequence numbers must be strictly
@@ -134,12 +87,12 @@ fn assert_per_client_fifo(cluster: &ClusterConfig) {
 #[test]
 fn paxos_batched_log_respects_client_issue_order() {
     let cluster = run_cluster(
+        PaxosConfig::lan().with_batch(batched(8)),
         5,
         16,
         1,
         11,
-        paxos_builder(paxos_batched(8)),
-        SimTime::from_millis(1200),
+        SimDuration::from_millis(1200),
     );
     assert_per_client_fifo(&cluster);
 }
@@ -147,12 +100,12 @@ fn paxos_batched_log_respects_client_issue_order() {
 #[test]
 fn pigpaxos_batched_log_respects_client_issue_order() {
     let cluster = run_cluster(
+        PigConfig::lan(2).with_batch(batched(8)),
         5,
         16,
         1,
         11,
-        pig_builder(pig_batched(2, 8)),
-        SimTime::from_millis(1200),
+        SimDuration::from_millis(1200),
     );
     assert_per_client_fifo(&cluster);
 }
@@ -163,12 +116,12 @@ fn pipelined_adaptive_log_respects_client_issue_order() {
     // admission lane must restore per-client issue order even with
     // adaptive batch sizes and coalesced replies in play.
     let cluster = run_cluster(
+        PigConfig::lan(2).with_batch(adaptive_coalesced(32)),
         5,
         8,
         4,
         11,
-        pig_builder(pig_with(2, adaptive_coalesced(32))),
-        SimTime::from_millis(1200),
+        SimDuration::from_millis(1200),
     );
     assert_per_client_fifo(&cluster);
 }
@@ -191,12 +144,12 @@ proptest! {
             batched(8).with_reply_coalescing(SimDuration::ZERO)
         };
         let cluster = run_cluster(
+            PigConfig::lan(2).with_batch(batch),
             5,
             6,
             pipeline,
             seed,
-            pig_builder(pig_with(2, batch)),
-            SimTime::from_millis(900),
+            SimDuration::from_millis(900),
         );
         cluster.safety.assert_safe();
         let mut last_seq: HashMap<NodeId, u64> = HashMap::new();
@@ -301,33 +254,29 @@ impl<P: ProtoMessage> Actor<Envelope<P>> for RywClient<P> {
 
 /// A lone sequential client never fills a batch, so every one of its
 /// commands rides the `max_delay` timer flush — this doubles as the
-/// partial-batch-flush liveness test.
-fn check_read_your_writes<P, B>(n: usize, build: B)
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    let mut topo = Topology::lan(n);
-    topo.add_nodes(1, 0);
-    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), 99);
-    let cluster = ClusterConfig::new(n);
-    for i in 0..n {
-        sim.add_actor(build(NodeId::from(i), &cluster));
-    }
+/// partial-batch-flush liveness test. The checking client occupies an
+/// `extra_client_nodes` slot and is injected by the setup hook.
+fn check_read_your_writes<P: ProtocolSpec>(proto: P, n: usize) {
     let failures = Rc::new(RefCell::new(Vec::new()));
     let completed = Rc::new(RefCell::new(0u64));
-    sim.add_actor(Box::new(RywClient::<P> {
-        leader: NodeId(0),
-        rounds: 50,
-        seq: 0,
-        current_round: 0,
-        expecting_get: false,
-        failures: failures.clone(),
-        completed: completed.clone(),
-        _proto: std::marker::PhantomData,
-    }));
-    sim.run_until(SimTime::from_secs(5));
-    cluster.safety.assert_safe();
+    let (failures2, completed2) = (failures.clone(), completed.clone());
+    let r = Experiment::lan(proto, n)
+        .extra_client_nodes(1)
+        .warmup(SimDuration::ZERO)
+        .measure(SimDuration::from_secs(5))
+        .run_sim_with(99, move |sim, _| {
+            sim.add_actor(Box::new(RywClient::<P::Msg> {
+                leader: NodeId(0),
+                rounds: 50,
+                seq: 0,
+                current_round: 0,
+                expecting_get: false,
+                failures: failures2,
+                completed: completed2,
+                _proto: std::marker::PhantomData,
+            }));
+        });
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(failures.borrow().is_empty(), "{:?}", failures.borrow());
     assert_eq!(
         *completed.borrow(),
@@ -338,12 +287,12 @@ where
 
 #[test]
 fn paxos_batched_read_your_writes() {
-    check_read_your_writes(5, paxos_builder(paxos_batched(16)));
+    check_read_your_writes(PaxosConfig::lan().with_batch(batched(16)), 5);
 }
 
 #[test]
 fn pigpaxos_batched_read_your_writes() {
-    check_read_your_writes(5, pig_builder(pig_batched(2, 16)));
+    check_read_your_writes(PigConfig::lan(2).with_batch(batched(16)), 5);
 }
 
 #[test]
@@ -351,8 +300,17 @@ fn adaptive_coalesced_read_your_writes() {
     // The full v2 pipeline (adaptive sizing, reply coalescing, relay
     // round coalescing) must preserve sequential consistency for a
     // lone put-then-get client.
-    check_read_your_writes(5, paxos_builder(paxos_with(adaptive_coalesced(32))));
-    check_read_your_writes(5, pig_builder(pig_with(2, adaptive_coalesced(32))));
+    check_read_your_writes(PaxosConfig::lan().with_batch(adaptive_coalesced(32)), 5);
+    check_read_your_writes(PigConfig::lan(2).with_batch(adaptive_coalesced(32)), 5);
+}
+
+fn pipelined<P: ProtocolSpec>(proto: P) -> Experiment<P> {
+    Experiment::lan(proto, 5)
+        .clients(4)
+        .client_pipeline(8)
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_millis(1200))
+        .capture_trace()
 }
 
 /// The reply-side gate: coalescing must collapse per-command reply
@@ -361,26 +319,13 @@ fn adaptive_coalesced_read_your_writes() {
 /// baseline at the same batch size.
 #[test]
 fn reply_coalescing_cuts_leader_reply_envelopes() {
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(1200),
-        capture_trace: true,
-        n_clients: 4,
-        client_pipeline: 8,
-        ..RunSpec::lan(5, 4)
-    };
-    let mut v1 = PigConfig::lan(2);
-    v1.paxos.batch = batched(16);
-    v1.relay_coalesce_window = SimDuration::ZERO; // PR-1 behaviour
-    let base = run(&spec, pig_builder(v1), leader());
-    let v2 = run(
-        &spec,
-        pig_builder(pig_with(
-            2,
-            batched(16).with_reply_coalescing(SimDuration::ZERO),
-        )),
-        leader(),
-    );
+    let mut v1_cfg = PigConfig::lan(2).with_batch(batched(16));
+    v1_cfg.relay_coalesce_window = SimDuration::ZERO; // PR-1 behaviour
+    let base = pipelined(v1_cfg).run_sim(paxi::DEFAULT_SEED);
+    let v2 = pipelined(
+        PigConfig::lan(2).with_batch(batched(16).with_reply_coalescing(SimDuration::ZERO)),
+    )
+    .run_sim(paxi::DEFAULT_SEED);
     assert!(base.violations.is_empty(), "{:?}", base.violations);
     assert!(v2.violations.is_empty(), "{:?}", v2.violations);
 
@@ -414,17 +359,15 @@ fn reply_coalescing_cuts_leader_reply_envelopes() {
 /// flushes immediately, keeping p50 within 1.2x of unbatched.
 #[test]
 fn adaptive_batching_keeps_low_load_latency() {
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(1200),
-        ..RunSpec::lan(5, 2)
+    let low = |proto: PigConfig| {
+        Experiment::lan(proto, 5)
+            .clients(2)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(1200))
+            .run_sim(paxi::DEFAULT_SEED)
     };
-    let unbatched = run(&spec, pig_builder(PigConfig::lan(2)), leader());
-    let adaptive = run(
-        &spec,
-        pig_builder(pig_with(2, adaptive_coalesced(32))),
-        leader(),
-    );
+    let unbatched = low(PigConfig::lan(2));
+    let adaptive = low(PigConfig::lan(2).with_batch(adaptive_coalesced(32)));
     assert!(adaptive.violations.is_empty());
     assert!(
         adaptive.p50_latency_ms <= unbatched.p50_latency_ms * 1.2,
@@ -437,26 +380,28 @@ fn adaptive_batching_keeps_low_load_latency() {
 /// The point of the whole subsystem: at `max_batch = 16`, leader-sent
 /// protocol messages per committed command must drop by at least 4x
 /// vs. unbatched (the repo's acceptance gate), for both the direct and
-/// the relay-tree protocol.
+/// the relay-tree protocol — one generic check, two protocol configs.
 #[test]
 fn batching_cuts_leader_protocol_messages_4x() {
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(1200),
-        capture_trace: true,
-        ..RunSpec::lan(5, 32)
-    };
+    fn saturated<P: ProtocolSpec>(proto: P) -> paxi::RunResult {
+        Experiment::lan(proto, 5)
+            .clients(32)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(1200))
+            .capture_trace()
+            .run_sim(paxi::DEFAULT_SEED)
+    }
 
     for (name, base, b16) in [
         (
             "paxos",
-            run(&spec, paxos_builder(PaxosConfig::lan()), leader()),
-            run(&spec, paxos_builder(paxos_batched(16)), leader()),
+            saturated(PaxosConfig::lan()),
+            saturated(PaxosConfig::lan().with_batch(batched(16))),
         ),
         (
             "pigpaxos",
-            run(&spec, pig_builder(PigConfig::lan(2)), leader()),
-            run(&spec, pig_builder(pig_batched(2, 16)), leader()),
+            saturated(PigConfig::lan(2)),
+            saturated(PigConfig::lan(2).with_batch(batched(16))),
         ),
     ] {
         assert!(

@@ -1,32 +1,21 @@
 //! Reproducibility: the whole stack is deterministic given a seed.
 
-use paxi::harness::{run, RunSpec};
-use paxi::TargetPolicy;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use paxi::Experiment;
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
 
-fn spec(seed: u64) -> RunSpec {
-    RunSpec {
-        seed,
-        warmup: SimDuration::from_millis(200),
-        measure: SimDuration::from_millis(600),
-        ..RunSpec::lan(9, 4)
-    }
+fn exp<P: paxi::ProtocolSpec>(proto: P) -> Experiment<P> {
+    Experiment::lan(proto, 9)
+        .clients(4)
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(600))
 }
 
 #[test]
 fn same_seed_same_results_pigpaxos() {
-    let a = run(
-        &spec(42),
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
-    let b = run(
-        &spec(42),
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
+    let a = exp(PigConfig::lan(3)).run_sim(42);
+    let b = exp(PigConfig::lan(3)).run_sim(42);
     assert_eq!(a.samples, b.samples);
     assert_eq!(a.decided, b.decided);
     assert_eq!(a.node_msgs, b.node_msgs);
@@ -36,16 +25,8 @@ fn same_seed_same_results_pigpaxos() {
 
 #[test]
 fn same_seed_same_results_paxos() {
-    let a = run(
-        &spec(7),
-        paxos_builder(PaxosConfig::lan()),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
-    let b = run(
-        &spec(7),
-        paxos_builder(PaxosConfig::lan()),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
+    let a = exp(PaxosConfig::lan()).run_sim(7);
+    let b = exp(PaxosConfig::lan()).run_sim(7);
     assert_eq!(a.samples, b.samples);
     assert_eq!(a.node_msgs, b.node_msgs);
 }
@@ -56,22 +37,14 @@ fn same_seed_same_trace_fingerprint_with_batching() {
     // the P2aBatch/P2bBatch paths must stay on the deterministic
     // schedule. Two identically-seeded runs must produce bit-identical
     // message traces, hashed by the simulator.
-    let run_once = |protocol: u8| {
-        let mut s = spec(42);
-        s.capture_trace = true;
-        let batch = paxi::BatchConfig::new(8, SimDuration::from_micros(200));
-        match protocol {
-            0 => {
-                let mut cfg = PaxosConfig::lan();
-                cfg.batch = batch;
-                run(&s, paxos_builder(cfg), TargetPolicy::Fixed(NodeId(0)))
-            }
-            _ => {
-                let mut cfg = PigConfig::lan(3);
-                cfg.paxos.batch = batch;
-                run(&s, pig_builder(cfg), TargetPolicy::Fixed(NodeId(0)))
-            }
-        }
+    let batch = || paxi::BatchConfig::new(8, SimDuration::from_micros(200));
+    let run_once = |protocol: u8| match protocol {
+        0 => exp(PaxosConfig::lan().with_batch(batch()))
+            .capture_trace()
+            .run_sim(42),
+        _ => exp(PigConfig::lan(3).with_batch(batch()))
+            .capture_trace()
+            .run_sim(42),
     };
     for protocol in [0, 1] {
         let a = run_once(protocol);
@@ -94,16 +67,8 @@ fn same_seed_same_trace_fingerprint_with_batching() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run(
-        &spec(1),
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
-    let b = run(
-        &spec(2),
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
+    let a = exp(PigConfig::lan(3)).run_sim(1);
+    let b = exp(PigConfig::lan(3)).run_sim(2);
     // Equal aggregate metrics across different seeds would suggest the
     // seed is ignored somewhere.
     assert_ne!(

@@ -1,41 +1,31 @@
 //! Fault-injection integration tests: crashes, partitions, message
 //! loss, and recovery — safety must hold in every scenario, and
-//! liveness whenever a majority is reachable.
+//! liveness whenever a majority is reachable. Fault schedules ride the
+//! `run_sim_with` hook; everything else is the standard builder.
 
-use paxi::harness::{run_spec, RunSpec};
-use paxi::TargetPolicy;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
+use paxi::{Experiment, ProtocolSpec, TargetPolicy};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
 use simnet::{Control, NodeId, SimDuration, SimTime};
 
-fn spec(n: usize, clients: usize) -> RunSpec {
-    RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(1200),
-        ..RunSpec::lan(n, clients)
-    }
-}
-
-fn leader() -> TargetPolicy {
-    TargetPolicy::Fixed(NodeId(0))
+fn exp<P: ProtocolSpec>(proto: P, n: usize, clients: usize) -> Experiment<P> {
+    Experiment::lan(proto, n)
+        .clients(clients)
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_millis(1200))
 }
 
 #[test]
 fn pigpaxos_survives_minority_of_crashes() {
     // f = 4 crashes in a 9-node cluster (2f+1 = 9): progress must continue.
-    let r = run_spec(
-        &spec(9, 6),
-        pig_builder(PigConfig::lan(2)),
-        leader(),
-        |sim, _| {
-            for (i, node) in [5u32, 6, 7, 8].iter().enumerate() {
-                sim.schedule_control(
-                    SimTime::from_millis(400 + 100 * i as u64),
-                    Control::Crash(NodeId(*node)),
-                );
-            }
-        },
-    );
+    let r = exp(PigConfig::lan(2), 9, 6).run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+        for (i, node) in [5u32, 6, 7, 8].iter().enumerate() {
+            sim.schedule_control(
+                SimTime::from_millis(400 + 100 * i as u64),
+                Control::Crash(NodeId(*node)),
+            );
+        }
+    });
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(
         r.throughput > 50.0,
@@ -47,35 +37,30 @@ fn pigpaxos_survives_minority_of_crashes() {
 #[test]
 fn pigpaxos_stalls_without_majority_but_stays_safe() {
     // 5 crashes of 9 leave 4 < majority: commits must stop, safety holds.
-    let r = run_spec(
-        &spec(9, 4),
-        pig_builder(PigConfig::lan(2)),
-        leader(),
-        |sim, cluster| {
-            for node in 5..9u32 {
-                sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(node)));
-            }
-            sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(4)));
-            // Nothing decided after the mass crash may conflict — checked
-            // by the shared safety monitor automatically.
-            let _ = cluster;
-        },
-    );
+    let r = exp(PigConfig::lan(2), 9, 4).run_sim_with(paxi::DEFAULT_SEED, |sim, cluster| {
+        for node in 5..9u32 {
+            sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(node)));
+        }
+        sim.schedule_control(SimTime::from_millis(600), Control::Crash(NodeId(4)));
+        // Nothing decided after the mass crash may conflict — checked
+        // by the shared safety monitor automatically.
+        let _ = cluster;
+    });
     assert!(r.violations.is_empty(), "{:?}", r.violations);
 }
 
 #[test]
 fn pigpaxos_recovers_after_majority_restored() {
-    let mut s = spec(9, 4);
-    s.measure = SimDuration::from_secs(3);
-    let r = run_spec(&s, pig_builder(PigConfig::lan(2)), leader(), |sim, _| {
-        for node in 4..9u32 {
-            sim.schedule_control(SimTime::from_millis(500), Control::Crash(NodeId(node)));
-        }
-        for node in 4..9u32 {
-            sim.schedule_control(SimTime::from_millis(1500), Control::Recover(NodeId(node)));
-        }
-    });
+    let r = exp(PigConfig::lan(2), 9, 4)
+        .measure(SimDuration::from_secs(3))
+        .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            for node in 4..9u32 {
+                sim.schedule_control(SimTime::from_millis(500), Control::Crash(NodeId(node)));
+            }
+            for node in 4..9u32 {
+                sim.schedule_control(SimTime::from_millis(1500), Control::Recover(NodeId(node)));
+            }
+        });
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(
         r.throughput > 100.0,
@@ -86,29 +71,16 @@ fn pigpaxos_recovers_after_majority_restored() {
 
 #[test]
 fn safety_holds_under_random_message_loss() {
+    // The drop-rate scenario is protocol-generic; run the identical
+    // schedule for both leader-based protocols.
+    fn lossy<P: ProtocolSpec>(proto: P) -> paxi::RunResult {
+        exp(proto, 5, 4).run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            sim.set_drop_rate(0.05);
+        })
+    }
     for (name, r) in [
-        (
-            "paxos",
-            run_spec(
-                &spec(5, 4),
-                paxos_builder(PaxosConfig::lan()),
-                leader(),
-                |sim, _| {
-                    sim.set_drop_rate(0.05);
-                },
-            ),
-        ),
-        (
-            "pigpaxos",
-            run_spec(
-                &spec(5, 4),
-                pig_builder(PigConfig::lan(2)),
-                leader(),
-                |sim, _| {
-                    sim.set_drop_rate(0.05);
-                },
-            ),
-        ),
+        ("paxos", lossy(PaxosConfig::lan())),
+        ("pigpaxos", lossy(PigConfig::lan(2))),
     ] {
         assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
         assert!(
@@ -121,31 +93,24 @@ fn safety_holds_under_random_message_loss() {
 
 #[test]
 fn partition_heals_and_cluster_catches_up() {
-    let mut s = spec(5, 4);
-    s.measure = SimDuration::from_secs(3);
-    let r = run_spec(&s, pig_builder(PigConfig::lan(2)), leader(), |sim, _| {
-        // Cut off two followers for a second, then heal.
-        let minority = [NodeId(3), NodeId(4)];
-        let rest = [NodeId(0), NodeId(1), NodeId(2)];
-        sim.schedule_control(
-            SimTime::from_millis(500),
-            Control::BlockLink(NodeId(3), NodeId(0)),
-        );
-        let _ = (minority, rest);
-        for a in [3u32, 4] {
-            for b in 0..3u32 {
-                sim.schedule_control(
-                    SimTime::from_millis(500),
-                    Control::BlockLink(NodeId(a), NodeId(b)),
-                );
-                sim.schedule_control(
-                    SimTime::from_millis(500),
-                    Control::BlockLink(NodeId(b), NodeId(a)),
-                );
+    let r = exp(PigConfig::lan(2), 5, 4)
+        .measure(SimDuration::from_secs(3))
+        .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            // Cut off two followers for a second, then heal.
+            for a in [3u32, 4] {
+                for b in 0..3u32 {
+                    sim.schedule_control(
+                        SimTime::from_millis(500),
+                        Control::BlockLink(NodeId(a), NodeId(b)),
+                    );
+                    sim.schedule_control(
+                        SimTime::from_millis(500),
+                        Control::BlockLink(NodeId(b), NodeId(a)),
+                    );
+                }
             }
-        }
-        sim.schedule_control(SimTime::from_millis(1500), Control::HealAllLinks);
-    });
+            sim.schedule_control(SimTime::from_millis(1500), Control::HealAllLinks);
+        });
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(
         r.throughput > 100.0,
@@ -159,14 +124,9 @@ fn relay_crash_is_transient_thanks_to_rotation() {
     // Crash a node; rounds that pick it as relay lose a group, but the
     // next retry picks fresh relays (§3.4). Latency must stay bounded
     // well below the client retry timeout.
-    let r = run_spec(
-        &spec(25, 8),
-        pig_builder(PigConfig::lan(3)),
-        leader(),
-        |sim, _| {
-            sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(3)));
-        },
-    );
+    let r = exp(PigConfig::lan(3), 25, 8).run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+        sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(3)));
+    });
     assert!(r.violations.is_empty());
     assert!(r.throughput > 500.0);
     assert!(
@@ -178,35 +138,17 @@ fn relay_crash_is_transient_thanks_to_rotation() {
 
 #[test]
 fn paxos_and_pigpaxos_handle_leader_crash_with_reelection() {
+    fn crash_leader<P: ProtocolSpec>(proto: P) -> paxi::RunResult {
+        exp(proto, 5, 3)
+            .measure(SimDuration::from_secs(3))
+            .target(TargetPolicy::Random((0..5u32).map(NodeId).collect()))
+            .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+                sim.schedule_control(SimTime::from_millis(800), Control::Crash(NodeId(0)));
+            })
+    }
     for (name, r) in [
-        (
-            "paxos",
-            run_spec(
-                &RunSpec {
-                    measure: SimDuration::from_secs(3),
-                    ..spec(5, 3)
-                },
-                paxos_builder(PaxosConfig::lan()),
-                TargetPolicy::Random((0..5u32).map(NodeId).collect()),
-                |sim: &mut simnet::Simulation<_>, _: &paxi::ClusterConfig| {
-                    sim.schedule_control(SimTime::from_millis(800), Control::Crash(NodeId(0)));
-                },
-            ),
-        ),
-        (
-            "pigpaxos",
-            run_spec(
-                &RunSpec {
-                    measure: SimDuration::from_secs(3),
-                    ..spec(5, 3)
-                },
-                pig_builder(PigConfig::lan(2)),
-                TargetPolicy::Random((0..5u32).map(NodeId).collect()),
-                |sim: &mut simnet::Simulation<_>, _: &paxi::ClusterConfig| {
-                    sim.schedule_control(SimTime::from_millis(800), Control::Crash(NodeId(0)));
-                },
-            ),
-        ),
+        ("paxos", crash_leader(PaxosConfig::lan())),
+        ("pigpaxos", crash_leader(PigConfig::lan(2))),
     ] {
         assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
         assert!(

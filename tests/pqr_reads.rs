@@ -2,68 +2,46 @@
 //! linearizable reads served by follower proxies without touching the
 //! leader.
 
-use paxi::harness::{run, RunSpec};
-use paxi::{
-    ClientRequest, ClusterConfig, Command, Envelope, Operation, RequestId, TargetPolicy, Value,
-    Workload,
-};
-use pigpaxos::{pig_builder, PigConfig, PigMsg};
-use simnet::{
-    Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
-};
+use paxi::{ClientRequest, Command, Envelope, Experiment, Operation, RequestId, Value, Workload};
+use pigpaxos::{PigConfig, PigMsg};
+use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn pqr_cfg(groups: usize) -> PigConfig {
-    let mut cfg = PigConfig::lan(groups);
-    cfg.pqr_reads = true;
-    cfg
+fn read_heavy() -> Workload {
+    Workload {
+        read_ratio: 0.9,
+        ..Workload::paper_default()
+    }
 }
 
 #[test]
 fn pqr_cluster_serves_reads_from_followers() {
-    let spec = RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(900),
-        workload: Workload {
-            read_ratio: 0.9,
-            ..Workload::paper_default()
-        },
-        ..RunSpec::lan(9, 8)
-    };
-    // Clients pick random replicas; 90% of ops are reads answered by
-    // proxies, writes redirect to the leader.
-    let r = run(
-        &spec,
-        pig_builder(pqr_cfg(2)),
-        TargetPolicy::Random((0..9u32).map(NodeId).collect()),
-    );
+    // `with_pqr` flips the default client target to a random spread, so
+    // 90% of ops are reads answered by proxies; writes redirect to the
+    // leader.
+    let r = Experiment::lan(PigConfig::lan(2).with_pqr(), 9)
+        .clients(8)
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_millis(900))
+        .workload(read_heavy())
+        .run_sim(paxi::DEFAULT_SEED);
     assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(r.throughput > 500.0, "PQR throughput: {}", r.throughput);
 }
 
 #[test]
 fn pqr_offloads_the_leader_on_read_heavy_workloads() {
-    let base = RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(900),
-        workload: Workload {
-            read_ratio: 0.9,
-            ..Workload::paper_default()
-        },
-        n_clients: 80,
-        ..RunSpec::lan(25, 80)
+    let run = |cfg: PigConfig| {
+        Experiment::lan(cfg, 25)
+            .clients(80)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_millis(900))
+            .workload(read_heavy())
+            .run_sim(paxi::DEFAULT_SEED)
     };
-    let leader_reads = run(
-        &base,
-        pig_builder(PigConfig::lan(3)),
-        TargetPolicy::Fixed(NodeId(0)),
-    );
-    let pqr = run(
-        &base,
-        pig_builder(pqr_cfg(3)),
-        TargetPolicy::Random((0..25u32).map(NodeId).collect()),
-    );
+    let leader_reads = run(PigConfig::lan(3));
+    let pqr = run(PigConfig::lan(3).with_pqr());
     assert!(pqr.violations.is_empty());
     assert!(
         pqr.throughput > leader_reads.throughput * 1.5,
@@ -162,30 +140,26 @@ impl Actor<Envelope<PigMsg>> for PqrChecker {
 
 #[test]
 fn pqr_reads_are_linearizable_with_writer() {
-    let n = 9;
-    let mut topo = Topology::lan(n);
-    topo.add_nodes(1, 0);
-    let mut sim: Simulation<Envelope<PigMsg>> =
-        Simulation::new(topo, CpuCostModel::calibrated(), 5);
-    let cluster = ClusterConfig::new(n);
-    let build = pig_builder(pqr_cfg(2));
-    for i in 0..n {
-        sim.add_actor(build(NodeId::from(i), &cluster));
-    }
     let failures = Rc::new(RefCell::new(Vec::new()));
     let completed = Rc::new(RefCell::new(0u64));
-    sim.add_actor(Box::new(PqrChecker {
-        leader: NodeId(0),
-        proxy: NodeId(4), // a follower acting as the read proxy
-        rounds: 40,
-        round: 0,
-        seq: 0,
-        awaiting_get: false,
-        failures: failures.clone(),
-        completed: completed.clone(),
-    }));
-    sim.run_until(SimTime::from_secs(10));
-    cluster.safety.assert_safe();
+    let (failures2, completed2) = (failures.clone(), completed.clone());
+    let r = Experiment::lan(PigConfig::lan(2).with_pqr(), 9)
+        .extra_client_nodes(1)
+        .warmup(SimDuration::ZERO)
+        .measure(SimDuration::from_secs(10))
+        .run_sim_with(5, move |sim, _| {
+            sim.add_actor(Box::new(PqrChecker {
+                leader: NodeId(0),
+                proxy: NodeId(4), // a follower acting as the read proxy
+                rounds: 40,
+                round: 0,
+                seq: 0,
+                awaiting_get: false,
+                failures: failures2,
+                completed: completed2,
+            }));
+        });
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(failures.borrow().is_empty(), "{:?}", failures.borrow());
     assert_eq!(*completed.borrow(), 40, "all rounds must complete");
 }

@@ -1,36 +1,66 @@
 //! Cross-protocol integration tests: the paper's headline comparisons,
 //! asserted as invariants rather than eyeballed from figures.
+//!
+//! The suite is generic over [`paxi::ProtocolSpec`]: every protocol
+//! passes the *identical* invariant/safety battery through the unified
+//! [`Experiment`] entry point — no per-protocol copies — and the
+//! comparative tests differ only in which config value they pass.
 
-use epaxos::{epaxos_builder, EpaxosConfig};
-use paxi::harness::{max_throughput, run, RunSpec};
-use paxi::TargetPolicy;
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{NodeId, SimDuration};
+use epaxos::EpaxosConfig;
+use paxi::{Experiment, ProtocolSpec};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
 
-fn spec(n: usize, clients: usize) -> RunSpec {
-    RunSpec {
-        warmup: SimDuration::from_millis(300),
-        measure: SimDuration::from_millis(900),
-        ..RunSpec::lan(n, clients)
-    }
-}
-
-fn leader() -> TargetPolicy {
-    TargetPolicy::Fixed(NodeId(0))
-}
-
-fn random(n: usize) -> TargetPolicy {
-    TargetPolicy::Random((0..n).map(NodeId::from).collect())
+fn exp<P: ProtocolSpec>(proto: P, n: usize) -> Experiment<P> {
+    Experiment::lan(proto, n)
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_millis(900))
 }
 
 const SWEEP: &[usize] = &[40, 160];
 
+/// The protocol-generic invariant/safety suite: agreement is
+/// machine-checked, the cluster makes real progress, latency
+/// percentiles are ordered, and a fixed seed reproduces the run
+/// bit-for-bit. Every protocol must pass it unchanged.
+fn invariant_suite<P: ProtocolSpec>(proto: P, n: usize) {
+    let e = exp(proto, n).clients(6);
+    let r = e.run_sim(paxi::DEFAULT_SEED);
+    let name = e.protocol().protocol_name();
+    assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+    assert!(r.throughput > 100.0, "{name}: {}", r.throughput);
+    assert!(r.samples > 50, "{name}: {}", r.samples);
+    assert!(r.decided > 50, "{name}: {}", r.decided);
+    assert!(
+        r.p99_latency_ms >= r.p50_latency_ms && r.p50_latency_ms > 0.0,
+        "{name}: percentiles out of order"
+    );
+    // Determinism is part of the contract, per protocol.
+    let again = e.run_sim(paxi::DEFAULT_SEED);
+    assert_eq!(r.samples, again.samples, "{name}: nondeterministic");
+    assert_eq!(r.node_msgs, again.node_msgs, "{name}: nondeterministic");
+}
+
+#[test]
+fn invariants_paxos() {
+    invariant_suite(PaxosConfig::lan(), 9);
+}
+
+#[test]
+fn invariants_pigpaxos() {
+    invariant_suite(PigConfig::lan(3), 9);
+}
+
+#[test]
+fn invariants_epaxos() {
+    invariant_suite(EpaxosConfig::default(), 9);
+}
+
 #[test]
 fn pigpaxos_beats_paxos_by_3x_at_25_nodes() {
-    let base = spec(25, 0);
-    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
-    let pig = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(3)), leader());
+    let paxos = exp(PaxosConfig::lan(), 25).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let pig = exp(PigConfig::lan(3), 25).max_throughput(paxi::DEFAULT_SEED, SWEEP);
     assert!(
         pig > paxos * 3.0,
         "paper claims >3x: PigPaxos {pig:.0} vs Paxos {paxos:.0}"
@@ -39,14 +69,8 @@ fn pigpaxos_beats_paxos_by_3x_at_25_nodes() {
 
 #[test]
 fn epaxos_saturates_below_paxos_at_25_nodes() {
-    let base = spec(25, 0);
-    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
-    let ep = max_throughput(
-        &base,
-        SWEEP,
-        epaxos_builder(EpaxosConfig::default()),
-        random(25),
-    );
+    let paxos = exp(PaxosConfig::lan(), 25).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let ep = exp(EpaxosConfig::default(), 25).max_throughput(paxi::DEFAULT_SEED, SWEEP);
     assert!(
         ep < paxos,
         "paper Fig 8 ordering: EPaxos ({ep:.0}) below Paxos ({paxos:.0})"
@@ -56,8 +80,12 @@ fn epaxos_saturates_below_paxos_at_25_nodes() {
 #[test]
 fn paxos_has_lower_latency_at_low_load() {
     // Paper: PigPaxos pays ~30% extra latency at low load (the relay hop).
-    let paxos = run(&spec(25, 1), paxos_builder(PaxosConfig::lan()), leader());
-    let pig = run(&spec(25, 1), pig_builder(PigConfig::lan(3)), leader());
+    let paxos = exp(PaxosConfig::lan(), 25)
+        .clients(1)
+        .run_sim(paxi::DEFAULT_SEED);
+    let pig = exp(PigConfig::lan(3), 25)
+        .clients(1)
+        .run_sim(paxi::DEFAULT_SEED);
     assert!(
         pig.mean_latency_ms > paxos.mean_latency_ms * 1.1,
         "relay hop must cost latency: pig {:.2}ms vs paxos {:.2}ms",
@@ -74,10 +102,10 @@ fn paxos_has_lower_latency_at_low_load() {
 
 #[test]
 fn fewer_relay_groups_higher_throughput() {
-    // Fig 7's monotone shape, spot-checked at the extremes.
-    let base = spec(25, 0);
-    let r2 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(2)), leader());
-    let r6 = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(6)), leader());
+    // Fig 7's monotone shape, spot-checked at the extremes. The sweep
+    // over the relay-group axis is a loop, not two binaries.
+    let tput = |r: usize| exp(PigConfig::lan(r), 25).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let (r2, r6) = (tput(2), tput(6));
     assert!(
         r2 > r6 * 1.4,
         "r=2 ({r2:.0}) must clearly beat r=6 ({r6:.0})"
@@ -87,9 +115,8 @@ fn fewer_relay_groups_higher_throughput() {
 #[test]
 fn pigpaxos_benefits_extend_to_small_clusters() {
     // Paper §5.5 / Fig 10-11.
-    let base = spec(5, 0);
-    let paxos = max_throughput(&base, SWEEP, paxos_builder(PaxosConfig::lan()), leader());
-    let pig = max_throughput(&base, SWEEP, pig_builder(PigConfig::lan(2)), leader());
+    let paxos = exp(PaxosConfig::lan(), 5).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let pig = exp(PigConfig::lan(2), 5).max_throughput(paxi::DEFAULT_SEED, SWEEP);
     assert!(
         pig > paxos * 1.2,
         "PigPaxos must win even at 5 nodes: {pig:.0} vs {paxos:.0}"
@@ -98,25 +125,10 @@ fn pigpaxos_benefits_extend_to_small_clusters() {
 
 #[test]
 fn paxos_throughput_decays_with_cluster_size_pigpaxos_does_not() {
-    let paxos9 = max_throughput(
-        &spec(9, 0),
-        SWEEP,
-        paxos_builder(PaxosConfig::lan()),
-        leader(),
-    );
-    let paxos25 = max_throughput(
-        &spec(25, 0),
-        SWEEP,
-        paxos_builder(PaxosConfig::lan()),
-        leader(),
-    );
-    let pig9 = max_throughput(&spec(9, 0), SWEEP, pig_builder(PigConfig::lan(2)), leader());
-    let pig25 = max_throughput(
-        &spec(25, 0),
-        SWEEP,
-        pig_builder(PigConfig::lan(2)),
-        leader(),
-    );
+    let paxos = |n| exp(PaxosConfig::lan(), n).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let pig = |n| exp(PigConfig::lan(2), n).max_throughput(paxi::DEFAULT_SEED, SWEEP);
+    let (paxos9, paxos25) = (paxos(9), paxos(25));
+    let (pig9, pig25) = (pig(9), pig(25));
     assert!(
         paxos9 > paxos25 * 1.8,
         "Paxos decays ~1/N: {paxos9:.0} vs {paxos25:.0}"
@@ -130,12 +142,10 @@ fn paxos_throughput_decays_with_cluster_size_pigpaxos_does_not() {
 #[test]
 fn measured_message_loads_match_analytical_model() {
     // §6.1: the simulator's counters must agree with Eq. 1 and Eq. 3.
-    let s = RunSpec {
-        n_clients: 10,
-        ..spec(25, 10)
-    };
     for r in [2usize, 4] {
-        let res = run(&s, pig_builder(PigConfig::lan(r)), leader());
+        let res = exp(PigConfig::lan(r), 25)
+            .clients(10)
+            .run_sim(paxi::DEFAULT_SEED);
         let ml = analytical::leader_load(r);
         let mf = analytical::follower_load(25, r);
         assert!(
@@ -148,19 +158,5 @@ fn measured_message_loads_match_analytical_model() {
             "r={r}: measured Mf {:.2} vs model {mf:.2}",
             res.follower_msgs_per_op
         );
-    }
-}
-
-#[test]
-fn all_protocols_agree_and_commit_under_identical_workload() {
-    let n = 9;
-    let s = spec(n, 6);
-    let paxos = run(&s, paxos_builder(PaxosConfig::lan()), leader());
-    let pig = run(&s, pig_builder(PigConfig::lan(3)), leader());
-    let ep = run(&s, epaxos_builder(EpaxosConfig::default()), random(n));
-    for (name, r) in [("paxos", &paxos), ("pigpaxos", &pig), ("epaxos", &ep)] {
-        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
-        assert!(r.throughput > 100.0, "{name}: {}", r.throughput);
-        assert!(r.samples > 50, "{name}: {}", r.samples);
     }
 }

@@ -2,16 +2,17 @@
 //! writes distinct values and reads them back, asserting every read
 //! observes the latest completed write (read-your-writes through the
 //! serialized log — the linearizability the paper's single conflict
-//! domain provides).
+//! domain provides). The checking client occupies an
+//! `extra_client_nodes` slot of the unified experiment and is injected
+//! by the setup hook.
 
 use paxi::{
-    ClientRequest, ClusterConfig, Command, Envelope, Operation, ProtoMessage, RequestId, Value,
+    ClientRequest, Command, Envelope, Experiment, Operation, ProtoMessage, ProtocolSpec, RequestId,
+    Value,
 };
-use paxos::{paxos_builder, PaxosConfig};
-use pigpaxos::{pig_builder, PigConfig};
-use simnet::{
-    Actor, Context, CpuCostModel, NodeId, SimDuration, SimTime, Simulation, TimerId, Topology,
-};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -89,48 +90,42 @@ impl<P: ProtoMessage> Actor<Envelope<P>> for CheckingClient<P> {
     fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<Envelope<P>>) {}
 }
 
-fn check_protocol<P, B>(n: usize, build: B)
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    let mut topo = Topology::lan(n);
-    topo.add_nodes(1, 0);
-    let mut sim: Simulation<Envelope<P>> = Simulation::new(topo, CpuCostModel::calibrated(), 99);
-    let cluster = ClusterConfig::new(n);
-    for i in 0..n {
-        sim.add_actor(build(NodeId::from(i), &cluster));
-    }
+fn check_protocol<P: ProtocolSpec>(proto: P, n: usize) {
     let failures = Rc::new(RefCell::new(Vec::new()));
     let completed = Rc::new(RefCell::new(0u64));
-    sim.add_actor(Box::new(CheckingClient::<P> {
-        leader: NodeId(0),
-        rounds: 50,
-        seq: 0,
-        current_round: 0,
-        expecting_get: false,
-        failures: failures.clone(),
-        completed: completed.clone(),
-        _proto: std::marker::PhantomData,
-    }));
-    sim.run_until(SimTime::from_secs(5));
-    let _ = SimDuration::ZERO;
-    cluster.safety.assert_safe();
+    let (failures2, completed2) = (failures.clone(), completed.clone());
+    let r = Experiment::lan(proto, n)
+        .extra_client_nodes(1)
+        .warmup(SimDuration::ZERO)
+        .measure(SimDuration::from_secs(5))
+        .run_sim_with(99, move |sim, _| {
+            sim.add_actor(Box::new(CheckingClient::<P::Msg> {
+                leader: NodeId(0),
+                rounds: 50,
+                seq: 0,
+                current_round: 0,
+                expecting_get: false,
+                failures: failures2,
+                completed: completed2,
+                _proto: std::marker::PhantomData,
+            }));
+        });
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
     assert!(failures.borrow().is_empty(), "{:?}", failures.borrow());
     assert_eq!(*completed.borrow(), 50, "all rounds must complete");
 }
 
 #[test]
 fn paxos_read_your_writes() {
-    check_protocol(5, paxos_builder(PaxosConfig::lan()));
+    check_protocol(PaxosConfig::lan(), 5);
 }
 
 #[test]
 fn pigpaxos_read_your_writes() {
-    check_protocol(9, pig_builder(PigConfig::lan(3)));
+    check_protocol(PigConfig::lan(3), 9);
 }
 
 #[test]
 fn pigpaxos_two_groups_read_your_writes() {
-    check_protocol(5, pig_builder(PigConfig::lan(2)));
+    check_protocol(PigConfig::lan(2), 5);
 }

@@ -1,0 +1,89 @@
+//! Substrate parity as a first-class API property: the *same*
+//! `Experiment` value — same protocol config, topology, workload, and
+//! client population — runs on the deterministic simulator and on real
+//! OS threads (`pig-runtime`), and must make progress with zero safety
+//! violations on both. The replica actors are byte-for-byte the same
+//! code; only the run method differs.
+
+use epaxos::EpaxosConfig;
+use paxi::{Experiment, ProtocolSpec};
+use paxos::PaxosConfig;
+use pigpaxos::PigConfig;
+use simnet::SimDuration;
+use std::time::Duration;
+
+fn assert_parity<P: ProtocolSpec>(proto: P, n: usize, min_thread_ops: usize) {
+    let experiment = Experiment::lan(proto, n)
+        .clients(4)
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(600));
+    let name = experiment.protocol().protocol_name();
+
+    let sim = experiment.run_sim(7);
+    assert!(
+        sim.violations.is_empty(),
+        "{name} sim: {:?}",
+        sim.violations
+    );
+    assert!(
+        sim.samples > 100,
+        "{name} sim made progress: {}",
+        sim.samples
+    );
+    assert!(
+        sim.decided > 50,
+        "{name} sim decided slots: {}",
+        sim.decided
+    );
+
+    let threads = experiment.run_threads(7, Duration::from_millis(500));
+    assert!(
+        threads.violations.is_empty(),
+        "{name} threads: {:?}",
+        threads.violations
+    );
+    assert!(
+        threads.samples > min_thread_ops,
+        "{name} threads made progress: {}",
+        threads.samples
+    );
+    assert!(
+        threads.decided > 0,
+        "{name} threads decided slots: {}",
+        threads.decided
+    );
+}
+
+#[test]
+fn pigpaxos_runs_identically_shaped_on_both_substrates() {
+    assert_parity(PigConfig::lan(2), 5, 50);
+}
+
+#[test]
+fn paxos_runs_identically_shaped_on_both_substrates() {
+    assert_parity(PaxosConfig::lan(), 5, 50);
+}
+
+#[test]
+fn epaxos_runs_identically_shaped_on_both_substrates() {
+    // EPaxos is leaderless; its default random-target policy carries
+    // over to the thread substrate unchanged.
+    assert_parity(EpaxosConfig::default(), 5, 20);
+}
+
+#[test]
+fn batched_pigpaxos_safe_on_threads() {
+    // The whole batching-v2 pipeline on wall-clock timers: flush
+    // timers, reply coalescing, and relay round coalescing must not
+    // depend on simulated time to stay safe.
+    let cfg = PigConfig::lan(2).with_batch(
+        paxi::BatchConfig::adaptive(16, SimDuration::from_micros(200))
+            .with_reply_coalescing(SimDuration::ZERO),
+    );
+    let r = Experiment::lan(cfg, 5)
+        .clients(4)
+        .client_pipeline(4)
+        .run_threads(11, Duration::from_millis(400));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(r.samples > 50, "batched threads progressed: {}", r.samples);
+}
