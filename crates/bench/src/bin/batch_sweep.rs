@@ -16,6 +16,12 @@
 //! 3. **Adaptive sizing**: at low load the EWMA sizer must keep p50
 //!    within 1.2× of unbatched; under saturation it must amortize like
 //!    a large fixed batch.
+//! 4. **Soak (compaction)**: a snapshot-enabled run reporting peak
+//!    retained log length and snapshot counts. Every other section runs
+//!    with snapshots **off** (the `SnapshotConfig` default), so the
+//!    perf-gate metrics and `BENCH_baseline.json` stay bit-for-bit
+//!    identical to the pre-compaction tree; the soak keys are new and
+//!    therefore informational to the gate.
 //!
 //! `--json <path>` additionally writes the headline metrics as a flat
 //! JSON object — the artifact `perf_gate` checks against
@@ -284,6 +290,47 @@ fn main() {
             "    adaptive under saturation: {:.3} proto msgs/cmd ({:.1}x vs unbatched)",
             adaptive_proto,
             unbatched_proto / adaptive_proto
+        );
+    }
+
+    // ── 4. Soak: compaction-enabled memory accounting ─────────────────
+    // Snapshots every 200 executed ops; the retained log must stay
+    // bounded by the interval (plus the in-flight window) while
+    // throughput and safety are unaffected.
+    let soak_interval = 200u64;
+    let soak = pipelined(
+        pig_v2(batch_cfg(16)).with_snapshots(paxi::SnapshotConfig::every_ops(soak_interval)),
+    )
+    .run_sim(SEED);
+    assert!(soak.violations.is_empty(), "soak: {:?}", soak.violations);
+    assert!(
+        soak.snapshots_taken > 0,
+        "soak: compaction must fire ({} ops decided)",
+        soak.decided
+    );
+    assert!(
+        soak.max_log_len <= 2 * soak_interval,
+        "soak: peak retained log {} exceeds 2x snapshot interval {soak_interval}",
+        soak.max_log_len
+    );
+    metrics.push(("soak_max_log_len".into(), soak.max_log_len as f64));
+    metrics.push(("soak_snapshots".into(), soak.snapshots_taken as f64));
+    metrics.push(("soak_decided".into(), soak.decided as f64));
+    if csv_mode() {
+        // Self-describing series rows (like the *_reduction rows): the
+        // sweep header's columns don't fit these metrics.
+        println!("soak_decided,,{},,,,", soak.decided);
+        println!("soak_max_log_len,,{},,,,", soak.max_log_len);
+        println!("soak_snapshots,,{},,,,", soak.snapshots_taken);
+    } else {
+        println!(
+            "\n── soak @ snapshots every {soak_interval} ops ──\n    \
+             {} ops decided, peak retained log {} (bound {}), {} snapshots, tput {:.0}",
+            soak.decided,
+            soak.max_log_len,
+            2 * soak_interval,
+            soak.snapshots_taken,
+            soak.throughput
         );
     }
 

@@ -88,6 +88,14 @@ impl PigConfig {
         self
     }
 
+    /// Fluent helper: enable log compaction + snapshot catch-up with
+    /// the given policy (stored on the underlying Paxos config; relays
+    /// and leaders compact identically).
+    pub fn with_snapshots(mut self, snapshot: paxi::SnapshotConfig) -> Self {
+        self.paxos.snapshot = snapshot;
+        self
+    }
+
     /// Fluent helper: serve reads at follower proxies via Paxos Quorum
     /// Reads (§4.3). The protocol's default client target becomes a
     /// uniform spread over all replicas.

@@ -109,9 +109,11 @@ impl PigReplica {
         } else {
             UplinkCoalescer::disabled()
         };
+        let mut acceptor = Acceptor::new(me, cluster.safety.clone());
+        acceptor.set_snapshot_config(cfg.paxos.snapshot.clone());
         PigReplica {
             me,
-            acceptor: Acceptor::new(me, cluster.safety.clone()),
+            acceptor,
             leader: Leader::new(me, n),
             groups,
             relays: RelayTable::new(),
@@ -374,6 +376,7 @@ impl PigReplica {
         executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
         ctx: &mut Ctx<PigMsg>,
     ) {
+        let executed_any = !executed.is_empty();
         let batches = paxos::handle_executed(
             &mut self.lane,
             &mut self.replies,
@@ -390,6 +393,12 @@ impl PigReplica {
         );
         for batch in batches {
             self.propose_batch(batch, ctx);
+        }
+        if executed_any {
+            // Compaction rides the execution wave: relays and leaders
+            // alike sample the peak and truncate their executed prefix
+            // (shared with the direct Multi-Paxos replica).
+            paxos::compact_after_execution(&mut self.acceptor, &self.sessions, &self.cluster.stats);
         }
     }
 
@@ -688,7 +697,7 @@ impl PigReplica {
                     }),
                 );
             }
-            PaxosMsg::P1b { ballot, votes } => {
+            PaxosMsg::P1b { ballot, mut votes } => {
                 // A relay aggregation in progress takes precedence; the
                 // leader path handles everything else.
                 if let Some(f) =
@@ -697,6 +706,15 @@ impl PigReplica {
                 {
                     self.send_flush(f, ctx);
                 } else if self.leader.is_campaigning() && ballot == self.leader.ballot() {
+                    // Promises from peers that compacted past our
+                    // watermark carry a snapshot; it is installed
+                    // before the vote is counted (see `paxos::catchup`).
+                    paxos::install_p1b_snapshots(
+                        &mut self.acceptor,
+                        &mut self.sessions,
+                        &self.cluster.stats,
+                        &mut votes,
+                    );
                     let watermark = self.acceptor.commit_watermark();
                     let outcome = self.leader.on_p1b_votes(votes, watermark);
                     self.handle_phase1_outcome(outcome, ctx);
@@ -767,15 +785,27 @@ impl PigReplica {
                 }
             }
             PaxosMsg::LearnReq { slots } => {
-                let entries = self.acceptor.committed_slots(&slots);
-                if !entries.is_empty() {
-                    ctx.send_proto(
-                        from,
-                        PigMsg::Direct(PaxosMsg::LearnRep {
-                            ballot: self.acceptor.promised(),
-                            entries,
-                        }),
-                    );
+                let ballot = self.acceptor.promised();
+                match self.acceptor.serve_learn(&slots) {
+                    Some(paxos::LearnAnswer::Entries(entries)) => {
+                        ctx.send_proto(
+                            from,
+                            PigMsg::Direct(PaxosMsg::LearnRep { ballot, entries }),
+                        );
+                    }
+                    Some(paxos::LearnAnswer::Snapshot(snapshot, entries)) => {
+                        // The requested prefix was compacted away:
+                        // catch the follower up from state, not slots.
+                        ctx.send_proto(
+                            from,
+                            PigMsg::Direct(PaxosMsg::SnapshotTransfer {
+                                ballot,
+                                snapshot,
+                                entries,
+                            }),
+                        );
+                    }
+                    None => {}
                 }
             }
             PaxosMsg::LearnRep { ballot, entries } => {
@@ -783,6 +813,21 @@ impl PigReplica {
                     self.acceptor.commit(slot, ballot, cmd);
                 }
                 let executed = self.acceptor.execute_ready();
+                self.reply_executed(executed, ctx);
+            }
+            PaxosMsg::SnapshotTransfer {
+                ballot,
+                snapshot,
+                entries,
+            } => {
+                let executed = paxos::apply_snapshot_transfer(
+                    &mut self.acceptor,
+                    &mut self.sessions,
+                    &self.cluster.stats,
+                    ballot,
+                    &snapshot,
+                    entries,
+                );
                 self.reply_executed(executed, ctx);
             }
             PaxosMsg::QrRead { reader, id, key } => {

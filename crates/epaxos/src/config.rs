@@ -1,5 +1,6 @@
 //! EPaxos cost/tuning configuration.
 
+use paxi::SnapshotConfig;
 use simnet::SimDuration;
 
 /// EPaxos processing-cost knobs.
@@ -20,6 +21,13 @@ pub struct EpaxosConfig {
     pub attr_cost: SimDuration,
     /// Cost per instance visited during execution planning.
     pub graph_visit_cost: SimDuration,
+    /// Instance-table compaction policy. EPaxos has no slot log; the
+    /// analogous unbounded structure is the instance table, so
+    /// `interval_ops` counts *executed instances* since the last sweep
+    /// and a sweep drops every instance below the per-origin-replica
+    /// contiguous executed frontier (`interval_bytes` is ignored — the
+    /// table is instance-, not byte-, shaped). Disabled by default.
+    pub snapshot: SnapshotConfig,
 }
 
 impl Default for EpaxosConfig {
@@ -35,7 +43,17 @@ impl Default for EpaxosConfig {
             exec_cost: SimDuration::from_micros(40),
             attr_cost: SimDuration::from_micros(150),
             graph_visit_cost: SimDuration::from_micros(400),
+            snapshot: SnapshotConfig::disabled(),
         }
+    }
+}
+
+impl EpaxosConfig {
+    /// Fluent helper: enable instance-table compaction with the given
+    /// policy (only `interval_ops` applies; see the field docs).
+    pub fn with_snapshots(mut self, snapshot: SnapshotConfig) -> Self {
+        self.snapshot = snapshot;
+        self
     }
 }
 

@@ -44,10 +44,17 @@ struct Instance {
     client: Option<NodeId>,
 }
 
-struct TableView<'a>(&'a HashMap<InstanceId, Instance>);
+/// Instance table + per-origin compaction floors: instances below an
+/// origin's floor were executed and swept away, so the planner must see
+/// them as `Executed` (not `Unknown`, which would block dependents
+/// forever).
+struct TableView<'a>(&'a HashMap<InstanceId, Instance>, &'a HashMap<NodeId, u64>);
 
 impl InstanceView for TableView<'_> {
     fn status(&self, id: InstanceId) -> InstStatus {
+        if id.slot < self.1.get(&id.replica).copied().unwrap_or(0) {
+            return InstStatus::Executed;
+        }
         match self.0.get(&id).map(|i| i.phase) {
             None => InstStatus::Unknown,
             Some(Phase::PreAccepted) | Some(Phase::Accepted) => InstStatus::Tentative,
@@ -84,6 +91,16 @@ pub struct EpaxosReplica {
     /// Own in-flight instances by request id, so a retry arriving
     /// before commit attaches to the existing instance.
     in_flight: HashMap<RequestId, InstanceId>,
+    /// Per-origin-replica contiguous executed frontier: every instance
+    /// `(r, slot)` with `slot < executed_floor[r]` was executed and
+    /// compacted out of the table. The EPaxos analogue of the Paxos
+    /// log's truncation floor — it only ever advances over *executed*
+    /// instances, never past a committed-but-unexecuted or undecided
+    /// one.
+    executed_floor: HashMap<NodeId, u64>,
+    /// Instances executed since the last compaction sweep (the
+    /// `interval_ops` trigger input).
+    executed_since_sweep: u64,
 }
 
 impl EpaxosReplica {
@@ -100,6 +117,55 @@ impl EpaxosReplica {
             unexecuted: BTreeSet::new(),
             sessions: SessionTable::new(),
             in_flight: HashMap::new(),
+            executed_floor: HashMap::new(),
+            executed_since_sweep: 0,
+        }
+    }
+
+    /// True when `inst` lies below its origin's compaction floor — it
+    /// executed here long ago and was swept; any message about it is
+    /// stale.
+    fn below_floor(&self, inst: InstanceId) -> bool {
+        inst.slot < self.executed_floor.get(&inst.replica).copied().unwrap_or(0)
+    }
+
+    /// Compaction sweep: advance each origin's contiguous executed
+    /// frontier and drop every instance below it. The EPaxos
+    /// counterpart of log truncation — state below the floor is fully
+    /// captured by the kv store (and the planner reports swept ids as
+    /// executed), so the table stays bounded by the sweep interval plus
+    /// the in-flight window.
+    fn maybe_sweep(&mut self) {
+        let Some(interval) = self.cfg.snapshot.interval_ops else {
+            return;
+        };
+        if self.executed_since_sweep < interval {
+            return;
+        }
+        self.executed_since_sweep = 0;
+        for &r in &self.cluster.replicas {
+            let f = self.executed_floor.entry(r).or_insert(0);
+            while self
+                .instances
+                .get(&InstanceId {
+                    replica: r,
+                    slot: *f,
+                })
+                .is_some_and(|i| i.phase == Phase::Executed)
+            {
+                *f += 1;
+            }
+        }
+        let before = self.instances.len();
+        let floors = &self.executed_floor;
+        self.instances
+            .retain(|id, _| id.slot >= floors.get(&id.replica).copied().unwrap_or(0));
+        // Count only sweeps that actually freed memory: a wave where
+        // every origin's floor is pinned by a committed-but-unexecuted
+        // instance drops nothing, and reporting it as a snapshot would
+        // inflate the gated `snapshots_taken` metric.
+        if self.instances.len() < before {
+            self.cluster.stats.note_snapshot();
         }
     }
 
@@ -151,6 +217,11 @@ impl EpaxosReplica {
         attrs: Attrs,
         ctx: &mut Ctx<EpaxosMsg>,
     ) {
+        if self.below_floor(inst) {
+            // Executed and swept here already; a late (duplicate)
+            // commit must not resurrect the instance and re-apply it.
+            return;
+        }
         let entry = self.instances.entry(inst).or_insert_with(|| Instance {
             command: command.clone(),
             attrs: attrs.clone(),
@@ -180,10 +251,11 @@ impl EpaxosReplica {
             return;
         }
         let roots: Vec<InstanceId> = self.unexecuted.iter().copied().collect();
-        let plan = plan_execution(&roots, &TableView(&self.instances));
+        let plan = plan_execution(&roots, &TableView(&self.instances, &self.executed_floor));
         if plan.visited > 0 {
             ctx.charge(self.cfg.graph_visit_cost * plan.visited as u64);
         }
+        let executed_now = plan.order.len() as u64;
         for inst in plan.order {
             let i = self
                 .instances
@@ -217,6 +289,15 @@ impl EpaxosReplica {
                     ctx.reply(client, reply);
                 }
             }
+        }
+        if executed_now > 0 {
+            self.executed_since_sweep += executed_now;
+            // Sample the peak *before* sweeping — the pre-compaction
+            // table size is what the memory-boundedness gate must see.
+            self.cluster
+                .stats
+                .observe_log_len(self.instances.len() as u64);
+            self.maybe_sweep();
         }
     }
 }
@@ -290,6 +371,9 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                 command,
                 attrs,
             } => {
+                if self.below_floor(inst) {
+                    return; // stale duplicate of a swept instance
+                }
                 ctx.charge(self.cfg.attr_cost);
                 let mut merged = attrs;
                 let local = self.interference.attrs_for(&command.op);
@@ -359,6 +443,9 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
                 command,
                 attrs,
             } => {
+                if self.below_floor(inst) {
+                    return; // stale duplicate of a swept instance
+                }
                 ctx.charge(self.cfg.attr_cost);
                 self.interference.record(inst, attrs.seq, &command.op);
                 let entry = self.instances.entry(inst).or_insert_with(|| Instance {
@@ -608,6 +695,43 @@ mod tests {
             *oks.borrow() >= 2,
             "retries are answered from the session cache, got {}",
             oks.borrow()
+        );
+    }
+
+    #[test]
+    fn compaction_bounds_the_instance_table() {
+        let interval = 100;
+        let cfg = EpaxosConfig::default().with_snapshots(paxi::SnapshotConfig::every_ops(interval));
+        let r = Experiment::lan(cfg, 5)
+            .clients(8)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_secs(2))
+            .run_sim(paxi::DEFAULT_SEED);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(
+            r.decided > 3 * interval,
+            "enough ops to sweep: {}",
+            r.decided
+        );
+        assert!(r.snapshots_taken > 0, "sweeps must have run");
+        assert!(
+            r.max_log_len <= 2 * interval,
+            "instance table must stay bounded by the sweep interval: \
+             {} instances > 2x{interval}",
+            r.max_log_len
+        );
+        // Same run without compaction grows past the bound.
+        let unbounded = Experiment::lan(EpaxosConfig::default(), 5)
+            .clients(8)
+            .warmup(SimDuration::from_millis(300))
+            .measure(SimDuration::from_secs(2))
+            .run_sim(paxi::DEFAULT_SEED);
+        assert_eq!(unbounded.snapshots_taken, 0);
+        assert!(
+            unbounded.max_log_len > r.max_log_len * 2,
+            "without sweeps the table grows without bound: {} vs {}",
+            unbounded.max_log_len,
+            r.max_log_len
         );
     }
 

@@ -1,6 +1,7 @@
 //! Cluster configuration shared by all protocol replicas.
 
 use crate::safety::SafetyMonitor;
+use crate::snapshot::CompactionStats;
 use simnet::NodeId;
 
 /// Static description of the consensus cluster a replica belongs to.
@@ -12,6 +13,10 @@ pub struct ClusterConfig {
     pub leader: NodeId,
     /// Shared safety checker for this run.
     pub safety: SafetyMonitor,
+    /// Shared compaction/memory counters for this run (replicas report
+    /// retained log lengths and snapshot events; the harness reads the
+    /// aggregate into `RunResult`).
+    pub stats: CompactionStats,
 }
 
 impl ClusterConfig {
@@ -21,6 +26,7 @@ impl ClusterConfig {
             replicas: (0..n).map(NodeId::from).collect(),
             leader: NodeId(0),
             safety: SafetyMonitor::new(),
+            stats: CompactionStats::new(),
         }
     }
 

@@ -378,6 +378,9 @@ impl<P: ProtocolSpec> Experiment<P> {
             cross_region_msgs_per_op: 0.0,
             timeline,
             client_retries: 0,
+            max_log_len: cluster.stats.max_log_len(),
+            snapshots_taken: cluster.stats.snapshots_taken(),
+            snapshots_installed: cluster.stats.snapshots_installed(),
             trace_fingerprint: None,
             leader_proto_sent_per_op: None,
             leader_replies_per_op: None,

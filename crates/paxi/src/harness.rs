@@ -141,6 +141,18 @@ pub struct RunResult {
     pub timeline: Vec<(f64, f64)>,
     /// Client retries observed (an indicator of failures during the run).
     pub client_retries: u64,
+    /// Largest retained log length (slots, or EPaxos instances) any
+    /// replica reported across the whole run — the memory-boundedness
+    /// quantity log compaction gates on. 0 when no replica reported
+    /// (e.g. a protocol without compaction instrumentation).
+    pub max_log_len: u64,
+    /// Snapshots taken (log compactions) across all replicas. 0 when
+    /// `SnapshotConfig` is disabled (the default).
+    pub snapshots_taken: u64,
+    /// Snapshots installed *from a peer* (the catch-up path a lagging
+    /// follower or newly elected leader takes when its missing prefix
+    /// was truncated everywhere).
+    pub snapshots_installed: u64,
     /// FNV fingerprint of the full message trace, present when
     /// [`RunSpec::capture_trace`] was set. Identical seeds + configs
     /// must produce identical fingerprints.
@@ -320,6 +332,9 @@ where
         cross_region_msgs_per_op,
         timeline,
         client_retries: 0,
+        max_log_len: cluster.stats.max_log_len(),
+        snapshots_taken: cluster.stats.snapshots_taken(),
+        snapshots_installed: cluster.stats.snapshots_installed(),
         trace_fingerprint,
         leader_proto_sent_per_op,
         leader_replies_per_op,

@@ -53,6 +53,41 @@ impl KvStore {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Total payload bytes held (keys + values) — the serialized size a
+    /// snapshot of this store would ship.
+    pub fn data_bytes(&self) -> usize {
+        self.data.values().map(|v| 8 + v.len()).sum()
+    }
+
+    /// Order-independent FNV-1a fingerprint of the full state (sorted
+    /// key/value pairs plus the applied-operation count). Two stores
+    /// that executed the same command sequence — directly, or via a
+    /// snapshot of a prefix plus the tail — produce the same
+    /// fingerprint; compaction correctness tests compare exactly this.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut keys: Vec<Key> = self.data.keys().copied().collect();
+        keys.sort_unstable();
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in self.applied.to_be_bytes() {
+            eat(b);
+        }
+        for k in keys {
+            for b in k.to_be_bytes() {
+                eat(b);
+            }
+            for &b in self.data[&k].0.iter() {
+                eat(b);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

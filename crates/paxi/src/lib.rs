@@ -33,6 +33,10 @@
 //!
 //! - [`Ballot`], [`Log`], [`KvStore`]: consensus bookkeeping and the
 //!   replicated state machine.
+//! - [`SnapshotConfig`] / [`Snapshot`]: log compaction policy and the
+//!   state-machine snapshots that bound replica memory and let lagging
+//!   peers catch up after the log prefix is truncated (see the
+//!   [`snapshot`] module docs).
 //! - [`quorum`]: majority, flexible (Howard et al.), and EPaxos fast
 //!   quorums, plus vote tracking.
 //! - [`Envelope`] / [`Replica`] / [`ReplicaActor`]: the wire format and
@@ -66,6 +70,7 @@ pub mod quorum;
 pub mod replica;
 pub mod safety;
 pub mod session;
+pub mod snapshot;
 pub mod workload;
 
 pub use ballot::Ballot;
@@ -84,4 +89,5 @@ pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};
 pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
 pub use safety::SafetyMonitor;
 pub use session::{SessionTable, DEFAULT_SESSION_WINDOW};
+pub use snapshot::{CompactionStats, Snapshot, SnapshotConfig};
 pub use workload::{KeyDistribution, Workload};

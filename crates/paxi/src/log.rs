@@ -23,6 +23,12 @@ pub struct LogEntry {
 }
 
 /// A sparse, slot-indexed replicated log.
+///
+/// Supports **compaction**: once slots are executed, [`Log::truncate_below`]
+/// drops them (their effect lives on in a state-machine snapshot) and
+/// [`Log::compacted_up_to`] records the floor. Accepts and commits for
+/// slots below the executed frontier are ignored — an executed slot is
+/// decided by definition, so a late message about it is stale.
 #[derive(Debug, Default, Clone)]
 pub struct Log {
     entries: BTreeMap<u64, LogEntry>,
@@ -30,6 +36,16 @@ pub struct Log {
     next_slot: u64,
     /// Lowest slot that has not been executed yet.
     execute_cursor: u64,
+    /// Slots below this have been truncated away (compaction floor).
+    compacted: u64,
+    /// Approximate payload bytes of retained entries (diagnostics).
+    retained_bytes: usize,
+    /// Approximate payload bytes of retained *executed* entries — the
+    /// truncatable prefix, and therefore the byte-based compaction
+    /// trigger input (the unexecuted tail cannot be truncated, so
+    /// counting it would make a small threshold fire on every wave
+    /// while freeing nothing).
+    executed_bytes: usize,
 }
 
 impl Log {
@@ -53,15 +69,26 @@ impl Log {
         if slot >= self.next_slot {
             self.next_slot = slot + 1;
         }
+        if slot < self.execute_cursor {
+            // Already executed (possibly truncated away): decided, so
+            // the accept is a no-op — and must not re-insert an entry
+            // below the cursor after compaction.
+            return true;
+        }
         match self.entries.get_mut(&slot) {
             Some(e) if e.committed => true, // decided: accept is a no-op
             Some(e) if e.ballot > ballot => false,
             Some(e) => {
                 e.ballot = ballot;
+                self.retained_bytes = self
+                    .retained_bytes
+                    .saturating_sub(e.command.payload_bytes())
+                    + command.payload_bytes();
                 e.command = command;
                 true
             }
             None => {
+                self.retained_bytes += command.payload_bytes();
                 self.entries.insert(
                     slot,
                     LogEntry {
@@ -82,14 +109,27 @@ impl Log {
         if slot >= self.next_slot {
             self.next_slot = slot + 1;
         }
-        let e = self.entries.entry(slot).or_insert_with(|| LogEntry {
-            ballot,
-            command: command.clone(),
-            committed: false,
-            executed: false,
+        if slot < self.execute_cursor {
+            // Executed (and possibly compacted away): a late commit for
+            // it must not re-insert an entry below the cursor.
+            return;
+        }
+        let bytes = &mut self.retained_bytes;
+        let e = self.entries.entry(slot).or_insert_with(|| {
+            *bytes += command.payload_bytes();
+            LogEntry {
+                ballot,
+                command: command.clone(),
+                committed: false,
+                executed: false,
+            }
         });
         if !e.committed {
             e.ballot = ballot;
+            self.retained_bytes = self
+                .retained_bytes
+                .saturating_sub(e.command.payload_bytes())
+                + command.payload_bytes();
             e.command = command;
             e.committed = true;
         }
@@ -116,6 +156,7 @@ impl Log {
             .expect("executing a missing slot");
         assert!(e.committed, "executing an uncommitted slot");
         e.executed = true;
+        self.executed_bytes += e.command.payload_bytes();
         self.execute_cursor += 1;
     }
 
@@ -137,6 +178,89 @@ impl Log {
     /// Number of committed slots.
     pub fn committed_count(&self) -> u64 {
         self.entries.values().filter(|e| e.committed).count() as u64
+    }
+
+    /// Number of retained entries — the memory footprint compaction
+    /// bounds (and [`crate::CompactionStats`] tracks the maximum of).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compaction floor: every slot below it has been truncated away
+    /// (executed, and its effect captured by a snapshot). 0 until the
+    /// first truncation.
+    pub fn compacted_up_to(&self) -> u64 {
+        self.compacted
+    }
+
+    /// Approximate payload bytes of all retained entries.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    /// Approximate payload bytes of the retained *executed* prefix —
+    /// what a truncation at the executed frontier would free. The
+    /// byte-based compaction trigger compares against this, not
+    /// [`Log::retained_bytes`]: the unexecuted tail survives every
+    /// truncation, so counting it would fire compaction on every
+    /// execution wave without bounding anything.
+    pub fn executed_bytes(&self) -> usize {
+        self.executed_bytes
+    }
+
+    /// Drop every entry below `up_to`. Only the executed prefix may be
+    /// truncated — the caller must hold a snapshot covering `[0, up_to)`.
+    /// Panics if `up_to` exceeds the executed frontier (compaction must
+    /// never drop undecided or unexecuted slots).
+    pub fn truncate_below(&mut self, up_to: u64) {
+        assert!(
+            up_to <= self.execute_cursor,
+            "truncating above the executed frontier ({} > {})",
+            up_to,
+            self.execute_cursor
+        );
+        if up_to <= self.compacted {
+            return;
+        }
+        self.entries = self.entries.split_off(&up_to);
+        self.compacted = up_to;
+        self.recompute_bytes();
+    }
+
+    /// Install a snapshot covering `[0, up_to)`: drop every entry below
+    /// `up_to` and advance the execute cursor there (the state machine
+    /// was restored separately). Entries at or above `up_to` survive —
+    /// they may already hold accepted or committed tail values. No-op
+    /// (returns `false`) when the snapshot is not ahead of this log.
+    pub fn install_snapshot(&mut self, up_to: u64) -> bool {
+        if up_to <= self.execute_cursor {
+            return false;
+        }
+        self.entries = self.entries.split_off(&up_to);
+        self.execute_cursor = up_to;
+        self.next_slot = self.next_slot.max(up_to);
+        self.compacted = self.compacted.max(up_to);
+        self.recompute_bytes();
+        true
+    }
+
+    fn recompute_bytes(&mut self) {
+        self.retained_bytes = self
+            .entries
+            .values()
+            .map(|e| e.command.payload_bytes())
+            .sum();
+        self.executed_bytes = self
+            .entries
+            .values()
+            .filter(|e| e.executed)
+            .map(|e| e.command.payload_bytes())
+            .sum();
     }
 
     /// True if any unexecuted entry (accepted or committed) at or above
@@ -309,6 +433,70 @@ mod tests {
         assert_eq!(tail[0].0, 2);
         assert_eq!(log.holes(0, 3), vec![1]);
         assert_eq!(log.committed_count(), 1);
+    }
+
+    #[test]
+    fn truncate_drops_executed_prefix_only() {
+        let mut log = Log::new();
+        for s in 0..4 {
+            log.commit(s, b(1), cmd(s));
+        }
+        log.mark_executed(0);
+        log.mark_executed(1);
+        assert!(log.retained_bytes() > 0);
+        log.truncate_below(2);
+        assert_eq!(log.compacted_up_to(), 2);
+        assert_eq!(log.len(), 2, "unexecuted committed tail survives");
+        assert!(log.get(0).is_none());
+        assert!(log.get(2).is_some());
+        assert_eq!(log.execute_cursor(), 2);
+        // Late messages about truncated slots are stale no-ops.
+        assert!(log.accept(0, b(9), cmd(9)), "accept below cursor acks");
+        log.commit(1, b(9), cmd(9));
+        assert!(log.get(0).is_none());
+        assert!(log.get(1).is_none());
+        // Execution continues over the tail.
+        log.mark_executed(2);
+        log.mark_executed(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the executed frontier")]
+    fn truncate_above_executed_frontier_panics() {
+        let mut log = Log::new();
+        log.commit(0, b(1), cmd(1));
+        log.truncate_below(1); // slot 0 committed but not executed
+    }
+
+    #[test]
+    fn install_snapshot_jumps_cursor_and_keeps_tail() {
+        let mut log = Log::new();
+        log.accept(5, b(1), cmd(5));
+        log.commit(6, b(1), cmd(6));
+        assert!(log.install_snapshot(5), "snapshot ahead of empty prefix");
+        assert_eq!(log.execute_cursor(), 5);
+        assert_eq!(log.compacted_up_to(), 5);
+        assert_eq!(log.next_slot(), 7);
+        assert!(log.get(5).is_some(), "tail entry at the boundary kept");
+        assert!(!log.install_snapshot(3), "stale snapshot rejected");
+        log.commit(5, b(1), cmd(5));
+        log.mark_executed(5);
+        log.mark_executed(6);
+        assert_eq!(log.execute_cursor(), 7);
+    }
+
+    #[test]
+    fn retained_bytes_track_truncation() {
+        let mut log = Log::new();
+        for s in 0..8 {
+            log.commit(s, b(1), cmd(s));
+            log.mark_executed(s);
+        }
+        let full = log.retained_bytes();
+        log.truncate_below(8);
+        assert!(full > 0);
+        assert_eq!(log.retained_bytes(), 0);
+        assert!(log.is_empty());
     }
 
     #[test]

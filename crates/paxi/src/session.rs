@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashMap};
 /// client pipeline depth up to this many in-flight requests.
 pub const DEFAULT_SESSION_WINDOW: usize = 16;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Session {
     /// Highest executed sequence number.
     latest: u64,
@@ -36,8 +36,10 @@ struct Session {
     replies: BTreeMap<u64, ClientReply>,
 }
 
-/// Recently executed replies per client.
-#[derive(Debug)]
+/// Recently executed replies per client. `Clone` copies the table —
+/// state-machine snapshots carry one so a replica that catches up from
+/// a snapshot still answers retries of prefix commands exactly once.
+#[derive(Debug, Clone)]
 pub struct SessionTable {
     window: usize,
     sessions: HashMap<NodeId, Session>,
@@ -105,6 +107,34 @@ impl SessionTable {
     /// requests (the retry-of-lost-reply case).
     pub fn replay(&self, id: RequestId) -> Option<&ClientReply> {
         self.sessions.get(&id.client)?.replies.get(&id.seq)
+    }
+
+    /// Fold another table's retained replies into this one (snapshot
+    /// installation): every reply the donor retained is recorded here,
+    /// subject to this table's own window. Existing newer replies win
+    /// ([`SessionTable::record`] keeps the first reply per seq and the
+    /// highest `latest`).
+    pub fn merge_from(&mut self, other: &SessionTable) {
+        for session in other.sessions.values() {
+            for reply in session.replies.values() {
+                self.record(reply);
+            }
+        }
+    }
+
+    /// Approximate serialized size (wire accounting for snapshots that
+    /// carry the table).
+    pub fn approx_bytes(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| {
+                12 + s
+                    .replies
+                    .values()
+                    .map(|r| 20 + r.value.as_ref().map_or(0, |v| v.len()))
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// True if `id` fell off the *full* retained reply window — a stale
@@ -209,6 +239,21 @@ mod tests {
             t.replay(id(1, 3)).expect("cached").value.is_some(),
             "re-execution must not clobber the original reply"
         );
+    }
+
+    #[test]
+    fn merge_from_replays_donor_replies() {
+        let mut donor = SessionTable::new();
+        donor.record(&ClientReply::ok(id(1, 3), Some(crate::Value::zeros(2))));
+        donor.record(&ClientReply::ok(id(2, 7), None));
+        let mut t = SessionTable::new();
+        t.record(&ClientReply::ok(id(1, 4), None));
+        t.merge_from(&donor);
+        assert!(t.replay(id(1, 3)).is_some(), "donor reply merged");
+        assert!(t.replay(id(1, 4)).is_some(), "own reply kept");
+        assert!(t.replay(id(2, 7)).is_some());
+        assert_eq!(t.latest_seq(NodeId(1)), Some(4), "highest latest wins");
+        assert!(t.approx_bytes() > 0);
     }
 
     #[test]

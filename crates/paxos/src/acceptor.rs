@@ -5,7 +5,10 @@
 //! changes only how acceptor responses travel, never what they contain.
 
 use crate::messages::{P1bVote, P2bVote, QrVoteEntry};
-use paxi::{Ballot, Command, Key, KvStore, Log, RequestId, SafetyMonitor, Value};
+use paxi::{
+    Ballot, Command, Key, KvStore, Log, RequestId, SafetyMonitor, SessionTable, Snapshot,
+    SnapshotConfig, Value,
+};
 use simnet::NodeId;
 use std::collections::HashMap;
 
@@ -19,6 +22,12 @@ pub struct Acceptor {
     safety: SafetyMonitor,
     /// Slot of the last executed write per key (for quorum reads).
     last_write_slot: HashMap<Key, u64>,
+    /// When to snapshot + truncate the executed prefix (disabled by
+    /// default).
+    snapshot_cfg: SnapshotConfig,
+    /// The snapshot covering everything below the compaction floor —
+    /// what this acceptor serves to peers whose missing prefix is gone.
+    latest_snapshot: Option<Snapshot>,
 }
 
 /// Result of advancing the commit watermark.
@@ -34,6 +43,7 @@ pub struct CommitAdvance {
 
 impl Acceptor {
     /// New acceptor for `node`, reporting commits to `safety`.
+    /// Compaction is off until [`Acceptor::set_snapshot_config`].
     pub fn new(node: NodeId, safety: SafetyMonitor) -> Self {
         Acceptor {
             node,
@@ -42,7 +52,14 @@ impl Acceptor {
             kv: KvStore::new(),
             safety,
             last_write_slot: HashMap::new(),
+            snapshot_cfg: SnapshotConfig::disabled(),
+            latest_snapshot: None,
         }
+    }
+
+    /// Install the compaction policy (from the protocol config).
+    pub fn set_snapshot_config(&mut self, cfg: SnapshotConfig) {
+        self.snapshot_cfg = cfg;
     }
 
     /// Highest promised ballot.
@@ -67,11 +84,23 @@ impl Acceptor {
     pub fn on_p1a(&mut self, ballot: Ballot, from: u64) -> P1bVote {
         if ballot > self.promised {
             self.promised = ballot;
+            // If the candidate's watermark lies below our compaction
+            // floor, the slots it is missing no longer exist here as
+            // entries — attach the snapshot that replaced them so the
+            // candidate installs state instead of filling decided slots
+            // with no-ops.
+            let floor = self.log.compacted_up_to();
+            let snapshot = if from < floor {
+                self.latest_snapshot.clone().map(Box::new)
+            } else {
+                None
+            };
             P1bVote {
                 node: self.node,
                 ballot,
                 ok: true,
-                accepted: self.log.entries_from(from),
+                accepted: self.log.entries_from(from.max(floor)),
+                snapshot,
             }
         } else {
             P1bVote {
@@ -79,6 +108,7 @@ impl Acceptor {
                 ballot: self.promised,
                 ok: false,
                 accepted: Vec::new(),
+                snapshot: None,
             }
         }
     }
@@ -143,8 +173,13 @@ impl Acceptor {
     }
 
     /// Commit a decided `(slot, command)` (from vote counting at the
-    /// leader, or from a `LearnRep`).
+    /// leader, or from a `LearnRep`). Slots below the executed frontier
+    /// — including truncated ones — are already decided; a late commit
+    /// for them is ignored.
     pub fn commit(&mut self, slot: u64, ballot: Ballot, command: Command) {
+        if slot < self.log.execute_cursor() {
+            return;
+        }
         let already = self.log.get(slot).map(|e| e.committed).unwrap_or(false);
         if !already {
             self.safety.record(0, slot, command.id);
@@ -244,6 +279,118 @@ impl Acceptor {
             .take(max)
             .collect()
     }
+
+    // ---- log compaction & snapshot catch-up ------------------------------
+
+    /// Compaction floor: every slot below it was truncated (its effect
+    /// lives in [`Acceptor::latest_snapshot`]).
+    pub fn snapshot_floor(&self) -> u64 {
+        self.log.compacted_up_to()
+    }
+
+    /// The snapshot covering everything below the floor, if one was
+    /// ever taken or installed.
+    pub fn latest_snapshot(&self) -> Option<&Snapshot> {
+        self.latest_snapshot.as_ref()
+    }
+
+    /// Snapshot + truncate if the configured trigger fired: the
+    /// executed frontier advanced `interval_ops` past the floor, or the
+    /// retained log reached `interval_bytes`. `sessions` is the
+    /// replica's reply cache at this instant — it travels inside the
+    /// snapshot so a catch-up peer still answers retries exactly once.
+    /// Returns `true` when a snapshot was taken.
+    pub fn maybe_compact(&mut self, sessions: &SessionTable) -> bool {
+        if !self.snapshot_cfg.is_enabled() {
+            return false;
+        }
+        let cursor = self.log.execute_cursor();
+        let since = cursor - self.log.compacted_up_to();
+        if since == 0 {
+            return false;
+        }
+        let due_ops = self.snapshot_cfg.interval_ops.is_some_and(|n| since >= n);
+        // Byte trigger compares against the *truncatable* (executed)
+        // prefix, not all retained bytes: the unexecuted tail survives
+        // truncation, so a threshold below the steady-state in-flight
+        // window would otherwise snapshot on every wave while freeing
+        // nothing.
+        let due_bytes = self
+            .snapshot_cfg
+            .interval_bytes
+            .is_some_and(|b| self.log.executed_bytes() >= b);
+        if !(due_ops || due_bytes) {
+            return false;
+        }
+        self.force_snapshot(sessions);
+        true
+    }
+
+    /// Unconditionally snapshot the executed prefix and truncate the
+    /// log below the executed frontier (compaction never drops
+    /// undecided or unexecuted slots — the frontier *is* the bound).
+    pub fn force_snapshot(&mut self, sessions: &SessionTable) {
+        let up_to = self.log.execute_cursor();
+        let mut last_write_slots: Vec<(Key, u64)> =
+            self.last_write_slot.iter().map(|(&k, &s)| (k, s)).collect();
+        last_write_slots.sort_unstable();
+        self.latest_snapshot = Some(Snapshot {
+            up_to,
+            kv: self.kv.clone(),
+            last_write_slots,
+            sessions: sessions.clone(),
+        });
+        self.log.truncate_below(up_to);
+    }
+
+    /// Install a snapshot received from a peer (via a phase-1b promise
+    /// or a `SnapshotTransfer`). Replaces the state machine, jumps the
+    /// executed frontier to `snapshot.up_to`, and keeps any accepted or
+    /// committed tail entries above it. Returns `false` (untouched)
+    /// when the snapshot is not ahead of this acceptor.
+    pub fn install_snapshot(&mut self, snapshot: &Snapshot) -> bool {
+        if !self.log.install_snapshot(snapshot.up_to) {
+            return false;
+        }
+        self.kv = snapshot.kv.clone();
+        self.last_write_slot = snapshot.last_write_slots.iter().copied().collect();
+        self.latest_snapshot = Some(snapshot.clone());
+        true
+    }
+
+    /// Answer a `LearnReq` for `slots`: decided entries when every slot
+    /// is still in the log, or the latest snapshot plus the decided
+    /// tail when some requested slot lies below the compaction floor.
+    /// `None` when there is nothing useful to send.
+    pub fn serve_learn(&self, slots: &[u64]) -> Option<LearnAnswer> {
+        let floor = self.log.compacted_up_to();
+        if slots.iter().any(|&s| s < floor) {
+            if let Some(snap) = &self.latest_snapshot {
+                let tail: Vec<u64> = slots.iter().copied().filter(|&s| s >= floor).collect();
+                return Some(LearnAnswer::Snapshot(
+                    Box::new(snap.clone()),
+                    self.committed_slots(&tail),
+                ));
+            }
+        }
+        let entries = self.committed_slots(slots);
+        if entries.is_empty() {
+            None
+        } else {
+            Some(LearnAnswer::Entries(entries))
+        }
+    }
+}
+
+/// What an acceptor sends back for a `LearnReq` (see
+/// [`Acceptor::serve_learn`]).
+#[derive(Debug)]
+pub enum LearnAnswer {
+    /// Every requested slot is still in the log: plain decided entries.
+    Entries(Vec<(u64, Command)>),
+    /// Some requested slots were compacted away: ship the snapshot plus
+    /// the decided entries at or above the floor.
+    Snapshot(Box<Snapshot>, Vec<(u64, Command)>),
 }
 
 #[cfg(test)]
@@ -381,6 +528,143 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].0, 0);
         assert_eq!(r[1].0, 2);
+    }
+
+    fn compacting_acc(interval: u64) -> Acceptor {
+        let mut a = acc();
+        a.set_snapshot_config(paxi::SnapshotConfig::every_ops(interval));
+        a
+    }
+
+    /// Feed `n` decided Put commands and execute them.
+    fn run_commits(a: &mut Acceptor, sessions: &mut SessionTable, n: u64) {
+        for s in 0..n {
+            a.commit(s, b(1), cmd(s + 1));
+            for (_, id, value) in a.execute_ready() {
+                sessions.record(&paxi::ClientReply::ok(id, value));
+            }
+            a.maybe_compact(sessions);
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_log_and_keeps_state() {
+        let mut a = compacting_acc(4);
+        let mut sessions = SessionTable::new();
+        run_commits(&mut a, &mut sessions, 20);
+        assert!(a.snapshot_floor() >= 16, "floor {}", a.snapshot_floor());
+        assert!(a.log().len() < 4 + 1, "log stays under one interval");
+        let snap = a.latest_snapshot().expect("snapshot taken");
+        assert_eq!(snap.up_to, a.snapshot_floor());
+        assert_eq!(a.kv().applied(), 20, "state machine unaffected");
+        assert_eq!(a.commit_watermark(), 20);
+        // Truncated slots answer quorum reads from the snapshot index.
+        assert!(a.read_state(1).value.is_some());
+    }
+
+    #[test]
+    fn p1b_attaches_snapshot_for_stale_candidates() {
+        let mut a = compacting_acc(4);
+        let mut sessions = SessionTable::new();
+        run_commits(&mut a, &mut sessions, 12);
+        let floor = a.snapshot_floor();
+        assert!(floor > 0);
+        // Candidate behind the floor: snapshot attached, entries start
+        // at the floor.
+        let v = a.on_p1a(b(2), 0);
+        assert!(v.ok);
+        let snap = v.snapshot.expect("stale candidate gets the snapshot");
+        assert_eq!(snap.up_to, floor);
+        assert!(v.accepted.iter().all(|&(s, _, _)| s >= floor));
+        // Candidate at/above the floor: no snapshot.
+        let v = a.on_p1a(b(3), floor);
+        assert!(v.snapshot.is_none());
+    }
+
+    #[test]
+    fn install_snapshot_catches_up_a_lagging_acceptor() {
+        let mut donor = compacting_acc(5);
+        let mut sessions = SessionTable::new();
+        run_commits(&mut donor, &mut sessions, 23);
+        let mut lagger = acc();
+        // Lagger executed only the first 3 slots.
+        for s in 0..3 {
+            lagger.commit(s, b(1), cmd(s + 1));
+        }
+        lagger.execute_ready();
+        let snap = donor.latest_snapshot().unwrap().clone();
+        assert!(lagger.install_snapshot(&snap));
+        // Learn the tail above the floor and execute it.
+        let tail: Vec<u64> = (snap.up_to..23).collect();
+        match donor.serve_learn(&tail) {
+            Some(LearnAnswer::Entries(entries)) => {
+                for (s, c) in entries {
+                    lagger.commit(s, b(1), c);
+                }
+            }
+            other => panic!("tail above floor must be plain entries: {other:?}"),
+        }
+        lagger.execute_ready();
+        assert_eq!(
+            lagger.kv().fingerprint(),
+            donor.kv().fingerprint(),
+            "snapshot + tail reaches the same state"
+        );
+        assert_eq!(lagger.commit_watermark(), 23);
+        assert!(!lagger.install_snapshot(&snap), "stale re-install refused");
+    }
+
+    #[test]
+    fn serve_learn_ships_snapshot_below_floor() {
+        let mut a = compacting_acc(4);
+        let mut sessions = SessionTable::new();
+        run_commits(&mut a, &mut sessions, 10);
+        let floor = a.snapshot_floor();
+        let slots: Vec<u64> = (0..10).collect();
+        match a.serve_learn(&slots) {
+            Some(LearnAnswer::Snapshot(snap, entries)) => {
+                assert_eq!(snap.up_to, floor);
+                assert!(entries.iter().all(|&(s, _)| s >= floor));
+            }
+            other => panic!("below-floor request must ship a snapshot: {other:?}"),
+        }
+        // All-above-floor request stays a plain LearnRep.
+        let above: Vec<u64> = (floor..10).collect();
+        assert!(matches!(
+            a.serve_learn(&above),
+            Some(LearnAnswer::Entries(_))
+        ));
+    }
+
+    #[test]
+    fn byte_interval_triggers_compaction() {
+        let mut a = acc();
+        a.set_snapshot_config(paxi::SnapshotConfig::every_bytes(64));
+        let mut sessions = SessionTable::new();
+        run_commits(&mut a, &mut sessions, 30); // 8B values, ~28B/cmd
+        assert!(a.snapshot_floor() > 0, "byte threshold fired");
+        assert!(a.log().retained_bytes() < 128);
+    }
+
+    #[test]
+    fn byte_trigger_ignores_unexecuted_tail() {
+        let mut a = acc();
+        a.set_snapshot_config(paxi::SnapshotConfig::every_bytes(100));
+        let sessions = SessionTable::new();
+        // One executed op (~28 payload bytes)...
+        a.commit(0, b(1), cmd(1));
+        a.execute_ready();
+        // ...plus a large accepted-but-uncommitted tail above a hole at
+        // slot 1, so nothing else can execute (or be truncated).
+        for s in 2..22 {
+            a.on_p2a(b(1), s, cmd(s), 0);
+        }
+        assert!(a.log().retained_bytes() > 100);
+        assert!(
+            !a.maybe_compact(&sessions),
+            "the untruncatable in-flight tail must not trip the byte threshold"
+        );
+        assert_eq!(a.snapshot_floor(), 0);
     }
 
     #[test]

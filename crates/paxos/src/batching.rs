@@ -578,6 +578,7 @@ mod tests {
                 ballot: b,
                 ok: true,
                 accepted: vec![],
+                snapshot: None,
             })
             .collect();
         l.on_p1b_votes(votes, 0);

@@ -1,0 +1,209 @@
+//! Shared snapshot catch-up plumbing for the replica layer.
+//!
+//! Like [`crate::batching`], this module exists so the direct
+//! Multi-Paxos replica and the PigPaxos overlay cannot drift: both
+//! install peer snapshots identically — only the wire wrapper around
+//! the resulting messages differs. The subtle ordering lives here once:
+//! a phase-1b snapshot must be installed *before* the vote is counted,
+//! so a winning campaign finishes from the restored executed frontier
+//! instead of no-op-filling truncated (decided) slots.
+
+use crate::acceptor::Acceptor;
+use crate::messages::P1bVote;
+use paxi::{Ballot, Command, CompactionStats, RequestId, SessionTable, Snapshot, Value};
+
+/// Install a snapshot shipped by a peer (phase-1b attachment or
+/// `SnapshotTransfer`): state machine + session window + counters.
+/// Returns `false` when the snapshot is stale (acceptor untouched).
+pub fn install_peer_snapshot(
+    acceptor: &mut Acceptor,
+    sessions: &mut SessionTable,
+    stats: &CompactionStats,
+    snapshot: &Snapshot,
+) -> bool {
+    if !acceptor.install_snapshot(snapshot) {
+        return false;
+    }
+    sessions.merge_from(&snapshot.sessions);
+    stats.note_install();
+    true
+}
+
+/// Strip the snapshots attached to a wave of phase-1b promises and
+/// install the most advanced one (several promisers may each attach
+/// their full state; only the highest `up_to` matters — installing all
+/// of them would clone the whole keyspace once per vote). Must run
+/// *before* the votes are fed to the leader's campaign counting (see
+/// the module docs).
+pub fn install_p1b_snapshots(
+    acceptor: &mut Acceptor,
+    sessions: &mut SessionTable,
+    stats: &CompactionStats,
+    votes: &mut [P1bVote],
+) {
+    let mut best: Option<Box<Snapshot>> = None;
+    for v in votes.iter_mut() {
+        if let Some(snap) = v.snapshot.take() {
+            // MSRV 1.80: spelled as a match (`Option::is_none_or` is 1.82+).
+            let better = match &best {
+                None => true,
+                Some(b) => snap.up_to > b.up_to,
+            };
+            if better {
+                best = Some(snap);
+            }
+        }
+    }
+    if let Some(snap) = best {
+        install_peer_snapshot(acceptor, sessions, stats, &snap);
+    }
+}
+
+/// Apply a received `SnapshotTransfer`: install the snapshot, commit
+/// the decided tail entries, and return whatever became executable —
+/// the caller routes that through its ordinary reply path.
+#[allow(clippy::type_complexity)]
+pub fn apply_snapshot_transfer(
+    acceptor: &mut Acceptor,
+    sessions: &mut SessionTable,
+    stats: &CompactionStats,
+    ballot: Ballot,
+    snapshot: &Snapshot,
+    entries: Vec<(u64, Command)>,
+) -> Vec<(u64, RequestId, Option<Value>)> {
+    install_peer_snapshot(acceptor, sessions, stats, snapshot);
+    for (slot, cmd) in entries {
+        acceptor.commit(slot, ballot, cmd);
+    }
+    acceptor.execute_ready()
+}
+
+/// The post-execution compaction hook both replicas run after every
+/// execution wave: sample the retained log length *first* (the
+/// pre-truncation value is the true memory peak the boundedness gate
+/// must see), then snapshot + truncate if the policy says so.
+pub fn compact_after_execution(
+    acceptor: &mut Acceptor,
+    sessions: &SessionTable,
+    stats: &CompactionStats,
+) {
+    stats.observe_log_len(acceptor.log().len() as u64);
+    if acceptor.maybe_compact(sessions) {
+        stats.note_snapshot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxi::{ClientReply, Operation, SafetyMonitor, SnapshotConfig};
+    use simnet::NodeId;
+
+    fn cmd(seq: u64) -> Command {
+        Command {
+            id: RequestId {
+                client: NodeId(9),
+                seq,
+            },
+            op: Operation::Put(seq, Value::zeros(8)),
+        }
+    }
+
+    fn b(r: u32) -> Ballot {
+        Ballot::new(r, NodeId(0))
+    }
+
+    /// A donor acceptor that compacted past slot 10.
+    fn donor() -> Acceptor {
+        let mut a = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        a.set_snapshot_config(SnapshotConfig::every_ops(5));
+        let mut sessions = SessionTable::new();
+        for s in 0..12 {
+            a.commit(s, b(1), cmd(s + 1));
+            for (_, id, value) in a.execute_ready() {
+                sessions.record(&ClientReply::ok(id, value));
+            }
+            a.maybe_compact(&sessions);
+        }
+        a
+    }
+
+    #[test]
+    fn p1b_snapshots_install_before_counting() {
+        let mut a = donor();
+        let mut lagger = Acceptor::new(NodeId(2), SafetyMonitor::new());
+        let mut sessions = SessionTable::new();
+        let stats = CompactionStats::new();
+        let mut votes = vec![a.on_p1a(b(2), 0)];
+        assert!(votes[0].snapshot.is_some(), "donor attaches its snapshot");
+        install_p1b_snapshots(&mut lagger, &mut sessions, &stats, &mut votes);
+        assert!(votes[0].snapshot.is_none(), "attachment consumed");
+        assert_eq!(stats.snapshots_installed(), 1);
+        assert_eq!(lagger.commit_watermark(), a.snapshot_floor());
+        // The donor's executed replies now answer retries at the lagger.
+        assert!(sessions.replay(cmd(1).id).is_some());
+    }
+
+    #[test]
+    fn only_the_most_advanced_p1b_snapshot_installs() {
+        // Two donors with different compaction floors both attach
+        // snapshots to the same promise wave; exactly one install runs,
+        // and it is the most advanced state.
+        let mut behind = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        behind.set_snapshot_config(SnapshotConfig::every_ops(8));
+        let mut ahead = Acceptor::new(NodeId(3), SafetyMonitor::new());
+        ahead.set_snapshot_config(SnapshotConfig::every_ops(3));
+        let sessions_src = SessionTable::new();
+        for s in 0..12 {
+            for a in [&mut behind, &mut ahead] {
+                a.commit(s, b(1), cmd(s + 1));
+                a.execute_ready();
+                a.maybe_compact(&sessions_src);
+            }
+        }
+        assert!(ahead.snapshot_floor() > behind.snapshot_floor());
+        let mut votes = vec![behind.on_p1a(b(2), 0), ahead.on_p1a(b(2), 0)];
+        let mut lagger = Acceptor::new(NodeId(2), SafetyMonitor::new());
+        let mut sessions = SessionTable::new();
+        let stats = CompactionStats::new();
+        install_p1b_snapshots(&mut lagger, &mut sessions, &stats, &mut votes);
+        assert_eq!(stats.snapshots_installed(), 1, "one install, not per vote");
+        assert_eq!(lagger.commit_watermark(), ahead.snapshot_floor());
+        assert!(votes.iter().all(|v| v.snapshot.is_none()));
+    }
+
+    #[test]
+    fn snapshot_transfer_applies_snapshot_then_tail() {
+        let a = donor();
+        let mut lagger = Acceptor::new(NodeId(2), SafetyMonitor::new());
+        let mut sessions = SessionTable::new();
+        let stats = CompactionStats::new();
+        let snap = a.latest_snapshot().unwrap().clone();
+        let tail: Vec<(u64, Command)> = (snap.up_to..12).map(|s| (s, cmd(s + 1))).collect();
+        let executed =
+            apply_snapshot_transfer(&mut lagger, &mut sessions, &stats, b(1), &snap, tail);
+        assert_eq!(executed.len(), (12 - snap.up_to) as usize);
+        assert_eq!(lagger.kv().fingerprint(), a.kv().fingerprint());
+        assert_eq!(stats.snapshots_installed(), 1);
+    }
+
+    #[test]
+    fn compact_hook_samples_peak_before_truncating() {
+        let mut a = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        a.set_snapshot_config(SnapshotConfig::every_ops(4));
+        let sessions = SessionTable::new();
+        let stats = CompactionStats::new();
+        for s in 0..4 {
+            a.commit(s, b(1), cmd(s + 1));
+        }
+        a.execute_ready();
+        compact_after_execution(&mut a, &sessions, &stats);
+        assert_eq!(stats.snapshots_taken(), 1);
+        assert_eq!(
+            stats.max_log_len(),
+            4,
+            "the gate must see the pre-truncation peak, not the post-compact length"
+        );
+        assert_eq!(a.log().len(), 0, "truncation still happened");
+    }
+}

@@ -1,6 +1,6 @@
 //! Multi-Paxos timing configuration.
 
-use paxi::BatchConfig;
+use paxi::{BatchConfig, SnapshotConfig};
 use simnet::SimDuration;
 
 /// Timers governing liveness behaviour.
@@ -41,6 +41,11 @@ pub struct PaxosConfig {
     /// message per follower / relay group) amortizes up to
     /// `batch.max_batch` commands. Disabled by default.
     pub batch: BatchConfig,
+    /// Log compaction policy: when to snapshot the state machine and
+    /// truncate the executed log prefix. Disabled by default — the
+    /// benchmarks and perf gate run with the unbounded log unless a
+    /// scenario opts in (long-running soaks do).
+    pub snapshot: SnapshotConfig,
 }
 
 impl Default for PaxosConfig {
@@ -63,6 +68,7 @@ impl PaxosConfig {
             flexible_quorums: None,
             thrifty: false,
             batch: BatchConfig::disabled(),
+            snapshot: SnapshotConfig::disabled(),
         }
     }
 
@@ -70,6 +76,13 @@ impl PaxosConfig {
     /// reply coalescing the [`BatchConfig`] carries).
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Fluent helper: enable log compaction + snapshot catch-up with
+    /// the given policy.
+    pub fn with_snapshots(mut self, snapshot: SnapshotConfig) -> Self {
+        self.snapshot = snapshot;
         self
     }
 
@@ -86,6 +99,7 @@ impl PaxosConfig {
             flexible_quorums: None,
             thrifty: false,
             batch: BatchConfig::disabled(),
+            snapshot: SnapshotConfig::disabled(),
         }
     }
 }

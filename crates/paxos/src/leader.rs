@@ -350,6 +350,7 @@ mod tests {
             ballot,
             ok: true,
             accepted: vec![],
+            snapshot: None,
         }
     }
 
@@ -393,12 +394,14 @@ mod tests {
             ballot: b,
             ok: true,
             accepted: vec![(1, old_b1, cmd(11)), (3, old_b1, cmd(13))],
+            snapshot: None,
         };
         let v2 = P1bVote {
             node: NodeId(2),
             ballot: b,
             ok: true,
             accepted: vec![(1, old_b2, cmd(21))],
+            snapshot: None,
         };
         match l.on_p1b_votes(vec![v1, v2], 0) {
             Phase1Outcome::Won { reproposals } => {
@@ -423,6 +426,7 @@ mod tests {
             ballot: higher,
             ok: false,
             accepted: vec![],
+            snapshot: None,
         };
         assert_eq!(
             l.on_p1b_votes(vec![nack], 0),

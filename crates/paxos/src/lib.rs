@@ -15,15 +15,19 @@
 
 pub mod acceptor;
 pub mod batching;
+pub mod catchup;
 pub mod config;
 pub mod leader;
 pub mod messages;
 pub mod replica;
 
-pub use acceptor::{Acceptor, CommitAdvance};
+pub use acceptor::{Acceptor, CommitAdvance, LearnAnswer};
 pub use batching::{
     abandon_leadership, accept_batch, apply_batch_votes, count_batch_votes, handle_executed,
     propose_batch, Batch, BatchAccept, BatchLane, BatchProposal, VoteWave,
+};
+pub use catchup::{
+    apply_snapshot_transfer, compact_after_execution, install_p1b_snapshots, install_peer_snapshot,
 };
 pub use config::PaxosConfig;
 pub use leader::{BatchVotesOutcome, Leader, Outstanding, Phase1Outcome};

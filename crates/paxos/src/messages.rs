@@ -7,7 +7,7 @@
 //! paper's observation that the relay/aggregate overlay changes only the
 //! communication implementation, not the protocol.
 
-use paxi::{Ballot, Command, Key, ProtoMessage, Value, HEADER_BYTES};
+use paxi::{Ballot, Command, Key, ProtoMessage, Snapshot, Value, HEADER_BYTES};
 use simnet::NodeId;
 
 /// One follower's phase-1b promise.
@@ -23,6 +23,13 @@ pub struct P1bVote {
     /// Every accepted-but-uncommitted `(slot, ballot, command)` the
     /// follower knows — the new leader must re-propose these.
     pub accepted: Vec<(u64, Ballot, Command)>,
+    /// Attached when the candidate's reported watermark lies below this
+    /// follower's compaction floor: the slots the candidate is missing
+    /// no longer exist as log entries anywhere on this follower, so the
+    /// promise ships the state-machine snapshot that replaced them. The
+    /// candidate installs it before counting the vote. `None` whenever
+    /// compaction is disabled (the default) or the candidate is current.
+    pub snapshot: Option<Box<Snapshot>>,
 }
 
 /// One follower's phase-2b acknowledgement.
@@ -152,6 +159,20 @@ pub enum PaxosMsg {
         /// Decided `(slot, command)` pairs.
         entries: Vec<(u64, Command)>,
     },
+    /// Snapshot-based catch-up: the answer to a `LearnReq` whose
+    /// missing slots lie below the sender's compaction floor. The slots
+    /// no longer exist as log entries, so the receiver installs the
+    /// state-machine snapshot (covering every slot `< snapshot.up_to`)
+    /// and then commits the decided tail entries above the floor.
+    SnapshotTransfer {
+        /// Sender's promised ballot (commit bookkeeping for `entries`).
+        ballot: Ballot,
+        /// The state replacing the truncated prefix.
+        snapshot: Box<Snapshot>,
+        /// Decided `(slot, command)` pairs at or above the floor that
+        /// the requester also asked for.
+        entries: Vec<(u64, Command)>,
+    },
     /// Quorum-read probe from a reading proxy (§4.3).
     QrRead {
         /// The proxy driving the read (aggregates travel back to it).
@@ -183,6 +204,7 @@ impl PaxosMsg {
                     .iter()
                     .map(|(_, _, c)| 16 + c.payload_bytes())
                     .sum::<usize>()
+                    + v.snapshot.as_ref().map_or(0, |s| s.wire_bytes())
             })
             .sum()
     }
@@ -213,6 +235,15 @@ impl ProtoMessage for PaxosMsg {
                         .map(|(_, c)| 8 + c.payload_bytes())
                         .sum::<usize>()
                 }
+                PaxosMsg::SnapshotTransfer {
+                    snapshot, entries, ..
+                } => {
+                    8 + snapshot.wire_bytes()
+                        + entries
+                            .iter()
+                            .map(|(_, c)| 8 + c.payload_bytes())
+                            .sum::<usize>()
+                }
                 PaxosMsg::QrRead { .. } => 20,
                 PaxosMsg::QrVote { votes, .. } => {
                     12 + votes.iter().map(|v| v.wire_bytes()).sum::<usize>()
@@ -231,6 +262,7 @@ impl ProtoMessage for PaxosMsg {
             PaxosMsg::Heartbeat { .. } => "heartbeat",
             PaxosMsg::LearnReq { .. } => "learnreq",
             PaxosMsg::LearnRep { .. } => "learnrep",
+            PaxosMsg::SnapshotTransfer { .. } => "snapshot",
             PaxosMsg::QrRead { .. } => "qr_read",
             PaxosMsg::QrVote { .. } => "qr_vote",
         }
@@ -300,6 +332,7 @@ mod tests {
                 ballot: Ballot::ZERO,
                 ok: true,
                 accepted: vec![],
+                snapshot: None,
             }],
         };
         let loaded = PaxosMsg::P1b {
@@ -309,6 +342,7 @@ mod tests {
                 ballot: Ballot::ZERO,
                 ok: true,
                 accepted: vec![(3, Ballot::ZERO, cmd(100))],
+                snapshot: None,
             }],
         };
         assert!(loaded.wire_size() > empty.wire_size() + 100);

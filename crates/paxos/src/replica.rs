@@ -61,7 +61,8 @@ impl PaxosReplica {
     /// Create the replica for `me`.
     pub fn new(me: NodeId, cluster: ClusterConfig, cfg: PaxosConfig) -> Self {
         let n = cluster.n();
-        let acceptor = Acceptor::new(me, cluster.safety.clone());
+        let mut acceptor = Acceptor::new(me, cluster.safety.clone());
+        acceptor.set_snapshot_config(cfg.snapshot.clone());
         let leader = match cfg.flexible_quorums {
             Some((q1, q2)) => Leader::with_quorums(me, n, q1, q2),
             None => Leader::new(me, n),
@@ -314,6 +315,7 @@ impl PaxosReplica {
         executed: Vec<(u64, paxi::RequestId, Option<paxi::Value>)>,
         ctx: &mut Ctx<PaxosMsg>,
     ) {
+        let executed_any = !executed.is_empty();
         let batches = crate::batching::handle_executed(
             &mut self.lane,
             &mut self.replies,
@@ -330,6 +332,16 @@ impl PaxosReplica {
         );
         for batch in batches {
             self.propose_batch(batch, ctx);
+        }
+        if executed_any {
+            // Compaction rides the execution wave: the frontier just
+            // advanced, so sample the peak and check the snapshot
+            // trigger (shared with the PigPaxos replica).
+            crate::catchup::compact_after_execution(
+                &mut self.acceptor,
+                &self.sessions,
+                &self.cluster.stats,
+            );
         }
     }
 
@@ -434,8 +446,18 @@ impl Replica<PaxosMsg> for PaxosReplica {
                     },
                 );
             }
-            PaxosMsg::P1b { ballot, votes } => {
+            PaxosMsg::P1b { ballot, mut votes } => {
                 if ballot == self.leader.ballot() && self.leader.is_campaigning() {
+                    // A promise may carry a snapshot when our watermark
+                    // lies below the promiser's compaction floor; it is
+                    // installed before the vote is counted (see
+                    // `crate::catchup`).
+                    crate::catchup::install_p1b_snapshots(
+                        &mut self.acceptor,
+                        &mut self.sessions,
+                        &self.cluster.stats,
+                        &mut votes,
+                    );
                     let watermark = self.acceptor.commit_watermark();
                     let outcome = self.leader.on_p1b_votes(votes, watermark);
                     self.handle_phase1_outcome(outcome, ctx);
@@ -509,15 +531,24 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 }
             }
             PaxosMsg::LearnReq { slots } => {
-                let entries = self.acceptor.committed_slots(&slots);
-                if !entries.is_empty() {
-                    ctx.send_proto(
-                        from,
-                        PaxosMsg::LearnRep {
-                            ballot: self.acceptor.promised(),
-                            entries,
-                        },
-                    );
+                let ballot = self.acceptor.promised();
+                match self.acceptor.serve_learn(&slots) {
+                    Some(crate::acceptor::LearnAnswer::Entries(entries)) => {
+                        ctx.send_proto(from, PaxosMsg::LearnRep { ballot, entries });
+                    }
+                    Some(crate::acceptor::LearnAnswer::Snapshot(snapshot, entries)) => {
+                        // The requested prefix was compacted away:
+                        // catch the follower up from state, not slots.
+                        ctx.send_proto(
+                            from,
+                            PaxosMsg::SnapshotTransfer {
+                                ballot,
+                                snapshot,
+                                entries,
+                            },
+                        );
+                    }
+                    None => {}
                 }
             }
             PaxosMsg::LearnRep { ballot, entries } => {
@@ -525,6 +556,21 @@ impl Replica<PaxosMsg> for PaxosReplica {
                     self.acceptor.commit(slot, ballot, cmd);
                 }
                 let executed = self.acceptor.execute_ready();
+                self.reply_executed(executed, ctx);
+            }
+            PaxosMsg::SnapshotTransfer {
+                ballot,
+                snapshot,
+                entries,
+            } => {
+                let executed = crate::catchup::apply_snapshot_transfer(
+                    &mut self.acceptor,
+                    &mut self.sessions,
+                    &self.cluster.stats,
+                    ballot,
+                    &snapshot,
+                    entries,
+                );
                 self.reply_executed(executed, ctx);
             }
             PaxosMsg::QrRead { reader, id, key } => {

@@ -137,6 +137,86 @@ fn relay_crash_is_transient_thanks_to_rotation() {
 }
 
 #[test]
+fn lagging_follower_rejoins_via_snapshot_after_prefix_truncated() {
+    // A follower sleeps through ~1.5 s of compacting traffic; by the
+    // time it recovers, every peer has truncated the slots it is
+    // missing. Its gap repair (`LearnReq`) must then be answered with a
+    // `SnapshotTransfer` — state, not slots — and the cluster must end
+    // the run safe and fast. Run the identical schedule for both
+    // leader-based protocols (the relay overlay must not change the
+    // catch-up semantics).
+    fn rejoin<P: ProtocolSpec>(proto: P) -> paxi::RunResult {
+        exp(proto, 5, 6)
+            .measure(SimDuration::from_secs(3))
+            .capture_trace()
+            .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+                sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(4)));
+                sim.schedule_control(SimTime::from_millis(1900), Control::Recover(NodeId(4)));
+            })
+    }
+    for (name, r) in [
+        (
+            "paxos",
+            rejoin(PaxosConfig::lan().with_snapshots(paxi::SnapshotConfig::every_ops(100))),
+        ),
+        (
+            "pigpaxos",
+            rejoin(PigConfig::lan(2).with_snapshots(paxi::SnapshotConfig::every_ops(100))),
+        ),
+    ] {
+        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        assert!(r.throughput > 100.0, "{name}: {}", r.throughput);
+        assert!(
+            r.snapshots_taken > 0,
+            "{name}: peers must have compacted while the follower slept"
+        );
+        assert!(
+            r.snapshots_installed >= 1,
+            "{name}: the rejoining follower must catch up from a snapshot"
+        );
+        let transfers = r
+            .label_counts
+            .as_ref()
+            .and_then(|c| c.get("snapshot").copied())
+            .unwrap_or(0);
+        assert!(
+            transfers >= 1,
+            "{name}: a SnapshotTransfer envelope must have crossed the wire"
+        );
+    }
+}
+
+#[test]
+fn leader_change_after_prefix_truncated_recovers_from_peer_snapshots() {
+    // The harder catch-up path: the cluster loses its *leader* while a
+    // once-crashed follower is still far behind the compaction floor.
+    // Whoever campaigns, the lagging replica ends up current — either
+    // it wins and peers attach snapshots to their phase-1b promises, or
+    // it loses and the new leader serves it a SnapshotTransfer. Safety
+    // and progress must hold either way.
+    let cfg = PigConfig::lan(2).with_snapshots(paxi::SnapshotConfig::every_ops(100));
+    let r = exp(cfg, 5, 4)
+        .measure(SimDuration::from_secs(4))
+        .target(TargetPolicy::Random((0..5u32).map(NodeId).collect()))
+        .run_sim_with(paxi::DEFAULT_SEED, |sim, _| {
+            sim.schedule_control(SimTime::from_millis(400), Control::Crash(NodeId(4)));
+            sim.schedule_control(SimTime::from_millis(1800), Control::Recover(NodeId(4)));
+            sim.schedule_control(SimTime::from_millis(1850), Control::Crash(NodeId(0)));
+        });
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(
+        r.throughput > 30.0,
+        "a new leader must emerge and serve: {}",
+        r.throughput
+    );
+    assert!(r.snapshots_taken > 0, "compaction ran before the crash");
+    assert!(
+        r.snapshots_installed >= 1,
+        "the lagging replica must have installed a peer snapshot"
+    );
+}
+
+#[test]
 fn paxos_and_pigpaxos_handle_leader_crash_with_reelection() {
     fn crash_leader<P: ProtocolSpec>(proto: P) -> paxi::RunResult {
         exp(proto, 5, 3)

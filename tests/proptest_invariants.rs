@@ -271,7 +271,124 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Log compaction safety, end to end at the acceptor level, over
+    /// seed × snapshot interval × crash schedule:
+    ///
+    /// - the compaction floor never rises above the executed frontier
+    ///   (undecided/unexecuted slots are never dropped), and the
+    ///   retained log stays bounded by the interval;
+    /// - a compacting acceptor reaches the same state-machine
+    ///   fingerprint as an uncompacted reference fed the same commits;
+    /// - an acceptor that crashed at a random point and recovers from
+    ///   the compacting peer — via a snapshot when its missing prefix
+    ///   was truncated, plain entries otherwise — also converges to the
+    ///   reference fingerprint.
+    #[test]
+    fn compaction_respects_frontier_and_recovery_converges(
+        seed in 0u64..10_000,
+        interval in 1u64..40,
+        n_cmds in 30u64..200,
+        crash_pct in 5u64..95,
+    ) {
+        use paxi::{ClientReply, SafetyMonitor, SessionTable, SnapshotConfig};
+        use paxos::{Acceptor, LearnAnswer};
+        use rand::Rng;
+
+        let ballot = Ballot::new(1, NodeId(0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cmds: Vec<Command> = (0..n_cmds)
+            .map(|s| {
+                let key = rng.gen_range(0u64..8);
+                let op = if rng.gen_range(0u32..10) < 3 {
+                    Operation::Get(key)
+                } else {
+                    Operation::Put(key, Value::zeros(rng.gen_range(1usize..32)))
+                };
+                Command {
+                    id: RequestId {
+                        client: NodeId(1000 + (s % 4) as u32),
+                        seq: s + 1,
+                    },
+                    op,
+                }
+            })
+            .collect();
+
+        // A compacts every `interval`; B is the uncompacted reference;
+        // C crashes after `crash_at` commits and recovers from A.
+        let mut a = Acceptor::new(NodeId(1), SafetyMonitor::new());
+        a.set_snapshot_config(SnapshotConfig::every_ops(interval));
+        let mut b = Acceptor::new(NodeId(2), SafetyMonitor::new());
+        let mut c = Acceptor::new(NodeId(3), SafetyMonitor::new());
+        let crash_at = n_cmds * crash_pct / 100;
+        let mut sessions = SessionTable::new();
+
+        for (s, cmd) in cmds.iter().enumerate() {
+            let s = s as u64;
+            a.commit(s, ballot, cmd.clone());
+            for (_, id, value) in a.execute_ready() {
+                sessions.record(&ClientReply::ok(id, value));
+            }
+            let compacted = a.maybe_compact(&sessions);
+            prop_assert!(
+                a.snapshot_floor() <= a.log().execute_cursor(),
+                "floor above executed frontier"
+            );
+            if compacted {
+                prop_assert_eq!(a.snapshot_floor(), a.log().execute_cursor());
+                prop_assert!(a.latest_snapshot().is_some());
+            }
+            prop_assert!(
+                (a.log().len() as u64) <= interval,
+                "retained log exceeded the interval: {} > {interval}",
+                a.log().len()
+            );
+            b.commit(s, ballot, cmd.clone());
+            b.execute_ready();
+            if s < crash_at {
+                c.commit(s, ballot, cmd.clone());
+                c.execute_ready();
+            }
+        }
+
+        prop_assert_eq!(
+            a.kv().fingerprint(),
+            b.kv().fingerprint(),
+            "compacted and uncompacted acceptors diverged"
+        );
+        prop_assert_eq!(a.commit_watermark(), n_cmds);
+
+        // Recovery: C asks A for exactly its missing suffix.
+        let missing: Vec<u64> = (c.commit_watermark()..n_cmds).collect();
+        prop_assert!(!missing.is_empty());
+        let expect_snapshot = missing[0] < a.snapshot_floor();
+        match a.serve_learn(&missing) {
+            Some(LearnAnswer::Snapshot(snap, entries)) => {
+                prop_assert!(expect_snapshot, "snapshot only when the prefix is gone");
+                prop_assert!(snap.up_to <= n_cmds);
+                prop_assert!(c.install_snapshot(&snap));
+                for (s, cmd) in entries {
+                    c.commit(s, ballot, cmd);
+                }
+            }
+            Some(LearnAnswer::Entries(entries)) => {
+                prop_assert!(!expect_snapshot, "entries only while the prefix survives");
+                for (s, cmd) in entries {
+                    c.commit(s, ballot, cmd);
+                }
+            }
+            None => prop_assert!(false, "peer with the full suffix must answer"),
+        }
+        c.execute_ready();
+        prop_assert_eq!(
+            c.kv().fingerprint(),
+            b.kv().fingerprint(),
+            "recovered acceptor diverged from the uncompacted reference"
+        );
+        prop_assert_eq!(c.commit_watermark(), n_cmds);
+    }
 
     /// The EPaxos execution planner never executes an instance before a
     /// committed dependency, executes all-committed graphs completely,

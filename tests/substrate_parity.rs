@@ -71,6 +71,85 @@ fn epaxos_runs_identically_shaped_on_both_substrates() {
     assert_parity(EpaxosConfig::default(), 5, 20);
 }
 
+/// The same compaction-enabled `Experiment` value must bound memory on
+/// both substrates: snapshots fire, the retained log stays near the
+/// interval, and safety holds — on the deterministic simulator and on
+/// wall-clock threads alike (compaction triggers are execution-driven,
+/// not simulated-time-driven).
+fn assert_compaction_parity<P: ProtocolSpec>(proto: P, n: usize, interval: u64) {
+    let experiment = Experiment::lan(proto, n)
+        .clients(4)
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(800));
+    let name = experiment.protocol().protocol_name();
+
+    let sim = experiment.run_sim(7);
+    assert!(
+        sim.violations.is_empty(),
+        "{name} sim: {:?}",
+        sim.violations
+    );
+    assert!(
+        sim.snapshots_taken > 0,
+        "{name} sim: compaction must fire ({} decided)",
+        sim.decided
+    );
+    assert!(
+        sim.max_log_len <= 2 * interval,
+        "{name} sim: peak log {} > 2x interval {interval}",
+        sim.max_log_len
+    );
+
+    let threads = experiment.run_threads(7, Duration::from_millis(600));
+    assert!(
+        threads.violations.is_empty(),
+        "{name} threads: {:?}",
+        threads.violations
+    );
+    assert!(
+        threads.decided > interval,
+        "{name} threads made progress: {}",
+        threads.decided
+    );
+    assert!(
+        threads.snapshots_taken > 0,
+        "{name} threads: compaction must fire ({} decided)",
+        threads.decided
+    );
+    assert!(
+        threads.max_log_len <= 2 * interval,
+        "{name} threads: peak log {} > 2x interval {interval}",
+        threads.max_log_len
+    );
+}
+
+#[test]
+fn compacting_pigpaxos_bounds_memory_on_both_substrates() {
+    assert_compaction_parity(
+        PigConfig::lan(2).with_snapshots(paxi::SnapshotConfig::every_ops(50)),
+        5,
+        50,
+    );
+}
+
+#[test]
+fn compacting_paxos_bounds_memory_on_both_substrates() {
+    assert_compaction_parity(
+        PaxosConfig::lan().with_snapshots(paxi::SnapshotConfig::every_ops(50)),
+        5,
+        50,
+    );
+}
+
+#[test]
+fn compacting_epaxos_bounds_memory_on_both_substrates() {
+    assert_compaction_parity(
+        EpaxosConfig::default().with_snapshots(paxi::SnapshotConfig::every_ops(50)),
+        5,
+        50,
+    );
+}
+
 #[test]
 fn batched_pigpaxos_safe_on_threads() {
     // The whole batching-v2 pipeline on wall-clock timers: flush
