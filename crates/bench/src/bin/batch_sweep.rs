@@ -22,6 +22,12 @@
 //!    perf-gate metrics and `BENCH_baseline.json` stay bit-for-bit
 //!    identical to the pre-compaction tree; the soak keys are new and
 //!    therefore informational to the gate.
+//! 5. **PQR probe batching**: the 9-node / 2-group / 90%-read / 40-
+//!    client scenario with probe batching off vs on
+//!    (`PigConfig::with_probe_batch`). Gate: probe messages per
+//!    operation (`qr_read`+`qr_vote`+`qr_read_batch`+`qr_vote_batch`)
+//!    drop ≥ 3×. Probe batching is off by default everywhere else, so
+//!    sections 1–4 and the pre-existing baseline keys are untouched.
 //!
 //! `--json <path>` additionally writes the headline metrics as a flat
 //! JSON object — the artifact `perf_gate` checks against
@@ -333,6 +339,61 @@ fn main() {
             soak.throughput
         );
     }
+
+    // ── 5. PQR probe batching over the relay tree ─────────────────────
+    // Quorum reads bypass the leader's command batcher, so their probe
+    // traffic needs its own amortization lever: pending read keys
+    // coalesce into one QrReadBatch per relay wave. Probe batching is
+    // *off* by default — every earlier section (and the pre-existing
+    // baseline keys) runs the exact pre-probe-batching schedule.
+    use paxos::QR_PROBE_LABELS as PROBE_LABELS;
+    let pqr_run = |cfg: PigConfig| {
+        lan_experiment(cfg, 9)
+            .clients(40)
+            .workload(paxi::Workload {
+                read_ratio: 0.9,
+                ..paxi::Workload::paper_default()
+            })
+            .capture_trace()
+            .run_sim(SEED)
+    };
+    let probe_off = pqr_run(PigConfig::lan(2).with_pqr());
+    assert!(
+        probe_off.violations.is_empty(),
+        "pqr probe off: {:?}",
+        probe_off.violations
+    );
+    let probe_on = pqr_run(PigConfig::lan(2).with_pqr().with_probe_batch(
+        paxi::BatchConfig::adaptive(16, SimDuration::from_micros(2500)),
+    ));
+    assert!(
+        probe_on.violations.is_empty(),
+        "pqr probe on: {:?}",
+        probe_on.violations
+    );
+    let off_per_op = probe_off.labels_per_op(PROBE_LABELS).expect("trace");
+    let on_per_op = probe_on.labels_per_op(PROBE_LABELS).expect("trace");
+    let probe_reduction = off_per_op / on_per_op.max(1e-9);
+    metrics.push(("pqr_probe_unbatched_per_op".into(), off_per_op));
+    metrics.push(("pqr_probe_batched_per_op".into(), on_per_op));
+    metrics.push(("pqr_probe_batch_reduction".into(), probe_reduction));
+    metrics.push(("pqr_probe_batched_tput".into(), probe_on.throughput));
+    if csv_mode() {
+        println!("pqr_probe_unbatched_per_op,,{off_per_op:.3},,,,");
+        println!("pqr_probe_batched_per_op,,{on_per_op:.3},,,,");
+        println!("pqr_probe_batch_reduction,,{probe_reduction:.2},,,,");
+    } else {
+        println!(
+            "\n── PQR probe batching (9 nodes, 2 groups, 90% reads, 40 clients) ──\n    \
+             probe msgs/op {off_per_op:.2} -> {on_per_op:.2}  ({probe_reduction:.1}x reduction), \
+             tput {:.0} -> {:.0}",
+            probe_off.throughput, probe_on.throughput
+        );
+    }
+    assert!(
+        probe_reduction >= 3.0,
+        "probe batching must cut probe msgs/op >=3x (got {probe_reduction:.2}x)"
+    );
 
     if let Some(path) = json_path() {
         std::fs::write(&path, json::render(&metrics)).expect("write json metrics");

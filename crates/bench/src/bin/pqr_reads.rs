@@ -13,6 +13,16 @@
 //! per-operation probe counts stay constant. The section counts
 //! `qr_read`/`qr_vote` wire messages per completed operation with
 //! batching off and on to check exactly that.
+//!
+//! Section 3 measures the fix for that open item: **probe batching**
+//! (`PigConfig::with_probe_batch`). Pending read keys coalesce into
+//! one `QrReadBatch` per relay wave, so the per-read probe
+//! fan-out/fan-in amortizes the same way `P2aBatch` amortizes write
+//! rounds. The section sweeps the same 9-node / 2-group / 90%-read /
+//! 40-client scenario with probe batching off and on (probe msgs/op
+//! must drop ≥ 3×), and checks the low-load guard: a lone client's
+//! read latency must not regress (adaptive sizing flushes isolated
+//! probes immediately).
 
 use paxi::{BatchConfig, Workload};
 use pigpaxos::PigConfig;
@@ -109,4 +119,91 @@ fn main() {
             proto_on
         );
     }
+
+    // ── 3. Probe batching over the relay tree ─────────────────────────
+    // Same scenario, probe batching off vs on: pending read keys
+    // coalesce into one QrReadBatch per relay wave, so probe msgs/op
+    // must drop sharply while throughput holds.
+    use paxos::QR_PROBE_LABELS as PROBE_LABELS;
+    let probe_cfg = || BatchConfig::adaptive(16, SimDuration::from_micros(2500));
+    if csv_mode() {
+        println!("pqr_probe_batch,mode,probe_msgs_per_op,wave_msgs_per_op,tput");
+    } else {
+        println!("\n── PQR probe batching (9 nodes, 2 groups, 90% reads, 40 clients) ──");
+        println!(
+            "{:>14} {:>18} {:>16} {:>12}",
+            "probe batch", "probe msgs/op", "wave msgs/op", "tput(req/s)"
+        );
+    }
+    let mut per_op = Vec::new();
+    for (name, cfg) in [
+        ("off", PigConfig::lan(2).with_pqr()),
+        (
+            "adaptive16",
+            PigConfig::lan(2).with_pqr().with_probe_batch(probe_cfg()),
+        ),
+    ] {
+        let r = lan_experiment(cfg, 9)
+            .clients(40)
+            .workload(read_heavy(90))
+            .capture_trace()
+            .run_sim(SEED);
+        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        let probe_msgs = r.labels_per_op(PROBE_LABELS).expect("trace captured");
+        let wave_msgs = r
+            .labels_per_op(&["qr_read_batch", "qr_vote_batch"])
+            .expect("trace captured");
+        if csv_mode() {
+            println!(
+                "pqr_probe_batch,{name},{probe_msgs:.3},{wave_msgs:.3},{:.0}",
+                r.throughput
+            );
+        } else {
+            println!(
+                "{name:>14} {probe_msgs:>18.3} {wave_msgs:>16.3} {:>12.0}",
+                r.throughput
+            );
+        }
+        per_op.push(probe_msgs);
+    }
+    let reduction = per_op[0] / per_op[1].max(1e-9);
+    if !csv_mode() {
+        println!(
+            "\n    probe msgs/op {:.2} -> {:.2} ({reduction:.1}x reduction riding the relay waves)",
+            per_op[0], per_op[1]
+        );
+    }
+
+    // Low-load guard: a single closed-loop reader must see no added
+    // latency from probe batching (adaptive sizing flushes an isolated
+    // probe immediately).
+    let low = |cfg: PigConfig| {
+        lan_experiment(cfg, 9)
+            .clients(1)
+            .workload(read_heavy(100))
+            .run_sim(SEED)
+    };
+    let low_off = low(PigConfig::lan(2).with_pqr());
+    let low_on = low(PigConfig::lan(2).with_pqr().with_probe_batch(probe_cfg()));
+    if csv_mode() {
+        println!(
+            "pqr_probe_low_load,p50_ms,{:.4},{:.4},",
+            low_off.p50_latency_ms, low_on.p50_latency_ms
+        );
+    } else {
+        println!(
+            "    low-load read p50: {:.3}ms off vs {:.3}ms on (must not regress)",
+            low_off.p50_latency_ms, low_on.p50_latency_ms
+        );
+    }
+    assert!(
+        low_on.p50_latency_ms <= low_off.p50_latency_ms * 1.1,
+        "probe batching must not add read latency at low load: {:.3}ms vs {:.3}ms",
+        low_on.p50_latency_ms,
+        low_off.p50_latency_ms
+    );
+    assert!(
+        reduction >= 3.0,
+        "probe batching must cut probe msgs/op by >=3x (got {reduction:.2}x)"
+    );
 }

@@ -52,6 +52,13 @@ pub struct PigConfig {
     /// Rinse attempts before giving up and redirecting the client to
     /// the leader.
     pub pqr_max_attempts: u32,
+    /// Proxy-side batching of quorum-read probes over the relay tree:
+    /// pending read keys coalesce into one `QrReadBatch` per relay
+    /// wave (size-or-time/adaptive sizing via the shared
+    /// [`paxi::BatchConfig`] machinery, plus at-most-one-outstanding-
+    /// wave self-clocking). Disabled by default — every read then pays
+    /// its own `QrRead` fan-out, the pre-batching behaviour.
+    pub probe_batch: paxi::BatchConfig,
 }
 
 impl PigConfig {
@@ -78,6 +85,7 @@ impl PigConfig {
             pqr_reads: false,
             pqr_rinse_delay: SimDuration::from_millis(3),
             pqr_max_attempts: 8,
+            probe_batch: paxi::BatchConfig::disabled(),
         }
     }
 
@@ -99,8 +107,32 @@ impl PigConfig {
     /// Fluent helper: serve reads at follower proxies via Paxos Quorum
     /// Reads (§4.3). The protocol's default client target becomes a
     /// uniform spread over all replicas.
+    ///
+    /// **Caveat:** PQR mode disables the leader's per-client
+    /// sequencing lane ([`paxos::BatchLane`] runs with sequencing
+    /// off). Quorum reads are answered at follower proxies and never
+    /// reach the leader's log, so a client's sequence numbers have
+    /// legitimate gaps there — holding writes for those gaps would
+    /// stall them forever. Pipelined clients therefore get FIFO-in-log
+    /// ordering only in non-PQR configurations; exactly-once retry
+    /// replay is unaffected.
     pub fn with_pqr(mut self) -> Self {
         self.pqr_reads = true;
+        self
+    }
+
+    /// Fluent helper: batch quorum-read probes over the relay tree
+    /// (implies nothing about `pqr_reads` — combine with
+    /// [`PigConfig::with_pqr`]). Pending read keys at a proxy coalesce
+    /// into one `QrReadBatch` per relay wave; each relay answers with a
+    /// single aggregated `QrVoteBatch` uplink per wave, amortizing the
+    /// probe fan-out/fan-in the same way `P2aBatch`/`P2bBatch`
+    /// amortize write rounds. [`paxi::BatchConfig::adaptive`] is the
+    /// recommended policy: isolated reads at low load flush
+    /// immediately (no added read latency), saturated proxies fill
+    /// waves to the arrival rate.
+    pub fn with_probe_batch(mut self, batch: paxi::BatchConfig) -> Self {
+        self.probe_batch = batch;
         self
     }
 
@@ -128,6 +160,7 @@ impl PigConfig {
             pqr_reads: false,
             pqr_rinse_delay: SimDuration::from_millis(40),
             pqr_max_attempts: 8,
+            probe_batch: paxi::BatchConfig::disabled(),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod config;
 pub mod groups;
 pub mod messages;
 pub mod pqr;
+pub mod probe_batch;
 pub mod relay;
 pub mod replica;
 
@@ -58,6 +59,7 @@ pub use config::PigConfig;
 pub use groups::{GroupSpec, RelayGroups};
 pub use messages::{PigMsg, RelayPlan};
 pub use pqr::{PendingReads, ReadOutcome};
+pub use probe_batch::{ProbeBatcher, ProbePush};
 pub use relay::UplinkCoalescer;
 #[allow(deprecated)]
 pub use replica::pig_builder;

@@ -14,7 +14,7 @@
 //! grouping decodes a multi-round span exactly like a single round.
 
 use paxi::Ballot;
-use paxos::{P1bVote, P2bVote, PaxosMsg, QrVoteEntry};
+use paxos::{P1bVote, P2bVote, PaxosMsg, QrProbeVote, QrVoteEntry};
 use simnet::{NodeId, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -29,8 +29,13 @@ pub enum AggKey {
     /// leader-side command-batching fast path. Votes carry their own
     /// slots, so aggregation is still plain concatenation.
     P2Span(Ballot, u64, u64),
-    /// A quorum read for (reader proxy, read id) — §4.3.
-    Qr(NodeId, u64),
+    /// A quorum read for (reader proxy, read id, attempt) — §4.3. The
+    /// attempt keys the round so a re-probe after a rinse restart opens
+    /// a *fresh* aggregation instead of topping up the stale one.
+    Qr(NodeId, u64, u32),
+    /// A batched quorum-read wave for (reader proxy, wave id): several
+    /// reads' probes disseminated and aggregated as one round.
+    QrBatch(NodeId, u64),
 }
 
 /// Collected votes (phase-matched with the key).
@@ -42,6 +47,8 @@ pub enum VoteSet {
     P2(Vec<P2bVote>),
     /// Quorum-read answers.
     Qr(Vec<QrVoteEntry>),
+    /// Batched quorum-read answers (one entry per probe of the wave).
+    QrBatch(Vec<QrProbeVote>),
 }
 
 impl VoteSet {
@@ -50,6 +57,7 @@ impl VoteSet {
             VoteSet::P1(v) => v.len(),
             VoteSet::P2(v) => v.len(),
             VoteSet::Qr(v) => v.len(),
+            VoteSet::QrBatch(v) => v.len(),
         }
     }
 
@@ -61,7 +69,7 @@ impl VoteSet {
         match self {
             VoteSet::P1(v) => v.iter().any(|x| !x.ok),
             VoteSet::P2(v) => v.iter().any(|x| !x.ok),
-            VoteSet::Qr(_) => false, // reads have no rejections
+            VoteSet::Qr(_) | VoteSet::QrBatch(_) => false, // reads have no rejections
         }
     }
 
@@ -70,6 +78,7 @@ impl VoteSet {
             (VoteSet::P1(a), VoteSet::P1(b)) => a.extend(b),
             (VoteSet::P2(a), VoteSet::P2(b)) => a.extend(b),
             (VoteSet::Qr(a), VoteSet::Qr(b)) => a.extend(b),
+            (VoteSet::QrBatch(a), VoteSet::QrBatch(b)) => a.extend(b),
             _ => debug_assert!(false, "phase-mismatched vote aggregation"),
         }
     }
@@ -79,6 +88,7 @@ impl VoteSet {
             VoteSet::P1(v) => VoteSet::P1(std::mem::take(v)),
             VoteSet::P2(v) => VoteSet::P2(std::mem::take(v)),
             VoteSet::Qr(v) => VoteSet::Qr(std::mem::take(v)),
+            VoteSet::QrBatch(v) => VoteSet::QrBatch(std::mem::take(v)),
         }
     }
 
@@ -99,7 +109,17 @@ impl VoteSet {
                     votes,
                 }
             }
-            (VoteSet::Qr(votes), AggKey::Qr(reader, id)) => PaxosMsg::QrVote { reader, id, votes },
+            (VoteSet::Qr(votes), AggKey::Qr(reader, id, attempt)) => PaxosMsg::QrVote {
+                reader,
+                id,
+                attempt,
+                votes,
+            },
+            (VoteSet::QrBatch(votes), AggKey::QrBatch(reader, wave)) => PaxosMsg::QrVoteBatch {
+                reader,
+                wave,
+                votes,
+            },
             _ => unreachable!("phase-mismatched key/votes"),
         }
     }
@@ -182,6 +202,7 @@ impl RelayTable {
                         VoteSet::P1(_) => VoteSet::P1(Vec::new()),
                         VoteSet::P2(_) => VoteSet::P2(Vec::new()),
                         VoteSet::Qr(_) => VoteSet::Qr(Vec::new()),
+                        VoteSet::QrBatch(_) => VoteSet::QrBatch(Vec::new()),
                     },
                     deadline,
                     threshold,

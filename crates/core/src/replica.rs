@@ -16,6 +16,7 @@ use crate::config::PigConfig;
 use crate::groups::RelayGroups;
 use crate::messages::{PigMsg, RelayPlan};
 use crate::pqr::{PendingReads, ReadOutcome};
+use crate::probe_batch::{ProbeBatcher, ProbePush, ProbeRelease};
 use crate::relay::{AggKey, Flush, RelayTable, UplinkCoalescer, VoteSet};
 use paxi::{
     ClientReply, ClientRequest, ClusterConfig, Command, Ctx, Envelope, Replica, ReplicaActor,
@@ -37,6 +38,8 @@ const T_PQR_RINSE: u64 = 7;
 const T_BATCH: u64 = 8;
 const T_REPLY: u64 = 9;
 const T_AGG_FLUSH: u64 = 10;
+const T_PROBE_FLUSH: u64 = 11;
+const T_PROBE_WAVE: u64 = 12;
 
 /// Timer kinds live in the low byte; the payload (e.g. a read id) in
 /// the rest.
@@ -75,6 +78,9 @@ pub struct PigReplica {
     repair_up_to: u64,
     repair_armed: bool,
     reads: PendingReads,
+    /// Proxy-side coalescing of quorum-read probes into relay waves
+    /// (inert unless [`PigConfig::probe_batch`] enables it).
+    probes: ProbeBatcher,
 }
 
 impl PigReplica {
@@ -134,6 +140,7 @@ impl PigReplica {
             repair_up_to: 0,
             repair_armed: false,
             reads: PendingReads::new(),
+            probes: ProbeBatcher::new(cfg.probe_batch.clone()),
             cluster,
             cfg,
         }
@@ -159,6 +166,18 @@ impl PigReplica {
 
     /// Fan `inner` out through one random relay per group.
     fn disseminate(&mut self, inner: PaxosMsg, ctx: &mut Ctx<PigMsg>) {
+        self.disseminate_with(inner, ctx, |_| {});
+    }
+
+    /// Fan `inner` out through one random relay per group, reporting
+    /// each chosen relay to `on_relay` (probe waves track the exact
+    /// relay set so each uplink can be matched back to its sender).
+    fn disseminate_with(
+        &mut self,
+        inner: PaxosMsg,
+        ctx: &mut Ctx<PigMsg>,
+        mut on_relay: impl FnMut(NodeId),
+    ) {
         let threshold = self.cfg.partial_threshold.unwrap_or(0);
         let levels = self.cfg.levels;
         let picks = if self.cfg.rotate_relays {
@@ -177,6 +196,7 @@ impl PigReplica {
                     threshold,
                 },
             );
+            on_relay(relay);
         }
     }
 
@@ -460,20 +480,39 @@ impl PigReplica {
         ctx: &mut Ctx<PigMsg>,
     ) {
         let need = self.cluster.majority();
+        let before = self.reads.len();
         let id = self.reads.start(client, request, key, need, ctx.now());
+        // `start` supersedes any stuck read for the same request (a
+        // client retry); reconcile the shared in-flight gauge.
+        self.cluster.stats.note_pqr_started();
+        let superseded = (before + 1).saturating_sub(self.reads.len());
+        self.cluster.stats.note_pqr_finished(superseded as u64);
         self.probe_quorum_read(id, key, ctx);
     }
 
     /// Send (or re-send) the read probe: own answer first, then the
-    /// relay-tree fan-out.
+    /// relay-tree fan-out — per read (`QrRead`), or coalesced into the
+    /// next probe wave when probe batching is on.
     fn probe_quorum_read(&mut self, id: u64, key: paxi::Key, ctx: &mut Ctx<PigMsg>) {
+        let attempt = self.reads.attempt_of(id).unwrap_or(1);
         let own = self.acceptor.read_state(key);
-        let still_collecting = self.feed_read_votes(id, vec![own], ctx);
-        if still_collecting {
+        let still_collecting = self.feed_read_votes(id, attempt, vec![own], ctx);
+        if !still_collecting {
+            return;
+        }
+        if self.probes.enabled() {
+            let probe = paxos::QrProbe { id, attempt, key };
+            match self.probes.push(probe, ctx.now()) {
+                ProbePush::Flush(probes) => self.send_probe_wave(probes, ctx),
+                ProbePush::ArmTimer => self.arm_probe_hold_timer(ctx),
+                ProbePush::Buffered => {}
+            }
+        } else {
             self.disseminate(
                 PaxosMsg::QrRead {
                     reader: self.me,
                     id,
+                    attempt,
                     key,
                 },
                 ctx,
@@ -481,20 +520,66 @@ impl PigReplica {
         }
     }
 
-    /// Feed probe answers into a pending read and act on the outcome.
-    /// Returns true while the read still awaits more votes.
+    /// Ship one coalesced probe wave down the relay tree. Probes whose
+    /// read completed (or restarted onto a newer attempt) while they
+    /// sat buffered are dropped first; the wave gate closes until every
+    /// relay uplink returns or the wave timeout fires.
+    fn send_probe_wave(&mut self, probes: Vec<paxos::QrProbe>, ctx: &mut Ctx<PigMsg>) {
+        let probes: Vec<paxos::QrProbe> = probes
+            .into_iter()
+            .filter(|p| self.reads.attempt_of(p.id) == Some(p.attempt))
+            .collect();
+        if probes.is_empty() {
+            return; // nothing live; the gate stays open
+        }
+        let wave = self.probes.next_wave();
+        let mut relays = HashSet::new();
+        self.disseminate_with(
+            PaxosMsg::QrReadBatch {
+                reader: self.me,
+                wave,
+                probes,
+            },
+            ctx,
+            |relay| {
+                relays.insert(relay);
+            },
+        );
+        if !relays.is_empty() {
+            self.probes.wave_opened(wave, relays);
+            // Relays flush partial aggregates at `relay_timeout`; give
+            // the uplinks one more timeout of slack before force-opening
+            // the gate (a crashed relay must not wedge probe batching).
+            ctx.set_timer(self.cfg.relay_timeout * 2, T_PROBE_WAVE | (wave << 8));
+        }
+    }
+
+    /// Arm the probe hold timer for the buffer currently filling,
+    /// tagging it with the buffer's generation so a timer armed for an
+    /// already-shipped buffer cannot flush a later one early.
+    fn arm_probe_hold_timer(&mut self, ctx: &mut Ctx<PigMsg>) {
+        let gen = self.probes.generation();
+        ctx.set_timer(self.probes.config().max_delay, T_PROBE_FLUSH | (gen << 8));
+    }
+
+    /// Feed probe answers for `attempt` into a pending read and act on
+    /// the outcome. Returns true while the read still awaits more
+    /// votes. Stale-attempt answers are dropped inside
+    /// [`PendingReads::add_votes`].
     fn feed_read_votes(
         &mut self,
         id: u64,
+        attempt: u32,
         votes: Vec<paxos::QrVoteEntry>,
         ctx: &mut Ctx<PigMsg>,
     ) -> bool {
         let Some((client, request)) = self.reads.client_of(id) else {
             return false; // already completed
         };
-        match self.reads.add_votes(id, votes) {
+        match self.reads.add_votes(id, attempt, votes) {
             ReadOutcome::Pending => true,
             ReadOutcome::Done(value) => {
+                self.cluster.stats.note_pqr_finished(1);
                 ctx.reply(client, ClientReply::ok(request, value));
                 false
             }
@@ -616,14 +701,49 @@ impl PigReplica {
                     self.send_flush(f, ctx);
                 }
             }
-            PaxosMsg::QrRead { reader, id, key } => {
+            PaxosMsg::QrRead {
+                reader,
+                id,
+                attempt,
+                key,
+            } => {
                 let own = self.acceptor.read_state(key);
                 let flush = self.relays.open(
-                    AggKey::Qr(reader, id),
+                    AggKey::Qr(reader, id, attempt),
                     reply_to,
                     expect,
                     VoteSet::Qr(vec![own]),
                     threshold,
+                    deadline,
+                );
+                if let Some(f) = flush {
+                    self.send_flush(f, ctx);
+                }
+            }
+            PaxosMsg::QrReadBatch {
+                reader,
+                wave,
+                probes,
+            } => {
+                // Answer every probe of the wave in one pass, then
+                // aggregate the group's answers exactly like a batched
+                // phase-2 round (each member contributes one vote per
+                // probe).
+                let batch_len = probes.len().max(1);
+                let own: Vec<paxos::QrProbeVote> = probes
+                    .iter()
+                    .map(|p| paxos::QrProbeVote {
+                        id: p.id,
+                        attempt: p.attempt,
+                        entry: self.acceptor.read_state(p.key),
+                    })
+                    .collect();
+                let flush = self.relays.open(
+                    AggKey::QrBatch(reader, wave),
+                    reply_to,
+                    expect,
+                    VoteSet::QrBatch(own),
+                    threshold * batch_len,
                     deadline,
                 );
                 if let Some(f) = flush {
@@ -830,24 +950,98 @@ impl PigReplica {
                 );
                 self.reply_executed(executed, ctx);
             }
-            PaxosMsg::QrRead { reader, id, key } => {
+            PaxosMsg::QrRead {
+                reader,
+                id,
+                attempt,
+                key,
+            } => {
                 let entry = self.acceptor.read_state(key);
                 ctx.send_proto(
                     from,
                     PigMsg::Direct(PaxosMsg::QrVote {
                         reader,
                         id,
+                        attempt,
                         votes: vec![entry],
                     }),
                 );
             }
-            PaxosMsg::QrVote { reader, id, votes } => {
+            PaxosMsg::QrVote {
+                reader,
+                id,
+                attempt,
+                votes,
+            } => {
                 if reader == self.me {
-                    // We are the proxy: count toward the pending read.
-                    self.feed_read_votes(id, votes, ctx);
+                    // We are the proxy: count toward the pending read
+                    // (stale-attempt answers are dropped inside).
+                    self.feed_read_votes(id, attempt, votes, ctx);
                 } else if let Some(f) =
                     self.relays
-                        .add(AggKey::Qr(reader, id), from, VoteSet::Qr(votes))
+                        .add(AggKey::Qr(reader, id, attempt), from, VoteSet::Qr(votes))
+                {
+                    // We are a relay: aggregate toward the proxy.
+                    self.send_flush(f, ctx);
+                }
+            }
+            PaxosMsg::QrReadBatch {
+                reader,
+                wave,
+                probes,
+            } => {
+                // A non-relay group member: answer the whole wave in
+                // one message back to the relay.
+                let votes = probes
+                    .into_iter()
+                    .map(|p| paxos::QrProbeVote {
+                        id: p.id,
+                        attempt: p.attempt,
+                        entry: self.acceptor.read_state(p.key),
+                    })
+                    .collect();
+                ctx.send_proto(
+                    from,
+                    PigMsg::Direct(PaxosMsg::QrVoteBatch {
+                        reader,
+                        wave,
+                        votes,
+                    }),
+                );
+            }
+            PaxosMsg::QrVoteBatch {
+                reader,
+                wave,
+                votes,
+            } => {
+                if reader == self.me {
+                    // We are the proxy. The uplink may complete the
+                    // wave and release the next one; do that first so a
+                    // rinse restart triggered by these votes lands in
+                    // the *following* wave, not a stale buffer.
+                    match self.probes.on_uplink(wave, from) {
+                        ProbeRelease::Flush(probes) => self.send_probe_wave(probes, ctx),
+                        ProbeRelease::ArmTimer => self.arm_probe_hold_timer(ctx),
+                        ProbeRelease::Idle => {}
+                    }
+                    // Group per-probe answers and feed each read once.
+                    let mut grouped: HashMap<(u64, u32), Vec<paxos::QrVoteEntry>> = HashMap::new();
+                    let mut order: Vec<(u64, u32)> = Vec::new();
+                    for v in votes {
+                        let key = (v.id, v.attempt);
+                        let slot = grouped.entry(key).or_default();
+                        if slot.is_empty() {
+                            order.push(key);
+                        }
+                        slot.push(v.entry);
+                    }
+                    for key in order {
+                        let entries = grouped.remove(&key).expect("grouped above");
+                        self.feed_read_votes(key.0, key.1, entries, ctx);
+                    }
+                } else if let Some(f) =
+                    self.relays
+                        .add(AggKey::QrBatch(reader, wave), from, VoteSet::QrBatch(votes))
                 {
                     // We are a relay: aggregate toward the proxy.
                     self.send_flush(f, ctx);
@@ -997,6 +1191,19 @@ impl Replica<PigMsg> for PigReplica {
                 for f in self.relays.expire(ctx.now()) {
                     self.send_flush(f, ctx);
                 }
+                // Piggyback the quorum-read starvation sweep: a read
+                // whose current attempt has waited far longer than any
+                // healthy probe round (votes lost to crashes) is handed
+                // to the leader instead of leaking in the table.
+                if !self.reads.is_empty() {
+                    let max_age = self.cfg.relay_timeout * 4
+                        + self.cfg.pqr_rinse_delay * self.cfg.pqr_max_attempts as u64;
+                    let expired = self.reads.expire(ctx.now(), max_age);
+                    self.cluster.stats.note_pqr_finished(expired.len() as u64);
+                    for (client, request) in expired {
+                        ctx.reply(client, ClientReply::redirect(request, self.known_leader));
+                    }
+                }
                 ctx.set_timer(self.cfg.relay_scan_interval, T_RELAY_SCAN);
             }
             T_RESHUFFLE => {
@@ -1022,18 +1229,33 @@ impl Replica<PigMsg> for PigReplica {
             }
             T_PQR_RINSE => {
                 let id = kind >> 8;
-                match self.reads.restart(id) {
-                    Some((_client, key, attempts)) if attempts <= self.cfg.pqr_max_attempts => {
+                match self.reads.restart(id, ctx.now()) {
+                    Some((_client, key, attempt)) if attempt <= self.cfg.pqr_max_attempts => {
                         self.probe_quorum_read(id, key, ctx);
                     }
                     Some(_) => {
                         // Too many rinses: hand the client to the leader,
                         // which serializes the read through the log.
                         if let Some((client, request)) = self.reads.abort(id) {
+                            self.cluster.stats.note_pqr_finished(1);
                             ctx.reply(client, ClientReply::redirect(request, self.known_leader));
                         }
                     }
                     None => {}
+                }
+            }
+            T_PROBE_FLUSH => {
+                let generation = kind >> 8;
+                if let Some(probes) = self.probes.on_hold_timer(generation) {
+                    self.send_probe_wave(probes, ctx);
+                }
+            }
+            T_PROBE_WAVE => {
+                let wave = kind >> 8;
+                match self.probes.on_wave_timeout(wave) {
+                    ProbeRelease::Flush(probes) => self.send_probe_wave(probes, ctx),
+                    ProbeRelease::ArmTimer => self.arm_probe_hold_timer(ctx),
+                    ProbeRelease::Idle => {}
                 }
             }
             _ => {}

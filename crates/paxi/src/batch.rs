@@ -37,6 +37,51 @@ use std::collections::BTreeMap;
 /// EWMA weight of the newest inter-arrival gap in adaptive mode.
 const EWMA_ALPHA: f64 = 0.25;
 
+/// Arrival-rate tracker behind adaptive batch sizing: an EWMA of
+/// inter-arrival gaps, turned into a fill target of "arrivals expected
+/// within one flush window". Shared by the leader's command
+/// [`Batcher`] and the PigPaxos proxy-side probe batcher so the two
+/// adaptive policies cannot drift.
+#[derive(Debug, Default)]
+pub struct RateEstimator {
+    /// EWMA of inter-arrival gaps in nanoseconds (`None` until a
+    /// second arrival establishes a gap).
+    ewma_gap_ns: Option<f64>,
+    last_arrival: Option<SimTime>,
+}
+
+impl RateEstimator {
+    /// No observations yet.
+    pub fn new() -> Self {
+        RateEstimator::default()
+    }
+
+    /// Record an arrival at `now`, updating the gap EWMA.
+    pub fn observe(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_arrival {
+            let gap = now.saturating_sub(prev).as_nanos().max(1) as f64;
+            self.ewma_gap_ns = Some(match self.ewma_gap_ns {
+                Some(ewma) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * ewma,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Arrivals expected within one `window`, clamped to `[1, max]`.
+    /// `1` until a rate estimate exists (stay latency-optimal).
+    pub fn target(&self, max: usize, window: SimDuration) -> usize {
+        match self.ewma_gap_ns {
+            None => 1,
+            Some(gap_ns) => {
+                let window_ns = window.as_nanos() as f64;
+                let expected = window_ns / gap_ns.max(1.0);
+                (expected as usize).clamp(1, max)
+            }
+        }
+    }
+}
+
 /// Batching policy for a leader.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchConfig {
@@ -123,10 +168,8 @@ pub enum BatchPush {
 pub struct Batcher {
     cfg: BatchConfig,
     buf: Vec<(NodeId, Command)>,
-    /// EWMA of inter-arrival gaps in nanoseconds (adaptive mode only;
-    /// `None` until a second arrival establishes a gap).
-    ewma_gap_ns: Option<f64>,
-    last_arrival: Option<SimTime>,
+    /// Arrival-rate EWMA (adaptive mode only).
+    rate: RateEstimator,
 }
 
 impl Batcher {
@@ -135,8 +178,7 @@ impl Batcher {
         Batcher {
             buf: Vec::with_capacity(cfg.max_batch),
             cfg,
-            ewma_gap_ns: None,
-            last_arrival: None,
+            rate: RateEstimator::new(),
         }
     }
 
@@ -183,28 +225,14 @@ impl Batcher {
         if !self.cfg.adaptive {
             return self.cfg.max_batch;
         }
-        match self.ewma_gap_ns {
-            None => 1, // no rate estimate yet: stay latency-optimal
-            Some(gap_ns) => {
-                let window_ns = self.cfg.max_delay.as_nanos() as f64;
-                let expected = window_ns / gap_ns.max(1.0);
-                (expected as usize).clamp(1, self.cfg.max_batch)
-            }
-        }
+        self.rate.target(self.cfg.max_batch, self.cfg.max_delay)
     }
 
     /// Buffer a command arriving at `now`. Returns [`BatchPush::Flush`]
     /// with the full batch when it reaches the current fill target.
     pub fn push(&mut self, client: NodeId, command: Command, now: SimTime) -> BatchPush {
         if self.cfg.adaptive {
-            if let Some(prev) = self.last_arrival {
-                let gap = now.saturating_sub(prev).as_nanos().max(1) as f64;
-                self.ewma_gap_ns = Some(match self.ewma_gap_ns {
-                    Some(ewma) => EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * ewma,
-                    None => gap,
-                });
-            }
-            self.last_arrival = Some(now);
+            self.rate.observe(now);
         }
         self.buf.push((client, command));
         if self.buf.len() >= self.target() {

@@ -387,6 +387,8 @@ impl<P: ProtocolSpec> Experiment<P> {
             leader_sent_per_op: None,
             leader_proto_recv_per_op: None,
             label_counts: None,
+            pqr_reads_started: cluster.stats.pqr_started(),
+            pqr_reads_inflight: cluster.stats.pqr_inflight(),
         }
     }
 

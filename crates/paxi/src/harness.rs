@@ -182,6 +182,14 @@ pub struct RunResult {
     /// message-shape questions — e.g. "how many quorum-read probes did
     /// PQR send per operation?" — without hand-rolling a simulation.
     pub label_counts: Option<BTreeMap<&'static str, u64>>,
+    /// Quorum reads opened at proxies across the whole run (0 for
+    /// non-PQR configurations).
+    pub pqr_reads_started: u64,
+    /// Quorum reads still pending at some proxy when the run ended.
+    /// A quiesced run must end at 0; a workload-driven run may end with
+    /// at most the number of in-flight client operations — anything
+    /// larger is a `PendingReads` leak.
+    pub pqr_reads_inflight: u64,
 }
 
 impl RunResult {
@@ -192,6 +200,22 @@ impl RunResult {
         self.label_counts
             .as_ref()
             .map(|c| c.get(label).copied().unwrap_or(0) as f64 / ops)
+    }
+
+    /// Sum of [`RunResult::label_per_op`] over several labels — the
+    /// handle on message families that batch under a different label
+    /// (e.g. PQR probe cost = `qr_read` + `qr_vote` + `qr_read_batch` +
+    /// `qr_vote_batch`). Returns `None` unless the run captured a
+    /// trace.
+    pub fn labels_per_op(&self, labels: &[&str]) -> Option<f64> {
+        let ops = self.samples.max(1) as f64;
+        self.label_counts.as_ref().map(|c| {
+            labels
+                .iter()
+                .map(|l| c.get(l).copied().unwrap_or(0))
+                .sum::<u64>() as f64
+                / ops
+        })
     }
 }
 
@@ -341,6 +365,8 @@ where
         leader_sent_per_op,
         leader_proto_recv_per_op,
         label_counts,
+        pqr_reads_started: cluster.stats.pqr_started(),
+        pqr_reads_inflight: cluster.stats.pqr_inflight(),
     }
 }
 

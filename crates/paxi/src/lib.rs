@@ -74,7 +74,7 @@ pub mod snapshot;
 pub mod workload;
 
 pub use ballot::Ballot;
-pub use batch::{BatchConfig, BatchPush, Batcher, ReplyBatcher, ReplyCoalesce};
+pub use batch::{BatchConfig, BatchPush, Batcher, RateEstimator, ReplyBatcher, ReplyCoalesce};
 pub use client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
 pub use cluster::ClusterConfig;
 pub use command::{

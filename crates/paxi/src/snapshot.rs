@@ -129,6 +129,8 @@ struct StatsInner {
     max_log_len: AtomicU64,
     snapshots_taken: AtomicU64,
     snapshots_installed: AtomicU64,
+    pqr_started: AtomicU64,
+    pqr_finished: AtomicU64,
 }
 
 /// Shared compaction/memory counters for one run. Cloning shares state
@@ -173,6 +175,34 @@ impl CompactionStats {
     /// Snapshots installed from peers across all replicas.
     pub fn snapshots_installed(&self) -> u64 {
         self.0.snapshots_installed.load(Ordering::Relaxed)
+    }
+
+    /// Report a quorum read opened at a proxy (`PendingReads::start`).
+    pub fn note_pqr_started(&self) {
+        self.0.pqr_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Report quorum reads that left the proxy's pending table —
+    /// completed, aborted to a leader redirect, expired, or superseded
+    /// by a retry of the same request. `n` at once so a replica can
+    /// report a whole expiry sweep in one call.
+    pub fn note_pqr_finished(&self, n: u64) {
+        self.0.pqr_finished.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Quorum reads opened across all proxies.
+    pub fn pqr_started(&self) -> u64 {
+        self.0.pqr_started.load(Ordering::Relaxed)
+    }
+
+    /// Quorum reads still in some proxy's pending table (started −
+    /// finished). A quiesced run must end at 0 — anything else is a
+    /// `PendingReads` leak.
+    pub fn pqr_inflight(&self) -> u64 {
+        self.0
+            .pqr_started
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.0.pqr_finished.load(Ordering::Relaxed))
     }
 }
 

@@ -67,6 +67,53 @@ impl QrVoteEntry {
     }
 }
 
+/// Every wire label a quorum-read probe or answer can travel under —
+/// single probes and batched waves. Benchmarks and tests sum delivered
+/// messages over this list to get "probe msgs/op"; keeping it next to
+/// [`PaxosMsg`]'s `label()` match means a label rename cannot silently
+/// zero out a measurement.
+pub const QR_PROBE_LABELS: &[&str] = &["qr_read", "qr_vote", "qr_read_batch", "qr_vote_batch"];
+
+/// One key probe inside a [`PaxosMsg::QrReadBatch`]: the proxy-local
+/// read id, the read's *attempt* number (rinse retries bump it; answers
+/// for older attempts must not count toward newer ones), and the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QrProbe {
+    /// Proxy-local read id.
+    pub id: u64,
+    /// The attempt this probe belongs to (1 = first probe; each rinse
+    /// restart bumps it).
+    pub attempt: u32,
+    /// The key being read.
+    pub key: Key,
+}
+
+impl QrProbe {
+    fn wire_bytes(&self) -> usize {
+        8 + 4 + 8
+    }
+}
+
+/// One replica's answer to one probe of a batched quorum read: the
+/// probe's `(id, attempt)` echo plus the replica's [`QrVoteEntry`].
+/// Relay aggregation of [`PaxosMsg::QrVoteBatch`] is plain
+/// concatenation of these, exactly like `P2bVote`s in a `P2bBatch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QrProbeVote {
+    /// The read id this answers.
+    pub id: u64,
+    /// The attempt this answers (the proxy drops mismatches).
+    pub attempt: u32,
+    /// The replica's answer.
+    pub entry: QrVoteEntry,
+}
+
+impl QrProbeVote {
+    fn wire_bytes(&self) -> usize {
+        8 + 4 + self.entry.wire_bytes()
+    }
+}
+
 /// Multi-Paxos protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PaxosMsg {
@@ -179,6 +226,12 @@ pub enum PaxosMsg {
         reader: NodeId,
         /// Proxy-local read id.
         id: u64,
+        /// The read's attempt number. A rinse restart bumps it, and the
+        /// proxy drops answers tagged with an older attempt — a stale
+        /// vote counted toward a newer attempt could complete the read
+        /// without re-checking for pending writes, breaking
+        /// linearizability.
+        attempt: u32,
         /// The key being read.
         key: Key,
     },
@@ -189,8 +242,34 @@ pub enum PaxosMsg {
         reader: NodeId,
         /// The read id it answers.
         id: u64,
+        /// The attempt it answers (echoed from the `QrRead`).
+        attempt: u32,
         /// Individual replica answers.
         votes: Vec<QrVoteEntry>,
+    },
+    /// A *wave* of quorum-read probes — the probe-side counterpart of
+    /// `P2aBatch`. The proxy coalesces the keys of several pending
+    /// reads and ships them down the relay tree in one message per
+    /// group; each replica answers all probes in one pass, and each
+    /// relay returns a single aggregated [`PaxosMsg::QrVoteBatch`]
+    /// uplink per wave.
+    QrReadBatch {
+        /// The proxy driving the reads (aggregates travel back to it).
+        reader: NodeId,
+        /// Proxy-local wave id (keys the relay aggregation round).
+        wave: u64,
+        /// The coalesced probes.
+        probes: Vec<QrProbe>,
+    },
+    /// Answers to a probe wave: one [`QrProbeVote`] per `(replica,
+    /// probe)` pair, possibly aggregated across a relay group.
+    QrVoteBatch {
+        /// The proxy this answers.
+        reader: NodeId,
+        /// The wave it answers.
+        wave: u64,
+        /// Individual per-probe answers.
+        votes: Vec<QrProbeVote>,
     },
 }
 
@@ -244,8 +323,14 @@ impl ProtoMessage for PaxosMsg {
                             .map(|(_, c)| 8 + c.payload_bytes())
                             .sum::<usize>()
                 }
-                PaxosMsg::QrRead { .. } => 20,
+                PaxosMsg::QrRead { .. } => 24,
                 PaxosMsg::QrVote { votes, .. } => {
+                    16 + votes.iter().map(|v| v.wire_bytes()).sum::<usize>()
+                }
+                PaxosMsg::QrReadBatch { probes, .. } => {
+                    12 + probes.iter().map(|p| p.wire_bytes()).sum::<usize>()
+                }
+                PaxosMsg::QrVoteBatch { votes, .. } => {
                     12 + votes.iter().map(|v| v.wire_bytes()).sum::<usize>()
                 }
             }
@@ -265,6 +350,8 @@ impl ProtoMessage for PaxosMsg {
             PaxosMsg::SnapshotTransfer { .. } => "snapshot",
             PaxosMsg::QrRead { .. } => "qr_read",
             PaxosMsg::QrVote { .. } => "qr_vote",
+            PaxosMsg::QrReadBatch { .. } => "qr_read_batch",
+            PaxosMsg::QrVoteBatch { .. } => "qr_vote_batch",
         }
     }
 }
@@ -408,6 +495,50 @@ mod tests {
         };
         assert_eq!(big.wire_size() - small.wire_size(), 11 * 14);
         assert_eq!(big.label(), "p2b_batch");
+    }
+
+    #[test]
+    fn probe_batch_scales_sublinearly_vs_single_probes() {
+        let single = |id| PaxosMsg::QrRead {
+            reader: NodeId(1),
+            id,
+            attempt: 1,
+            key: 7,
+        };
+        let singles: usize = (0..8).map(|i| single(i).wire_size()).sum();
+        let batch = PaxosMsg::QrReadBatch {
+            reader: NodeId(1),
+            wave: 0,
+            probes: (0..8)
+                .map(|id| QrProbe {
+                    id,
+                    attempt: 1,
+                    key: 7,
+                })
+                .collect(),
+        };
+        assert!(
+            batch.wire_size() < singles,
+            "one probe wave ({}B) must beat 8 single probes ({singles}B)",
+            batch.wire_size()
+        );
+        assert_eq!(batch.label(), "qr_read_batch");
+        let vote = PaxosMsg::QrVoteBatch {
+            reader: NodeId(1),
+            wave: 0,
+            votes: vec![QrProbeVote {
+                id: 3,
+                attempt: 1,
+                entry: QrVoteEntry {
+                    node: NodeId(2),
+                    value_slot: 0,
+                    value: None,
+                    pending_write: false,
+                },
+            }],
+        };
+        assert_eq!(vote.label(), "qr_vote_batch");
+        assert!(vote.wire_size() > 0);
     }
 
     #[test]

@@ -573,20 +573,48 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 );
                 self.reply_executed(executed, ctx);
             }
-            PaxosMsg::QrRead { reader, id, key } => {
+            PaxosMsg::QrRead {
+                reader,
+                id,
+                attempt,
+                key,
+            } => {
                 let entry = self.acceptor.read_state(key);
                 ctx.send_proto(
                     from,
                     PaxosMsg::QrVote {
                         reader,
                         id,
+                        attempt,
                         votes: vec![entry],
+                    },
+                );
+            }
+            PaxosMsg::QrReadBatch {
+                reader,
+                wave,
+                probes,
+            } => {
+                let votes = probes
+                    .into_iter()
+                    .map(|p| crate::messages::QrProbeVote {
+                        id: p.id,
+                        attempt: p.attempt,
+                        entry: self.acceptor.read_state(p.key),
+                    })
+                    .collect();
+                ctx.send_proto(
+                    from,
+                    PaxosMsg::QrVoteBatch {
+                        reader,
+                        wave,
+                        votes,
                     },
                 );
             }
             // Plain Multi-Paxos replicas never proxy quorum reads; a
             // stray aggregate is dropped (PigPaxos implements the proxy).
-            PaxosMsg::QrVote { .. } => {}
+            PaxosMsg::QrVote { .. } | PaxosMsg::QrVoteBatch { .. } => {}
         }
     }
 
