@@ -1,0 +1,244 @@
+//! Scenario-matrix chaos driver: run the checked-in corpus of chaos
+//! scenarios (`scenarios/*.toml`) with a nemesis executing each fault
+//! schedule and the safety checkers riding every run.
+//!
+//! ```text
+//! scenario [--check] [--quick] [--csv] [paths...]
+//! ```
+//!
+//! - With no paths, runs every `*.toml` under `scenarios/` (sorted).
+//! - `--check` lints the corpus: parse + validate only, no runs.
+//! - `--quick` / `PIG_QUICK=1` skips scenarios marked `quick = false`.
+//! - Exit code is non-zero if any scenario fails to parse, violates
+//!   safety, or misses its `[expect]` block.
+
+use paxi::{Experiment, Nemesis, NemesisLog, ProtocolSpec, RunResult, Scenario, TopologyKind};
+use pigpaxos_bench as bench;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn corpus_paths() -> Vec<PathBuf> {
+    let explicit: Vec<PathBuf> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    if !explicit.is_empty() {
+        return explicit;
+    }
+    let mut found = Vec::new();
+    if let Ok(dir) = std::fs::read_dir("scenarios") {
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "toml") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+fn load(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    paxi::scenario::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run one scenario under any protocol: attach the nemesis into the
+/// extra client slot and execute on the simulator.
+fn run_with<P: ProtocolSpec>(proto: P, sc: &Scenario) -> (RunResult, NemesisLog) {
+    let mut exp = match sc.topology {
+        TopologyKind::Lan => Experiment::lan(proto, sc.replicas),
+        TopologyKind::Wan => Experiment::wan(proto, sc.replicas),
+    }
+    .clients(sc.clients)
+    .client_pipeline(sc.pipeline)
+    .workload(sc.workload.clone())
+    .warmup(sc.warmup)
+    .measure(sc.measure)
+    .drain(sc.drain)
+    .extra_client_nodes(1);
+    if let Some(t) = sc.retry_timeout {
+        exp = exp.retry_timeout(t);
+    }
+    let log = NemesisLog::new();
+    let (faults, nemesis_log) = (sc.faults.clone(), log.clone());
+    let result = exp.run_sim_with(sc.seed, move |sim, _| {
+        sim.add_actor(Box::new(Nemesis::<P::Msg>::new(faults, nemesis_log)));
+    });
+    (result, log)
+}
+
+fn dispatch(sc: &Scenario) -> (RunResult, NemesisLog) {
+    match sc.protocol.as_str() {
+        "paxos" => match sc.topology {
+            TopologyKind::Lan => run_with(paxos::PaxosConfig::lan(), sc),
+            TopologyKind::Wan => run_with(paxos::PaxosConfig::wan(), sc),
+        },
+        "pigpaxos" => {
+            let groups = sc
+                .groups
+                .unwrap_or_else(|| (sc.replicas as f64).sqrt() as usize);
+            match sc.topology {
+                TopologyKind::Lan => run_with(pigpaxos::PigConfig::lan(groups), sc),
+                TopologyKind::Wan => run_with(
+                    pigpaxos::PigConfig::wan(pigpaxos::GroupSpec::Chunks(groups)),
+                    sc,
+                ),
+            }
+        }
+        "epaxos" => run_with(epaxos::EpaxosConfig::default(), sc),
+        other => unreachable!("parser admits only known protocols, got {other}"),
+    }
+}
+
+/// Judge one result against the scenario's expectations. Returns the
+/// list of failures (empty = pass).
+fn judge(sc: &Scenario, r: &RunResult, log: &NemesisLog) -> Vec<String> {
+    let mut fails = Vec::new();
+    if !r.violations.is_empty() {
+        fails.push(format!("SAFETY VIOLATIONS: {:?}", r.violations));
+    }
+    if log.len() != sc.faults.len() {
+        fails.push(format!(
+            "nemesis executed {}/{} faults",
+            log.len(),
+            sc.faults.len()
+        ));
+    }
+    if let Some(want) = sc.expect.converged {
+        match r.converged() {
+            Some(got) if got == want => {}
+            Some(got) => fails.push(format!("converged = {got}, expected {want}")),
+            None => fails.push("no digests collected (drain too short?)".to_string()),
+        }
+    }
+    if let Some(min) = sc.expect.min_throughput {
+        if r.throughput < min {
+            fails.push(format!(
+                "throughput {:.1} < required {min:.1}",
+                r.throughput
+            ));
+        }
+    }
+    if let Some(max) = sc.expect.max_client_retries {
+        if r.client_retries > max {
+            fails.push(format!(
+                "client retries {} > allowed {max}",
+                r.client_retries
+            ));
+        }
+    }
+    if let Some(min) = sc.expect.min_samples {
+        if (r.samples as u64) < min {
+            fails.push(format!("samples {} < required {min}", r.samples));
+        }
+    }
+    fails
+}
+
+fn main() -> ExitCode {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let quick = bench::quick_mode();
+    let paths = corpus_paths();
+    if paths.is_empty() {
+        eprintln!("scenario: no scenario files found (looked in scenarios/)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut scenarios = Vec::new();
+    for path in &paths {
+        match load(path) {
+            Ok(sc) => {
+                if check_only {
+                    println!("OK   {} ({})", path.display(), sc.name);
+                }
+                scenarios.push(sc);
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
+    if check_only {
+        println!(
+            "checked {} scenario file(s), {} invalid",
+            paths.len(),
+            failures
+        );
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if bench::csv_mode() {
+        println!("scenario,protocol,tput,p99_ms,retries,faults,converged,status");
+    } else {
+        println!(
+            "{:<28} {:>9} {:>9} {:>9} {:>8} {:>7} {:>10}  status",
+            "scenario", "protocol", "tput", "p99(ms)", "retries", "faults", "converged"
+        );
+    }
+    let mut ran = 0usize;
+    for sc in &scenarios {
+        if quick && !sc.quick {
+            continue;
+        }
+        let (result, log) = dispatch(sc);
+        let fails = judge(sc, &result, &log);
+        let converged = match result.converged() {
+            Some(true) => "yes",
+            Some(false) => "NO",
+            None => "-",
+        };
+        let status = if fails.is_empty() { "pass" } else { "FAIL" };
+        if bench::csv_mode() {
+            println!(
+                "{},{},{:.1},{:.3},{},{},{},{}",
+                sc.name,
+                sc.protocol,
+                result.throughput,
+                result.p99_latency_ms,
+                result.client_retries,
+                log.len(),
+                converged,
+                status
+            );
+        } else {
+            println!(
+                "{:<28} {:>9} {:>9.0} {:>9.2} {:>8} {:>7} {:>10}  {}",
+                sc.name,
+                sc.protocol,
+                result.throughput,
+                result.p99_latency_ms,
+                result.client_retries,
+                log.len(),
+                converged,
+                status
+            );
+        }
+        for f in &fails {
+            eprintln!("  {}: {f}", sc.name);
+        }
+        if !fails.is_empty() {
+            failures += 1;
+        }
+        ran += 1;
+    }
+    println!(
+        "\n{} scenario(s) ran, {} failed{}",
+        ran,
+        failures,
+        if quick { " (quick mode)" } else { "" }
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1261,6 +1261,10 @@ impl Replica<PigMsg> for PigReplica {
             _ => {}
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.acceptor.kv().fingerprint())
+    }
 }
 
 /// [`PigConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it to

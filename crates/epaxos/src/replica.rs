@@ -494,6 +494,10 @@ impl Replica<EpaxosMsg> for EpaxosReplica {
     }
 
     fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Ctx<EpaxosMsg>) {}
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.kv.fingerprint())
+    }
 }
 
 /// [`EpaxosConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it

@@ -57,7 +57,10 @@ impl Sample {
 /// Shared sink for samples from all clients in a run. Thread-safe so it
 /// works under both the simulator and the real-thread runtime.
 #[derive(Debug, Clone, Default)]
-pub struct ClientRecorder(Arc<Mutex<Vec<Sample>>>);
+pub struct ClientRecorder {
+    samples: Arc<Mutex<Vec<Sample>>>,
+    retries: Arc<std::sync::atomic::AtomicU64>,
+}
 
 impl ClientRecorder {
     /// Fresh recorder.
@@ -67,22 +70,33 @@ impl ClientRecorder {
 
     /// Append a sample.
     pub fn record(&self, s: Sample) {
-        self.0.lock().push(s);
+        self.samples.lock().push(s);
+    }
+
+    /// Count one request re-send (timeout retry or redirect follow).
+    pub fn record_retry(&self) {
+        self.retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Total re-sends across all clients sharing this recorder.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Copy out all samples.
     pub fn samples(&self) -> Vec<Sample> {
-        self.0.lock().clone()
+        self.samples.lock().clone()
     }
 
     /// Number of samples so far.
     pub fn len(&self) -> usize {
-        self.0.lock().len()
+        self.samples.lock().len()
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.0.lock().is_empty()
+        self.samples.lock().is_empty()
     }
 }
 
@@ -90,6 +104,26 @@ struct Outstanding {
     issued: SimTime,
     command: Command,
     is_read: bool,
+    /// Timeout-driven retry count, driving the exponential backoff.
+    attempts: u32,
+}
+
+/// Retry delays double per attempt up to `base << MAX_BACKOFF_SHIFT`
+/// (16x the configured retry timeout).
+const MAX_BACKOFF_SHIFT: u32 = 4;
+
+/// Deterministic per-(client, request, attempt) jitter source. Seeding a
+/// fresh small RNG from this key keeps retry de-synchronization fully
+/// deterministic without touching the client's workload RNG stream —
+/// the same `(seed, node)` pair must keep producing the same operations
+/// whether or not faults forced retries.
+fn jitter_seed(node: NodeId, seq: u64, attempt: u32) -> u64 {
+    let mut z = ((node.0 as u64) << 40)
+        ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ ((attempt as u64) << 17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A closed-loop client actor, generic over the protocol message type
@@ -146,6 +180,25 @@ impl<P> ClosedLoopClient<P> {
 }
 
 impl<P: ProtoMessage> ClosedLoopClient<P> {
+    /// Delay before the next retry of request `seq` after `attempt`
+    /// timeout-driven resends. The first retry fires after exactly the
+    /// configured timeout (so fault-free runs are bit-identical to the
+    /// fixed-interval schedule); later retries back off exponentially,
+    /// capped at 16x, with deterministic jitter in `[0, delay/2]` so a
+    /// fleet of clients cut off by the same partition does not re-send
+    /// in lockstep when it heals.
+    fn retry_delay(&self, node: NodeId, seq: u64, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            return self.retry_timeout;
+        }
+        let base = self.retry_timeout.as_nanos().max(1);
+        let delay = base.saturating_mul(1 << attempt.min(MAX_BACKOFF_SHIFT));
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(jitter_seed(node, seq, attempt));
+        let jitter = rng.gen_range(0..=delay / 2);
+        SimDuration::from_nanos(delay.saturating_add(jitter))
+    }
+
     fn issue_next(&mut self, ctx: &mut Context<Envelope<P>>) {
         self.seq += 1;
         let op = self.workload.next_op(ctx.rng());
@@ -161,6 +214,7 @@ impl<P: ProtoMessage> ClosedLoopClient<P> {
                 issued: ctx.now(),
                 command: command.clone(),
                 is_read,
+                attempts: 0,
             },
         );
         let to = self.target.pick(ctx.rng());
@@ -171,10 +225,13 @@ impl<P: ProtoMessage> ClosedLoopClient<P> {
     fn resend(&mut self, seq: u64, to: Option<NodeId>, ctx: &mut Context<Envelope<P>>) {
         if let Some(out) = self.outstanding.get(&seq) {
             let command = out.command.clone();
+            let attempt = out.attempts;
             self.retries += 1;
+            self.recorder.record_retry();
             let to = to.unwrap_or_else(|| self.target.pick(ctx.rng()));
             ctx.send(to, Envelope::Request(ClientRequest { command }));
-            ctx.set_timer(self.retry_timeout, seq);
+            let delay = self.retry_delay(ctx.node(), seq, attempt);
+            ctx.set_timer(delay, seq);
         }
     }
 
@@ -218,8 +275,11 @@ impl<P: ProtoMessage> Actor<Envelope<P>> for ClosedLoopClient<P> {
     }
 
     fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
-        // Retry only if the timed-out request is still outstanding.
-        if self.outstanding.contains_key(&kind) {
+        // Retry only if the timed-out request is still outstanding. Each
+        // timeout bumps the attempt count so the next delay backs off;
+        // redirect-driven resends (handle_reply) intentionally do not.
+        if let Some(out) = self.outstanding.get_mut(&kind) {
+            out.attempts += 1;
             self.resend(kind, None, ctx);
         }
     }
@@ -419,6 +479,75 @@ mod tests {
             "coalesced replies must keep the pipeline moving, got {}",
             rec.len()
         );
+    }
+
+    /// Never replies: every request times out.
+    struct BlackholeServer;
+    impl Replica<NoProto> for BlackholeServer {
+        fn on_request(&mut self, _c: NodeId, _r: ClientRequest, _ctx: &mut Ctx<NoProto>) {}
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    #[test]
+    fn retry_delay_schedule_backs_off_and_caps() {
+        let c = ClosedLoopClient::<NoProto>::new(
+            TargetPolicy::Fixed(NodeId(0)),
+            Workload::paper_default(),
+            ClientRecorder::new(),
+            SimDuration::from_millis(100),
+        );
+        let base = SimDuration::from_millis(100).as_nanos();
+        // First retry is at exactly the configured timeout — no jitter —
+        // so fault-free runs keep the seed-for-seed baseline schedule.
+        assert_eq!(
+            c.retry_delay(NodeId(7), 1, 0),
+            SimDuration::from_millis(100)
+        );
+        for attempt in 1..8u32 {
+            let d = c.retry_delay(NodeId(7), 1, attempt).as_nanos();
+            let nominal = base << attempt.min(MAX_BACKOFF_SHIFT);
+            assert!(
+                d >= nominal && d <= nominal + nominal / 2,
+                "attempt {attempt}: delay {d} outside [{nominal}, 1.5x]"
+            );
+        }
+        // Cap: attempts beyond the shift limit stay at 16x base.
+        let capped = c.retry_delay(NodeId(7), 1, 20).as_nanos();
+        assert!(capped <= base * 16 + base * 8);
+        // Deterministic: same (node, seq, attempt) -> same delay; different
+        // clients de-synchronize.
+        assert_eq!(
+            c.retry_delay(NodeId(7), 1, 3),
+            c.retry_delay(NodeId(7), 1, 3)
+        );
+        assert_ne!(
+            c.retry_delay(NodeId(7), 1, 3),
+            c.retry_delay(NodeId(8), 1, 3)
+        );
+    }
+
+    #[test]
+    fn backoff_suppresses_retry_storm_against_dead_server() {
+        let run = || {
+            let mut sim: Simulation<Envelope<NoProto>> =
+                Simulation::new(Topology::lan(2), CpuCostModel::free(), 3);
+            sim.add_actor(Box::new(ReplicaActor(BlackholeServer)));
+            let rec = ClientRecorder::new();
+            sim.add_actor(client(TargetPolicy::Fixed(NodeId(0)), &rec));
+            sim.run_until(SimTime::from_secs(2));
+            rec.retries()
+        };
+        let retries = run();
+        // Fixed 100ms interval would re-send ~19 times in 2s. Exponential
+        // backoff (100, 200+j, 400+j, 800+j...) sends at most ~6.
+        assert!(retries >= 3, "client must keep retrying, got {retries}");
+        assert!(
+            retries <= 9,
+            "backoff must cut the 2s retry storm to <= half of the \
+             fixed-interval ~19, got {retries}"
+        );
+        // And the whole schedule is deterministic.
+        assert_eq!(retries, run());
     }
 
     #[test]

@@ -237,6 +237,16 @@ impl<P: ProtocolSpec> Experiment<P> {
         self
     }
 
+    /// Quiesce for `d` after the measurement window (clients crashed,
+    /// replicas left running) and collect per-replica state digests
+    /// into [`RunResult::replica_digests`] for convergence checks.
+    /// Default [`SimDuration::ZERO`] skips the phase — the event
+    /// schedule then stays bit-identical to a drain-less run.
+    pub fn drain(mut self, d: SimDuration) -> Self {
+        self.spec.drain = d;
+        self
+    }
+
     /// Capture a full message trace (fingerprint, per-hop leader
     /// message accounting, [`RunResult::label_counts`]). Off by default
     /// — high-throughput runs generate millions of entries.
@@ -377,7 +387,7 @@ impl<P: ProtocolSpec> Experiment<P> {
             follower_msgs_per_op: 0.0,
             cross_region_msgs_per_op: 0.0,
             timeline,
-            client_retries: 0,
+            client_retries: recorder.retries(),
             max_log_len: cluster.stats.max_log_len(),
             snapshots_taken: cluster.stats.snapshots_taken(),
             snapshots_installed: cluster.stats.snapshots_installed(),
@@ -389,6 +399,7 @@ impl<P: ProtocolSpec> Experiment<P> {
             label_counts: None,
             pqr_reads_started: cluster.stats.pqr_started(),
             pqr_reads_inflight: cluster.stats.pqr_inflight(),
+            replica_digests: Vec::new(),
         }
     }
 

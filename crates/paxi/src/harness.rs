@@ -60,6 +60,14 @@ pub struct RunSpec {
     pub retry_timeout: SimDuration,
     /// If set, also produce a per-bucket throughput timeline (Fig. 13).
     pub timeline_bucket: Option<SimDuration>,
+    /// Quiescence phase after the measurement window: all client nodes
+    /// are crashed and the simulation runs for this long with only
+    /// replica-to-replica traffic, letting in-flight commits and
+    /// heartbeat-driven watermark propagation finish before
+    /// [`RunResult::replica_digests`] is collected. `ZERO` (the
+    /// default) skips the phase entirely, keeping the event schedule
+    /// byte-identical to pre-drain harness versions.
+    pub drain: SimDuration,
     /// Capture a full message trace: populates
     /// [`RunResult::trace_fingerprint`] (determinism regressions),
     /// [`RunResult::leader_proto_sent_per_op`] (message-amortization
@@ -85,6 +93,7 @@ impl RunSpec {
             measure: SimDuration::from_secs(4),
             retry_timeout: SimDuration::from_millis(100),
             timeline_bucket: None,
+            drain: SimDuration::ZERO,
             capture_trace: false,
         }
     }
@@ -190,6 +199,12 @@ pub struct RunResult {
     /// at most the number of in-flight client operations — anything
     /// larger is a `PendingReads` leak.
     pub pqr_reads_inflight: u64,
+    /// Per-replica state digests collected after the drain phase,
+    /// indexed by replica id. `None` entries are replicas that do not
+    /// report a digest (or were crashed when sampled). Empty unless
+    /// [`RunSpec::drain`] was non-zero. The thread substrate cannot
+    /// sample digests and always leaves this empty.
+    pub replica_digests: Vec<Option<u64>>,
 }
 
 impl RunResult {
@@ -216,6 +231,19 @@ impl RunResult {
                 .sum::<u64>() as f64
                 / ops
         })
+    }
+
+    /// Whether every digest-reporting replica converged to the same
+    /// state after the drain phase. `None` when no digests were
+    /// collected (drain disabled, thread substrate, or no replica
+    /// reports one); `Some(true)` requires at least two reporting
+    /// replicas agreeing.
+    pub fn converged(&self) -> Option<bool> {
+        let digests: Vec<u64> = self.replica_digests.iter().flatten().copied().collect();
+        if digests.len() < 2 {
+            return None;
+        }
+        Some(digests.windows(2).all(|w| w[0] == w[1]))
     }
 }
 
@@ -270,6 +298,22 @@ where
     sim.run_for(spec.measure);
     let window_end = sim.now();
     let stats_after = sim.stats().clone();
+
+    // Optional drain: silence all client traffic and let the replica
+    // group quiesce, then snapshot per-replica state digests for
+    // convergence checks. Skipped entirely (no extra events, schedule
+    // unchanged) when `drain` is zero.
+    let mut replica_digests = Vec::new();
+    if spec.drain > SimDuration::ZERO {
+        let total_nodes = spec.n_replicas + spec.n_clients + spec.extra_client_nodes;
+        for i in spec.n_replicas..total_nodes {
+            sim.crash(NodeId::from(i));
+        }
+        sim.run_for(spec.drain);
+        replica_digests = (0..spec.n_replicas)
+            .map(|i| sim.actor(NodeId::from(i)).state_digest())
+            .collect();
+    }
 
     let all_samples = recorder.samples();
     let window: Vec<&Sample> = all_samples
@@ -355,7 +399,7 @@ where
         follower_msgs_per_op,
         cross_region_msgs_per_op,
         timeline,
-        client_retries: 0,
+        client_retries: recorder.retries(),
         max_log_len: cluster.stats.max_log_len(),
         snapshots_taken: cluster.stats.snapshots_taken(),
         snapshots_installed: cluster.stats.snapshots_installed(),
@@ -367,6 +411,7 @@ where
         label_counts,
         pqr_reads_started: cluster.stats.pqr_started(),
         pqr_reads_inflight: cluster.stats.pqr_inflight(),
+        replica_digests,
     }
 }
 

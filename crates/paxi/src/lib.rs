@@ -66,9 +66,11 @@ pub mod harness;
 pub mod kv;
 pub mod log;
 pub mod metrics;
+pub mod nemesis;
 pub mod quorum;
 pub mod replica;
 pub mod safety;
+pub mod scenario;
 pub mod session;
 pub mod snapshot;
 pub mod workload;
@@ -85,9 +87,11 @@ pub use experiment::{Experiment, ProtocolSpec};
 pub use harness::{LoadPoint, RunResult, RunSpec, DEFAULT_SEED};
 pub use kv::KvStore;
 pub use log::{Log, LogEntry};
+pub use nemesis::{Nemesis, NemesisLog};
 pub use quorum::{fast_quorum, majority, FlexibleQuorum, VoteTracker};
 pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
 pub use safety::SafetyMonitor;
+pub use scenario::{Expectations, Fault, FaultEvent, Scenario, ScenarioError, TopologyKind};
 pub use session::{SessionTable, DEFAULT_SESSION_WINDOW};
 pub use snapshot::{CompactionStats, Snapshot, SnapshotConfig};
 pub use workload::{KeyDistribution, Workload};

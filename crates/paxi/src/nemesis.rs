@@ -1,0 +1,279 @@
+//! The nemesis: an in-simulation actor that executes a scenario's
+//! fault schedule.
+//!
+//! A [`Nemesis`] occupies one `extra_client_nodes` slot (the same
+//! mechanism custom checker clients use — see
+//! [`crate::Experiment::extra_client_nodes`]) and arms one timer per
+//! [`FaultEvent`] at start. When a timer fires it injects the fault
+//! through [`simnet::Context::control`] — partitions as directional
+//! link blocks, crashes, flaky links, slow nodes, drop rates — or, for
+//! [`Fault::Storm`], sends the burst of junk requests itself. Running
+//! faults *inside* the simulation (rather than pre-scheduling them on
+//! the [`simnet::Simulation`]) keeps the schedule in scenario files and
+//! the execution deterministic: timers are ordinary events in the
+//! run's single event order.
+
+use crate::command::{ClientRequest, Command, Operation, RequestId};
+use crate::envelope::{Envelope, ProtoMessage};
+use crate::scenario::{Fault, FaultEvent};
+use parking_lot::Mutex;
+use simnet::{Actor, Context, Control, NodeId, SimTime, TimerId};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Shared record of executed faults: `(when, description)` per fault,
+/// in execution order. Cloneable handle, same pattern as
+/// [`crate::ClientRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct NemesisLog(Arc<Mutex<Vec<(SimTime, String)>>>);
+
+impl NemesisLog {
+    /// Fresh empty log.
+    pub fn new() -> Self {
+        NemesisLog::default()
+    }
+
+    /// Append an executed-fault record.
+    pub fn record(&self, at: SimTime, what: String) {
+        self.0.lock().push((at, what));
+    }
+
+    /// Copy out all records.
+    pub fn entries(&self) -> Vec<(SimTime, String)> {
+        self.0.lock().clone()
+    }
+
+    /// Number of faults executed so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// True when no fault has executed yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
+
+/// The fault-executing actor. Generic over the protocol message type
+/// exactly like [`crate::ClosedLoopClient`] — it never constructs
+/// protocol messages, only control effects and client-shaped storms.
+pub struct Nemesis<P> {
+    schedule: Vec<FaultEvent>,
+    log: NemesisLog,
+    storm_seq: u64,
+    _proto: PhantomData<P>,
+}
+
+impl<P> Nemesis<P> {
+    /// A nemesis executing `schedule`, recording into `log`.
+    pub fn new(schedule: Vec<FaultEvent>, log: NemesisLog) -> Self {
+        Nemesis {
+            schedule,
+            log,
+            storm_seq: 0,
+            _proto: PhantomData,
+        }
+    }
+}
+
+impl<P: ProtoMessage> Nemesis<P> {
+    fn execute(&mut self, fault: Fault, ctx: &mut Context<Envelope<P>>) {
+        self.log.record(ctx.now(), format!("{fault:?}"));
+        match fault {
+            Fault::Partition { a, b } => {
+                for &x in &a {
+                    for &y in &b {
+                        ctx.control(Control::BlockLink(NodeId(x), NodeId(y)));
+                        ctx.control(Control::BlockLink(NodeId(y), NodeId(x)));
+                    }
+                }
+            }
+            Fault::Heal => ctx.control(Control::HealAllLinks),
+            Fault::Crash(node) => ctx.control(Control::Crash(NodeId(node))),
+            Fault::Restart(node) => ctx.control(Control::Recover(NodeId(node))),
+            Fault::Flaky { from, to, p } => {
+                ctx.control(Control::FlakyLink(NodeId(from), NodeId(to), p));
+            }
+            Fault::ClearFlaky => ctx.control(Control::ClearFlakyLinks),
+            Fault::Slow { node, extra } => ctx.control(Control::SlowNode(NodeId(node), extra)),
+            Fault::ClearSlow => ctx.control(Control::ClearSlowNodes),
+            Fault::DropRate(p) => ctx.control(Control::SetDropRate(p)),
+            Fault::Storm { target, count } => {
+                // A burst of read requests from one misbehaving client:
+                // distinct sequence numbers so duplicate suppression
+                // does not absorb the storm. Replies are ignored.
+                for _ in 0..count {
+                    self.storm_seq += 1;
+                    let id = RequestId {
+                        client: ctx.node(),
+                        seq: self.storm_seq,
+                    };
+                    ctx.send(
+                        NodeId(target),
+                        Envelope::Request(ClientRequest {
+                            command: Command {
+                                id,
+                                op: Operation::Get(self.storm_seq % 16),
+                            },
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for Nemesis<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        for (i, ev) in self.schedule.iter().enumerate() {
+            ctx.set_timer(ev.at, i as u64);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: Envelope<P>, _ctx: &mut Context<Envelope<P>>) {
+        // Storm replies and strays are ignored.
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
+        let Some(ev) = self.schedule.get(kind as usize) else {
+            return;
+        };
+        let fault = ev.fault.clone();
+        self.execute(fault, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ClientReply;
+    use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
+    use simnet::{CpuCostModel, SimDuration, Simulation, Topology};
+
+    #[derive(Debug, Clone)]
+    struct NoProto;
+    impl ProtoMessage for NoProto {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    /// Acks everything and counts requests.
+    struct Counting {
+        seen: Arc<Mutex<u64>>,
+    }
+    impl Replica<NoProto> for Counting {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoProto>) {
+            *self.seen.lock() += 1;
+            ctx.reply(client, ClientReply::ok(req.command.id, None));
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoProto, _c: &mut Ctx<NoProto>) {}
+    }
+
+    fn at(ms: u64, fault: Fault) -> FaultEvent {
+        FaultEvent {
+            at: SimDuration::from_millis(ms),
+            fault,
+        }
+    }
+
+    #[test]
+    fn nemesis_executes_schedule_in_order() {
+        let mut sim: Simulation<Envelope<NoProto>> =
+            Simulation::new(Topology::lan(3), CpuCostModel::free(), 5);
+        let seen = Arc::new(Mutex::new(0));
+        sim.add_actor(Box::new(ReplicaActor(Counting { seen: seen.clone() })));
+        sim.add_actor(Box::new(ReplicaActor(Counting {
+            seen: Arc::new(Mutex::new(0)),
+        })));
+        let log = NemesisLog::new();
+        sim.add_actor(Box::new(Nemesis::<NoProto>::new(
+            vec![
+                at(10, Fault::Crash(1)),
+                at(20, Fault::Restart(1)),
+                at(
+                    30,
+                    Fault::Storm {
+                        target: 0,
+                        count: 25,
+                    },
+                ),
+            ],
+            log.clone(),
+        )));
+        sim.run_until(simnet::SimTime::from_millis(100));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 3);
+        assert!(entries[0].1.contains("Crash"));
+        assert!(entries[1].1.contains("Restart"));
+        assert!(entries[2].1.contains("Storm"));
+        assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "log is time-ordered"
+        );
+        assert_eq!(*seen.lock(), 25, "storm burst arrived at the target");
+    }
+
+    #[test]
+    fn nemesis_partition_blocks_and_heal_restores() {
+        // Node 2 (nemesis) partitions node 0 from node 1 at 10ms and
+        // heals at 50ms; a probing client on node 3 relays a request
+        // through… simpler: verify via message stats that the storm at
+        // 60ms reaches a node that was crashed during the partition
+        // window. Here we exercise Partition/Heal control emission and
+        // assert the blocked link drops traffic between replicas.
+        struct Chatter {
+            peer: NodeId,
+        }
+        impl Actor<Envelope<NoProto>> for Chatter {
+            fn on_start(&mut self, ctx: &mut Context<Envelope<NoProto>>) {
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+            fn on_message(
+                &mut self,
+                _f: NodeId,
+                _m: Envelope<NoProto>,
+                _c: &mut Context<Envelope<NoProto>>,
+            ) {
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<Envelope<NoProto>>) {
+                ctx.send(self.peer, Envelope::Proto(NoProto));
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+        }
+
+        let run = |faults: Vec<FaultEvent>| {
+            let mut sim: Simulation<Envelope<NoProto>> =
+                Simulation::new(Topology::lan(3), CpuCostModel::free(), 5);
+            sim.add_actor(Box::new(Chatter { peer: NodeId(1) }));
+            sim.add_actor(Box::new(Chatter { peer: NodeId(0) }));
+            sim.add_actor(Box::new(Nemesis::<NoProto>::new(faults, NemesisLog::new())));
+            sim.run_until(simnet::SimTime::from_millis(100));
+            sim.stats().msgs_dropped
+        };
+        let no_faults = run(vec![]);
+        assert_eq!(no_faults, 0);
+        let partitioned = run(vec![at(
+            10,
+            Fault::Partition {
+                a: vec![0],
+                b: vec![1],
+            },
+        )]);
+        assert!(partitioned > 10, "partition drops traffic: {partitioned}");
+        let healed = run(vec![
+            at(
+                10,
+                Fault::Partition {
+                    a: vec![0],
+                    b: vec![1],
+                },
+            ),
+            at(20, Fault::Heal),
+        ]);
+        assert!(
+            healed < partitioned / 2,
+            "healing restores the link: {healed} vs {partitioned}"
+        );
+    }
+}

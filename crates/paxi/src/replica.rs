@@ -49,6 +49,13 @@ pub trait Replica<P: ProtoMessage>: 'static {
     fn on_proto(&mut self, from: NodeId, msg: P, ctx: &mut Ctx<P>);
     /// A timer fired.
     fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Ctx<P>) {}
+    /// A stable digest of this replica's applied state (e.g. a KV-store
+    /// fingerprint). Convergence checks compare digests across replicas
+    /// after faults heal and traffic drains; the default `None` opts
+    /// out. See [`simnet::Actor::state_digest`].
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Wraps a [`Replica`] as a simulator actor.
@@ -71,6 +78,10 @@ impl<P: ProtoMessage, R: Replica<P>> Actor<Envelope<P>> for ReplicaActor<R> {
 
     fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
         self.0.on_timer(id, kind, ctx);
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        self.0.state_digest()
     }
 }
 

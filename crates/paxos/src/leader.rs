@@ -51,9 +51,18 @@ pub struct Outstanding {
     pub tracker: VoteTracker,
     /// When the proposal was (last) sent, for retry.
     pub sent_at: SimTime,
+    /// Times this proposal has been re-sent after going stale. Each
+    /// retry doubles the staleness threshold (capped), so a slot that
+    /// cannot reach quorum — e.g. during a partition — stops flooding
+    /// the group at a fixed interval.
+    pub attempts: u32,
     /// The client waiting for this slot, if any.
     pub client: Option<NodeId>,
 }
+
+/// Cap on the per-proposal retry backoff: the staleness threshold grows
+/// to at most `timeout << MAX_RETRY_SHIFT` (16x).
+const MAX_RETRY_SHIFT: u32 = 4;
 
 /// Leader-role state.
 #[derive(Debug)]
@@ -214,6 +223,7 @@ impl Leader {
                 command,
                 tracker: VoteTracker::new(self.q2, self.ballot),
                 sent_at: now,
+                attempts: 0,
                 client,
             },
         );
@@ -295,17 +305,34 @@ impl Leader {
         }
     }
 
-    /// Proposals older than `timeout` as of `now`, for retry. Marks them
-    /// as re-sent.
+    /// Proposals due for retry as of `now`. Marks them as re-sent.
+    ///
+    /// A proposal is due once it has been waiting `timeout <<
+    /// min(attempts, 4)` — a fresh proposal retries after one timeout,
+    /// then 2x, 4x, … capped at 16x per further attempt. Without the
+    /// backoff a leader cut off from its quorum re-broadcast every
+    /// outstanding slot to every peer at a fixed interval, and a
+    /// preempted leader (demoted `active` but with `outstanding` not
+    /// yet drained) kept re-sending P2as for ballots it had already
+    /// lost; an inactive leader now never reports stale proposals.
     pub fn stale_proposals(
         &mut self,
         now: SimTime,
         timeout: simnet::SimDuration,
     ) -> Vec<(u64, Command)> {
+        if !self.active {
+            return Vec::new();
+        }
         let mut stale = Vec::new();
         for (&slot, out) in self.outstanding.iter_mut() {
-            if now.saturating_sub(out.sent_at) >= timeout {
+            let threshold = simnet::SimDuration::from_nanos(
+                timeout
+                    .as_nanos()
+                    .saturating_mul(1 << out.attempts.min(MAX_RETRY_SHIFT)),
+            );
+            if now.saturating_sub(out.sent_at) >= threshold {
                 out.sent_at = now;
+                out.attempts += 1;
                 stale.push((slot, out.command.clone()));
             }
         }
@@ -528,6 +555,48 @@ mod tests {
         // Marked as re-sent: immediately asking again returns nothing.
         let stale2 = l.stale_proposals(later, simnet::SimDuration::from_millis(50));
         assert!(stale2.is_empty());
+    }
+
+    #[test]
+    fn stale_proposals_back_off_exponentially() {
+        let mut l = active_leader(3);
+        let timeout = simnet::SimDuration::from_millis(50);
+        l.propose(None, cmd(1), SimTime::ZERO);
+        // Attempt schedule: due at 50ms after each send, then 100ms,
+        // 200ms, 400ms, 800ms, capped at 800ms (16x) thereafter.
+        let mut now = SimTime::ZERO;
+        let mut resend_gaps = Vec::new();
+        let mut last_send = SimTime::ZERO;
+        for _ in 0..7 {
+            // Walk time forward in 10ms ticks until the retry fires.
+            loop {
+                now += simnet::SimDuration::from_millis(10);
+                if !l.stale_proposals(now, timeout).is_empty() {
+                    resend_gaps.push(now.saturating_sub(last_send));
+                    last_send = now;
+                    break;
+                }
+            }
+        }
+        let gaps_ms: Vec<u64> = resend_gaps
+            .iter()
+            .map(|g| g.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(gaps_ms, vec![50, 100, 200, 400, 800, 800, 800]);
+    }
+
+    #[test]
+    fn preempted_leader_stops_retrying_outstanding() {
+        let mut l = active_leader(3);
+        l.propose(None, cmd(1), SimTime::ZERO);
+        // A new campaign (e.g. after preemption) deactivates the leader
+        // but does not drain `outstanding` — the retry scan must go
+        // quiet instead of re-sending P2as for the lost ballot.
+        l.start_campaign(l.ballot());
+        assert!(!l.is_active());
+        assert!(!l.outstanding().is_empty());
+        let stale = l.stale_proposals(SimTime::from_secs(10), simnet::SimDuration::from_millis(50));
+        assert!(stale.is_empty(), "inactive leader must not re-send");
     }
 
     #[test]

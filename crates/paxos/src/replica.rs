@@ -683,6 +683,10 @@ impl Replica<PaxosMsg> for PaxosReplica {
             _ => {}
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.acceptor.kv().fingerprint())
+    }
 }
 
 /// [`PaxosConfig`] is the protocol's [`paxi::ProtocolSpec`]: hand it to

@@ -286,6 +286,12 @@ fn apply_effects<M: Message + Send>(
                 // Real CPU time is really spent; nothing to account.
                 let _ = SimDuration::ZERO;
             }
+            Effect::Control(_) => {
+                // Fault injection is a simulator facility; real threads
+                // have no crash/partition switchboard. Dropped so that
+                // nemesis-bearing actor sets still run under threads
+                // (they just run fault-free).
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! effects), and independent of the execution environment.
 
 use crate::id::{NodeId, TimerId};
+use crate::sim::Control;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -38,6 +39,17 @@ pub trait Actor<M: Message> {
     /// Called when a timer set by this actor fires. `kind` is the tag the
     /// actor passed to [`Context::set_timer`].
     fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<M>);
+
+    /// A stable digest of this actor's replicated state, if it has any.
+    ///
+    /// Convergence checks (chaos harness, model checking) compare the
+    /// digests of all replicas after faults heal and traffic drains; two
+    /// replicas that applied the same command sequence must report the
+    /// same digest. Actors without replicated state (clients, probes)
+    /// keep the default `None` and are skipped by such checks.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Boxed actors are actors too. This lets execution substrates that
@@ -53,6 +65,9 @@ impl<M: Message, A: Actor<M> + ?Sized> Actor<M> for Box<A> {
     }
     fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<M>) {
         (**self).on_timer(id, kind, ctx)
+    }
+    fn state_digest(&self) -> Option<u64> {
+        (**self).state_digest()
     }
 }
 
@@ -80,6 +95,11 @@ pub enum Effect<M> {
     /// Charge extra CPU time to this node (protocol processing beyond
     /// message handling: state-machine execution, dependency-graph work).
     Charge(SimDuration),
+    /// Apply a fault-injection [`Control`] to the network. Emitted by
+    /// nemesis actors; the simulator applies it when the handler's
+    /// effects are processed. The thread runtime ignores it (fault
+    /// injection is a simulator-only facility).
+    Control(Control),
 }
 
 /// Handler-scope view of the world given to an actor.
@@ -149,6 +169,14 @@ impl<'a, M> Context<'a, M> {
     /// command to the state machine).
     pub fn charge(&mut self, d: SimDuration) {
         self.effects.push(Effect::Charge(d));
+    }
+
+    /// Queue a fault-injection [`Control`] (crash, partition, flaky
+    /// link, …) for the simulator to apply after this handler returns.
+    /// This is how a nemesis actor executes a fault schedule from
+    /// inside the simulation; under the thread runtime it is a no-op.
+    pub fn control(&mut self, c: Control) {
+        self.effects.push(Effect::Control(c));
     }
 }
 

@@ -52,6 +52,12 @@ pub struct NetStats {
     pub cross_region_bytes: u64,
     /// Messages dropped by fault injection (links or crashes).
     pub msgs_dropped: u64,
+    /// Messages dropped specifically by per-link flakiness
+    /// (`Control::FlakyLink`) — a subset of `msgs_dropped`.
+    pub msgs_dropped_flaky: u64,
+    /// Fault-injection controls applied from actor effects (nemesis
+    /// activity indicator; scheduled controls are not counted here).
+    pub controls_applied: u64,
     /// Total messages delivered.
     pub msgs_delivered: u64,
 }
