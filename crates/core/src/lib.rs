@@ -30,17 +30,16 @@
 //! ## Quickstart
 //!
 //! ```
-//! use paxi::harness::{run, RunSpec};
-//! use paxi::TargetPolicy;
-//! use pigpaxos::{pig_builder, PigConfig};
-//! use simnet::{NodeId, SimDuration};
+//! use paxi::Experiment;
+//! use pigpaxos::PigConfig;
+//! use simnet::SimDuration;
 //!
-//! let spec = RunSpec {
-//!     warmup: SimDuration::from_millis(200),
-//!     measure: SimDuration::from_millis(300),
-//!     ..RunSpec::lan(9, 4) // 9 replicas, 4 closed-loop clients
-//! };
-//! let result = run(&spec, pig_builder(PigConfig::lan(3)), TargetPolicy::Fixed(NodeId(0)));
+//! // 9 replicas in 3 relay groups, 4 closed-loop clients:
+//! let result = Experiment::lan(PigConfig::lan(3), 9)
+//!     .clients(4)
+//!     .warmup(SimDuration::from_millis(200))
+//!     .measure(SimDuration::from_millis(300))
+//!     .run_sim(paxi::DEFAULT_SEED);
 //! assert!(result.violations.is_empty());
 //! assert!(result.throughput > 0.0);
 //! ```
@@ -61,6 +60,4 @@ pub use messages::{PigMsg, RelayPlan};
 pub use pqr::{PendingReads, ReadOutcome};
 pub use probe_batch::{ProbeBatcher, ProbePush};
 pub use relay::UplinkCoalescer;
-#[allow(deprecated)]
-pub use replica::pig_builder;
 pub use replica::{build_plan, PigReplica};

@@ -10,7 +10,8 @@
 
 use paxi::{ProtoMessage, HEADER_BYTES};
 use paxos::PaxosMsg;
-use simnet::NodeId;
+use simnet::wire::{DOMAIN_PAXOS, DOMAIN_PIG};
+use simnet::{NodeId, Wire, WireError, WireHeader, WirePut, WireReader};
 
 /// A (possibly multi-level) dissemination plan for one relay.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +92,88 @@ impl ProtoMessage for PigMsg {
         match self {
             PigMsg::ToRelay { .. } => "to_relay",
             PigMsg::Direct(inner) => inner.label(),
+        }
+    }
+}
+
+impl Wire for RelayPlan {
+    /// `peer count: u16`, `sub count: u16`, the peer node ids (u32
+    /// each), then each sub-relay as `node: u32` + its nested plan —
+    /// exactly [`RelayPlan::wire_bytes`] bytes at every level.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(self.peers.len() <= u16::MAX as usize, "relay plan too wide");
+        assert!(self.sub.len() <= u16::MAX as usize, "relay plan too wide");
+        out.put_u16(self.peers.len() as u16);
+        out.put_u16(self.sub.len() as u16);
+        for p in &self.peers {
+            out.put_u32(p.0);
+        }
+        for (node, plan) in &self.sub {
+            out.put_u32(node.0);
+            plan.encode_into(out);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n_peers = r.u16("plan.peer_count")?;
+        let n_sub = r.u16("plan.sub_count")?;
+        let mut peers = Vec::with_capacity(n_peers as usize);
+        for _ in 0..n_peers {
+            peers.push(NodeId(r.u32("plan.peer")?));
+        }
+        let mut sub = Vec::with_capacity(n_sub as usize);
+        for _ in 0..n_sub {
+            let node = NodeId(r.u32("plan.sub_node")?);
+            sub.push((node, RelayPlan::decode(r)?));
+        }
+        Ok(RelayPlan { peers, sub })
+    }
+}
+
+impl Wire for PigMsg {
+    /// `Direct(inner)` encodes as the inner Paxos message verbatim (the
+    /// header's domain byte disambiguates on decode — the relay wrapper
+    /// really is zero-overhead on the wire, matching `wire_size()`).
+    /// `ToRelay` carries its own header, `reply_to: u32`,
+    /// `threshold: u32`, the [`RelayPlan`], then the inner message.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PigMsg::ToRelay {
+                reply_to,
+                plan,
+                inner,
+                threshold,
+            } => {
+                assert!(*threshold <= u32::MAX as usize, "threshold overflows u32");
+                WireHeader::new(DOMAIN_PIG, 0).encode_into(out);
+                out.put_u32(reply_to.0);
+                out.put_u32(*threshold as u32);
+                plan.encode_into(out);
+                inner.encode_into(out);
+            }
+            PigMsg::Direct(inner) => inner.encode_into(out),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.peek(1)? {
+            DOMAIN_PAXOS => Ok(PigMsg::Direct(PaxosMsg::decode(r)?)),
+            DOMAIN_PIG => {
+                WireHeader::decode(r)?;
+                let reply_to = NodeId(r.u32("to_relay.reply_to")?);
+                let threshold = r.u32("to_relay.threshold")? as usize;
+                let plan = RelayPlan::decode(r)?;
+                Ok(PigMsg::ToRelay {
+                    reply_to,
+                    plan,
+                    inner: PaxosMsg::decode(r)?,
+                    threshold,
+                })
+            }
+            other => Err(WireError::BadTag {
+                what: "pig domain",
+                got: other,
+            }),
         }
     }
 }

@@ -1300,21 +1300,6 @@ impl paxi::ProtocolSpec for PigConfig {
     }
 }
 
-/// Builder usable with the deprecated free-function harness: one
-/// PigPaxos replica per node.
-#[deprecated(
-    since = "0.1.0",
-    note = "pass PigConfig to paxi::Experiment directly — it implements ProtocolSpec"
-)]
-pub fn pig_builder(
-    cfg: PigConfig,
-) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PigMsg>>> {
-    move |node, cluster| {
-        use paxi::ProtocolSpec;
-        cfg.build_replica(node, cluster)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

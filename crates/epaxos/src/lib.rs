@@ -21,6 +21,4 @@ pub use attrs::InterferenceIndex;
 pub use config::EpaxosConfig;
 pub use graph::{plan_execution, ExecutionPlan, InstStatus, InstanceView};
 pub use messages::{Attrs, EpaxosMsg, InstanceId};
-#[allow(deprecated)]
-pub use replica::epaxos_builder;
 pub use replica::EpaxosReplica;

@@ -6,8 +6,10 @@
 //! larger than Multi-Paxos messages because attributes travel with every
 //! phase — one of the overheads the paper's comparison surfaces.
 
+use paxi::wire::{decode_command_body, encode_command_body, op_tag};
 use paxi::{Ballot, Command, ProtoMessage, HEADER_BYTES};
-use simnet::NodeId;
+use simnet::wire::DOMAIN_EPAXOS;
+use simnet::{NodeId, Wire, WireError, WireHeader, WirePut, WireReader};
 use std::fmt;
 
 /// Identifies one EPaxos instance: `(owning replica, slot)`.
@@ -141,6 +143,166 @@ impl ProtoMessage for EpaxosMsg {
             EpaxosMsg::Accept { .. } => "accept",
             EpaxosMsg::AcceptOk { .. } => "accept_ok",
             EpaxosMsg::Commit { .. } => "commit",
+        }
+    }
+}
+
+const KIND_PREACCEPT: u8 = 0;
+const KIND_PREACCEPT_OK: u8 = 1;
+const KIND_ACCEPT: u8 = 2;
+const KIND_ACCEPT_OK: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+
+impl Wire for InstanceId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.replica.0);
+        out.put_u64(self.slot);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(InstanceId {
+            replica: NodeId(r.u32("inst.replica")?),
+            slot: r.u64("inst.slot")?,
+        })
+    }
+}
+
+/// Attrs encode as `seq: u64` + the deps (12 bytes each); the dep
+/// *count* rides in the enclosing message's header `aux0`, so the body
+/// is exactly [`Attrs::wire_bytes`] bytes.
+fn encode_attrs(attrs: &Attrs, out: &mut Vec<u8>) {
+    out.put_u64(attrs.seq);
+    for d in &attrs.deps {
+        d.encode_into(out);
+    }
+}
+
+fn decode_attrs(n_deps: u32, r: &mut WireReader<'_>) -> Result<Attrs, WireError> {
+    let seq = r.u64("attrs.seq")?;
+    let mut deps = Vec::with_capacity(n_deps as usize);
+    for _ in 0..n_deps {
+        deps.push(InstanceId::decode(r)?);
+    }
+    Ok(Attrs { seq, deps })
+}
+
+fn header(kind: u8, attrs: &Attrs) -> WireHeader {
+    WireHeader::new(DOMAIN_EPAXOS, kind).aux0(attrs.deps.len() as u32)
+}
+
+impl Wire for EpaxosMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            EpaxosMsg::PreAccept {
+                inst,
+                ballot,
+                command,
+                attrs,
+            }
+            | EpaxosMsg::Accept {
+                inst,
+                ballot,
+                command,
+                attrs,
+            } => {
+                let kind = if matches!(self, EpaxosMsg::PreAccept { .. }) {
+                    KIND_PREACCEPT
+                } else {
+                    KIND_ACCEPT
+                };
+                header(kind, attrs)
+                    .flags(op_tag(&command.op))
+                    .encode_into(out);
+                inst.encode_into(out);
+                ballot.encode_into(out);
+                encode_attrs(attrs, out);
+                encode_command_body(command, out);
+            }
+            EpaxosMsg::PreAcceptOk {
+                inst,
+                node,
+                attrs,
+                changed,
+            } => {
+                header(KIND_PREACCEPT_OK, attrs).encode_into(out);
+                inst.encode_into(out);
+                out.put_u32(node.0);
+                out.put_u8(*changed as u8);
+                encode_attrs(attrs, out);
+            }
+            EpaxosMsg::AcceptOk { inst, node } => {
+                WireHeader::new(DOMAIN_EPAXOS, KIND_ACCEPT_OK).encode_into(out);
+                inst.encode_into(out);
+                out.put_u32(node.0);
+            }
+            EpaxosMsg::Commit {
+                inst,
+                command,
+                attrs,
+            } => {
+                header(KIND_COMMIT, attrs)
+                    .flags(op_tag(&command.op))
+                    .encode_into(out);
+                inst.encode_into(out);
+                encode_attrs(attrs, out);
+                encode_command_body(command, out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let h = WireHeader::decode(r)?;
+        match h.kind {
+            KIND_PREACCEPT | KIND_ACCEPT => {
+                let inst = InstanceId::decode(r)?;
+                let ballot = Ballot::decode(r)?;
+                let attrs = decode_attrs(h.aux0, r)?;
+                let command = decode_command_body(h.flags, None, r)?;
+                Ok(if h.kind == KIND_PREACCEPT {
+                    EpaxosMsg::PreAccept {
+                        inst,
+                        ballot,
+                        command,
+                        attrs,
+                    }
+                } else {
+                    EpaxosMsg::Accept {
+                        inst,
+                        ballot,
+                        command,
+                        attrs,
+                    }
+                })
+            }
+            KIND_PREACCEPT_OK => {
+                let inst = InstanceId::decode(r)?;
+                let node = NodeId(r.u32("preaccept_ok.node")?);
+                let changed = r.u8("preaccept_ok.changed")? != 0;
+                Ok(EpaxosMsg::PreAcceptOk {
+                    inst,
+                    node,
+                    attrs: decode_attrs(h.aux0, r)?,
+                    changed,
+                })
+            }
+            KIND_ACCEPT_OK => Ok(EpaxosMsg::AcceptOk {
+                inst: InstanceId::decode(r)?,
+                node: NodeId(r.u32("accept_ok.node")?),
+            }),
+            KIND_COMMIT => {
+                let inst = InstanceId::decode(r)?;
+                let attrs = decode_attrs(h.aux0, r)?;
+                let command = decode_command_body(h.flags, None, r)?;
+                Ok(EpaxosMsg::Commit {
+                    inst,
+                    command,
+                    attrs,
+                })
+            }
+            other => Err(WireError::BadTag {
+                what: "epaxos kind",
+                got: other,
+            }),
         }
     }
 }

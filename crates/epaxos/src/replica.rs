@@ -529,21 +529,6 @@ impl paxi::ProtocolSpec for EpaxosConfig {
     }
 }
 
-/// Builder usable with the deprecated free-function harness: one EPaxos
-/// replica per node.
-#[deprecated(
-    since = "0.1.0",
-    note = "pass EpaxosConfig to paxi::Experiment directly — it implements ProtocolSpec"
-)]
-pub fn epaxos_builder(
-    cfg: EpaxosConfig,
-) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<EpaxosMsg>>> {
-    move |node, cluster| {
-        use paxi::ProtocolSpec;
-        cfg.build_replica(node, cluster)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@ pub trait ProtoMessage: Clone + std::fmt::Debug + 'static {
 }
 
 /// Everything that can travel over the simulated network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Envelope<P> {
     /// Client → replica.
     Request(ClientRequest),

@@ -7,10 +7,9 @@
 //! The types here ([`RunSpec`], [`RunResult`], [`LoadPoint`]) are the
 //! engine's vocabulary; callers should not assemble a [`RunSpec`] by
 //! hand — use [`crate::Experiment`], which owns one internally and
-//! exposes every knob as a typed builder method. The free functions
-//! ([`run`], [`run_spec`], [`load_sweep`], [`max_throughput`]) are
-//! deprecated shims kept for one release so downstream code migrates
-//! incrementally.
+//! exposes every knob as a typed builder method. (The PR-3 free-function
+//! shims `run`/`run_spec`/`load_sweep`/`max_throughput` are gone; the
+//! `Experiment` methods of the same names are the only entry points.)
 
 use crate::client::{ClientRecorder, ClosedLoopClient, Sample, TargetPolicy};
 use crate::cluster::ClusterConfig;
@@ -415,37 +414,6 @@ where
     }
 }
 
-/// Run one experiment with a fault-injection hook.
-///
-/// * `build` constructs each replica actor given its node id and the
-///   shared [`ClusterConfig`].
-/// * `target` tells clients which replica(s) to contact.
-/// * `hook` runs after actors are registered and before the simulation
-///   starts — use it to schedule fault injection.
-#[deprecated(
-    since = "0.1.0",
-    note = "use paxi::Experiment::run_sim_with — protocol, topology, substrate, and \
-            workload are orthogonal builder axes there"
-)]
-pub fn run_spec<P, B, H>(spec: &RunSpec, build: B, target: TargetPolicy, hook: H) -> RunResult
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-    H: FnOnce(&mut Simulation<Envelope<P>>, &ClusterConfig),
-{
-    execute(spec, build, target, hook)
-}
-
-/// Convenience wrapper without a fault-injection hook.
-#[deprecated(since = "0.1.0", note = "use paxi::Experiment::run_sim")]
-pub fn run<P, B>(spec: &RunSpec, build: B, target: TargetPolicy) -> RunResult
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    execute(spec, build, target, |_, _| {})
-}
-
 pub(crate) fn bucket_timeline(
     samples: &[Sample],
     bucket: SimDuration,
@@ -481,62 +449,11 @@ pub(crate) fn sweep_seed(base_seed: u64, clients: usize) -> u64 {
     base_seed.wrapping_add(clients as u64)
 }
 
-/// Sweep offered load (client counts) and return one point per count —
-/// the raw material of the paper's latency/throughput figures (8–11).
-#[deprecated(since = "0.1.0", note = "use paxi::Experiment::load_sweep")]
-pub fn load_sweep<P, B>(
-    base: &RunSpec,
-    client_counts: &[usize],
-    build: B,
-    target: TargetPolicy,
-) -> Vec<LoadPoint>
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    client_counts
-        .iter()
-        .map(|&clients| {
-            let spec = RunSpec {
-                n_clients: clients,
-                seed: sweep_seed(base.seed, clients),
-                ..base.clone()
-            };
-            let result = execute(&spec, &build, target.clone(), |_, _| {});
-            LoadPoint { clients, result }
-        })
-        .collect()
-}
-
 /// The default client-count ladder for max-throughput searches.
 pub const DEFAULT_CLIENT_SWEEP: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160, 320];
 
-/// Maximum throughput over a load sweep (the paper's "max throughput"
-/// metric used in Figs. 7, 12, 13).
-#[deprecated(since = "0.1.0", note = "use paxi::Experiment::max_throughput")]
-pub fn max_throughput<P, B>(
-    base: &RunSpec,
-    client_counts: &[usize],
-    build: B,
-    target: TargetPolicy,
-) -> f64
-where
-    P: ProtoMessage,
-    B: Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<P>>>,
-{
-    #[allow(deprecated)]
-    load_sweep(base, client_counts, build, target)
-        .iter()
-        .map(|p| p.result.throughput)
-        .fold(0.0, f64::max)
-}
-
 #[cfg(test)]
 mod tests {
-    // The harness unit tests exercise the deprecated shims on purpose:
-    // they must keep delegating to the engine until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::command::{ClientReply, ClientRequest};
     use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
@@ -578,10 +495,20 @@ mod tests {
         }
     }
 
+    /// The engine entry point with no hook, as `Experiment::run_sim`
+    /// invokes it.
+    fn exec(spec: &RunSpec) -> RunResult {
+        execute(
+            spec,
+            build_instant,
+            TargetPolicy::Fixed(NodeId(0)),
+            |_, _| {},
+        )
+    }
+
     #[test]
     fn run_produces_throughput_and_latency() {
-        let spec = small_spec(4);
-        let r = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let r = exec(&small_spec(4));
         assert!(r.throughput > 100.0, "throughput {}", r.throughput);
         assert!(r.mean_latency_ms > 0.0);
         assert!(r.p99_latency_ms >= r.p50_latency_ms);
@@ -591,16 +518,8 @@ mod tests {
 
     #[test]
     fn more_clients_more_throughput_until_saturation() {
-        let lo = run(
-            &small_spec(1),
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        let hi = run(
-            &small_spec(8),
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let lo = exec(&small_spec(1));
+        let hi = exec(&small_spec(8));
         assert!(
             hi.throughput > lo.throughput * 2.0,
             "8 clients ({}) should beat 1 client ({}) substantially",
@@ -610,41 +529,12 @@ mod tests {
     }
 
     #[test]
-    fn load_sweep_returns_all_points() {
-        let pts = load_sweep(
-            &small_spec(0),
-            &[1, 2, 4],
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        assert_eq!(pts.len(), 3);
-        assert_eq!(pts[0].clients, 1);
-        assert!(pts[2].result.throughput > pts[0].result.throughput);
-    }
-
-    #[test]
-    fn max_throughput_is_max() {
-        let m = max_throughput(
-            &small_spec(0),
-            &[1, 4],
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        let one = run(
-            &small_spec(1),
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
-        assert!(m >= one.throughput);
-    }
-
-    #[test]
     fn timeline_buckets_cover_run() {
         let spec = RunSpec {
             timeline_bucket: Some(SimDuration::from_millis(250)),
             ..small_spec(4)
         };
-        let r = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let r = exec(&spec);
         assert!(!r.timeline.is_empty());
         // Total run is 1s -> 4 buckets.
         assert_eq!(r.timeline.len(), 4);
@@ -655,11 +545,7 @@ mod tests {
 
     #[test]
     fn leader_msgs_per_op_counted() {
-        let r = run(
-            &small_spec(2),
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let r = exec(&small_spec(2));
         // The instant server handles exactly 1 recv + 1 send per op.
         assert!(
             (r.leader_msgs_per_op - 2.0).abs() < 0.2,
@@ -670,11 +556,7 @@ mod tests {
 
     #[test]
     fn label_counts_present_only_with_trace() {
-        let no_trace = run(
-            &small_spec(2),
-            build_instant,
-            TargetPolicy::Fixed(NodeId(0)),
-        );
+        let no_trace = exec(&small_spec(2));
         assert!(no_trace.label_counts.is_none());
         assert!(no_trace.label_per_op("request").is_none());
 
@@ -682,7 +564,7 @@ mod tests {
             capture_trace: true,
             ..small_spec(2)
         };
-        let traced = run(&spec, build_instant, TargetPolicy::Fixed(NodeId(0)));
+        let traced = exec(&spec);
         let counts = traced.label_counts.as_ref().expect("trace captured");
         assert!(counts.get("request").copied().unwrap_or(0) > 100);
         assert!(counts.get("reply").copied().unwrap_or(0) > 100);

@@ -5,6 +5,7 @@
 //! the same state on every replica.
 
 use crate::command::{Key, Operation, Value};
+use simnet::{Wire, WireError, WirePut, WireReader};
 use std::collections::HashMap;
 
 /// An in-memory key-value store.
@@ -60,6 +61,13 @@ impl KvStore {
         self.data.values().map(|v| 8 + v.len()).sum()
     }
 
+    /// Exact encoded size of this store under [`Wire`]: applied count
+    /// (8) + entry count (4) + per entry key (8) + value length (4) +
+    /// value bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        12 + self.data.len() * 4 + self.data_bytes()
+    }
+
     /// Order-independent FNV-1a fingerprint of the full state (sorted
     /// key/value pairs plus the applied-operation count). Two stores
     /// that executed the same command sequence — directly, or via a
@@ -87,6 +95,36 @@ impl KvStore {
             }
         }
         h
+    }
+}
+
+impl Wire for KvStore {
+    /// `applied: u64`, `count: u32`, then `count` entries of
+    /// `key: u64`, `len: u32`, `len` value bytes — sorted by key so the
+    /// encoding is deterministic.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.applied);
+        out.put_u32(self.data.len() as u32);
+        let mut keys: Vec<Key> = self.data.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let v = &self.data[&k];
+            out.put_u64(k);
+            out.put_u32(v.len() as u32);
+            out.extend_from_slice(&v.0);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let applied = r.u64("kv.applied")?;
+        let count = r.u32("kv.count")?;
+        let mut data = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let k = r.u64("kv.key")?;
+            let len = r.u32("kv.value_len")? as usize;
+            data.insert(k, Value::from(r.bytes(len, "kv.value")?));
+        }
+        Ok(KvStore { data, applied })
     }
 }
 
@@ -127,6 +165,21 @@ mod tests {
         let before = kv.applied();
         assert!(kv.peek(7).is_some());
         assert_eq!(kv.applied(), before);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_state_and_size() {
+        let mut kv = KvStore::new();
+        kv.apply(&Operation::Put(3, Value::zeros(7)));
+        kv.apply(&Operation::Put(1, Value::zeros(0)));
+        kv.apply(&Operation::Get(3));
+        let bytes = kv.encode();
+        assert_eq!(bytes.len(), kv.encoded_bytes());
+        let back = KvStore::decode_frame(&bytes).expect("decodes");
+        assert_eq!(back.fingerprint(), kv.fingerprint());
+        assert_eq!(back.applied(), kv.applied());
+        // Deterministic regardless of map iteration order.
+        assert_eq!(kv.encode(), back.encode());
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! the new leader can still answer retries for commands the old leader
 //! executed cluster-wide.
 
-use crate::command::{ClientReply, RequestId};
-use simnet::NodeId;
+use crate::command::{ClientReply, RequestId, Value};
+use simnet::{NodeId, Wire, WireError, WirePut, WireReader};
 use std::collections::{BTreeMap, HashMap};
 
 /// Replies retained per client by [`SessionTable::new`]. Covers any
@@ -122,19 +122,25 @@ impl SessionTable {
         }
     }
 
-    /// Approximate serialized size (wire accounting for snapshots that
-    /// carry the table).
+    /// Exact serialized size of the table under [`Wire`] (wire
+    /// accounting for snapshots that carry it): table header (8) + per
+    /// session client + latest + reply count (16) + per reply seq +
+    /// meta (10) + value bytes + redirect (4 when present).
     pub fn approx_bytes(&self) -> usize {
-        self.sessions
+        8 + self
+            .sessions
             .values()
             .map(|s| {
-                12 + s
+                16 + s
                     .replies
                     .values()
-                    .map(|r| 20 + r.value.as_ref().map_or(0, |v| v.len()))
+                    .map(|r| {
+                        10 + r.value.as_ref().map_or(0, |v| v.len())
+                            + if r.redirect.is_some() { 4 } else { 0 }
+                    })
                     .sum::<usize>()
             })
-            .sum()
+            .sum::<usize>()
     }
 
     /// True if `id` fell off the *full* retained reply window — a stale
@@ -155,6 +161,101 @@ impl SessionTable {
             }
             None => false,
         }
+    }
+}
+
+const SMETA_VALUE: u16 = 1 << 15;
+const SMETA_OK: u16 = 1 << 14;
+const SMETA_REDIRECT: u16 = 1 << 13;
+const SMETA_LEN: u16 = (1 << 13) - 1;
+
+impl Wire for SessionTable {
+    /// `window: u32`, `session count: u32`, then sessions sorted by
+    /// client id: `client: u32`, `latest: u64`, `reply count: u32`,
+    /// then replies in seq order: `seq: u64`, `meta: u16` (bit 15 value
+    /// present, bit 14 ok, bit 13 redirect present, low 13 bits the
+    /// value length — capped at 8191 bytes), value bytes, and a
+    /// `redirect: u32` when present.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.window as u32);
+        out.put_u32(self.sessions.len() as u32);
+        let mut clients: Vec<NodeId> = self.sessions.keys().copied().collect();
+        clients.sort_unstable();
+        for client in clients {
+            let s = &self.sessions[&client];
+            out.put_u32(client.0);
+            out.put_u64(s.latest);
+            out.put_u32(s.replies.len() as u32);
+            for (seq, reply) in &s.replies {
+                let vlen = reply.value.as_ref().map_or(0, |v| v.len());
+                assert!(
+                    vlen <= SMETA_LEN as usize,
+                    "session reply value of {vlen}B overflows the 13-bit length field"
+                );
+                let mut meta = vlen as u16;
+                if reply.value.is_some() {
+                    meta |= SMETA_VALUE;
+                }
+                if reply.ok {
+                    meta |= SMETA_OK;
+                }
+                if reply.redirect.is_some() {
+                    meta |= SMETA_REDIRECT;
+                }
+                out.put_u64(*seq);
+                out.put_u16(meta);
+                if let Some(v) = &reply.value {
+                    out.extend_from_slice(&v.0);
+                }
+                if let Some(n) = reply.redirect {
+                    out.put_u32(n.0);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let window = r.u32("sessions.window")? as usize;
+        if window == 0 {
+            return Err(WireError::BadTag {
+                what: "sessions.window",
+                got: 0,
+            });
+        }
+        let n_sessions = r.u32("sessions.count")?;
+        let mut sessions = HashMap::with_capacity(n_sessions as usize);
+        for _ in 0..n_sessions {
+            let client = NodeId(r.u32("session.client")?);
+            let latest = r.u64("session.latest")?;
+            let n_replies = r.u32("session.reply_count")?;
+            let mut replies = BTreeMap::new();
+            for _ in 0..n_replies {
+                let seq = r.u64("session.seq")?;
+                let meta = r.u16("session.meta")?;
+                let value = if meta & SMETA_VALUE != 0 {
+                    let len = (meta & SMETA_LEN) as usize;
+                    Some(Value::from(r.bytes(len, "session.value")?))
+                } else {
+                    None
+                };
+                let redirect = if meta & SMETA_REDIRECT != 0 {
+                    Some(NodeId(r.u32("session.redirect")?))
+                } else {
+                    None
+                };
+                replies.insert(
+                    seq,
+                    ClientReply {
+                        id: RequestId { client, seq },
+                        value,
+                        ok: meta & SMETA_OK != 0,
+                        redirect,
+                    },
+                );
+            }
+            sessions.insert(client, Session { latest, replies });
+        }
+        Ok(SessionTable { window, sessions })
     }
 }
 
@@ -254,6 +355,21 @@ mod tests {
         assert!(t.replay(id(2, 7)).is_some());
         assert_eq!(t.latest_seq(NodeId(1)), Some(4), "highest latest wins");
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_exact_size() {
+        let mut t = SessionTable::with_window(4);
+        t.record(&ClientReply::ok(id(1, 3), Some(crate::Value::zeros(9))));
+        t.record(&ClientReply::ok(id(1, 4), None));
+        t.record(&ClientReply::redirect(id(2, 1), Some(NodeId(0))));
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.approx_bytes(), "approx_bytes is exact");
+        let back = SessionTable::decode_frame(&bytes).expect("decodes");
+        assert_eq!(back.replay(id(1, 3)), t.replay(id(1, 3)));
+        assert_eq!(back.replay(id(2, 1)), t.replay(id(2, 1)));
+        assert_eq!(back.latest_seq(NodeId(1)), Some(4));
+        assert_eq!(back.encode(), bytes, "deterministic re-encode");
     }
 
     #[test]

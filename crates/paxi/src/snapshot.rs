@@ -24,6 +24,7 @@
 use crate::command::Key;
 use crate::kv::KvStore;
 use crate::session::SessionTable;
+use simnet::{Wire, WireError, WirePut, WireReader};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -117,10 +118,48 @@ impl PartialEq for Snapshot {
 }
 
 impl Snapshot {
-    /// Serialized size contribution (for wire accounting): the full
-    /// key-value state plus the freshness index and session window.
+    /// Exact serialized size under [`Wire`]: `up_to` (8) + the encoded
+    /// key-value state + freshness-index count (4) + 16 bytes per
+    /// `(key, slot)` pair + the encoded session table.
     pub fn wire_bytes(&self) -> usize {
-        8 + self.kv.data_bytes() + self.last_write_slots.len() * 16 + self.sessions.approx_bytes()
+        8 + self.kv.encoded_bytes()
+            + 4
+            + self.last_write_slots.len() * 16
+            + self.sessions.approx_bytes()
+    }
+}
+
+impl Wire for Snapshot {
+    /// `up_to: u64`, the [`KvStore`] encoding, `index count: u32` +
+    /// `(key: u64, slot: u64)` pairs, then the [`SessionTable`]
+    /// encoding. Always exactly [`Snapshot::wire_bytes`] bytes.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.up_to);
+        self.kv.encode_into(out);
+        out.put_u32(self.last_write_slots.len() as u32);
+        for (key, slot) in &self.last_write_slots {
+            out.put_u64(*key);
+            out.put_u64(*slot);
+        }
+        self.sessions.encode_into(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let up_to = r.u64("snapshot.up_to")?;
+        let kv = KvStore::decode(r)?;
+        let n = r.u32("snapshot.index_count")?;
+        let mut last_write_slots = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let key = r.u64("snapshot.index_key")?;
+            let slot = r.u64("snapshot.index_slot")?;
+            last_write_slots.push((key, slot));
+        }
+        Ok(Snapshot {
+            up_to,
+            kv,
+            last_write_slots,
+            sessions: SessionTable::decode(r)?,
+        })
     }
 }
 
@@ -259,6 +298,23 @@ mod tests {
     #[test]
     fn snapshot_wire_bytes_scale_with_state() {
         assert!(snap(5, 10).wire_bytes() > snap(5, 2).wire_bytes());
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip_exact_size() {
+        let mut s = snap(5, 3);
+        s.sessions.record(&crate::command::ClientReply::ok(
+            crate::command::RequestId {
+                client: simnet::NodeId(9),
+                seq: 1,
+            },
+            Some(Value::zeros(12)),
+        ));
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.wire_bytes(), "wire_bytes is exact");
+        let back = Snapshot::decode_frame(&bytes).expect("decodes");
+        assert_eq!(back, s);
+        assert_eq!(back.sessions.approx_bytes(), s.sessions.approx_bytes());
     }
 
     #[test]

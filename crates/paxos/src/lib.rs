@@ -34,6 +34,4 @@ pub use leader::{BatchVotesOutcome, Leader, Outstanding, Phase1Outcome};
 pub use messages::{
     P1bVote, P2bVote, PaxosMsg, QrProbe, QrProbeVote, QrVoteEntry, QR_PROBE_LABELS,
 };
-#[allow(deprecated)]
-pub use replica::paxos_builder;
 pub use replica::PaxosReplica;

@@ -7,8 +7,10 @@
 //! paper's observation that the relay/aggregate overlay changes only the
 //! communication implementation, not the protocol.
 
+use paxi::wire::{decode_command_body, op_tag};
 use paxi::{Ballot, Command, Key, ProtoMessage, Snapshot, Value, HEADER_BYTES};
-use simnet::NodeId;
+use simnet::wire::DOMAIN_PAXOS;
+use simnet::{NodeId, Wire, WireError, WireHeader, WirePut, WireReader};
 
 /// One follower's phase-1b promise.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,11 +280,13 @@ impl PaxosMsg {
         votes
             .iter()
             .map(|v| {
-                14 + v
-                    .accepted
-                    .iter()
-                    .map(|(_, _, c)| 16 + c.payload_bytes())
-                    .sum::<usize>()
+                // 14 = node (4) + ballot (8) + flags (1) + accepted
+                // count (1); a count >= 255 escapes to an extra u32.
+                14 + if v.accepted.len() >= 255 { 4 } else { 0 }
+                    + v.accepted
+                        .iter()
+                        .map(|(_, _, c)| 16 + c.payload_bytes())
+                        .sum::<usize>()
                     + v.snapshot.as_ref().map_or(0, |s| s.wire_bytes())
             })
             .sum()
@@ -352,6 +356,540 @@ impl ProtoMessage for PaxosMsg {
             PaxosMsg::QrVote { .. } => "qr_vote",
             PaxosMsg::QrReadBatch { .. } => "qr_read_batch",
             PaxosMsg::QrVoteBatch { .. } => "qr_vote_batch",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec. Every variant's encoding is exactly `wire_size()` bytes;
+// see `simnet::wire` for the framing format and packing conventions.
+// ---------------------------------------------------------------------
+
+const KIND_P1A: u8 = 0;
+const KIND_P1B: u8 = 1;
+const KIND_P2A: u8 = 2;
+const KIND_P2B: u8 = 3;
+const KIND_P2A_BATCH: u8 = 4;
+const KIND_P2B_BATCH: u8 = 5;
+const KIND_HEARTBEAT: u8 = 6;
+const KIND_LEARN_REQ: u8 = 7;
+const KIND_LEARN_REP: u8 = 8;
+const KIND_SNAPSHOT: u8 = 9;
+const KIND_QR_READ: u8 = 10;
+const KIND_QR_VOTE: u8 = 11;
+const KIND_QR_READ_BATCH: u8 = 12;
+const KIND_QR_VOTE_BATCH: u8 = 13;
+
+/// Largest value that fits the 14-bit length half of a packed
+/// `(op tag, len)` entry metadata word (log entries inside P1b
+/// promises, learn replies, and snapshot tails).
+const META_LEN_MAX: usize = (1 << 14) - 1;
+
+fn encode_entry_meta(cmd: &Command, out: &mut Vec<u8>) {
+    let len = paxi::wire::command_value_len(cmd);
+    assert!(
+        len <= META_LEN_MAX,
+        "entry value of {len}B overflows the 14-bit length field"
+    );
+    out.put_u16(((op_tag(&cmd.op) as u16) << 14) | len as u16);
+}
+
+fn decode_entry_command(r: &mut WireReader<'_>) -> Result<Command, WireError> {
+    let meta = r.u16("entry.meta")?;
+    decode_command_body((meta >> 14) as u8, Some((meta & 0x3FFF) as usize), r)
+}
+
+/// `(slot, command)` pair inside LearnRep / SnapshotTransfer: slot as
+/// u48 + entry meta (8 bytes total of prefix, matching the arithmetic's
+/// `8 + payload` per entry), then the sized command body.
+fn encode_learn_entry(slot: u64, cmd: &Command, out: &mut Vec<u8>) {
+    out.put_u48(slot);
+    encode_entry_meta(cmd, out);
+    paxi::wire::encode_command_body(cmd, out);
+}
+
+fn decode_learn_entry(r: &mut WireReader<'_>) -> Result<(u64, Command), WireError> {
+    let slot = r.u48("entry.slot")?;
+    Ok((slot, decode_entry_command(r)?))
+}
+
+const P1B_OK: u8 = 1 << 0;
+const P1B_SNAPSHOT: u8 = 1 << 1;
+
+fn encode_p1b_vote(v: &P1bVote, out: &mut Vec<u8>) {
+    out.put_u32(v.node.0);
+    v.ballot.encode_into(out);
+    let mut flags = 0u8;
+    if v.ok {
+        flags |= P1B_OK;
+    }
+    if v.snapshot.is_some() {
+        flags |= P1B_SNAPSHOT;
+    }
+    out.put_u8(flags);
+    if v.accepted.len() < 255 {
+        out.put_u8(v.accepted.len() as u8);
+    } else {
+        out.put_u8(255);
+        out.put_u32(v.accepted.len() as u32);
+    }
+    for (slot, ballot, cmd) in &v.accepted {
+        out.put_u48(*slot);
+        ballot.encode_into(out);
+        encode_entry_meta(cmd, out);
+        paxi::wire::encode_command_body(cmd, out);
+    }
+    if let Some(s) = &v.snapshot {
+        s.encode_into(out);
+    }
+}
+
+fn decode_p1b_vote(r: &mut WireReader<'_>) -> Result<P1bVote, WireError> {
+    let node = NodeId(r.u32("p1b.node")?);
+    let ballot = Ballot::decode(r)?;
+    let flags = r.u8("p1b.flags")?;
+    let count = match r.u8("p1b.accepted_count")? {
+        255 => r.u32("p1b.accepted_count32")? as usize,
+        n => n as usize,
+    };
+    let mut accepted = Vec::with_capacity(count);
+    for _ in 0..count {
+        let slot = r.u48("p1b.accepted_slot")?;
+        let b = Ballot::decode(r)?;
+        accepted.push((slot, b, decode_entry_command(r)?));
+    }
+    let snapshot = if flags & P1B_SNAPSHOT != 0 {
+        Some(Box::new(Snapshot::decode(r)?))
+    } else {
+        None
+    };
+    Ok(P1bVote {
+        node,
+        ballot,
+        ok: flags & P1B_OK != 0,
+        accepted,
+        snapshot,
+    })
+}
+
+/// P2b votes pack `(ok, slot)` into a u16: bit 15 = ok, low 15 bits =
+/// the vote's slot as a delta from the enclosing message's base slot
+/// (`slot` for P2b, `first_slot` for P2bBatch) — 14 bytes per vote, as
+/// charged.
+fn encode_p2b_vote(v: &P2bVote, base: u64, out: &mut Vec<u8>) {
+    out.put_u32(v.node.0);
+    v.ballot.encode_into(out);
+    let delta = v
+        .slot
+        .checked_sub(base)
+        .expect("vote slot below batch base");
+    assert!(
+        delta < (1 << 15),
+        "vote slot delta {delta} overflows 15 bits"
+    );
+    out.put_u16(((v.ok as u16) << 15) | delta as u16);
+}
+
+fn decode_p2b_vote(base: u64, r: &mut WireReader<'_>) -> Result<P2bVote, WireError> {
+    let node = NodeId(r.u32("p2b.node")?);
+    let ballot = Ballot::decode(r)?;
+    let packed = r.u16("p2b.packed")?;
+    Ok(P2bVote {
+        node,
+        ballot,
+        slot: base + (packed & 0x7FFF) as u64,
+        ok: packed & (1 << 15) != 0,
+    })
+}
+
+const QR_PENDING: u8 = 1 << 0;
+const QR_VALUE: u8 = 1 << 1;
+
+fn encode_qr_entry(e: &QrVoteEntry, out: &mut Vec<u8>) {
+    out.put_u32(e.node.0);
+    out.put_u48(e.value_slot);
+    let mut flags = 0u8;
+    if e.pending_write {
+        flags |= QR_PENDING;
+    }
+    if e.value.is_some() {
+        flags |= QR_VALUE;
+    }
+    out.put_u8(flags);
+    let len = e.value.as_ref().map_or(0, |v| v.len());
+    assert!(len <= u16::MAX as usize, "qr value of {len}B overflows u16");
+    out.put_u16(len as u16);
+    if let Some(v) = &e.value {
+        out.extend_from_slice(&v.0);
+    }
+}
+
+fn decode_qr_entry(r: &mut WireReader<'_>) -> Result<QrVoteEntry, WireError> {
+    let node = NodeId(r.u32("qr.node")?);
+    let value_slot = r.u48("qr.value_slot")?;
+    let flags = r.u8("qr.flags")?;
+    let len = r.u16("qr.value_len")? as usize;
+    let value = if flags & QR_VALUE != 0 {
+        Some(Value::from(r.bytes(len, "qr.value")?))
+    } else {
+        None
+    };
+    Ok(QrVoteEntry {
+        node,
+        value_slot,
+        value,
+        pending_write: flags & QR_PENDING != 0,
+    })
+}
+
+fn header(kind: u8) -> WireHeader {
+    WireHeader::new(DOMAIN_PAXOS, kind)
+}
+
+impl Wire for PaxosMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PaxosMsg::P1a { ballot, from } => {
+                header(KIND_P1A).encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*from);
+            }
+            PaxosMsg::P1b { ballot, votes } => {
+                header(KIND_P1B).aux0(votes.len() as u32).encode_into(out);
+                ballot.encode_into(out);
+                for v in votes {
+                    encode_p1b_vote(v, out);
+                }
+            }
+            PaxosMsg::P2a {
+                ballot,
+                slot,
+                command,
+                commit_up_to,
+            } => {
+                header(KIND_P2A).flags(op_tag(&command.op)).encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*slot);
+                out.put_u64(*commit_up_to);
+                paxi::wire::encode_command_body(command, out);
+            }
+            PaxosMsg::P2b {
+                ballot,
+                slot,
+                votes,
+            } => {
+                header(KIND_P2B).aux0(votes.len() as u32).encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*slot);
+                for v in votes {
+                    encode_p2b_vote(v, *slot, out);
+                }
+            }
+            PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            } => {
+                header(KIND_P2A_BATCH)
+                    .aux0(commands.len() as u32)
+                    .encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*first_slot);
+                out.put_u64(*commit_up_to);
+                for cmd in commands {
+                    // 4-byte prefix per command: op tag u8 + value len
+                    // u24 (the batch arithmetic's `4 + payload`).
+                    let len = paxi::wire::command_value_len(cmd);
+                    assert!(len < (1 << 24), "batched value of {len}B overflows u24");
+                    out.put_u8(op_tag(&cmd.op));
+                    out.extend_from_slice(&(len as u32).to_le_bytes()[..3]);
+                    paxi::wire::encode_command_body(cmd, out);
+                }
+            }
+            PaxosMsg::P2bBatch {
+                ballot,
+                first_slot,
+                last_slot,
+                votes,
+            } => {
+                header(KIND_P2B_BATCH)
+                    .aux0(votes.len() as u32)
+                    .encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*first_slot);
+                out.put_u64(*last_slot);
+                for v in votes {
+                    encode_p2b_vote(v, *first_slot, out);
+                }
+            }
+            PaxosMsg::Heartbeat {
+                ballot,
+                commit_up_to,
+            } => {
+                header(KIND_HEARTBEAT).encode_into(out);
+                ballot.encode_into(out);
+                out.put_u64(*commit_up_to);
+            }
+            PaxosMsg::LearnReq { slots } => {
+                header(KIND_LEARN_REQ).encode_into(out);
+                out.put_u64(slots.len() as u64);
+                for s in slots {
+                    out.put_u64(*s);
+                }
+            }
+            PaxosMsg::LearnRep { ballot, entries } => {
+                header(KIND_LEARN_REP)
+                    .aux0(entries.len() as u32)
+                    .encode_into(out);
+                ballot.encode_into(out);
+                for (slot, cmd) in entries {
+                    encode_learn_entry(*slot, cmd, out);
+                }
+            }
+            PaxosMsg::SnapshotTransfer {
+                ballot,
+                snapshot,
+                entries,
+            } => {
+                header(KIND_SNAPSHOT)
+                    .aux0(entries.len() as u32)
+                    .encode_into(out);
+                ballot.encode_into(out);
+                snapshot.encode_into(out);
+                for (slot, cmd) in entries {
+                    encode_learn_entry(*slot, cmd, out);
+                }
+            }
+            PaxosMsg::QrRead {
+                reader,
+                id,
+                attempt,
+                key,
+            } => {
+                header(KIND_QR_READ).encode_into(out);
+                out.put_u32(reader.0);
+                out.put_u64(*id);
+                out.put_u32(*attempt);
+                out.put_u64(*key);
+            }
+            PaxosMsg::QrVote {
+                reader,
+                id,
+                attempt,
+                votes,
+            } => {
+                header(KIND_QR_VOTE)
+                    .aux0(votes.len() as u32)
+                    .encode_into(out);
+                out.put_u32(reader.0);
+                out.put_u64(*id);
+                out.put_u32(*attempt);
+                for v in votes {
+                    encode_qr_entry(v, out);
+                }
+            }
+            PaxosMsg::QrReadBatch {
+                reader,
+                wave,
+                probes,
+            } => {
+                header(KIND_QR_READ_BATCH)
+                    .aux0(probes.len() as u32)
+                    .encode_into(out);
+                out.put_u32(reader.0);
+                out.put_u64(*wave);
+                for p in probes {
+                    out.put_u64(p.id);
+                    out.put_u32(p.attempt);
+                    out.put_u64(p.key);
+                }
+            }
+            PaxosMsg::QrVoteBatch {
+                reader,
+                wave,
+                votes,
+            } => {
+                header(KIND_QR_VOTE_BATCH)
+                    .aux0(votes.len() as u32)
+                    .encode_into(out);
+                out.put_u32(reader.0);
+                out.put_u64(*wave);
+                for v in votes {
+                    out.put_u64(v.id);
+                    out.put_u32(v.attempt);
+                    encode_qr_entry(&v.entry, out);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let h = WireHeader::decode(r)?;
+        match h.kind {
+            KIND_P1A => Ok(PaxosMsg::P1a {
+                ballot: Ballot::decode(r)?,
+                from: r.u64("p1a.from")?,
+            }),
+            KIND_P1B => {
+                let ballot = Ballot::decode(r)?;
+                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    votes.push(decode_p1b_vote(r)?);
+                }
+                Ok(PaxosMsg::P1b { ballot, votes })
+            }
+            KIND_P2A => {
+                let ballot = Ballot::decode(r)?;
+                let slot = r.u64("p2a.slot")?;
+                let commit_up_to = r.u64("p2a.commit_up_to")?;
+                Ok(PaxosMsg::P2a {
+                    ballot,
+                    slot,
+                    command: decode_command_body(h.flags, None, r)?,
+                    commit_up_to,
+                })
+            }
+            KIND_P2B => {
+                let ballot = Ballot::decode(r)?;
+                let slot = r.u64("p2b.slot")?;
+                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    votes.push(decode_p2b_vote(slot, r)?);
+                }
+                Ok(PaxosMsg::P2b {
+                    ballot,
+                    slot,
+                    votes,
+                })
+            }
+            KIND_P2A_BATCH => {
+                let ballot = Ballot::decode(r)?;
+                let first_slot = r.u64("p2a_batch.first_slot")?;
+                let commit_up_to = r.u64("p2a_batch.commit_up_to")?;
+                let mut commands = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    let tag = r.u8("p2a_batch.op")?;
+                    let b = r.bytes(3, "p2a_batch.len")?;
+                    let len = u32::from_le_bytes([b[0], b[1], b[2], 0]) as usize;
+                    commands.push(decode_command_body(tag, Some(len), r)?);
+                }
+                Ok(PaxosMsg::P2aBatch {
+                    ballot,
+                    first_slot,
+                    commands,
+                    commit_up_to,
+                })
+            }
+            KIND_P2B_BATCH => {
+                let ballot = Ballot::decode(r)?;
+                let first_slot = r.u64("p2b_batch.first_slot")?;
+                let last_slot = r.u64("p2b_batch.last_slot")?;
+                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    votes.push(decode_p2b_vote(first_slot, r)?);
+                }
+                Ok(PaxosMsg::P2bBatch {
+                    ballot,
+                    first_slot,
+                    last_slot,
+                    votes,
+                })
+            }
+            KIND_HEARTBEAT => Ok(PaxosMsg::Heartbeat {
+                ballot: Ballot::decode(r)?,
+                commit_up_to: r.u64("heartbeat.commit_up_to")?,
+            }),
+            KIND_LEARN_REQ => {
+                let n = r.u64("learnreq.count")?;
+                let mut slots = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    slots.push(r.u64("learnreq.slot")?);
+                }
+                Ok(PaxosMsg::LearnReq { slots })
+            }
+            KIND_LEARN_REP => {
+                let ballot = Ballot::decode(r)?;
+                let mut entries = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    entries.push(decode_learn_entry(r)?);
+                }
+                Ok(PaxosMsg::LearnRep { ballot, entries })
+            }
+            KIND_SNAPSHOT => {
+                let ballot = Ballot::decode(r)?;
+                let snapshot = Box::new(Snapshot::decode(r)?);
+                let mut entries = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    entries.push(decode_learn_entry(r)?);
+                }
+                Ok(PaxosMsg::SnapshotTransfer {
+                    ballot,
+                    snapshot,
+                    entries,
+                })
+            }
+            KIND_QR_READ => Ok(PaxosMsg::QrRead {
+                reader: NodeId(r.u32("qr_read.reader")?),
+                id: r.u64("qr_read.id")?,
+                attempt: r.u32("qr_read.attempt")?,
+                key: r.u64("qr_read.key")?,
+            }),
+            KIND_QR_VOTE => {
+                let reader = NodeId(r.u32("qr_vote.reader")?);
+                let id = r.u64("qr_vote.id")?;
+                let attempt = r.u32("qr_vote.attempt")?;
+                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    votes.push(decode_qr_entry(r)?);
+                }
+                Ok(PaxosMsg::QrVote {
+                    reader,
+                    id,
+                    attempt,
+                    votes,
+                })
+            }
+            KIND_QR_READ_BATCH => {
+                let reader = NodeId(r.u32("qr_batch.reader")?);
+                let wave = r.u64("qr_batch.wave")?;
+                let mut probes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    probes.push(QrProbe {
+                        id: r.u64("qr_probe.id")?,
+                        attempt: r.u32("qr_probe.attempt")?,
+                        key: r.u64("qr_probe.key")?,
+                    });
+                }
+                Ok(PaxosMsg::QrReadBatch {
+                    reader,
+                    wave,
+                    probes,
+                })
+            }
+            KIND_QR_VOTE_BATCH => {
+                let reader = NodeId(r.u32("qr_vbatch.reader")?);
+                let wave = r.u64("qr_vbatch.wave")?;
+                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                for _ in 0..h.aux0 {
+                    let id = r.u64("qr_pvote.id")?;
+                    let attempt = r.u32("qr_pvote.attempt")?;
+                    votes.push(QrProbeVote {
+                        id,
+                        attempt,
+                        entry: decode_qr_entry(r)?,
+                    });
+                }
+                Ok(PaxosMsg::QrVoteBatch {
+                    reader,
+                    wave,
+                    votes,
+                })
+            }
+            other => Err(WireError::BadTag {
+                what: "paxos kind",
+                got: other,
+            }),
         }
     }
 }

@@ -713,21 +713,6 @@ impl paxi::ProtocolSpec for PaxosConfig {
     }
 }
 
-/// Builder usable with the deprecated free-function harness: constructs
-/// one Multi-Paxos replica actor per node.
-#[deprecated(
-    since = "0.1.0",
-    note = "pass PaxosConfig to paxi::Experiment directly — it implements ProtocolSpec"
-)]
-pub fn paxos_builder(
-    cfg: PaxosConfig,
-) -> impl Fn(NodeId, &ClusterConfig) -> Box<dyn Actor<Envelope<PaxosMsg>>> {
-    move |node, cluster| {
-        use paxi::ProtocolSpec;
-        cfg.build_replica(node, cluster)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

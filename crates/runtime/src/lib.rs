@@ -45,6 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod net;
+
+pub use net::{NetRunStats, NetRuntime};
+
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -55,7 +59,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-enum Inbound<M> {
+pub(crate) enum Inbound<M> {
     Deliver { from: NodeId, msg: M },
     Stop,
 }
@@ -142,7 +146,12 @@ impl<M: Message + Send> Runtime<M> {
             let seed = simnet::derive_node_seed(self.seed, i);
             let done = done_tx.clone();
             handles.push(std::thread::spawn(move || {
-                node_loop(node, actor, rx, senders, stats, epoch, seed);
+                let outbound = move |to: NodeId, msg: M| {
+                    if let Some(tx) = senders.get(to.index()) {
+                        let _ = tx.send(Inbound::Deliver { from: node, msg });
+                    }
+                };
+                node_loop(node, actor, rx, outbound, stats, epoch, seed);
                 let _ = done.send(());
             }));
         }
@@ -159,11 +168,15 @@ impl<M: Message + Send> Runtime<M> {
     }
 }
 
-fn node_loop<M: Message + Send>(
+/// The per-node event loop shared by every real-thread substrate: fires
+/// due timers, blocks on the inbound channel up to the next deadline,
+/// and routes `Effect::Send` through `outbound` — a channel send for the
+/// in-process [`Runtime`], an encode-and-frame for [`net::NetRuntime`].
+pub(crate) fn node_loop<M: Message + Send>(
     node: NodeId,
     mut actor: Box<dyn Actor<M> + Send>,
     rx: Receiver<Inbound<M>>,
-    senders: Vec<Sender<Inbound<M>>>,
+    mut outbound: impl FnMut(NodeId, M),
     stats: Arc<Mutex<RuntimeStats>>,
     epoch: Instant,
     seed: u64,
@@ -183,14 +196,7 @@ fn node_loop<M: Message + Send>(
         let mut ctx = Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
         actor.on_start(&mut ctx);
     }
-    apply_effects(
-        &mut effects,
-        node,
-        &senders,
-        &mut timers,
-        &mut cancelled,
-        epoch,
-    );
+    apply_effects(&mut effects, &mut outbound, &mut timers, &mut cancelled);
 
     loop {
         // Fire due timers first.
@@ -206,14 +212,7 @@ fn node_loop<M: Message + Send>(
             let mut ctx =
                 Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
             actor.on_timer(t.id, t.kind, &mut ctx);
-            apply_effects(
-                &mut effects,
-                node,
-                &senders,
-                &mut timers,
-                &mut cancelled,
-                epoch,
-            );
+            apply_effects(&mut effects, &mut outbound, &mut timers, &mut cancelled);
         }
 
         let next_deadline = timers.peek().map(|t| t.at);
@@ -240,14 +239,7 @@ fn node_loop<M: Message + Send>(
                 let mut ctx =
                     Context::new(now_sim(epoch), node, &mut rng, &mut effects, &mut timer_seq);
                 actor.on_message(from, msg, &mut ctx);
-                apply_effects(
-                    &mut effects,
-                    node,
-                    &senders,
-                    &mut timers,
-                    &mut cancelled,
-                    epoch,
-                );
+                apply_effects(&mut effects, &mut outbound, &mut timers, &mut cancelled);
             }
         }
     }
@@ -259,19 +251,13 @@ fn node_loop<M: Message + Send>(
 
 fn apply_effects<M: Message + Send>(
     effects: &mut Vec<Effect<M>>,
-    _node: NodeId,
-    senders: &[Sender<Inbound<M>>],
+    outbound: &mut impl FnMut(NodeId, M),
     timers: &mut BinaryHeap<PendingTimer>,
     cancelled: &mut HashSet<u64>,
-    _epoch: Instant,
 ) {
     for effect in effects.drain(..) {
         match effect {
-            Effect::Send { to, msg } => {
-                if let Some(tx) = senders.get(to.index()) {
-                    let _ = tx.send(Inbound::Deliver { from: _node, msg });
-                }
-            }
+            Effect::Send { to, msg } => outbound(to, msg),
             Effect::SetTimer { id, delay, kind } => {
                 timers.push(PendingTimer {
                     at: Instant::now() + Duration::from_nanos(delay.as_nanos()),

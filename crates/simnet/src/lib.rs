@@ -56,6 +56,7 @@ mod stats;
 mod time;
 mod topology;
 mod trace;
+pub mod wire;
 
 pub use actor::{Actor, Context, Effect, Message};
 pub use cost::CpuCostModel;
@@ -66,3 +67,4 @@ pub use stats::{NetStats, NodeStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{RegionId, Topology};
 pub use trace::{Trace, TraceEntry};
+pub use wire::{Wire, WireError, WireHeader, WirePut, WireReader};

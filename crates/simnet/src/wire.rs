@@ -1,0 +1,422 @@
+//! The stable binary wire schema shared by every execution substrate.
+//!
+//! [`Message::wire_size`](crate::Message::wire_size) has always been the
+//! *contract* for how many bytes a message costs on the network — the
+//! simulator charges CPU and classifies WAN traffic by it. [`Wire`] makes
+//! that contract real: a type implementing it can be encoded to exactly
+//! `wire_size()` bytes and decoded back, so the socket substrate ships
+//! the same bytes the simulator charges for, and byte-level experiments
+//! transfer between substrates unchanged.
+//!
+//! ## Framing format
+//!
+//! A transport frame is a length-prefixed packet:
+//!
+//! ```text
+//! +----------------+----------------+------------------------------+
+//! | len: u32 LE    | from: u32 LE   | payload: `len` bytes         |
+//! +----------------+----------------+------------------------------+
+//! ```
+//!
+//! `len` counts only the payload; `from` is the sending node id (the
+//! actor API surfaces a sender for every delivery). The 8 framing bytes
+//! are transport overhead and are **not** part of `wire_size()` —
+//! exactly like TCP/IP headers are not part of an application payload.
+//!
+//! The payload itself always begins with a fixed 24-byte message header
+//! (the `HEADER_BYTES` every `wire_size()` implementation already
+//! charges), followed by a message-specific body:
+//!
+//! ```text
+//! byte 0        version        (currently 1)
+//! byte 1        domain         0 = client, 1 = paxos, 2 = pigpaxos, 3 = epaxos
+//! byte 2        kind           variant tag within the domain
+//! byte 3        flags          per-variant (operation tag, presence bits)
+//! bytes 4..8    aux0: u32 LE   per-variant (usually a collection count)
+//! bytes 8..16   aux1: u64 LE   per-variant scratch (zero when unused)
+//! bytes 16..24  aux2: u64 LE   per-variant scratch (zero when unused)
+//! ```
+//!
+//! All integers are little-endian. Variable-length fields either carry
+//! an explicit length, or — for the single *trailing* payload of a
+//! message (a command's value) — consume the rest of the frame, which
+//! the length prefix makes unambiguous.
+//!
+//! ## Size-packing conventions
+//!
+//! `wire_size()` predates the codec and its per-entry byte budgets are
+//! load-bearing (the perf baseline depends on them), so nested entries
+//! pack their metadata into exactly the budgeted bytes:
+//!
+//! * **48-bit slots** — log slot numbers inside repeated entries
+//!   (quorum-read freshness slots, learn/snapshot tail entries, recovery
+//!   `accepted` entries) encode as `u48`. 2⁴⁸ slots is ~89 years of
+//!   traffic at 100k ops/s; encoding asserts the bound.
+//! * **16-bit value lengths** — values inside repeated entries carry a
+//!   `u16` (or 14-bit, packed with a 2-bit operation tag) length.
+//!   Benchmark payloads top out at a few KB; encoding asserts the bound.
+//! * **15-bit slot deltas** — phase-2b votes encode their slot relative
+//!   to the message's base slot, packed with the `ok` bit.
+//!
+//! Single trailing values (the command in `P2a`, a reply's read result)
+//! have **no** length cap: they take the rest of the frame.
+//!
+//! ## Determinism
+//!
+//! Encoding is a pure function of the value: the same message always
+//! produces the same bytes (map-backed structures are serialized in
+//! sorted order). `encode(x).len() == x.wire_size()` is asserted by the
+//! roundtrip property tests for every message type in the workspace.
+
+use std::fmt;
+
+/// Byte length of the fixed message header every encoded payload starts
+/// with. Equals the `HEADER_BYTES` constant protocol crates charge in
+/// `wire_size()`.
+pub const WIRE_HEADER_BYTES: usize = 24;
+
+/// Current schema version, byte 0 of every header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Domain tag for client traffic (requests, replies, reply batches).
+pub const DOMAIN_CLIENT: u8 = 0;
+/// Domain tag for Multi-Paxos protocol messages.
+pub const DOMAIN_PAXOS: u8 = 1;
+/// Domain tag for PigPaxos relay-overlay messages.
+pub const DOMAIN_PIG: u8 = 2;
+/// Domain tag for EPaxos protocol messages.
+pub const DOMAIN_EPAXOS: u8 = 3;
+
+/// A decoding failure. Encoding is infallible (size invariants are
+/// asserted — they are internal protocol bounds, not user input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// An enum tag or header byte had no defined meaning.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        got: u8,
+    },
+    /// The header's version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated while decoding {what}"),
+            WireError::BadTag { what, got } => write!(f, "bad tag {got:#x} for {what}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type with a stable binary encoding whose length equals its
+/// [`Message::wire_size`](crate::Message::wire_size) (when it has one).
+///
+/// Protocol message enums, the client envelope, and every nested value
+/// they carry implement this. The contract:
+///
+/// 1. `decode(&mut WireReader::new(&x.encode())) == Ok(x)` — lossless
+///    roundtrip;
+/// 2. for [`Message`](crate::Message) types,
+///    `x.encode().len() == x.wire_size()` — the simulator's byte
+///    accounting *is* the socket substrate's byte accounting;
+/// 3. encoding is deterministic (no map-iteration-order dependence).
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode one value, consuming exactly its bytes from the reader.
+    /// Trailing-payload fields consume the reader's remaining bytes, so
+    /// a value must be the last thing in its enclosing frame slice.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a complete frame payload, rejecting leftover bytes.
+    fn decode_frame(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+/// Cursor over an encoded payload.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Reader over a full frame payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Look at the byte `offset` positions past the cursor without
+    /// consuming (used to dispatch on the header's domain byte).
+    pub fn peek(&self, offset: usize) -> Result<u8, WireError> {
+        self.buf
+            .get(self.pos + offset)
+            .copied()
+            .ok_or(WireError::Truncated { what: "peek" })
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Consume a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consume a 48-bit little-endian unsigned integer (packed slot
+    /// numbers — see the module docs).
+    pub fn u48(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(6, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], 0, 0,
+        ]))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Consume exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
+
+    /// Consume every remaining byte (the trailing payload of a frame).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+/// Little-endian append helpers for encoders.
+pub trait WirePut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a 48-bit value; asserts `v < 2^48`.
+    fn put_u48(&mut self, v: u64);
+    /// Append a `u64`.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl WirePut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u48(&mut self, v: u64) {
+        assert!(v < (1u64 << 48), "value {v} overflows the u48 wire field");
+        self.extend_from_slice(&v.to_le_bytes()[..6]);
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// The fixed 24-byte header starting every encoded message payload.
+///
+/// `aux0`/`aux1`/`aux2` are per-variant scratch (collection counts,
+/// small fixed fields); unused fields encode as zero so identical
+/// messages always produce identical bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireHeader {
+    /// Domain tag (`DOMAIN_*`).
+    pub domain: u8,
+    /// Variant tag within the domain.
+    pub kind: u8,
+    /// Per-variant flag byte (operation tags, presence bits).
+    pub flags: u8,
+    /// Per-variant 32-bit scratch (usually a collection count).
+    pub aux0: u32,
+    /// Per-variant 64-bit scratch.
+    pub aux1: u64,
+    /// Per-variant 64-bit scratch.
+    pub aux2: u64,
+}
+
+impl WireHeader {
+    /// Header with a domain and kind; flags/aux zero.
+    pub fn new(domain: u8, kind: u8) -> Self {
+        WireHeader {
+            domain,
+            kind,
+            ..WireHeader::default()
+        }
+    }
+
+    /// Set the flag byte.
+    pub fn flags(mut self, flags: u8) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Set aux0 (collection counts).
+    pub fn aux0(mut self, v: u32) -> Self {
+        self.aux0 = v;
+        self
+    }
+
+    /// Append the 24 header bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u8(WIRE_VERSION);
+        out.put_u8(self.domain);
+        out.put_u8(self.kind);
+        out.put_u8(self.flags);
+        out.put_u32(self.aux0);
+        out.put_u64(self.aux1);
+        out.put_u64(self.aux2);
+    }
+
+    /// Consume and validate 24 header bytes.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let version = r.u8("header.version")?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        Ok(WireHeader {
+            domain: r.u8("header.domain")?,
+            kind: r.u8("header.kind")?,
+            flags: r.u8("header.flags")?,
+            aux0: r.u32("header.aux0")?,
+            aux1: r.u64("header.aux1")?,
+            aux2: r.u64("header.aux2")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16(0xABCD);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u48(0x0000_1234_5678_9ABC);
+        out.put_u64(u64::MAX);
+        assert_eq!(out.len(), 1 + 2 + 4 + 6 + 8);
+        let mut r = WireReader::new(&out);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0xABCD);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u48("d").unwrap(), 0x0000_1234_5678_9ABC);
+        assert_eq!(r.u64("e").unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u48")]
+    fn u48_overflow_asserts() {
+        Vec::new().put_u48(1u64 << 48);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(r.u32("field"), Err(WireError::Truncated { what: "field" }));
+    }
+
+    #[test]
+    fn header_is_24_bytes_and_roundtrips() {
+        let h = WireHeader::new(DOMAIN_PAXOS, 3).flags(0b101).aux0(42);
+        let mut out = Vec::new();
+        h.encode_into(&mut out);
+        assert_eq!(out.len(), WIRE_HEADER_BYTES);
+        let mut r = WireReader::new(&out);
+        assert_eq!(WireHeader::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn header_version_checked() {
+        let mut bytes = vec![0u8; 24];
+        bytes[0] = 99;
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(WireHeader::decode(&mut r), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = WireReader::new(&[10, 20]);
+        assert_eq!(r.peek(1).unwrap(), 20);
+        assert_eq!(r.u8("x").unwrap(), 10);
+        assert_eq!(r.peek(0).unwrap(), 20);
+        assert_eq!(r.peek(1), Err(WireError::Truncated { what: "peek" }));
+    }
+
+    #[test]
+    fn rest_takes_everything() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        r.u8("x").unwrap();
+        assert_eq!(r.rest(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+}

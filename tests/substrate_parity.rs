@@ -1,9 +1,10 @@
 //! Substrate parity as a first-class API property: the *same*
 //! `Experiment` value — same protocol config, topology, workload, and
-//! client population — runs on the deterministic simulator and on real
-//! OS threads (`pig-runtime`), and must make progress with zero safety
-//! violations on both. The replica actors are byte-for-byte the same
-//! code; only the run method differs.
+//! client population — runs on the deterministic simulator, on real OS
+//! threads with channel transport (`run_threads`), and over real TCP
+//! loopback sockets with full wire encoding (`run_net`), and must make
+//! progress with zero safety violations on all three. The replica
+//! actors are byte-for-byte the same code; only the run method differs.
 
 use epaxos::EpaxosConfig;
 use paxi::{Experiment, ProtocolSpec};
@@ -12,7 +13,10 @@ use pigpaxos::PigConfig;
 use simnet::SimDuration;
 use std::time::Duration;
 
-fn assert_parity<P: ProtocolSpec>(proto: P, n: usize, min_thread_ops: usize) {
+fn assert_parity<P: ProtocolSpec>(proto: P, n: usize, min_thread_ops: usize)
+where
+    P::Msg: simnet::Wire,
+{
     let experiment = Experiment::lan(proto, n)
         .clients(4)
         .warmup(SimDuration::from_millis(200))
@@ -52,20 +56,48 @@ fn assert_parity<P: ProtocolSpec>(proto: P, n: usize, min_thread_ops: usize) {
         "{name} threads decided slots: {}",
         threads.decided
     );
+
+    // Third axis: every cross-node message encoded to its wire bytes,
+    // shipped over a loopback TCP socket, and decoded on arrival. A
+    // protocol only passes if its entire message vocabulary survives a
+    // real network round trip under load.
+    let net = experiment.run_net(7, Duration::from_millis(500));
+    assert!(
+        net.violations.is_empty(),
+        "{name} net: {:?}",
+        net.violations
+    );
+    assert!(
+        net.samples > min_thread_ops,
+        "{name} net made progress: {}",
+        net.samples
+    );
+    assert!(net.decided > 0, "{name} net decided slots: {}", net.decided);
+    // The transport counts real traffic: every node participated.
+    assert_eq!(net.node_msgs.len(), n + 4, "{name}: replicas + clients");
+    assert!(
+        net.node_msgs.iter().all(|&m| m > 0),
+        "{name} net: every node moved messages: {:?}",
+        net.node_msgs
+    );
+    assert!(
+        net.label_counts.is_some(),
+        "{name} net: label counts populated"
+    );
 }
 
 #[test]
-fn pigpaxos_runs_identically_shaped_on_both_substrates() {
+fn pigpaxos_runs_identically_shaped_on_all_three_substrates() {
     assert_parity(PigConfig::lan(2), 5, 50);
 }
 
 #[test]
-fn paxos_runs_identically_shaped_on_both_substrates() {
+fn paxos_runs_identically_shaped_on_all_three_substrates() {
     assert_parity(PaxosConfig::lan(), 5, 50);
 }
 
 #[test]
-fn epaxos_runs_identically_shaped_on_both_substrates() {
+fn epaxos_runs_identically_shaped_on_all_three_substrates() {
     // EPaxos is leaderless; its default random-target policy carries
     // over to the thread substrate unchanged.
     assert_parity(EpaxosConfig::default(), 5, 20);

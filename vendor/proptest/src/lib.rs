@@ -5,7 +5,9 @@
 //! - the [`proptest!`] macro with `arg in strategy` parameter lists and
 //!   an optional `#![proptest_config(...)]` header,
 //! - range strategies (`0u32..100`, `0u64..=9`), tuple strategies,
-//!   [`collection::vec`], and [`bool::ANY`],
+//!   [`collection::vec`], [`bool::ANY`], and [`any`] for primitives,
+//! - combinators: [`Strategy::prop_map`], [`Strategy::prop_flat_map`],
+//!   [`Strategy::boxed`], [`prop_oneof!`], and [`option::of`],
 //! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
 //!   [`prop_assume!`].
 //!
@@ -59,6 +61,162 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value — `f`
+    /// returns the strategy for the second stage.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erase this strategy (enables heterogeneous [`prop_oneof!`]
+    /// arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy mapping another strategy's values ([`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Two-stage dependent strategy ([`Strategy::prop_flat_map`]).
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice over boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// ```ignore
+/// let op = prop_oneof![0u64..10, Just(7u64)];
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Values drawable uniformly from a type's whole domain (the subset of
+/// real proptest's `Arbitrary` that primitives need).
+pub trait ArbitraryValue {
+    /// Draw one value covering the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl ArbitraryValue for core::primitive::bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy over a type's full domain ([`any`]).
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over `T`'s whole domain (primitives only).
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` ([`of`]).
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some(value)` half the time, `None` the other half.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
 }
 
 macro_rules! range_strategy {
@@ -133,7 +291,7 @@ pub mod bool {
 pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
 
     /// Element-count specification for [`vec`].
     #[derive(Debug, Clone)]
@@ -153,6 +311,15 @@ pub mod collection {
             SizeRange {
                 lo: r.start,
                 hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
             }
         }
     }
@@ -261,14 +428,15 @@ macro_rules! __proptest_fns {
 /// Common imports for property tests.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 
     /// Namespace mirroring `proptest::prelude::prop`.
     pub mod prop {
         pub use crate::bool;
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
