@@ -12,10 +12,14 @@
 //! - Exit code is non-zero if any scenario fails to parse, violates
 //!   safety, or misses its `[expect]` block.
 
-use paxi::{Experiment, Nemesis, NemesisLog, ProtocolSpec, RunResult, Scenario, TopologyKind};
+use paxi::{
+    Experiment, Fault, Nemesis, NemesisLog, ProtocolSpec, RunResult, Scenario, ShardedExperiment,
+    TopologyKind,
+};
 use pigpaxos_bench as bench;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 fn corpus_paths() -> Vec<PathBuf> {
     let explicit: Vec<PathBuf> = std::env::args()
@@ -70,8 +74,99 @@ fn run_with<P: ProtocolSpec>(proto: P, sc: &Scenario) -> (RunResult, NemesisLog)
     (result, log)
 }
 
-fn dispatch(sc: &Scenario) -> (RunResult, NemesisLog) {
-    match sc.protocol.as_str() {
+/// Per-shard observations from a sharded run, for `min_shard_decided`
+/// judging: decided commands per shard, and whether any scheduled
+/// fault touched one of the shard's replicas.
+struct ShardInfo {
+    decided: Vec<u64>,
+    affected: Vec<bool>,
+}
+
+/// Replica nodes a fault acts on (for the affected-shard computation;
+/// cluster-wide faults like `drop_rate` return none and are treated as
+/// affecting every shard by the caller).
+fn fault_nodes(f: &Fault) -> Vec<u32> {
+    match f {
+        Fault::Partition { a, b } => a.iter().chain(b).copied().collect(),
+        Fault::Crash(n) | Fault::Restart(n) => vec![*n],
+        Fault::CrashLoop { node, .. } | Fault::Slow { node, .. } => vec![*node],
+        Fault::Flaky { from, to, .. } => vec![*from, *to],
+        Fault::Storm { target, .. } => vec![*target],
+        Fault::Heal | Fault::ClearFlaky | Fault::ClearSlow | Fault::DropRate(_) => vec![],
+    }
+}
+
+/// Run one sharded scenario: replicas-per-shard comes from `replicas`,
+/// clients become routers, and the nemesis rides the extra client slot
+/// exactly as in the flat path.
+fn run_sharded<P: ProtocolSpec>(
+    proto: P,
+    sc: &Scenario,
+    shards: usize,
+) -> (RunResult, NemesisLog, Option<ShardInfo>) {
+    let mut exp = ShardedExperiment::new(proto, shards, sc.replicas)
+        .routers(sc.clients)
+        .pipeline(sc.pipeline)
+        .workload(sc.workload.clone())
+        .warmup(sc.warmup)
+        .measure(sc.measure)
+        .extra_client_nodes(1);
+    if let Some(t) = sc.retry_timeout {
+        exp = exp.retry_timeout(t);
+    }
+    let log = NemesisLog::new();
+    let (faults, nemesis_log) = (sc.faults.clone(), log.clone());
+    let safeties = Arc::new(Mutex::new(Vec::new()));
+    let captured = safeties.clone();
+    let result = exp.run_sim_with(sc.seed, move |sim, layout| {
+        *captured.lock().expect("capture lock") = layout
+            .clusters
+            .iter()
+            .map(|c| c.safety.clone())
+            .collect::<Vec<_>>();
+        sim.add_actor(Box::new(Nemesis::<P::Msg>::new(faults, nemesis_log)));
+    });
+    let decided: Vec<u64> = safeties
+        .lock()
+        .expect("capture lock")
+        .iter()
+        .map(|s| s.decided_count())
+        .collect();
+    let replicas_per_shard = sc.replicas as u32;
+    let mut affected = vec![false; shards];
+    for ev in &sc.faults {
+        let nodes = fault_nodes(&ev.fault);
+        if nodes.is_empty() && !matches!(ev.fault, Fault::Heal) {
+            // Cluster-wide fault: no shard is exempt.
+            affected.iter_mut().for_each(|a| *a = true);
+            continue;
+        }
+        for n in nodes {
+            let s = (n / replicas_per_shard) as usize;
+            if s < shards {
+                affected[s] = true;
+            }
+        }
+    }
+    (result, log, Some(ShardInfo { decided, affected }))
+}
+
+fn dispatch(sc: &Scenario) -> (RunResult, NemesisLog, Option<ShardInfo>) {
+    if let Some(shards) = sc.shards {
+        // Validation already pinned sharded scenarios to LAN.
+        return match sc.protocol.as_str() {
+            "paxos" => run_sharded(paxos::PaxosConfig::lan(), sc, shards),
+            "pigpaxos" => {
+                let groups = sc
+                    .groups
+                    .unwrap_or_else(|| (sc.replicas as f64).sqrt() as usize);
+                run_sharded(pigpaxos::PigConfig::lan(groups), sc, shards)
+            }
+            "epaxos" => run_sharded(epaxos::EpaxosConfig::default(), sc, shards),
+            other => unreachable!("parser admits only known protocols, got {other}"),
+        };
+    }
+    let (result, log) = match sc.protocol.as_str() {
         "paxos" => match sc.topology {
             TopologyKind::Lan => run_with(paxos::PaxosConfig::lan(), sc),
             TopologyKind::Wan => run_with(paxos::PaxosConfig::wan(), sc),
@@ -90,12 +185,13 @@ fn dispatch(sc: &Scenario) -> (RunResult, NemesisLog) {
         }
         "epaxos" => run_with(epaxos::EpaxosConfig::default(), sc),
         other => unreachable!("parser admits only known protocols, got {other}"),
-    }
+    };
+    (result, log, None)
 }
 
 /// Judge one result against the scenario's expectations. Returns the
 /// list of failures (empty = pass).
-fn judge(sc: &Scenario, r: &RunResult, log: &NemesisLog) -> Vec<String> {
+fn judge(sc: &Scenario, r: &RunResult, log: &NemesisLog, shard: Option<&ShardInfo>) -> Vec<String> {
     let mut fails = Vec::new();
     if !r.violations.is_empty() {
         fails.push(format!("SAFETY VIOLATIONS: {:?}", r.violations));
@@ -133,6 +229,27 @@ fn judge(sc: &Scenario, r: &RunResult, log: &NemesisLog) -> Vec<String> {
     if let Some(min) = sc.expect.min_samples {
         if (r.samples as u64) < min {
             fails.push(format!("samples {} < required {min}", r.samples));
+        }
+    }
+    if let Some(min) = sc.expect.min_shard_decided {
+        match shard {
+            Some(info) => {
+                for (s, (&decided, &hit)) in
+                    info.decided.iter().zip(info.affected.iter()).enumerate()
+                {
+                    if !hit && decided < min {
+                        fails.push(format!(
+                            "unaffected shard {s} decided {decided} < required {min}"
+                        ));
+                    }
+                }
+                if info.affected.iter().all(|&a| a) {
+                    fails.push(
+                        "min_shard_decided set but every shard is touched by a fault".to_string(),
+                    );
+                }
+            }
+            None => fails.push("min_shard_decided set but run was not sharded".to_string()),
         }
     }
     fails
@@ -189,8 +306,8 @@ fn main() -> ExitCode {
         if quick && !sc.quick {
             continue;
         }
-        let (result, log) = dispatch(sc);
-        let fails = judge(sc, &result, &log);
+        let (result, log, shard) = dispatch(sc);
+        let fails = judge(sc, &result, &log, shard.as_ref());
         let converged = match result.converged() {
             Some(true) => "yes",
             Some(false) => "NO",

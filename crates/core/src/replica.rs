@@ -130,8 +130,12 @@ impl PigReplica {
             // PQR reads are served at follower proxies and never reach
             // the leader's log, so a client's sequence numbers have
             // legitimate gaps there — per-client sequencing would hold
-            // its writes forever.
-            lane: BatchLane::new(cfg.paxos.batch.clone(), !cfg.pqr_reads),
+            // its writes forever. Sharded groups see gaps for the same
+            // reason: the rest of the sequence routed elsewhere.
+            lane: BatchLane::new(
+                cfg.paxos.batch.clone(),
+                !cfg.pqr_reads && !cluster.client_gaps,
+            ),
             replies: ReplyBatcher::new(cfg.paxos.batch.replies),
             reply_timer_armed: false,
             coalescer,
@@ -160,6 +164,14 @@ impl PigReplica {
     /// table (diagnostics).
     pub fn pending_aggregations(&self) -> usize {
         self.relays.len()
+    }
+
+    /// Range-filtered snapshot of this replica's executed state at the
+    /// current frontier, without truncating (see
+    /// [`paxos::Acceptor::snapshot_range`]). The shard-move drain uses
+    /// this to package a departing key range.
+    pub fn snapshot_range(&self, start: paxi::Key, end: Option<paxi::Key>) -> paxi::Snapshot {
+        self.acceptor.snapshot_range(&self.sessions, start, end)
     }
 
     // ---- dissemination (leader side) ------------------------------------

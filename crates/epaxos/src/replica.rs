@@ -174,6 +174,14 @@ impl EpaxosReplica {
         &self.kv
     }
 
+    /// A copy of the state machine restricted to keys in `[start, end)`
+    /// (`end = None` unbounded). EPaxos has no slot-log snapshot value;
+    /// this is its range-filtered capture for shard moves — the
+    /// departing slice without cloning the keys that stay.
+    pub fn kv_range(&self, start: paxi::Key, end: Option<paxi::Key>) -> KvStore {
+        self.kv.filtered(start, end)
+    }
+
     /// Number of committed-but-unexecuted instances (the window whose
     /// growth degrades EPaxos under load).
     pub fn unexecuted_len(&self) -> usize {

@@ -110,14 +110,14 @@ struct Outstanding {
 
 /// Retry delays double per attempt up to `base << MAX_BACKOFF_SHIFT`
 /// (16x the configured retry timeout).
-const MAX_BACKOFF_SHIFT: u32 = 4;
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 4;
 
 /// Deterministic per-(client, request, attempt) jitter source. Seeding a
 /// fresh small RNG from this key keeps retry de-synchronization fully
 /// deterministic without touching the client's workload RNG stream —
 /// the same `(seed, node)` pair must keep producing the same operations
 /// whether or not faults forced retries.
-fn jitter_seed(node: NodeId, seq: u64, attempt: u32) -> u64 {
+pub(crate) fn jitter_seed(node: NodeId, seq: u64, attempt: u32) -> u64 {
     let mut z = ((node.0 as u64) << 40)
         ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ ((attempt as u64) << 17);

@@ -6,6 +6,7 @@
 //! both, and so clients are protocol-agnostic.
 
 use crate::command::{ClientReply, ClientRequest};
+use crate::shard::ShardCtl;
 use simnet::Message;
 
 /// A protocol-internal message (phase-1a/1b/2a/2b, relays, etc.).
@@ -30,6 +31,11 @@ pub enum Envelope<P> {
     /// replies target the destination client, which unpacks them in
     /// order.
     ReplyBatch(Vec<ClientReply>),
+    /// Shard-control traffic (range moves, snapshot installs, routing
+    /// map updates). Protocol-independent: handled by the
+    /// [`crate::shard::ShardGate`] decorator in front of each replica,
+    /// never by protocol code.
+    Shard(ShardCtl),
     /// Replica → replica (protocol internal).
     Proto(P),
 }
@@ -46,6 +52,7 @@ impl<P: ProtoMessage> Message for Envelope<P> {
                         .map(|r| r.wire_size() - crate::command::HEADER_BYTES + 2)
                         .sum::<usize>()
             }
+            Envelope::Shard(c) => c.wire_size(),
             Envelope::Proto(p) => p.wire_size(),
         }
     }
@@ -55,6 +62,7 @@ impl<P: ProtoMessage> Message for Envelope<P> {
             Envelope::Request(_) => "request",
             Envelope::Reply(_) => "reply",
             Envelope::ReplyBatch(_) => "reply_batch",
+            Envelope::Shard(c) => c.label(),
             Envelope::Proto(p) => p.label(),
         }
     }

@@ -72,6 +72,7 @@ pub mod replica;
 pub mod safety;
 pub mod scenario;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 pub mod wire;
 pub mod workload;
@@ -94,5 +95,9 @@ pub use replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
 pub use safety::SafetyMonitor;
 pub use scenario::{Expectations, Fault, FaultEvent, Scenario, ScenarioError, TopologyKind};
 pub use session::{SessionTable, DEFAULT_SESSION_WINDOW};
+pub use shard::{
+    GroupId, KeyRange, ShardCtl, ShardGate, ShardLayout, ShardMap, ShardMove, ShardRouter,
+    ShardedExperiment,
+};
 pub use snapshot::{CompactionStats, Snapshot, SnapshotConfig};
 pub use workload::{KeyDistribution, Workload};

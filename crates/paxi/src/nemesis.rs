@@ -17,9 +17,25 @@ use crate::command::{ClientRequest, Command, Operation, RequestId};
 use crate::envelope::{Envelope, ProtoMessage};
 use crate::scenario::{Fault, FaultEvent};
 use parking_lot::Mutex;
-use simnet::{Actor, Context, Control, NodeId, SimTime, TimerId};
+use simnet::{Actor, Context, Control, NodeId, SimDuration, SimTime, TimerId};
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Timer kinds at or above this value are crash-loop ticks
+/// (`LOOP_BASE + schedule index`); plain schedule indices stay far
+/// below, so the two kind spaces cannot collide.
+const LOOP_BASE: u64 = 1 << 32;
+
+/// In-flight state for one [`Fault::CrashLoop`] schedule entry.
+struct LoopState {
+    node: NodeId,
+    period: SimDuration,
+    /// Crashes still to inject (the first one happens on entry).
+    remaining: u32,
+    /// Whether the node is currently crashed by this loop.
+    down: bool,
+}
 
 /// Shared record of executed faults: `(when, description)` per fault,
 /// in execution order. Cloneable handle, same pattern as
@@ -61,6 +77,7 @@ pub struct Nemesis<P> {
     schedule: Vec<FaultEvent>,
     log: NemesisLog,
     storm_seq: u64,
+    loops: HashMap<u64, LoopState>,
     _proto: PhantomData<P>,
 }
 
@@ -71,13 +88,14 @@ impl<P> Nemesis<P> {
             schedule,
             log,
             storm_seq: 0,
+            loops: HashMap::new(),
             _proto: PhantomData,
         }
     }
 }
 
 impl<P: ProtoMessage> Nemesis<P> {
-    fn execute(&mut self, fault: Fault, ctx: &mut Context<Envelope<P>>) {
+    fn execute(&mut self, index: usize, fault: Fault, ctx: &mut Context<Envelope<P>>) {
         self.log.record(ctx.now(), format!("{fault:?}"));
         match fault {
             Fault::Partition { a, b } => {
@@ -98,6 +116,28 @@ impl<P: ProtoMessage> Nemesis<P> {
             Fault::Slow { node, extra } => ctx.control(Control::SlowNode(NodeId(node), extra)),
             Fault::ClearSlow => ctx.control(Control::ClearSlowNodes),
             Fault::DropRate(p) => ctx.control(Control::SetDropRate(p)),
+            Fault::CrashLoop {
+                node,
+                period,
+                count,
+            } => {
+                // First crash now; the recover/crash cadence then runs
+                // on half-period `LOOP_BASE` ticks, which `on_timer`
+                // dispatches before the schedule lookup. Logged once —
+                // the scenario judge matches log entries 1:1 against
+                // the fault schedule.
+                ctx.control(Control::Crash(NodeId(node)));
+                self.loops.insert(
+                    index as u64,
+                    LoopState {
+                        node: NodeId(node),
+                        period,
+                        remaining: count - 1,
+                        down: true,
+                    },
+                );
+                ctx.set_timer(period / 2, LOOP_BASE + index as u64);
+            }
             Fault::Storm { target, count } => {
                 // A burst of read requests from one misbehaving client:
                 // distinct sequence numbers so duplicate suppression
@@ -135,11 +175,40 @@ impl<P: ProtoMessage> Actor<Envelope<P>> for Nemesis<P> {
     }
 
     fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
+        if kind >= LOOP_BASE {
+            self.loop_tick(kind - LOOP_BASE, ctx);
+            return;
+        }
         let Some(ev) = self.schedule.get(kind as usize) else {
             return;
         };
         let fault = ev.fault.clone();
-        self.execute(fault, ctx);
+        self.execute(kind as usize, fault, ctx);
+    }
+}
+
+impl<P: ProtoMessage> Nemesis<P> {
+    /// One half-period tick of a crash loop: recover if down, crash
+    /// again if up and crashes remain. The loop always ends with the
+    /// node recovered.
+    fn loop_tick(&mut self, index: u64, ctx: &mut Context<Envelope<P>>) {
+        let Some(state) = self.loops.get_mut(&index) else {
+            return;
+        };
+        if state.down {
+            ctx.control(Control::Recover(state.node));
+            state.down = false;
+            if state.remaining == 0 {
+                self.loops.remove(&index);
+                return;
+            }
+        } else {
+            ctx.control(Control::Crash(state.node));
+            state.down = true;
+            state.remaining -= 1;
+        }
+        let period = state.period;
+        ctx.set_timer(period / 2, LOOP_BASE + index);
     }
 }
 
@@ -212,6 +281,55 @@ mod tests {
             "log is time-ordered"
         );
         assert_eq!(*seen.lock(), 25, "storm burst arrived at the target");
+    }
+
+    #[test]
+    fn crash_loop_cycles_and_ends_recovered() {
+        struct Chatter {
+            peer: NodeId,
+        }
+        impl Actor<Envelope<NoProto>> for Chatter {
+            fn on_start(&mut self, ctx: &mut Context<Envelope<NoProto>>) {
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+            fn on_message(
+                &mut self,
+                _f: NodeId,
+                _m: Envelope<NoProto>,
+                _c: &mut Context<Envelope<NoProto>>,
+            ) {
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<Envelope<NoProto>>) {
+                ctx.send(self.peer, Envelope::Proto(NoProto));
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+        }
+        let run = |faults: Vec<FaultEvent>| {
+            let mut sim: Simulation<Envelope<NoProto>> =
+                Simulation::new(Topology::lan(3), CpuCostModel::free(), 5);
+            sim.add_actor(Box::new(Chatter { peer: NodeId(1) }));
+            sim.add_actor(Box::new(Chatter { peer: NodeId(0) }));
+            let log = NemesisLog::new();
+            sim.add_actor(Box::new(Nemesis::<NoProto>::new(faults, log.clone())));
+            sim.run_until(simnet::SimTime::from_millis(200));
+            (sim.stats().msgs_dropped, log.len())
+        };
+        let (permanent, _) = run(vec![at(10, Fault::Crash(1))]);
+        // Down windows: [10,30) and [50,70); up from 70ms on.
+        let (looped, log_len) = run(vec![at(
+            10,
+            Fault::CrashLoop {
+                node: 1,
+                period: SimDuration::from_millis(40),
+                count: 2,
+            },
+        )]);
+        assert_eq!(log_len, 1, "the loop logs as one scheduled fault");
+        assert!(looped > 0, "down windows drop traffic");
+        assert!(
+            looped < permanent / 2,
+            "node recovers between and after crashes: {looped} vs {permanent}"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl<P: ProtoMessage, R: Replica<P>> Actor<Envelope<P>> for ReplicaActor<R> {
             Envelope::Proto(p) => self.0.on_proto(from, p, ctx),
             // Replicas do not receive client replies; a stray one (e.g.
             // a redirect bouncing off a misconfigured client) is dropped.
-            Envelope::Reply(_) | Envelope::ReplyBatch(_) => {}
+            // Shard-control traffic is handled by the gate decorator in
+            // sharded deployments; a bare replica drops it too.
+            Envelope::Reply(_) | Envelope::ReplyBatch(_) | Envelope::Shard(_) => {}
         }
     }
 

@@ -57,6 +57,21 @@
 //! | `clear_slow` | — | restore all slow nodes |
 //! | `drop_rate` | `p` | uniform drop probability on every link |
 //! | `storm` | `target`, `count` | burst of `count` junk requests at `target` |
+//! | `crash_loop` | `node`, `period_ms`, `count` | crash `node`, recover half a period later, repeat `count` times |
+//!
+//! ## Sharded scenarios
+//!
+//! Setting `shards = N` at the root runs the scenario on a
+//! [`crate::ShardedExperiment`] instead of a single cluster:
+//! `replicas` becomes the per-shard replica count (so the node-id space
+//! is `N * replicas` replicas — shard *s* owning the contiguous range
+//! `[s*replicas, (s+1)*replicas)` — followed by `clients` routers), and
+//! fault node ids may reference any replica in that larger space.
+//! Sharded scenarios are LAN-only. The extra expectation
+//! `min_shard_decided` then asserts that every shard whose nodes are
+//! *not* referenced by any fault still decided at least that many
+//! slots — the blast-radius check that a fault in one shard leaves the
+//! others committing.
 
 use crate::workload::{KeyDistribution, Workload};
 use simnet::SimDuration;
@@ -119,6 +134,19 @@ pub enum Fault {
         /// Number of requests in the burst.
         count: u32,
     },
+    /// Repeatedly crash-and-recover a node: crash at the scheduled
+    /// time, recover half a `period` later, crash again a full `period`
+    /// after the previous crash, until `count` crashes have fired. The
+    /// node ends the loop recovered. Models a crash-looping process
+    /// under a restart supervisor.
+    CrashLoop {
+        /// The node to crash repeatedly.
+        node: u32,
+        /// Full crash + recover cycle length.
+        period: SimDuration,
+        /// Total number of crashes.
+        count: u32,
+    },
 }
 
 /// A [`Fault`] with its scheduled time (offset from simulation start).
@@ -144,6 +172,10 @@ pub struct Expectations {
     pub max_client_retries: Option<u64>,
     /// Minimum completed samples in the measurement window.
     pub min_samples: Option<u64>,
+    /// Sharded scenarios only: minimum decided-slot count for every
+    /// shard none of whose nodes are referenced by any fault (the
+    /// blast-radius check — unaffected shards must keep committing).
+    pub min_shard_decided: Option<u64>,
 }
 
 /// A fully parsed scenario: everything the driver needs to build an
@@ -156,8 +188,12 @@ pub struct Scenario {
     /// string — protocol dispatch happens in the driver, which depends
     /// on the protocol crates; this crate does not.
     pub protocol: String,
-    /// Number of consensus replicas.
+    /// Number of consensus replicas — per shard, when `shards` is set.
     pub replicas: usize,
+    /// Number of key-range shards; `None` runs a single unsharded
+    /// cluster. When set, the run uses a [`crate::ShardedExperiment`]
+    /// with `shards * replicas` replica nodes and `clients` routers.
+    pub shards: Option<usize>,
     /// PigPaxos relay-group count (ignored by other protocols).
     pub groups: Option<usize>,
     /// Replica topology family.
@@ -480,6 +516,21 @@ fn parse_fault(mut t: Table, index: usize) -> Result<FaultEvent, ScenarioError> 
                 count: count as u32,
             }
         }
+        "crash_loop" => {
+            let count = require(take_u64(&mut t, "count")?, "count")?;
+            if count == 0 || count > 1000 {
+                return err(line_hint, "crash_loop `count` must be in 1..=1000");
+            }
+            let period_ms = require(take_u64(&mut t, "period_ms")?, "period_ms")?;
+            if period_ms == 0 {
+                return err(line_hint, "crash_loop `period_ms` must be positive");
+            }
+            Fault::CrashLoop {
+                node: require(take_u64(&mut t, "node")?, "node")? as u32,
+                period: SimDuration::from_millis(period_ms),
+                count: count as u32,
+            }
+        }
         other => return err(line_hint, format!("unknown fault kind `{other}`")),
     };
     reject_unknown(&t, "fault")?;
@@ -516,6 +567,10 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         return Err(ScenarioError("`replicas` must be positive".into()));
     }
     let clients = require(take_u64(&mut root, "clients")?, "clients")? as usize;
+    let shards = take_u64(&mut root, "shards")?.map(|s| s as usize);
+    if shards == Some(0) {
+        return Err(ScenarioError("`shards` must be positive".into()));
+    }
     let groups = take_u64(&mut root, "groups")?.map(|g| g as usize);
     if let Some(g) = groups {
         if g == 0 || g > replicas {
@@ -575,6 +630,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         min_throughput: take_f64(&mut expect_table, "min_throughput")?,
         max_client_retries: take_u64(&mut expect_table, "max_client_retries")?,
         min_samples: take_u64(&mut expect_table, "min_samples")?,
+        min_shard_decided: take_u64(&mut expect_table, "min_shard_decided")?,
     };
     reject_unknown(&expect_table, "expect")?;
 
@@ -587,6 +643,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         name,
         protocol,
         replicas,
+        shards,
         groups,
         topology,
         clients,
@@ -607,9 +664,29 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
 
 impl Scenario {
     /// Cross-field validation: every fault must reference nodes inside
-    /// the cluster and fire within the run (warmup + measure).
+    /// the cluster (the full `shards * replicas` space when sharded)
+    /// and fire within the run (warmup + measure).
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        let n = self.replicas as u32;
+        if self.shards.is_some() && self.topology == TopologyKind::Wan {
+            return Err(ScenarioError(format!(
+                "scenario `{}`: sharded scenarios are lan-only",
+                self.name
+            )));
+        }
+        if self.expect.min_shard_decided.is_some() && self.shards.is_none() {
+            return Err(ScenarioError(format!(
+                "scenario `{}`: `min_shard_decided` requires `shards`",
+                self.name
+            )));
+        }
+        if self.shards.is_some() && self.expect.converged.is_some() {
+            return Err(ScenarioError(format!(
+                "scenario `{}`: sharded runs do not collect convergence digests; \
+                 drop `expect.converged`",
+                self.name
+            )));
+        }
+        let n = (self.replicas * self.shards.unwrap_or(1)) as u32;
         let horizon = self.warmup + self.measure;
         let check_node = |node: u32, what: &str| {
             if node >= n {
@@ -643,6 +720,23 @@ impl Scenario {
                 }
                 Fault::Slow { node, .. } => check_node(*node, "slow")?,
                 Fault::Storm { target, .. } => check_node(*target, "storm")?,
+                Fault::CrashLoop {
+                    node,
+                    period,
+                    count,
+                } => {
+                    check_node(*node, "crash_loop")?;
+                    // The last recovery must land inside the run too.
+                    let last = ev.at + *period * (*count as u64 - 1) + *period / 2;
+                    if last >= horizon {
+                        return Err(ScenarioError(format!(
+                            "scenario `{}`: fault #{} crash_loop ends at {last} \
+                             after the run ends ({horizon})",
+                            self.name,
+                            i + 1,
+                        )));
+                    }
+                }
                 Fault::Heal | Fault::ClearFlaky | Fault::ClearSlow | Fault::DropRate(_) => {}
             }
         }
@@ -823,6 +917,79 @@ p = 0.01
         );
         assert_eq!(s.faults[5].fault, Fault::ClearSlow);
         assert_eq!(s.faults[6].fault, Fault::DropRate(0.01));
+    }
+
+    #[test]
+    fn crash_loop_and_sharding_parse() {
+        let text = r#"
+name = "shard-loop"
+protocol = "paxos"
+replicas = 3
+shards = 3
+clients = 6
+measure_ms = 4000
+
+[[faults]]
+at_ms = 500
+kind = "crash_loop"
+node = 8            # valid: sharded node space is 3 * 3 = 9
+period_ms = 400
+count = 3
+
+[expect]
+min_shard_decided = 50
+"#;
+        let s = parse(text).expect("parses");
+        assert_eq!(s.shards, Some(3));
+        assert_eq!(
+            s.faults[0].fault,
+            Fault::CrashLoop {
+                node: 8,
+                period: SimDuration::from_millis(400),
+                count: 3
+            }
+        );
+        assert_eq!(s.expect.min_shard_decided, Some(50));
+    }
+
+    #[test]
+    fn sharding_and_crash_loop_rejections() {
+        // Node 8 is outside an unsharded 3-replica cluster.
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             measure_ms = 4000\n\
+             [[faults]]\nat_ms = 1\nkind = \"crash_loop\"\nnode = 8\n\
+             period_ms = 100\ncount = 2\n",
+            "outside cluster",
+        );
+        // The loop's last recovery must land inside the run.
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             measure_ms = 1000\nwarmup_ms = 0\n\
+             [[faults]]\nat_ms = 100\nkind = \"crash_loop\"\nnode = 0\n\
+             period_ms = 500\ncount = 3\n",
+            "after the run ends",
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             [[faults]]\nat_ms = 1\nkind = \"crash_loop\"\nnode = 0\n\
+             period_ms = 100\ncount = 0\n",
+            "1..=1000",
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nshards = 2\n\
+             clients = 1\ntopology = \"wan\"\n",
+            "lan-only",
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             [expect]\nmin_shard_decided = 10\n",
+            "requires `shards`",
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nshards = 0\nclients = 1\n",
+            "`shards` must be positive",
+        );
     }
 
     fn assert_rejects(text: &str, needle: &str) {

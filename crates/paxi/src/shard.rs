@@ -1,0 +1,1856 @@
+//! Key-range sharding: many consensus groups, one system.
+//!
+//! One consensus group serializes *everything* through one leader; past
+//! its saturation point the only way up is to stop sharing. This module
+//! partitions the key space into contiguous ranges, gives each range to
+//! an independent consensus group (any [`ProtocolSpec`] — Paxos,
+//! PigPaxos, EPaxos), and multiplexes all groups over one shared
+//! network substrate so the existing simulator, thread, and TCP
+//! harnesses run N-group systems unchanged.
+//!
+//! The pieces:
+//!
+//! * [`ShardMap`] — the versioned routing table: an ordered list of
+//!   range starts, each owned by a [`GroupId`]. Disjointness and full
+//!   coverage hold by construction (a range ends where the next one
+//!   starts; the first starts at key 0; the last is unbounded).
+//! * [`ShardGate`] — a protocol-agnostic decorator in front of every
+//!   replica actor. It owns the shard-facing duties the protocol never
+//!   sees: reject-or-redirect for keys the group does not own, the
+//!   freeze/drain/ship state machine of a live range move, and
+//!   installing an inbound range through the group's own consensus log
+//!   (so the transferred state is as durable as any other write).
+//! * [`ShardRouter`] — the client actor: resolves each operation's key
+//!   against its (possibly stale) map copy, sends to the owning
+//!   group's leader, and follows `redirect` replies when a move beat
+//!   its map; [`ShardCtl::MapUpdate`] broadcasts re-freshen it.
+//! * [`ShardedExperiment`] — the builder that stamps out N gated
+//!   protocol instances with disjoint node-id namespaces (shard *s*
+//!   owns nodes `[s*R, (s+1)*R)`), routers behind them, and runs the
+//!   whole assembly on any substrate, merging per-shard safety and
+//!   compaction counters into one [`RunResult`].
+//!
+//! ## Rebalancing = snapshot + redirect
+//!
+//! A [`ShardMove`] rides the machinery that already exists instead of
+//! inventing a transfer protocol: the source leader's gate **freezes**
+//! the moving range (buffering new requests), **drains** in-flight
+//! writes, captures a range-filtered [`Snapshot`]
+//! ([`Snapshot::for_range`]), and ships it to the destination leader,
+//! whose gate **installs** it by proposing each entry through its own
+//! group's log. On the destination's ack the source bumps its map
+//! version, redirects the buffered clients, and broadcasts the new map.
+//! Clients that still hold the stale map are corrected per-request by
+//! redirect — exactly the mechanism that already handles a moved
+//! Paxos leader. Retries of requests acknowledged before the move are
+//! re-answered from a windowed reply cache, not re-executed, so a move
+//! never duplicates a client command.
+//!
+//! Per-key linearizability across a live move is asserted by the
+//! workspace test-suite (`tests/sharding.rs`), not just argued here.
+
+use crate::client::{jitter_seed, ClientRecorder, Sample, MAX_BACKOFF_SHIFT};
+use crate::cluster::ClusterConfig;
+use crate::command::{ClientReply, ClientRequest, Command, Key, Operation, RequestId};
+use crate::envelope::{Envelope, ProtoMessage};
+use crate::experiment::ProtocolSpec;
+use crate::harness::RunResult;
+use crate::kv::KvStore;
+use crate::metrics::{mean, percentile};
+use crate::session::SessionTable;
+use crate::snapshot::Snapshot;
+use crate::workload::Workload;
+use simnet::wire::{WireHeader, DOMAIN_SHARD, WIRE_HEADER_BYTES};
+use simnet::{
+    Actor, Context, CpuCostModel, Effect, NodeId, SimDuration, SimTime, Simulation, TimerId,
+    Topology, Wire, WireError, WirePut, WireReader,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies one consensus group (one shard's replica set).
+pub type GroupId = u32;
+
+/// A contiguous key range `[start, end)`; `end = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// First key in the range (inclusive).
+    pub start: Key,
+    /// One past the last key (exclusive); `None` extends to the top of
+    /// the key space.
+    pub end: Option<Key>,
+}
+
+impl KeyRange {
+    /// Whether `key` falls inside this range.
+    pub fn contains(&self, key: Key) -> bool {
+        key >= self.start && self.end.map_or(true, |e| key < e)
+    }
+}
+
+/// The versioned key-range → group routing table.
+///
+/// Stored as an ordered list of `(range start, owner)` pairs: range *i*
+/// covers `[starts[i], starts[i+1])` and the last range is unbounded.
+/// The representation makes the two map invariants — ranges are
+/// **disjoint** and **cover** the whole key space — true by
+/// construction; `is_valid` checks the representation itself (first
+/// start is 0, starts strictly increase).
+///
+/// Every mutation bumps `version`. Stale copies are harmless: a gate
+/// holding the authoritative assignment answers a misrouted request
+/// with a redirect, and [`ShardCtl::MapUpdate`] broadcasts let holders
+/// catch up wholesale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    version: u64,
+    starts: Vec<(Key, GroupId)>,
+}
+
+impl ShardMap {
+    /// `groups` equal ranges over the key space `[0, key_space)`:
+    /// range *g* starts at `g * (key_space / groups)` and is owned by
+    /// group *g*. The last range is unbounded, so keys at or above
+    /// `key_space` still route (to the last group).
+    pub fn uniform(groups: u32, key_space: u64) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        assert!(
+            key_space >= groups as u64,
+            "key space must have at least one key per group"
+        );
+        let stride = key_space / groups as u64;
+        ShardMap {
+            version: 1,
+            starts: (0..groups).map(|g| (g as u64 * stride, g)).collect(),
+        }
+    }
+
+    /// Monotonic map version; bumped by every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of ranges (≥ number of groups that own anything).
+    pub fn num_ranges(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The group owning `key`.
+    pub fn group_for(&self, key: Key) -> GroupId {
+        let idx = self.starts.partition_point(|&(s, _)| s <= key).max(1);
+        self.starts[idx - 1].1
+    }
+
+    /// The full range beginning exactly at `start`, if one does.
+    pub fn range_starting_at(&self, start: Key) -> Option<KeyRange> {
+        let i = self.starts.iter().position(|&(s, _)| s == start)?;
+        Some(KeyRange {
+            start,
+            end: self.starts.get(i + 1).map(|&(s, _)| s),
+        })
+    }
+
+    /// All ranges with their owners, in key order.
+    pub fn ranges(&self) -> Vec<(KeyRange, GroupId)> {
+        (0..self.starts.len())
+            .map(|i| {
+                let (start, g) = self.starts[i];
+                (
+                    KeyRange {
+                        start,
+                        end: self.starts.get(i + 1).map(|&(s, _)| s),
+                    },
+                    g,
+                )
+            })
+            .collect()
+    }
+
+    /// Split the range containing `at` into two at that key (both
+    /// halves keep the owner). Returns `false` — and leaves the map
+    /// untouched — if `at` is 0 or already a boundary.
+    pub fn split(&mut self, at: Key) -> bool {
+        if at == 0 || self.starts.iter().any(|&(s, _)| s == at) {
+            return false;
+        }
+        let owner = self.group_for(at);
+        let idx = self.starts.partition_point(|&(s, _)| s < at);
+        self.starts.insert(idx, (at, owner));
+        self.version += 1;
+        true
+    }
+
+    /// Reassign the range starting exactly at `start` to group `to`,
+    /// bumping the version. Returns `false` if no range starts there.
+    pub fn move_range(&mut self, start: Key, to: GroupId) -> bool {
+        match self.starts.iter_mut().find(|(s, _)| *s == start) {
+            Some(entry) => {
+                entry.1 = to;
+                self.version += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply a move decided elsewhere, stamping the mover's exact
+    /// `version`. Rejected (returns `false`) when `version` is not
+    /// newer than this copy or no range starts at `start` — so
+    /// replayed or reordered move notifications are no-ops.
+    pub fn install_move(&mut self, start: Key, to: GroupId, version: u64) -> bool {
+        if version <= self.version {
+            return false;
+        }
+        match self.starts.iter_mut().find(|(s, _)| *s == start) {
+            Some(entry) => {
+                entry.1 = to;
+                self.version = version;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Representation invariant: non-empty, first range starts at key
+    /// 0, starts strictly increase. Given this, the ranges are disjoint
+    /// and cover every key — the property the workspace proptest
+    /// drives through arbitrary split/move sequences.
+    pub fn is_valid(&self) -> bool {
+        !self.starts.is_empty()
+            && self.starts[0].0 == 0
+            && self.starts.windows(2).all(|w| w[0].0 < w[1].0)
+    }
+
+    /// Exact [`Wire`] encoding size: version (8) + count (4) + 12 bytes
+    /// per `(start, group)` entry.
+    pub fn wire_bytes(&self) -> usize {
+        12 + 12 * self.starts.len()
+    }
+}
+
+impl Wire for ShardMap {
+    /// `version: u64`, `count: u32`, then `count` entries of
+    /// `start: u64`, `group: u32` — already sorted, so deterministic.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.version);
+        out.put_u32(self.starts.len() as u32);
+        for &(start, group) in &self.starts {
+            out.put_u64(start);
+            out.put_u32(group);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let version = r.u64("shard_map.version")?;
+        let count = r.u32("shard_map.count")?;
+        let mut starts = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let start = r.u64("shard_map.start")?;
+            let group = r.u32("shard_map.group")?;
+            starts.push((start, group));
+        }
+        Ok(ShardMap { version, starts })
+    }
+}
+
+/// One scheduled range move: at `at` (simulation time from start), the
+/// range beginning at `start` migrates to group `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMove {
+    /// When the source leader's gate initiates the move.
+    pub at: SimDuration,
+    /// Start key of the moving range (must be an existing boundary).
+    pub start: Key,
+    /// Destination group.
+    pub to: GroupId,
+}
+
+/// Shard-control messages, carried as [`Envelope::Shard`] so they share
+/// the network with client and protocol traffic on every substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardCtl {
+    /// Tell the owning group's leader gate to start moving the range
+    /// beginning at `start` to group `to` (the message form of
+    /// [`ShardMove`]; scheduled moves use a timer instead).
+    Move {
+        /// Start key of the range to move.
+        start: Key,
+        /// Destination group.
+        to: GroupId,
+    },
+    /// Source → destination leader: the drained range's state. Boxed —
+    /// a snapshot dwarfs every other variant.
+    Install {
+        /// The map version the move will commit as.
+        version: u64,
+        /// The moving range.
+        range: KeyRange,
+        /// Range-filtered state captured after the source drained.
+        snapshot: Box<Snapshot>,
+    },
+    /// Destination → source leader: the range is durably installed;
+    /// the source may commit the move at `version` and redirect.
+    InstallAck {
+        /// Echo of the install's map version.
+        version: u64,
+    },
+    /// Authoritative map broadcast after a committed move, so routers
+    /// and peer gates stop relying on per-request redirects.
+    MapUpdate {
+        /// The new routing table.
+        map: ShardMap,
+    },
+}
+
+const SHARD_KIND_MOVE: u8 = 0;
+const SHARD_KIND_INSTALL: u8 = 1;
+const SHARD_KIND_INSTALL_ACK: u8 = 2;
+const SHARD_KIND_MAP_UPDATE: u8 = 3;
+
+impl ShardCtl {
+    /// Serialized size in bytes (header + variant body); equals the
+    /// [`Wire`] encoding length exactly.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ShardCtl::Move { .. } => WIRE_HEADER_BYTES + 12,
+            // version + start + end-presence byte + end + snapshot.
+            ShardCtl::Install { snapshot, .. } => WIRE_HEADER_BYTES + 25 + snapshot.wire_bytes(),
+            ShardCtl::InstallAck { .. } => WIRE_HEADER_BYTES + 8,
+            ShardCtl::MapUpdate { map } => WIRE_HEADER_BYTES + map.wire_bytes(),
+        }
+    }
+
+    /// Short label for traces and per-label delivery counts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardCtl::Move { .. } => "shard_move",
+            ShardCtl::Install { .. } => "shard_install",
+            ShardCtl::InstallAck { .. } => "shard_install_ack",
+            ShardCtl::MapUpdate { .. } => "shard_map",
+        }
+    }
+}
+
+impl Wire for ShardCtl {
+    /// Standard 24-byte header under [`DOMAIN_SHARD`]; bodies are plain
+    /// little-endian fields (see [`ShardCtl::wire_size`] for layouts).
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ShardCtl::Move { start, to } => {
+                WireHeader::new(DOMAIN_SHARD, SHARD_KIND_MOVE).encode_into(out);
+                out.put_u64(*start);
+                out.put_u32(*to);
+            }
+            ShardCtl::Install {
+                version,
+                range,
+                snapshot,
+            } => {
+                WireHeader::new(DOMAIN_SHARD, SHARD_KIND_INSTALL).encode_into(out);
+                out.put_u64(*version);
+                out.put_u64(range.start);
+                out.put_u8(range.end.is_some() as u8);
+                out.put_u64(range.end.unwrap_or(0));
+                snapshot.encode_into(out);
+            }
+            ShardCtl::InstallAck { version } => {
+                WireHeader::new(DOMAIN_SHARD, SHARD_KIND_INSTALL_ACK).encode_into(out);
+                out.put_u64(*version);
+            }
+            ShardCtl::MapUpdate { map } => {
+                WireHeader::new(DOMAIN_SHARD, SHARD_KIND_MAP_UPDATE).encode_into(out);
+                map.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let h = WireHeader::decode(r)?;
+        if h.domain != DOMAIN_SHARD {
+            return Err(WireError::BadTag {
+                what: "shard.domain",
+                got: h.domain,
+            });
+        }
+        match h.kind {
+            SHARD_KIND_MOVE => Ok(ShardCtl::Move {
+                start: r.u64("shard.move.start")?,
+                to: r.u32("shard.move.to")?,
+            }),
+            SHARD_KIND_INSTALL => {
+                let version = r.u64("shard.install.version")?;
+                let start = r.u64("shard.install.start")?;
+                let has_end = r.u8("shard.install.has_end")?;
+                let end_raw = r.u64("shard.install.end")?;
+                let end = match has_end {
+                    0 => None,
+                    1 => Some(end_raw),
+                    got => {
+                        return Err(WireError::BadTag {
+                            what: "shard.install.has_end",
+                            got,
+                        })
+                    }
+                };
+                Ok(ShardCtl::Install {
+                    version,
+                    range: KeyRange { start, end },
+                    snapshot: Box::new(Snapshot::decode(r)?),
+                })
+            }
+            SHARD_KIND_INSTALL_ACK => Ok(ShardCtl::InstallAck {
+                version: r.u64("shard.ack.version")?,
+            }),
+            SHARD_KIND_MAP_UPDATE => Ok(ShardCtl::MapUpdate {
+                map: ShardMap::decode(r)?,
+            }),
+            got => Err(WireError::BadTag {
+                what: "shard.kind",
+                got,
+            }),
+        }
+    }
+}
+
+/// Gate-owned timer kinds carry this bit so they never collide with the
+/// wrapped replica's timers (protocol timer kinds are small values).
+const GATE_TIMER_BIT: u64 = 1 << 63;
+/// Timer kind for the move drain re-check tick.
+const DRAIN_KIND: u64 = GATE_TIMER_BIT | (1 << 62);
+/// How often a draining gate re-checks for in-flight writes.
+const DRAIN_TICK: SimDuration = SimDuration::from_millis(1);
+/// Per-client window of recently acknowledged replies kept for
+/// exactly-once retry replay across a move.
+const RECENT_WINDOW: usize = 32;
+
+/// Source-side state of one in-progress outbound move.
+struct MoveState {
+    range: KeyRange,
+    to: GroupId,
+    /// The map version this move commits as (source version + 1).
+    new_version: u64,
+    /// Requests for the frozen range, parked until the move commits
+    /// (then answered with a redirect to the new owner).
+    buffered: Vec<(NodeId, ClientRequest)>,
+    shipped: bool,
+}
+
+/// Destination-side state of one in-progress inbound install.
+struct InstallState {
+    version: u64,
+    range: KeyRange,
+    /// The source leader to ack once every entry is committed.
+    from: NodeId,
+    /// Sequence numbers of install writes not yet acknowledged by the
+    /// local consensus group.
+    outstanding: HashSet<u64>,
+    /// Client requests for the arriving range, parked until the state
+    /// is installed (then served locally).
+    buffered: Vec<(NodeId, ClientRequest)>,
+}
+
+/// Protocol-agnostic sharding decorator wrapped around a replica actor.
+///
+/// The gate intercepts the replica's network-facing surface: inbound
+/// client requests are admitted, buffered, redirected, or re-answered
+/// from the reply cache depending on range ownership and move state;
+/// inbound [`ShardCtl`] traffic drives the move/install state machines;
+/// everything else — protocol messages, timers — passes through
+/// untouched. Outbound effects are observed via [`Context::capture`] so
+/// the gate can mirror acknowledged writes (the mirror is what a move
+/// ships) without knowing anything about the protocol inside.
+///
+/// One gate wraps **every** replica, but only the gate in front of a
+/// group's leader acts on moves; follower gates merely keep their maps
+/// fresh and redirect strays.
+pub struct ShardGate<P: ProtoMessage> {
+    inner: Box<dyn Actor<Envelope<P>> + Send>,
+    group: GroupId,
+    map: ShardMap,
+    /// Initial leader of every group, indexed by [`GroupId`].
+    leaders: Vec<NodeId>,
+    /// Nodes to notify with [`ShardCtl::MapUpdate`] after a committed
+    /// move (typically all leaders and routers).
+    notify: Vec<NodeId>,
+    /// Scheduled moves this gate initiates (leader gates only).
+    moves: Vec<ShardMove>,
+    node: NodeId,
+    /// Writes acknowledged by the local group, replayed from observed
+    /// `ok` replies — the state a move ships.
+    mirror: KvStore,
+    /// Writes proposed but not yet acknowledged (client and install
+    /// writes); a move may not ship while any overlap its range.
+    pending: HashMap<RequestId, Operation>,
+    /// Per-client window of recent acknowledged replies, for
+    /// exactly-once retry replay after the range moved away.
+    recent: HashMap<NodeId, VecDeque<(u64, ClientReply)>>,
+    moving: Option<MoveState>,
+    installing: Option<InstallState>,
+    /// Sequence source for gate-issued install writes.
+    gate_seq: u64,
+}
+
+impl<P: ProtoMessage> ShardGate<P> {
+    /// Wrap `inner` (a replica of `group`) with the sharding gate.
+    /// `leaders[g]` is group *g*'s leader node; `notify` lists the
+    /// nodes to send map updates to after a committed move.
+    pub fn new(
+        inner: Box<dyn Actor<Envelope<P>> + Send>,
+        group: GroupId,
+        map: ShardMap,
+        leaders: Vec<NodeId>,
+        notify: Vec<NodeId>,
+    ) -> Self {
+        ShardGate {
+            inner,
+            group,
+            map,
+            leaders,
+            notify,
+            moves: Vec::new(),
+            node: NodeId(u32::MAX),
+            mirror: KvStore::new(),
+            pending: HashMap::new(),
+            recent: HashMap::new(),
+            moving: None,
+            installing: None,
+            gate_seq: 0,
+        }
+    }
+
+    /// Schedule `moves` to fire on this gate's timers (give the full
+    /// list to every leader gate; at fire time only the current owner
+    /// of the range acts, so chained moves work).
+    pub fn with_moves(mut self, moves: Vec<ShardMove>) -> Self {
+        self.moves = moves;
+        self
+    }
+
+    /// This gate's current map copy (tests inspect the version).
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Run `f` against the wrapped replica, capturing its effects and
+    /// post-processing them (reply observation, self-delivery).
+    fn invoke(
+        &mut self,
+        ctx: &mut Context<Envelope<P>>,
+        f: impl FnOnce(&mut (dyn Actor<Envelope<P>> + Send), &mut Context<Envelope<P>>),
+    ) {
+        let inner = &mut self.inner;
+        let ((), effects) = ctx.capture(|c| f(inner.as_mut(), c));
+        self.process_effects(effects, ctx);
+    }
+
+    /// Re-emit the replica's captured effects, observing replies on the
+    /// way out. Replies addressed to this very node are gate-issued
+    /// install writes completing — they are consumed, not sent.
+    fn process_effects(
+        &mut self,
+        effects: Vec<Effect<Envelope<P>>>,
+        ctx: &mut Context<Envelope<P>>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => match msg {
+                    Envelope::Reply(r) => {
+                        self.note_reply(&r);
+                        if to == self.node {
+                            self.on_self_reply(&r, ctx);
+                        } else {
+                            ctx.send(to, Envelope::Reply(r));
+                        }
+                    }
+                    Envelope::ReplyBatch(rs) => {
+                        for r in &rs {
+                            self.note_reply(r);
+                        }
+                        if to == self.node {
+                            for r in &rs {
+                                self.on_self_reply(r, ctx);
+                            }
+                        } else {
+                            ctx.send(to, Envelope::ReplyBatch(rs));
+                        }
+                    }
+                    other => ctx.send(to, other),
+                },
+                other => ctx.emit(other),
+            }
+        }
+    }
+
+    /// Observe one outbound reply: settle the pending write (feeding
+    /// the mirror on success) and cache it for retry replay.
+    fn note_reply(&mut self, r: &ClientReply) {
+        if !r.ok {
+            self.pending.remove(&r.id);
+            return;
+        }
+        if let Some(op) = self.pending.remove(&r.id) {
+            self.mirror.apply(&op);
+        }
+        if r.id.client != self.node {
+            let entry = self.recent.entry(r.id.client).or_default();
+            entry.retain(|(seq, _)| *seq != r.id.seq);
+            entry.push_back((r.id.seq, r.clone()));
+            if entry.len() > RECENT_WINDOW {
+                entry.pop_front();
+            }
+        }
+    }
+
+    /// A reply to a gate-issued install write arrived (via effect
+    /// capture — it never touches the network).
+    fn on_self_reply(&mut self, r: &ClientReply, ctx: &mut Context<Envelope<P>>) {
+        if !r.ok {
+            return;
+        }
+        let done = match self.installing.as_mut() {
+            Some(inst) => {
+                inst.outstanding.remove(&r.id.seq);
+                inst.outstanding.is_empty()
+            }
+            None => false,
+        };
+        if done {
+            self.complete_install(ctx);
+        }
+    }
+
+    fn cached_reply(&self, id: &RequestId) -> Option<ClientReply> {
+        self.recent
+            .get(&id.client)?
+            .iter()
+            .find(|(seq, _)| *seq == id.seq)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Admission control for client requests: buffer during an install
+    /// or a freeze, replay cached replies for retries of acknowledged
+    /// requests, redirect keys this group does not own, and pass owned
+    /// traffic to the replica.
+    fn handle_request(&mut self, from: NodeId, req: ClientRequest, ctx: &mut Context<Envelope<P>>) {
+        let key = match req.command.op.key() {
+            Some(k) => k,
+            // Key-less operations (noops) have no shard; serve locally.
+            None => {
+                self.forward_owned(from, req, ctx);
+                return;
+            }
+        };
+        let installing_hit = self
+            .installing
+            .as_ref()
+            .is_some_and(|inst| inst.range.contains(key));
+        if installing_hit {
+            let inst = self.installing.as_mut().expect("checked installing");
+            if !inst
+                .buffered
+                .iter()
+                .any(|(_, r)| r.command.id == req.command.id)
+            {
+                inst.buffered.push((from, req));
+            }
+            return;
+        }
+        let frozen = self
+            .moving
+            .as_ref()
+            .is_some_and(|mv| mv.range.contains(key));
+        if frozen {
+            if let Some(reply) = self.cached_reply(&req.command.id) {
+                ctx.send(from, Envelope::Reply(reply));
+                return;
+            }
+            let mv = self.moving.as_mut().expect("checked moving");
+            if !mv
+                .buffered
+                .iter()
+                .any(|(_, r)| r.command.id == req.command.id)
+            {
+                mv.buffered.push((from, req));
+            }
+            return;
+        }
+        let owner = self.map.group_for(key);
+        if owner == self.group {
+            self.forward_owned(from, req, ctx);
+        } else if let Some(reply) = self.cached_reply(&req.command.id) {
+            // A retry of a request this group already executed before
+            // the range moved away: re-answer, never redirect — the new
+            // owner would execute it a second time.
+            ctx.send(from, Envelope::Reply(reply));
+        } else {
+            let hint = self.leaders.get(owner as usize).copied();
+            ctx.send(
+                from,
+                Envelope::Reply(ClientReply::redirect(req.command.id, hint)),
+            );
+        }
+    }
+
+    /// Hand an owned request to the replica, tracking writes as pending
+    /// until their reply settles them.
+    fn forward_owned(&mut self, from: NodeId, req: ClientRequest, ctx: &mut Context<Envelope<P>>) {
+        if let Operation::Put(..) = req.command.op {
+            self.pending.insert(req.command.id, req.command.op.clone());
+        }
+        self.invoke(ctx, move |inner, c| {
+            inner.on_message(from, Envelope::Request(req), c)
+        });
+    }
+
+    /// Begin moving the range starting at `start` to group `to`.
+    /// Silently refuses when this gate is not the current owner's
+    /// leader, the range boundary does not exist, a move or install is
+    /// already in flight, or the destination is bogus — a scheduled
+    /// move list handed to every leader thus fires exactly once, at
+    /// the owner.
+    fn start_move(&mut self, start: Key, to: GroupId, ctx: &mut Context<Envelope<P>>) {
+        if self.moving.is_some() || self.installing.is_some() {
+            return;
+        }
+        if to == self.group || to as usize >= self.leaders.len() {
+            return;
+        }
+        if self.leaders.get(self.group as usize).copied() != Some(self.node) {
+            return;
+        }
+        if self.map.group_for(start) != self.group {
+            return;
+        }
+        let range = match self.map.range_starting_at(start) {
+            Some(r) => r,
+            None => return,
+        };
+        self.moving = Some(MoveState {
+            range,
+            to,
+            new_version: self.map.version() + 1,
+            buffered: Vec::new(),
+            shipped: false,
+        });
+        self.try_ship(ctx);
+    }
+
+    /// Ship the frozen range once no in-flight write overlaps it;
+    /// otherwise re-check after a drain tick. Strict draining is what
+    /// makes the snapshot complete: a write committed after capture
+    /// would be silently lost.
+    fn try_ship(&mut self, ctx: &mut Context<Envelope<P>>) {
+        let (range, to) = match &self.moving {
+            Some(mv) if !mv.shipped => (mv.range, mv.to),
+            _ => return,
+        };
+        let draining = self
+            .pending
+            .values()
+            .any(|op| op.key().is_some_and(|k| range.contains(k)));
+        if draining {
+            ctx.set_timer(DRAIN_TICK, DRAIN_KIND);
+            return;
+        }
+        let snapshot = Snapshot::for_range(
+            0,
+            &self.mirror,
+            &HashMap::new(),
+            &SessionTable::new(),
+            range.start,
+            range.end,
+        );
+        let mv = self.moving.as_mut().expect("checked moving");
+        mv.shipped = true;
+        let version = mv.new_version;
+        let dest = self.leaders[to as usize];
+        ctx.send(
+            dest,
+            Envelope::Shard(ShardCtl::Install {
+                version,
+                range,
+                snapshot: Box::new(snapshot),
+            }),
+        );
+    }
+
+    /// Destination side: propose every snapshot entry through the local
+    /// group's log (as gate-issued writes), then ack the source.
+    fn begin_install(
+        &mut self,
+        from: NodeId,
+        version: u64,
+        range: KeyRange,
+        snapshot: &Snapshot,
+        ctx: &mut Context<Envelope<P>>,
+    ) {
+        if version <= self.map.version() {
+            // Stale or duplicate install. If this group already owns the
+            // range the original ack was lost — re-ack so the source
+            // can commit; otherwise drop.
+            if self.map.group_for(range.start) == self.group {
+                ctx.send(from, Envelope::Shard(ShardCtl::InstallAck { version }));
+            }
+            return;
+        }
+        if self.installing.is_some() || self.moving.is_some() {
+            return;
+        }
+        let mut inst = InstallState {
+            version,
+            range,
+            from,
+            outstanding: HashSet::new(),
+            buffered: Vec::new(),
+        };
+        let mut commands = Vec::new();
+        for (k, v) in snapshot.kv.sorted_entries() {
+            self.gate_seq += 1;
+            let id = RequestId {
+                client: self.node,
+                seq: self.gate_seq,
+            };
+            inst.outstanding.insert(self.gate_seq);
+            self.pending.insert(id, Operation::Put(k, v.clone()));
+            commands.push(Command {
+                id,
+                op: Operation::Put(k, v),
+            });
+        }
+        self.installing = Some(inst);
+        if commands.is_empty() {
+            self.complete_install(ctx);
+            return;
+        }
+        let node = self.node;
+        for command in commands {
+            let req = ClientRequest { command };
+            self.invoke(ctx, move |inner, c| {
+                inner.on_message(node, Envelope::Request(req), c)
+            });
+        }
+    }
+
+    /// Every install write is committed: adopt the range, ack the
+    /// source, and serve what buffered while the state was in flight.
+    fn complete_install(&mut self, ctx: &mut Context<Envelope<P>>) {
+        let inst = match self.installing.take() {
+            Some(i) => i,
+            None => return,
+        };
+        self.map
+            .install_move(inst.range.start, self.group, inst.version);
+        ctx.send(
+            inst.from,
+            Envelope::Shard(ShardCtl::InstallAck {
+                version: inst.version,
+            }),
+        );
+        for (client, req) in inst.buffered {
+            self.handle_request(client, req, ctx);
+        }
+    }
+
+    /// Source side: the destination holds the range durably — commit
+    /// the move, redirect buffered clients, broadcast the new map.
+    fn complete_move(&mut self, version: u64, ctx: &mut Context<Envelope<P>>) {
+        let acked = self
+            .moving
+            .as_ref()
+            .is_some_and(|mv| mv.shipped && mv.new_version == version);
+        if !acked {
+            return;
+        }
+        let mv = self.moving.take().expect("checked moving");
+        self.map.install_move(mv.range.start, mv.to, version);
+        let hint = self.leaders.get(mv.to as usize).copied();
+        for (client, req) in mv.buffered {
+            ctx.send(
+                client,
+                Envelope::Reply(ClientReply::redirect(req.command.id, hint)),
+            );
+        }
+        let update = ShardCtl::MapUpdate {
+            map: self.map.clone(),
+        };
+        for &n in &self.notify {
+            if n != self.node {
+                ctx.send(n, Envelope::Shard(update.clone()));
+            }
+        }
+    }
+
+    fn handle_ctl(&mut self, from: NodeId, ctl: ShardCtl, ctx: &mut Context<Envelope<P>>) {
+        match ctl {
+            ShardCtl::Move { start, to } => self.start_move(start, to, ctx),
+            ShardCtl::Install {
+                version,
+                range,
+                snapshot,
+            } => self.begin_install(from, version, range, &snapshot, ctx),
+            ShardCtl::InstallAck { version } => self.complete_move(version, ctx),
+            ShardCtl::MapUpdate { map } => {
+                if map.version() > self.map.version() {
+                    self.map = map;
+                }
+            }
+        }
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for ShardGate<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        self.node = ctx.node();
+        for (i, mv) in self.moves.iter().enumerate() {
+            ctx.set_timer(mv.at, GATE_TIMER_BIT | i as u64);
+        }
+        self.invoke(ctx, |inner, c| inner.on_start(c));
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
+        match msg {
+            Envelope::Request(req) => self.handle_request(from, req, ctx),
+            Envelope::Shard(ctl) => self.handle_ctl(from, ctl, ctx),
+            other => self.invoke(ctx, move |inner, c| inner.on_message(from, other, c)),
+        }
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
+        if kind & GATE_TIMER_BIT != 0 {
+            if kind == DRAIN_KIND {
+                self.try_ship(ctx);
+            } else if let Some(mv) = self.moves.get((kind & !GATE_TIMER_BIT) as usize).copied() {
+                self.start_move(mv.start, mv.to, ctx);
+            }
+            return;
+        }
+        self.invoke(ctx, |inner, c| inner.on_timer(id, kind, c));
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        self.inner.state_digest()
+    }
+}
+
+struct RouterOutstanding {
+    issued: SimTime,
+    command: Command,
+    is_read: bool,
+    attempts: u32,
+}
+
+/// Closed-loop sharded client: like [`crate::ClosedLoopClient`], but
+/// each operation routes by key through a local [`ShardMap`] copy to
+/// the owning group's leader. Redirect replies (a stale map losing to a
+/// live move) re-send to the hinted leader; [`ShardCtl::MapUpdate`]
+/// broadcasts re-freshen the map wholesale. Retry timeouts back off
+/// exponentially with the same deterministic jitter schedule as the
+/// unsharded client.
+pub struct ShardRouter<P> {
+    map: ShardMap,
+    leaders: Vec<NodeId>,
+    workload: Workload,
+    recorder: ClientRecorder,
+    retry_timeout: SimDuration,
+    pipeline: usize,
+    seq: u64,
+    outstanding: HashMap<u64, RouterOutstanding>,
+    _proto: PhantomData<P>,
+}
+
+impl<P> ShardRouter<P> {
+    /// A router over `map` (leaders indexed by [`GroupId`]) recording
+    /// completions into `recorder`.
+    pub fn new(
+        map: ShardMap,
+        leaders: Vec<NodeId>,
+        workload: Workload,
+        recorder: ClientRecorder,
+        retry_timeout: SimDuration,
+    ) -> Self {
+        assert!(!leaders.is_empty(), "need at least one group leader");
+        ShardRouter {
+            map,
+            leaders,
+            workload,
+            recorder,
+            retry_timeout,
+            pipeline: 1,
+            seq: 0,
+            outstanding: HashMap::new(),
+            _proto: PhantomData,
+        }
+    }
+
+    /// Keep `depth` requests outstanding instead of one.
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline = depth;
+        self
+    }
+
+    /// The leader this router would send `op` to under its current map.
+    fn route(&self, op: &Operation) -> NodeId {
+        match op.key() {
+            Some(k) => {
+                let g = self.map.group_for(k) as usize;
+                self.leaders.get(g).copied().unwrap_or(self.leaders[0])
+            }
+            None => self.leaders[0],
+        }
+    }
+}
+
+impl<P: ProtoMessage> ShardRouter<P> {
+    fn retry_delay(&self, node: NodeId, seq: u64, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            return self.retry_timeout;
+        }
+        let base = self.retry_timeout.as_nanos().max(1);
+        let delay = base.saturating_mul(1 << attempt.min(MAX_BACKOFF_SHIFT));
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(jitter_seed(node, seq, attempt));
+        let jitter = rng.gen_range(0..=delay / 2);
+        SimDuration::from_nanos(delay.saturating_add(jitter))
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<Envelope<P>>) {
+        self.seq += 1;
+        let op = self.workload.next_op(ctx.rng());
+        let is_read = op.is_read();
+        let to = self.route(&op);
+        let id = RequestId {
+            client: ctx.node(),
+            seq: self.seq,
+        };
+        let command = Command { id, op };
+        self.outstanding.insert(
+            self.seq,
+            RouterOutstanding {
+                issued: ctx.now(),
+                command: command.clone(),
+                is_read,
+                attempts: 0,
+            },
+        );
+        ctx.send(to, Envelope::Request(ClientRequest { command }));
+        ctx.set_timer(self.retry_timeout, self.seq);
+    }
+
+    fn resend(&mut self, seq: u64, to: Option<NodeId>, ctx: &mut Context<Envelope<P>>) {
+        if let Some(out) = self.outstanding.get(&seq) {
+            let command = out.command.clone();
+            let attempt = out.attempts;
+            self.recorder.record_retry();
+            // Without a redirect hint, re-resolve against the current
+            // map — it may have been refreshed since the first send.
+            let to = to.unwrap_or_else(|| self.route(&command.op));
+            ctx.send(to, Envelope::Request(ClientRequest { command }));
+            let delay = self.retry_delay(ctx.node(), seq, attempt);
+            ctx.set_timer(delay, seq);
+        }
+    }
+
+    fn handle_reply(&mut self, reply: ClientReply, ctx: &mut Context<Envelope<P>>) {
+        if !self.outstanding.contains_key(&reply.id.seq) {
+            return; // stale (a retry raced the original)
+        }
+        if !reply.ok {
+            self.resend(reply.id.seq, reply.redirect, ctx);
+            return;
+        }
+        let out = self.outstanding.remove(&reply.id.seq).expect("checked");
+        self.recorder.record(Sample {
+            issued: out.issued,
+            completed: ctx.now(),
+            is_read: out.is_read,
+        });
+        self.issue_next(ctx);
+    }
+}
+
+impl<P: ProtoMessage> Actor<Envelope<P>> for ShardRouter<P> {
+    fn on_start(&mut self, ctx: &mut Context<Envelope<P>>) {
+        for _ in 0..self.pipeline {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Envelope<P>, ctx: &mut Context<Envelope<P>>) {
+        match msg {
+            Envelope::Reply(r) => self.handle_reply(r, ctx),
+            Envelope::ReplyBatch(rs) => {
+                for r in rs {
+                    self.handle_reply(r, ctx);
+                }
+            }
+            Envelope::Shard(ShardCtl::MapUpdate { map }) if map.version() > self.map.version() => {
+                self.map = map;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<Envelope<P>>) {
+        if let Some(out) = self.outstanding.get_mut(&kind) {
+            out.attempts += 1;
+            self.resend(kind, None, ctx);
+        }
+    }
+}
+
+/// The concrete node assignment of one sharded run: who is where.
+///
+/// Node-id space, in order: shard 0's replicas, shard 1's replicas, …,
+/// then routers, then extra client nodes (custom actors first, empty
+/// hook slots last). Each shard's [`ClusterConfig`] carries its own
+/// shared [`crate::SafetyMonitor`] and [`crate::snapshot::CompactionStats`]
+/// handles — clone them out in a run hook for post-run per-shard
+/// inspection.
+pub struct ShardLayout {
+    /// Number of shards (consensus groups).
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas_per_shard: usize,
+    /// The initial routing table.
+    pub map: ShardMap,
+    /// Per-shard cluster configs (disjoint node-id ranges).
+    pub clusters: Vec<ClusterConfig>,
+    /// Initial leader of each shard, indexed by [`GroupId`].
+    pub leaders: Vec<NodeId>,
+    /// Router (client) node ids.
+    pub routers: Vec<NodeId>,
+    /// Extra client-node ids (custom actors, then empty hook slots).
+    pub extras: Vec<NodeId>,
+    /// Total node count in the topology.
+    pub total_nodes: usize,
+}
+
+impl ShardLayout {
+    /// The shard whose replica range contains `node`, if any.
+    pub fn shard_of(&self, node: NodeId) -> Option<usize> {
+        let idx = node.index();
+        if idx < self.shards * self.replicas_per_shard {
+            Some(idx / self.replicas_per_shard)
+        } else {
+            None
+        }
+    }
+}
+
+type ExtraActorFactory<P> =
+    Arc<dyn Fn(&ShardLayout) -> Box<dyn Actor<Envelope<P>> + Send> + Send + Sync>;
+
+/// Builder for a sharded deployment: N independent instances of any
+/// [`ProtocolSpec`], each wrapped in [`ShardGate`]s, multiplexed over
+/// one shared substrate with [`ShardRouter`] clients in front.
+///
+/// ```
+/// # use paxi::{ShardedExperiment, ClusterConfig, Envelope, ProtocolSpec};
+/// # use paxi::{ClientReply, ClientRequest, Ctx, Replica, ReplicaActor, ReplicaCtx};
+/// # use simnet::{Actor, NodeId, SimDuration};
+/// # #[derive(Debug, Clone)]
+/// # struct NoMsg;
+/// # impl paxi::ProtoMessage for NoMsg { fn wire_size(&self) -> usize { 0 } }
+/// # struct Ack(ClusterConfig, u64);
+/// # impl Replica<NoMsg> for Ack {
+/// #     fn on_request(&mut self, c: NodeId, req: ClientRequest, ctx: &mut Ctx<NoMsg>) {
+/// #         self.0.safety.record(0, self.1, req.command.id);
+/// #         self.1 += 1;
+/// #         ctx.reply(c, ClientReply::ok(req.command.id, None));
+/// #     }
+/// #     fn on_proto(&mut self, _f: NodeId, _m: NoMsg, _c: &mut Ctx<NoMsg>) {}
+/// # }
+/// # #[derive(Clone)]
+/// # struct AckSpec;
+/// # impl ProtocolSpec for AckSpec {
+/// #     type Msg = NoMsg;
+/// #     fn protocol_name(&self) -> &'static str { "ack" }
+/// #     fn build_replica(
+/// #         &self,
+/// #         _node: NodeId,
+/// #         cluster: &ClusterConfig,
+/// #     ) -> Box<dyn Actor<Envelope<NoMsg>> + Send> {
+/// #         Box::new(ReplicaActor(Ack(cluster.clone(), 0)))
+/// #     }
+/// # }
+/// // 2 shards × 1 replica, 4 routers:
+/// let result = ShardedExperiment::new(AckSpec, 2, 1)
+///     .routers(4)
+///     .warmup(SimDuration::from_millis(100))
+///     .measure(SimDuration::from_millis(400))
+///     .run_sim(paxi::DEFAULT_SEED);
+/// assert!(result.violations.is_empty());
+/// assert!(result.samples > 0);
+/// ```
+pub struct ShardedExperiment<P: ProtocolSpec> {
+    proto: P,
+    shards: usize,
+    replicas_per_shard: usize,
+    routers: usize,
+    pipeline: usize,
+    workload: Workload,
+    warmup: SimDuration,
+    measure: SimDuration,
+    retry_timeout: SimDuration,
+    cost: CpuCostModel,
+    key_space: u64,
+    moves: Vec<ShardMove>,
+    extra_nodes: usize,
+    extra_actors: Vec<ExtraActorFactory<P::Msg>>,
+}
+
+impl<P: ProtocolSpec> ShardedExperiment<P> {
+    /// `shards` independent `proto` groups of `replicas_per_shard`
+    /// replicas each, with LAN-grade defaults: 4 routers, pipeline 1,
+    /// the paper-default workload, 500 ms warmup, 2 s measurement,
+    /// 100 ms client retry, calibrated CPU costs.
+    pub fn new(proto: P, shards: usize, replicas_per_shard: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(replicas_per_shard >= 1, "need at least one replica");
+        ShardedExperiment {
+            proto,
+            shards,
+            replicas_per_shard,
+            routers: 4,
+            pipeline: 1,
+            workload: Workload::paper_default(),
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_secs(2),
+            retry_timeout: SimDuration::from_millis(100),
+            cost: CpuCostModel::calibrated(),
+            key_space: 0,
+            moves: Vec::new(),
+            extra_nodes: 0,
+            extra_actors: Vec::new(),
+        }
+    }
+
+    /// Number of router clients (the offered-load control).
+    pub fn routers(mut self, n: usize) -> Self {
+        self.routers = n;
+        self
+    }
+
+    /// Requests each router keeps in flight (default 1).
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline = depth;
+        self
+    }
+
+    /// Workload specification (default [`Workload::paper_default`]).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Ramp-up time excluded from measurement (simulator substrate).
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Measurement window length (simulator substrate).
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Router retry timeout.
+    pub fn retry_timeout(mut self, timeout: SimDuration) -> Self {
+        self.retry_timeout = timeout;
+        self
+    }
+
+    /// CPU cost model (default [`CpuCostModel::calibrated`]).
+    pub fn cost(mut self, cost: CpuCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Key space the initial map partitions (default 0 = the
+    /// workload's `num_keys`).
+    pub fn key_space(mut self, keys: u64) -> Self {
+        self.key_space = keys;
+        self
+    }
+
+    /// Schedule a live range move at `at`: the range starting at
+    /// `start` migrates to shard `to`. May be called repeatedly;
+    /// chained moves must be spaced far enough apart for each to
+    /// commit before the next fires.
+    pub fn move_range(mut self, at: SimDuration, start: Key, to: GroupId) -> Self {
+        self.moves.push(ShardMove { at, start, to });
+        self
+    }
+
+    /// Extra client-side nodes with no harness-spawned actors; a
+    /// [`run_sim_with`](Self::run_sim_with) hook can populate them.
+    pub fn extra_client_nodes(mut self, n: usize) -> Self {
+        self.extra_nodes = n;
+        self
+    }
+
+    /// Add a custom client actor built from the concrete layout
+    /// (checkers, probes). Each factory gets its own node, placed
+    /// after the routers; the factory sees the full [`ShardLayout`]
+    /// including per-shard safety handles.
+    pub fn with_client(
+        mut self,
+        factory: impl Fn(&ShardLayout) -> Box<dyn Actor<Envelope<P::Msg>> + Send>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.extra_actors.push(Arc::new(factory));
+        self
+    }
+
+    /// Materialize the node assignment for one run (fresh per-shard
+    /// safety monitors and compaction counters).
+    fn make_layout(&self) -> ShardLayout {
+        let r = self.replicas_per_shard;
+        let clusters: Vec<ClusterConfig> = (0..self.shards)
+            .map(|s| ClusterConfig::with_range(s * r, r))
+            .collect();
+        let leaders: Vec<NodeId> = clusters.iter().map(|c| c.leader).collect();
+        let n_replicas = self.shards * r;
+        let routers: Vec<NodeId> = (0..self.routers)
+            .map(|i| NodeId::from(n_replicas + i))
+            .collect();
+        let n_extras = self.extra_actors.len() + self.extra_nodes;
+        let extras: Vec<NodeId> = (0..n_extras)
+            .map(|i| NodeId::from(n_replicas + self.routers + i))
+            .collect();
+        let key_space = if self.key_space == 0 {
+            self.workload.num_keys
+        } else {
+            self.key_space
+        };
+        ShardLayout {
+            shards: self.shards,
+            replicas_per_shard: r,
+            map: ShardMap::uniform(self.shards as u32, key_space),
+            clusters,
+            leaders,
+            routers,
+            extras,
+            total_nodes: n_replicas + self.routers + n_extras,
+        }
+    }
+
+    /// All actors in node-id order: gated replicas, routers, custom
+    /// clients.
+    fn build_actors(
+        &self,
+        layout: &ShardLayout,
+        recorder: &ClientRecorder,
+    ) -> Vec<Box<dyn Actor<Envelope<P::Msg>> + Send>> {
+        let notify: Vec<NodeId> = layout
+            .leaders
+            .iter()
+            .chain(layout.routers.iter())
+            .copied()
+            .collect();
+        let mut actors: Vec<Box<dyn Actor<Envelope<P::Msg>> + Send>> = Vec::new();
+        for (s, cluster) in layout.clusters.iter().enumerate() {
+            for &node in &cluster.replicas {
+                let inner = self.proto.build_replica(node, cluster);
+                let mut gate = ShardGate::new(
+                    inner,
+                    s as GroupId,
+                    layout.map.clone(),
+                    layout.leaders.clone(),
+                    notify.clone(),
+                );
+                if node == cluster.leader {
+                    gate = gate.with_moves(self.moves.clone());
+                }
+                actors.push(Box::new(gate));
+            }
+        }
+        for _ in 0..self.routers {
+            actors.push(Box::new(
+                ShardRouter::<P::Msg>::new(
+                    layout.map.clone(),
+                    layout.leaders.clone(),
+                    self.workload.clone(),
+                    recorder.clone(),
+                    self.retry_timeout,
+                )
+                .with_pipeline(self.pipeline),
+            ));
+        }
+        for factory in &self.extra_actors {
+            actors.push(factory(layout));
+        }
+        actors
+    }
+
+    /// Merge the per-shard safety and compaction counters.
+    #[allow(clippy::type_complexity)]
+    fn merged_counters(layout: &ShardLayout) -> (u64, Vec<String>, u64, u64, u64, u64, u64) {
+        let mut decided = 0;
+        let mut violations = Vec::new();
+        let mut max_log_len = 0;
+        let mut taken = 0;
+        let mut installed = 0;
+        let mut pqr_started = 0;
+        let mut pqr_inflight = 0;
+        for c in &layout.clusters {
+            decided += c.safety.decided_count();
+            violations.extend(c.safety.violations());
+            max_log_len = max_log_len.max(c.stats.max_log_len());
+            taken += c.stats.snapshots_taken();
+            installed += c.stats.snapshots_installed();
+            pqr_started += c.stats.pqr_started();
+            pqr_inflight += c.stats.pqr_inflight();
+        }
+        (
+            decided,
+            violations,
+            max_log_len,
+            taken,
+            installed,
+            pqr_started,
+            pqr_inflight,
+        )
+    }
+
+    /// Run on the deterministic simulator; identical `(experiment,
+    /// seed)` pairs produce bit-identical results.
+    pub fn run_sim(&self, seed: u64) -> RunResult {
+        self.run_sim_with(seed, |_, _| {})
+    }
+
+    /// Run on the simulator with a setup/fault-injection hook, which
+    /// fires after all actors are registered and before the simulation
+    /// starts. The hook receives the run's [`ShardLayout`] — clone per-
+    /// shard safety handles out of `layout.clusters` for post-run
+    /// inspection, or target faults at specific shards' node ranges.
+    pub fn run_sim_with<H>(&self, seed: u64, hook: H) -> RunResult
+    where
+        H: FnOnce(&mut Simulation<Envelope<P::Msg>>, &ShardLayout),
+    {
+        let layout = self.make_layout();
+        let n_replicas = self.shards * self.replicas_per_shard;
+        let mut topology = Topology::lan(n_replicas);
+        topology.add_nodes(layout.total_nodes - n_replicas, 0);
+        let mut sim: Simulation<Envelope<P::Msg>> =
+            Simulation::new(topology, self.cost.clone(), seed);
+        let recorder = ClientRecorder::new();
+        for actor in self.build_actors(&layout, &recorder) {
+            sim.add_actor(actor);
+        }
+        hook(&mut sim, &layout);
+
+        sim.run_for(self.warmup);
+        let warmup_end = sim.now();
+        let stats_before = sim.stats().clone();
+        sim.run_for(self.measure);
+        let window_end = sim.now();
+        let stats_after = sim.stats().clone();
+
+        let all_samples = recorder.samples();
+        let window: Vec<&Sample> = all_samples
+            .iter()
+            .filter(|s| s.completed > warmup_end && s.completed <= window_end)
+            .collect();
+        let secs = self.measure.as_secs_f64();
+        let lat_ms: Vec<f64> = window.iter().map(|s| s.latency().as_millis_f64()).collect();
+
+        let node_msgs: Vec<u64> = stats_after
+            .nodes
+            .iter()
+            .zip(stats_before.nodes.iter())
+            .map(|(a, b)| a.msgs_total() - b.msgs_total())
+            .collect();
+        let ops = window.len().max(1) as f64;
+        let leader_loads: Vec<f64> = layout
+            .leaders
+            .iter()
+            .map(|l| node_msgs.get(l.index()).copied().unwrap_or(0) as f64 / ops)
+            .collect();
+        let follower_loads: Vec<f64> = (0..n_replicas)
+            .filter(|&i| !layout.leaders.contains(&NodeId::from(i)))
+            .map(|i| node_msgs[i] as f64 / ops)
+            .collect();
+        let cross_region_msgs_per_op =
+            (stats_after.cross_region_msgs - stats_before.cross_region_msgs) as f64 / ops;
+
+        let (decided, violations, max_log_len, taken, installed, pqr_started, pqr_inflight) =
+            Self::merged_counters(&layout);
+
+        RunResult {
+            throughput: window.len() as f64 / secs,
+            mean_latency_ms: mean(&lat_ms),
+            p50_latency_ms: percentile(&lat_ms, 50.0),
+            p99_latency_ms: percentile(&lat_ms, 99.0),
+            samples: window.len(),
+            decided,
+            violations,
+            node_msgs,
+            leader_msgs_per_op: mean(&leader_loads),
+            follower_msgs_per_op: mean(&follower_loads),
+            cross_region_msgs_per_op,
+            timeline: Vec::new(),
+            client_retries: recorder.retries(),
+            max_log_len,
+            snapshots_taken: taken,
+            snapshots_installed: installed,
+            trace_fingerprint: None,
+            leader_proto_sent_per_op: None,
+            leader_replies_per_op: None,
+            leader_sent_per_op: None,
+            leader_proto_recv_per_op: None,
+            label_counts: None,
+            pqr_reads_started: pqr_started,
+            pqr_reads_inflight: pqr_inflight,
+            replica_digests: Vec::new(),
+        }
+    }
+
+    /// Run the same sharded deployment on real OS threads via
+    /// `pig-runtime` (wall-clock, not deterministic; the whole `wall`
+    /// window is measured, and simulator-only accounting is empty —
+    /// same contract as [`crate::Experiment::run_threads`]).
+    pub fn run_threads(&self, seed: u64, wall: Duration) -> RunResult {
+        self.run_threads_with(seed, wall, |_| {})
+    }
+
+    /// [`run_threads`](Self::run_threads) with a pre-run hook that
+    /// receives the concrete [`ShardLayout`] (clone safety handles out
+    /// for post-run per-shard assertions).
+    pub fn run_threads_with<H>(&self, seed: u64, wall: Duration, hook: H) -> RunResult
+    where
+        H: FnOnce(&ShardLayout),
+    {
+        let layout = self.make_layout();
+        hook(&layout);
+        let mut rt: pig_runtime::Runtime<Envelope<P::Msg>> = pig_runtime::Runtime::new(seed);
+        let recorder = ClientRecorder::new();
+        for actor in self.build_actors(&layout, &recorder) {
+            rt.add_actor(actor);
+        }
+        rt.run_for(wall);
+        Self::wall_result(&layout, &recorder, wall, Vec::new(), None)
+    }
+
+    /// Run the same sharded deployment over real TCP sockets via
+    /// `pig_runtime::NetRuntime` — every cross-node message (client,
+    /// protocol, *and* shard-control) travels as its [`Wire`] bytes.
+    pub fn run_net(&self, seed: u64, wall: Duration) -> RunResult
+    where
+        P::Msg: Wire,
+    {
+        let layout = self.make_layout();
+        let mut rt: pig_runtime::NetRuntime<Envelope<P::Msg>> = pig_runtime::NetRuntime::new(seed);
+        let recorder = ClientRecorder::new();
+        for actor in self.build_actors(&layout, &recorder) {
+            rt.add_actor(actor);
+        }
+        let net = rt.run_for(wall);
+        let node_msgs: Vec<u64> = net
+            .per_node_sent
+            .iter()
+            .zip(net.per_node_received.iter())
+            .map(|(s, r)| s + r)
+            .collect();
+        Self::wall_result(
+            &layout,
+            &recorder,
+            wall,
+            node_msgs,
+            Some(net.delivered_by_label),
+        )
+    }
+
+    /// Shared wall-clock result assembly for the thread and TCP
+    /// substrates.
+    fn wall_result(
+        layout: &ShardLayout,
+        recorder: &ClientRecorder,
+        wall: Duration,
+        node_msgs: Vec<u64>,
+        label_counts: Option<std::collections::BTreeMap<&'static str, u64>>,
+    ) -> RunResult {
+        let samples = recorder.samples();
+        let secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        let lat_ms: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency().as_millis_f64())
+            .collect();
+        let (decided, violations, max_log_len, taken, installed, pqr_started, pqr_inflight) =
+            Self::merged_counters(layout);
+        RunResult {
+            throughput: samples.len() as f64 / secs,
+            mean_latency_ms: mean(&lat_ms),
+            p50_latency_ms: percentile(&lat_ms, 50.0),
+            p99_latency_ms: percentile(&lat_ms, 99.0),
+            samples: samples.len(),
+            decided,
+            violations,
+            node_msgs,
+            leader_msgs_per_op: 0.0,
+            follower_msgs_per_op: 0.0,
+            cross_region_msgs_per_op: 0.0,
+            timeline: Vec::new(),
+            client_retries: recorder.retries(),
+            max_log_len,
+            snapshots_taken: taken,
+            snapshots_installed: installed,
+            trace_fingerprint: None,
+            leader_proto_sent_per_op: None,
+            leader_replies_per_op: None,
+            leader_sent_per_op: None,
+            leader_proto_recv_per_op: None,
+            label_counts,
+            pqr_reads_started: pqr_started,
+            pqr_reads_inflight: pqr_inflight,
+            replica_digests: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Value;
+    use crate::replica::{Ctx, Replica, ReplicaActor, ReplicaCtx};
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn uniform_map_routes_and_validates() {
+        let map = ShardMap::uniform(4, 1000);
+        assert!(map.is_valid());
+        assert_eq!(map.version(), 1);
+        assert_eq!(map.num_ranges(), 4);
+        assert_eq!(map.group_for(0), 0);
+        assert_eq!(map.group_for(249), 0);
+        assert_eq!(map.group_for(250), 1);
+        assert_eq!(map.group_for(999), 3);
+        // Keys past the nominal space route to the last (unbounded) range.
+        assert_eq!(map.group_for(u64::MAX), 3);
+        assert_eq!(
+            map.range_starting_at(250),
+            Some(KeyRange {
+                start: 250,
+                end: Some(500)
+            })
+        );
+        assert_eq!(
+            map.range_starting_at(750),
+            Some(KeyRange {
+                start: 750,
+                end: None
+            })
+        );
+        assert_eq!(map.range_starting_at(100), None);
+    }
+
+    #[test]
+    fn split_and_move_bump_version_and_stay_valid() {
+        let mut map = ShardMap::uniform(2, 100);
+        assert!(map.split(75));
+        assert_eq!(map.version(), 2);
+        assert_eq!(map.num_ranges(), 3);
+        assert_eq!(map.group_for(74), 1);
+        assert_eq!(map.group_for(75), 1, "split keeps the owner");
+        assert!(!map.split(75), "existing boundary refused");
+        assert!(!map.split(0), "key 0 refused");
+        assert!(map.move_range(75, 0));
+        assert_eq!(map.version(), 3);
+        assert_eq!(map.group_for(80), 0);
+        assert_eq!(map.group_for(60), 1, "rest of old range unaffected");
+        assert!(!map.move_range(76, 0), "non-boundary refused");
+        assert!(map.is_valid());
+    }
+
+    #[test]
+    fn install_move_requires_newer_version() {
+        let mut map = ShardMap::uniform(2, 100);
+        assert!(!map.install_move(50, 0, 1), "same version rejected");
+        assert!(map.install_move(50, 0, 7), "newer version applies");
+        assert_eq!(map.version(), 7);
+        assert_eq!(map.group_for(60), 0);
+        assert!(!map.install_move(50, 1, 7), "replay rejected");
+    }
+
+    #[test]
+    fn shard_map_wire_roundtrip_exact() {
+        let mut map = ShardMap::uniform(3, 900);
+        map.split(123);
+        map.move_range(123, 2);
+        let bytes = map.encode();
+        assert_eq!(bytes.len(), map.wire_bytes());
+        assert_eq!(ShardMap::decode_frame(&bytes).expect("decodes"), map);
+    }
+
+    #[test]
+    fn shard_ctl_wire_roundtrips_exact() {
+        let mut kv = KvStore::new();
+        kv.apply(&Operation::Put(7, Value::zeros(3)));
+        let snapshot = Snapshot::for_range(0, &kv, &HashMap::new(), &SessionTable::new(), 0, None);
+        let ctls = vec![
+            ShardCtl::Move { start: 42, to: 3 },
+            ShardCtl::Install {
+                version: 9,
+                range: KeyRange {
+                    start: 100,
+                    end: Some(200),
+                },
+                snapshot: Box::new(snapshot.clone()),
+            },
+            ShardCtl::Install {
+                version: 10,
+                range: KeyRange {
+                    start: 500,
+                    end: None,
+                },
+                snapshot: Box::new(snapshot),
+            },
+            ShardCtl::InstallAck { version: 9 },
+            ShardCtl::MapUpdate {
+                map: ShardMap::uniform(4, 400),
+            },
+        ];
+        for ctl in ctls {
+            let bytes = ctl.encode();
+            assert_eq!(bytes.len(), ctl.wire_size(), "size contract for {ctl:?}");
+            assert_eq!(ShardCtl::decode_frame(&bytes).expect("decodes"), ctl);
+        }
+    }
+
+    #[test]
+    fn shard_ctl_rejects_wrong_domain_and_kind() {
+        let mut bytes = ShardCtl::InstallAck { version: 1 }.encode();
+        bytes[1] = 9; // domain byte
+        assert!(matches!(
+            ShardCtl::decode_frame(&bytes),
+            Err(WireError::BadTag { .. })
+        ));
+        let mut bytes = ShardCtl::InstallAck { version: 1 }.encode();
+        bytes[2] = 200; // kind byte
+        assert!(matches!(
+            ShardCtl::decode_frame(&bytes),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+
+    // ---- a minimal protocol for gate/router integration tests --------
+
+    #[derive(Debug, Clone)]
+    struct NoMsg;
+    impl ProtoMessage for NoMsg {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    /// Single-replica "consensus": applies every request to a local KV
+    /// and records the decision with the shard's safety monitor.
+    struct InstantKv {
+        cluster: ClusterConfig,
+        kv: KvStore,
+        slot: u64,
+    }
+
+    impl Replica<NoMsg> for InstantKv {
+        fn on_request(&mut self, client: NodeId, req: ClientRequest, ctx: &mut Ctx<NoMsg>) {
+            self.cluster.safety.record(0, self.slot, req.command.id);
+            self.slot += 1;
+            let value = self.kv.apply(&req.command.op);
+            ctx.reply(client, ClientReply::ok(req.command.id, value));
+        }
+        fn on_proto(&mut self, _f: NodeId, _m: NoMsg, _c: &mut Ctx<NoMsg>) {}
+    }
+
+    #[derive(Clone)]
+    struct InstantSpec;
+    impl ProtocolSpec for InstantSpec {
+        type Msg = NoMsg;
+        fn protocol_name(&self) -> &'static str {
+            "instant"
+        }
+        fn build_replica(
+            &self,
+            _node: NodeId,
+            cluster: &ClusterConfig,
+        ) -> Box<dyn Actor<Envelope<NoMsg>> + Send> {
+            Box::new(ReplicaActor(InstantKv {
+                cluster: cluster.clone(),
+                kv: KvStore::new(),
+                slot: 0,
+            }))
+        }
+    }
+
+    #[test]
+    fn sharded_run_spreads_load_and_stays_safe() {
+        let mut shard_safety = Vec::new();
+        let result = ShardedExperiment::new(InstantSpec, 4, 1)
+            .routers(8)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(500))
+            .run_sim_with(DEFAULT_SEED, |_, layout| {
+                shard_safety = layout.clusters.iter().map(|c| c.safety.clone()).collect();
+            });
+        assert!(result.violations.is_empty());
+        assert!(result.samples > 100, "got {}", result.samples);
+        assert_eq!(result.client_retries, 0, "uniform load, fresh maps");
+        // Every shard decided something: the routers really spread keys.
+        for (s, safety) in shard_safety.iter().enumerate() {
+            assert!(safety.decided_count() > 0, "shard {s} decided nothing");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic() {
+        let exp = ShardedExperiment::new(InstantSpec, 2, 1)
+            .routers(4)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(300));
+        let a = exp.run_sim(7);
+        let b = exp.run_sim(7);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.decided, b.decided);
+        assert_eq!(a.node_msgs, b.node_msgs);
+    }
+
+    #[test]
+    fn live_move_completes_with_no_violations_or_stalls() {
+        // 2 shards; at t=300ms shard 0's second range half... actually
+        // move shard 0's whole range [0, 500) to shard 1 mid-run.
+        let mut shard_safety = Vec::new();
+        let result = ShardedExperiment::new(InstantSpec, 2, 1)
+            .routers(6)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(900))
+            .move_range(SimDuration::from_millis(300), 0, 1)
+            .run_sim_with(DEFAULT_SEED, |_, layout| {
+                shard_safety = layout.clusters.iter().map(|c| c.safety.clone()).collect();
+            });
+        assert!(result.violations.is_empty());
+        assert!(result.samples > 100, "got {}", result.samples);
+        // After the move every key belongs to shard 1: shard 1 keeps
+        // deciding well past shard 0's handoff.
+        assert!(shard_safety[1].decided_count() > shard_safety[0].decided_count());
+    }
+
+    #[test]
+    fn moved_range_redirects_settle_without_lost_requests() {
+        // Schedule the move during the measurement window and confirm
+        // throughput continues (retries happen, requests never vanish).
+        let result = ShardedExperiment::new(InstantSpec, 4, 1)
+            .routers(8)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_secs(1))
+            .move_range(SimDuration::from_millis(400), 250, 3)
+            .run_sim(DEFAULT_SEED);
+        assert!(result.violations.is_empty());
+        assert!(result.samples > 200, "got {}", result.samples);
+    }
+}

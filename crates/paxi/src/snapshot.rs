@@ -25,6 +25,7 @@ use crate::command::Key;
 use crate::kv::KvStore;
 use crate::session::SessionTable;
 use simnet::{Wire, WireError, WirePut, WireReader};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -118,6 +119,37 @@ impl PartialEq for Snapshot {
 }
 
 impl Snapshot {
+    /// Capture a snapshot restricted to keys in `[start, end)`
+    /// (`end = None` means unbounded). The state machine and the
+    /// freshness index are filtered to the range; `sessions` travels
+    /// whole, because retry replay is per-client, not per-key. The
+    /// full-map capture path is the unbounded range `(0, None)`, which
+    /// filters nothing and is therefore identical to the historical
+    /// clone-everything capture. Shard moves capture only the moving
+    /// range — the point of this path: the departing slice ships
+    /// without paying for (or leaking) the keys that stay behind.
+    pub fn for_range(
+        up_to: u64,
+        kv: &KvStore,
+        last_write_slot: &HashMap<Key, u64>,
+        sessions: &SessionTable,
+        start: Key,
+        end: Option<Key>,
+    ) -> Self {
+        let mut last_write_slots: Vec<(Key, u64)> = last_write_slot
+            .iter()
+            .filter(|(&k, _)| k >= start && end.map_or(true, |e| k < e))
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        last_write_slots.sort_unstable();
+        Snapshot {
+            up_to,
+            kv: kv.filtered(start, end),
+            last_write_slots,
+            sessions: sessions.clone(),
+        }
+    }
+
     /// Exact serialized size under [`Wire`]: `up_to` (8) + the encoded
     /// key-value state + freshness-index count (4) + 16 bytes per
     /// `(key, slot)` pair + the encoded session table.
@@ -293,6 +325,24 @@ mod tests {
         assert_eq!(a, b, "session window is not part of state identity");
         assert_ne!(a, snap(6, 3));
         assert_ne!(a, snap(5, 4));
+    }
+
+    #[test]
+    fn for_range_filters_state_and_index_and_full_range_matches_clone() {
+        let mut kv = KvStore::new();
+        let mut idx = std::collections::HashMap::new();
+        for k in 0..8u64 {
+            kv.apply(&Operation::Put(k, Value::zeros(4)));
+            idx.insert(k, k);
+        }
+        let sessions = SessionTable::new();
+        let part = Snapshot::for_range(8, &kv, &idx, &sessions, 2, Some(5));
+        assert_eq!(part.kv.len(), 3);
+        assert_eq!(part.last_write_slots, vec![(2, 2), (3, 3), (4, 4)]);
+        let full = Snapshot::for_range(8, &kv, &idx, &sessions, 0, None);
+        assert_eq!(full.kv.fingerprint(), kv.fingerprint());
+        assert_eq!(full.last_write_slots.len(), 8);
+        assert_eq!(full.kv.encode(), kv.encode(), "unbounded range == clone");
     }
 
     #[test]

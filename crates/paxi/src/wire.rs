@@ -268,13 +268,19 @@ impl<P: ProtoMessage + Wire> Wire for Envelope<P> {
                     encode_batched_reply(rep, out);
                 }
             }
+            Envelope::Shard(c) => c.encode_into(out),
             Envelope::Proto(p) => p.encode_into(out),
         }
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         // Byte 1 of the header is the domain; protocol messages carry
-        // their own full header, so dispatch without consuming.
+        // their own full header, so dispatch without consuming. Shard
+        // control rides its own domain so the protocol decoder never
+        // sees it.
+        if r.peek(1)? == simnet::wire::DOMAIN_SHARD {
+            return Ok(Envelope::Shard(crate::shard::ShardCtl::decode(r)?));
+        }
         if r.peek(1)? != DOMAIN_CLIENT {
             return Ok(Envelope::Proto(P::decode(r)?));
         }

@@ -60,6 +60,20 @@ impl Workload {
         }
     }
 
+    /// Zipfian hot-key skew with rank-frequency exponent `theta`
+    /// (otherwise the paper defaults). `theta ≈ 0.99` is the classic
+    /// YCSB skew; higher concentrates more mass on fewer keys. This is
+    /// the workload shape that makes sharding interesting: a uniform
+    /// key space shards trivially, a skewed one concentrates load on
+    /// whichever group owns the hot ranks.
+    pub fn zipfian(theta: f64) -> Self {
+        assert!(theta > 0.0, "zipf exponent must be positive");
+        Workload {
+            distribution: KeyDistribution::Zipfian(theta),
+            ..Workload::paper_default()
+        }
+    }
+
     /// Sample the next operation.
     pub fn next_op(&self, rng: &mut StdRng) -> Operation {
         let key = self.next_key(rng);
@@ -173,6 +187,21 @@ mod tests {
             "zipf(0.99) should put >1/3 of mass on top-10 keys, got {low}/5000"
         );
         assert!(samples.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn zipfian_ctor_sets_distribution_and_keeps_defaults() {
+        let w = Workload::zipfian(0.99);
+        assert_eq!(w.distribution, KeyDistribution::Zipfian(0.99));
+        assert_eq!(w.num_keys, 1000);
+        assert_eq!(w.read_ratio, 0.5);
+        assert_eq!(w.payload_size, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zipfian_rejects_nonpositive_theta() {
+        Workload::zipfian(0.0);
     }
 
     #[test]

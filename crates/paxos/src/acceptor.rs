@@ -331,16 +331,38 @@ impl Acceptor {
     /// undecided or unexecuted slots — the frontier *is* the bound).
     pub fn force_snapshot(&mut self, sessions: &SessionTable) {
         let up_to = self.log.execute_cursor();
-        let mut last_write_slots: Vec<(Key, u64)> =
-            self.last_write_slot.iter().map(|(&k, &s)| (k, s)).collect();
-        last_write_slots.sort_unstable();
-        self.latest_snapshot = Some(Snapshot {
+        // The full map is just the unbounded range of the range-filtered
+        // capture path — one code path serves compaction and shard moves.
+        self.latest_snapshot = Some(Snapshot::for_range(
             up_to,
-            kv: self.kv.clone(),
-            last_write_slots,
-            sessions: sessions.clone(),
-        });
+            &self.kv,
+            &self.last_write_slot,
+            sessions,
+            0,
+            None,
+        ));
         self.log.truncate_below(up_to);
+    }
+
+    /// Capture — without truncating — a snapshot of only the keys in
+    /// `[start, end)` (`end = None` unbounded) at the current executed
+    /// frontier. This is the shard-move drain path: the departing range
+    /// ships to the destination group without cloning the keys that
+    /// stay behind.
+    pub fn snapshot_range(
+        &self,
+        sessions: &SessionTable,
+        start: Key,
+        end: Option<Key>,
+    ) -> Snapshot {
+        Snapshot::for_range(
+            self.log.execute_cursor(),
+            &self.kv,
+            &self.last_write_slot,
+            sessions,
+            start,
+            end,
+        )
     }
 
     /// Install a snapshot received from a peer (via a phase-1b promise
@@ -560,6 +582,28 @@ mod tests {
         assert_eq!(a.commit_watermark(), 20);
         // Truncated slots answer quorum reads from the snapshot index.
         assert!(a.read_state(1).value.is_some());
+    }
+
+    #[test]
+    fn snapshot_range_captures_only_the_moving_slice() {
+        let mut a = acc();
+        let sessions = SessionTable::new();
+        for s in 0..10 {
+            a.commit(s, b(1), cmd(s + 1));
+        }
+        a.execute_ready();
+        // cmd(n) writes key n, so keys 1..=10 exist; [3, 6) holds three.
+        let snap = a.snapshot_range(&sessions, 3, Some(6));
+        assert_eq!(snap.kv.len(), 3);
+        assert!(snap
+            .last_write_slots
+            .iter()
+            .all(|&(k, _)| (3..6).contains(&k)));
+        assert_eq!(snap.up_to, 10);
+        assert_eq!(a.snapshot_floor(), 0, "range capture never truncates");
+        // Unbounded capture matches what force_snapshot would record.
+        let full = a.snapshot_range(&sessions, 0, None);
+        assert_eq!(full.kv.fingerprint(), a.kv().fingerprint());
     }
 
     #[test]

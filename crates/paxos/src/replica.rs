@@ -70,8 +70,11 @@ impl PaxosReplica {
         PaxosReplica {
             me,
             // Every command of every client flows through the leader's
-            // log in direct Multi-Paxos, so per-client sequencing holds.
-            lane: BatchLane::new(cfg.batch.clone(), true),
+            // log in direct Multi-Paxos, so per-client sequencing holds
+            // — unless the cluster is one shard of many, where a
+            // client's sequence legitimately skips the commands routed
+            // to other groups.
+            lane: BatchLane::new(cfg.batch.clone(), !cluster.client_gaps),
             replies: ReplyBatcher::new(cfg.batch.replies),
             reply_timer_armed: false,
             cfg,

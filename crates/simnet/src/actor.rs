@@ -178,6 +178,35 @@ impl<'a, M> Context<'a, M> {
     pub fn control(&mut self, c: Control) {
         self.effects.push(Effect::Control(c));
     }
+
+    /// Re-queue a pre-built effect verbatim. The counterpart of
+    /// [`Context::capture`]: a decorator re-emits the captured effects
+    /// it does not consume. `SetTimer` ids stay valid because the
+    /// timer sequence is shared between the outer and inner contexts.
+    pub fn emit(&mut self, effect: Effect<M>) {
+        self.effects.push(effect);
+    }
+
+    /// Run `f` against a scratch effect buffer that shares this
+    /// context's clock, node id, rng, and timer sequence, returning
+    /// `f`'s result plus the effects it produced — *without* queueing
+    /// them. Decorator actors use this to invoke an inner actor and
+    /// filter or rewrite its outputs before re-queueing the survivors
+    /// with [`Context::emit`].
+    pub fn capture<R>(&mut self, f: impl FnOnce(&mut Context<M>) -> R) -> (R, Vec<Effect<M>>) {
+        let mut scratch = Vec::new();
+        let r = {
+            let mut inner = Context {
+                now: self.now,
+                node: self.node,
+                rng: &mut *self.rng,
+                effects: &mut scratch,
+                timer_seq: &mut *self.timer_seq,
+            };
+            f(&mut inner)
+        };
+        (r, scratch)
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +273,37 @@ mod tests {
         let a = ctx.set_timer(SimDuration::from_millis(1), 0);
         let b = ctx.set_timer(SimDuration::from_millis(1), 0);
         assert!(b > a);
+    }
+
+    #[test]
+    fn capture_isolates_effects_and_shares_timer_seq() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut effects: Vec<Effect<Ping>> = Vec::new();
+        let mut seq = 0;
+        {
+            let mut ctx = Context::new(SimTime::ZERO, NodeId(3), &mut rng, &mut effects, &mut seq);
+            let outer = ctx.set_timer(SimDuration::from_millis(1), 0);
+            let ((), captured) = ctx.capture(|inner| {
+                assert_eq!(inner.node(), NodeId(3));
+                inner.send(NodeId(1), Ping(9));
+                let t = inner.set_timer(SimDuration::from_millis(2), 7);
+                assert!(t > outer, "inner timers continue the shared sequence");
+            });
+            assert_eq!(captured.len(), 2, "inner effects stay out of the queue");
+            // Re-emitting a captured effect lands it in the outer queue.
+            for e in captured {
+                ctx.emit(e);
+            }
+        }
+        assert_eq!(
+            effects.len(),
+            3,
+            "outer timer + both re-emitted capture effects"
+        );
+        // The shared sequence means the next outer timer is still unique.
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(3), &mut rng, &mut effects, &mut seq);
+        let next = ctx.set_timer(SimDuration::from_millis(1), 0);
+        assert_eq!(next, TimerId(3));
     }
 
     #[test]

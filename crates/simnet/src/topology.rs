@@ -136,7 +136,7 @@ impl Topology {
     /// clients with the cluster without touching replica placement).
     pub fn add_nodes(&mut self, count: usize, region: RegionId) {
         assert!(region < self.num_regions(), "region out of bounds");
-        self.region_of.extend(std::iter::repeat_n(region, count));
+        self.region_of.extend(std::iter::repeat(region).take(count));
     }
 }
 

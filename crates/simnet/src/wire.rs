@@ -86,6 +86,9 @@ pub const DOMAIN_PAXOS: u8 = 1;
 pub const DOMAIN_PIG: u8 = 2;
 /// Domain tag for EPaxos protocol messages.
 pub const DOMAIN_EPAXOS: u8 = 3;
+/// Domain tag for shard-control traffic (range moves, snapshot
+/// installs, routing-map updates).
+pub const DOMAIN_SHARD: u8 = 4;
 
 /// A decoding failure. Encoding is infallible (size invariants are
 /// asserted — they are internal protocol bounds, not user input).

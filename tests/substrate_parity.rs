@@ -7,7 +7,7 @@
 //! actors are byte-for-byte the same code; only the run method differs.
 
 use epaxos::EpaxosConfig;
-use paxi::{Experiment, ProtocolSpec};
+use paxi::{Experiment, ProtocolSpec, ShardedExperiment};
 use paxos::PaxosConfig;
 use pigpaxos::PigConfig;
 use simnet::SimDuration;
@@ -180,6 +180,48 @@ fn compacting_epaxos_bounds_memory_on_both_substrates() {
         5,
         50,
     );
+}
+
+/// The sharded deployment is substrate-agnostic the same way: one
+/// `ShardedExperiment` value — four consensus groups multiplexed over
+/// one node-id space, routed by key — must commit with zero violations
+/// on the simulator, on OS threads, and over TCP loopback with every
+/// message (client, protocol, and shard-control) as wire bytes.
+#[test]
+fn sharded_experiment_runs_on_all_three_substrates() {
+    let experiment = ShardedExperiment::new(PaxosConfig::lan(), 4, 1)
+        .routers(4)
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(600));
+
+    let sim = experiment.run_sim(7);
+    assert!(sim.violations.is_empty(), "sim: {:?}", sim.violations);
+    assert!(sim.samples > 100, "sim made progress: {}", sim.samples);
+    assert!(sim.decided > 50, "sim decided slots: {}", sim.decided);
+
+    let threads = experiment.run_threads(7, Duration::from_millis(500));
+    assert!(
+        threads.violations.is_empty(),
+        "threads: {:?}",
+        threads.violations
+    );
+    assert!(
+        threads.samples > 50,
+        "threads made progress: {}",
+        threads.samples
+    );
+
+    let net = experiment.run_net(7, Duration::from_millis(500));
+    assert!(net.violations.is_empty(), "net: {:?}", net.violations);
+    assert!(net.samples > 50, "net made progress: {}", net.samples);
+    // 4 shard replicas + 4 routers all moved real TCP traffic.
+    assert_eq!(net.node_msgs.len(), 8, "replicas + routers");
+    assert!(
+        net.node_msgs.iter().all(|&m| m > 0),
+        "net: every node moved messages: {:?}",
+        net.node_msgs
+    );
+    assert!(net.label_counts.is_some(), "net: label counts populated");
 }
 
 #[test]
