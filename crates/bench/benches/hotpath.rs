@@ -1,0 +1,55 @@
+//! Criterion benchmarks over the three profiled hot paths: the leader
+//! decide/execute pipeline (B=16, n=5), one PigPaxos relay aggregation
+//! round, and `Wire` encode/decode of a wave message. Component-level
+//! (no simulator), driven through [`pigpaxos_bench::hotpath`] — the
+//! same harness the `alloc_gate` binary and the allocation-regression
+//! test measure, so wall-clock and allocs/op describe identical work.
+//!
+//! The counting allocator is installed here too: run with
+//! `cargo bench -p pigpaxos_bench --bench hotpath` and pair the timings
+//! with `alloc_gate`'s allocs/op for the full picture.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pigpaxos_bench::alloc::CountingAllocator;
+use pigpaxos_bench::hotpath::{self, LeaderPipeline};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn bench_leader_pipeline(c: &mut Criterion) {
+    c.bench_function("leader_decide_execute_wave_b16_n5", |b| {
+        let mut pipe = LeaderPipeline::new(5, 16);
+        pipe.run(8); // steady state
+        b.iter(|| black_box(pipe.drive_wave().decided))
+    });
+}
+
+fn bench_relay_aggregate(c: &mut Criterion) {
+    c.bench_function("relay_aggregate_round_b16_g3", |b| {
+        let ballot = paxi::Ballot::new(1, simnet::NodeId(0));
+        let mut first_slot = 1u64;
+        b.iter(|| {
+            first_slot += 16;
+            black_box(hotpath::relay_aggregate_round(ballot, first_slot, 16, 3))
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = hotpath::sample_p2a_batch(16);
+    let frame = hotpath::encode_message(&msg);
+    c.bench_function("wire_encode_p2a_batch_b16", |b| {
+        b.iter(|| black_box(hotpath::encode_message(&msg)))
+    });
+    c.bench_function("wire_decode_p2a_batch_b16", |b| {
+        b.iter(|| black_box(hotpath::decode_message(&frame)))
+    });
+}
+
+criterion_group!(
+    hotpath_benches,
+    bench_leader_pipeline,
+    bench_relay_aggregate,
+    bench_wire
+);
+criterion_main!(hotpath_benches);

@@ -1,0 +1,118 @@
+//! Allocation gate over the profiled hot paths.
+//!
+//! Installs the counting global allocator and drives the component
+//! harnesses in [`pigpaxos_bench::hotpath`], reporting *allocations per
+//! operation* for:
+//!
+//! - the leader decide/execute pipeline at B=16 on a 5-replica cluster
+//!   (the paper's bottleneck path — `leader_batch_allocs_per_op`),
+//! - one PigPaxos relay aggregation round (`relay_aggregate_allocs_per_op`),
+//! - `Wire` encode/decode of a 16-command `P2aBatch`
+//!   (`wire_encode_allocs_per_op`, `wire_decode_allocs_per_op`).
+//!
+//! The leader number is additionally checked in-process against the
+//! pre-optimization figure recorded below: the run aborts unless the
+//! measured allocs/op show at least a 25% reduction. `--json <path>`
+//! writes the metrics for `perf_gate` (vs `BENCH_alloc_baseline.json`);
+//! `--quick` shortens the run (counts are per-op, so quick mode barely
+//! changes them).
+
+use pigpaxos_bench::alloc::{self, CountingAllocator};
+use pigpaxos_bench::hotpath::{self, LeaderPipeline};
+use pigpaxos_bench::{json, json_path, quick_mode};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Leader-side allocations per decided command measured on the tree
+/// *before* the hot-path work of this change (B=16, n=5, 8192 commands,
+/// steady state), with this same binary: the `BTreeMap<slot, Vec>` vote
+/// grouping, per-slot `vec![own]`, per-slot `HashSet` vote tables, and
+/// per-peer command-vector clones were all still in place. The gate
+/// below holds the optimized pipeline to at least a 25% reduction
+/// against this figure (measured: 1.04 allocs/op, an ~87% reduction).
+const LEGACY_LEADER_ALLOCS_PER_OP: f64 = 7.980;
+
+/// Required drop vs. [`LEGACY_LEADER_ALLOCS_PER_OP`].
+const REQUIRED_REDUCTION: f64 = 0.25;
+
+fn main() {
+    let quick = quick_mode();
+    let total_cmds: u64 = if quick { 1024 } else { 8192 };
+    let batch = 16usize;
+    let n = 5usize;
+
+    // Leader pipeline: warm up out of steady-state cold starts, then
+    // measure the whole run.
+    let mut pipe = LeaderPipeline::new(n, batch);
+    pipe.run(8); // warmup: container capacities reach steady state
+    let waves = (total_cmds as usize) / batch;
+    let (decided, leader_allocs) = pipe.run(waves);
+    let leader_per_op = leader_allocs as f64 / decided as f64;
+
+    // Relay aggregation: one P2Span round over a 3-member group.
+    let ballot = paxi::Ballot::new(1, simnet::NodeId(0));
+    let rounds = 256u64;
+    let ((), relay) = alloc::measure(|| {
+        for r in 0..rounds {
+            let f = hotpath::relay_aggregate_round(ballot, 1 + r * batch as u64, batch, 3);
+            std::hint::black_box(&f);
+        }
+    });
+    // Per aggregated command: `rounds` rounds × batch slots each.
+    let relay_per_op = relay.allocs as f64 / (rounds * batch as u64) as f64;
+
+    // Wire encode/decode of a B=16 wave message.
+    let msg = hotpath::sample_p2a_batch(batch);
+    let frame = hotpath::encode_message(&msg);
+    let iters = 512u64;
+    let ((), enc) = alloc::measure(|| {
+        for _ in 0..iters {
+            std::hint::black_box(hotpath::encode_message(&msg));
+        }
+    });
+    let ((), dec) = alloc::measure(|| {
+        for _ in 0..iters {
+            std::hint::black_box(hotpath::decode_message(&frame));
+        }
+    });
+    let encode_per_op = enc.allocs as f64 / iters as f64;
+    let decode_per_op = dec.allocs as f64 / iters as f64;
+
+    let reduction = 1.0 - leader_per_op / LEGACY_LEADER_ALLOCS_PER_OP;
+
+    println!("alloc_gate (B={batch}, n={n}, {decided} commands decided)");
+    println!("  leader_batch_allocs_per_op   {leader_per_op:>10.3}");
+    println!(
+        "  legacy (pre-optimization)    {:>10.3}",
+        LEGACY_LEADER_ALLOCS_PER_OP
+    );
+    println!("  reduction vs legacy          {:>9.1}%", reduction * 100.0);
+    println!("  relay_aggregate_allocs_per_op{relay_per_op:>10.3}");
+    println!("  wire_encode_allocs_per_op    {encode_per_op:>10.3}");
+    println!("  wire_decode_allocs_per_op    {decode_per_op:>10.3}");
+
+    if let Some(path) = json_path() {
+        let rows = vec![
+            ("leader_batch_allocs_per_op".to_string(), leader_per_op),
+            ("leader_batch_alloc_reduction".to_string(), reduction),
+            ("relay_aggregate_allocs_per_op".to_string(), relay_per_op),
+            ("wire_encode_allocs_per_op".to_string(), encode_per_op),
+            ("wire_decode_allocs_per_op".to_string(), decode_per_op),
+        ];
+        std::fs::write(&path, json::render(&rows)).expect("write json");
+        println!("wrote {path}");
+    }
+
+    assert!(
+        reduction >= REQUIRED_REDUCTION,
+        "leader batch path allocs/op {leader_per_op:.3} is only {:.1}% below the \
+         pre-optimization {LEGACY_LEADER_ALLOCS_PER_OP:.3} (need ≥{:.0}%)",
+        reduction * 100.0,
+        REQUIRED_REDUCTION * 100.0,
+    );
+    println!(
+        "alloc_gate: OK (≥{:.0}% reduction held)",
+        REQUIRED_REDUCTION * 100.0
+    );
+}

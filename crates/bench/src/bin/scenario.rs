@@ -87,7 +87,9 @@ struct ShardInfo {
 /// affecting every shard by the caller).
 fn fault_nodes(f: &Fault) -> Vec<u32> {
     match f {
-        Fault::Partition { a, b } => a.iter().chain(b).copied().collect(),
+        Fault::Partition { a, b } | Fault::AsymmetricPartition { a, b } => {
+            a.iter().chain(b).copied().collect()
+        }
         Fault::Crash(n) | Fault::Restart(n) => vec![*n],
         Fault::CrashLoop { node, .. } | Fault::Slow { node, .. } => vec![*node],
         Fault::Flaky { from, to, .. } => vec![*from, *to],

@@ -1,0 +1,266 @@
+//! Component-level drivers for the profiled hot paths.
+//!
+//! Three paths dominate a loaded leader's CPU budget (the paper's whole
+//! argument is that this budget is the scalability ceiling): the leader
+//! decide/execute pipeline (`propose_batch` → per-peer fan-out →
+//! `accept_batch` → vote counting → execution → replies), the relay
+//! aggregation path (PigPaxos `RelayTable`), and `Wire` encode/decode.
+//! This module drives each one directly — no simulator, no actors, no
+//! timers — over the same public APIs the replicas use, so criterion
+//! benches, the `alloc_gate` binary, and the allocation-regression test
+//! all measure identical work.
+//!
+//! [`LeaderPipeline::drive_wave`] separates *leader-side* work from
+//! *follower-side* work with the counting allocator (see
+//! [`crate::alloc`]): the reported `leader_allocs` covers exactly the
+//! segments a real leader executes per wave, which is the number the
+//! `≥25%` allocation-reduction claim is gated on.
+
+use crate::alloc;
+use paxi::{
+    Ballot, ClientReply, Command, Operation, RequestId, SafetyMonitor, SessionTable, Value,
+};
+use paxos::{
+    accept_batch, apply_batch_votes, propose_batch, Acceptor, Leader, P2bVote, PaxosMsg,
+    Phase1Outcome,
+};
+use pigpaxos::relay::{AggKey, Flush, RelayTable, VoteSet};
+use simnet::{NodeId, SimTime, Wire};
+use std::collections::HashSet;
+
+/// Payload bytes per benched `Put` value (matches the default workload).
+pub const VALUE_BYTES: usize = 64;
+
+/// One decided wave's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveReport {
+    /// Commands decided and executed by this wave.
+    pub decided: usize,
+    /// Allocations charged to the leader-side segments of the wave.
+    pub leader_allocs: u64,
+}
+
+/// A self-contained n-replica cluster driven wave-by-wave through the
+/// batched leader pipeline: exactly the per-wave work a loaded
+/// `PaxosReplica` leader performs, minus the substrate.
+pub struct LeaderPipeline {
+    leader: Leader,
+    leader_acc: Acceptor,
+    followers: Vec<Acceptor>,
+    sessions: SessionTable,
+    now: SimTime,
+    seq: u64,
+    batch: usize,
+    // Reused across waves so container capacity amortizes, mirroring a
+    // long-lived replica rather than a cold start.
+    fanout: Vec<PaxosMsg>,
+    replies: Vec<ClientReply>,
+}
+
+impl LeaderPipeline {
+    /// Build an `n`-replica cluster (node 0 leads) deciding `batch`
+    /// commands per wave. The campaign is completed here so every
+    /// subsequent [`Self::drive_wave`] measures steady state.
+    pub fn new(n: usize, batch: usize) -> Self {
+        assert!(n >= 2, "pipeline needs at least one follower");
+        assert!(batch >= 1, "empty waves decide nothing");
+        let safety = SafetyMonitor::new();
+        let mut leader = Leader::new(NodeId(0), n);
+        let mut leader_acc = Acceptor::new(NodeId(0), safety.clone());
+        let mut followers: Vec<Acceptor> = (1..n)
+            .map(|i| Acceptor::new(NodeId(i as u32), safety.clone()))
+            .collect();
+        let ballot = leader.start_campaign(Ballot::ZERO);
+        let mut votes = vec![leader_acc.on_p1a(ballot, 0)];
+        votes.extend(followers.iter_mut().map(|f| f.on_p1a(ballot, 0)));
+        match leader.on_p1b_votes(votes, 0) {
+            Phase1Outcome::Won { reproposals } => assert!(reproposals.is_empty()),
+            other => panic!("campaign on a fresh cluster must win, got {other:?}"),
+        }
+        LeaderPipeline {
+            leader,
+            leader_acc,
+            followers,
+            sessions: SessionTable::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            batch,
+            fanout: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+
+    fn next_batch(&mut self) -> Vec<(NodeId, Command)> {
+        let mut batch = Vec::with_capacity(self.batch);
+        for _ in 0..self.batch {
+            self.seq += 1;
+            let client = NodeId(100 + (self.seq % 8) as u32);
+            let cmd = Command {
+                id: RequestId {
+                    client,
+                    seq: self.seq,
+                },
+                op: Operation::Put(self.seq % 1024, Value::zeros(VALUE_BYTES)),
+            };
+            batch.push((client, cmd));
+        }
+        batch
+    }
+
+    /// Run one full wave: propose a batch, fan the `P2aBatch` out to
+    /// every follower, accept it at each, count the returning vote
+    /// batches at the leader, execute the decided prefix, and build the
+    /// client replies. Returns what was decided and the allocations the
+    /// *leader-side* segments performed (zero unless the binary installs
+    /// [`crate::alloc::CountingAllocator`]).
+    pub fn drive_wave(&mut self) -> WaveReport {
+        self.now += simnet::SimDuration::from_micros(200);
+        let batch = self.next_batch();
+        let now = self.now;
+        let mut leader_allocs = 0u64;
+
+        // Leader: allocate slots, self-accept, build the wave message,
+        // and clone it per peer exactly as `fanout` does.
+        let ((), d) = alloc::measure(|| {
+            let proposal = propose_batch(&mut self.leader, &mut self.leader_acc, batch, now);
+            let msg = PaxosMsg::P2aBatch {
+                ballot: proposal.ballot,
+                first_slot: proposal.first_slot,
+                commands: proposal.commands,
+                commit_up_to: proposal.commit_up_to,
+            };
+            self.fanout.clear();
+            for _ in 0..self.followers.len() {
+                self.fanout.push(msg.clone());
+            }
+        });
+        leader_allocs += d.allocs;
+
+        // Followers: accept the batch and vote (not leader work — kept
+        // outside the measured segments).
+        let mut vote_batches: Vec<Vec<P2bVote>> = Vec::with_capacity(self.followers.len());
+        for (i, follower) in self.followers.iter_mut().enumerate() {
+            let Some(PaxosMsg::P2aBatch {
+                ballot,
+                first_slot,
+                commands,
+                commit_up_to,
+            }) = self.fanout.get(i).cloned()
+            else {
+                unreachable!("fanout holds one P2aBatch per follower")
+            };
+            let acc = accept_batch(follower, ballot, first_slot, &commands, commit_up_to);
+            follower.execute_ready();
+            vote_batches.push(acc.votes);
+        }
+
+        // Leader: count each follower's vote batch, execute the ready
+        // prefix, record and build replies — the decide/execute path.
+        let ballot = self.leader.ballot();
+        let (decided, d) = alloc::measure(|| {
+            let mut decided = 0usize;
+            self.replies.clear();
+            for votes in vote_batches.drain(..) {
+                let Some(wave) =
+                    apply_batch_votes(&mut self.leader, &mut self.leader_acc, ballot, votes)
+                else {
+                    continue;
+                };
+                assert!(wave.preempted.is_none(), "nothing contends in the harness");
+                for (_slot, id, value) in wave.executed {
+                    let reply = ClientReply::ok(id, value);
+                    self.sessions.record(&reply);
+                    self.replies.push(reply);
+                    decided += 1;
+                }
+            }
+            decided
+        });
+        leader_allocs += d.allocs;
+
+        assert_eq!(decided, self.batch, "every wave must fully decide");
+        WaveReport {
+            decided,
+            leader_allocs,
+        }
+    }
+
+    /// Drive `waves` waves and return total (decided, leader allocations).
+    pub fn run(&mut self, waves: usize) -> (u64, u64) {
+        let mut decided = 0u64;
+        let mut allocs = 0u64;
+        for _ in 0..waves {
+            let r = self.drive_wave();
+            decided += r.decided as u64;
+            allocs += r.leader_allocs;
+        }
+        (decided, allocs)
+    }
+}
+
+/// Drive one PigPaxos relay aggregation round: open a `P2Span` round
+/// seeded with the relay's own `batch`-slot vote block, then add each
+/// group peer's block until the round flushes. Returns the flush (the
+/// aggregate the relay uplinks to the leader).
+pub fn relay_aggregate_round(ballot: Ballot, first_slot: u64, batch: usize, group: usize) -> Flush {
+    let last_slot = first_slot + batch as u64 - 1;
+    let key = AggKey::P2Span(ballot, first_slot, last_slot);
+    let votes_of = |node: u32| -> Vec<P2bVote> {
+        (first_slot..=last_slot)
+            .map(|slot| P2bVote {
+                node: NodeId(node),
+                ballot,
+                slot,
+                ok: true,
+            })
+            .collect()
+    };
+    let mut table = RelayTable::new();
+    let expect: HashSet<NodeId> = (2..=group as u32).map(NodeId).collect();
+    let deadline = SimTime::from_millis(10);
+    if let Some(flush) = table.open(
+        key,
+        NodeId(0),
+        expect,
+        VoteSet::P2(votes_of(1)),
+        0,
+        deadline,
+    ) {
+        return flush;
+    }
+    for node in 2..=group as u32 {
+        if let Some(flush) = table.add(key, NodeId(node), VoteSet::P2(votes_of(node))) {
+            return flush;
+        }
+    }
+    panic!("aggregation over the full group must flush");
+}
+
+/// A representative `P2aBatch` wave message with `batch` commands.
+pub fn sample_p2a_batch(batch: usize) -> PaxosMsg {
+    let commands: Vec<Command> = (0..batch as u64)
+        .map(|i| Command {
+            id: RequestId {
+                client: NodeId(100 + (i % 8) as u32),
+                seq: i + 1,
+            },
+            op: Operation::Put(i % 1024, Value::zeros(VALUE_BYTES)),
+        })
+        .collect();
+    PaxosMsg::P2aBatch {
+        ballot: Ballot::new(1, NodeId(0)),
+        first_slot: 42,
+        commands: commands.into(),
+        commit_up_to: 42,
+    }
+}
+
+/// Encode `msg` into a fresh buffer (the per-send cost pre-pooling).
+pub fn encode_message(msg: &PaxosMsg) -> Vec<u8> {
+    msg.encode()
+}
+
+/// Decode a frame back into a message (the per-receive cost).
+pub fn decode_message(bytes: &[u8]) -> PaxosMsg {
+    PaxosMsg::decode_frame(bytes).expect("harness frames are valid")
+}

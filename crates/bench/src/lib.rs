@@ -8,6 +8,9 @@
 use paxi::{Experiment, LoadPoint, ProtocolSpec};
 use simnet::SimDuration;
 
+pub mod alloc;
+pub mod hotpath;
+
 /// Client-count ladder used by the latency/throughput figures.
 pub const CURVE_CLIENTS: &[usize] = &[1, 2, 5, 10, 20, 40, 80, 160];
 

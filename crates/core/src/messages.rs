@@ -131,6 +131,14 @@ impl Wire for RelayPlan {
 }
 
 impl Wire for PigMsg {
+    /// One-pass encode sized by the exact `wire_size` (see the
+    /// `PaxosMsg` impl): one allocation, no growth reallocs.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(paxi::ProtoMessage::wire_size(self));
+        self.encode_into(&mut out);
+        out
+    }
+
     /// `Direct(inner)` encodes as the inner Paxos message verbatim (the
     /// header's domain byte disambiguates on decode — the relay wrapper
     /// really is zero-overhead on the wire, matching `wire_size()`).

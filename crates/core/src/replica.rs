@@ -331,7 +331,7 @@ impl PigReplica {
         &mut self,
         ballot: paxi::Ballot,
         first_slot: u64,
-        commands: Vec<Command>,
+        commands: &[Command],
         commit_up_to: u64,
         ctx: &mut Ctx<PigMsg>,
     ) -> paxos::BatchAccept {
@@ -383,7 +383,7 @@ impl PigReplica {
             .acceptor
             .on_p2a(ballot, slot, cmd.clone(), commit_up_to);
         self.finish_advance(adv, ctx);
-        if let Ok(Some((slot, cmd, _))) = self.leader.on_p2b_votes(slot, vec![own]) {
+        if let Ok(Some((slot, cmd, _))) = self.leader.on_p2b_vote(own) {
             self.commit_and_execute(slot, cmd, ctx);
         }
         self.disseminate(
@@ -698,7 +698,7 @@ impl PigReplica {
             } => {
                 let batch_len = commands.len().max(1);
                 let last_slot = first_slot + (batch_len - 1) as u64;
-                let acc = self.accept_batch_local(ballot, first_slot, commands, commit_up_to, ctx);
+                let acc = self.accept_batch_local(ballot, first_slot, &commands, commit_up_to, ctx);
                 let flush = self.relays.open(
                     AggKey::P2Span(ballot, first_slot, last_slot),
                     reply_to,
@@ -877,7 +877,7 @@ impl PigReplica {
                 commit_up_to,
             } => {
                 let last_slot = first_slot + commands.len().saturating_sub(1) as u64;
-                let acc = self.accept_batch_local(ballot, first_slot, commands, commit_up_to, ctx);
+                let acc = self.accept_batch_local(ballot, first_slot, &commands, commit_up_to, ctx);
                 ctx.send_proto(
                     from,
                     PigMsg::Direct(PaxosMsg::P2bBatch {

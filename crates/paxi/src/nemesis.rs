@@ -106,6 +106,15 @@ impl<P: ProtoMessage> Nemesis<P> {
                     }
                 }
             }
+            Fault::AsymmetricPartition { a, b } => {
+                // One direction only: `a`'s messages toward `b` die,
+                // the reverse links stay up. `Heal` clears these too.
+                for &x in &a {
+                    for &y in &b {
+                        ctx.control(Control::BlockLink(NodeId(x), NodeId(y)));
+                    }
+                }
+            }
             Fault::Heal => ctx.control(Control::HealAllLinks),
             Fault::Crash(node) => ctx.control(Control::Crash(NodeId(node))),
             Fault::Restart(node) => ctx.control(Control::Recover(NodeId(node))),

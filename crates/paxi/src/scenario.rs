@@ -48,6 +48,7 @@
 //! | kind | fields | effect |
 //! |---|---|---|
 //! | `partition` | `a`, `b` (node lists) | block every link between the groups |
+//! | `asym_partition` | `a`, `b` (node lists) | drop only `a → b`; `b → a` keeps flowing |
 //! | `heal` | — | unblock all links |
 //! | `crash` | `node` | crash-stop the node |
 //! | `restart` | `node` | recover a crashed node |
@@ -96,6 +97,17 @@ pub enum Fault {
         /// One side of the partition.
         a: Vec<u32>,
         /// The other side.
+        b: Vec<u32>,
+    },
+    /// Block only the `a → b` direction: messages from group `a`
+    /// toward group `b` are dropped while `b → a` is still delivered —
+    /// the one-way link failure (bad NIC, asymmetric routing) that a
+    /// full partition masks. Leader-based protocols must either keep a
+    /// quorum that excludes the dead direction or re-elect around it.
+    AsymmetricPartition {
+        /// Senders whose messages toward `b` are dropped.
+        a: Vec<u32>,
+        /// Receivers whose replies toward `a` still flow.
         b: Vec<u32>,
     },
     /// Unblock all links.
@@ -491,6 +503,17 @@ fn parse_fault(mut t: Table, index: usize) -> Result<FaultEvent, ScenarioError> 
             }
             Fault::Partition { a, b }
         }
+        "asym_partition" => {
+            let a = require(take_nodes(&mut t, "a")?, "a")?;
+            let b = require(take_nodes(&mut t, "b")?, "b")?;
+            if a.is_empty() || b.is_empty() {
+                return err(line_hint, "asym_partition groups must be non-empty");
+            }
+            if a.iter().any(|n| b.contains(n)) {
+                return err(line_hint, "asym_partition groups must be disjoint");
+            }
+            Fault::AsymmetricPartition { a, b }
+        }
         "heal" => Fault::Heal,
         "crash" => Fault::Crash(require(take_u64(&mut t, "node")?, "node")? as u32),
         "restart" => Fault::Restart(require(take_u64(&mut t, "node")?, "node")? as u32),
@@ -708,7 +731,7 @@ impl Scenario {
                 )));
             }
             match &ev.fault {
-                Fault::Partition { a, b } => {
+                Fault::Partition { a, b } | Fault::AsymmetricPartition { a, b } => {
                     for &x in a.iter().chain(b.iter()) {
                         check_node(x, "partition")?;
                     }
@@ -917,6 +940,43 @@ p = 0.01
         );
         assert_eq!(s.faults[5].fault, Fault::ClearSlow);
         assert_eq!(s.faults[6].fault, Fault::DropRate(0.01));
+    }
+
+    #[test]
+    fn asym_partition_parses_and_validates() {
+        let text = r#"
+name = "one-way"
+protocol = "paxos"
+replicas = 5
+clients = 1
+measure_ms = 4000
+
+[[faults]]
+at_ms = 100
+kind = "asym_partition"
+a = [0]
+b = [3, 4]
+"#;
+        let s = parse(text).expect("parses");
+        assert_eq!(
+            s.faults[0].fault,
+            Fault::AsymmetricPartition {
+                a: vec![0],
+                b: vec![3, 4]
+            }
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             measure_ms = 4000\n\
+             [[faults]]\nat_ms = 1\nkind = \"asym_partition\"\na = [0]\nb = [0, 1]\n",
+            "disjoint",
+        );
+        assert_rejects(
+            "name = \"x\"\nprotocol = \"paxos\"\nreplicas = 3\nclients = 1\n\
+             measure_ms = 4000\n\
+             [[faults]]\nat_ms = 1\nkind = \"asym_partition\"\na = [0]\nb = [7]\n",
+            "outside cluster",
+        );
     }
 
     #[test]

@@ -326,21 +326,38 @@ impl Acceptor {
         true
     }
 
-    /// Unconditionally snapshot the executed prefix and truncate the
-    /// log below the executed frontier (compaction never drops
-    /// undecided or unexecuted slots — the frontier *is* the bound).
+    /// Snapshot the executed prefix and truncate the log below the
+    /// executed frontier (compaction never drops undecided or
+    /// unexecuted slots — the frontier *is* the bound).
+    ///
+    /// Capture is skipped when the executed frontier has not advanced
+    /// past the snapshot already held: the held snapshot *is* the state
+    /// at that frontier, so recapturing would deep-clone the whole
+    /// kv/session state for nothing — and worse, it would freeze
+    /// whatever the session table holds *now* under the old `up_to`.
+    /// Session entries recorded since the frontier froze (e.g. replies
+    /// cached by the shared reply leg) would then claim coverage a
+    /// snapshot at that frontier cannot justify — the staleness bug
+    /// this guard fixes. Truncation still runs; it is idempotent.
     pub fn force_snapshot(&mut self, sessions: &SessionTable) {
         let up_to = self.log.execute_cursor();
-        // The full map is just the unbounded range of the range-filtered
-        // capture path — one code path serves compaction and shard moves.
-        self.latest_snapshot = Some(Snapshot::for_range(
-            up_to,
-            &self.kv,
-            &self.last_write_slot,
-            sessions,
-            0,
-            None,
-        ));
+        let fresh = self
+            .latest_snapshot
+            .as_ref()
+            .is_some_and(|s| s.up_to >= up_to);
+        if !fresh {
+            // The full map is just the unbounded range of the
+            // range-filtered capture path — one code path serves
+            // compaction and shard moves.
+            self.latest_snapshot = Some(Snapshot::for_range(
+                up_to,
+                &self.kv,
+                &self.last_write_slot,
+                sessions,
+                0,
+                None,
+            ));
+        }
         self.log.truncate_below(up_to);
     }
 

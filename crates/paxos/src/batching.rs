@@ -24,6 +24,7 @@ use paxi::{
 };
 use simnet::{NodeId, SimTime, TimerId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A flushed batch ready to propose: `(client, command)` pairs in
 /// admission order.
@@ -90,6 +91,13 @@ impl BatchLane {
     /// Commands held for per-client reordering (diagnostics).
     pub fn held_count(&self) -> usize {
         self.held_count
+    }
+
+    /// Record one executed wave for drain-aware sizing (no-op unless
+    /// the policy sets [`BatchConfig::drain_aware`]). Called from the
+    /// shared reply leg so both replicas feed the same estimator.
+    pub fn note_drain(&mut self, now: SimTime, executed: usize) {
+        self.batcher.note_drain(now, executed);
     }
 
     fn next_expected(&self, sessions: &SessionTable, client: NodeId) -> u64 {
@@ -395,6 +403,10 @@ pub fn handle_executed<P: ProtoMessage>(
         return Vec::new();
     }
     ctx.charge(exec_cost * executed.len() as u64);
+    // Feed the drain side of the adaptive estimator: a slowed
+    // commit/execute pipe (e.g. a lagging follower) shows up here as
+    // sparse waves and shrinks subsequent batch targets.
+    lane.note_drain(ctx.now(), executed.len());
     for (slot, id, value) in executed {
         let reply = paxi::ClientReply::ok(id, value);
         // Every replica caches the reply so retries are answered
@@ -451,8 +463,9 @@ pub struct BatchProposal {
     pub first_slot: u64,
     /// Commit watermark to piggyback.
     pub commit_up_to: u64,
-    /// The batched commands, in slot order.
-    pub commands: Vec<Command>,
+    /// The batched commands, in slot order, ready to fan out by
+    /// refcount (shared with every peer's `P2aBatch`).
+    pub commands: Arc<[Command]>,
     /// `(slot, client)` pairs the replica must await execution for.
     pub waiting: Vec<(u64, NodeId)>,
     /// Slots the leader's own vote already decided (1-node quorums).
@@ -484,7 +497,7 @@ pub fn propose_batch(
         waiting.push((slot, client));
         let (own, adv) = acceptor.on_p2a(ballot, slot, cmd.clone(), commit_up_to);
         advances.push(adv);
-        if let Ok(Some((slot, cmd, _))) = leader.on_p2b_votes(slot, vec![own]) {
+        if let Ok(Some((slot, cmd, _))) = leader.on_p2b_vote(own) {
             self_commits.push((slot, cmd));
         }
         commands.push(cmd);
@@ -493,7 +506,7 @@ pub fn propose_batch(
         ballot,
         first_slot: first_slot.expect("non-empty batch"),
         commit_up_to,
-        commands,
+        commands: commands.into(),
         waiting,
         self_commits,
         advances,
@@ -523,14 +536,15 @@ pub fn accept_batch(
     acceptor: &mut Acceptor,
     ballot: Ballot,
     first_slot: u64,
-    commands: Vec<Command>,
+    commands: &[Command],
     commit_up_to: u64,
 ) -> BatchAccept {
     let mut votes = Vec::with_capacity(commands.len());
     let mut advances = Vec::with_capacity(commands.len());
     let mut any_ok = false;
-    for (i, command) in commands.into_iter().enumerate() {
-        let (vote, adv) = acceptor.on_p2a(ballot, first_slot + i as u64, command, commit_up_to);
+    for (i, command) in commands.iter().enumerate() {
+        let (vote, adv) =
+            acceptor.on_p2a(ballot, first_slot + i as u64, command.clone(), commit_up_to);
         any_ok |= vote.ok;
         votes.push(vote);
         advances.push(adv);
@@ -622,7 +636,7 @@ mod tests {
     fn accept_batch_votes_per_slot() {
         let mut acceptor = Acceptor::new(NodeId(1), SafetyMonitor::new());
         let ballot = Ballot::new(1, NodeId(0));
-        let acc = accept_batch(&mut acceptor, ballot, 5, vec![cmd(1), cmd(2)], 0);
+        let acc = accept_batch(&mut acceptor, ballot, 5, &[cmd(1), cmd(2)], 0);
         assert!(acc.any_ok);
         assert_eq!(acc.reply_ballot, ballot);
         assert_eq!(acc.votes.len(), 2);
@@ -637,7 +651,7 @@ mod tests {
         let high = Ballot::new(9, NodeId(2));
         acceptor.on_p1a(high, 0);
         let stale = Ballot::new(1, NodeId(0));
-        let acc = accept_batch(&mut acceptor, stale, 0, vec![cmd(1)], 0);
+        let acc = accept_batch(&mut acceptor, stale, 0, &[cmd(1)], 0);
         assert!(!acc.any_ok);
         assert_eq!(
             acc.reply_ballot, stale,
@@ -660,7 +674,7 @@ mod tests {
         let mut follower = Acceptor::new(NodeId(1), SafetyMonitor::new());
         let high = Ballot::new(50, NodeId(2));
         follower.on_p1a(high, 0);
-        let acc = accept_batch(&mut follower, ballot, slot, vec![cmd(1)], 0);
+        let acc = accept_batch(&mut follower, ballot, slot, &[cmd(1)], 0);
 
         // The reply header matches the leader's ballot, so the guard
         // passes and the nack is seen at once.

@@ -229,6 +229,33 @@ impl Leader {
         );
     }
 
+    /// Feed a single phase-2b vote for the slot it carries. Returns the
+    /// commit if the vote completed a quorum: `(slot, command, waiting
+    /// client)`. A preempting higher ballot is reported via
+    /// `Err(higher)`. This is the allocation-free core of the vote
+    /// path; the batched entry points layer ordering on top of it.
+    #[allow(clippy::type_complexity)]
+    pub fn on_p2b_vote(
+        &mut self,
+        v: P2bVote,
+    ) -> Result<Option<(u64, Command, Option<NodeId>)>, Ballot> {
+        let Some(out) = self.outstanding.get_mut(&v.slot) else {
+            return Ok(None); // already committed or unknown
+        };
+        if !v.ok {
+            if v.ballot > self.ballot {
+                return Err(v.ballot);
+            }
+            out.tracker.nack(v.node);
+            return Ok(None);
+        }
+        if out.tracker.ack(v.node, self.ballot) {
+            let out = self.outstanding.remove(&v.slot).expect("present");
+            return Ok(Some((v.slot, out.command, out.client)));
+        }
+        Ok(None)
+    }
+
     /// Feed phase-2b votes. Returns slots that just reached quorum:
     /// `(slot, command, waiting client)`. A preempting higher ballot is
     /// reported via `Err(higher)`.
@@ -238,20 +265,13 @@ impl Leader {
         slot: u64,
         votes: Vec<P2bVote>,
     ) -> Result<Option<(u64, Command, Option<NodeId>)>, Ballot> {
-        let Some(out) = self.outstanding.get_mut(&slot) else {
+        if !self.outstanding.contains_key(&slot) {
             return Ok(None); // already committed or unknown
-        };
+        }
         for v in votes {
-            if !v.ok {
-                if v.ballot > self.ballot {
-                    return Err(v.ballot);
-                }
-                out.tracker.nack(v.node);
-                continue;
-            }
-            if out.tracker.ack(v.node, self.ballot) {
-                let out = self.outstanding.remove(&slot).expect("present");
-                return Ok(Some((slot, out.command, out.client)));
+            match self.on_p2b_vote(P2bVote { slot, ..v })? {
+                Some(c) => return Ok(Some(c)),
+                None => continue,
             }
         }
         Ok(None)
@@ -259,33 +279,59 @@ impl Leader {
 
     /// Feed a batched set of phase-2b votes spanning multiple slots
     /// (one `P2bVote` per `(node, slot)` pair, as carried by
-    /// `P2bBatch`). Votes are grouped per slot — in slot order, so
-    /// commits come out ready for in-order execution — and run through
-    /// the ordinary single-slot quorum counting. Every slot of the
+    /// `P2bBatch`). Votes are counted per slot — in slot order, so
+    /// commits come out ready for in-order execution — through the
+    /// ordinary single-slot quorum counting. Every slot of the
     /// batch is counted even when one slot reports a preempting ballot:
     /// a quorum of acks at our ballot means *chosen*, and dropping such
     /// a commit would strand its client (the slot is already out of
     /// `outstanding`, so `demote` could not re-queue it).
-    pub fn on_p2b_batch(&mut self, votes: Vec<P2bVote>) -> BatchVotesOutcome {
-        let mut by_slot: BTreeMap<u64, Vec<P2bVote>> = BTreeMap::new();
-        for v in votes {
-            by_slot.entry(v.slot).or_default().push(v);
+    ///
+    /// The votes are ordered with an in-place *stable* insertion sort
+    /// instead of being grouped into per-slot containers: follower
+    /// segments arrive already slot-sorted (from `accept_batch`), so
+    /// the sort is near-linear, allocates nothing, and stability keeps
+    /// each slot's votes in arrival order — preserving exactly which
+    /// vote completes a quorum or reports a preemption first.
+    pub fn on_p2b_batch(&mut self, mut votes: Vec<P2bVote>) -> BatchVotesOutcome {
+        for i in 1..votes.len() {
+            let mut j = i;
+            while j > 0 && votes[j - 1].slot > votes[j].slot {
+                votes.swap(j - 1, j);
+                j -= 1;
+            }
         }
         let mut out = BatchVotesOutcome {
             committed: Vec::new(),
             preempted: None,
         };
-        for (slot, group) in by_slot {
-            match self.on_p2b_votes(slot, group) {
-                Ok(Some(c)) => out.committed.push(c),
-                Ok(None) => {}
-                Err(higher) => {
-                    out.preempted = Some(match out.preempted {
-                        Some(prev) => prev.max(higher),
-                        None => higher,
-                    });
+        let mut i = 0;
+        while i < votes.len() {
+            let slot = votes[i].slot;
+            let mut end = i + 1;
+            while end < votes.len() && votes[end].slot == slot {
+                end += 1;
+            }
+            // One slot's run: count votes until the slot commits or
+            // reports a preemption; either way the rest of the run is
+            // moot (the old per-slot grouping behaved identically).
+            for &vote in &votes[i..end] {
+                match self.on_p2b_vote(vote) {
+                    Ok(Some(c)) => {
+                        out.committed.push(c);
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(higher) => {
+                        out.preempted = Some(match out.preempted {
+                            Some(prev) => prev.max(higher),
+                            None => higher,
+                        });
+                        break;
+                    }
                 }
             }
+            i = end;
         }
         out
     }

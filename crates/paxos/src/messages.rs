@@ -11,6 +11,7 @@ use paxi::wire::{decode_command_body, op_tag};
 use paxi::{Ballot, Command, Key, ProtoMessage, Snapshot, Value, HEADER_BYTES};
 use simnet::wire::DOMAIN_PAXOS;
 use simnet::{NodeId, Wire, WireError, WireHeader, WirePut, WireReader};
+use std::sync::Arc;
 
 /// One follower's phase-1b promise.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,8 +169,11 @@ pub enum PaxosMsg {
         ballot: Ballot,
         /// Slot of `commands[0]`.
         first_slot: u64,
-        /// One command per consecutive slot.
-        commands: Vec<Command>,
+        /// One command per consecutive slot. Shared (`Arc`) so that
+        /// fanning the same wave out to every follower — and relaying
+        /// it down a PigPaxos group — clones a refcount, not the
+        /// command vector.
+        commands: Arc<[Command]>,
         /// All slots `< commit_up_to` are committed (phase-3 piggyback).
         commit_up_to: u64,
     },
@@ -547,6 +551,16 @@ fn header(kind: u8) -> WireHeader {
 }
 
 impl Wire for PaxosMsg {
+    /// One-pass encode: `wire_size` is exact (`encode().len() ==
+    /// wire_size()` is the schema invariant), so sizing the buffer up
+    /// front makes serialization a single allocation with no growth
+    /// reallocs — the same buffer discipline the net framing uses.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(paxi::ProtoMessage::wire_size(self));
+        self.encode_into(&mut out);
+        out
+    }
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             PaxosMsg::P1a { ballot, from } => {
@@ -597,7 +611,7 @@ impl Wire for PaxosMsg {
                 ballot.encode_into(out);
                 out.put_u64(*first_slot);
                 out.put_u64(*commit_up_to);
-                for cmd in commands {
+                for cmd in commands.iter() {
                     // 4-byte prefix per command: op tag u8 + value len
                     // u24 (the batch arithmetic's `4 + payload`).
                     let len = paxi::wire::command_value_len(cmd);
@@ -777,7 +791,7 @@ impl Wire for PaxosMsg {
                 Ok(PaxosMsg::P2aBatch {
                     ballot,
                     first_slot,
-                    commands,
+                    commands: commands.into(),
                     commit_up_to,
                 })
             }
@@ -1001,7 +1015,7 @@ mod tests {
             PaxosMsg::P2aBatch {
                 ballot: Ballot::ZERO,
                 first_slot: 0,
-                commands: vec![cmd(64)],
+                commands: vec![cmd(64)].into(),
                 commit_up_to: 0
             }
             .label(),

@@ -240,7 +240,7 @@ impl PaxosReplica {
         &mut self,
         ballot: paxi::Ballot,
         first_slot: u64,
-        commands: Vec<Command>,
+        commands: &[Command],
         commit_up_to: u64,
         ctx: &mut Ctx<PaxosMsg>,
     ) -> crate::batching::BatchAccept {
@@ -293,7 +293,7 @@ impl PaxosReplica {
             .acceptor
             .on_p2a(ballot, slot, cmd.clone(), commit_up_to);
         self.finish_advance(adv, ctx);
-        match self.leader.on_p2b_votes(slot, vec![own]) {
+        match self.leader.on_p2b_vote(own) {
             Ok(Some((slot, cmd, _client))) => self.commit_and_execute(slot, cmd, ctx),
             Ok(None) => {}
             Err(_) => {}
@@ -509,7 +509,7 @@ impl Replica<PaxosMsg> for PaxosReplica {
                 commit_up_to,
             } => {
                 let last_slot = first_slot + commands.len().saturating_sub(1) as u64;
-                let acc = self.accept_batch(ballot, first_slot, commands, commit_up_to, ctx);
+                let acc = self.accept_batch(ballot, first_slot, &commands, commit_up_to, ctx);
                 ctx.send_proto(
                     from,
                     PaxosMsg::P2bBatch {

@@ -57,6 +57,70 @@ const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
 const MAX_BACKOFF: Duration = Duration::from_millis(500);
 /// Connect/write attempts per frame before it is dropped.
 const MAX_ATTEMPTS: u32 = 20;
+/// Ceiling on buffers retained per node by the opt-in frame pool.
+const POOL_CAP: usize = 64;
+
+/// True when `PIG_NET_POOL` requests pooled frame buffers (any value
+/// but `0`). Off by default: the pool changes no bytes on the wire
+/// (asserted by `pooled_frames_are_byte_identical`), but it stays
+/// opt-in until the perf gate has tracked it across environments.
+pub fn frame_pooling_enabled() -> bool {
+    std::env::var_os("PIG_NET_POOL").is_some_and(|v| v != "0")
+}
+
+/// A bounded free-list of spent frame buffers, shared between a node's
+/// sender and its writer threads. With pooling enabled, every frame a
+/// writer finishes with returns here and the next send reuses its
+/// capacity — the steady-state send path stops allocating entirely.
+/// Disabled, `get` is exactly the old `Vec::with_capacity` path.
+struct FramePool {
+    enabled: bool,
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl FramePool {
+    fn new(enabled: bool) -> Self {
+        FramePool {
+            enabled,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, capacity: usize) -> Vec<u8> {
+        if self.enabled {
+            if let Some(mut buf) = self.free.lock().pop() {
+                buf.clear();
+                buf.reserve(capacity);
+                return buf;
+            }
+        }
+        Vec::with_capacity(capacity)
+    }
+
+    fn put(&self, buf: Vec<u8>) {
+        if !self.enabled {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < POOL_CAP {
+            free.push(buf);
+        }
+    }
+}
+
+/// Build one transport frame for `msg` from `from`, drawing the buffer
+/// from `pool`: `[payload len u32 LE][sender u32 LE]` + encoded
+/// payload. The bytes are a pure function of `(from, msg)` — pooling
+/// only changes where the buffer came from.
+fn encode_frame<M: Message + Wire>(from: NodeId, msg: &M, pool: &FramePool) -> Vec<u8> {
+    let mut frame = pool.get(FRAME_PREFIX + msg.wire_size());
+    frame.extend_from_slice(&[0u8; FRAME_PREFIX]);
+    msg.encode_into(&mut frame);
+    let payload_len = (frame.len() - FRAME_PREFIX) as u32;
+    frame[..4].copy_from_slice(&payload_len.to_le_bytes());
+    frame[4..8].copy_from_slice(&from.0.to_le_bytes());
+    frame
+}
 
 /// Counters from a [`NetRuntime`] run — the socket substrate's
 /// equivalent of the simulator's per-node message stats.
@@ -195,6 +259,7 @@ impl<M: Message + Wire + Send + 'static> NetRuntime<M> {
         }
 
         let epoch = Instant::now();
+        let pooling = frame_pooling_enabled();
         let mut actor_handles = Vec::with_capacity(n);
         for i in 0..n {
             let actor = self.actors[i].take().expect("actor already running");
@@ -210,6 +275,7 @@ impl<M: Message + Wire + Send + 'static> NetRuntime<M> {
                 metrics: metrics.clone(),
                 stop: stop.clone(),
                 io_handles: io_handles.clone(),
+                pool: Arc::new(FramePool::new(pooling)),
             };
             actor_handles.push(std::thread::spawn(move || {
                 let mut sender = sender;
@@ -269,6 +335,7 @@ struct NetSender<M> {
     metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
     io_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Arc<FramePool>,
 }
 
 impl<M: Message + Wire + Send + 'static> NetSender<M> {
@@ -289,18 +356,14 @@ impl<M: Message + Wire + Send + 'static> NetSender<M> {
         let Some(&addr) = self.addrs.get(to.index()) else {
             return; // unknown destination: drop, as the simulator does
         };
-        let mut frame = Vec::with_capacity(FRAME_PREFIX + msg.wire_size());
-        frame.extend_from_slice(&[0u8; FRAME_PREFIX]);
-        msg.encode_into(&mut frame);
-        let payload_len = (frame.len() - FRAME_PREFIX) as u32;
-        frame[..4].copy_from_slice(&payload_len.to_le_bytes());
-        frame[4..8].copy_from_slice(&self.node.0.to_le_bytes());
+        let frame = encode_frame(self.node, &msg, &self.pool);
 
         let writer = self.writers.entry(to.index()).or_insert_with(|| {
             let (tx, rx) = unbounded::<Vec<u8>>();
             let metrics = self.metrics.clone();
             let stop = self.stop.clone();
-            let handle = std::thread::spawn(move || writer_loop(addr, rx, metrics, stop));
+            let pool = self.pool.clone();
+            let handle = std::thread::spawn(move || writer_loop(addr, rx, metrics, stop, pool));
             self.io_handles.lock().push(handle);
             tx
         });
@@ -316,6 +379,7 @@ fn writer_loop(
     rx: Receiver<Vec<u8>>,
     metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
+    pool: Arc<FramePool>,
 ) {
     let mut stream: Option<TcpStream> = None;
     let mut connected_before = false;
@@ -369,6 +433,9 @@ fn writer_loop(
                 }
             }
         }
+        // Written or dropped either way: the buffer's capacity can be
+        // reused by the next send (no-op unless pooling is enabled).
+        pool.put(frame);
     }
 }
 
@@ -582,5 +649,43 @@ mod tests {
         assert_eq!(stats.per_node_received, vec![1]);
         assert_eq!(stats.bytes_sent, 0, "no socket traffic for self-sends");
         assert!(stats.timers_fired >= 1);
+    }
+
+    #[test]
+    fn pooled_frames_are_byte_identical() {
+        let fresh = FramePool::new(false);
+        let pooled = FramePool::new(true);
+        // Seed the pool with a dirty, over-sized spent buffer so reuse
+        // actually exercises the clear+reserve path.
+        pooled.put(vec![0xAAu8; 4096]);
+        for seq in [0u64, 1, 42, u64::MAX] {
+            let msg = Num(seq);
+            let a = encode_frame(NodeId(3), &msg, &fresh);
+            let b = encode_frame(NodeId(3), &msg, &pooled);
+            assert_eq!(a, b, "pooling changed the bytes of frame {seq}");
+            // Return the frame as writer_loop does; the next iteration
+            // reuses it.
+            pooled.put(b);
+        }
+        // The frame layout itself: [len][sender] prefix then payload.
+        let frame = encode_frame(NodeId(7), &Num(5), &fresh);
+        let payload_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        let sender = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        assert_eq!(payload_len, frame.len() - FRAME_PREFIX);
+        assert_eq!(sender, 7);
+    }
+
+    #[test]
+    fn frame_pool_caps_retained_buffers() {
+        let pool = FramePool::new(true);
+        for _ in 0..(POOL_CAP + 10) {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.free.lock().len(), POOL_CAP);
+        // Disabled pools retain nothing.
+        let off = FramePool::new(false);
+        off.put(Vec::with_capacity(64));
+        assert!(off.free.lock().is_empty());
+        assert_eq!(off.get(16).capacity(), 16);
     }
 }

@@ -1,0 +1,97 @@
+//! Allocation-regression tier: the counting global allocator from
+//! `pigpaxos_bench::alloc` is installed for this whole test binary, and
+//! the batched leader pipeline must decide commands within a recorded
+//! allocation budget — at three levels:
+//!
+//! 1. the component-level hot path (the same harness `alloc_gate`
+//!    measures, so a regression here pinpoints the protocol layer),
+//! 2. a full `Experiment` on the deterministic simulator, and
+//! 3. the same `Experiment` on the OS-thread substrate (channel
+//!    transport — adds runtime plumbing but no sockets).
+//!
+//! The bounds are deliberately generous multiples of the measured
+//! post-optimization figures (see `BENCH_alloc_baseline.json`): they
+//! exist to catch the *class* of regression where a per-command clone
+//! or per-vote container sneaks back into the pipeline (each such slip
+//! adds ≥ 1 alloc/op), not to pin exact counts across allocator or
+//! stdlib changes.
+//!
+//! Everything runs inside ONE `#[test]` so no parallel test thread
+//! contaminates the process-global counters.
+
+use paxi::{BatchConfig, Experiment};
+use paxos::PaxosConfig;
+use pigpaxos_bench::alloc::{self, CountingAllocator};
+use pigpaxos_bench::hotpath::LeaderPipeline;
+use simnet::SimDuration;
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Component leader pipeline bound (measured ~1.04 allocs/op at B=16,
+/// n=5; the pre-optimization tree sat at ~7.98).
+const COMPONENT_BOUND: f64 = 3.0;
+
+fn b16_experiment() -> Experiment<PaxosConfig> {
+    let cfg = PaxosConfig::lan().with_batch(BatchConfig::new(16, SimDuration::from_micros(200)));
+    Experiment::lan(cfg, 5).clients(8).client_pipeline(4)
+}
+
+#[test]
+fn batched_pipeline_stays_within_alloc_budget() {
+    // --- Component level: exactly the alloc_gate hot path. ---
+    let mut pipe = LeaderPipeline::new(5, 16);
+    pipe.run(8); // steady-state warmup
+    let (decided, allocs) = pipe.run(1024 / 16);
+    let per_op = allocs as f64 / decided as f64;
+    println!("component leader pipeline: {per_op:.3} allocs/op ({decided} decided)");
+    assert!(
+        per_op <= COMPONENT_BOUND,
+        "leader hot path regressed: {per_op:.3} allocs/op > {COMPONENT_BOUND}"
+    );
+
+    // --- Simulator substrate: a whole experiment, every layer in. ---
+    let exp = b16_experiment()
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(800));
+    let (r, d) = alloc::measure(|| exp.run_sim(7));
+    assert!(r.violations.is_empty(), "sim: {:?}", r.violations);
+    assert!(
+        r.decided >= 1000,
+        "sim must decide >= 1k commands: {}",
+        r.decided
+    );
+    let sim_per_op = d.allocs as f64 / r.decided as f64;
+    println!(
+        "sim substrate: {sim_per_op:.1} allocs/op ({} decided, {} allocs)",
+        r.decided, d.allocs
+    );
+
+    // --- Thread substrate: real threads + channel transport. ---
+    let exp = b16_experiment()
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(400));
+    let (r, d) = alloc::measure(|| exp.run_threads(7, Duration::from_millis(700)));
+    assert!(r.violations.is_empty(), "threads: {:?}", r.violations);
+    assert!(r.decided > 0, "threads must make progress");
+    let thr_per_op = d.allocs as f64 / r.decided as f64;
+    println!(
+        "threads substrate: {thr_per_op:.1} allocs/op ({} decided, {} allocs)",
+        r.decided, d.allocs
+    );
+
+    // Substrate bounds set after the printed measurements above were
+    // recorded on the optimized tree: sim ~4.1/op and threads ~4.6/op
+    // (event queue, workload generator, and channel transport
+    // included). The threads denominator is wall-clock-sized, so both
+    // bounds leave several× headroom.
+    assert!(
+        sim_per_op <= 25.0,
+        "sim substrate regressed: {sim_per_op:.1} allocs/op"
+    );
+    assert!(
+        thr_per_op <= 50.0,
+        "thread substrate regressed: {thr_per_op:.1} allocs/op"
+    );
+}

@@ -320,3 +320,111 @@ fn byte_interval_soak_bounded_memory() {
         r.max_log_len
     );
 }
+
+/// Regression for the snapshot-capture staleness bug: `force_snapshot`
+/// with a static executed frontier must keep the snapshot already held,
+/// not recapture. A recapture at an unchanged `up_to` would freeze the
+/// *current* session table under the old frontier — session entries
+/// recorded since the frontier froze would claim coverage the snapshot
+/// cannot justify. Runs in every tier (it is component-level and fast).
+#[test]
+fn snapshot_capture_skips_static_frontier() {
+    use paxi::{Ballot, ClientReply, SafetyMonitor, SessionTable};
+    use paxos::{accept_batch, apply_batch_votes, propose_batch, Acceptor, Leader, Phase1Outcome};
+    use simnet::SimTime;
+
+    fn decide_wave(
+        leader: &mut Leader,
+        acc: &mut Acceptor,
+        follower: &mut Acceptor,
+        sessions: &mut SessionTable,
+        seq: &mut u64,
+        count: usize,
+    ) {
+        let now = SimTime::from_micros(*seq * 10 + 10);
+        let client = NodeId(42);
+        let batch: Vec<(NodeId, Command)> = (0..count)
+            .map(|_| {
+                *seq += 1;
+                let cmd = Command {
+                    id: RequestId { client, seq: *seq },
+                    op: Operation::Put(*seq % 8, Value::zeros(8)),
+                };
+                (client, cmd)
+            })
+            .collect();
+        let p = propose_batch(leader, acc, batch, now);
+        let a = accept_batch(
+            follower,
+            p.ballot,
+            p.first_slot,
+            &p.commands,
+            p.commit_up_to,
+        );
+        follower.execute_ready();
+        let wave = apply_batch_votes(leader, acc, p.ballot, a.votes).expect("wave must decide");
+        assert!(wave.preempted.is_none(), "nothing contends here");
+        for (_slot, id, value) in wave.executed {
+            sessions.record(&ClientReply::ok(id, value));
+        }
+    }
+
+    let safety = SafetyMonitor::new();
+    let mut leader = Leader::new(NodeId(0), 2);
+    let mut acc = Acceptor::new(NodeId(0), safety.clone());
+    let mut follower = Acceptor::new(NodeId(1), safety.clone());
+    let ballot = leader.start_campaign(Ballot::ZERO);
+    let votes = vec![acc.on_p1a(ballot, 0), follower.on_p1a(ballot, 0)];
+    match leader.on_p1b_votes(votes, 0) {
+        Phase1Outcome::Won { reproposals } => assert!(reproposals.is_empty()),
+        other => panic!("fresh cluster campaign must win, got {other:?}"),
+    }
+
+    let mut sessions = SessionTable::new();
+    let mut seq = 0u64;
+    decide_wave(
+        &mut leader,
+        &mut acc,
+        &mut follower,
+        &mut sessions,
+        &mut seq,
+        8,
+    );
+    acc.force_snapshot(&sessions);
+    let snap = acc.latest_snapshot().expect("first force captures").clone();
+    assert_eq!(snap.up_to, 8);
+    assert_eq!(snap.sessions.latest_seq(NodeId(42)), Some(8));
+
+    // Session activity with a static frontier — e.g. a reply cached by
+    // the shared reply leg for a command that never went through this
+    // log. Forcing again must NOT fold it into a snapshot still bound
+    // to slot 8.
+    let stray = RequestId {
+        client: NodeId(99),
+        seq: 1,
+    };
+    sessions.record(&ClientReply::ok(stray, None));
+    acc.force_snapshot(&sessions);
+    let snap = acc.latest_snapshot().expect("still held").clone();
+    assert_eq!(snap.up_to, 8, "frontier did not move");
+    assert_eq!(
+        snap.sessions.latest_seq(NodeId(99)),
+        None,
+        "static frontier must not recapture newer session state"
+    );
+
+    // Once the frontier advances the next force recaptures everything.
+    decide_wave(
+        &mut leader,
+        &mut acc,
+        &mut follower,
+        &mut sessions,
+        &mut seq,
+        4,
+    );
+    acc.force_snapshot(&sessions);
+    let snap = acc.latest_snapshot().expect("recaptured").clone();
+    assert_eq!(snap.up_to, 12);
+    assert_eq!(snap.sessions.latest_seq(NodeId(42)), Some(12));
+    assert_eq!(snap.sessions.latest_seq(NodeId(99)), Some(1));
+}

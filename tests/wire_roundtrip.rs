@@ -218,7 +218,7 @@ fn paxos_msg() -> impl Strategy<Value = PaxosMsg> {
                 PaxosMsg::P2aBatch {
                     ballot,
                     first_slot,
-                    commands,
+                    commands: commands.into(),
                     commit_up_to,
                 }
             }),
