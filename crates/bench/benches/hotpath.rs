@@ -37,12 +37,19 @@ fn bench_relay_aggregate(c: &mut Criterion) {
 
 fn bench_wire(c: &mut Criterion) {
     let msg = hotpath::sample_p2a_batch(16);
-    let frame = hotpath::encode_message(&msg);
+    let frame = simnet::Bytes::from(hotpath::encode_message(&msg));
     c.bench_function("wire_encode_p2a_batch_b16", |b| {
         b.iter(|| black_box(hotpath::encode_message(&msg)))
     });
     c.bench_function("wire_decode_p2a_batch_b16", |b| {
         b.iter(|| black_box(hotpath::decode_message(&frame)))
+    });
+    // Large values stress the zero-copy path: payload bytes must ride
+    // out of the decoder as slices of the frame, not fresh copies.
+    let large = hotpath::sample_p2a_batch_with_values(16, 4096);
+    let large_frame = simnet::Bytes::from(hotpath::encode_message(&large));
+    c.bench_function("wire_decode_p2a_batch_b16_4k_values", |b| {
+        b.iter(|| black_box(hotpath::decode_message(&large_frame)))
     });
 }
 

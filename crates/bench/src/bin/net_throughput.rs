@@ -1,0 +1,108 @@
+//! Net-substrate throughput probe: messages per second per core over
+//! real TCP loopback sockets.
+//!
+//! Runs the same PigPaxos experiment on [`Experiment::run_net`] twice —
+//! once with the paper-default 8-byte values and once with 1 KiB values
+//! (the zero-copy decode pipeline's target shape) — and reports
+//! client-observed ops/sec plus wire messages/sec normalized by
+//! `available_parallelism`. Wire messages are counted by the transport
+//! itself (each socket crossing counts once as a send and once as a
+//! receive, so the per-node totals are halved).
+//!
+//! Wall-clock numbers are machine-dependent, so none of the emitted
+//! JSON keys use a gated `perf_gate` suffix: the gate checks they keep
+//! being *produced* (a missing baseline key fails) but not their
+//! values. The in-process assertions below are the real gate — both
+//! runs must make progress with zero safety violations.
+//!
+//! `--quick` shortens the wall window; `--json <path>` writes the
+//! metrics for the CI profile artifact.
+
+use paxi::{Experiment, RunResult, Workload};
+use pigpaxos::PigConfig;
+use pigpaxos_bench::{json, json_path, quick_mode, SEED};
+use std::time::Duration;
+
+struct Point {
+    name: &'static str,
+    ops_per_sec: f64,
+    msgs_per_sec: f64,
+    msgs_per_sec_core: f64,
+}
+
+fn probe(name: &'static str, payload: usize, wall: Duration, cores: f64) -> Point {
+    let r: RunResult = Experiment::lan(PigConfig::lan(2), 5)
+        .clients(16)
+        .client_pipeline(4)
+        .workload(Workload::write_only(8).value_size(payload))
+        .run_net(SEED, wall);
+    assert!(
+        r.violations.is_empty(),
+        "net run `{name}`: safety violations {:?}",
+        r.violations
+    );
+    assert!(
+        r.samples > 100,
+        "net run `{name}` made no progress: {} samples",
+        r.samples
+    );
+    let secs = wall.as_secs_f64();
+    // node_msgs is sent + received per node; every wire message is
+    // counted once on each side of its socket.
+    let wire_msgs = r.node_msgs.iter().sum::<u64>() as f64 / 2.0;
+    Point {
+        name,
+        ops_per_sec: r.samples as f64 / secs,
+        msgs_per_sec: wire_msgs / secs,
+        msgs_per_sec_core: wire_msgs / secs / cores,
+    }
+}
+
+fn main() {
+    let wall = if quick_mode() {
+        Duration::from_millis(600)
+    } else {
+        Duration::from_secs(3)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as f64;
+
+    let small = probe("small", 8, wall, cores);
+    let large = probe("large", 1024, wall, cores);
+
+    println!(
+        "net_throughput (pigpaxos n=5 g=2, 16 clients x4 pipeline, {:.1}s wall, {cores:.0} cores)",
+        wall.as_secs_f64()
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>18}",
+        "values", "ops/sec", "wire msgs/sec", "msgs/sec/core"
+    );
+    for p in [&small, &large] {
+        println!(
+            "{:<10} {:>12.0} {:>14.0} {:>18.0}",
+            p.name, p.ops_per_sec, p.msgs_per_sec, p.msgs_per_sec_core
+        );
+    }
+
+    if let Some(path) = json_path() {
+        let rows = vec![
+            ("net_small_ops_per_sec".to_string(), small.ops_per_sec),
+            ("net_small_msgs_per_sec".to_string(), small.msgs_per_sec),
+            (
+                "net_small_msgs_per_sec_core".to_string(),
+                small.msgs_per_sec_core,
+            ),
+            ("net_large_ops_per_sec".to_string(), large.ops_per_sec),
+            ("net_large_msgs_per_sec".to_string(), large.msgs_per_sec),
+            (
+                "net_large_msgs_per_sec_core".to_string(),
+                large.msgs_per_sec_core,
+            ),
+        ];
+        std::fs::write(&path, json::render(&rows)).expect("write json");
+        println!("wrote {path}");
+    }
+    println!("net_throughput: OK (both runs progressed, zero violations)");
+}

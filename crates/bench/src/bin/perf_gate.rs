@@ -1,9 +1,13 @@
 //! CI perf-regression gate.
 //!
-//! Usage: `perf_gate <current.json> <baseline.json>`
+//! Usage: `perf_gate <current.json>... <baseline.json>`
 //!
-//! Both files are flat JSON objects produced by `batch_sweep --json`.
-//! The gate compares every key present in the baseline:
+//! The last path is the baseline; every preceding path is a current-run
+//! metrics file and the set is merged (duplicate keys are an error —
+//! two producers claiming the same metric would make the gate
+//! ambiguous). All files are flat JSON objects as produced by
+//! `batch_sweep --json`, `alloc_gate --json`, or `net_throughput
+//! --json`. The gate compares every key present in the baseline:
 //!
 //! - `*_per_op` / `*_ms` (lower is better): fail when the current value
 //!   exceeds the baseline by more than 10%.
@@ -45,12 +49,20 @@ fn load(path: &str) -> Vec<(String, f64)> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: perf_gate <current.json> <baseline.json>");
+    if args.len() < 3 {
+        eprintln!("usage: perf_gate <current.json>... <baseline.json>");
         return ExitCode::from(2);
     }
-    let current: HashMap<String, f64> = load(&args[1]).into_iter().collect();
-    let baseline = load(&args[2]);
+    let mut current: HashMap<String, f64> = HashMap::new();
+    for path in &args[1..args.len() - 1] {
+        for (key, value) in load(path) {
+            if current.insert(key.clone(), value).is_some() {
+                eprintln!("perf_gate: metric `{key}` appears in more than one current file");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let baseline = load(&args[args.len() - 1]);
 
     let mut failures = 0usize;
     println!(

@@ -25,7 +25,7 @@ use paxos::{
     Phase1Outcome,
 };
 use pigpaxos::relay::{AggKey, Flush, RelayTable, VoteSet};
-use simnet::{NodeId, SimTime, Wire};
+use simnet::{Bytes, NodeId, SimTime, Wire};
 use std::collections::HashSet;
 
 /// Payload bytes per benched `Put` value (matches the default workload).
@@ -238,13 +238,20 @@ pub fn relay_aggregate_round(ballot: Ballot, first_slot: u64, batch: usize, grou
 
 /// A representative `P2aBatch` wave message with `batch` commands.
 pub fn sample_p2a_batch(batch: usize) -> PaxosMsg {
+    sample_p2a_batch_with_values(batch, VALUE_BYTES)
+}
+
+/// A `P2aBatch` wave message with `batch` commands of `value_bytes`
+/// payload each — the large-value variant drives the zero-copy decode
+/// gates.
+pub fn sample_p2a_batch_with_values(batch: usize, value_bytes: usize) -> PaxosMsg {
     let commands: Vec<Command> = (0..batch as u64)
         .map(|i| Command {
             id: RequestId {
                 client: NodeId(100 + (i % 8) as u32),
                 seq: i + 1,
             },
-            op: Operation::Put(i % 1024, Value::zeros(VALUE_BYTES)),
+            op: Operation::Put(i % 1024, Value::zeros(value_bytes)),
         })
         .collect();
     PaxosMsg::P2aBatch {
@@ -260,7 +267,9 @@ pub fn encode_message(msg: &PaxosMsg) -> Vec<u8> {
     msg.encode()
 }
 
-/// Decode a frame back into a message (the per-receive cost).
-pub fn decode_message(bytes: &[u8]) -> PaxosMsg {
-    PaxosMsg::decode_frame(bytes).expect("harness frames are valid")
+/// Decode a frame back into a message (the per-receive cost). The frame
+/// arrives as [`Bytes`] — the form the net substrate hands decoders —
+/// so every value inside the result is a zero-copy slice of it.
+pub fn decode_message(frame: &Bytes) -> PaxosMsg {
+    PaxosMsg::decode_frame(frame).expect("harness frames are valid")
 }

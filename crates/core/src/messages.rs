@@ -97,6 +97,8 @@ impl ProtoMessage for PigMsg {
 }
 
 impl Wire for RelayPlan {
+    const KIND: &'static str = "RelayPlan";
+
     /// `peer count: u16`, `sub count: u16`, the peer node ids (u32
     /// each), then each sub-relay as `node: u32` + its nested plan —
     /// exactly [`RelayPlan::wire_bytes`] bytes at every level.
@@ -117,11 +119,12 @@ impl Wire for RelayPlan {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let n_peers = r.u16("plan.peer_count")?;
         let n_sub = r.u16("plan.sub_count")?;
-        let mut peers = Vec::with_capacity(n_peers as usize);
+        let mut peers = Vec::with_capacity(r.capacity_for(n_peers as usize, 4));
         for _ in 0..n_peers {
             peers.push(NodeId(r.u32("plan.peer")?));
         }
-        let mut sub = Vec::with_capacity(n_sub as usize);
+        // 4 node + an (empty) 4-byte nested plan per sub-relay.
+        let mut sub = Vec::with_capacity(r.capacity_for(n_sub as usize, 8));
         for _ in 0..n_sub {
             let node = NodeId(r.u32("plan.sub_node")?);
             sub.push((node, RelayPlan::decode(r)?));
@@ -131,6 +134,8 @@ impl Wire for RelayPlan {
 }
 
 impl Wire for PigMsg {
+    const KIND: &'static str = "PigMsg";
+
     /// One-pass encode sized by the exact `wire_size` (see the
     /// `PaxosMsg` impl): one allocation, no growth reallocs.
     fn encode(&self) -> Vec<u8> {

@@ -154,6 +154,8 @@ const KIND_ACCEPT_OK: u8 = 3;
 const KIND_COMMIT: u8 = 4;
 
 impl Wire for InstanceId {
+    const KIND: &'static str = "InstanceId";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u32(self.replica.0);
         out.put_u64(self.slot);
@@ -179,7 +181,8 @@ fn encode_attrs(attrs: &Attrs, out: &mut Vec<u8>) {
 
 fn decode_attrs(n_deps: u32, r: &mut WireReader<'_>) -> Result<Attrs, WireError> {
     let seq = r.u64("attrs.seq")?;
-    let mut deps = Vec::with_capacity(n_deps as usize);
+    // 4 replica + 8 slot per dep.
+    let mut deps = Vec::with_capacity(r.capacity_for(n_deps as usize, 12));
     for _ in 0..n_deps {
         deps.push(InstanceId::decode(r)?);
     }
@@ -191,6 +194,8 @@ fn header(kind: u8, attrs: &Attrs) -> WireHeader {
 }
 
 impl Wire for EpaxosMsg {
+    const KIND: &'static str = "EpaxosMsg";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             EpaxosMsg::PreAccept {

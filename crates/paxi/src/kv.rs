@@ -128,6 +128,8 @@ impl KvStore {
 }
 
 impl Wire for KvStore {
+    const KIND: &'static str = "KvStore";
+
     /// `applied: u64`, `count: u32`, then `count` entries of
     /// `key: u64`, `len: u32`, `len` value bytes — sorted by key so the
     /// encoding is deterministic.
@@ -147,11 +149,12 @@ impl Wire for KvStore {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let applied = r.u64("kv.applied")?;
         let count = r.u32("kv.count")?;
-        let mut data = HashMap::with_capacity(count as usize);
+        // 8 key + 4 len per entry.
+        let mut data = HashMap::with_capacity(r.capacity_for(count as usize, 12));
         for _ in 0..count {
             let k = r.u64("kv.key")?;
             let len = r.u32("kv.value_len")? as usize;
-            data.insert(k, Value::from(r.bytes(len, "kv.value")?));
+            data.insert(k, Value(r.read_value(len, "kv.value")?));
         }
         Ok(KvStore { data, applied })
     }
@@ -204,7 +207,7 @@ mod tests {
         kv.apply(&Operation::Get(3));
         let bytes = kv.encode();
         assert_eq!(bytes.len(), kv.encoded_bytes());
-        let back = KvStore::decode_frame(&bytes).expect("decodes");
+        let back = KvStore::decode_frame(&bytes.into()).expect("decodes");
         assert_eq!(back.fingerprint(), kv.fingerprint());
         assert_eq!(back.applied(), kv.applied());
         // Deterministic regardless of map iteration order.

@@ -170,6 +170,8 @@ const SMETA_REDIRECT: u16 = 1 << 13;
 const SMETA_LEN: u16 = (1 << 13) - 1;
 
 impl Wire for SessionTable {
+    const KIND: &'static str = "SessionTable";
+
     /// `window: u32`, `session count: u32`, then sessions sorted by
     /// client id: `client: u32`, `latest: u64`, `reply count: u32`,
     /// then replies in seq order: `seq: u64`, `meta: u16` (bit 15 value
@@ -223,7 +225,8 @@ impl Wire for SessionTable {
             });
         }
         let n_sessions = r.u32("sessions.count")?;
-        let mut sessions = HashMap::with_capacity(n_sessions as usize);
+        // 4 client + 8 latest + 4 count per session.
+        let mut sessions = HashMap::with_capacity(r.capacity_for(n_sessions as usize, 16));
         for _ in 0..n_sessions {
             let client = NodeId(r.u32("session.client")?);
             let latest = r.u64("session.latest")?;
@@ -234,7 +237,7 @@ impl Wire for SessionTable {
                 let meta = r.u16("session.meta")?;
                 let value = if meta & SMETA_VALUE != 0 {
                     let len = (meta & SMETA_LEN) as usize;
-                    Some(Value::from(r.bytes(len, "session.value")?))
+                    Some(Value(r.read_value(len, "session.value")?))
                 } else {
                     None
                 };
@@ -365,7 +368,7 @@ mod tests {
         t.record(&ClientReply::redirect(id(2, 1), Some(NodeId(0))));
         let bytes = t.encode();
         assert_eq!(bytes.len(), t.approx_bytes(), "approx_bytes is exact");
-        let back = SessionTable::decode_frame(&bytes).expect("decodes");
+        let back = SessionTable::decode_frame(&bytes.clone().into()).expect("decodes");
         assert_eq!(back.replay(id(1, 3)), t.replay(id(1, 3)));
         assert_eq!(back.replay(id(2, 1)), t.replay(id(2, 1)));
         assert_eq!(back.latest_seq(NodeId(1)), Some(4));

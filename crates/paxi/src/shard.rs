@@ -231,6 +231,8 @@ impl ShardMap {
 }
 
 impl Wire for ShardMap {
+    const KIND: &'static str = "ShardMap";
+
     /// `version: u64`, `count: u32`, then `count` entries of
     /// `start: u64`, `group: u32` — already sorted, so deterministic.
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -245,7 +247,8 @@ impl Wire for ShardMap {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let version = r.u64("shard_map.version")?;
         let count = r.u32("shard_map.count")?;
-        let mut starts = Vec::with_capacity(count as usize);
+        // 8 start + 4 group per entry.
+        let mut starts = Vec::with_capacity(r.capacity_for(count as usize, 12));
         for _ in 0..count {
             let start = r.u64("shard_map.start")?;
             let group = r.u32("shard_map.group")?;
@@ -334,6 +337,8 @@ impl ShardCtl {
 }
 
 impl Wire for ShardCtl {
+    const KIND: &'static str = "ShardCtl";
+
     /// Standard 24-byte header under [`DOMAIN_SHARD`]; bodies are plain
     /// little-endian fields (see [`ShardCtl::wire_size`] for layouts).
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -1686,7 +1691,7 @@ mod tests {
         map.move_range(123, 2);
         let bytes = map.encode();
         assert_eq!(bytes.len(), map.wire_bytes());
-        assert_eq!(ShardMap::decode_frame(&bytes).expect("decodes"), map);
+        assert_eq!(ShardMap::decode_frame(&bytes.into()).expect("decodes"), map);
     }
 
     #[test]
@@ -1720,7 +1725,7 @@ mod tests {
         for ctl in ctls {
             let bytes = ctl.encode();
             assert_eq!(bytes.len(), ctl.wire_size(), "size contract for {ctl:?}");
-            assert_eq!(ShardCtl::decode_frame(&bytes).expect("decodes"), ctl);
+            assert_eq!(ShardCtl::decode_frame(&bytes.into()).expect("decodes"), ctl);
         }
     }
 
@@ -1729,13 +1734,13 @@ mod tests {
         let mut bytes = ShardCtl::InstallAck { version: 1 }.encode();
         bytes[1] = 9; // domain byte
         assert!(matches!(
-            ShardCtl::decode_frame(&bytes),
+            ShardCtl::decode_frame(&bytes.into()),
             Err(WireError::BadTag { .. })
         ));
         let mut bytes = ShardCtl::InstallAck { version: 1 }.encode();
         bytes[2] = 200; // kind byte
         assert!(matches!(
-            ShardCtl::decode_frame(&bytes),
+            ShardCtl::decode_frame(&bytes.into()),
             Err(WireError::BadTag { .. })
         ));
     }

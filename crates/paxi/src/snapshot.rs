@@ -162,6 +162,8 @@ impl Snapshot {
 }
 
 impl Wire for Snapshot {
+    const KIND: &'static str = "Snapshot";
+
     /// `up_to: u64`, the [`KvStore`] encoding, `index count: u32` +
     /// `(key: u64, slot: u64)` pairs, then the [`SessionTable`]
     /// encoding. Always exactly [`Snapshot::wire_bytes`] bytes.
@@ -180,7 +182,7 @@ impl Wire for Snapshot {
         let up_to = r.u64("snapshot.up_to")?;
         let kv = KvStore::decode(r)?;
         let n = r.u32("snapshot.index_count")?;
-        let mut last_write_slots = Vec::with_capacity(n as usize);
+        let mut last_write_slots = Vec::with_capacity(r.capacity_for(n as usize, 16));
         for _ in 0..n {
             let key = r.u64("snapshot.index_key")?;
             let slot = r.u64("snapshot.index_slot")?;
@@ -362,7 +364,7 @@ mod tests {
         ));
         let bytes = s.encode();
         assert_eq!(bytes.len(), s.wire_bytes(), "wire_bytes is exact");
-        let back = Snapshot::decode_frame(&bytes).expect("decodes");
+        let back = Snapshot::decode_frame(&bytes.into()).expect("decodes");
         assert_eq!(back, s);
         assert_eq!(back.sessions.approx_bytes(), s.sessions.approx_bytes());
     }

@@ -72,7 +72,9 @@ pub fn encode_command_body(cmd: &Command, out: &mut Vec<u8>) {
 /// Decode a command body written by [`encode_command_body`]. `tag` is
 /// the operation tag the caller carried; `value_len` is the value's
 /// byte count for sized embeddings, or `None` for a trailing value
-/// (consumes the rest of the frame).
+/// (consumes the rest of the frame). The value is taken as a zero-copy
+/// slice of the frame buffer — the decoded command shares the received
+/// allocation instead of re-materializing its payload.
 pub fn decode_command_body(
     tag: u8,
     value_len: Option<usize>,
@@ -84,10 +86,10 @@ pub fn decode_command_body(
         OP_PUT => {
             let key = r.u64("command.key")?;
             let bytes = match value_len {
-                Some(n) => r.bytes(n, "command.value")?,
-                None => r.rest(),
+                Some(n) => r.read_value(n, "command.value")?,
+                None => r.rest_value(),
             };
-            Operation::Put(key, Value::from(bytes))
+            Operation::Put(key, Value(bytes))
         }
         OP_NOOP => Operation::Noop,
         other => {
@@ -101,6 +103,8 @@ pub fn decode_command_body(
 }
 
 impl Wire for Ballot {
+    const KIND: &'static str = "Ballot";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u64(((self.round() as u64) << 32) | self.node().0 as u64);
     }
@@ -112,6 +116,8 @@ impl Wire for Ballot {
 }
 
 impl Wire for RequestId {
+    const KIND: &'static str = "RequestId";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u32(self.client.0);
         out.put_u64(self.seq);
@@ -126,6 +132,8 @@ impl Wire for RequestId {
 }
 
 impl Wire for ClientRequest {
+    const KIND: &'static str = "ClientRequest";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         WireHeader::new(DOMAIN_CLIENT, KIND_REQUEST)
             .flags(op_tag(&self.command.op))
@@ -147,6 +155,8 @@ const REPLY_VALUE: u8 = 1 << 1;
 const REPLY_REDIRECT: u8 = 1 << 2;
 
 impl Wire for ClientReply {
+    const KIND: &'static str = "ClientReply";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         let mut flags = 0u8;
         if self.ok {
@@ -172,7 +182,7 @@ impl Wire for ClientReply {
         let h = WireHeader::decode(r)?;
         let id = RequestId::decode(r)?;
         let value = if h.flags & REPLY_VALUE != 0 {
-            Some(Value::from(r.rest()))
+            Some(Value(r.rest_value()))
         } else {
             None
         };
@@ -239,7 +249,7 @@ fn decode_batched_reply(r: &mut WireReader<'_>) -> Result<ClientReply, WireError
     let id = RequestId::decode(r)?;
     let payload = (meta & BMETA_PAYLOAD) as usize;
     let value = if meta & BMETA_VALUE != 0 {
-        Some(Value::from(r.bytes(payload, "reply_batch.value")?))
+        Some(Value(r.read_value(payload, "reply_batch.value")?))
     } else {
         None
     };
@@ -256,6 +266,8 @@ fn decode_batched_reply(r: &mut WireReader<'_>) -> Result<ClientReply, WireError
 }
 
 impl<P: ProtoMessage + Wire> Wire for Envelope<P> {
+    const KIND: &'static str = "Envelope";
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Envelope::Request(req) => req.encode_into(out),
@@ -289,7 +301,8 @@ impl<P: ProtoMessage + Wire> Wire for Envelope<P> {
             KIND_REPLY => Ok(Envelope::Reply(ClientReply::decode(r)?)),
             KIND_REPLY_BATCH => {
                 let h = WireHeader::decode(r)?;
-                let mut reps = Vec::with_capacity(h.aux0 as usize);
+                // 12 request id + 2 meta per batched reply.
+                let mut reps = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 14));
                 for _ in 0..h.aux0 {
                     reps.push(decode_batched_reply(r)?);
                 }
@@ -307,7 +320,7 @@ impl<P: ProtoMessage + Wire> Wire for Envelope<P> {
 mod tests {
     use super::*;
     use simnet::wire::WIRE_HEADER_BYTES;
-    use simnet::Message;
+    use simnet::{Bytes, Message};
 
     fn rid(client: u32, seq: u64) -> RequestId {
         RequestId {
@@ -336,7 +349,8 @@ mod tests {
     fn roundtrip(env: &Envelope<Nul>) {
         let bytes = env.encode();
         assert_eq!(bytes.len(), env.wire_size(), "encoded len == wire_size");
-        assert_eq!(&Envelope::<Nul>::decode_frame(&bytes).unwrap(), env);
+        let frame = Bytes::from(bytes);
+        assert_eq!(&Envelope::<Nul>::decode_frame(&frame).unwrap(), env);
     }
 
     #[test]
@@ -394,8 +408,8 @@ mod tests {
             Ballot::new(7, NodeId(3)),
             Ballot::new(u32::MAX, NodeId(u32::MAX)),
         ] {
-            let bytes = b.encode();
-            let mut r = WireReader::new(&bytes);
+            let frame = Bytes::from(b.encode());
+            let mut r = WireReader::new(&frame);
             assert_eq!(Ballot::decode(&mut r).unwrap(), b);
         }
     }
@@ -405,7 +419,7 @@ mod tests {
         let mut bytes = Envelope::<Nul>::Reply(ClientReply::ok(rid(1, 1), None)).encode();
         bytes[2] = 77; // corrupt the kind tag
         assert!(matches!(
-            Envelope::<Nul>::decode_frame(&bytes),
+            Envelope::<Nul>::decode_frame(&Bytes::from(bytes)),
             Err(WireError::BadTag { .. })
         ));
     }

@@ -74,6 +74,17 @@ impl Workload {
         }
     }
 
+    /// Builder-style payload-size override: the same workload shape but
+    /// with `n`-byte values. The knob behind large-value runs — with the
+    /// zero-copy decode pipeline, value size should move bytes-on-wire
+    /// but not allocations-per-op on the receive path.
+    pub fn value_size(self, n: usize) -> Self {
+        Workload {
+            payload_size: n,
+            ..self
+        }
+    }
+
     /// Sample the next operation.
     pub fn next_op(&self, rng: &mut StdRng) -> Operation {
         let key = self.next_key(rng);
@@ -168,6 +179,19 @@ mod tests {
         let mut r = rng();
         match w.next_op(&mut r) {
             Operation::Put(_, v) => assert_eq!(v.len(), 1280),
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_size_overrides_only_the_payload() {
+        let w = Workload::write_only(8).value_size(4096);
+        assert_eq!(w.payload_size, 4096);
+        assert_eq!(w.read_ratio, 0.0);
+        assert_eq!(w.num_keys, 1000);
+        let mut r = rng();
+        match w.next_op(&mut r) {
+            Operation::Put(_, v) => assert_eq!(v.len(), 4096),
             other => panic!("expected put, got {other:?}"),
         }
     }

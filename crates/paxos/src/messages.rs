@@ -456,7 +456,8 @@ fn decode_p1b_vote(r: &mut WireReader<'_>) -> Result<P1bVote, WireError> {
         255 => r.u32("p1b.accepted_count32")? as usize,
         n => n as usize,
     };
-    let mut accepted = Vec::with_capacity(count);
+    // 6 slot + 8 ballot + 2 meta + 12 request id per accepted entry.
+    let mut accepted = Vec::with_capacity(r.capacity_for(count, 28));
     for _ in 0..count {
         let slot = r.u48("p1b.accepted_slot")?;
         let b = Ballot::decode(r)?;
@@ -534,7 +535,7 @@ fn decode_qr_entry(r: &mut WireReader<'_>) -> Result<QrVoteEntry, WireError> {
     let flags = r.u8("qr.flags")?;
     let len = r.u16("qr.value_len")? as usize;
     let value = if flags & QR_VALUE != 0 {
-        Some(Value::from(r.bytes(len, "qr.value")?))
+        Some(Value(r.read_value(len, "qr.value")?))
     } else {
         None
     };
@@ -551,6 +552,8 @@ fn header(kind: u8) -> WireHeader {
 }
 
 impl Wire for PaxosMsg {
+    const KIND: &'static str = "PaxosMsg";
+
     /// One-pass encode: `wire_size` is exact (`encode().len() ==
     /// wire_size()` is the schema invariant), so sizing the buffer up
     /// front makes serialization a single allocation with no growth
@@ -747,7 +750,8 @@ impl Wire for PaxosMsg {
             }),
             KIND_P1B => {
                 let ballot = Ballot::decode(r)?;
-                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                // 4 node + 8 ballot + 1 flags + 1 count per vote.
+                let mut votes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 14));
                 for _ in 0..h.aux0 {
                     votes.push(decode_p1b_vote(r)?);
                 }
@@ -767,7 +771,8 @@ impl Wire for PaxosMsg {
             KIND_P2B => {
                 let ballot = Ballot::decode(r)?;
                 let slot = r.u64("p2b.slot")?;
-                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                // 14 bytes per packed vote.
+                let mut votes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 14));
                 for _ in 0..h.aux0 {
                     votes.push(decode_p2b_vote(slot, r)?);
                 }
@@ -781,7 +786,8 @@ impl Wire for PaxosMsg {
                 let ballot = Ballot::decode(r)?;
                 let first_slot = r.u64("p2a_batch.first_slot")?;
                 let commit_up_to = r.u64("p2a_batch.commit_up_to")?;
-                let mut commands = Vec::with_capacity(h.aux0 as usize);
+                // 1 tag + 3 len + 12 request id per command.
+                let mut commands = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 16));
                 for _ in 0..h.aux0 {
                     let tag = r.u8("p2a_batch.op")?;
                     let b = r.bytes(3, "p2a_batch.len")?;
@@ -799,7 +805,8 @@ impl Wire for PaxosMsg {
                 let ballot = Ballot::decode(r)?;
                 let first_slot = r.u64("p2b_batch.first_slot")?;
                 let last_slot = r.u64("p2b_batch.last_slot")?;
-                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                // 14 bytes per packed vote.
+                let mut votes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 14));
                 for _ in 0..h.aux0 {
                     votes.push(decode_p2b_vote(first_slot, r)?);
                 }
@@ -816,7 +823,7 @@ impl Wire for PaxosMsg {
             }),
             KIND_LEARN_REQ => {
                 let n = r.u64("learnreq.count")?;
-                let mut slots = Vec::with_capacity(n as usize);
+                let mut slots = Vec::with_capacity(r.capacity_for(n as usize, 8));
                 for _ in 0..n {
                     slots.push(r.u64("learnreq.slot")?);
                 }
@@ -824,7 +831,8 @@ impl Wire for PaxosMsg {
             }
             KIND_LEARN_REP => {
                 let ballot = Ballot::decode(r)?;
-                let mut entries = Vec::with_capacity(h.aux0 as usize);
+                // 6 slot + 2 meta + 12 request id per entry.
+                let mut entries = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 20));
                 for _ in 0..h.aux0 {
                     entries.push(decode_learn_entry(r)?);
                 }
@@ -833,7 +841,7 @@ impl Wire for PaxosMsg {
             KIND_SNAPSHOT => {
                 let ballot = Ballot::decode(r)?;
                 let snapshot = Box::new(Snapshot::decode(r)?);
-                let mut entries = Vec::with_capacity(h.aux0 as usize);
+                let mut entries = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 20));
                 for _ in 0..h.aux0 {
                     entries.push(decode_learn_entry(r)?);
                 }
@@ -853,7 +861,8 @@ impl Wire for PaxosMsg {
                 let reader = NodeId(r.u32("qr_vote.reader")?);
                 let id = r.u64("qr_vote.id")?;
                 let attempt = r.u32("qr_vote.attempt")?;
-                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                // 4 node + 6 slot + 1 flags + 2 len per entry.
+                let mut votes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 13));
                 for _ in 0..h.aux0 {
                     votes.push(decode_qr_entry(r)?);
                 }
@@ -867,7 +876,8 @@ impl Wire for PaxosMsg {
             KIND_QR_READ_BATCH => {
                 let reader = NodeId(r.u32("qr_batch.reader")?);
                 let wave = r.u64("qr_batch.wave")?;
-                let mut probes = Vec::with_capacity(h.aux0 as usize);
+                // 8 id + 4 attempt + 8 key per probe.
+                let mut probes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 20));
                 for _ in 0..h.aux0 {
                     probes.push(QrProbe {
                         id: r.u64("qr_probe.id")?,
@@ -884,7 +894,8 @@ impl Wire for PaxosMsg {
             KIND_QR_VOTE_BATCH => {
                 let reader = NodeId(r.u32("qr_vbatch.reader")?);
                 let wave = r.u64("qr_vbatch.wave")?;
-                let mut votes = Vec::with_capacity(h.aux0 as usize);
+                // 8 id + 4 attempt + a 13-byte entry per vote.
+                let mut votes = Vec::with_capacity(r.capacity_for(h.aux0 as usize, 25));
                 for _ in 0..h.aux0 {
                     let id = r.u64("qr_pvote.id")?;
                     let attempt = r.u32("qr_pvote.attempt")?;

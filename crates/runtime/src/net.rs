@@ -23,6 +23,13 @@
 //!   payload (see [`simnet::wire`] for the payload format). Self-sends
 //!   short-circuit through the node's inbound channel without touching
 //!   a socket, like every other substrate.
+//! - The receive path is zero-copy: a reader thread reads straight into
+//!   its reassembly buffer, freezes the buffer into a refcounted
+//!   [`Bytes`] once it holds complete frames, and decodes every payload
+//!   as a slice of that one allocation — a `Put` value travels from
+//!   socket to state machine without its bytes ever being copied. The
+//!   frozen buffer is reclaimed for the next read as soon as no decoded
+//!   message still borrows it.
 //!
 //! Unlike the simulator this substrate is *not* deterministic — it
 //! measures real sockets, real syscalls, and real thread scheduling.
@@ -33,7 +40,7 @@
 use crate::{node_loop, Inbound, RuntimeStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use simnet::{Actor, Message, NodeId, Wire};
+use simnet::{Actor, Bytes, Message, NodeId, Wire};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +66,9 @@ const MAX_BACKOFF: Duration = Duration::from_millis(500);
 const MAX_ATTEMPTS: u32 = 20;
 /// Ceiling on buffers retained per node by the opt-in frame pool.
 const POOL_CAP: usize = 64;
+/// Reader-side granularity: initial receive-buffer size and the step a
+/// buffer grows by when a frame straddles its end.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// True when `PIG_NET_POOL` requests pooled frame buffers (any value
 /// but `0`). Off by default: the pool changes no bytes on the wire
@@ -106,6 +116,18 @@ impl FramePool {
             free.push(buf);
         }
     }
+}
+
+/// A full-length receive buffer of at least `min_len` bytes, drawn from
+/// `pool`. Receive buffers keep `len == capacity` (zero-filled once at
+/// acquisition) so `TcpStream::read` can write directly into
+/// `buf[filled..]` with no staging chunk; the valid prefix is tracked
+/// separately by the reader.
+fn recv_buffer(pool: &FramePool, min_len: usize) -> Vec<u8> {
+    let mut buf = pool.get(min_len.max(READ_CHUNK));
+    let len = buf.capacity().max(min_len);
+    buf.resize(len, 0);
+    buf
 }
 
 /// Build one transport frame for `msg` from `from`, drawing the buffer
@@ -246,6 +268,7 @@ impl<M: Message + Wire + Send + 'static> NetRuntime<M> {
         }
         let addrs = Arc::new(addrs);
 
+        let pooling = frame_pooling_enabled();
         let mut acceptor_handles = Vec::with_capacity(n);
         for (i, listener) in listeners.into_iter().enumerate() {
             acceptor_handles.push(spawn_acceptor(
@@ -255,11 +278,11 @@ impl<M: Message + Wire + Send + 'static> NetRuntime<M> {
                 metrics.clone(),
                 stop.clone(),
                 io_handles.clone(),
+                Arc::new(FramePool::new(pooling)),
             ));
         }
 
         let epoch = Instant::now();
-        let pooling = frame_pooling_enabled();
         let mut actor_handles = Vec::with_capacity(n);
         for i in 0..n {
             let actor = self.actors[i].take().expect("actor already running");
@@ -448,6 +471,7 @@ fn spawn_acceptor<M: Message + Wire + Send + 'static>(
     metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
     io_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Arc<FramePool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         listener
@@ -459,8 +483,10 @@ fn spawn_acceptor<M: Message + Wire + Send + 'static>(
                     let tx = tx.clone();
                     let metrics = metrics.clone();
                     let stop = stop.clone();
-                    let handle =
-                        std::thread::spawn(move || reader_loop(node, conn, tx, metrics, stop));
+                    let pool = pool.clone();
+                    let handle = std::thread::spawn(move || {
+                        reader_loop(node, conn, tx, metrics, stop, pool)
+                    });
                     io_handles.lock().push(handle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -472,26 +498,31 @@ fn spawn_acceptor<M: Message + Wire + Send + 'static>(
     })
 }
 
-/// Reader thread for one inbound connection: reassembles length-prefixed
-/// frames from the byte stream (a short read never loses data — bytes
-/// accumulate until a frame completes), decodes each payload, and
-/// delivers it to the node's actor channel.
+/// Reader thread for one inbound connection: reads straight into its
+/// reassembly buffer (a short read never loses data — bytes accumulate
+/// until a frame completes), then freezes and decodes complete frames
+/// zero-copy via [`drain_frames`].
 fn reader_loop<M: Message + Wire + Send>(
     node: NodeId,
     mut conn: TcpStream,
     tx: Sender<Inbound<M>>,
     metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
+    pool: Arc<FramePool>,
 ) {
     let _ = conn.set_read_timeout(Some(IDLE_POLL));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 64 * 1024];
+    let mut buf = recv_buffer(&pool, READ_CHUNK);
+    let mut filled = 0usize;
     loop {
-        match conn.read(&mut chunk) {
+        if filled == buf.len() {
+            // A frame straddles the buffer end: grow in place.
+            buf.resize(filled + READ_CHUNK, 0);
+        }
+        match conn.read(&mut buf[filled..]) {
             Ok(0) => return, // peer closed
             Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                drain_frames(node, &mut buf, &tx, &metrics);
+                filled += n;
+                drain_frames(node, &mut buf, &mut filled, &tx, &metrics, &pool);
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -506,28 +537,61 @@ fn reader_loop<M: Message + Wire + Send>(
     }
 }
 
+/// Scan-and-freeze frame delivery. Finds every complete frame in
+/// `buf[..filled]`, freezes the buffer into one refcounted [`Bytes`]
+/// (an `Arc` around the existing allocation — no byte is copied), and
+/// decodes each payload as a zero-copy slice of it. A partial frame at
+/// the tail is carried into the next receive buffer; the frozen
+/// allocation itself is reclaimed for reuse the moment no decoded
+/// message still borrows it (vote traffic drops its slices immediately;
+/// a decoded `Put` keeps the frame alive until the value leaves the
+/// store — which is the point of zero-copy).
 fn drain_frames<M: Message + Wire + Send>(
     node: NodeId,
     buf: &mut Vec<u8>,
+    filled: &mut usize,
     tx: &Sender<Inbound<M>>,
     metrics: &NetMetrics,
+    pool: &FramePool,
 ) {
+    // Pass 1: walk the length prefixes to find the end of the last
+    // complete frame. No payload is touched.
     let mut consumed = 0;
-    while buf.len() - consumed >= FRAME_PREFIX {
-        let rest = &buf[consumed..];
-        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let mut corrupt = false;
+    while *filled - consumed >= FRAME_PREFIX {
+        let len = u32::from_le_bytes(buf[consumed..consumed + 4].try_into().unwrap()) as usize;
         if len > MAX_FRAME {
-            // Unrecoverable framing corruption: count it and close.
-            metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
-            buf.clear();
-            return;
+            // Unrecoverable framing corruption: count it, deliver what
+            // preceded it, and drop the poisoned bytes.
+            corrupt = true;
+            break;
         }
-        if rest.len() < FRAME_PREFIX + len {
+        if *filled - consumed < FRAME_PREFIX + len {
             break; // incomplete frame; wait for more bytes
         }
-        let from = NodeId(u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]));
-        let payload = &rest[FRAME_PREFIX..FRAME_PREFIX + len];
-        match M::decode_frame(payload) {
+        consumed += FRAME_PREFIX + len;
+    }
+    if corrupt {
+        metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if consumed == 0 {
+        if corrupt {
+            *filled = 0;
+        }
+        return;
+    }
+    let tail = if corrupt { 0 } else { *filled - consumed };
+
+    // Pass 2: freeze the buffer and decode every payload as a slice of
+    // the shared frame.
+    let frozen = Bytes::from(std::mem::take(buf));
+    let mut off = 0;
+    while off < consumed {
+        let s = frozen.as_slice();
+        let len = u32::from_le_bytes(s[off..off + 4].try_into().unwrap()) as usize;
+        let from = NodeId(u32::from_le_bytes(s[off + 4..off + 8].try_into().unwrap()));
+        let payload = frozen.slice(off + FRAME_PREFIX..off + FRAME_PREFIX + len);
+        match M::decode_frame(&payload) {
             Ok(msg) => {
                 metrics.note_delivery(node, msg.label());
                 let _ = tx.send(Inbound::Deliver { from, msg });
@@ -536,11 +600,25 @@ fn drain_frames<M: Message + Wire + Send>(
                 metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
-        consumed += FRAME_PREFIX + len;
+        off += FRAME_PREFIX + len;
     }
-    if consumed > 0 {
-        buf.drain(..consumed);
+
+    // Restore a receive buffer. If every decoded slice has already been
+    // dropped the frozen allocation comes straight back; otherwise some
+    // message still pins it and a fresh buffer takes over.
+    if tail > 0 {
+        let mut next = recv_buffer(pool, tail);
+        next[..tail].copy_from_slice(&frozen.as_slice()[consumed..consumed + tail]);
+        if let Ok(v) = frozen.try_reclaim() {
+            pool.put(v);
+        }
+        *buf = next;
+    } else {
+        *buf = frozen
+            .try_reclaim()
+            .unwrap_or_else(|_| recv_buffer(pool, READ_CHUNK));
     }
+    *filled = tail;
 }
 
 #[cfg(test)]
@@ -673,6 +751,58 @@ mod tests {
         let sender = u32::from_le_bytes(frame[4..8].try_into().unwrap());
         assert_eq!(payload_len, frame.len() - FRAME_PREFIX);
         assert_eq!(sender, 7);
+    }
+
+    fn drain_all(msgs: &[u64], cut: usize) -> (Vec<(NodeId, u64)>, u64) {
+        let (tx, rx) = unbounded::<Inbound<Num>>();
+        let metrics = NetMetrics::new(2);
+        let pool = FramePool::new(false);
+        let mut stream = Vec::new();
+        for &m in msgs {
+            stream.extend_from_slice(&encode_frame(NodeId(1), &Num(m), &pool));
+        }
+        let mut buf = recv_buffer(&pool, stream.len().max(READ_CHUNK));
+        let mut filled = 0;
+        for part in [&stream[..cut], &stream[cut..]] {
+            buf[filled..filled + part.len()].copy_from_slice(part);
+            filled += part.len();
+            drain_frames(NodeId(0), &mut buf, &mut filled, &tx, &metrics, &pool);
+        }
+        assert_eq!(filled, 0, "no partial frame left at stream end");
+        let mut got = Vec::new();
+        while let Ok(i) = rx.try_recv() {
+            match i {
+                Inbound::Deliver { from, msg } => got.push((from, msg.0)),
+                _ => panic!("unexpected inbound"),
+            }
+        }
+        (got, metrics.decode_errors.load(Ordering::Relaxed))
+    }
+
+    #[test]
+    fn drain_reassembles_frames_split_at_any_point() {
+        let msgs = [7u64, 8, 9];
+        let total = msgs.len() * encode_frame(NodeId(1), &Num(0), &FramePool::new(false)).len();
+        for cut in [0, 3, FRAME_PREFIX, FRAME_PREFIX + 1, total / 2, total - 1] {
+            let (got, errors) = drain_all(&msgs, cut);
+            let want: Vec<(NodeId, u64)> = msgs.iter().map(|&m| (NodeId(1), m)).collect();
+            assert_eq!(got, want, "split at byte {cut}");
+            assert_eq!(errors, 0);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_counts_error_and_resets() {
+        let (tx, _rx) = unbounded::<Inbound<Num>>();
+        let metrics = NetMetrics::new(1);
+        let pool = FramePool::new(false);
+        let mut buf = recv_buffer(&pool, READ_CHUNK);
+        buf[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mut filled = FRAME_PREFIX;
+        drain_frames::<Num>(NodeId(0), &mut buf, &mut filled, &tx, &metrics, &pool);
+        assert_eq!(filled, 0, "poisoned bytes dropped");
+        assert_eq!(metrics.decode_errors.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -67,4 +67,4 @@ pub use stats::{NetStats, NodeStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{RegionId, Topology};
 pub use trace::{Trace, TraceEntry};
-pub use wire::{Wire, WireError, WireHeader, WirePut, WireReader};
+pub use wire::{Bytes, Wire, WireError, WireHeader, WirePut, WireReader};

@@ -70,6 +70,8 @@
 
 use std::fmt;
 
+pub use bytes::Bytes;
+
 /// Byte length of the fixed message header every encoded payload starts
 /// with. Equals the `HEADER_BYTES` constant protocol crates charge in
 /// `wire_size()`.
@@ -110,6 +112,8 @@ pub enum WireError {
     BadVersion(u8),
     /// Bytes remained after the value was fully decoded.
     TrailingBytes {
+        /// The message kind that was being decoded ([`Wire::KIND`]).
+        what: &'static str,
         /// How many bytes were left over.
         extra: usize,
     },
@@ -121,7 +125,9 @@ impl fmt::Display for WireError {
             WireError::Truncated { what } => write!(f, "truncated while decoding {what}"),
             WireError::BadTag { what, got } => write!(f, "bad tag {got:#x} for {what}"),
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
-            WireError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after decode"),
+            WireError::TrailingBytes { what, extra } => {
+                write!(f, "{extra} trailing bytes after decoding {what}")
+            }
         }
     }
 }
@@ -134,13 +140,19 @@ impl std::error::Error for WireError {}
 /// Protocol message enums, the client envelope, and every nested value
 /// they carry implement this. The contract:
 ///
-/// 1. `decode(&mut WireReader::new(&x.encode())) == Ok(x)` — lossless
-///    roundtrip;
+/// 1. `decode(&mut WireReader::new(&x.encode().into())) == Ok(x)` —
+///    lossless roundtrip;
 /// 2. for [`Message`](crate::Message) types,
 ///    `x.encode().len() == x.wire_size()` — the simulator's byte
 ///    accounting *is* the socket substrate's byte accounting;
 /// 3. encoding is deterministic (no map-iteration-order dependence).
 pub trait Wire: Sized {
+    /// Human-readable name of this message kind, carried into
+    /// diagnostics ([`WireError::TrailingBytes`] names the kind that
+    /// left bytes behind). Override per type; the default is only for
+    /// small nested values that never head a frame.
+    const KIND: &'static str = "value";
+
     /// Append this value's encoding to `out`.
     fn encode_into(&self, out: &mut Vec<u8>);
 
@@ -157,11 +169,18 @@ pub trait Wire: Sized {
     }
 
     /// Decode a complete frame payload, rejecting leftover bytes.
-    fn decode_frame(bytes: &[u8]) -> Result<Self, WireError> {
-        let mut r = WireReader::new(bytes);
+    ///
+    /// Takes the frame as [`Bytes`] so variable-length values inside it
+    /// (command payloads, read results) decode as zero-copy slices of
+    /// the frame buffer instead of fresh allocations — the received
+    /// buffer is shared, refcounted, all the way into the state
+    /// machine.
+    fn decode_frame(frame: &Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::new(frame);
         let v = Self::decode(&mut r)?;
         if r.remaining() != 0 {
             return Err(WireError::TrailingBytes {
+                what: Self::KIND,
                 extra: r.remaining(),
             });
         }
@@ -169,28 +188,43 @@ pub trait Wire: Sized {
     }
 }
 
-/// Cursor over an encoded payload.
+/// Cursor over an encoded frame payload.
+///
+/// Backed by a [`Bytes`] frame so value-sized reads can be taken as
+/// zero-copy slices ([`WireReader::read_value`]) while fixed-width
+/// primitive reads stay plain borrowed slices.
 #[derive(Debug)]
 pub struct WireReader<'a> {
-    buf: &'a [u8],
+    frame: &'a Bytes,
     pos: usize,
 }
 
 impl<'a> WireReader<'a> {
     /// Reader over a full frame payload.
-    pub fn new(buf: &'a [u8]) -> Self {
-        WireReader { buf, pos: 0 }
+    pub fn new(frame: &'a Bytes) -> Self {
+        WireReader { frame, pos: 0 }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.frame.len() - self.pos
+    }
+
+    /// Capacity to preallocate for `count` wire entries of at least
+    /// `min_bytes` each: the declared count, clamped by what the frame
+    /// can still hold. Decoders size their containers from header
+    /// counts in one shot on well-formed frames, but a corrupted count
+    /// must surface as a truncation error — not as a giant allocation
+    /// before the first entry is even read.
+    pub fn capacity_for(&self, count: usize, min_bytes: usize) -> usize {
+        count.min(self.remaining() / min_bytes.max(1))
     }
 
     /// Look at the byte `offset` positions past the cursor without
     /// consuming (used to dispatch on the header's domain byte).
     pub fn peek(&self, offset: usize) -> Result<u8, WireError> {
-        self.buf
+        self.frame
+            .as_slice()
             .get(self.pos + offset)
             .copied()
             .ok_or(WireError::Truncated { what: "peek" })
@@ -200,7 +234,8 @@ impl<'a> WireReader<'a> {
         if self.remaining() < n {
             return Err(WireError::Truncated { what });
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let frame: &'a Bytes = self.frame;
+        let s = &frame.as_slice()[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
@@ -242,11 +277,34 @@ impl<'a> WireReader<'a> {
         self.take(n, what)
     }
 
+    /// Consume exactly `n` bytes as an owned, zero-copy slice of the
+    /// frame buffer (refcount bump — no payload copy). This is how
+    /// decoded values keep their bytes: they share the received frame's
+    /// allocation instead of re-materializing it.
+    pub fn read_value(&mut self, n: usize, what: &'static str) -> Result<Bytes, WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let b = self.frame.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(b)
+    }
+
     /// Consume every remaining byte (the trailing payload of a frame).
     pub fn rest(&mut self) -> &'a [u8] {
-        let s = &self.buf[self.pos..];
-        self.pos = self.buf.len();
+        let frame: &'a Bytes = self.frame;
+        let s = &frame.as_slice()[self.pos..];
+        self.pos = frame.len();
         s
+    }
+
+    /// Consume every remaining byte as an owned, zero-copy slice of the
+    /// frame buffer — the trailing-value counterpart of
+    /// [`WireReader::read_value`].
+    pub fn rest_value(&mut self) -> Bytes {
+        let b = self.frame.slice(self.pos..);
+        self.pos = self.frame.len();
+        b
     }
 }
 
@@ -367,7 +425,8 @@ mod tests {
         out.put_u48(0x0000_1234_5678_9ABC);
         out.put_u64(u64::MAX);
         assert_eq!(out.len(), 1 + 2 + 4 + 6 + 8);
-        let mut r = WireReader::new(&out);
+        let frame = Bytes::from(out);
+        let mut r = WireReader::new(&frame);
         assert_eq!(r.u8("a").unwrap(), 7);
         assert_eq!(r.u16("b").unwrap(), 0xABCD);
         assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
@@ -384,7 +443,8 @@ mod tests {
 
     #[test]
     fn truncation_reported() {
-        let mut r = WireReader::new(&[1, 2]);
+        let frame = Bytes::from(vec![1, 2]);
+        let mut r = WireReader::new(&frame);
         assert_eq!(r.u32("field"), Err(WireError::Truncated { what: "field" }));
     }
 
@@ -394,7 +454,8 @@ mod tests {
         let mut out = Vec::new();
         h.encode_into(&mut out);
         assert_eq!(out.len(), WIRE_HEADER_BYTES);
-        let mut r = WireReader::new(&out);
+        let frame = Bytes::from(out);
+        let mut r = WireReader::new(&frame);
         assert_eq!(WireHeader::decode(&mut r).unwrap(), h);
     }
 
@@ -402,13 +463,15 @@ mod tests {
     fn header_version_checked() {
         let mut bytes = vec![0u8; 24];
         bytes[0] = 99;
-        let mut r = WireReader::new(&bytes);
+        let frame = Bytes::from(bytes);
+        let mut r = WireReader::new(&frame);
         assert_eq!(WireHeader::decode(&mut r), Err(WireError::BadVersion(99)));
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let mut r = WireReader::new(&[10, 20]);
+        let frame = Bytes::from(vec![10, 20]);
+        let mut r = WireReader::new(&frame);
         assert_eq!(r.peek(1).unwrap(), 20);
         assert_eq!(r.u8("x").unwrap(), 10);
         assert_eq!(r.peek(0).unwrap(), 20);
@@ -417,9 +480,56 @@ mod tests {
 
     #[test]
     fn rest_takes_everything() {
-        let mut r = WireReader::new(&[1, 2, 3]);
+        let frame = Bytes::from(vec![1, 2, 3]);
+        let mut r = WireReader::new(&frame);
         r.u8("x").unwrap();
         assert_eq!(r.rest(), &[2, 3]);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn read_value_is_a_zero_copy_slice_of_the_frame() {
+        let frame = Bytes::from(vec![9, 1, 2, 3, 4, 5]);
+        let mut r = WireReader::new(&frame);
+        r.u8("tag").unwrap();
+        let v = r.read_value(3, "v").unwrap();
+        assert_eq!(&v[..], &[1, 2, 3]);
+        let tail = r.rest_value();
+        assert_eq!(&tail[..], &[4, 5]);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(
+            r.read_value(1, "past-end"),
+            Err(WireError::Truncated { what: "past-end" })
+        );
+        // The slices share the frame's backing allocation: the frame
+        // cannot be reclaimed while they're alive.
+        assert!(frame.clone().try_reclaim().is_err());
+        drop((v, tail));
+    }
+
+    #[test]
+    fn trailing_bytes_name_the_kind() {
+        #[derive(Debug)]
+        struct OneByte;
+        impl Wire for OneByte {
+            const KIND: &'static str = "OneByte";
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.put_u8(1);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                r.u8("b")?;
+                Ok(OneByte)
+            }
+        }
+        let frame = Bytes::from(vec![1, 2, 3]);
+        let err = OneByte::decode_frame(&frame).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::TrailingBytes {
+                what: "OneByte",
+                extra: 2
+            }
+        );
+        assert!(err.to_string().contains("OneByte"));
     }
 }

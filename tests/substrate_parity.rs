@@ -148,10 +148,17 @@ fn assert_compaction_parity<P: ProtocolSpec>(proto: P, n: usize, interval: u64) 
         "{name} threads: compaction must fire ({} decided)",
         threads.decided
     );
+    // Wall-clock substrate: a scheduler stall of a few tens of ms on a
+    // loaded box lets the pipelined clients run the log a few hundred
+    // slots past the trigger before the executor catches up, so the
+    // peak gets more headroom than the deterministic sim bound above.
+    // Broken compaction still fails loudly — the peak then tracks the
+    // full decided count (thousands), not a handful of intervals.
     assert!(
-        threads.max_log_len <= 2 * interval,
-        "{name} threads: peak log {} > 2x interval {interval}",
-        threads.max_log_len
+        threads.max_log_len <= 8 * interval,
+        "{name} threads: peak log {} > 8x interval {interval} ({} decided)",
+        threads.max_log_len,
+        threads.decided
     );
 }
 

@@ -5,6 +5,12 @@
 //! pins the declared sizes (which drive every simulated benchmark
 //! number) to the real bytes the TCP substrate puts on a socket.
 //!
+//! A second family of properties drives the decoders with *hostile*
+//! frames — truncated at arbitrary byte offsets, or with arbitrary
+//! byte corruption — and requires a clean [`WireError`] (never a
+//! panic), since the TCP substrate feeds decoders whatever the socket
+//! produced.
+//!
 //! Strategies stay inside each field's packing caps on purpose — the
 //! encoders assert them (`u48` slots, 14-bit entry values, 13-bit
 //! batched-reply values, 15-bit vote slot deltas) — and the boundary
@@ -18,7 +24,7 @@ use paxi::{
 use paxos::{P1bVote, P2bVote, PaxosMsg, QrProbe, QrProbeVote, QrVoteEntry};
 use pigpaxos::{PigMsg, RelayPlan};
 use proptest::prelude::*;
-use simnet::{Message, NodeId, Wire};
+use simnet::{Bytes, Message, NodeId, Wire};
 
 /// Encode, check the length against the declared size, decode, compare.
 fn check<M: Wire + PartialEq + std::fmt::Debug>(msg: &M, declared: usize) {
@@ -28,8 +34,38 @@ fn check<M: Wire + PartialEq + std::fmt::Debug>(msg: &M, declared: usize) {
         declared,
         "wire_size() must equal encoded length for {msg:?}"
     );
-    let back = M::decode_frame(&bytes).expect("decode what we encoded");
+    let frame = Bytes::from(bytes);
+    let back = M::decode_frame(&frame).expect("decode what we encoded");
     assert_eq!(&back, msg, "decode(encode(msg)) must reproduce msg");
+}
+
+/// Decode the frame cut at byte `cut`: either a clean [`WireError`] or
+/// — for the messages whose last field is delimited by the frame end —
+/// an `Ok` that is a faithful parse of exactly the truncated bytes.
+/// Never a panic.
+fn check_truncated<M: Wire + std::fmt::Debug>(msg: &M, cut: usize) {
+    let bytes = msg.encode();
+    let cut = cut % bytes.len().max(1);
+    let frame = Bytes::from(bytes[..cut].to_vec());
+    if let Ok(m) = M::decode_frame(&frame) {
+        assert_eq!(
+            m.encode().as_slice(),
+            &frame[..],
+            "an Ok parse of a truncated frame must re-encode to it"
+        );
+    }
+}
+
+/// Decode the frame with byte `pos` xored by `flip`: any `Ok` or
+/// `Err(WireError)` is acceptable, a panic is not.
+fn check_corrupted<M: Wire + std::fmt::Debug>(msg: &M, pos: usize, flip: u8) {
+    let mut bytes = msg.encode();
+    if bytes.is_empty() {
+        return;
+    }
+    let pos = pos % bytes.len();
+    bytes[pos] ^= flip;
+    let _ = M::decode_frame(&Bytes::from(bytes));
 }
 
 // ---- shared strategies ---------------------------------------------------
@@ -423,6 +459,68 @@ proptest! {
     #[test]
     fn snapshots_roundtrip_at_declared_size(snap in snapshot()) {
         check(&snap, snap.wire_bytes());
+    }
+
+    #[test]
+    fn truncated_paxos_frames_reject_cleanly(msg in paxos_msg(), cut in any::<usize>()) {
+        check_truncated(&msg, cut);
+    }
+
+    #[test]
+    fn truncated_pigpaxos_frames_reject_cleanly(msg in pig_msg(), cut in any::<usize>()) {
+        check_truncated(&msg, cut);
+    }
+
+    #[test]
+    fn truncated_epaxos_frames_reject_cleanly(msg in epaxos_msg(), cut in any::<usize>()) {
+        check_truncated(&msg, cut);
+    }
+
+    #[test]
+    fn truncated_client_envelopes_reject_cleanly(
+        env in prop_oneof![
+            command(600).prop_map(|command| Envelope::<PaxosMsg>::Request(ClientRequest { command })),
+            client_reply(600).prop_map(Envelope::<PaxosMsg>::Reply),
+            proptest::collection::vec(client_reply(600), 0..5)
+                .prop_map(Envelope::<PaxosMsg>::ReplyBatch),
+            paxos_msg().prop_map(Envelope::<PaxosMsg>::Proto),
+        ],
+        cut in any::<usize>(),
+    ) {
+        check_truncated(&env, cut);
+    }
+
+    #[test]
+    fn truncated_snapshots_reject_cleanly(snap in snapshot(), cut in any::<usize>()) {
+        check_truncated(&snap, cut);
+    }
+
+    #[test]
+    fn corrupted_paxos_frames_never_panic(
+        msg in paxos_msg(), pos in any::<usize>(), flip in 1u8..=255,
+    ) {
+        check_corrupted(&msg, pos, flip);
+    }
+
+    #[test]
+    fn corrupted_pigpaxos_frames_never_panic(
+        msg in pig_msg(), pos in any::<usize>(), flip in 1u8..=255,
+    ) {
+        check_corrupted(&msg, pos, flip);
+    }
+
+    #[test]
+    fn corrupted_epaxos_frames_never_panic(
+        msg in epaxos_msg(), pos in any::<usize>(), flip in 1u8..=255,
+    ) {
+        check_corrupted(&msg, pos, flip);
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_panic(
+        snap in snapshot(), pos in any::<usize>(), flip in 1u8..=255,
+    ) {
+        check_corrupted(&snap, pos, flip);
     }
 }
 

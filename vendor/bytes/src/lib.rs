@@ -1,48 +1,114 @@
 //! Offline, API-compatible subset of the `bytes` crate.
 //!
 //! Provides [`Bytes`]: a cheaply clonable, immutable, refcounted byte
-//! buffer — the only piece of the real crate this workspace uses.
+//! buffer with zero-copy [`Bytes::slice`] — the pieces of the real
+//! crate this workspace uses. A `Bytes` is a `(Arc<Vec<u8>>, start,
+//! end)` view: cloning and slicing bump a refcount and adjust the
+//! window, never copying payload bytes. `From<Vec<u8>>` moves the
+//! vector behind the `Arc` without copying its contents, and
+//! [`Bytes::try_reclaim`] hands the vector back once no other view is
+//! alive — together these let a network receive path freeze a frame
+//! buffer, decode zero-copy slices out of it, and recycle the
+//! allocation when the decoded messages are done with it.
 
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::ops::Deref;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
 
-/// A cheaply clonable immutable byte buffer (refcounted).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+/// A cheaply clonable immutable byte buffer (refcounted view into a
+/// shared allocation).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+/// Shared empty backing so `Bytes::new()`/`default()` never allocate.
+fn empty_backing() -> &'static Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (no allocation).
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes {
+            data: empty_backing().clone(),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// View as a byte slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
+    }
+
+    /// A zero-copy sub-view of this buffer: shares the backing
+    /// allocation (refcount bump, no payload copy). `range` indexes
+    /// into this view, like slice indexing; panics when out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("slice end overflows"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice range {begin}..{end} out of bounds for Bytes of length {len}"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Take the backing vector back, if this is the only live view of
+    /// it (`Err(self)` otherwise). The vector comes back whole —
+    /// including bytes outside this view's window — so a receive loop
+    /// that froze its read buffer into `Bytes` can recycle the full
+    /// allocation once every decoded slice has been dropped.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes {
+                data,
+                start: self.start,
+                end: self.end,
+            }),
+        }
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
@@ -55,13 +121,20 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Moves the vector behind the `Arc` — one refcount allocation, no
+    /// copy of the contents.
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v))
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -77,10 +150,39 @@ impl From<&'static str> for Bytes {
     }
 }
 
+// Equality, ordering, and hashing are over the viewed contents, not
+// the backing allocation: two views of different buffers with the same
+// bytes are equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             write!(f, "\\x{b:02x}")?;
         }
         write!(f, "\"")
@@ -106,5 +208,48 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_windows_correctly() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Nested slices index into the view, not the backing buffer.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(b.slice(..).len(), 8);
+        assert_eq!(b.slice(8..).len(), 0);
+        // Equality is by content across different backings.
+        assert_eq!(inner, Bytes::copy_from_slice(&[3, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(2..5);
+    }
+
+    #[test]
+    fn try_reclaim_needs_unique_ownership() {
+        let b = Bytes::from(vec![7; 16]);
+        let s = b.slice(4..8);
+        // Two views alive: reclaim fails and hands the view back.
+        let s = s.try_reclaim().expect_err("b still holds the backing");
+        assert_eq!(&s[..], &[7; 4]);
+        drop(b);
+        // Sole view: the full backing vector comes back.
+        let v = s.try_reclaim().expect("sole owner reclaims");
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn empty_is_shared_and_contents_hash_equal() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Bytes::from(vec![1, 2]));
+        assert!(set.contains(&Bytes::from(vec![0, 1, 2, 3]).slice(1..3)));
+        assert_eq!(Bytes::new(), Bytes::default());
+        assert!(Bytes::from(vec![1]) > Bytes::new());
     }
 }
